@@ -1,0 +1,57 @@
+// Shared helpers for the bench binaries that regenerate the paper's tables
+// and figures. Each binary prints the same rows/series the paper reports,
+// alongside the published values where the paper states them, so the shape
+// comparison is immediate.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "cloud/cluster.hpp"
+#include "cloud/storage.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "model/profiler.hpp"
+#include "workload/job.hpp"
+
+namespace cast::bench {
+
+/// Build a job sized the way the paper's experiments are: one map task per
+/// 128 MB chunk, reduce parallelism at a quarter of the maps.
+inline workload::JobSpec make_job(int id, workload::AppKind app, double input_gb) {
+    const int maps = std::max(1, static_cast<int>(input_gb / 0.128));
+    return workload::JobSpec{
+        .id = id,
+        .name = std::string(workload::app_name(app)) + "-" + fmt(input_gb, 0) + "G",
+        .app = app,
+        .input = GigaBytes{input_gb},
+        .map_tasks = maps,
+        .reduce_tasks = std::max(1, maps / 4),
+        .reuse_group = std::nullopt};
+}
+
+/// Run the offline profiling campaign for `cluster`, timing it.
+inline model::PerfModelSet profile_models(const cloud::ClusterSpec& cluster,
+                                          int runs_per_point = 2) {
+    const auto start = std::chrono::steady_clock::now();
+    model::ProfilerOptions opts;
+    opts.runs_per_point = runs_per_point;
+    model::Profiler profiler(cluster, cloud::StorageCatalog::google_cloud(), opts);
+    ThreadPool pool;
+    model::PerfModelSet models = profiler.profile(&pool);
+    const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
+    std::cout << "[offline profiling: " << fmt(elapsed.count(), 1) << " s on "
+              << cluster.worker_count << "x " << cluster.worker.name << "]\n\n";
+    return models;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+    std::cout << "==============================================================\n"
+              << title << "\n"
+              << "(reproduces " << paper_ref
+              << " of CAST, HPDC'15; testbed = discrete-event cluster simulator)\n"
+              << "==============================================================\n\n";
+}
+
+}  // namespace cast::bench

@@ -1,0 +1,89 @@
+// Figure 1 (+ Table 2): application runtime breakdown and normalized
+// tenant utility on each of the four storage services, single-slave
+// cluster (§3.1.2).
+#include <array>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/characterization.hpp"
+
+namespace {
+
+using namespace cast;
+using cloud::StorageTier;
+using workload::AppKind;
+
+void print_table2() {
+    std::cout << "Table 2: characteristics of studied applications\n";
+    TextTable t({"App", "Map I/O", "Shuffle I/O", "Reduce I/O", "CPU", "iterations",
+                 "map sel.", "reduce sel."});
+    for (AppKind a : {AppKind::kSort, AppKind::kJoin, AppKind::kGrep, AppKind::kKMeans}) {
+        const auto& p = workload::ApplicationProfile::of(a);
+        auto yn = [](bool b) { return std::string(b ? "yes" : "-"); };
+        t.add_row({std::string(p.name()), yn(p.intensity().map_io),
+                   yn(p.intensity().shuffle_io), yn(p.intensity().reduce_io),
+                   yn(p.intensity().cpu), std::to_string(p.iterations()),
+                   fmt(p.map_selectivity(), 3), fmt(p.reduce_selectivity(), 3)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Figure 1: app performance & tenant utility per storage tier",
+                        "Figure 1 and Table 2");
+    print_table2();
+
+    const auto cluster = cloud::ClusterSpec::paper_single_node();
+    const auto catalog = cloud::StorageCatalog::google_cloud();
+
+    struct Exp {
+        AppKind app;
+        double gb;
+        const char* paper_best;
+        const char* paper_note;
+    };
+    const Exp exps[] = {
+        {AppKind::kSort, 100.0, "ephSSD",
+         "paper: ephSSD best runtime AND utility despite transfer legs"},
+        {AppKind::kJoin, 60.0, "persSSD",
+         "paper: persSSD best utility; objStore worst (GCS small-file overheads)"},
+        {AppKind::kGrep, 300.0, "objStore",
+         "paper: persSSD ~= objStore runtime; objStore utility +34.3%"},
+        {AppKind::kKMeans, 480.0, "persHDD",
+         "paper: persSSD ~= persHDD runtime; persHDD utility best"},
+    };
+
+    for (const Exp& e : exps) {
+        const auto job = bench::make_job(static_cast<int>(workload::app_index(e.app)) + 1,
+                                         e.app, e.gb);
+        std::array<core::TierRunResult, cloud::kTierCount> results;
+        for (StorageTier t : cloud::kAllTiers) {
+            results[cloud::tier_index(t)] = core::run_job_on_tier(cluster, catalog, job, t);
+        }
+        const double eph_utility =
+            results[cloud::tier_index(StorageTier::kEphemeralSsd)].utility;
+
+        std::cout << "Fig. 1 (" << workload::app_name(e.app) << " " << fmt(e.gb, 0)
+                  << " GB)  —  " << e.paper_note << "\n";
+        TextTable t({"tier", "download (s)", "processing (s)", "upload (s)", "total (s)",
+                     "cost ($)", "utility (norm. to ephSSD)"});
+        StorageTier best = StorageTier::kEphemeralSsd;
+        for (StorageTier tier : cloud::kAllTiers) {
+            const auto& r = results[cloud::tier_index(tier)];
+            if (r.utility > results[cloud::tier_index(best)].utility) best = tier;
+            t.add_row({std::string(cloud::tier_name(tier)),
+                       fmt(r.sim.phases.stage_in.value(), 0),
+                       fmt(r.sim.phases.processing().value(), 0),
+                       fmt(r.sim.phases.stage_out.value(), 0),
+                       fmt(r.sim.makespan.value(), 0), fmt(r.total_cost().value(), 2),
+                       fmt(r.utility / eph_utility, 2)});
+        }
+        t.print(std::cout);
+        std::cout << "best utility: " << cloud::tier_name(best) << " (paper: " << e.paper_best
+                  << ")\n\n";
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 3: tenant utility under data reuse patterns — no reuse, 7
+// re-accesses over 1 hour, 7 re-accesses over 1 week (§3.1.3).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/castpp.hpp"
+
+namespace {
+using namespace cast;
+using cloud::StorageTier;
+using workload::AppKind;
+using workload::ReusePattern;
+}  // namespace
+
+int main() {
+    bench::print_header("Figure 3: tenant utility under data reuse patterns", "Figure 3");
+    const auto models = bench::profile_models(cloud::ClusterSpec::paper_single_node());
+
+    struct Exp {
+        AppKind app;
+        double gb;
+        const char* paper_note;
+    };
+    const Exp exps[] = {
+        {AppKind::kSort, 100.0, "paper: 1-week reuse flips Sort to objStore"},
+        {AppKind::kJoin, 60.0, "paper: 1-hr reuse flips Join to ephSSD"},
+        {AppKind::kGrep, 300.0, "paper: 1-hr reuse flips Grep to ephSSD"},
+        {AppKind::kKMeans, 480.0, "paper: KMeans stays persHDD across patterns"},
+    };
+    const std::pair<const char*, ReusePattern> patterns[] = {
+        {"no reuse", ReusePattern::none()},
+        {"reuse-lifetime (1-hr)", ReusePattern::one_hour()},
+        {"reuse-lifetime (1-week)", ReusePattern::one_week()},
+    };
+
+    for (const Exp& e : exps) {
+        const auto job = bench::make_job(static_cast<int>(workload::app_index(e.app)) + 1,
+                                         e.app, e.gb);
+        std::cout << "Fig. 3 (" << workload::app_name(e.app) << " " << fmt(e.gb, 0)
+                  << " GB)  —  " << e.paper_note << "\n";
+        TextTable t({"pattern", "ephSSD", "persSSD", "persHDD", "objStore", "best"});
+        for (const auto& [name, pattern] : patterns) {
+            std::vector<std::string> row = {name};
+            double eph_u = 0.0;
+            StorageTier best = StorageTier::kEphemeralSsd;
+            double best_u = -1.0;
+            for (StorageTier tier : cloud::kAllTiers) {
+                const auto r = core::evaluate_reuse_scenario(models, job, tier, pattern);
+                if (tier == StorageTier::kEphemeralSsd) eph_u = r.utility;
+                if (r.utility > best_u) {
+                    best_u = r.utility;
+                    best = tier;
+                }
+                row.push_back(fmt(r.utility / eph_u, 2));  // normalized to ephSSD
+            }
+            row.push_back(std::string(cloud::tier_name(best)));
+            t.add_row(std::move(row));
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "(utilities normalized to ephSSD within each pattern, as in the paper)\n";
+    return 0;
+}

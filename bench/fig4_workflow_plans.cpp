@@ -1,0 +1,89 @@
+// Figure 4: four tiering plans for the 4-job search-log workflow and their
+// cost/runtime trade-offs against an 8,000 s deadline (§3.1.3).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/castpp.hpp"
+#include "core/deployer.hpp"
+
+namespace {
+using namespace cast;
+using cloud::StorageTier;
+}  // namespace
+
+int main() {
+    bench::print_header("Figure 4: workflow tiering plans, cost vs runtime", "Figure 4");
+    const auto cluster = cloud::ClusterSpec::paper_single_node();
+    const auto models = bench::profile_models(cluster);
+    // The paper's deadline is 8,000 s on its testbed; our simulated
+    // pipeline runs ~1.4x faster end-to-end, so the equivalent knife-edge
+    // deadline — between the hybrid plans and the single-service plans —
+    // is ~6,000 s.
+    const auto wf = workload::make_search_log_workflow(Seconds{6000.0});
+    core::WorkflowEvaluator evaluator(models, wf);
+
+    const std::size_t grep = wf.index_of(1);
+    const std::size_t pagerank = wf.index_of(2);
+    const std::size_t sort = wf.index_of(3);
+    const std::size_t join = wf.index_of(4);
+
+    auto plan_of = [&](StorageTier g, StorageTier p, StorageTier s, StorageTier j) {
+        core::WorkflowPlan plan = core::WorkflowPlan::uniform(4, g);
+        plan.decisions[grep] = {g, 1.0};
+        plan.decisions[pagerank] = {p, 1.0};
+        plan.decisions[sort] = {s, 1.0};
+        plan.decisions[join] = {j, 1.0};
+        return plan;
+    };
+
+    struct Candidate {
+        const char* name;
+        core::WorkflowPlan plan;
+    };
+    const Candidate candidates[] = {
+        {"(i) objStore", plan_of(StorageTier::kObjectStore, StorageTier::kObjectStore,
+                                 StorageTier::kObjectStore, StorageTier::kObjectStore)},
+        {"(ii) persSSD", plan_of(StorageTier::kPersistentSsd, StorageTier::kPersistentSsd,
+                                 StorageTier::kPersistentSsd, StorageTier::kPersistentSsd)},
+        {"(iii) objStore+ephSSD",
+         plan_of(StorageTier::kObjectStore, StorageTier::kObjectStore,
+                 StorageTier::kEphemeralSsd, StorageTier::kEphemeralSsd)},
+        {"(iv) objStore+ephSSD+persSSD",
+         plan_of(StorageTier::kObjectStore, StorageTier::kObjectStore,
+                 StorageTier::kEphemeralSsd, StorageTier::kPersistentSsd)},
+    };
+
+    core::Deployer deployer;
+    TextTable t({"plan", "modeled runtime (s)", "measured runtime (s)", "cost ($)",
+                 "meets deadline"});
+    for (const auto& c : candidates) {
+        const auto modeled = evaluator.evaluate(c.plan);
+        const auto dep = deployer.deploy_workflow(evaluator, c.plan);
+        t.add_row({c.name, fmt(modeled.total_runtime.value(), 0),
+                   fmt(dep.total_runtime.value(), 0), fmt(dep.total_cost().value(), 2),
+                   dep.met_deadline ? "yes" : "MISS"});
+    }
+    // And what the CAST++ workflow solver itself picks for this deadline.
+    core::AnnealingOptions solver_opts;
+    solver_opts.iter_max = 8000;
+    solver_opts.chains = 2;
+    core::WorkflowSolver solver(evaluator, solver_opts);
+    const auto solved = solver.solve();
+    const auto solved_dep = deployer.deploy_workflow(evaluator, solved.plan);
+    std::string solved_name = "CAST++ solver [";
+    for (std::size_t i = 0; i < wf.size(); ++i) {
+        if (i) solved_name += " ";
+        solved_name += cloud::tier_name(solved.plan.decisions[i].tier);
+    }
+    solved_name += "]";
+    t.add_row({solved_name, fmt(solved.evaluation.total_runtime.value(), 0),
+               fmt(solved_dep.total_runtime.value(), 0),
+               fmt(solved_dep.total_cost().value(), 2),
+               solved_dep.met_deadline ? "yes" : "MISS"});
+    t.print(std::cout);
+    std::cout << "\npaper: single-service plans (i)/(ii) miss the deadline at higher cost;\n"
+                 "hybrid plans meet it. (In this reproduction plan (iii) dominates (iv):\n"
+                 "pooling Sort+Join capacity on one fast tier beats splitting them —\n"
+                 "see EXPERIMENTS.md.)\n";
+    return 0;
+}

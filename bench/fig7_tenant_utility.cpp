@@ -1,0 +1,112 @@
+// Figure 7: the headline experiment. Tenant utility, cost/runtime, and
+// capacity distribution for eight storage configurations on the 100-job
+// Facebook-derived workload, 400-core cluster (§5.1).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/castpp.hpp"
+#include "core/deployer.hpp"
+#include "workload/facebook.hpp"
+
+namespace {
+using namespace cast;
+using cloud::StorageTier;
+
+struct Config {
+    std::string name;
+    core::TieringPlan plan;
+    bool reuse_aware = false;
+};
+}  // namespace
+
+int main() {
+    bench::print_header(
+        "Figure 7: tenant utility / cost / capacity mix across configurations",
+        "Figure 7 (a)-(c)");
+    const auto cluster = cloud::ClusterSpec::paper_400_core();
+    const auto models = bench::profile_models(cluster);
+    const auto workload = workload::synthesize_facebook_workload(42);
+    ThreadPool pool;
+
+    core::PlanEvaluator oblivious(models, workload, core::EvalOptions{.reuse_aware = false});
+    core::PlanEvaluator aware(models, workload, core::EvalOptions{.reuse_aware = true});
+    core::GreedySolver greedy(oblivious);
+
+    core::CastOptions cast_opts;
+    cast_opts.annealing.iter_max = 25000;
+    cast_opts.annealing.chains = 6;
+    cast_opts.annealing.seed = 2015;
+
+    std::vector<Config> configs;
+    for (StorageTier t : cloud::kAllTiers) {
+        configs.push_back({std::string(cloud::tier_name(t)) + " 100%",
+                           core::TieringPlan::uniform(workload.size(), t), false});
+    }
+    configs.push_back({"Greedy exact-fit",
+                       greedy.solve(core::GreedyOptions{.over_provision = false}), false});
+    configs.push_back({"Greedy over-prov",
+                       greedy.solve(core::GreedyOptions{.over_provision = true}), false});
+    const auto cast_result = core::plan_cast(models, workload, cast_opts, &pool);
+    configs.push_back({"CAST", cast_result.plan, false});
+    const auto castpp_result = core::plan_cast_plus_plus(models, workload, cast_opts, &pool);
+    configs.push_back({"CAST++", castpp_result.plan, true});
+
+    core::Deployer deployer;
+    struct Row {
+        std::string name;
+        core::WorkloadDeployment dep;
+    };
+    std::vector<Row> rows;
+    for (const auto& c : configs) {
+        const auto& evaluator = c.reuse_aware ? aware : oblivious;
+        rows.push_back({c.name, deployer.deploy(evaluator, c.plan)});
+    }
+
+    const double cast_utility = rows[6].dep.utility;
+
+    std::cout << "Fig. 7a/7b: normalized tenant utility, cost and runtime (measured on the "
+                 "simulated 400-core deployment)\n";
+    TextTable main_table({"configuration", "utility (norm. to CAST)", "cost ($)",
+                          "runtime (min)"});
+    for (const auto& r : rows) {
+        main_table.add_row({r.name, fmt_pct(r.dep.utility / cast_utility, 1),
+                            fmt(r.dep.total_cost().value(), 2),
+                            fmt(r.dep.total_runtime.minutes(), 1)});
+    }
+    main_table.print(std::cout);
+
+    std::cout << "\nFig. 7c: capacity breakdown per configuration\n";
+    TextTable caps_table({"configuration", "ephSSD", "persSSD", "persHDD", "objStore",
+                          "total (TB)"});
+    for (const auto& r : rows) {
+        const double total = r.dep.capacities.total().value();
+        std::vector<std::string> row = {r.name};
+        for (StorageTier t : cloud::kAllTiers) {
+            row.push_back(fmt_pct(r.dep.capacities.aggregate_of(t).value() / total, 0));
+        }
+        row.push_back(fmt(total / 1000.0, 2));
+        caps_table.add_row(std::move(row));
+    }
+    caps_table.print(std::cout);
+
+    // Headline numbers.
+    const double vs_best_nontiered =
+        rows[7].dep.utility /
+        std::max({rows[0].dep.utility, rows[1].dep.utility, rows[2].dep.utility,
+                  rows[3].dep.utility});
+    const double vs_eph_cost = 1.0 - rows[7].dep.total_cost().value() /
+                                         rows[0].dep.total_cost().value();
+    const double vs_eph_perf =
+        rows[0].dep.total_runtime.value() / rows[7].dep.total_runtime.value();
+    std::cout << "\nCAST++ vs best non-tiered config: utility x" << fmt(vs_best_nontiered, 2)
+              << " (paper: +33.7% .. +178% over non-tiered; +52.9% .. +211.8% incl. greedy)\n"
+              << "CAST++ vs local (ephSSD) config:   " << fmt(vs_eph_perf, 2)
+              << "x performance, " << fmt_pct(vs_eph_cost, 1)
+              << " cost reduction (paper abstract: 1.21x and 51.4%)\n"
+              << "CAST++ vs CAST:                    utility "
+              << fmt_pct(rows[7].dep.utility / rows[6].dep.utility - 1.0, 1)
+              << " (paper: +14.4%)\n"
+              << "\nCAST plan:   " << cast_result.plan.summarize() << "\nCAST++ plan: "
+              << castpp_result.plan.summarize() << "\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 8: accuracy of the REG capacity-scaling regression — predicted vs
+// observed runtime of a 16-job ~2 TB workload while varying the per-VM
+// persSSD capacity (§5.1.4; paper reports 7.9% average error).
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/deployer.hpp"
+#include "core/utility.hpp"
+#include "workload/facebook.hpp"
+
+namespace {
+using namespace cast;
+using cloud::StorageTier;
+}  // namespace
+
+int main() {
+    bench::print_header("Figure 8: predicted vs observed runtime (model accuracy)",
+                        "Figure 8");
+    const auto cluster = cloud::ClusterSpec::paper_400_core();
+    const auto catalog = cloud::StorageCatalog::google_cloud();
+    const auto models = bench::profile_models(cluster);
+    const auto workload = workload::synthesize_model_accuracy_workload(7);
+    std::cout << "workload: " << workload.size() << " jobs, "
+              << fmt(workload.total_input().value() / 1000.0, 2) << " TB total input\n\n";
+
+    TextTable t({"per-VM persSSD (GB)", "predicted (min)", "observed (min)", "error"});
+    double total_err = 0.0;
+    int points = 0;
+    for (double cap : {100.0, 200.0, 300.0, 400.0, 500.0}) {
+        // Everything on persSSD at a pinned per-VM capacity: predict with
+        // REG, then measure on the simulator.
+        double predicted_s = 0.0;
+        for (const auto& job : workload.jobs()) {
+            predicted_s +=
+                models.job_runtime(job, StorageTier::kPersistentSsd, GigaBytes{cap}).value();
+        }
+        sim::TierCapacities tc;
+        tc.set(StorageTier::kPersistentSsd, GigaBytes{cap});
+        sim::ClusterSim simulator(cluster, catalog, tc,
+                                  sim::SimOptions{.seed = 8, .jitter_sigma = 0.06});
+        double observed_s = 0.0;
+        for (const auto& job : workload.jobs()) {
+            observed_s +=
+                simulator.run_job(sim::JobPlacement::on_tier(job, StorageTier::kPersistentSsd))
+                    .makespan.value();
+        }
+        const double err = std::fabs(predicted_s - observed_s) / observed_s;
+        total_err += err;
+        ++points;
+        t.add_row({fmt(cap, 0), fmt(predicted_s / 60.0, 1), fmt(observed_s / 60.0, 1),
+                   fmt_pct(err, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "\naverage prediction error: " << fmt_pct(total_err / points, 1)
+              << " (paper: 7.9%)\n";
+    return 0;
+}

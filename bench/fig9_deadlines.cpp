@@ -1,0 +1,104 @@
+// Figure 9: workflow deadline miss rate and cost — four non-tiered
+// configurations vs basic CAST vs workflow-aware CAST++ on five workflows
+// (31 jobs, deadlines 15-40 min) (§5.2).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/castpp.hpp"
+#include "core/deployer.hpp"
+#include "workload/facebook.hpp"
+
+namespace {
+using namespace cast;
+using cloud::StorageTier;
+}  // namespace
+
+int main() {
+    bench::print_header("Figure 9: workflow deadline miss rate vs cost", "Figure 9");
+    const auto cluster = cloud::ClusterSpec::paper_400_core();
+    const auto models = bench::profile_models(cluster);
+    const auto workflows = workload::synthesize_deadline_workflows(11);
+    ThreadPool pool;
+    core::Deployer deployer;
+
+    struct Outcome {
+        double cost = 0.0;
+        int misses = 0;
+    };
+    auto deploy_uniform = [&](StorageTier tier) {
+        Outcome o;
+        for (const auto& wf : workflows) {
+            core::WorkflowEvaluator evaluator(models, wf);
+            // Non-tiered baselines provision the block tiers generously
+            // (the experiment convention of §3.1: ~500 GB volumes per VM),
+            // not at pathological exact fit.
+            core::WorkflowPlan plan = core::WorkflowPlan::uniform(wf.size(), tier);
+            double req = 0.0;
+            for (std::size_t i = 0; i < wf.size(); ++i) {
+                req += evaluator.job_requirement(plan, i).value();
+            }
+            const double k = std::max(
+                1.0, 500.0 * models.cluster().worker_count / std::max(req, 1.0));
+            for (auto& d : plan.decisions) d.overprovision = k;
+            const auto dep = deployer.deploy_workflow(evaluator, plan);
+            o.cost += dep.total_cost().value();
+            o.misses += dep.met_deadline ? 0 : 1;
+        }
+        return o;
+    };
+
+    // Basic CAST: utility-maximizing, dependency-oblivious — plan each
+    // workflow's jobs as a flat workload (no transfer accounting), then
+    // deploy with the real cross-tier transfers (§5.2.2's comparison).
+    auto deploy_cast = [&]() {
+        Outcome o;
+        core::CastOptions opts;
+        opts.annealing.iter_max = 12000;
+        opts.annealing.chains = 2;
+        for (const auto& wf : workflows) {
+            const workload::Workload flat(wf.jobs());
+            const auto planned = core::plan_cast(models, flat, opts, &pool);
+            core::WorkflowPlan wf_plan{planned.plan.decisions()};
+            core::WorkflowEvaluator evaluator(models, wf);
+            const auto dep = deployer.deploy_workflow(evaluator, wf_plan);
+            o.cost += dep.total_cost().value();
+            o.misses += dep.met_deadline ? 0 : 1;
+        }
+        return o;
+    };
+
+    // CAST++: per-workflow cost minimization under the deadline (Eq. 8-10).
+    auto deploy_castpp = [&]() {
+        Outcome o;
+        core::AnnealingOptions opts;
+        opts.iter_max = 25000;
+        opts.chains = 8;
+        for (const auto& wf : workflows) {
+            core::WorkflowEvaluator evaluator(models, wf);
+            core::WorkflowSolver solver(evaluator, opts);
+            const auto solved = solver.solve(&pool);
+            const auto dep = deployer.deploy_workflow(evaluator, solved.plan);
+            o.cost += dep.total_cost().value();
+            o.misses += dep.met_deadline ? 0 : 1;
+        }
+        return o;
+    };
+
+    TextTable t({"configuration", "cost ($)", "deadline misses", "miss rate",
+                 "paper miss rate"});
+    const int n = static_cast<int>(workflows.size());
+    auto add = [&](const std::string& name, Outcome o, const char* paper) {
+        t.add_row({name, fmt(o.cost, 2), std::to_string(o.misses),
+                   fmt_pct(static_cast<double>(o.misses) / n, 0), paper});
+    };
+    add("ephSSD 100%", deploy_uniform(StorageTier::kEphemeralSsd), "20%");
+    add("persSSD 100%", deploy_uniform(StorageTier::kPersistentSsd), "40%");
+    add("persHDD 100%", deploy_uniform(StorageTier::kPersistentHdd), "100%");
+    add("objStore 100%", deploy_uniform(StorageTier::kObjectStore), "100%");
+    add("CAST", deploy_cast(), "60%");
+    add("CAST++", deploy_castpp(), "0%");
+    t.print(std::cout);
+    std::cout << "\npaper: CAST++ meets every deadline at the lowest cost (comparable to\n"
+                 "persHDD, the cheapest-but-slowest tier, which misses all of them).\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+// Table 1: Google Cloud storage details — the catalog the planner uses,
+// plus a simulated fio/gsutil-style microbenchmark verifying the modeled
+// services deliver the published numbers.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/flow_engine.hpp"
+
+namespace {
+
+using namespace cast;
+using cloud::StorageCatalog;
+using cloud::StorageTier;
+
+/// Simulated single-volume streaming measurement ("fio"/"gsutil"): one
+/// saturating flow through the service's bandwidth pool.
+double measured_stream_mbps(const cloud::StorageService& service, double capacity_gb) {
+    sim::FlowEngine engine;
+    const auto perf = service.performance(GigaBytes{capacity_gb});
+    const auto pool = engine.add_resource(perf.read_bw);
+    const double demand_mb = 10'000.0;
+    (void)engine.start_flow(pool, demand_mb, 1e12);
+    while (!engine.advance().empty()) {
+    }
+    return demand_mb / engine.now().value();
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Table 1: Google Cloud storage details", "Table 1");
+    const StorageCatalog catalog = StorageCatalog::google_cloud();
+
+    TextTable table({"Storage type", "Capacity (GB/volume)", "Throughput (MB/s)",
+                     "Measured (MB/s)", "IOPS (4KB)", "Cost ($/month)"});
+
+    struct Row {
+        StorageTier tier;
+        double capacity;
+    };
+    const Row rows[] = {
+        {StorageTier::kEphemeralSsd, 375.0},  {StorageTier::kPersistentSsd, 100.0},
+        {StorageTier::kPersistentSsd, 250.0}, {StorageTier::kPersistentSsd, 500.0},
+        {StorageTier::kPersistentHdd, 100.0}, {StorageTier::kPersistentHdd, 250.0},
+        {StorageTier::kPersistentHdd, 500.0}, {StorageTier::kObjectStore, 0.0},
+    };
+    for (const Row& r : rows) {
+        const auto& svc = catalog.service(r.tier);
+        const auto perf = svc.performance(GigaBytes{r.capacity});
+        const bool unlimited = r.tier == StorageTier::kObjectStore;
+        const double monthly = unlimited ? svc.price_per_gb_month().value()
+                                         : svc.price_per_gb_month().value() * r.capacity;
+        table.add_row({std::string(cloud::tier_name(r.tier)),
+                       unlimited ? "N/A" : fmt(r.capacity, 0),
+                       fmt(perf.read_bw.value(), 0),
+                       fmt(measured_stream_mbps(svc, r.capacity), 0),
+                       fmt(perf.iops.value(), 0),
+                       unlimited ? fmt(monthly, 3) + "/GB" : fmt(monthly, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nProvisioning rules: ephSSD = whole 375 GB volumes, max 4/VM;\n"
+                 "persSSD/persHDD up to 10,240 GB/volume (perf scales with size,\n"
+                 "read ceilings 250 / 180 MB/s per VM); objStore unlimited, "
+              << fmt(catalog.service(StorageTier::kObjectStore).request_overhead().value(), 2)
+              << " s/object request overhead.\n";
+    return 0;
+}

@@ -1,0 +1,40 @@
+// Table 4: distribution of job sizes in the Facebook traces and the
+// synthesized 100-job evaluation workload (§5.1.1).
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "workload/facebook.hpp"
+
+int main() {
+    using namespace cast;
+    bench::print_header("Table 4: Facebook trace bins and synthesized workload", "Table 4");
+
+    TextTable t({"Bin", "# Maps at Facebook", "% Jobs at Facebook", "% Data at Facebook",
+                 "# Maps in workload", "# Jobs in workload"});
+    for (const auto& b : workload::facebook_bins()) {
+        std::string fb_range = b.fb_maps_lo == b.fb_maps_hi
+                                   ? std::to_string(b.fb_maps_lo)
+                                   : std::to_string(b.fb_maps_lo) + "-" +
+                                         std::to_string(b.fb_maps_hi);
+        t.add_row({std::to_string(b.bin), fb_range,
+                   b.fb_jobs_fraction > 0 ? fmt_pct(b.fb_jobs_fraction, 0) : "-",
+                   b.fb_data_fraction > 0 ? fmt_pct(b.fb_data_fraction, 1) : "-",
+                   std::to_string(b.workload_maps), std::to_string(b.workload_jobs)});
+    }
+    t.print(std::cout);
+
+    const auto w = workload::synthesize_facebook_workload(42);
+    std::map<std::string, int> apps;
+    int sharing = 0;
+    for (const auto& j : w.jobs()) {
+        apps[std::string(workload::app_name(j.app))]++;
+        sharing += j.reuse_group.has_value() ? 1 : 0;
+    }
+    std::cout << "\nSynthesized workload: " << w.size() << " jobs, "
+              << fmt(w.total_input().value() / 1000.0, 2) << " TB total input, " << sharing
+              << "% of jobs share input (paper: 15%).\nApp mix:";
+    for (const auto& [name, n] : apps) std::cout << " " << name << "=" << n;
+    std::cout << "\n";
+    return 0;
+}

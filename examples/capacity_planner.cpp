@@ -1,0 +1,82 @@
+// Capacity planner: a what-if tool for a single recurring job.
+//
+// Answers the tenant question of §3.1.2-§3.1.3 interactively: "for THIS
+// job, which storage service should hold the data, how much capacity
+// should I provision, and how does the answer change if I re-run the job
+// over a retention window?" Prints a per-tier sweep of capacity vs
+// runtime/cost plus the reuse-pattern recommendation.
+//
+// Run:  ./build/examples/capacity_planner [app] [input-GB] [accesses] [lifetime-hours]
+//       e.g. ./build/examples/capacity_planner Sort 200 7 24
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/castpp.hpp"
+#include "model/profiler.hpp"
+
+using namespace cast;
+
+int main(int argc, char** argv) {
+    const std::string app_name_arg = argc > 1 ? argv[1] : "Sort";
+    const double input_gb = argc > 2 ? std::atof(argv[2]) : 200.0;
+    const int accesses = argc > 3 ? std::atoi(argv[3]) : 7;
+    const double lifetime_h = argc > 4 ? std::atof(argv[4]) : 24.0;
+
+    const auto app = workload::app_from_name(app_name_arg);
+    if (!app) {
+        std::cerr << "unknown application '" << app_name_arg
+                  << "' (expected Sort/Join/Grep/KMeans/PageRank)\n";
+        return 1;
+    }
+    const int maps = std::max(1, static_cast<int>(input_gb / 0.128));
+    const workload::JobSpec job{.id = 1,
+                                .name = app_name_arg,
+                                .app = *app,
+                                .input = GigaBytes{input_gb},
+                                .map_tasks = maps,
+                                .reduce_tasks = std::max(1, maps / 4),
+                                .reuse_group = std::nullopt};
+
+    cloud::ClusterSpec cluster = cloud::ClusterSpec::paper_single_node();
+    cluster.worker_count = 5;
+    ThreadPool pool;
+    const model::PerfModelSet models =
+        model::Profiler(cluster, cloud::StorageCatalog::google_cloud()).profile(&pool);
+
+    std::cout << "capacity sweep for one run of " << job.name << " (" << job.input
+              << ") on 5 workers:\n";
+    TextTable sweep({"tier", "per-VM capacity (GB)", "est. runtime (min)", "note"});
+    for (cloud::StorageTier tier :
+         {cloud::StorageTier::kPersistentSsd, cloud::StorageTier::kPersistentHdd}) {
+        for (double cap : {100.0, 250.0, 500.0, 1000.0}) {
+            const Seconds t = models.job_runtime(job, tier, GigaBytes{cap});
+            sweep.add_row({std::string(cloud::tier_name(tier)), fmt(cap, 0),
+                           fmt(t.minutes(), 1),
+                           cap * 0.468 > 250.0 && tier == cloud::StorageTier::kPersistentSsd
+                               ? "past bandwidth ceiling"
+                               : ""});
+        }
+    }
+    sweep.print(std::cout);
+
+    const workload::ReusePattern pattern{accesses, Seconds::from_hours(lifetime_h)};
+    std::cout << "\nreuse scenario: " << accesses << " accesses over " << lifetime_h
+              << " h\n";
+    TextTable reuse({"tier", "per-access runtime (min)", "total cost ($)", "utility"});
+    cloud::StorageTier best = cloud::StorageTier::kEphemeralSsd;
+    double best_u = -1.0;
+    for (cloud::StorageTier tier : cloud::kAllTiers) {
+        const auto r = core::evaluate_reuse_scenario(models, job, tier, pattern);
+        if (r.utility > best_u) {
+            best_u = r.utility;
+            best = tier;
+        }
+        reuse.add_row({std::string(cloud::tier_name(tier)),
+                       fmt(r.total_runtime.minutes() / accesses, 1),
+                       fmt(r.total_cost().value(), 2), fmt(r.utility, 5)});
+    }
+    reuse.print(std::cout);
+    std::cout << "\nrecommendation: keep this dataset on " << cloud::tier_name(best) << "\n";
+    return 0;
+}

@@ -1,0 +1,114 @@
+// Compute-side cloud model: machine types and cluster specifications.
+//
+// CAST's cost model (Eq. 5) charges for the VMs over the whole workload
+// makespan; its runtime model (Eq. 1) needs the per-node map/reduce slot
+// counts. This header captures both, with the two Google Cloud machine
+// types the paper uses.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace cast::cloud {
+
+/// One VM flavour (e.g. n1-standard-16).
+struct MachineType {
+    std::string name;
+    int vcpus = 0;
+    double memory_gb = 0.0;
+    /// Hadoop slots configured on this flavour (the paper's testbed runs
+    /// one slot per two vCPUs for each of map and reduce, the stock
+    /// heuristic for Hadoop 1.x on 16-vCPU nodes).
+    int map_slots = 0;
+    int reduce_slots = 0;
+    Dollars price_per_hour;
+    /// Effective per-VM throughput of the Hadoop shuffle path (parallel
+    /// fetch + merge over the virtual NIC). Far below the nominal NIC
+    /// rate for 2015-era Hadoop 1.x; this is why multi-node shuffles are
+    /// framework-bound rather than storage-bound (§3.1.2's "other parts of
+    /// the MapReduce framework"). Irrelevant on single-node clusters where
+    /// the shuffle is local.
+    MBytesPerSec shuffle_network_bw{140.0};
+
+    [[nodiscard]] Dollars price_per_minute() const {
+        return Dollars{price_per_hour.value() / 60.0};
+    }
+
+    void validate() const {
+        CAST_EXPECTS(vcpus > 0);
+        CAST_EXPECTS(map_slots > 0);
+        CAST_EXPECTS(reduce_slots > 0);
+        CAST_EXPECTS(price_per_hour.value() >= 0.0);
+        CAST_EXPECTS(shuffle_network_bw.value() > 0.0);
+    }
+
+    /// The paper's 16-vCPU slave flavour (GCE list price, Jan 2015).
+    [[nodiscard]] static MachineType n1_standard_16() {
+        return MachineType{.name = "n1-standard-16",
+                           .vcpus = 16,
+                           .memory_gb = 60.0,
+                           .map_slots = 8,
+                           .reduce_slots = 8,
+                           .price_per_hour = Dollars{0.836}};
+    }
+
+    /// The paper's 4-vCPU master flavour.
+    [[nodiscard]] static MachineType n1_standard_4() {
+        return MachineType{.name = "n1-standard-4",
+                           .vcpus = 4,
+                           .memory_gb = 15.0,
+                           .map_slots = 2,
+                           .reduce_slots = 2,
+                           .price_per_hour = Dollars{0.209}};
+    }
+};
+
+/// A homogeneous analytics cluster: one master plus `worker_count` slaves.
+/// (The paper fixes a single slave VM type; heterogeneous VM mixes are
+/// explicitly future work in §4.2.1 footnote 3.)
+struct ClusterSpec {
+    MachineType worker = MachineType::n1_standard_16();
+    MachineType master = MachineType::n1_standard_4();
+    int worker_count = 1;
+
+    void validate() const {
+        worker.validate();
+        master.validate();
+        CAST_EXPECTS(worker_count > 0);
+    }
+
+    [[nodiscard]] int total_map_slots() const { return worker_count * worker.map_slots; }
+    [[nodiscard]] int total_reduce_slots() const { return worker_count * worker.reduce_slots; }
+    [[nodiscard]] int total_worker_vcpus() const { return worker_count * worker.vcpus; }
+
+    /// Combined master+workers price per minute (Eq. 5's price_vm).
+    [[nodiscard]] Dollars price_per_minute() const {
+        return Dollars{worker.price_per_minute().value() * worker_count +
+                       master.price_per_minute().value()};
+    }
+
+    /// The paper's evaluation cluster: 400 worker cores = 25 x 16 vCPUs.
+    [[nodiscard]] static ClusterSpec paper_400_core() {
+        return ClusterSpec{.worker = MachineType::n1_standard_16(),
+                           .master = MachineType::n1_standard_4(),
+                           .worker_count = 25};
+    }
+
+    /// The single-slave setup of the §3 characterization experiments.
+    [[nodiscard]] static ClusterSpec paper_single_node() {
+        return ClusterSpec{.worker = MachineType::n1_standard_16(),
+                           .master = MachineType::n1_standard_4(),
+                           .worker_count = 1};
+    }
+
+    /// The 10-VM cluster of Fig. 2.
+    [[nodiscard]] static ClusterSpec paper_10_node() {
+        return ClusterSpec{.worker = MachineType::n1_standard_16(),
+                           .master = MachineType::n1_standard_4(),
+                           .worker_count = 10};
+    }
+};
+
+}  // namespace cast::cloud

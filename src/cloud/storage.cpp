@@ -1,0 +1,342 @@
+#include "cloud/storage.hpp"
+
+#include <cmath>
+
+#include "common/spline.hpp"
+
+namespace cast::cloud {
+
+std::string_view tier_name(StorageTier t) {
+    switch (t) {
+        case StorageTier::kEphemeralSsd: return "ephSSD";
+        case StorageTier::kPersistentSsd: return "persSSD";
+        case StorageTier::kPersistentHdd: return "persHDD";
+        case StorageTier::kObjectStore: return "objStore";
+    }
+    CAST_ENSURES_MSG(false, "unreachable: bad StorageTier");
+}
+
+std::optional<StorageTier> tier_from_name(std::string_view name) {
+    for (StorageTier t : kAllTiers) {
+        if (tier_name(t) == name) return t;
+    }
+    return std::nullopt;
+}
+
+namespace {
+
+using literals::operator""_GB;
+
+/// VM-local ephemeral SSD: fixed-size volumes, bounded count per VM, not
+/// persistent.
+class EphemeralSsdService final : public StorageService {
+public:
+    struct Params {
+        std::string description;
+        Dollars price_per_gb_month;
+        double volume_gb;
+        int max_volumes;
+        double volume_mbps;
+        double volume_iops;
+    };
+
+    explicit EphemeralSsdService(Params p)
+        : StorageService(StorageTier::kEphemeralSsd, p.description,
+                         /*persistent=*/false, p.price_per_gb_month),
+          params_(std::move(p)) {
+        CAST_EXPECTS(params_.volume_gb > 0.0);
+        CAST_EXPECTS(params_.max_volumes >= 1);
+        CAST_EXPECTS(params_.volume_mbps > 0.0);
+    }
+
+    [[nodiscard]] GigaBytes provision(GigaBytes requested) const override {
+        CAST_EXPECTS(requested.value() >= 0.0);
+        const int volumes =
+            std::max(1, static_cast<int>(std::ceil(requested.value() / params_.volume_gb)));
+        if (volumes > params_.max_volumes) {
+            throw ValidationError("ephSSD: requested " + std::to_string(requested.value()) +
+                                  " GB/VM exceeds " + std::to_string(params_.max_volumes) +
+                                  " x " + std::to_string(params_.volume_gb) +
+                                  " GB volumes");
+        }
+        return GigaBytes{volumes * params_.volume_gb};
+    }
+
+    [[nodiscard]] std::optional<GigaBytes> max_capacity_per_vm() const override {
+        return GigaBytes{params_.max_volumes * params_.volume_gb};
+    }
+
+    [[nodiscard]] TierPerformance performance(GigaBytes provisioned) const override {
+        const int volumes = std::clamp(
+            static_cast<int>(std::llround(provisioned.value() / params_.volume_gb)), 1,
+            params_.max_volumes);
+        return TierPerformance{
+            .read_bw = MBytesPerSec{params_.volume_mbps * volumes},
+            .write_bw = MBytesPerSec{params_.volume_mbps * volumes},
+            .iops = Iops{params_.volume_iops * volumes},
+        };
+    }
+
+private:
+    Params params_;
+};
+
+/// Network-attached persistent block storage (SSD or HDD flavour). The
+/// throughput/IOPS samples come straight from Table 1; between and beyond
+/// those points Google scales performance linearly with capacity until a
+/// per-VM ceiling imposed by the VM's network egress allocation (the
+/// documented 2015-era ceilings were ~400 MB/s for persSSD and ~180 MB/s
+/// for persHDD on 16-vCPU machines; Fig. 2's flattening past ~200 GB/VM
+/// reflects the framework, not these ceilings).
+class PersistentBlockService final : public StorageService {
+public:
+    struct Params {
+        StorageTier tier;
+        std::string description;
+        Dollars price_per_gb_month;
+        // Table 1 sample points: capacity (GB) -> (MB/s, IOPS).
+        std::array<double, 3> cap_gb;
+        std::array<double, 3> mbps;
+        std::array<double, 3> iops;
+        double bw_ceiling_mbps;
+        double iops_ceiling;
+        double max_volume_gb;
+    };
+
+    explicit PersistentBlockService(Params p)
+        : StorageService(p.tier, std::move(p.description), /*persistent=*/true,
+                         p.price_per_gb_month),
+          params_(p) {
+        // Extend the Table 1 samples with the origin and the linear
+        // continuation up to the per-VM ceiling, then interpolate with the
+        // same monotone spline family the paper uses for REG.
+        const double slope = p.mbps[2] / p.cap_gb[2];
+        const double ceiling_cap = p.bw_ceiling_mbps / slope;
+        const std::array<double, 5> xs = {0.0, p.cap_gb[0], p.cap_gb[1], p.cap_gb[2],
+                                          ceiling_cap};
+        const std::array<double, 5> bw_ys = {0.0, p.mbps[0], p.mbps[1], p.mbps[2],
+                                             p.bw_ceiling_mbps};
+        const double iops_slope = p.iops[2] / p.cap_gb[2];
+        const std::array<double, 5> iops_ys = {0.0, p.iops[0], p.iops[1], p.iops[2],
+                                               iops_slope * ceiling_cap};
+        bw_curve_ = CubicHermiteSpline(xs, bw_ys);
+        iops_curve_ = CubicHermiteSpline(xs, iops_ys);
+    }
+
+    [[nodiscard]] GigaBytes provision(GigaBytes requested) const override {
+        CAST_EXPECTS(requested.value() >= 0.0);
+        // Volumes are provisioned in whole GB with a 10 GB provider minimum.
+        const double gb = std::max(10.0, std::ceil(requested.value()));
+        if (gb > params_.max_volume_gb) {
+            throw ValidationError(std::string(tier_name(tier())) + ": requested " +
+                                  std::to_string(requested.value()) +
+                                  " GB/VM exceeds the 10,240 GB volume limit");
+        }
+        return GigaBytes{gb};
+    }
+
+    [[nodiscard]] std::optional<GigaBytes> max_capacity_per_vm() const override {
+        return GigaBytes{params_.max_volume_gb};
+    }
+
+    [[nodiscard]] TierPerformance performance(GigaBytes provisioned) const override {
+        const double c = provisioned.value();
+        const double bw = std::min(bw_curve_(c), params_.bw_ceiling_mbps);
+        const double io = std::min(iops_curve_(c), params_.iops_ceiling);
+        return TierPerformance{
+            .read_bw = MBytesPerSec{bw},
+            .write_bw = MBytesPerSec{bw},
+            .iops = Iops{io},
+        };
+    }
+
+private:
+    Params params_;
+    CubicHermiteSpline bw_curve_;
+    CubicHermiteSpline iops_curve_;
+};
+
+/// RESTful object storage: unlimited capacity, flat per-VM streaming
+/// bandwidth, a fixed per-object request overhead through the provider's
+/// Hadoop connector, and bucket-level aggregate ceilings.
+class ObjectStoreService final : public StorageService {
+public:
+    struct Params {
+        std::string description;
+        Dollars price_per_gb_month;
+        double stream_mbps;
+        double iops;
+        double request_overhead_sec;
+        // Bucket-level aggregate ceilings (2015-era object stores): reads
+        // fan out well but saturate per bucket; writes (commit +
+        // replication) saturate much earlier. These are what keep an
+        // all-ephemeral cluster -- which funnels every byte through the
+        // object store twice -- from dominating (Fig. 7's ephSSD-100%
+        // penalty).
+        double aggregate_read_mbps;
+        double aggregate_write_mbps;
+    };
+
+    explicit ObjectStoreService(Params p)
+        : StorageService(StorageTier::kObjectStore, p.description,
+                         /*persistent=*/true, p.price_per_gb_month),
+          params_(std::move(p)) {
+        CAST_EXPECTS(params_.stream_mbps > 0.0);
+        CAST_EXPECTS(params_.aggregate_read_mbps > 0.0);
+        CAST_EXPECTS(params_.aggregate_write_mbps > 0.0);
+        CAST_EXPECTS(params_.request_overhead_sec >= 0.0);
+    }
+
+    [[nodiscard]] GigaBytes provision(GigaBytes requested) const override {
+        CAST_EXPECTS(requested.value() >= 0.0);
+        return requested;  // pay-per-GB, no rounding, no limit
+    }
+
+    [[nodiscard]] std::optional<GigaBytes> max_capacity_per_vm() const override {
+        return std::nullopt;
+    }
+
+    [[nodiscard]] TierPerformance performance(GigaBytes /*provisioned*/) const override {
+        return TierPerformance{
+            .read_bw = MBytesPerSec{params_.stream_mbps},
+            .write_bw = MBytesPerSec{params_.stream_mbps},
+            .iops = Iops{params_.iops},
+        };
+    }
+
+    [[nodiscard]] MBytesPerSec cluster_read_bw(GigaBytes /*provisioned_per_vm*/,
+                                               int worker_count) const override {
+        CAST_EXPECTS(worker_count >= 1);
+        return MBytesPerSec{
+            std::min(params_.stream_mbps * worker_count, params_.aggregate_read_mbps)};
+    }
+
+    [[nodiscard]] MBytesPerSec cluster_write_bw(GigaBytes /*provisioned_per_vm*/,
+                                                int worker_count) const override {
+        CAST_EXPECTS(worker_count >= 1);
+        return MBytesPerSec{
+            std::min(params_.stream_mbps * worker_count, params_.aggregate_write_mbps)};
+    }
+
+    [[nodiscard]] Seconds request_overhead() const override {
+        return Seconds{params_.request_overhead_sec};
+    }
+
+private:
+    Params params_;
+};
+
+}  // namespace
+
+StorageCatalog StorageCatalog::google_cloud() {
+    StorageCatalog catalog;
+    catalog.name_ = "google-cloud";
+    catalog.services_[tier_index(StorageTier::kEphemeralSsd)] =
+        std::make_shared<EphemeralSsdService>(EphemeralSsdService::Params{
+            .description = "VM-local ephemeral SSD",
+            .price_per_gb_month = Dollars{0.218},
+            .volume_gb = 375.0,
+            .max_volumes = 4,
+            .volume_mbps = 733.0,
+            .volume_iops = 100'000.0,
+        });
+    catalog.services_[tier_index(StorageTier::kPersistentSsd)] =
+        std::make_shared<PersistentBlockService>(PersistentBlockService::Params{
+            .tier = StorageTier::kPersistentSsd,
+            .description = "network-attached persistent SSD",
+            .price_per_gb_month = Dollars{0.17},
+            .cap_gb = {100.0, 250.0, 500.0},
+            .mbps = {48.0, 118.0, 234.0},
+            .iops = {3000.0, 7500.0, 15000.0},
+            // GCE's 2015-era documented per-instance persSSD read ceiling
+            // (~240-250 MB/s); this is why Fig. 2's curve flattens.
+            .bw_ceiling_mbps = 250.0,
+            .iops_ceiling = 25000.0,
+            .max_volume_gb = 10240.0,
+        });
+    catalog.services_[tier_index(StorageTier::kPersistentHdd)] =
+        std::make_shared<PersistentBlockService>(PersistentBlockService::Params{
+            .tier = StorageTier::kPersistentHdd,
+            .description = "network-attached persistent HDD",
+            .price_per_gb_month = Dollars{0.04},
+            .cap_gb = {100.0, 250.0, 500.0},
+            .mbps = {20.0, 45.0, 97.0},
+            .iops = {150.0, 375.0, 750.0},
+            .bw_ceiling_mbps = 180.0,
+            .iops_ceiling = 3000.0,
+            .max_volume_gb = 10240.0,
+        });
+    catalog.services_[tier_index(StorageTier::kObjectStore)] =
+        std::make_shared<ObjectStoreService>(ObjectStoreService::Params{
+            .description = "RESTful object storage (GCS)",
+            .price_per_gb_month = Dollars{0.026},
+            .stream_mbps = 265.0,
+            .iops = 550.0,
+            .request_overhead_sec = 0.5,
+            .aggregate_read_mbps = 1200.0,
+            .aggregate_write_mbps = 500.0,
+        });
+    return catalog;
+}
+
+StorageCatalog StorageCatalog::aws_like() {
+    // 2015-era AWS public numbers, approximated: i2-family instance store,
+    // EBS General Purpose (gp2, 3 IOPS/GB, 160 MB/s ceiling), EBS Magnetic,
+    // and S3. EBS bandwidth scaling comes from RAID-0 striping multiple
+    // volumes, which nets out to roughly capacity-proportional throughput
+    // like GCE persistent disks.
+    StorageCatalog catalog;
+    catalog.name_ = "aws-like";
+    catalog.services_[tier_index(StorageTier::kEphemeralSsd)] =
+        std::make_shared<EphemeralSsdService>(EphemeralSsdService::Params{
+            .description = "instance-store SSD (i2-style)",
+            .price_per_gb_month = Dollars{0.11},
+            .volume_gb = 800.0,
+            .max_volumes = 2,
+            .volume_mbps = 400.0,
+            .volume_iops = 40'000.0,
+        });
+    catalog.services_[tier_index(StorageTier::kPersistentSsd)] =
+        std::make_shared<PersistentBlockService>(PersistentBlockService::Params{
+            .tier = StorageTier::kPersistentSsd,
+            .description = "EBS General Purpose SSD (gp2, striped)",
+            .price_per_gb_month = Dollars{0.10},
+            .cap_gb = {100.0, 250.0, 500.0},
+            .mbps = {31.0, 78.0, 156.0},
+            .iops = {300.0, 750.0, 1500.0},
+            .bw_ceiling_mbps = 160.0,
+            .iops_ceiling = 10000.0,
+            .max_volume_gb = 16384.0,
+        });
+    catalog.services_[tier_index(StorageTier::kPersistentHdd)] =
+        std::make_shared<PersistentBlockService>(PersistentBlockService::Params{
+            .tier = StorageTier::kPersistentHdd,
+            .description = "EBS Magnetic (striped)",
+            .price_per_gb_month = Dollars{0.05},
+            .cap_gb = {100.0, 250.0, 500.0},
+            .mbps = {12.0, 30.0, 60.0},
+            .iops = {100.0, 100.0, 100.0},
+            .bw_ceiling_mbps = 120.0,
+            .iops_ceiling = 200.0,
+            .max_volume_gb = 1024.0,
+        });
+    catalog.services_[tier_index(StorageTier::kObjectStore)] =
+        std::make_shared<ObjectStoreService>(ObjectStoreService::Params{
+            .description = "S3 object storage",
+            .price_per_gb_month = Dollars{0.03},
+            .stream_mbps = 180.0,
+            .iops = 300.0,
+            .request_overhead_sec = 0.6,
+            .aggregate_read_mbps = 1000.0,
+            .aggregate_write_mbps = 400.0,
+        });
+    return catalog;
+}
+
+StorageCatalog StorageCatalog::by_name(std::string_view name) {
+    if (name == "google-cloud") return google_cloud();
+    if (name == "aws-like") return aws_like();
+    throw ValidationError("unknown storage catalog: " + std::string(name));
+}
+
+}  // namespace cast::cloud

@@ -1,0 +1,109 @@
+// Contract-checking and error-reporting helpers used across the library.
+//
+// Follows the C++ Core Guidelines I.6/I.8 style: preconditions and
+// postconditions are checked with Expects/Ensures-like macros that throw a
+// typed exception carrying the failed expression and source location. We
+// throw rather than abort so that library users (and the test suite) can
+// observe and recover from contract violations.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cast {
+
+/// Thrown when a CAST_EXPECTS precondition fails.
+class PreconditionError : public std::logic_error {
+public:
+    explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a CAST_ENSURES postcondition or internal invariant fails.
+class InvariantError : public std::logic_error {
+public:
+    explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an input (configuration, workload spec, plan) is semantically
+/// invalid in a way the caller could have avoided.
+class ValidationError : public std::invalid_argument {
+public:
+    explicit ValidationError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail_precondition(std::string_view expr,
+                                                    std::string_view msg,
+                                                    const std::source_location& loc) {
+    std::string what = "precondition failed: ";
+    what += expr;
+    if (!msg.empty()) {
+        what += " (";
+        what += msg;
+        what += ")";
+    }
+    what += " at ";
+    what += loc.file_name();
+    what += ":";
+    what += std::to_string(loc.line());
+    throw PreconditionError(what);
+}
+
+[[noreturn]] inline void contract_fail_invariant(std::string_view expr,
+                                                 std::string_view msg,
+                                                 const std::source_location& loc) {
+    std::string what = "invariant failed: ";
+    what += expr;
+    if (!msg.empty()) {
+        what += " (";
+        what += msg;
+        what += ")";
+    }
+    what += " at ";
+    what += loc.file_name();
+    what += ":";
+    what += std::to_string(loc.line());
+    throw InvariantError(what);
+}
+
+}  // namespace detail
+}  // namespace cast
+
+/// Precondition check: throws cast::PreconditionError on failure.
+#define CAST_EXPECTS(cond)                                                               \
+    do {                                                                                 \
+        if (!(cond)) {                                                                   \
+            ::cast::detail::contract_fail_precondition(#cond, "",                        \
+                                                       std::source_location::current()); \
+        }                                                                                \
+    } while (false)
+
+/// Precondition check with an explanatory message.
+#define CAST_EXPECTS_MSG(cond, msg)                                                       \
+    do {                                                                                  \
+        if (!(cond)) {                                                                    \
+            ::cast::detail::contract_fail_precondition(#cond, (msg),                      \
+                                                       std::source_location::current());  \
+        }                                                                                 \
+    } while (false)
+
+/// Postcondition / invariant check: throws cast::InvariantError on failure.
+#define CAST_ENSURES(cond)                                                             \
+    do {                                                                               \
+        if (!(cond)) {                                                                 \
+            ::cast::detail::contract_fail_invariant(#cond, "",                         \
+                                                    std::source_location::current());  \
+        }                                                                              \
+    } while (false)
+
+/// Postcondition / invariant check with an explanatory message.
+#define CAST_ENSURES_MSG(cond, msg)                                                    \
+    do {                                                                               \
+        if (!(cond)) {                                                                 \
+            ::cast::detail::contract_fail_invariant(#cond, (msg),                      \
+                                                    std::source_location::current());  \
+        }                                                                              \
+    } while (false)

@@ -1,0 +1,157 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic component in the library (trace synthesis, task jitter,
+// annealing moves) takes an explicit seed so that simulations and solver
+// runs are exactly reproducible. We use xoshiro256** — fast, tiny state,
+// and identical output on every platform, unlike std::mt19937 whose
+// distributions are implementation-defined. Distribution sampling below is
+// hand-rolled for the same reason.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "common/error.hpp"
+
+namespace cast {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+public:
+    constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    constexpr std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256** generator (Blackman & Vigna). Satisfies
+/// std::uniform_random_bit_generator.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    constexpr explicit Rng(std::uint64_t seed = 0x9d2c5680cafef00dULL) {
+        SplitMix64 sm(seed);
+        for (auto& s : state_) s = sm.next();
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+    constexpr result_type operator()() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) {
+        CAST_EXPECTS(lo <= hi);
+        return lo + (hi - lo) * uniform();
+    }
+
+    /// Uniform integer in [0, n). n must be positive.
+    std::uint64_t below(std::uint64_t n) {
+        CAST_EXPECTS(n > 0);
+        // Lemire's nearly-divisionless bounded sampling (rejection keeps it
+        // exactly uniform).
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * n;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < n) {
+            const std::uint64_t threshold = (0 - n) % n;
+            while (lo < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * n;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t between(std::int64_t lo, std::int64_t hi) {
+        CAST_EXPECTS(lo <= hi);
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /// Standard normal via Marsaglia polar method (deterministic across
+    /// platforms, unlike std::normal_distribution).
+    double normal() {
+        if (has_spare_) {
+            has_spare_ = false;
+            return spare_;
+        }
+        double u, v, s;
+        do {
+            u = uniform(-1.0, 1.0);
+            v = uniform(-1.0, 1.0);
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        const double mul = std::sqrt(-2.0 * std::log(s) / s);
+        spare_ = v * mul;
+        has_spare_ = true;
+        return u * mul;
+    }
+
+    /// Normal with the given mean / stddev.
+    double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+    /// Log-normal multiplicative jitter with unit median; sigma is the
+    /// stddev of the underlying normal. Used for per-task runtime noise.
+    double lognormal_jitter(double sigma) { return std::exp(sigma * normal()); }
+
+    /// Sample an index according to non-negative weights (need not sum to 1).
+    std::size_t weighted_index(std::span<const double> weights) {
+        CAST_EXPECTS(!weights.empty());
+        double total = 0.0;
+        for (double w : weights) {
+            CAST_EXPECTS(w >= 0.0);
+            total += w;
+        }
+        CAST_EXPECTS_MSG(total > 0.0, "all weights are zero");
+        double r = uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            r -= weights[i];
+            if (r < 0.0) return i;
+        }
+        return weights.size() - 1;  // numeric edge: r landed exactly on total
+    }
+
+    /// Derive an independent child generator; `stream` distinguishes children
+    /// of the same parent deterministically.
+    Rng fork(std::uint64_t stream) {
+        return Rng((*this)() ^ (stream * 0x9e3779b97f4a7c15ULL + 0x42ULL));
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+    bool has_spare_ = false;
+    double spare_ = 0.0;
+};
+
+}  // namespace cast

@@ -1,0 +1,136 @@
+// Monotone cubic Hermite spline (Fritsch–Carlson).
+//
+// CAST's REG(.) capacity->runtime regression is "a third degree
+// polynomial-based cubic Hermite spline" (§4.2.1). We use the
+// Fritsch–Carlson tangent limiter so that a monotone sample set yields a
+// monotone interpolant: the annealing solver optimizes *over* this curve,
+// and interpolation overshoot would let it exploit phantom minima that the
+// underlying system does not have.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cast {
+
+class CubicHermiteSpline {
+public:
+    CubicHermiteSpline() = default;
+
+    /// Build from sample points. xs must be strictly increasing and have the
+    /// same length as ys (>= 2 points).
+    CubicHermiteSpline(std::span<const double> xs, std::span<const double> ys) {
+        CAST_EXPECTS(xs.size() == ys.size());
+        CAST_EXPECTS(xs.size() >= 2);
+        for (std::size_t i = 1; i < xs.size(); ++i) {
+            CAST_EXPECTS_MSG(xs[i] > xs[i - 1], "spline knots must be strictly increasing");
+        }
+        x_.assign(xs.begin(), xs.end());
+        y_.assign(ys.begin(), ys.end());
+        compute_tangents();
+    }
+
+    [[nodiscard]] bool empty() const { return x_.empty(); }
+    [[nodiscard]] std::size_t size() const { return x_.size(); }
+    [[nodiscard]] double min_x() const {
+        CAST_EXPECTS(!empty());
+        return x_.front();
+    }
+    [[nodiscard]] double max_x() const {
+        CAST_EXPECTS(!empty());
+        return x_.back();
+    }
+
+    /// Evaluate at x. Outside the knot range the value is clamped to the
+    /// boundary knot value (flat extrapolation): provisioning beyond the
+    /// largest profiled capacity cannot be assumed to keep improving.
+    [[nodiscard]] double operator()(double x) const {
+        CAST_EXPECTS(!empty());
+        if (x <= x_.front()) return y_.front();
+        if (x >= x_.back()) return y_.back();
+        const std::size_t i = segment_index(x);
+        const double h = x_[i + 1] - x_[i];
+        const double t = (x - x_[i]) / h;
+        const double t2 = t * t;
+        const double t3 = t2 * t;
+        const double h00 = 2 * t3 - 3 * t2 + 1;
+        const double h10 = t3 - 2 * t2 + t;
+        const double h01 = -2 * t3 + 3 * t2;
+        const double h11 = t3 - t2;
+        return h00 * y_[i] + h10 * h * m_[i] + h01 * y_[i + 1] + h11 * h * m_[i + 1];
+    }
+
+    /// First derivative at x (zero outside the knot range, matching the flat
+    /// extrapolation of operator()).
+    [[nodiscard]] double derivative(double x) const {
+        CAST_EXPECTS(!empty());
+        if (x <= x_.front() || x >= x_.back()) return 0.0;
+        const std::size_t i = segment_index(x);
+        const double h = x_[i + 1] - x_[i];
+        const double t = (x - x_[i]) / h;
+        const double t2 = t * t;
+        const double dh00 = (6 * t2 - 6 * t) / h;
+        const double dh10 = 3 * t2 - 4 * t + 1;
+        const double dh01 = (-6 * t2 + 6 * t) / h;
+        const double dh11 = 3 * t2 - 2 * t;
+        return dh00 * y_[i] + dh10 * m_[i] + dh01 * y_[i + 1] + dh11 * m_[i + 1];
+    }
+
+    [[nodiscard]] std::span<const double> knots_x() const { return x_; }
+    [[nodiscard]] std::span<const double> knots_y() const { return y_; }
+
+private:
+    [[nodiscard]] std::size_t segment_index(double x) const {
+        // Largest i with x_[i] <= x; callers guarantee interior x.
+        const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+        return static_cast<std::size_t>(it - x_.begin()) - 1;
+    }
+
+    void compute_tangents() {
+        const std::size_t n = x_.size();
+        std::vector<double> delta(n - 1);
+        for (std::size_t i = 0; i + 1 < n; ++i) {
+            delta[i] = (y_[i + 1] - y_[i]) / (x_[i + 1] - x_[i]);
+        }
+        m_.resize(n);
+        m_[0] = delta[0];
+        m_[n - 1] = delta[n - 2];
+        for (std::size_t i = 1; i + 1 < n; ++i) {
+            if (delta[i - 1] * delta[i] <= 0.0) {
+                m_[i] = 0.0;  // local extremum in the data: flat tangent
+            } else {
+                m_[i] = 0.5 * (delta[i - 1] + delta[i]);
+            }
+        }
+        // Fritsch–Carlson limiter: clamp tangents so each segment stays
+        // monotone wherever the data is.
+        for (std::size_t i = 0; i + 1 < n; ++i) {
+            if (delta[i] == 0.0) {
+                m_[i] = 0.0;
+                m_[i + 1] = 0.0;
+                continue;
+            }
+            const double alpha = m_[i] / delta[i];
+            const double beta = m_[i + 1] / delta[i];
+            if (alpha < 0.0) m_[i] = 0.0;
+            if (beta < 0.0) m_[i + 1] = 0.0;
+            const double s = alpha * alpha + beta * beta;
+            if (s > 9.0) {
+                const double tau = 3.0 / std::sqrt(s);
+                m_[i] = tau * alpha * delta[i];
+                m_[i + 1] = tau * beta * delta[i];
+            }
+        }
+    }
+
+    std::vector<double> x_;
+    std::vector<double> y_;
+    std::vector<double> m_;
+};
+
+}  // namespace cast

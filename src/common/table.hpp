@@ -1,0 +1,104 @@
+// Minimal ASCII table / CSV writer for the benchmark harness.
+//
+// Every bench binary reprints a paper table or figure as rows; this keeps
+// the formatting in one place so outputs are uniform and diffable.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cast {
+
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+        CAST_EXPECTS(!header_.empty());
+    }
+
+    /// Append a row of pre-formatted cells. Must match the header width.
+    void add_row(std::vector<std::string> cells) {
+        CAST_EXPECTS_MSG(cells.size() == header_.size(), "row width != header width");
+        rows_.push_back(std::move(cells));
+    }
+
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+    /// Render as an aligned ASCII table.
+    void print(std::ostream& os) const {
+        std::vector<std::size_t> widths(header_.size());
+        for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+        for (const auto& row : rows_) {
+            for (std::size_t c = 0; c < row.size(); ++c) {
+                widths[c] = std::max(widths[c], row[c].size());
+            }
+        }
+        print_separator(os, widths);
+        print_row(os, header_, widths);
+        print_separator(os, widths);
+        for (const auto& row : rows_) print_row(os, row, widths);
+        print_separator(os, widths);
+    }
+
+    /// Render as CSV (for downstream plotting).
+    void print_csv(std::ostream& os) const {
+        print_csv_row(os, header_);
+        for (const auto& row : rows_) print_csv_row(os, row);
+    }
+
+private:
+    static void print_separator(std::ostream& os, const std::vector<std::size_t>& widths) {
+        os << '+';
+        for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    }
+
+    static void print_row(std::ostream& os, const std::vector<std::string>& cells,
+                          const std::vector<std::size_t>& widths) {
+        os << '|';
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+            os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << cell << " |";
+        }
+        os << '\n';
+    }
+
+    static void print_csv_row(std::ostream& os, const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c) os << ',';
+            const std::string& cell = cells[c];
+            if (cell.find_first_of(",\"\n") != std::string::npos) {
+                os << '"';
+                for (char ch : cell) {
+                    if (ch == '"') os << "\"\"";
+                    else os << ch;
+                }
+                os << '"';
+            } else {
+                os << cell;
+            }
+        }
+        os << '\n';
+    }
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (default 2 digits).
+[[nodiscard]] inline std::string fmt(double v, int precision = 2) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+/// Format a ratio as a percentage string, e.g. 0.514 -> "51.4%".
+[[nodiscard]] inline std::string fmt_pct(double ratio, int precision = 1) {
+    return fmt(ratio * 100.0, precision) + "%";
+}
+
+}  // namespace cast

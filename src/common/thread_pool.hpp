@@ -1,0 +1,118 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// Used by the annealing solver (independent chains) and the profiler
+// (independent calibration runs). Work items are type-erased tasks; the
+// pool is created once and joined in the destructor (RAII, no detached
+// threads). parallel_for degrades gracefully to inline execution when the
+// pool has a single worker, so behaviour is identical on 1-core machines.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cast {
+
+class ThreadPool {
+public:
+    /// Create a pool with `workers` threads (>= 1). Defaults to the hardware
+    /// concurrency, with a floor of 1.
+    explicit ThreadPool(std::size_t workers = default_workers()) {
+        CAST_EXPECTS(workers >= 1);
+        threads_.reserve(workers);
+        for (std::size_t i = 0; i < workers; ++i) {
+            threads_.emplace_back([this] { worker_loop(); });
+        }
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    ~ThreadPool() {
+        {
+            std::lock_guard lock(mutex_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (auto& t : threads_) t.join();
+    }
+
+    [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+
+    /// Submit a callable; returns a future for its result.
+    template <typename F>
+    auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+        std::future<R> fut = task->get_future();
+        {
+            std::lock_guard lock(mutex_);
+            CAST_EXPECTS_MSG(!stopping_, "submit on a stopping pool");
+            queue_.emplace_back([task]() mutable { (*task)(); });
+        }
+        cv_.notify_one();
+        return fut;
+    }
+
+    /// Run body(i) for i in [0, n), distributing across workers, and wait for
+    /// completion. The first exception thrown by any body is rethrown here.
+    template <typename Body>
+    void parallel_for(std::size_t n, Body&& body) {
+        if (n == 0) return;
+        if (worker_count() == 1 || n == 1) {
+            for (std::size_t i = 0; i < n; ++i) body(i);
+            return;
+        }
+        std::vector<std::future<void>> futures;
+        futures.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            futures.push_back(submit([&body, i] { body(i); }));
+        }
+        std::exception_ptr first_error;
+        for (auto& f : futures) {
+            try {
+                f.get();
+            } catch (...) {
+                if (!first_error) first_error = std::current_exception();
+            }
+        }
+        if (first_error) std::rethrow_exception(first_error);
+    }
+
+    [[nodiscard]] static std::size_t default_workers() {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+    }
+
+private:
+    void worker_loop() {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock lock(mutex_);
+                cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+                if (queue_.empty()) return;  // stopping_ and drained
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            task();
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> threads_;
+};
+
+}  // namespace cast

@@ -1,0 +1,157 @@
+// Strong-typed physical/monetary quantities used throughout the library.
+//
+// The planner mixes gigabytes, MB/s, minutes, hours and dollars in one
+// optimization objective; mixing those up silently is the classic failure
+// mode of this kind of code. Each quantity is a distinct type wrapping a
+// double, with arithmetic only where it is dimensionally meaningful
+// (e.g. GigaBytes / MBytesPerSec -> Seconds).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace cast {
+
+namespace detail {
+
+/// CRTP base providing the shared arithmetic of a scalar quantity.
+template <typename Derived>
+class Quantity {
+public:
+    constexpr Quantity() = default;
+    constexpr explicit Quantity(double v) : value_(v) {}
+
+    [[nodiscard]] constexpr double value() const { return value_; }
+
+    friend constexpr Derived operator+(Derived a, Derived b) {
+        return Derived{a.value_ + b.value_};
+    }
+    friend constexpr Derived operator-(Derived a, Derived b) {
+        return Derived{a.value_ - b.value_};
+    }
+    friend constexpr Derived operator*(Derived a, double s) { return Derived{a.value_ * s}; }
+    friend constexpr Derived operator*(double s, Derived a) { return Derived{a.value_ * s}; }
+    friend constexpr Derived operator/(Derived a, double s) { return Derived{a.value_ / s}; }
+    /// Ratio of two like quantities is a dimensionless double.
+    friend constexpr double operator/(Derived a, Derived b) { return a.value_ / b.value_; }
+
+    friend constexpr auto operator<=>(Derived a, Derived b) { return a.value_ <=> b.value_; }
+    friend constexpr bool operator==(Derived a, Derived b) { return a.value_ == b.value_; }
+
+    Derived& operator+=(Derived other) {
+        value_ += other.value_;
+        return static_cast<Derived&>(*this);
+    }
+    Derived& operator-=(Derived other) {
+        value_ -= other.value_;
+        return static_cast<Derived&>(*this);
+    }
+    Derived& operator*=(double s) {
+        value_ *= s;
+        return static_cast<Derived&>(*this);
+    }
+
+protected:
+    double value_ = 0.0;
+};
+
+}  // namespace detail
+
+/// Data volume in gigabytes (decimal GB, matching cloud-provider billing).
+class GigaBytes : public detail::Quantity<GigaBytes> {
+public:
+    using Quantity::Quantity;
+    [[nodiscard]] constexpr double megabytes() const { return value_ * 1000.0; }
+    [[nodiscard]] static constexpr GigaBytes from_megabytes(double mb) {
+        return GigaBytes{mb / 1000.0};
+    }
+};
+
+/// Sequential bandwidth in MB/s (decimal, matching provider datasheets).
+class MBytesPerSec : public detail::Quantity<MBytesPerSec> {
+public:
+    using Quantity::Quantity;
+};
+
+/// I/O operations per second (4 KB random, matching Table 1).
+class Iops : public detail::Quantity<Iops> {
+public:
+    using Quantity::Quantity;
+};
+
+/// Wall-clock duration in seconds.
+class Seconds : public detail::Quantity<Seconds> {
+public:
+    using Quantity::Quantity;
+    [[nodiscard]] constexpr double minutes() const { return value_ / 60.0; }
+    [[nodiscard]] constexpr double hours() const { return value_ / 3600.0; }
+    [[nodiscard]] static constexpr Seconds from_minutes(double m) { return Seconds{m * 60.0}; }
+    [[nodiscard]] static constexpr Seconds from_hours(double h) { return Seconds{h * 3600.0}; }
+};
+
+/// Monetary cost in US dollars.
+class Dollars : public detail::Quantity<Dollars> {
+public:
+    using Quantity::Quantity;
+};
+
+/// GigaBytes / MBytesPerSec -> transfer time.
+[[nodiscard]] constexpr Seconds operator/(GigaBytes volume, MBytesPerSec bandwidth) {
+    return Seconds{volume.megabytes() / bandwidth.value()};
+}
+
+/// MBytesPerSec * Seconds -> data moved.
+[[nodiscard]] constexpr GigaBytes operator*(MBytesPerSec bw, Seconds t) {
+    return GigaBytes::from_megabytes(bw.value() * t.value());
+}
+[[nodiscard]] constexpr GigaBytes operator*(Seconds t, MBytesPerSec bw) { return bw * t; }
+
+namespace literals {
+
+constexpr GigaBytes operator""_GB(long double v) { return GigaBytes{static_cast<double>(v)}; }
+constexpr GigaBytes operator""_GB(unsigned long long v) {
+    return GigaBytes{static_cast<double>(v)};
+}
+constexpr MBytesPerSec operator""_MBps(long double v) {
+    return MBytesPerSec{static_cast<double>(v)};
+}
+constexpr MBytesPerSec operator""_MBps(unsigned long long v) {
+    return MBytesPerSec{static_cast<double>(v)};
+}
+constexpr Seconds operator""_sec(long double v) { return Seconds{static_cast<double>(v)}; }
+constexpr Seconds operator""_sec(unsigned long long v) {
+    return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_min(long double v) {
+    return Seconds::from_minutes(static_cast<double>(v));
+}
+constexpr Seconds operator""_min(unsigned long long v) {
+    return Seconds::from_minutes(static_cast<double>(v));
+}
+constexpr Dollars operator""_usd(long double v) { return Dollars{static_cast<double>(v)}; }
+constexpr Dollars operator""_usd(unsigned long long v) {
+    return Dollars{static_cast<double>(v)};
+}
+
+}  // namespace literals
+
+inline std::ostream& operator<<(std::ostream& os, GigaBytes v) { return os << v.value() << " GB"; }
+inline std::ostream& operator<<(std::ostream& os, MBytesPerSec v) {
+    return os << v.value() << " MB/s";
+}
+inline std::ostream& operator<<(std::ostream& os, Iops v) { return os << v.value() << " IOPS"; }
+inline std::ostream& operator<<(std::ostream& os, Seconds v) { return os << v.value() << " s"; }
+inline std::ostream& operator<<(std::ostream& os, Dollars v) { return os << "$" << v.value(); }
+
+/// True when two doubles agree to within `rel` relative tolerance
+/// (falls back to absolute tolerance near zero).
+[[nodiscard]] inline bool approx_equal(double a, double b, double rel = 1e-9) {
+    const double scale = std::fmax(std::fabs(a), std::fabs(b));
+    return std::fabs(a - b) <= rel * std::fmax(scale, 1.0);
+}
+
+}  // namespace cast

@@ -1,0 +1,143 @@
+#include "core/annealing.hpp"
+
+#include <cmath>
+#include <mutex>
+
+namespace cast::core {
+
+AnnealingSolver::AnnealingSolver(const PlanEvaluator& evaluator, AnnealingOptions options)
+    : evaluator_(&evaluator), options_(std::move(options)) {
+    CAST_EXPECTS(options_.iter_max >= 1);
+    CAST_EXPECTS(options_.initial_temperature > 0.0);
+    CAST_EXPECTS(options_.cooling > 0.0 && options_.cooling < 1.0);
+    CAST_EXPECTS(options_.min_temperature > 0.0);
+    CAST_EXPECTS(!options_.overprov_choices.empty());
+    CAST_EXPECTS(options_.tier_move_probability >= 0.0 &&
+                 options_.tier_move_probability <= 1.0);
+    CAST_EXPECTS(options_.chains >= 1);
+}
+
+std::vector<std::vector<std::size_t>> AnnealingSolver::move_units() const {
+    const auto& workload = evaluator_->workload();
+    std::vector<std::vector<std::size_t>> units;
+    if (!options_.group_moves) {
+        for (std::size_t i = 0; i < workload.size(); ++i) units.push_back({i});
+        return units;
+    }
+    std::vector<bool> grouped(workload.size(), false);
+    for (const auto& [group, members] : workload.reuse_groups()) {
+        units.push_back(members);
+        for (std::size_t i : members) grouped[i] = true;
+    }
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+        if (!grouped[i]) units.push_back({i});
+    }
+    return units;
+}
+
+AnnealingResult AnnealingSolver::run_chain(const TieringPlan& initial,
+                                           std::uint64_t seed) const {
+    const auto units = move_units();
+    CAST_EXPECTS_MSG(!units.empty(), "cannot anneal an empty workload");
+    Rng rng(seed);
+
+    TieringPlan curr = initial;
+    PlanEvaluation curr_eval = evaluator_->evaluate(curr);
+    CAST_EXPECTS_MSG(curr_eval.feasible, "annealing needs a feasible initial plan");
+
+    AnnealingResult best;
+    best.plan = curr;
+    best.evaluation = curr_eval;
+
+    // Temperatures live on the normalized utility scale u/U_init, so the
+    // same options work across workloads of any absolute utility.
+    const double u_scale = curr_eval.utility;
+    CAST_ENSURES(u_scale > 0.0);
+    double temperature = options_.initial_temperature;
+
+    for (int iter = 0; iter < options_.iter_max; ++iter) {
+        temperature = std::max(temperature * options_.cooling, options_.min_temperature);
+
+        // --- Neighbor: batch-relocate one app class, or perturb one unit.
+        TieringPlan neighbor = curr;
+        const double move_kind = rng.uniform();
+        if (move_kind < options_.app_move_probability) {
+            const workload::AppKind app =
+                workload::kAllApps[rng.below(workload::kAllApps.size())];
+            const cloud::StorageTier t = cloud::kAllTiers[rng.below(cloud::kAllTiers.size())];
+            for (const auto& unit : units) {
+                if (evaluator_->workload().job(unit.front()).app != app) continue;
+                for (std::size_t j : unit) {
+                    PlacementDecision d = neighbor.decision(j);
+                    d.tier = t;
+                    neighbor.set_decision(j, d);
+                }
+            }
+        } else {
+            const auto& unit = units[rng.below(units.size())];
+            const PlacementDecision old = curr.decision(unit.front());
+            PlacementDecision next = old;
+            if (move_kind <
+                options_.app_move_probability + options_.tier_move_probability) {
+                // Random different tier.
+                cloud::StorageTier t;
+                do {
+                    t = cloud::kAllTiers[rng.below(cloud::kAllTiers.size())];
+                } while (t == old.tier);
+                next.tier = t;
+            } else {
+                next.overprovision =
+                    options_.overprov_choices[rng.below(options_.overprov_choices.size())];
+            }
+            for (std::size_t j : unit) neighbor.set_decision(j, next);
+        }
+
+        const PlanEvaluation neighbor_eval = evaluator_->evaluate(neighbor);
+        ++best.iterations;
+        if (!neighbor_eval.feasible) continue;
+
+        if (neighbor_eval.utility > best.evaluation.utility) {
+            best.plan = neighbor;
+            best.evaluation = neighbor_eval;
+        }
+
+        // --- Accept(.): Metropolis on the normalized utility difference.
+        const double delta = (neighbor_eval.utility - curr_eval.utility) / u_scale;
+        const bool accept = delta >= 0.0 || rng.uniform() < std::exp(delta / temperature);
+        if (accept) {
+            curr = std::move(neighbor);
+            curr_eval = neighbor_eval;
+            ++best.accepted_moves;
+        }
+    }
+    return best;
+}
+
+AnnealingResult AnnealingSolver::solve(const TieringPlan& initial, ThreadPool* pool) const {
+    // Multi-start: rotate chains across the supplied initial plan and every
+    // feasible uniform plan (Eq. 7-projected in group-moves mode, which
+    // uniform plans satisfy trivially).
+    std::vector<TieringPlan> starts{initial};
+    if (options_.diverse_starts) {
+        for (cloud::StorageTier t : cloud::kAllTiers) {
+            TieringPlan uniform = TieringPlan::uniform(initial.size(), t);
+            if (evaluator_->evaluate(uniform).feasible) starts.push_back(std::move(uniform));
+        }
+    }
+    std::vector<AnnealingResult> results(static_cast<std::size_t>(options_.chains));
+    auto run_one = [&](std::size_t c) {
+        results[c] = run_chain(starts[c % starts.size()], options_.seed + 7919 * (c + 1));
+    };
+    if (pool != nullptr && options_.chains > 1) {
+        pool->parallel_for(results.size(), run_one);
+    } else {
+        for (std::size_t c = 0; c < results.size(); ++c) run_one(c);
+    }
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < results.size(); ++c) {
+        if (results[c].evaluation.utility > results[best].evaluation.utility) best = c;
+    }
+    return results[best];
+}
+
+}  // namespace cast::core

@@ -1,0 +1,89 @@
+// Simulated-annealing tiering solver (paper Algorithm 2).
+//
+// Searches the ⟨sᵢ, kᵢ⟩ space for a plan maximizing tenant utility. Each
+// iteration perturbs the current plan (a random job — or, in reuse-aware
+// mode, a whole reuse group, preserving Eq. 7 by construction — moves to
+// a different tier, or changes its over-provisioning factor), evaluates
+// Eq. 2-6, and accepts by the Metropolis rule with a geometrically cooled
+// temperature (the paper's Cooling(.)/Accept(.)). Several independent
+// chains run in parallel with distinct seeds and the best plan across
+// chains wins — annealing is embarrassingly parallel and this materially
+// improves plan quality at fixed wall-clock.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/plan.hpp"
+#include "core/utility.hpp"
+
+namespace cast::core {
+
+struct AnnealingOptions {
+    int iter_max = 20000;
+    /// Initial temperature as a fraction of the initial solution's utility.
+    double initial_temperature = 0.5;
+    /// Geometric cooling factor applied once per iteration.
+    double cooling = 0.9995;
+    /// Temperature floor (search becomes effectively greedy below it).
+    double min_temperature = 1e-4;
+    /// kᵢ move choices. Large factors matter: block-tier bandwidth scales
+    /// with provisioned capacity, and for small datasets the utility-optimal
+    /// volume can be many times the data size (§3.1.2).
+    std::vector<double> overprov_choices = {1.0, 1.25, 1.5, 2.0, 3.0,
+                                            4.0, 6.0,  8.0, 12.0};
+    /// Probability a move changes the tier (vs. the over-provision factor).
+    double tier_move_probability = 0.7;
+    /// Probability of a *batch* move: relocate every job of one randomly
+    /// chosen application class to one tier. Block-tier performance scales
+    /// with pooled capacity (Fig. 2), so single-job moves onto an empty
+    /// tier always look terrible even when the tier is optimal for the
+    /// whole class — batch moves let the search cross that valley.
+    double app_move_probability = 0.1;
+    /// Start chains from a diverse set (the given initial plan plus every
+    /// feasible uniform plan) instead of one point. The paper notes P̂init
+    /// "specifies preferred regions in the search space"; multi-start makes
+    /// that systematic.
+    bool diverse_starts = true;
+    /// Independent chains (run in parallel when a pool is supplied). With
+    /// diverse_starts, chains rotate over the available start plans, so >= 5
+    /// covers the initial plan plus the four uniform plans.
+    int chains = 6;
+    std::uint64_t seed = 1;
+    /// CAST++: move whole reuse groups together so Eq. 7 always holds.
+    bool group_moves = false;
+};
+
+struct AnnealingResult {
+    TieringPlan plan;
+    PlanEvaluation evaluation;
+    int iterations = 0;
+    int accepted_moves = 0;
+};
+
+class AnnealingSolver {
+public:
+    AnnealingSolver(const PlanEvaluator& evaluator, AnnealingOptions options = {});
+
+    /// Anneal from `initial` (e.g. the greedy plan, or a uniform plan).
+    /// The initial plan must be feasible. Runs options.chains chains, on
+    /// `pool` when provided, and returns the best result.
+    [[nodiscard]] AnnealingResult solve(const TieringPlan& initial,
+                                        ThreadPool* pool = nullptr) const;
+
+    /// One chain with an explicit seed (exposed for tests/determinism).
+    [[nodiscard]] AnnealingResult run_chain(const TieringPlan& initial,
+                                            std::uint64_t seed) const;
+
+private:
+    /// The move units: single jobs, or reuse groups in group_moves mode.
+    [[nodiscard]] std::vector<std::vector<std::size_t>> move_units() const;
+
+    const PlanEvaluator* evaluator_;
+    AnnealingOptions options_;
+};
+
+}  // namespace cast::core

@@ -1,0 +1,444 @@
+#include "core/castpp.hpp"
+
+#include <cmath>
+
+namespace cast::core {
+
+namespace {
+using cloud::StorageTier;
+using cloud::tier_index;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Facades.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+CastResult plan_with(const model::PerfModelSet& models, const workload::Workload& workload,
+                     const CastOptions& options, bool reuse_aware, ThreadPool* pool) {
+    PlanEvaluator evaluator(models, workload, EvalOptions{.reuse_aware = reuse_aware});
+
+    GreedySolver greedy(evaluator);
+    TieringPlan initial = greedy.solve(options.greedy_init);
+    if (reuse_aware) {
+        // Greedy ignores reuse groups; project its plan onto the Eq. 7
+        // constraint set by aligning every group on its leader's tier, so
+        // the annealing start point is feasible.
+        for (const auto& [group, members] : workload.reuse_groups()) {
+            const PlacementDecision lead = initial.decision(members.front());
+            for (std::size_t m : members) initial.set_decision(m, lead);
+        }
+    }
+
+    AnnealingOptions annealing = options.annealing;
+    annealing.group_moves = reuse_aware;
+    AnnealingSolver solver(evaluator, annealing);
+    AnnealingResult result = solver.solve(initial, pool);
+    return CastResult{std::move(result.plan), std::move(result.evaluation),
+                      std::move(initial)};
+}
+
+}  // namespace
+
+CastResult plan_cast(const model::PerfModelSet& models, const workload::Workload& workload,
+                     const CastOptions& options, ThreadPool* pool) {
+    return plan_with(models, workload, options, /*reuse_aware=*/false, pool);
+}
+
+CastResult plan_cast_plus_plus(const model::PerfModelSet& models,
+                               const workload::Workload& workload, const CastOptions& options,
+                               ThreadPool* pool) {
+    return plan_with(models, workload, options, /*reuse_aware=*/true, pool);
+}
+
+// ---------------------------------------------------------------------------
+// Workflow evaluation.
+// ---------------------------------------------------------------------------
+
+WorkflowEvaluator::WorkflowEvaluator(const model::PerfModelSet& models,
+                                     workload::Workflow workflow, EvalOptions options)
+    : models_(&models), workflow_(std::move(workflow)), options_(options) {
+    workflow_.validate();
+}
+
+GigaBytes WorkflowEvaluator::job_requirement(const WorkflowPlan& plan,
+                                             std::size_t job_idx) const {
+    // Eq. 10: a job provisions its intermediate and output, plus its input
+    // unless the input is already resident — i.e. every predecessor whose
+    // output feeds it lives on the same tier.
+    const auto& job = workflow_.jobs()[job_idx];
+    const StorageTier tier = plan.decisions[job_idx].tier;
+    const auto preds = workflow_.predecessors(job_idx);
+    bool input_resident = !preds.empty();
+    for (std::size_t p : preds) {
+        if (plan.decisions[p].tier != tier) input_resident = false;
+    }
+    GigaBytes req = job.intermediate() + job.output();
+    if (!input_resident) req += job.input;
+    return req;
+}
+
+Seconds WorkflowEvaluator::transfer_time(GigaBytes volume, StorageTier from,
+                                         GigaBytes from_per_vm, StorageTier to,
+                                         GigaBytes to_per_vm) const {
+    if (volume.value() <= 0.0 || from == to) return Seconds{0.0};
+    const auto& catalog = models_->catalog();
+    const int nvm = models_->cluster().worker_count;
+    auto side_bw = [&](StorageTier t, GigaBytes per_vm, bool reading) {
+        const auto& svc = catalog.service(t);
+        if (t == StorageTier::kObjectStore) {
+            return reading ? svc.cluster_read_bw(per_vm, nvm).value()
+                           : svc.cluster_write_bw(per_vm, nvm).value();
+        }
+        const auto perf = svc.performance(svc.provision(per_vm));
+        return (reading ? perf.read_bw.value() : perf.write_bw.value()) * nvm;
+    };
+    const double cluster_mbps =
+        std::min(side_bw(from, from_per_vm, true), side_bw(to, to_per_vm, false));
+    CAST_ENSURES(cluster_mbps > 0.0);
+    return Seconds{volume.megabytes() / cluster_mbps};
+}
+
+WorkflowEvaluation WorkflowEvaluator::evaluate(const WorkflowPlan& plan) const {
+    CAST_EXPECTS_MSG(plan.decisions.size() == workflow_.size(),
+                     "plan/workflow size mismatch");
+    for (const auto& d : plan.decisions) d.validate();
+
+    WorkflowEvaluation eval;
+    const int nvm = models_->cluster().worker_count;
+
+    // --- Capacities (Eq. 10 + deployment conventions).
+    bool any_on_object_store = false;
+    GigaBytes max_object_store_inter{0.0};
+    for (std::size_t i = 0; i < workflow_.size(); ++i) {
+        const auto& d = plan.decisions[i];
+        const auto& job = workflow_.jobs()[i];
+        const GigaBytes ci{job_requirement(plan, i).value() * d.overprovision};
+        eval.capacities.aggregate[tier_index(d.tier)] += ci;
+        if (d.tier == StorageTier::kEphemeralSsd) {
+            GigaBytes backing = job.output();
+            if (workflow_.predecessors(i).empty()) backing += job.input;
+            eval.capacities.aggregate[tier_index(StorageTier::kObjectStore)] += backing;
+        }
+        if (d.tier == StorageTier::kObjectStore) {
+            any_on_object_store = true;
+            if (job.intermediate() > max_object_store_inter) {
+                max_object_store_inter = job.intermediate();
+            }
+        }
+    }
+    if (any_on_object_store) {
+        auto& pers = eval.capacities.aggregate[tier_index(StorageTier::kPersistentSsd)];
+        const GigaBytes floor{
+            cloud::object_store_intermediate_volume(max_object_store_inter, nvm).value() *
+            nvm};
+        if (pers < floor) pers = floor;
+    }
+    try {
+        for (StorageTier t : cloud::kAllTiers) {
+            const GigaBytes agg = eval.capacities.aggregate[tier_index(t)];
+            if (agg.value() <= 0.0) continue;
+            if (t == StorageTier::kObjectStore) {
+                eval.capacities.per_vm[tier_index(t)] = GigaBytes{agg.value() / nvm};
+                continue;
+            }
+            const auto& service = models_->catalog().service(t);
+            const GigaBytes per_vm = service.provision(GigaBytes{agg.value() / nvm});
+            eval.capacities.per_vm[tier_index(t)] = per_vm;
+            eval.capacities.aggregate[tier_index(t)] = GigaBytes{per_vm.value() * nvm};
+        }
+    } catch (const ValidationError& e) {
+        eval.infeasibility = e.what();
+        return eval;
+    }
+
+    // --- Runtime: serial execution in topological order (Eq. 9's sum),
+    // job estimates via REG plus staging/transfer legs.
+    Seconds total{0.0};
+    eval.job_runtimes.assign(workflow_.size(), Seconds{0.0});
+    for (std::size_t i : workflow_.topological_order()) {
+        const auto& d = plan.decisions[i];
+        model::StagingLegs legs{false, false};
+        if (d.tier == StorageTier::kEphemeralSsd) {
+            // Roots must pull their input down from the object store;
+            // terminal outputs must be persisted back.
+            legs.download_input = workflow_.predecessors(i).empty();
+            legs.upload_output = workflow_.successors(i).empty();
+        }
+        const Seconds t = models_->job_runtime(
+            workflow_.jobs()[i], d.tier, eval.capacities.per_vm[tier_index(d.tier)], legs);
+        eval.job_runtimes[i] = t;
+        total += t;
+    }
+    // Cross-tier transfers on edges (the pipelining of §3.1.3: "the output
+    // of one job is pipelined to another storage service where it acts as
+    // an input for the subsequent job").
+    eval.transfer_times.reserve(workflow_.edges().size());
+    for (const auto& edge : workflow_.edges()) {
+        const std::size_t u = workflow_.index_of(edge.from_job);
+        const std::size_t v = workflow_.index_of(edge.to_job);
+        const StorageTier su = plan.decisions[u].tier;
+        const StorageTier sv = plan.decisions[v].tier;
+        const Seconds t =
+            transfer_time(workflow_.jobs()[u].output(), su,
+                          eval.capacities.per_vm[tier_index(su)], sv,
+                          eval.capacities.per_vm[tier_index(sv)]);
+        eval.transfer_times.push_back(t);
+        total += t;
+    }
+    eval.total_runtime = total;
+
+    // --- Cost (Eq. 8): same Eq. 5-6 formulas over the workflow makespan.
+    const auto& cluster = models_->cluster();
+    eval.vm_cost = Dollars{cluster.price_per_minute().value() * total.minutes()};
+    const double hours = std::ceil(total.minutes() / 60.0);
+    double storage = 0.0;
+    for (StorageTier t : cloud::kAllTiers) {
+        const GigaBytes cap = eval.capacities.aggregate[tier_index(t)];
+        if (cap.value() <= 0.0) continue;
+        storage +=
+            cap.value() * models_->catalog().service(t).price_per_gb_hour().value() * hours;
+    }
+    eval.storage_cost = Dollars{storage};
+    eval.meets_deadline = total <= workflow_.deadline();
+    eval.feasible = true;
+    return eval;
+}
+
+// ---------------------------------------------------------------------------
+// Workflow solver.
+// ---------------------------------------------------------------------------
+
+WorkflowSolver::WorkflowSolver(const WorkflowEvaluator& evaluator, AnnealingOptions options,
+                               double deadline_safety)
+    : evaluator_(&evaluator), options_(std::move(options)), deadline_safety_(deadline_safety) {
+    CAST_EXPECTS(options_.iter_max >= 1);
+    CAST_EXPECTS(!options_.overprov_choices.empty());
+    CAST_EXPECTS(deadline_safety_ > 0.0 && deadline_safety_ <= 1.0);
+    // cᵢ is a continuous decision variable in the paper; our move set
+    // discretizes it. Extend the factor menu so a uniform plan can reach
+    // the per-VM capacity where persSSD saturates its bandwidth ceiling —
+    // for small workflows that takes factors well beyond the default list.
+    const auto& wf = evaluator_->workflow();
+    double total_req = 0.0;
+    const WorkflowPlan probe = WorkflowPlan::uniform(wf.size(), StorageTier::kPersistentSsd);
+    for (std::size_t i = 0; i < wf.size(); ++i) {
+        total_req += evaluator_->job_requirement(probe, i).value();
+    }
+    if (total_req > 0.0) {
+        const double saturating =
+            550.0 * evaluator_->models().cluster().worker_count / total_req;
+        if (saturating > 1.0) {
+            options_.overprov_choices.push_back(std::max(1.0, saturating / 2.0));
+            options_.overprov_choices.push_back(saturating);
+            options_.overprov_choices.push_back(saturating * 1.5);
+        }
+    }
+}
+
+double WorkflowSolver::score(const WorkflowEvaluation& eval) const {
+    if (!eval.feasible) return -1e18;
+    double s = -eval.total_cost().value();
+    const Seconds target{evaluator_->workflow().deadline().value() * deadline_safety_};
+    if (eval.total_runtime > target) {
+        const double overtime_min = (eval.total_runtime - target).minutes();
+        s -= 1e3 * (1.0 + overtime_min);  // dominate any cost difference
+    }
+    return s;
+}
+
+WorkflowSolveResult WorkflowSolver::run_chain(std::uint64_t seed) const {
+    const auto& wf = evaluator_->workflow();
+    const std::vector<std::size_t> dfs = wf.dfs_order();
+    CAST_EXPECTS(!dfs.empty());
+    Rng rng(seed);
+
+    // Multi-start across chains: chain seeds ending in 0 start from the
+    // best canonical uniform plan; the rest rotate the starting tier (and a
+    // generous starting over-provision factor, since block-tier speed needs
+    // pooled capacity) by seed.
+    WorkflowPlan curr =
+        seed % 3 == 0 ? best_uniform_plan()
+                      : WorkflowPlan::uniform(
+                            wf.size(), cloud::kAllTiers[seed % cloud::kAllTiers.size()],
+                            options_.overprov_choices[(seed / 7) %
+                                                      options_.overprov_choices.size()]);
+    WorkflowEvaluation curr_eval = evaluator_->evaluate(curr);
+    if (!curr_eval.feasible) {
+        curr = WorkflowPlan::uniform(wf.size(), StorageTier::kPersistentSsd);
+        curr_eval = evaluator_->evaluate(curr);
+    }
+    WorkflowSolveResult best{curr, curr_eval, 0};
+    double curr_score = score(curr_eval);
+    double best_score = curr_score;
+
+    const double scale = std::max(1.0, std::fabs(curr_score));
+    double temperature = options_.initial_temperature;
+    std::size_t cursor = 0;
+
+    for (int iter = 0; iter < options_.iter_max; ++iter) {
+        temperature = std::max(temperature * options_.cooling, options_.min_temperature);
+
+        // DFS-order traversal of the DAG for neighbor generation (§4.3).
+        const std::size_t job_idx = dfs[cursor];
+        cursor = (cursor + 1) % dfs.size();
+
+        WorkflowPlan neighbor = curr;
+        PlacementDecision d = neighbor.decisions[job_idx];
+        if (rng.uniform() < options_.tier_move_probability) {
+            StorageTier t;
+            do {
+                t = cloud::kAllTiers[rng.below(cloud::kAllTiers.size())];
+            } while (t == d.tier);
+            d.tier = t;
+        } else {
+            d.overprovision =
+                options_.overprov_choices[rng.below(options_.overprov_choices.size())];
+        }
+        neighbor.decisions[job_idx] = d;
+
+        const WorkflowEvaluation neighbor_eval = evaluator_->evaluate(neighbor);
+        const double neighbor_score = score(neighbor_eval);
+        ++best.iterations;
+        if (neighbor_eval.feasible && neighbor_score > best_score) {
+            best.plan = neighbor;
+            best.evaluation = neighbor_eval;
+            best_score = neighbor_score;
+        }
+        const double delta = (neighbor_score - curr_score) / scale;
+        if (delta >= 0.0 || rng.uniform() < std::exp(delta / temperature)) {
+            curr = std::move(neighbor);
+            curr_eval = neighbor_eval;
+            curr_score = neighbor_score;
+        }
+    }
+    return best;
+}
+
+WorkflowPlan WorkflowSolver::best_uniform_plan() const {
+    const auto& wf = evaluator_->workflow();
+    WorkflowPlan best = WorkflowPlan::uniform(wf.size(), StorageTier::kPersistentSsd);
+    double best_score = score(evaluator_->evaluate(best));
+    for (StorageTier t : cloud::kAllTiers) {
+        for (double k : options_.overprov_choices) {
+            WorkflowPlan candidate = WorkflowPlan::uniform(wf.size(), t, k);
+            const double s = score(evaluator_->evaluate(candidate));
+            if (s > best_score) {
+                best_score = s;
+                best = std::move(candidate);
+            }
+        }
+    }
+    return best;
+}
+
+WorkflowSolveResult WorkflowSolver::solve(ThreadPool* pool) const {
+    std::vector<WorkflowSolveResult> results(static_cast<std::size_t>(options_.chains));
+    auto run_one = [&](std::size_t c) {
+        results[c] = run_chain(options_.seed + 104729 * (c + 1));
+    };
+    if (pool != nullptr && options_.chains > 1) {
+        pool->parallel_for(results.size(), run_one);
+    } else {
+        for (std::size_t c = 0; c < results.size(); ++c) run_one(c);
+    }
+    // The canonical uniform sweep is a guaranteed floor: annealing must not
+    // return anything it scores below the best single-tier plan.
+    WorkflowSolveResult fallback;
+    fallback.plan = best_uniform_plan();
+    fallback.evaluation = evaluator_->evaluate(fallback.plan);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < results.size(); ++c) {
+        if (score(results[c].evaluation) > score(results[best].evaluation)) best = c;
+    }
+    if (score(fallback.evaluation) > score(results[best].evaluation)) return fallback;
+    return results[best];
+}
+
+// ---------------------------------------------------------------------------
+// Reuse scenarios.
+// ---------------------------------------------------------------------------
+
+ReuseScenarioResult evaluate_reuse_scenario(const model::PerfModelSet& models,
+                                            const workload::JobSpec& job, StorageTier tier,
+                                            const workload::ReusePattern& pattern) {
+    pattern.validate();
+    job.validate();
+    const auto& cluster = models.cluster();
+    const auto& catalog = models.catalog();
+    const int nvm = cluster.worker_count;
+
+    // Capacity: the job's dataset on its tier (+ conventions). Block tiers
+    // are provisioned at the same 500 GB-per-VM experiment volumes as the
+    // Fig. 1 characterization (grown when the dataset needs more), so the
+    // no-reuse column of Fig. 3 agrees with Fig. 1 by construction.
+    CapacityBreakdown caps;
+    GigaBytes dataset_capacity = job.capacity_requirement();
+    if (tier == StorageTier::kPersistentSsd || tier == StorageTier::kPersistentHdd) {
+        dataset_capacity =
+            GigaBytes{std::max(500.0 * nvm, dataset_capacity.value())};
+    }
+    caps.aggregate[tier_index(tier)] = dataset_capacity;
+    if (tier == StorageTier::kEphemeralSsd) {
+        caps.aggregate[tier_index(StorageTier::kObjectStore)] += job.input + job.output();
+    }
+    if (tier == StorageTier::kObjectStore) {
+        caps.aggregate[tier_index(StorageTier::kPersistentSsd)] +=
+            GigaBytes{cloud::object_store_intermediate_volume(job.intermediate(), nvm).value() *
+                      nvm};
+    }
+    for (StorageTier t : cloud::kAllTiers) {
+        const GigaBytes agg = caps.aggregate[tier_index(t)];
+        if (agg.value() <= 0.0) continue;
+        if (t == StorageTier::kObjectStore) {
+            caps.per_vm[tier_index(t)] = GigaBytes{agg.value() / nvm};
+            continue;
+        }
+        const auto& service = catalog.service(t);
+        const GigaBytes per_vm = service.provision(GigaBytes{agg.value() / nvm});
+        caps.per_vm[tier_index(t)] = per_vm;
+        caps.aggregate[tier_index(t)] = GigaBytes{per_vm.value() * nvm};
+    }
+
+    ReuseScenarioResult result;
+    const GigaBytes per_vm = caps.per_vm[tier_index(tier)];
+    const model::StagingLegs full = model::StagingLegs::for_tier(tier);
+    model::StagingLegs repeat = full;
+    repeat.download_input = false;  // dataset already resident after run 1
+    result.first_run = models.job_runtime(job, tier, per_vm, full);
+    result.repeat_run = models.job_runtime(job, tier, per_vm, repeat);
+    result.total_runtime =
+        result.first_run + result.repeat_run * static_cast<double>(pattern.accesses - 1);
+
+    // How long the dataset (and, on ephSSD, the VMs) must be held.
+    const Seconds hold{std::max(pattern.lifetime.value(), result.total_runtime.value())};
+
+    // VM cost: compute time only on persistent tiers; the whole hold window
+    // on ephSSD because terminating the VMs destroys the data (§3.2).
+    const Seconds vm_time = tier == StorageTier::kEphemeralSsd ? hold : result.total_runtime;
+    result.vm_cost = Dollars{cluster.price_per_minute().value() * vm_time.minutes()};
+
+    // Storage cost: the reused dataset's tier (and the objStore backing of
+    // an ephSSD placement) is held for the whole window; the persSSD
+    // intermediate volume of an objStore placement is scratch space that
+    // only exists while jobs run.
+    const double hold_hours = std::ceil(std::max(hold.minutes() / 60.0, 1.0));
+    const double run_hours = std::ceil(std::max(result.total_runtime.minutes() / 60.0, 1.0));
+    double storage = 0.0;
+    for (StorageTier t : cloud::kAllTiers) {
+        const GigaBytes cap = caps.aggregate[tier_index(t)];
+        if (cap.value() <= 0.0) continue;
+        const bool scratch = tier == StorageTier::kObjectStore &&
+                             t == StorageTier::kPersistentSsd;
+        storage += cap.value() * catalog.service(t).price_per_gb_hour().value() *
+                   (scratch ? run_hours : hold_hours);
+    }
+    result.storage_cost = Dollars{storage};
+
+    const Seconds per_access{result.total_runtime.value() / pattern.accesses};
+    result.utility = tenant_utility(per_access, result.total_cost());
+    return result;
+}
+
+}  // namespace cast::core

@@ -1,0 +1,173 @@
+// CAST and CAST++ planner facades, workflow planning, and reuse scenarios.
+//
+// CAST (§4.2): greedy initial plan + simulated annealing on tenant utility.
+// CAST++ (§4.3) adds:
+//   * Enhancement 1 — data-reuse awareness: jobs sharing input are pinned
+//     to one tier (Eq. 7, enforced structurally by group moves), shared
+//     inputs are provisioned and downloaded once;
+//   * Enhancement 2 — workflow awareness: per-workflow cost minimization
+//     under a completion deadline (Eq. 8-10), with cross-tier transfer
+//     times on DAG edges and DFS-order neighbor traversal.
+// This header also provides the data-reuse scenario economics of §3.1.3
+// (Fig. 3): utility of re-running a job n times over a reuse lifetime.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/annealing.hpp"
+#include "core/greedy.hpp"
+#include "core/plan.hpp"
+#include "core/utility.hpp"
+#include "workload/workflow.hpp"
+
+namespace cast::core {
+
+// ---------------------------------------------------------------------------
+// Planner facades.
+// ---------------------------------------------------------------------------
+
+struct CastOptions {
+    AnnealingOptions annealing;
+    GreedyOptions greedy_init;
+};
+
+struct CastResult {
+    TieringPlan plan;
+    PlanEvaluation evaluation;
+    TieringPlan greedy_initial;
+};
+
+/// Basic CAST: reuse-oblivious utility maximization.
+[[nodiscard]] CastResult plan_cast(const model::PerfModelSet& models,
+                                   const workload::Workload& workload,
+                                   const CastOptions& options = {},
+                                   ThreadPool* pool = nullptr);
+
+/// CAST++ (Enhancement 1): reuse-aware utility maximization.
+[[nodiscard]] CastResult plan_cast_plus_plus(const model::PerfModelSet& models,
+                                             const workload::Workload& workload,
+                                             const CastOptions& options = {},
+                                             ThreadPool* pool = nullptr);
+
+// ---------------------------------------------------------------------------
+// Workflow planning (Enhancement 2).
+// ---------------------------------------------------------------------------
+
+/// Decisions parallel to Workflow::jobs().
+struct WorkflowPlan {
+    std::vector<PlacementDecision> decisions;
+
+    [[nodiscard]] static WorkflowPlan uniform(std::size_t job_count, cloud::StorageTier tier,
+                                              double k = 1.0) {
+        return WorkflowPlan{
+            std::vector<PlacementDecision>(job_count, PlacementDecision{tier, k})};
+    }
+};
+
+struct WorkflowEvaluation {
+    bool feasible = false;
+    std::string infeasibility;
+    Seconds total_runtime{0.0};  // jobs + cross-tier transfers + staging
+    Dollars vm_cost{0.0};
+    Dollars storage_cost{0.0};
+    bool meets_deadline = false;
+    CapacityBreakdown capacities;
+    std::vector<Seconds> job_runtimes;     // per job, workflow order
+    std::vector<Seconds> transfer_times;   // per edge, workflow edge order
+
+    [[nodiscard]] Dollars total_cost() const { return vm_cost + storage_cost; }
+};
+
+class WorkflowEvaluator {
+public:
+    WorkflowEvaluator(const model::PerfModelSet& models, workload::Workflow workflow,
+                      EvalOptions options = {});
+
+    [[nodiscard]] const workload::Workflow& workflow() const { return workflow_; }
+    [[nodiscard]] const model::PerfModelSet& models() const { return *models_; }
+
+    /// Eq. 8-10 evaluation of a workflow plan: serial execution in
+    /// topological order; a DAG edge whose endpoints sit on different tiers
+    /// pays a cross-tier transfer of the producer's output; root jobs on
+    /// ephSSD stage in from objStore, terminal jobs on ephSSD stage out.
+    [[nodiscard]] WorkflowEvaluation evaluate(const WorkflowPlan& plan) const;
+
+    /// Eq. 10 capacity requirement of one workflow job under a plan.
+    [[nodiscard]] GigaBytes job_requirement(const WorkflowPlan& plan,
+                                            std::size_t job_idx) const;
+
+    /// Modeled time to move `volume` from tier `from` to tier `to` given
+    /// per-VM capacities.
+    [[nodiscard]] Seconds transfer_time(GigaBytes volume, cloud::StorageTier from,
+                                        GigaBytes from_per_vm, cloud::StorageTier to,
+                                        GigaBytes to_per_vm) const;
+
+private:
+    const model::PerfModelSet* models_;
+    workload::Workflow workflow_;
+    EvalOptions options_;
+};
+
+struct WorkflowSolveResult {
+    WorkflowPlan plan;
+    WorkflowEvaluation evaluation;
+    int iterations = 0;
+};
+
+/// CAST++ deadline mode: minimize $total subject to the workflow deadline
+/// (Eq. 8-9), annealing over tiers/factors with DFS-order traversal.
+class WorkflowSolver {
+public:
+    /// `deadline_safety` shrinks the deadline the *search* targets (Eq. 9
+    /// evaluated against safety x deadline): the model under-predicts real
+    /// runtimes by a few percent (Fig. 8), so plans that model exactly at
+    /// the deadline would miss it when deployed.
+    WorkflowSolver(const WorkflowEvaluator& evaluator, AnnealingOptions options = {},
+                   double deadline_safety = 1.0);
+
+    [[nodiscard]] WorkflowSolveResult solve(ThreadPool* pool = nullptr) const;
+    [[nodiscard]] WorkflowSolveResult run_chain(std::uint64_t seed) const;
+
+private:
+    /// Score to maximize: -cost when the deadline holds, else heavily
+    /// penalized by the overtime so the search is pulled toward
+    /// feasibility first.
+    [[nodiscard]] double score(const WorkflowEvaluation& eval) const;
+
+    /// Best-scoring uniform plan over tiers x over-provision factors (the
+    /// multi-start anchor and result floor).
+    [[nodiscard]] WorkflowPlan best_uniform_plan() const;
+
+    const WorkflowEvaluator* evaluator_;
+    AnnealingOptions options_;
+    double deadline_safety_;
+};
+
+// ---------------------------------------------------------------------------
+// Data-reuse scenario economics (§3.1.3, Fig. 3).
+// ---------------------------------------------------------------------------
+
+struct ReuseScenarioResult {
+    Seconds first_run{0.0};
+    Seconds repeat_run{0.0};
+    Seconds total_runtime{0.0};
+    Dollars vm_cost{0.0};
+    Dollars storage_cost{0.0};
+    double utility = 0.0;  // (1 / per-access runtime in minutes) / total cost
+
+    [[nodiscard]] Dollars total_cost() const { return vm_cost + storage_cost; }
+};
+
+/// Economics of accessing `job`'s dataset `pattern.accesses` times over
+/// `pattern.lifetime` with the data resident on `tier`. Persistent tiers
+/// hold the dataset (and keep billing) for the whole lifetime; ephSSD must
+/// keep the *VMs* alive for the whole lifetime to retain data (the paper's
+/// key cost caveat, §3.2), but amortizes the objStore download across
+/// accesses.
+[[nodiscard]] ReuseScenarioResult evaluate_reuse_scenario(const model::PerfModelSet& models,
+                                                          const workload::JobSpec& job,
+                                                          cloud::StorageTier tier,
+                                                          const workload::ReusePattern& pattern);
+
+}  // namespace cast::core

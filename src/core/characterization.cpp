@@ -1,0 +1,118 @@
+#include "core/characterization.hpp"
+
+#include <cmath>
+
+namespace cast::core {
+
+namespace {
+using cloud::StorageTier;
+using cloud::tier_index;
+}  // namespace
+
+CapacityBreakdown characterization_capacities(const cloud::ClusterSpec& cluster,
+                                              const cloud::StorageCatalog& catalog,
+                                              const workload::JobSpec& job, StorageTier tier,
+                                              const CharacterizationOptions& options) {
+    job.validate();
+    cluster.validate();
+    const int nvm = cluster.worker_count;
+    const double req_per_vm = job.capacity_requirement().value() / nvm;
+
+    CapacityBreakdown caps;
+    switch (tier) {
+        case StorageTier::kEphemeralSsd: {
+            caps.per_vm[tier_index(tier)] =
+                catalog.service(tier).provision(GigaBytes{req_per_vm});
+            // Backing store for input + output (ephSSD is not persistent).
+            caps.per_vm[tier_index(StorageTier::kObjectStore)] =
+                GigaBytes{(job.input + job.output()).value() / nvm};
+            break;
+        }
+        case StorageTier::kPersistentSsd:
+        case StorageTier::kPersistentHdd: {
+            const double vol =
+                std::max(options.block_volume_per_vm.value(), req_per_vm);
+            caps.per_vm[tier_index(tier)] = catalog.service(tier).provision(GigaBytes{vol});
+            break;
+        }
+        case StorageTier::kObjectStore: {
+            caps.per_vm[tier_index(tier)] = GigaBytes{req_per_vm};
+            caps.per_vm[tier_index(StorageTier::kPersistentSsd)] =
+                catalog.service(StorageTier::kPersistentSsd)
+                    .provision(
+                        cloud::object_store_intermediate_volume(job.intermediate(), nvm));
+            break;
+        }
+    }
+    for (StorageTier t : cloud::kAllTiers) {
+        caps.aggregate[tier_index(t)] = GigaBytes{caps.per_vm[tier_index(t)].value() * nvm};
+    }
+    return caps;
+}
+
+TierRunResult run_job_on_tier(const cloud::ClusterSpec& cluster,
+                              const cloud::StorageCatalog& catalog,
+                              const workload::JobSpec& job, StorageTier tier,
+                              const CharacterizationOptions& options) {
+    const CapacityBreakdown caps =
+        characterization_capacities(cluster, catalog, job, tier, options);
+
+    sim::TierCapacities tc;
+    for (StorageTier t : cloud::kAllTiers) tc.set(t, caps.per_vm[tier_index(t)]);
+    const sim::ClusterSim simulator(cluster, catalog, tc, options.sim);
+
+    TierRunResult result;
+    result.capacities = caps;
+    result.sim = simulator.run_job(sim::JobPlacement::on_tier(job, tier));
+
+    const Seconds t = result.sim.makespan;
+    result.vm_cost = Dollars{cluster.price_per_minute().value() * t.minutes()};
+    const double hours = std::max(std::ceil(t.minutes() / 60.0), 1.0);
+    double storage = 0.0;
+    for (StorageTier f : cloud::kAllTiers) {
+        const GigaBytes cap = caps.aggregate[tier_index(f)];
+        if (cap.value() <= 0.0) continue;
+        storage += cap.value() * catalog.service(f).price_per_gb_hour().value() * hours;
+    }
+    result.storage_cost = Dollars{storage};
+    result.utility = tenant_utility(t, result.total_cost());
+    return result;
+}
+
+Seconds run_job_with_input_split(const cloud::ClusterSpec& cluster,
+                                 const cloud::StorageCatalog& catalog,
+                                 const workload::JobSpec& job,
+                                 const std::vector<sim::InputSplit>& splits,
+                                 const CharacterizationOptions& options) {
+    CAST_EXPECTS(!splits.empty());
+    sim::TierCapacities tc;
+    // Attach every involved tier at the standard experiment volume.
+    for (const auto& s : splits) {
+        if (s.tier == StorageTier::kObjectStore) continue;
+        const auto& svc = catalog.service(s.tier);
+        const double req_per_vm =
+            std::max(options.block_volume_per_vm.value(),
+                     job.capacity_requirement().value() / cluster.worker_count);
+        tc.set(s.tier, svc.provision(GigaBytes{
+                           s.tier == StorageTier::kEphemeralSsd
+                               ? job.capacity_requirement().value() / cluster.worker_count
+                               : req_per_vm}));
+    }
+    sim::JobPlacement placement = sim::JobPlacement::on_tier(job, splits.front().tier);
+    placement.stage_in = false;
+    placement.stage_out = false;
+    placement.input_splits = splits;
+    if (placement.intermediate_tier == StorageTier::kObjectStore) {
+        placement.intermediate_tier = StorageTier::kPersistentSsd;
+    }
+    // Ensure intermediate/output tiers are attached too.
+    for (StorageTier t : {placement.intermediate_tier, placement.output_tier}) {
+        if (t != StorageTier::kObjectStore && tc.of(t).value() <= 0.0) {
+            tc.set(t, catalog.service(t).provision(options.block_volume_per_vm));
+        }
+    }
+    const sim::ClusterSim simulator(cluster, catalog, tc, options.sim);
+    return simulator.run_job(placement).makespan;
+}
+
+}  // namespace cast::core

@@ -1,0 +1,61 @@
+// Single-job characterization experiments (paper §3.1, Figures 1-5).
+//
+// These helpers reproduce the paper's motivating measurements: run one
+// application on one storage service on a small cluster (through the
+// simulator, our testbed substitute), and compute the paper's tenant
+// utility for that run. Used by the Fig. 1/2/3/5 bench binaries and the
+// integration tests that assert the published orderings.
+#pragma once
+
+#include "cloud/cluster.hpp"
+#include "cloud/storage.hpp"
+#include "core/utility.hpp"
+#include "sim/mapreduce.hpp"
+#include "workload/job.hpp"
+
+namespace cast::core {
+
+struct CharacterizationOptions {
+    /// Per-VM block-tier volume size used in the §3.1 experiments (the
+    /// paper provisions Table 1's 500 GB volumes; grown when the job needs
+    /// more).
+    GigaBytes block_volume_per_vm{500.0};
+    sim::SimOptions sim;
+    EvalOptions eval;
+};
+
+struct TierRunResult {
+    sim::JobResult sim;
+    CapacityBreakdown capacities;
+    Dollars vm_cost{0.0};
+    Dollars storage_cost{0.0};
+    double utility = 0.0;
+
+    [[nodiscard]] Dollars total_cost() const { return vm_cost + storage_cost; }
+};
+
+/// Provisioned capacities for running `job` wholly on `tier` under the
+/// §3.1 conventions (500 GB block volumes, objStore backing for ephSSD,
+/// persSSD intermediate volume for objStore).
+[[nodiscard]] CapacityBreakdown characterization_capacities(
+    const cloud::ClusterSpec& cluster, const cloud::StorageCatalog& catalog,
+    const workload::JobSpec& job, cloud::StorageTier tier,
+    const CharacterizationOptions& options = {});
+
+/// Fig. 1: run `job` on `tier` and report runtime breakdown + utility.
+[[nodiscard]] TierRunResult run_job_on_tier(const cloud::ClusterSpec& cluster,
+                                            const cloud::StorageCatalog& catalog,
+                                            const workload::JobSpec& job,
+                                            cloud::StorageTier tier,
+                                            const CharacterizationOptions& options = {});
+
+/// Fig. 5: run `job` with its input split across tiers at task granularity
+/// (intermediate/output stay on the first split's tier; no staging), and
+/// report the makespan.
+[[nodiscard]] Seconds run_job_with_input_split(const cloud::ClusterSpec& cluster,
+                                               const cloud::StorageCatalog& catalog,
+                                               const workload::JobSpec& job,
+                                               const std::vector<sim::InputSplit>& splits,
+                                               const CharacterizationOptions& options = {});
+
+}  // namespace cast::core

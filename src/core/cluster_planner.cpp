@@ -1,0 +1,70 @@
+#include "core/cluster_planner.hpp"
+
+#include <algorithm>
+
+namespace cast::core {
+
+ClusterPlanner::ClusterPlanner(cloud::StorageCatalog catalog,
+                               std::vector<ClusterCandidate> candidates,
+                               ClusterPlannerOptions options)
+    : catalog_(std::move(catalog)),
+      candidates_(std::move(candidates)),
+      options_(std::move(options)) {
+    CAST_EXPECTS_MSG(!candidates_.empty(), "cluster planner needs at least one candidate");
+    for (const auto& c : candidates_) {
+        CAST_EXPECTS_MSG(!c.label.empty(), "cluster candidate needs a label");
+        c.cluster.validate();
+    }
+}
+
+std::vector<ClusterPlanOutcome> ClusterPlanner::evaluate(const workload::Workload& workload,
+                                                         ThreadPool* pool) const {
+    std::vector<ClusterPlanOutcome> outcomes;
+    outcomes.reserve(candidates_.size());
+    for (const auto& candidate : candidates_) {
+        // Profiling is per cluster shape: slot counts and volume geometry
+        // change the M̂ matrix and the REG splines.
+        model::Profiler profiler(candidate.cluster, catalog_, options_.profiler);
+        const model::PerfModelSet models = profiler.profile(pool);
+        const CastResult result =
+            options_.reuse_aware
+                ? plan_cast_plus_plus(models, workload, options_.cast, pool)
+                : plan_cast(models, workload, options_.cast, pool);
+        outcomes.push_back(
+            ClusterPlanOutcome{candidate, result.plan, result.evaluation});
+    }
+    std::stable_sort(outcomes.begin(), outcomes.end(),
+                     [](const ClusterPlanOutcome& a, const ClusterPlanOutcome& b) {
+                         if (a.evaluation.feasible != b.evaluation.feasible) {
+                             return a.evaluation.feasible;
+                         }
+                         return a.utility() > b.utility();
+                     });
+    return outcomes;
+}
+
+std::vector<ClusterCandidate> ClusterPlanner::default_candidates() {
+    std::vector<ClusterCandidate> candidates;
+    for (int workers : {10, 25, 50}) {
+        cloud::ClusterSpec spec = cloud::ClusterSpec::paper_400_core();
+        spec.worker_count = workers;
+        candidates.push_back(
+            {"n1-standard-16 x " + std::to_string(workers), std::move(spec)});
+    }
+    // Same total core count as 25 x 16, spread across twice the nodes:
+    // twice the attached volumes (more aggregate block bandwidth) but a
+    // higher per-GB-of-compute price and master overhead.
+    cloud::ClusterSpec half = cloud::ClusterSpec::paper_400_core();
+    half.worker = cloud::MachineType{.name = "n1-standard-8",
+                                     .vcpus = 8,
+                                     .memory_gb = 30.0,
+                                     .map_slots = 4,
+                                     .reduce_slots = 4,
+                                     .price_per_hour = Dollars{0.418},
+                                     .shuffle_network_bw = MBytesPerSec{90.0}};
+    half.worker_count = 50;
+    candidates.push_back({"n1-standard-8 x 50", std::move(half)});
+    return candidates;
+}
+
+}  // namespace cast::core

@@ -1,0 +1,69 @@
+// Cluster planning: joint compute + storage provisioning.
+//
+// The paper fixes one VM flavour and plans only storage ("extending the
+// model to incorporate heterogeneous VM types is part of our future work",
+// §4.2.1 fn. 3). This module implements that extension: given a set of
+// candidate cluster shapes (machine type x worker count), it profiles each
+// candidate, runs the CAST solver on it, and ranks the candidates by the
+// same tenant-utility objective — exposing the compute-side trade-off the
+// utility metric already encodes (more/faster VMs shrink T but grow $vm).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/cluster.hpp"
+#include "cloud/storage.hpp"
+#include "common/thread_pool.hpp"
+#include "core/castpp.hpp"
+#include "model/profiler.hpp"
+
+namespace cast::core {
+
+/// One candidate cluster shape.
+struct ClusterCandidate {
+    std::string label;
+    cloud::ClusterSpec cluster;
+};
+
+/// Outcome of planning the workload on one candidate.
+struct ClusterPlanOutcome {
+    ClusterCandidate candidate;
+    TieringPlan plan;
+    PlanEvaluation evaluation;  // modeled under that candidate's models
+
+    [[nodiscard]] double utility() const { return evaluation.utility; }
+};
+
+struct ClusterPlannerOptions {
+    model::ProfilerOptions profiler;
+    CastOptions cast;
+    /// Use CAST++ (reuse-aware) instead of basic CAST per candidate.
+    bool reuse_aware = false;
+};
+
+class ClusterPlanner {
+public:
+    ClusterPlanner(cloud::StorageCatalog catalog, std::vector<ClusterCandidate> candidates,
+                   ClusterPlannerOptions options = {});
+
+    /// Profile + plan the workload on every candidate; results are returned
+    /// sorted by descending utility (best first). Candidates for which no
+    /// feasible plan exists are reported with evaluation.feasible == false
+    /// at the end of the list.
+    [[nodiscard]] std::vector<ClusterPlanOutcome> evaluate(
+        const workload::Workload& workload, ThreadPool* pool = nullptr) const;
+
+    /// A sensible default candidate set around the paper's testbed: the
+    /// n1-standard-16 flavour at several cluster sizes plus an
+    /// n1-standard-8-style flavour at double the node count (equal total
+    /// cores, different slot/volume geometry).
+    [[nodiscard]] static std::vector<ClusterCandidate> default_candidates();
+
+private:
+    cloud::StorageCatalog catalog_;
+    std::vector<ClusterCandidate> candidates_;
+    ClusterPlannerOptions options_;
+};
+
+}  // namespace cast::core

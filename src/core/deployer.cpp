@@ -1,0 +1,108 @@
+#include "core/deployer.hpp"
+
+#include <cmath>
+
+namespace cast::core {
+
+namespace {
+using cloud::StorageTier;
+using cloud::tier_index;
+}  // namespace
+
+sim::ClusterSim Deployer::make_sim(const model::PerfModelSet& models,
+                                   const CapacityBreakdown& caps) const {
+    sim::TierCapacities tc;
+    for (StorageTier t : cloud::kAllTiers) {
+        tc.set(t, caps.per_vm[tier_index(t)]);
+    }
+    return sim::ClusterSim(models.cluster(), models.catalog(), tc, sim_options_);
+}
+
+WorkloadDeployment Deployer::deploy(const PlanEvaluator& evaluator,
+                                    const TieringPlan& plan) const {
+    const auto& workload = evaluator.workload();
+    CAST_EXPECTS(plan.size() == workload.size());
+
+    WorkloadDeployment dep;
+    dep.capacities = evaluator.capacities(plan);
+    const sim::ClusterSim simulator = make_sim(evaluator.models(), dep.capacities);
+
+    std::vector<sim::JobPlacement> placements;
+    placements.reserve(workload.size());
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+        sim::JobPlacement p =
+            sim::JobPlacement::on_tier(workload.job(i), plan.decision(i).tier);
+        // Reuse-aware deployment: only the group leader downloads the
+        // shared input onto the ephemeral tier; followers find it resident.
+        if (p.stage_in) p.stage_in = evaluator.pays_input_download(i);
+        placements.push_back(std::move(p));
+    }
+    dep.job_results = simulator.run_serial(placements);
+    Seconds total{0.0};
+    for (const auto& r : dep.job_results) total += r.makespan;
+    dep.total_runtime = total;
+    const auto [vm, store] = evaluator.costs_for(total, dep.capacities);
+    dep.vm_cost = vm;
+    dep.storage_cost = store;
+    dep.utility = tenant_utility(total, dep.total_cost());
+    return dep;
+}
+
+WorkflowDeployment Deployer::deploy_workflow(const WorkflowEvaluator& evaluator,
+                                             const WorkflowPlan& plan) const {
+    const auto& wf = evaluator.workflow();
+    CAST_EXPECTS(plan.decisions.size() == wf.size());
+
+    // Capacity breakdown comes from the workflow evaluator (Eq. 10 +
+    // conventions); reuse its provisioning by evaluating once.
+    const WorkflowEvaluation modeled = evaluator.evaluate(plan);
+    CAST_EXPECTS_MSG(modeled.feasible, "cannot deploy an infeasible workflow plan");
+
+    WorkflowDeployment dep;
+    dep.capacities = modeled.capacities;
+    const sim::ClusterSim simulator = make_sim(evaluator.models(), dep.capacities);
+
+    Seconds total{0.0};
+    dep.job_results.resize(wf.size());
+    for (std::size_t i : wf.topological_order()) {
+        const StorageTier tier = plan.decisions[i].tier;
+        sim::JobPlacement p = sim::JobPlacement::on_tier(wf.jobs()[i], tier);
+        if (tier == StorageTier::kEphemeralSsd) {
+            // Mid-workflow inputs arrive via cross-tier transfers below,
+            // not via objStore staging; mid-workflow outputs are consumed
+            // downstream, not archived.
+            p.stage_in = wf.predecessors(i).empty();
+            p.stage_out = wf.successors(i).empty();
+        }
+        dep.job_results[i] = simulator.run_job(p);
+        total += dep.job_results[i].makespan;
+    }
+    dep.transfer_times.reserve(wf.edges().size());
+    for (const auto& edge : wf.edges()) {
+        const std::size_t u = wf.index_of(edge.from_job);
+        const std::size_t v = wf.index_of(edge.to_job);
+        const StorageTier su = plan.decisions[u].tier;
+        const StorageTier sv = plan.decisions[v].tier;
+        Seconds t{0.0};
+        if (su != sv) t = simulator.run_transfer(wf.jobs()[u].output(), su, sv);
+        dep.transfer_times.push_back(t);
+        total += t;
+    }
+    dep.total_runtime = total;
+
+    const auto& cluster = evaluator.models().cluster();
+    dep.vm_cost = Dollars{cluster.price_per_minute().value() * total.minutes()};
+    const double hours = std::ceil(total.minutes() / 60.0);
+    double storage = 0.0;
+    for (StorageTier t : cloud::kAllTiers) {
+        const GigaBytes cap = dep.capacities.aggregate[tier_index(t)];
+        if (cap.value() <= 0.0) continue;
+        storage += cap.value() *
+                   evaluator.models().catalog().service(t).price_per_gb_hour().value() * hours;
+    }
+    dep.storage_cost = Dollars{storage};
+    dep.met_deadline = total <= wf.deadline();
+    return dep;
+}
+
+}  // namespace cast::core

@@ -1,0 +1,68 @@
+// Deployment: executing a tiering plan on the (simulated) cloud.
+//
+// The last box of the paper's Fig. 6: CAST "finally deploys the workload in
+// the cloud based on the generated plan". The Deployer converts a
+// TieringPlan (or WorkflowPlan) into concrete simulator placements — per-VM
+// volume provisioning, staging legs, reuse-aware download elision,
+// cross-tier transfers on workflow edges — runs them on ClusterSim, and
+// reports *measured* runtime, cost, utility and deadline compliance using
+// the same Eq. 5-6 cost formulas the solver optimizes, so modeled and
+// measured numbers are directly comparable (Fig. 7-9).
+#pragma once
+
+#include <vector>
+
+#include "core/castpp.hpp"
+#include "core/plan.hpp"
+#include "core/utility.hpp"
+#include "sim/mapreduce.hpp"
+
+namespace cast::core {
+
+struct WorkloadDeployment {
+    Seconds total_runtime{0.0};
+    Dollars vm_cost{0.0};
+    Dollars storage_cost{0.0};
+    double utility = 0.0;
+    CapacityBreakdown capacities;
+    std::vector<sim::JobResult> job_results;
+
+    [[nodiscard]] Dollars total_cost() const { return vm_cost + storage_cost; }
+};
+
+struct WorkflowDeployment {
+    Seconds total_runtime{0.0};
+    Dollars vm_cost{0.0};
+    Dollars storage_cost{0.0};
+    bool met_deadline = false;
+    CapacityBreakdown capacities;
+    std::vector<sim::JobResult> job_results;   // workflow job order
+    std::vector<Seconds> transfer_times;       // workflow edge order
+
+    [[nodiscard]] Dollars total_cost() const { return vm_cost + storage_cost; }
+};
+
+class Deployer {
+public:
+    explicit Deployer(sim::SimOptions sim_options = {}) : sim_options_(sim_options) {}
+
+    /// Deploy a workload plan: provision per the evaluator's capacity
+    /// breakdown, run all jobs serially, measure.
+    [[nodiscard]] WorkloadDeployment deploy(const PlanEvaluator& evaluator,
+                                            const TieringPlan& plan) const;
+
+    /// Deploy a workflow plan: jobs in topological order with cross-tier
+    /// transfers on edges whose endpoints differ.
+    [[nodiscard]] WorkflowDeployment deploy_workflow(const WorkflowEvaluator& evaluator,
+                                                     const WorkflowPlan& plan) const;
+
+private:
+    /// Build the simulator with the plan's per-VM capacities (persSSD floor
+    /// for objStore intermediates included by the evaluators).
+    [[nodiscard]] sim::ClusterSim make_sim(const model::PerfModelSet& models,
+                                           const CapacityBreakdown& caps) const;
+
+    sim::SimOptions sim_options_;
+};
+
+}  // namespace cast::core

@@ -1,0 +1,48 @@
+#include "core/greedy.hpp"
+
+namespace cast::core {
+
+double GreedySolver::single_job_utility(const workload::JobSpec& job, cloud::StorageTier tier,
+                                        double k) const {
+    // Algorithm 1 computes Utility(j, f) from Eq. 1 and Eq. 2 for the job
+    // in isolation: a one-job workload evaluated under the same model.
+    workload::JobSpec solo = job;
+    solo.reuse_group = std::nullopt;  // isolation: reuse is invisible to greedy
+    PlanEvaluator solo_eval(evaluator_->models(), workload::Workload({solo}),
+                            evaluator_->options());
+    TieringPlan plan(std::vector<PlacementDecision>{PlacementDecision{tier, k}});
+    const PlanEvaluation eval = solo_eval.evaluate(plan);
+    return eval.feasible ? eval.utility : 0.0;
+}
+
+TieringPlan GreedySolver::solve(const GreedyOptions& options) const {
+    CAST_EXPECTS(!options.overprov_choices.empty());
+    const auto& jobs = evaluator_->workload().jobs();
+    std::vector<PlacementDecision> decisions;
+    decisions.reserve(jobs.size());
+    for (const auto& job : jobs) {
+        PlacementDecision best{cloud::kAllTiers.front(), 1.0};
+        double best_utility = -1.0;
+        for (cloud::StorageTier tier : cloud::kAllTiers) {
+            if (options.over_provision) {
+                for (double k : options.overprov_choices) {
+                    const double u = single_job_utility(job, tier, k);
+                    if (u > best_utility) {
+                        best_utility = u;
+                        best = PlacementDecision{tier, k};
+                    }
+                }
+            } else {
+                const double u = single_job_utility(job, tier, 1.0);
+                if (u > best_utility) {
+                    best_utility = u;
+                    best = PlacementDecision{tier, 1.0};
+                }
+            }
+        }
+        decisions.push_back(best);
+    }
+    return TieringPlan(std::move(decisions));
+}
+
+}  // namespace cast::core

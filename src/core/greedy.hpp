@@ -1,0 +1,43 @@
+// Greedy static tiering (paper Algorithm 1).
+//
+// For each job independently, pick the tier with the highest single-job
+// utility. Two variants from §5.1.2: "exact-fit" provisions exactly the
+// Eq. 3 requirement; "over-provisioned" additionally sweeps the
+// over-provisioning factor per job. Greedy is deliberately myopic — it
+// evaluates each job as if it were the whole workload, so it cannot see
+// that piling jobs onto one tier changes that tier's capacity-scaled
+// performance and everyone's share of the storage bill. CAST's annealing
+// solver exists because of exactly this flaw (§4.2.2), and Fig. 7 measures
+// the gap.
+#pragma once
+
+#include <vector>
+
+#include "core/plan.hpp"
+#include "core/utility.hpp"
+
+namespace cast::core {
+
+struct GreedyOptions {
+    /// false: exact-fit (kᵢ = 1). true: sweep kᵢ over overprov_choices.
+    bool over_provision = false;
+    std::vector<double> overprov_choices = {1.0, 1.5, 2.0, 3.0, 4.0};
+};
+
+class GreedySolver {
+public:
+    explicit GreedySolver(const PlanEvaluator& evaluator) : evaluator_(&evaluator) {}
+
+    [[nodiscard]] TieringPlan solve(const GreedyOptions& options = {}) const;
+
+    /// Single-job utility of placing `job` on `tier` with factor k — the
+    /// Utility(j, f) of Algorithm 1. Returns 0 when the placement is
+    /// infeasible on its own.
+    [[nodiscard]] double single_job_utility(const workload::JobSpec& job,
+                                            cloud::StorageTier tier, double k) const;
+
+private:
+    const PlanEvaluator* evaluator_;
+};
+
+}  // namespace cast::core

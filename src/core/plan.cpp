@@ -1,0 +1,24 @@
+#include "core/plan.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace cast::core {
+
+std::string TieringPlan::summarize() const {
+    std::array<int, cloud::kTierCount> counts{};
+    for (const auto& d : decisions_) counts[cloud::tier_index(d.tier)]++;
+    std::ostringstream ss;
+    bool first = true;
+    for (cloud::StorageTier t : cloud::kAllTiers) {
+        const int n = counts[cloud::tier_index(t)];
+        if (n == 0) continue;
+        if (!first) ss << ", ";
+        first = false;
+        ss << n << " jobs on " << cloud::tier_name(t);
+    }
+    if (first) ss << "(empty plan)";
+    return ss.str();
+}
+
+}  // namespace cast::core

@@ -1,0 +1,36 @@
+// Deployment reports: human-readable summaries of a planned or deployed
+// workload, for operators and CI logs.
+//
+// Turns a (plan, evaluation/deployment) pair into the artifacts a tenant
+// reviews before committing money: the per-job placement and runtime
+// table, the per-tier provisioning bill, and the modeled-vs-measured
+// comparison when both are available.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/castpp.hpp"
+#include "core/deployer.hpp"
+
+namespace cast::core {
+
+/// Per-tier provisioning + cost bill for a capacity breakdown over a given
+/// runtime (hourly storage billing, Eq. 6).
+void write_capacity_bill(const CapacityBreakdown& caps, Seconds runtime,
+                         const cloud::StorageCatalog& catalog, std::ostream& os);
+
+/// Full plan report: placement table, modeled runtime/cost/utility, bill.
+void write_plan_report(const PlanEvaluator& evaluator, const TieringPlan& plan,
+                       const PlanEvaluation& evaluation, std::ostream& os);
+
+/// Deployment report: adds measured per-job phase times and the
+/// modeled-vs-measured deltas.
+void write_deployment_report(const PlanEvaluator& evaluator, const TieringPlan& plan,
+                             const PlanEvaluation& modeled,
+                             const WorkloadDeployment& measured, std::ostream& os);
+
+/// Workflow report: per-job placements, per-edge transfers, deadline verdict.
+void write_workflow_report(const WorkflowEvaluator& evaluator, const WorkflowPlan& plan,
+                           const WorkflowDeployment& measured, std::ostream& os);
+
+}  // namespace cast::core

@@ -1,0 +1,148 @@
+#include "core/utility.hpp"
+
+#include <cmath>
+
+namespace cast::core {
+
+namespace {
+using cloud::StorageTier;
+using cloud::tier_index;
+}  // namespace
+
+PlanEvaluator::PlanEvaluator(const model::PerfModelSet& models, workload::Workload workload,
+                             EvalOptions options)
+    : models_(&models), workload_(std::move(workload)), options_(options) {
+    group_leader_.assign(workload_.size(), true);
+    if (options_.reuse_aware) {
+        for (const auto& [group, members] : workload_.reuse_groups()) {
+            for (std::size_t i = 1; i < members.size(); ++i) {
+                group_leader_[members[i]] = false;
+            }
+        }
+    }
+}
+
+GigaBytes PlanEvaluator::job_requirement(std::size_t job_idx) const {
+    const auto& job = workload_.job(job_idx);
+    if (options_.reuse_aware && job.reuse_group && !group_leader_[job_idx]) {
+        // The shared input is provisioned by the group leader.
+        return job.intermediate() + job.output();
+    }
+    return job.capacity_requirement();
+}
+
+bool PlanEvaluator::pays_input_download(std::size_t job_idx) const {
+    const auto& job = workload_.job(job_idx);
+    return !(options_.reuse_aware && job.reuse_group && !group_leader_[job_idx]);
+}
+
+CapacityBreakdown PlanEvaluator::capacities(const TieringPlan& plan) const {
+    CAST_EXPECTS_MSG(plan.size() == workload_.size(), "plan/workload size mismatch");
+    CapacityBreakdown caps;
+    GigaBytes max_object_store_inter{0.0};
+    bool any_on_object_store = false;
+    for (std::size_t i = 0; i < workload_.size(); ++i) {
+        const auto& d = plan.decision(i);
+        const auto& job = workload_.job(i);
+        const GigaBytes ci{job_requirement(i).value() * d.overprovision};
+        caps.aggregate[tier_index(d.tier)] += ci;
+        if (d.tier == StorageTier::kEphemeralSsd) {
+            // Backing store: the input comes from, and the output returns
+            // to, objStore (charged there).
+            GigaBytes backing = job.output();
+            if (pays_input_download(i)) backing += job.input;
+            caps.aggregate[tier_index(StorageTier::kObjectStore)] += backing;
+        }
+        if (d.tier == StorageTier::kObjectStore) {
+            any_on_object_store = true;
+            if (job.intermediate() > max_object_store_inter) {
+                max_object_store_inter = job.intermediate();
+            }
+        }
+    }
+    const int nvm = models_->cluster().worker_count;
+    if (any_on_object_store) {
+        // Reserve the conventional persSSD intermediate volume on each VM
+        // if the plan does not already provision at least that much.
+        auto& pers = caps.aggregate[tier_index(StorageTier::kPersistentSsd)];
+        const GigaBytes floor{
+            cloud::object_store_intermediate_volume(max_object_store_inter, nvm).value() *
+            nvm};
+        if (pers < floor) pers = floor;
+    }
+    // Round per-VM capacities to what the provider actually provisions;
+    // throws when a tier exceeds its per-VM limits.
+    for (StorageTier t : cloud::kAllTiers) {
+        const GigaBytes agg = caps.aggregate[tier_index(t)];
+        if (agg.value() <= 0.0) continue;
+        if (t == StorageTier::kObjectStore) {
+            caps.per_vm[tier_index(t)] = GigaBytes{agg.value() / nvm};
+            continue;
+        }
+        const auto& service = models_->catalog().service(t);
+        const GigaBytes per_vm = service.provision(GigaBytes{agg.value() / nvm});
+        caps.per_vm[tier_index(t)] = per_vm;
+        caps.aggregate[tier_index(t)] = GigaBytes{per_vm.value() * nvm};
+    }
+    return caps;
+}
+
+std::pair<Dollars, Dollars> PlanEvaluator::costs_for(Seconds runtime,
+                                                     const CapacityBreakdown& caps) const {
+    CAST_EXPECTS(runtime.value() > 0.0);
+    const auto& cluster = models_->cluster();
+    // Eq. 5: VM-minutes over the makespan (workers + master).
+    const Dollars vm_cost{cluster.price_per_minute().value() * runtime.minutes()};
+    // Eq. 6: storage is billed per GB-hour with hourly rounding.
+    const double hours = std::ceil(runtime.minutes() / 60.0);
+    double storage = 0.0;
+    for (StorageTier t : cloud::kAllTiers) {
+        const GigaBytes cap = caps.aggregate[tier_index(t)];
+        if (cap.value() <= 0.0) continue;
+        storage += cap.value() * models_->catalog().service(t).price_per_gb_hour().value() *
+                   hours;
+    }
+    return {vm_cost, Dollars{storage}};
+}
+
+PlanEvaluation PlanEvaluator::evaluate(const TieringPlan& plan) const {
+    CAST_EXPECTS_MSG(plan.size() == workload_.size(), "plan/workload size mismatch");
+    PlanEvaluation eval;
+    if (workload_.empty()) {
+        eval.infeasibility = "empty workload";
+        return eval;
+    }
+    if (options_.reuse_aware && !plan.respects_reuse_groups(workload_)) {
+        eval.infeasibility = "plan splits a reuse group across tiers (violates Eq. 7)";
+        return eval;
+    }
+    try {
+        eval.capacities = capacities(plan);
+    } catch (const ValidationError& e) {
+        eval.infeasibility = e.what();
+        return eval;
+    }
+
+    // Eq. 4: serial makespan out of per-job REG estimates at the plan's
+    // per-VM capacities.
+    eval.job_runtimes.reserve(workload_.size());
+    Seconds total{0.0};
+    for (std::size_t i = 0; i < workload_.size(); ++i) {
+        const auto& d = plan.decision(i);
+        model::StagingLegs legs = model::StagingLegs::for_tier(d.tier);
+        if (legs.download_input) legs.download_input = pays_input_download(i);
+        const Seconds t = models_->job_runtime(
+            workload_.job(i), d.tier, eval.capacities.per_vm[tier_index(d.tier)], legs);
+        eval.job_runtimes.push_back(t);
+        total += t;
+    }
+    eval.total_runtime = total;
+    const auto [vm, store] = costs_for(total, eval.capacities);
+    eval.vm_cost = vm;
+    eval.storage_cost = store;
+    eval.utility = tenant_utility(total, eval.total_cost());
+    eval.feasible = true;
+    return eval;
+}
+
+}  // namespace cast::core

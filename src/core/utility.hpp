@@ -1,0 +1,117 @@
+// Tenant-utility evaluation of a tiering plan (paper Eq. 2-6).
+//
+// Implements the solver's objective exactly as modeled in §4.2.1:
+//
+//   max U = (1/T) / ($vm + $store)                                  (Eq. 2)
+//   s.t.  cᵢ >= inputᵢ + interᵢ + outputᵢ                           (Eq. 3)
+//   T = Σᵢ REG(sᵢ, capacity[sᵢ], R̂, L̂ᵢ)    [minutes]               (Eq. 4)
+//   $vm = nvm · pricevm · T                                         (Eq. 5)
+//   $store = Σ_f capacity[f] · pricestore[f] · ceil(T/60)           (Eq. 6)
+//
+// plus the deployment conventions the paper's measurements include: jobs on
+// ephSSD also pay for objStore backing capacity and the staging legs, and
+// jobs on objStore reserve a persSSD volume for intermediate data. With
+// EvalOptions::reuse_aware (CAST++), inputs shared by a reuse group are
+// provisioned once and downloaded once (Eq. 7 co-location is enforced by
+// the solver's move generator and checked here).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "cloud/storage.hpp"
+#include "common/units.hpp"
+#include "core/plan.hpp"
+#include "model/profiler.hpp"
+#include "workload/job.hpp"
+
+namespace cast::core {
+
+struct EvalOptions {
+    /// CAST++ data-reuse awareness (Eq. 7 + shared-capacity accounting).
+    bool reuse_aware = false;
+};
+
+/// Aggregate and per-VM provisioned capacity per tier implied by a plan.
+struct CapacityBreakdown {
+    std::array<GigaBytes, cloud::kTierCount> aggregate{};
+    std::array<GigaBytes, cloud::kTierCount> per_vm{};
+
+    [[nodiscard]] GigaBytes aggregate_of(cloud::StorageTier t) const {
+        return aggregate[cloud::tier_index(t)];
+    }
+    [[nodiscard]] GigaBytes per_vm_of(cloud::StorageTier t) const {
+        return per_vm[cloud::tier_index(t)];
+    }
+    [[nodiscard]] GigaBytes total() const {
+        GigaBytes sum{0.0};
+        for (const auto& c : aggregate) sum += c;
+        return sum;
+    }
+};
+
+struct PlanEvaluation {
+    bool feasible = false;
+    std::string infeasibility;
+    Seconds total_runtime{0.0};
+    Dollars vm_cost{0.0};
+    Dollars storage_cost{0.0};
+    double utility = 0.0;
+    CapacityBreakdown capacities;
+    std::vector<Seconds> job_runtimes;
+
+    [[nodiscard]] Dollars total_cost() const { return vm_cost + storage_cost; }
+};
+
+class PlanEvaluator {
+public:
+    PlanEvaluator(const model::PerfModelSet& models, workload::Workload workload,
+                  EvalOptions options = {});
+
+    [[nodiscard]] const workload::Workload& workload() const { return workload_; }
+    [[nodiscard]] const model::PerfModelSet& models() const { return *models_; }
+    [[nodiscard]] const EvalOptions& options() const { return options_; }
+
+    /// Eq. 3 requirement of one job, reuse-adjusted when reuse_aware: the
+    /// shared input is charged to the group's first member only.
+    [[nodiscard]] GigaBytes job_requirement(std::size_t job_idx) const;
+
+    /// Whether this job pays the input-download staging leg when placed on
+    /// a non-persistent tier (false for reuse-group members after the
+    /// first, when reuse_aware).
+    [[nodiscard]] bool pays_input_download(std::size_t job_idx) const;
+
+    /// Provisioned capacities (incl. objStore backing for ephSSD jobs and
+    /// the persSSD intermediate reservation for objStore jobs). Throws
+    /// cloud ValidationError via the catalog when a per-VM capacity exceeds
+    /// provider limits.
+    [[nodiscard]] CapacityBreakdown capacities(const TieringPlan& plan) const;
+
+    /// Full Eq. 2-6 evaluation. Never throws on infeasible plans: returns
+    /// feasible=false with utility 0 so annealing can reject them.
+    [[nodiscard]] PlanEvaluation evaluate(const TieringPlan& plan) const;
+
+    /// Cost of running for `runtime` with the given capacities (Eq. 5-6);
+    /// shared with the deployer so modeled and measured costs use one
+    /// formula.
+    [[nodiscard]] std::pair<Dollars, Dollars> costs_for(Seconds runtime,
+                                                        const CapacityBreakdown& caps) const;
+
+private:
+    const model::PerfModelSet* models_;
+    workload::Workload workload_;
+    EvalOptions options_;
+    /// job index -> true when the job is its reuse group's first member
+    /// (or has no group).
+    std::vector<bool> group_leader_;
+};
+
+/// Eq. 2's utility for a given runtime and cost.
+[[nodiscard]] inline double tenant_utility(Seconds runtime, Dollars total_cost) {
+    CAST_EXPECTS(runtime.value() > 0.0);
+    CAST_EXPECTS(total_cost.value() > 0.0);
+    return (1.0 / runtime.minutes()) / total_cost.value();
+}
+
+}  // namespace cast::core

@@ -1,0 +1,422 @@
+#include "sim/mapreduce.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "sim/flow_engine.hpp"
+#include "sim/phase_runner.hpp"
+
+namespace cast::sim {
+
+namespace {
+
+using cloud::StorageTier;
+using cloud::tier_index;
+using workload::ApplicationProfile;
+
+// Capacity of the uncontended resource used for CPU work and fixed delays.
+constexpr double kUnboundedMbps = 1e15;
+
+}  // namespace
+
+JobPlacement JobPlacement::on_tier(const workload::JobSpec& job, StorageTier tier) {
+    JobPlacement p;
+    p.job = job;
+    p.input_splits = {InputSplit{tier, 1.0}};
+    p.intermediate_tier = tier;
+    p.output_tier = tier;
+    if (tier == StorageTier::kEphemeralSsd) {
+        // ephSSD offers no persistence: inputs come down from, and outputs
+        // go back to, the object store (Fig. 1 caption).
+        p.stage_in = true;
+        p.stage_out = true;
+    } else if (tier == StorageTier::kObjectStore) {
+        // Intermediate (shuffle) data cannot live in the object store; the
+        // paper attaches a persSSD volume for it (§3.1.1).
+        p.intermediate_tier = StorageTier::kPersistentSsd;
+    }
+    return p;
+}
+
+void JobPlacement::validate() const {
+    job.validate();
+    CAST_EXPECTS_MSG(!input_splits.empty(), "placement needs at least one input split");
+    double total = 0.0;
+    for (const auto& s : input_splits) {
+        CAST_EXPECTS_MSG(s.fraction > 0.0, "input split fraction must be positive");
+        total += s.fraction;
+    }
+    CAST_EXPECTS_MSG(approx_equal(total, 1.0, 1e-6), "input split fractions must sum to 1");
+    CAST_EXPECTS_MSG(intermediate_tier != StorageTier::kObjectStore,
+                     "intermediate data cannot live in the object store");
+}
+
+ClusterSim::ClusterSim(cloud::ClusterSpec cluster, cloud::StorageCatalog catalog,
+                       TierCapacities capacities, SimOptions options)
+    : cluster_(std::move(cluster)),
+      catalog_(std::move(catalog)),
+      capacities_(capacities),
+      options_(options) {
+    cluster_.validate();
+    CAST_EXPECTS(options_.jitter_sigma >= 0.0);
+    for (StorageTier t : cloud::kAllTiers) {
+        const auto& service = catalog_.service(t);
+        const GigaBytes per_vm = capacities_.of(t);
+        if (t == StorageTier::kObjectStore) {
+            // Always reachable; capacity only matters for billing.
+            perf_[tier_index(t)] = service.performance(per_vm);
+        } else if (per_vm.value() > 0.0) {
+            const GigaBytes provisioned = service.provision(per_vm);
+            capacities_.set(t, provisioned);
+            perf_[tier_index(t)] = service.performance(provisioned);
+        }
+    }
+}
+
+MBytesPerSec ClusterSim::tier_bandwidth_per_vm(StorageTier t) const {
+    const auto& p = perf_[tier_index(t)];
+    CAST_EXPECTS_MSG(p.has_value(), std::string("tier not attached: ") +
+                                        std::string(cloud::tier_name(t)));
+    return p->read_bw;
+}
+
+namespace {
+
+/// Per-run scratch: resource ids for (vm, tier) volume pools plus the
+/// uncontended resource.
+struct ResourceTable {
+    FlowEngine& engine;
+    int vm_count;
+    std::array<std::vector<ResourceId>, cloud::kTierCount> pools{};
+    std::vector<ResourceId> network_pools;
+    ResourceId unbounded;
+    // The object store is a shared service with bucket-level aggregate
+    // ceilings, so it gets two cluster-wide pools (read / write) instead of
+    // per-VM volume pools.
+    std::optional<ResourceId> object_store_read;
+    std::optional<ResourceId> object_store_write;
+
+    ResourceTable(FlowEngine& eng, int vms, MBytesPerSec network_bw)
+        : engine(eng), vm_count(vms) {
+        unbounded = engine.add_resource(MBytesPerSec{kUnboundedMbps});
+        network_pools.reserve(static_cast<std::size_t>(vms));
+        for (int i = 0; i < vms; ++i) network_pools.push_back(engine.add_resource(network_bw));
+    }
+
+    [[nodiscard]] ResourceId network(int vm) const {
+        CAST_EXPECTS(vm >= 0 && vm < static_cast<int>(network_pools.size()));
+        return network_pools[static_cast<std::size_t>(vm)];
+    }
+
+    void attach_tier(StorageTier t, MBytesPerSec per_vm_bw) {
+        CAST_EXPECTS(t != StorageTier::kObjectStore);
+        auto& v = pools[tier_index(t)];
+        if (!v.empty()) return;
+        v.reserve(static_cast<std::size_t>(vm_count));
+        for (int i = 0; i < vm_count; ++i) v.push_back(engine.add_resource(per_vm_bw));
+    }
+
+    void attach_object_store(MBytesPerSec cluster_read, MBytesPerSec cluster_write) {
+        if (object_store_read) return;
+        object_store_read = engine.add_resource(cluster_read);
+        object_store_write = engine.add_resource(cluster_write);
+    }
+
+    [[nodiscard]] ResourceId pool(StorageTier t, int vm) const {
+        CAST_EXPECTS_MSG(t != StorageTier::kObjectStore,
+                         "objStore access must name a direction");
+        const auto& v = pools[tier_index(t)];
+        CAST_EXPECTS_MSG(!v.empty(), "tier pool not attached");
+        CAST_EXPECTS(vm >= 0 && vm < static_cast<int>(v.size()));
+        return v[static_cast<std::size_t>(vm)];
+    }
+
+    [[nodiscard]] ResourceId read_pool(StorageTier t, int vm) const {
+        if (t == StorageTier::kObjectStore) {
+            CAST_EXPECTS(object_store_read.has_value());
+            return *object_store_read;
+        }
+        return pool(t, vm);
+    }
+
+    [[nodiscard]] ResourceId write_pool(StorageTier t, int vm) const {
+        if (t == StorageTier::kObjectStore) {
+            CAST_EXPECTS(object_store_write.has_value());
+            return *object_store_write;
+        }
+        return pool(t, vm);
+    }
+};
+
+}  // namespace
+
+JobResult ClusterSim::run_job(const JobPlacement& placement) const {
+    placement.validate();
+    const workload::JobSpec& job = placement.job;
+    const ApplicationProfile& app = job.profile();
+    const int nvm = cluster_.worker_count;
+    const int map_slots = cluster_.worker.map_slots;
+    const int reduce_slots = cluster_.worker.reduce_slots;
+
+    // Every tier the job touches must be attached (provisioned), except the
+    // object store which is always reachable.
+    auto require_tier = [&](StorageTier t) {
+        if (t == StorageTier::kObjectStore) return;
+        CAST_EXPECTS_MSG(perf_[tier_index(t)].has_value(),
+                         std::string("job placed on unprovisioned tier ") +
+                             std::string(cloud::tier_name(t)));
+    };
+    for (const auto& s : placement.input_splits) require_tier(s.tier);
+    require_tier(placement.intermediate_tier);
+    require_tier(placement.output_tier);
+
+    // Per-stream ceiling: one task stream cannot exceed its slot share of
+    // the volume even when other slots are idle. This models the
+    // queue-depth-based throttling of provider block devices and HDFS's
+    // per-reader pacing, and is what produces the paper's Fig. 5 result:
+    // tasks on a slow tier run at slow-tier pace no matter how few they
+    // are, so mixed placements track the slow tier.
+    auto per_stream_cap = [&](StorageTier t) {
+        const auto& p = perf_[tier_index(t)];
+        CAST_EXPECTS(p.has_value());
+        return p->read_bw.value() / static_cast<double>(map_slots);
+    };
+
+    FlowEngine engine;
+    ResourceTable res(engine, nvm, cluster_.worker.shuffle_network_bw);
+    for (StorageTier t : cloud::kAllTiers) {
+        const bool used =
+            std::any_of(placement.input_splits.begin(), placement.input_splits.end(),
+                        [&](const InputSplit& s) { return s.tier == t; }) ||
+            placement.intermediate_tier == t || placement.output_tier == t ||
+            (t == StorageTier::kObjectStore && (placement.stage_in || placement.stage_out));
+        if (used) {
+            require_tier(t);
+            if (t == StorageTier::kObjectStore) {
+                const auto& svc = catalog_.service(t);
+                res.attach_object_store(svc.cluster_read_bw(GigaBytes{0.0}, nvm),
+                                        svc.cluster_write_bw(GigaBytes{0.0}, nvm));
+            } else {
+                res.attach_tier(t, perf_[tier_index(t)]->read_bw);
+            }
+        }
+    }
+
+    Rng rng = Rng(options_.seed).fork(static_cast<std::uint64_t>(job.id));
+    auto jitter = [&]() {
+        return options_.jitter_sigma > 0.0 ? rng.lognormal_jitter(options_.jitter_sigma) : 1.0;
+    };
+
+    const double input_mb = job.input.megabytes();
+    const double inter_mb = job.intermediate().megabytes();
+    const double output_mb = job.output().megabytes();
+    const int m = job.map_tasks;
+    const int r = job.reduce_tasks;
+    const double chunk_mb = input_mb / m;
+    const Seconds obj_overhead = catalog_.service(StorageTier::kObjectStore).request_overhead();
+
+    PhaseTimes phases;
+
+    // ---- Stage in: bulk parallel copy objStore -> input tiers. One
+    // high-queue-depth stream per VM (distcp-style), so the per-stream
+    // ceiling does not apply; the copy runs at the slower of the
+    // object-store allocation and the destination volume's write bandwidth.
+    if (placement.stage_in) {
+        std::vector<SimTask> tasks;
+        for (const auto& split : placement.input_splits) {
+            CAST_EXPECTS_MSG(split.tier != StorageTier::kObjectStore,
+                             "staging in to objStore makes no sense");
+            const double per_vm_mb = input_mb * split.fraction / nvm;
+            const double dest_bw = perf_[tier_index(split.tier)]->write_bw.value();
+            for (int vm = 0; vm < nvm; ++vm) {
+                tasks.push_back(SimTask{
+                    vm,
+                    {Segment{res.read_pool(StorageTier::kObjectStore, vm),
+                             per_vm_mb * jitter(), dest_bw}}});
+            }
+        }
+        phases.stage_in = run_phase(engine, std::move(tasks), nvm, /*slots_per_vm=*/2);
+    }
+
+    // Assign each map task an input tier according to the split fractions:
+    // the first ceil(f1*m) tasks read split 1, and so on (HDFS places a
+    // file's blocks contiguously per tier).
+    auto input_tier_of_task = [&](int t) {
+        double cum = 0.0;
+        for (const auto& split : placement.input_splits) {
+            cum += split.fraction;
+            if (static_cast<double>(t + 1) <= cum * m + 1e-9) return split.tier;
+        }
+        return placement.input_splits.back().tier;
+    };
+
+    for (int iter = 0; iter < app.iterations(); ++iter) {
+        const bool last_iter = iter + 1 == app.iterations();
+        const StorageTier out_tier =
+            last_iter ? placement.output_tier : placement.intermediate_tier;
+
+        // ---- Map phase.
+        {
+            std::vector<SimTask> tasks;
+            tasks.reserve(static_cast<std::size_t>(m));
+            for (int t = 0; t < m; ++t) {
+                const int vm = t % nvm;
+                const StorageTier in_tier = input_tier_of_task(t);
+                SimTask task{vm, {}};
+                if (in_tier == StorageTier::kObjectStore) {
+                    // Connection setup per input object (GCS connector).
+                    task.segments.push_back(
+                        Segment{res.unbounded,
+                                app.files_per_map_task() * obj_overhead.value() * jitter(),
+                                1.0});
+                }
+                // Streamed read + compute of this task's chunk.
+                task.segments.push_back(
+                    Segment{res.read_pool(in_tier, vm), chunk_mb * jitter(),
+                            std::min(app.map_compute_rate().value(), per_stream_cap(in_tier))});
+                // Emit intermediate data.
+                if (inter_mb > 0.0) {
+                    task.segments.push_back(
+                        Segment{res.write_pool(placement.intermediate_tier, vm),
+                                (inter_mb / m) * jitter(),
+                                std::min(app.map_compute_rate().value(),
+                                         per_stream_cap(placement.intermediate_tier))});
+                }
+                tasks.push_back(std::move(task));
+            }
+            phases.map += run_phase(engine, std::move(tasks), nvm, map_slots);
+        }
+
+        // ---- Shuffle phase: each reduce task fetches its partition of the
+        // intermediate data from the map-side volumes. On a multi-node
+        // cluster the fetches cross the network and drain through the
+        // Hadoop shuffle path's per-VM throughput; on a single node the
+        // shuffle is a local copy on the intermediate volume.
+        if (inter_mb > 0.0) {
+            std::vector<SimTask> tasks;
+            tasks.reserve(static_cast<std::size_t>(r));
+            for (int t = 0; t < r; ++t) {
+                const int vm = t % nvm;
+                const ResourceId pool = nvm > 1
+                                            ? res.network(vm)
+                                            : res.pool(placement.intermediate_tier, vm);
+                tasks.push_back(SimTask{
+                    vm,
+                    {Segment{pool, (inter_mb / r) * jitter(),
+                             std::min(app.shuffle_transfer_rate().value(),
+                                      per_stream_cap(placement.intermediate_tier))}}});
+            }
+            phases.shuffle += run_phase(engine, std::move(tasks), nvm, reduce_slots);
+        }
+
+        // ---- Reduce phase: merge-read the shuffled partition, compute,
+        // write the output.
+        {
+            std::vector<SimTask> tasks;
+            tasks.reserve(static_cast<std::size_t>(r));
+            const double out_this_iter_mb = last_iter ? output_mb : inter_mb * 0.05;
+            for (int t = 0; t < r; ++t) {
+                const int vm = t % nvm;
+                SimTask task{vm, {}};
+                if (inter_mb > 0.0) {
+                    task.segments.push_back(
+                        Segment{res.pool(placement.intermediate_tier, vm),
+                                (inter_mb / r) * jitter(),
+                                std::min(app.reduce_compute_rate().value(),
+                                         per_stream_cap(placement.intermediate_tier))});
+                }
+                if (out_this_iter_mb > 0.0) {
+                    if (out_tier == StorageTier::kObjectStore) {
+                        // Connection setup + commit for every output object,
+                        // then the write itself, then the rename-as-copy the
+                        // Hadoop output committer performs on object stores.
+                        task.segments.push_back(Segment{
+                            res.unbounded,
+                            app.files_per_reduce_task() * obj_overhead.value() * jitter(),
+                            1.0});
+                        task.segments.push_back(
+                            Segment{res.write_pool(out_tier, vm),
+                                    (out_this_iter_mb / r) * jitter(),
+                                    std::min(app.reduce_compute_rate().value(),
+                                             per_stream_cap(out_tier))});
+                        task.segments.push_back(
+                            Segment{res.write_pool(out_tier, vm),
+                                    (out_this_iter_mb / r) * jitter(),
+                                    per_stream_cap(out_tier)});
+                    } else {
+                        task.segments.push_back(
+                            Segment{res.write_pool(out_tier, vm),
+                                    (out_this_iter_mb / r) * jitter(),
+                                    std::min(app.reduce_compute_rate().value(),
+                                             per_stream_cap(out_tier))});
+                    }
+                }
+                if (task.segments.empty()) {
+                    // Degenerate (no intermediate, no output): a token tick
+                    // so the task still occupies its slot.
+                    task.segments.push_back(Segment{res.unbounded, 1e-3, 1.0});
+                }
+                tasks.push_back(std::move(task));
+            }
+            phases.reduce += run_phase(engine, std::move(tasks), nvm, reduce_slots);
+        }
+    }
+
+    // ---- Stage out: bulk copy of the final output to the object store.
+    if (placement.stage_out && output_mb > 0.0 &&
+        placement.output_tier != StorageTier::kObjectStore) {
+        std::vector<SimTask> tasks;
+        const double src_bw = perf_[tier_index(placement.output_tier)]->read_bw.value();
+        for (int vm = 0; vm < nvm; ++vm) {
+            tasks.push_back(SimTask{
+                vm,
+                {Segment{res.write_pool(StorageTier::kObjectStore, vm),
+                         (output_mb / nvm) * jitter(), src_bw}}});
+        }
+        phases.stage_out = run_phase(engine, std::move(tasks), nvm, /*slots_per_vm=*/2);
+    }
+
+    JobResult result;
+    result.phases = phases;
+    result.makespan = engine.now();
+    CAST_ENSURES(result.makespan.value() >= 0.0);
+    CAST_ENSURES(approx_equal(result.makespan.value(), phases.total().value(), 1e-6));
+    return result;
+}
+
+Seconds ClusterSim::run_transfer(GigaBytes volume, StorageTier from, StorageTier to) const {
+    CAST_EXPECTS(volume.value() >= 0.0);
+    if (volume.value() <= 0.0 || from == to) return Seconds{0.0};
+    const auto& src = perf_[tier_index(from)];
+    const auto& dst = perf_[tier_index(to)];
+    CAST_EXPECTS_MSG(src.has_value() && dst.has_value(),
+                     "transfer endpoints must be provisioned tiers");
+    const int nvm = cluster_.worker_count;
+    // One bulk stream per VM between the source and destination (deep
+    // queues, so no slot-share throttling). Block volumes scale with the
+    // VM count; an objStore endpoint is bounded by its cluster-level
+    // aggregate ceiling.
+    auto side_bw = [&](StorageTier t, bool reading) {
+        const auto& svc = catalog_.service(t);
+        if (t == StorageTier::kObjectStore) {
+            return reading ? svc.cluster_read_bw(GigaBytes{0.0}, nvm).value()
+                           : svc.cluster_write_bw(GigaBytes{0.0}, nvm).value();
+        }
+        const auto& p = perf_[tier_index(t)];
+        return (reading ? p->read_bw.value() : p->write_bw.value()) * nvm;
+    };
+    const double cluster_rate = std::min(side_bw(from, true), side_bw(to, false));
+    CAST_ENSURES(cluster_rate > 0.0);
+    return Seconds{volume.megabytes() / cluster_rate};
+}
+
+std::vector<JobResult> ClusterSim::run_serial(
+    const std::vector<JobPlacement>& placements) const {
+    std::vector<JobResult> results;
+    results.reserve(placements.size());
+    for (const auto& p : placements) results.push_back(run_job(p));
+    return results;
+}
+
+}  // namespace cast::sim

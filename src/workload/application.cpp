@@ -1,0 +1,137 @@
+#include "workload/application.hpp"
+
+#include <vector>
+
+namespace cast::workload {
+
+std::string_view app_name(AppKind a) {
+    switch (a) {
+        case AppKind::kSort: return "Sort";
+        case AppKind::kJoin: return "Join";
+        case AppKind::kGrep: return "Grep";
+        case AppKind::kKMeans: return "KMeans";
+        case AppKind::kPageRank: return "PageRank";
+    }
+    CAST_ENSURES_MSG(false, "unreachable: bad AppKind");
+}
+
+std::optional<AppKind> app_from_name(std::string_view name) {
+    for (AppKind a : kAllApps) {
+        if (app_name(a) == name) return a;
+    }
+    return std::nullopt;
+}
+
+std::string_view phase_name(Phase p) {
+    switch (p) {
+        case Phase::kMap: return "map";
+        case Phase::kShuffle: return "shuffle";
+        case Phase::kReduce: return "reduce";
+    }
+    CAST_ENSURES_MSG(false, "unreachable: bad Phase");
+}
+
+namespace {
+
+using literals::operator""_MBps;
+
+std::vector<ApplicationProfile> build_profiles() {
+    std::vector<ApplicationProfile> profiles;
+    profiles.reserve(kAllApps.size());
+
+    // Sort: shuffle-intensive (Table 2). No data reduction in the map phase
+    // (§3.1.2: "there is no data reduction in the map phase and the entire
+    // input size is written to intermediate files"), so intermediate and
+    // output volumes equal the input and the shuffle dominates. Per-task
+    // compute rates are high enough that storage is the bottleneck on every
+    // tier but ephSSD.
+    profiles.emplace_back(AppKind::kSort,
+                          PhaseIntensity{.map_io = false, .shuffle_io = true,
+                                         .reduce_io = false, .cpu = false},
+                          /*map_selectivity=*/1.0, /*reduce_selectivity=*/1.0,
+                          /*iterations=*/1,
+                          /*map_compute_rate=*/60.0_MBps,
+                          /*shuffle_transfer_rate=*/55.0_MBps,
+                          /*reduce_compute_rate=*/50.0_MBps,
+                          /*files_per_map_task=*/1, /*files_per_reduce_task=*/1);
+
+    // Join: reduce-intensive query (Table 2); combines rows from multiple
+    // tables (several input objects per map task) and its reduce tasks emit
+    // many small files — on objStore every one pays the GCS-connector
+    // request overhead, which is why Join's utility collapses there
+    // (Fig. 1b).
+    profiles.emplace_back(AppKind::kJoin,
+                          PhaseIntensity{.map_io = false, .shuffle_io = true,
+                                         .reduce_io = true, .cpu = false},
+                          /*map_selectivity=*/0.5, /*reduce_selectivity=*/0.3,
+                          /*iterations=*/1,
+                          /*map_compute_rate=*/55.0_MBps,
+                          /*shuffle_transfer_rate=*/50.0_MBps,
+                          /*reduce_compute_rate=*/14.0_MBps,
+                          /*files_per_map_task=*/4, /*files_per_reduce_task=*/96);
+
+    // Grep: map-intensive (Table 2); performance "solely depends on
+    // sequential I/O throughput of the storage during the map phase"
+    // (§3.1.2). Tiny selectivity, trivial shuffle/reduce, and a per-task
+    // scan rate well above any tier's fair share so the map phase is always
+    // I/O-bound.
+    profiles.emplace_back(AppKind::kGrep,
+                          PhaseIntensity{.map_io = true, .shuffle_io = false,
+                                         .reduce_io = false, .cpu = false},
+                          /*map_selectivity=*/0.001, /*reduce_selectivity=*/1.0,
+                          /*iterations=*/1,
+                          /*map_compute_rate=*/400.0_MBps,
+                          /*shuffle_transfer_rate=*/50.0_MBps,
+                          /*reduce_compute_rate=*/50.0_MBps,
+                          /*files_per_map_task=*/1, /*files_per_reduce_task=*/1);
+
+    // KMeans: CPU-intensive iterative clustering (Table 2); spends its time
+    // computing distances, re-reading the input every iteration, and emits
+    // only centroid updates. Its per-task compute rate sits *below* even
+    // persHDD's fair share, so persSSD and persHDD perform alike and the
+    // cheapest tier wins on utility (Fig. 1d).
+    profiles.emplace_back(AppKind::kKMeans,
+                          PhaseIntensity{.map_io = false, .shuffle_io = false,
+                                         .reduce_io = false, .cpu = true},
+                          /*map_selectivity=*/0.001, /*reduce_selectivity=*/1.0,
+                          /*iterations=*/5,
+                          /*map_compute_rate=*/8.0_MBps,
+                          /*shuffle_transfer_rate=*/50.0_MBps,
+                          /*reduce_compute_rate=*/20.0_MBps,
+                          /*files_per_map_task=*/1, /*files_per_reduce_task=*/1);
+
+    // PageRank: CPU-intensive iterative graph computation; "exhibits the
+    // same behavior as KMeans" (§3.1.3 footnote 2). Output is the rank
+    // vector (the paper's 20 GB run emits 386 MB ≈ 1.9% of the input).
+    profiles.emplace_back(AppKind::kPageRank,
+                          PhaseIntensity{.map_io = false, .shuffle_io = false,
+                                         .reduce_io = false, .cpu = true},
+                          /*map_selectivity=*/0.05, /*reduce_selectivity=*/0.4,
+                          /*iterations=*/5,
+                          /*map_compute_rate=*/10.0_MBps,
+                          /*shuffle_transfer_rate=*/50.0_MBps,
+                          /*reduce_compute_rate=*/25.0_MBps,
+                          /*files_per_map_task=*/1, /*files_per_reduce_task=*/1);
+
+    return profiles;
+}
+
+const std::vector<ApplicationProfile>& profiles() {
+    static const std::vector<ApplicationProfile> kProfiles = build_profiles();
+    return kProfiles;
+}
+
+}  // namespace
+
+const ApplicationProfile& ApplicationProfile::of(AppKind kind) {
+    const auto& all = profiles();
+    const std::size_t idx = app_index(kind);
+    CAST_EXPECTS(idx < all.size());
+    const ApplicationProfile& p = all[idx];
+    CAST_ENSURES(p.kind() == kind);
+    return p;
+}
+
+std::span<const ApplicationProfile> ApplicationProfile::all() { return profiles(); }
+
+}  // namespace cast::workload

@@ -1,0 +1,145 @@
+// Analytics application profiles (paper Table 2).
+//
+// Each profile captures what the paper's offline profiling observes about
+// an application class: per-phase compute rates (how fast one task can chew
+// through data when storage is not the bottleneck), data selectivities
+// (how much intermediate/output data each phase emits per input byte),
+// iteration counts for iterative jobs, and the small-file behaviour that
+// interacts with object-store request overheads. These numbers are
+// calibrated so that the single-node characterization experiments of §3.1
+// reproduce the paper's Figure 1 orderings; the calibration is asserted in
+// tests/workload/application_test.cpp and tests/integration.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace cast::workload {
+
+enum class AppKind : int {
+    kSort = 0,
+    kJoin = 1,
+    kGrep = 2,
+    kKMeans = 3,
+    kPageRank = 4,
+};
+
+inline constexpr std::array<AppKind, 5> kAllApps = {
+    AppKind::kSort, AppKind::kJoin, AppKind::kGrep, AppKind::kKMeans, AppKind::kPageRank,
+};
+
+[[nodiscard]] constexpr std::size_t app_index(AppKind a) { return static_cast<std::size_t>(a); }
+
+[[nodiscard]] std::string_view app_name(AppKind a);
+[[nodiscard]] std::optional<AppKind> app_from_name(std::string_view name);
+
+/// MapReduce execution phases (Eq. 1 has one sub-model per phase).
+enum class Phase : int { kMap = 0, kShuffle = 1, kReduce = 2 };
+
+inline constexpr std::array<Phase, 3> kAllPhases = {Phase::kMap, Phase::kShuffle,
+                                                    Phase::kReduce};
+
+[[nodiscard]] constexpr std::size_t phase_index(Phase p) { return static_cast<std::size_t>(p); }
+
+[[nodiscard]] std::string_view phase_name(Phase p);
+
+/// Table 2 classification of one application.
+struct PhaseIntensity {
+    bool map_io = false;
+    bool shuffle_io = false;
+    bool reduce_io = false;
+    bool cpu = false;
+};
+
+class ApplicationProfile {
+public:
+    ApplicationProfile(AppKind kind, PhaseIntensity intensity, double map_selectivity,
+                       double reduce_selectivity, int iterations,
+                       MBytesPerSec map_compute_rate, MBytesPerSec shuffle_transfer_rate,
+                       MBytesPerSec reduce_compute_rate, int files_per_map_task,
+                       int files_per_reduce_task)
+        : kind_(kind),
+          intensity_(intensity),
+          map_selectivity_(map_selectivity),
+          reduce_selectivity_(reduce_selectivity),
+          iterations_(iterations),
+          map_compute_rate_(map_compute_rate),
+          shuffle_transfer_rate_(shuffle_transfer_rate),
+          reduce_compute_rate_(reduce_compute_rate),
+          files_per_map_task_(files_per_map_task),
+          files_per_reduce_task_(files_per_reduce_task) {
+        CAST_EXPECTS(map_selectivity >= 0.0);
+        CAST_EXPECTS(reduce_selectivity >= 0.0);
+        CAST_EXPECTS(iterations >= 1);
+        CAST_EXPECTS(map_compute_rate.value() > 0.0);
+        CAST_EXPECTS(shuffle_transfer_rate.value() > 0.0);
+        CAST_EXPECTS(reduce_compute_rate.value() > 0.0);
+        CAST_EXPECTS(files_per_map_task >= 1);
+        CAST_EXPECTS(files_per_reduce_task >= 1);
+    }
+
+    [[nodiscard]] AppKind kind() const { return kind_; }
+    [[nodiscard]] std::string_view name() const { return app_name(kind_); }
+    [[nodiscard]] PhaseIntensity intensity() const { return intensity_; }
+
+    /// intermediate bytes = map_selectivity * input bytes.
+    [[nodiscard]] double map_selectivity() const { return map_selectivity_; }
+    /// output bytes = reduce_selectivity * intermediate bytes.
+    [[nodiscard]] double reduce_selectivity() const { return reduce_selectivity_; }
+
+    /// Number of map/reduce rounds (KMeans and PageRank are iterative; the
+    /// framework re-reads the input and re-runs all phases each round).
+    [[nodiscard]] int iterations() const { return iterations_; }
+
+    /// Per-task CPU-side processing rate during the map phase: the rate at
+    /// which one map task consumes input when I/O is infinitely fast.
+    [[nodiscard]] MBytesPerSec map_compute_rate() const { return map_compute_rate_; }
+
+    /// Per-task shuffle ceiling (network fetch + merge).
+    [[nodiscard]] MBytesPerSec shuffle_transfer_rate() const { return shuffle_transfer_rate_; }
+
+    /// Per-task CPU-side processing rate during the reduce phase.
+    [[nodiscard]] MBytesPerSec reduce_compute_rate() const { return reduce_compute_rate_; }
+
+    /// How many distinct objects one map task opens (multi-table inputs open
+    /// more; drives object-store request overhead).
+    [[nodiscard]] int files_per_map_task() const { return files_per_map_task_; }
+
+    /// How many distinct objects one reduce task writes (queries like Join
+    /// emit many small files; drives the GCS-connector pathology of
+    /// Fig. 1b).
+    [[nodiscard]] int files_per_reduce_task() const { return files_per_reduce_task_; }
+
+    [[nodiscard]] GigaBytes intermediate_size(GigaBytes input) const {
+        return GigaBytes{input.value() * map_selectivity_};
+    }
+    [[nodiscard]] GigaBytes output_size(GigaBytes input) const {
+        return GigaBytes{input.value() * map_selectivity_ * reduce_selectivity_};
+    }
+
+    /// The built-in profile for one application class.
+    [[nodiscard]] static const ApplicationProfile& of(AppKind kind);
+
+    /// All built-in profiles, indexed by app_index().
+    [[nodiscard]] static std::span<const ApplicationProfile> all();
+
+private:
+    AppKind kind_;
+    PhaseIntensity intensity_;
+    double map_selectivity_;
+    double reduce_selectivity_;
+    int iterations_;
+    MBytesPerSec map_compute_rate_;
+    MBytesPerSec shuffle_transfer_rate_;
+    MBytesPerSec reduce_compute_rate_;
+    int files_per_map_task_;
+    int files_per_reduce_task_;
+};
+
+}  // namespace cast::workload

@@ -1,0 +1,67 @@
+// Facebook-derived workload synthesis (paper Table 4 and §5.1.1, §5.2.1).
+//
+// The paper samples job input sizes from the distribution observed in
+// production traces of a 3,000-machine Hadoop deployment at Facebook
+// (Chen et al., PVLDB'12), quantized into 7 bins, then builds a 100-job
+// workload with the per-bin job counts of Table 4, 15% shared-input jobs,
+// and application types assigned round-robin from Table 2. We reproduce
+// exactly that synthesis (the trace itself is not public).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "workload/job.hpp"
+#include "workload/workflow.hpp"
+
+namespace cast::workload {
+
+/// One row of Table 4.
+struct FacebookBin {
+    int bin = 0;
+    /// Map-task count range observed at Facebook.
+    int fb_maps_lo = 0;
+    int fb_maps_hi = 0;
+    /// Fraction of jobs / of total data at Facebook (informational).
+    double fb_jobs_fraction = 0.0;
+    double fb_data_fraction = 0.0;
+    /// Map-task count and job count used in the synthesized workload.
+    int workload_maps = 0;
+    int workload_jobs = 0;
+};
+
+/// Table 4, verbatim.
+[[nodiscard]] const std::array<FacebookBin, 7>& facebook_bins();
+
+struct SynthesisOptions {
+    /// HDFS chunk size: one map task per chunk.
+    GigaBytes chunk{0.128};
+    /// Fraction of jobs sharing the same input dataset (§5.1.1: 15%).
+    double reuse_fraction = 0.15;
+    /// Jobs per reuse group.
+    int reuse_group_size = 3;
+    /// Application classes assigned round-robin (Table 2's four apps).
+    std::vector<AppKind> app_mix = {AppKind::kSort, AppKind::kJoin, AppKind::kGrep,
+                                    AppKind::kKMeans};
+    /// Reduce tasks per job as a fraction of map tasks (>= 1 task).
+    double reduce_ratio = 0.25;
+};
+
+/// Synthesize the paper's 100-job evaluation workload. Deterministic for a
+/// given seed. Only jobs in the same bin can share input (shared datasets
+/// must have equal sizes), mirroring the "moderate amount of data reuse"
+/// the paper injects.
+[[nodiscard]] Workload synthesize_facebook_workload(std::uint64_t seed,
+                                                    const SynthesisOptions& opts = {});
+
+/// The smaller 16-job, ~2 TB workload used for the model-accuracy
+/// experiment (Fig. 8).
+[[nodiscard]] Workload synthesize_model_accuracy_workload(std::uint64_t seed);
+
+/// The five workflows (31 jobs total, longest 9 jobs, deadlines 15-40 min)
+/// used for the deadline experiments (§5.2.1, Fig. 9).
+[[nodiscard]] std::vector<Workflow> synthesize_deadline_workflows(std::uint64_t seed);
+
+}  // namespace cast::workload

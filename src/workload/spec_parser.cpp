@@ -1,0 +1,200 @@
+#include "workload/spec_parser.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace cast::workload {
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+    throw ValidationError("spec line " + std::to_string(line_no) + ": " + what);
+}
+
+/// Strip a trailing "# comment" and surrounding whitespace.
+std::string strip(const std::string& raw) {
+    std::string s = raw;
+    const auto hash = s.find('#');
+    if (hash != std::string::npos) s.erase(hash);
+    const auto first = s.find_first_not_of(" \t\r");
+    if (first == std::string::npos) return "";
+    const auto last = s.find_last_not_of(" \t\r");
+    return s.substr(first, last - first + 1);
+}
+
+/// Parse "key=value" into (key, value); returns false for plain tokens.
+bool split_kv(const std::string& token, std::string& key, std::string& value) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) return false;
+    key = token.substr(0, eq);
+    value = token.substr(eq + 1);
+    return true;
+}
+
+double parse_double(const std::string& value, int line_no, const std::string& what) {
+    std::size_t consumed = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(value, &consumed);
+    } catch (const std::exception&) {
+        fail(line_no, "bad " + what + " '" + value + "'");
+    }
+    if (consumed != value.size()) fail(line_no, "bad " + what + " '" + value + "'");
+    return v;
+}
+
+int parse_int(const std::string& value, int line_no, const std::string& what) {
+    const double v = parse_double(value, line_no, what);
+    const int i = static_cast<int>(v);
+    if (static_cast<double>(i) != v) fail(line_no, what + " must be an integer");
+    return i;
+}
+
+JobSpec parse_job_line(std::istringstream& tokens, int line_no) {
+    std::string id_tok;
+    std::string app_tok;
+    std::string gb_tok;
+    tokens >> id_tok >> app_tok >> gb_tok;
+    if (gb_tok.empty()) fail(line_no, "job needs: job <id> <app> <input-GB> [options]");
+
+    JobSpec job;
+    job.id = parse_int(id_tok, line_no, "job id");
+    const auto app = app_from_name(app_tok);
+    if (!app) fail(line_no, "unknown application '" + app_tok + "'");
+    job.app = *app;
+    job.input = GigaBytes{parse_double(gb_tok, line_no, "input size")};
+    if (job.input.value() <= 0.0) fail(line_no, "input size must be positive");
+
+    // Paper defaults: one map per 128 MB chunk, reduces = maps / 4.
+    job.map_tasks = std::max(1, static_cast<int>(job.input.value() / 0.128));
+    job.reduce_tasks = std::max(1, job.map_tasks / 4);
+    job.name = std::string(app_name(job.app)) + "-" + std::to_string(job.id);
+
+    std::string token;
+    while (tokens >> token) {
+        std::string key;
+        std::string value;
+        if (!split_kv(token, key, value)) fail(line_no, "unexpected token '" + token + "'");
+        if (key == "maps") {
+            job.map_tasks = parse_int(value, line_no, "maps");
+        } else if (key == "reduces") {
+            job.reduce_tasks = parse_int(value, line_no, "reduces");
+        } else if (key == "group") {
+            job.reuse_group = parse_int(value, line_no, "group");
+        } else if (key == "name") {
+            job.name = value;
+        } else {
+            fail(line_no, "unknown option '" + key + "'");
+        }
+    }
+    try {
+        job.validate();
+    } catch (const std::exception& e) {
+        fail(line_no, e.what());
+    }
+    return job;
+}
+
+}  // namespace
+
+ParsedSpec parse_spec(std::istream& is) {
+    std::string raw;
+    int line_no = 0;
+
+    bool is_workflow = false;
+    std::string wf_name;
+    Seconds wf_deadline{0.0};
+    std::vector<JobSpec> jobs;
+    std::vector<WorkflowEdge> edges;
+    bool saw_anything = false;
+
+    while (std::getline(is, raw)) {
+        ++line_no;
+        const std::string line = strip(raw);
+        if (line.empty()) continue;
+        std::istringstream tokens(line);
+        std::string keyword;
+        tokens >> keyword;
+
+        if (keyword == "workflow") {
+            if (saw_anything) fail(line_no, "'workflow' must be the first directive");
+            is_workflow = true;
+            tokens >> wf_name;
+            if (wf_name.empty()) fail(line_no, "workflow needs a name");
+            std::string token;
+            while (tokens >> token) {
+                std::string key;
+                std::string value;
+                if (!split_kv(token, key, value) || key != "deadline-min") {
+                    fail(line_no, "expected deadline-min=<minutes>");
+                }
+                wf_deadline = Seconds::from_minutes(
+                    parse_double(value, line_no, "deadline"));
+            }
+            if (wf_deadline.value() <= 0.0) fail(line_no, "workflow needs deadline-min=...");
+            saw_anything = true;
+        } else if (keyword == "job") {
+            jobs.push_back(parse_job_line(tokens, line_no));
+            saw_anything = true;
+        } else if (keyword == "edge") {
+            if (!is_workflow) fail(line_no, "'edge' is only valid inside a workflow");
+            std::string from;
+            std::string to;
+            tokens >> from >> to;
+            if (to.empty()) fail(line_no, "edge needs: edge <from-id> <to-id>");
+            edges.push_back(WorkflowEdge{parse_int(from, line_no, "edge endpoint"),
+                                         parse_int(to, line_no, "edge endpoint")});
+            saw_anything = true;
+        } else {
+            fail(line_no, "unknown directive '" + keyword + "'");
+        }
+    }
+    if (jobs.empty()) fail(line_no, "spec contains no jobs");
+
+    ParsedSpec result;
+    try {
+        if (is_workflow) {
+            result.workflow = Workflow(wf_name, std::move(jobs), std::move(edges), wf_deadline);
+        } else {
+            result.workload = Workload(std::move(jobs));
+        }
+    } catch (const std::exception& e) {
+        throw ValidationError(std::string("spec: ") + e.what());
+    }
+    return result;
+}
+
+ParsedSpec parse_spec_file(const std::string& path) {
+    std::ifstream file(path);
+    if (!file) throw ValidationError("cannot open spec file: " + path);
+    return parse_spec(file);
+}
+
+namespace {
+
+void write_job(const JobSpec& job, std::ostream& os) {
+    os << "job " << job.id << ' ' << app_name(job.app) << ' ' << job.input.value()
+       << " maps=" << job.map_tasks << " reduces=" << job.reduce_tasks;
+    if (job.reuse_group) os << " group=" << *job.reuse_group;
+    if (!job.name.empty()) os << " name=" << job.name;
+    os << '\n';
+}
+
+}  // namespace
+
+void write_spec(const Workload& workload, std::ostream& os) {
+    os << "# cast workload spec (" << workload.size() << " jobs)\n";
+    for (const auto& job : workload.jobs()) write_job(job, os);
+}
+
+void write_spec(const Workflow& workflow, std::ostream& os) {
+    os << "workflow " << workflow.name()
+       << " deadline-min=" << workflow.deadline().minutes() << '\n';
+    for (const auto& job : workflow.jobs()) write_job(job, os);
+    for (const auto& edge : workflow.edges()) {
+        os << "edge " << edge.from_job << ' ' << edge.to_job << '\n';
+    }
+}
+
+}  // namespace cast::workload

@@ -1,0 +1,50 @@
+// Plain-text workload/workflow specification parser.
+//
+// Lets users describe their jobs without writing C++ — the input format of
+// the cast_plan CLI tool. Line-oriented, '#' comments, whitespace-split:
+//
+//   # a batch workload
+//   job 1 Sort 120                      # input in GB; maps/reduces derived
+//   job 2 Grep 300 maps=2344 reduces=500
+//   job 3 Grep 300 group=1              # shares input dataset "1"
+//   job 4 Grep 300 group=1
+//
+//   # a workflow (first keyword switches the mode)
+//   workflow nightly-etl deadline-min=30
+//   job 1 Grep 250
+//   job 2 Sort 120
+//   edge 1 2                            # output of job 1 feeds job 2
+//
+// Defaults mirror the paper's conventions: one map task per 128 MB chunk,
+// reduce parallelism at a quarter of the maps.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/job.hpp"
+#include "workload/workflow.hpp"
+
+namespace cast::workload {
+
+/// What a spec file contained: exactly one of the two.
+struct ParsedSpec {
+    std::optional<Workload> workload;
+    std::optional<Workflow> workflow;
+
+    [[nodiscard]] bool is_workflow() const { return workflow.has_value(); }
+};
+
+/// Parse a spec from a stream. Throws ValidationError with a line number on
+/// any syntax or semantic error.
+[[nodiscard]] ParsedSpec parse_spec(std::istream& is);
+
+/// Parse a spec file. Throws ValidationError when the file cannot be read.
+[[nodiscard]] ParsedSpec parse_spec_file(const std::string& path);
+
+/// Serialize back to the spec format (inverse of parse; used by tooling to
+/// emit synthesized workloads for editing).
+void write_spec(const Workload& workload, std::ostream& os);
+void write_spec(const Workflow& workflow, std::ostream& os);
+
+}  // namespace cast::workload

@@ -1,0 +1,39 @@
+#include "workload/workflow.hpp"
+
+namespace cast::workload {
+
+namespace {
+
+using literals::operator""_GB;
+
+JobSpec make_job(int id, std::string name, AppKind app, GigaBytes input) {
+    // One map task per 128 MB HDFS-style chunk; reduce parallelism at the
+    // stock Hadoop heuristic of a quarter of the map count.
+    const int maps = std::max(1, static_cast<int>(input.value() / 0.128));
+    const int reduces = std::max(1, maps / 4);
+    return JobSpec{.id = id,
+                   .name = std::move(name),
+                   .app = app,
+                   .input = input,
+                   .map_tasks = maps,
+                   .reduce_tasks = reduces,
+                   .reuse_group = std::nullopt};
+}
+
+}  // namespace
+
+Workflow make_search_log_workflow(Seconds deadline) {
+    std::vector<JobSpec> jobs;
+    jobs.push_back(make_job(1, "Grep-250G", AppKind::kGrep, 250.0_GB));
+    jobs.push_back(make_job(2, "Pagerank-20G", AppKind::kPageRank, 20.0_GB));
+    jobs.push_back(make_job(3, "Sort-120G", AppKind::kSort, 120.0_GB));
+    jobs.push_back(make_job(4, "Join-120G", AppKind::kJoin, 120.0_GB));
+    std::vector<WorkflowEdge> edges = {
+        {.from_job = 1, .to_job = 3},  // Grep -> Sort
+        {.from_job = 2, .to_job = 4},  // Pagerank -> Join
+        {.from_job = 3, .to_job = 4},  // Sort -> Join
+    };
+    return Workflow("search-log-analysis", std::move(jobs), std::move(edges), deadline);
+}
+
+}  // namespace cast::workload

@@ -1,0 +1,80 @@
+// Tests for the catalog factory variants: the planner is provider-agnostic
+// and any catalog must satisfy the same structural contract.
+#include <gtest/gtest.h>
+
+#include "cloud/storage.hpp"
+
+namespace cast::cloud {
+namespace {
+
+TEST(CatalogVariants, ByNameResolvesBothCatalogs) {
+    EXPECT_EQ(StorageCatalog::by_name("google-cloud").name(), "google-cloud");
+    EXPECT_EQ(StorageCatalog::by_name("aws-like").name(), "aws-like");
+    EXPECT_THROW((void)StorageCatalog::by_name("azure"), ValidationError);
+    EXPECT_THROW((void)StorageCatalog::by_name(""), ValidationError);
+}
+
+TEST(CatalogVariants, FactoriesStampTheirNames) {
+    EXPECT_EQ(StorageCatalog::google_cloud().name(), "google-cloud");
+    EXPECT_EQ(StorageCatalog::aws_like().name(), "aws-like");
+}
+
+TEST(CatalogVariants, AwsInstanceStoreRules) {
+    const auto catalog = StorageCatalog::aws_like();
+    const auto& eph = catalog.service(StorageTier::kEphemeralSsd);
+    EXPECT_FALSE(eph.persistent());
+    // i2-style: 800 GB volumes, at most 2 per VM.
+    EXPECT_DOUBLE_EQ(eph.provision(GigaBytes{10.0}).value(), 800.0);
+    EXPECT_DOUBLE_EQ(eph.provision(GigaBytes{801.0}).value(), 1600.0);
+    EXPECT_THROW((void)eph.provision(GigaBytes{1601.0}), ValidationError);
+    EXPECT_DOUBLE_EQ(eph.performance(GigaBytes{1600.0}).read_bw.value(), 800.0);
+}
+
+TEST(CatalogVariants, AwsGp2ScalesWithCapacityUpToCeiling) {
+    const auto catalog = StorageCatalog::aws_like();
+    const auto& gp2 = catalog.service(StorageTier::kPersistentSsd);
+    EXPECT_NEAR(gp2.performance(GigaBytes{100.0}).read_bw.value(), 31.0, 1e-9);
+    EXPECT_NEAR(gp2.performance(GigaBytes{500.0}).read_bw.value(), 156.0, 1e-9);
+    EXPECT_LE(gp2.performance(GigaBytes{16384.0}).read_bw.value(), 160.0 + 1e-9);
+    // gp2: 3 IOPS per GB shape.
+    EXPECT_NEAR(gp2.performance(GigaBytes{500.0}).iops.value(), 1500.0, 1e-9);
+}
+
+TEST(CatalogVariants, AwsMagneticVolumeLimit) {
+    const auto catalog = StorageCatalog::aws_like();
+    const auto& mag = catalog.service(StorageTier::kPersistentHdd);
+    EXPECT_NO_THROW((void)mag.provision(GigaBytes{1024.0}));
+    EXPECT_THROW((void)mag.provision(GigaBytes{1025.0}), ValidationError);
+}
+
+TEST(CatalogVariants, AwsS3AggregateCeilings) {
+    const auto catalog = StorageCatalog::aws_like();
+    const auto& s3 = catalog.service(StorageTier::kObjectStore);
+    EXPECT_FALSE(s3.max_capacity_per_vm().has_value());
+    EXPECT_DOUBLE_EQ(s3.cluster_read_bw(GigaBytes{0.0}, 1).value(), 180.0);
+    EXPECT_DOUBLE_EQ(s3.cluster_read_bw(GigaBytes{0.0}, 50).value(), 1000.0);
+    EXPECT_DOUBLE_EQ(s3.cluster_write_bw(GigaBytes{0.0}, 50).value(), 400.0);
+    EXPECT_GT(s3.request_overhead().value(), 0.0);
+}
+
+TEST(CatalogVariants, RelativePriceOrderingHoldsInBothClouds) {
+    // The economic structure CAST exploits: ephemeral premium > persistent
+    // SSD > persistent HDD > object storage.
+    for (const auto& catalog :
+         {StorageCatalog::google_cloud(), StorageCatalog::aws_like()}) {
+        const double eph =
+            catalog.service(StorageTier::kEphemeralSsd).price_per_gb_month().value();
+        const double ssd =
+            catalog.service(StorageTier::kPersistentSsd).price_per_gb_month().value();
+        const double hdd =
+            catalog.service(StorageTier::kPersistentHdd).price_per_gb_month().value();
+        const double obj =
+            catalog.service(StorageTier::kObjectStore).price_per_gb_month().value();
+        EXPECT_GT(eph, ssd) << catalog.name();
+        EXPECT_GT(ssd, hdd) << catalog.name();
+        EXPECT_GT(hdd, obj) << catalog.name();
+    }
+}
+
+}  // namespace
+}  // namespace cast::cloud

@@ -1,0 +1,61 @@
+#include "cloud/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cast::cloud {
+namespace {
+
+TEST(MachineType, PaperFlavours) {
+    const MachineType m16 = MachineType::n1_standard_16();
+    EXPECT_EQ(m16.name, "n1-standard-16");
+    EXPECT_EQ(m16.vcpus, 16);
+    EXPECT_DOUBLE_EQ(m16.memory_gb, 60.0);
+    EXPECT_EQ(m16.map_slots, 8);
+    EXPECT_EQ(m16.reduce_slots, 8);
+
+    const MachineType m4 = MachineType::n1_standard_4();
+    EXPECT_EQ(m4.vcpus, 4);
+    EXPECT_DOUBLE_EQ(m4.memory_gb, 15.0);
+}
+
+TEST(MachineType, PricePerMinute) {
+    const MachineType m = MachineType::n1_standard_16();
+    EXPECT_NEAR(m.price_per_minute().value(), 0.836 / 60.0, 1e-12);
+}
+
+TEST(MachineType, ValidationRejectsNonsense) {
+    MachineType m = MachineType::n1_standard_16();
+    m.map_slots = 0;
+    EXPECT_THROW(m.validate(), PreconditionError);
+    m = MachineType::n1_standard_16();
+    m.vcpus = -1;
+    EXPECT_THROW(m.validate(), PreconditionError);
+}
+
+TEST(ClusterSpec, Paper400CoreHas25Workers) {
+    const ClusterSpec c = ClusterSpec::paper_400_core();
+    EXPECT_EQ(c.worker_count, 25);
+    EXPECT_EQ(c.total_worker_vcpus(), 400);
+    EXPECT_EQ(c.total_map_slots(), 200);
+    EXPECT_EQ(c.total_reduce_slots(), 200);
+}
+
+TEST(ClusterSpec, SingleNodeAndTenNode) {
+    EXPECT_EQ(ClusterSpec::paper_single_node().worker_count, 1);
+    EXPECT_EQ(ClusterSpec::paper_10_node().worker_count, 10);
+}
+
+TEST(ClusterSpec, PricePerMinuteIncludesMaster) {
+    const ClusterSpec c = ClusterSpec::paper_400_core();
+    const double expected = (25 * 0.836 + 0.209) / 60.0;
+    EXPECT_NEAR(c.price_per_minute().value(), expected, 1e-12);
+}
+
+TEST(ClusterSpec, ValidationRejectsZeroWorkers) {
+    ClusterSpec c = ClusterSpec::paper_single_node();
+    c.worker_count = 0;
+    EXPECT_THROW(c.validate(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace cast::cloud

@@ -1,0 +1,53 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cast {
+namespace {
+
+TEST(Contracts, ExpectsPassesOnTrue) {
+    EXPECT_NO_THROW(CAST_EXPECTS(1 + 1 == 2));
+    EXPECT_NO_THROW(CAST_EXPECTS_MSG(true, "fine"));
+}
+
+TEST(Contracts, ExpectsThrowsPreconditionError) {
+    EXPECT_THROW(CAST_EXPECTS(false), PreconditionError);
+}
+
+TEST(Contracts, EnsuresThrowsInvariantError) {
+    EXPECT_THROW(CAST_ENSURES(false), InvariantError);
+}
+
+TEST(Contracts, MessageContainsExpressionAndLocation) {
+    try {
+        CAST_EXPECTS_MSG(2 < 1, "two is not less than one");
+        FAIL() << "should have thrown";
+    } catch (const PreconditionError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("2 < 1"), std::string::npos);
+        EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+        EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+    }
+}
+
+TEST(Contracts, EnsuresMessageMentionsInvariant) {
+    try {
+        CAST_ENSURES_MSG(false, "broke it");
+        FAIL() << "should have thrown";
+    } catch (const InvariantError& e) {
+        EXPECT_NE(std::string(e.what()).find("invariant failed"), std::string::npos);
+    }
+}
+
+TEST(Contracts, ExceptionHierarchy) {
+    // Both contract errors are logic_errors; ValidationError is an
+    // invalid_argument. Callers can catch coarsely.
+    EXPECT_THROW(throw PreconditionError("x"), std::logic_error);
+    EXPECT_THROW(throw InvariantError("x"), std::logic_error);
+    EXPECT_THROW(throw ValidationError("x"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cast

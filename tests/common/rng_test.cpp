@@ -1,0 +1,165 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+namespace cast {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowCoversFullRangeUniformly) {
+    Rng rng(13);
+    std::array<int, 5> counts{};
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) counts[rng.below(5)]++;
+    for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.02);
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+    Rng rng(19);
+    EXPECT_THROW((void)rng.below(0), PreconditionError);
+}
+
+TEST(Rng, BetweenInclusive) {
+    Rng rng(23);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.between(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, NormalMomentsMatch) {
+    Rng rng(29);
+    const int n = 200000;
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParams) {
+    Rng rng(31);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalJitterHasUnitMedian) {
+    Rng rng(37);
+    std::vector<double> xs;
+    const int n = 20001;
+    xs.reserve(n);
+    for (int i = 0; i < n; ++i) xs.push_back(rng.lognormal_jitter(0.1));
+    std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+    EXPECT_NEAR(xs[n / 2], 1.0, 0.01);
+    for (double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+    Rng rng(41);
+    const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+    std::array<int, 4> counts{};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) counts[rng.weighted_index(weights)]++;
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+    Rng rng(43);
+    const std::vector<double> empty;
+    EXPECT_THROW((void)rng.weighted_index(empty), PreconditionError);
+    const std::vector<double> zeros = {0.0, 0.0};
+    EXPECT_THROW((void)rng.weighted_index(zeros), PreconditionError);
+    const std::vector<double> negative = {1.0, -0.5};
+    EXPECT_THROW((void)rng.weighted_index(negative), PreconditionError);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+    Rng parent(47);
+    Rng c1 = parent.fork(1);
+    Rng parent2(47);
+    Rng c2 = parent2.fork(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (c1() == c2()) ? 1 : 0;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkDeterministic) {
+    Rng a(51);
+    Rng b(51);
+    Rng fa = a.fork(9);
+    Rng fb = b.fork(9);
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(fa(), fb());
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+    SplitMix64 sm(0);
+    const auto first = sm.next();
+    SplitMix64 sm2(0);
+    EXPECT_EQ(first, sm2.next());
+    EXPECT_NE(sm.next(), first);
+}
+
+}  // namespace
+}  // namespace cast

@@ -1,0 +1,132 @@
+#include "common/spline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace cast {
+namespace {
+
+TEST(Spline, InterpolatesKnotsExactly) {
+    const std::vector<double> xs = {0.0, 1.0, 2.5, 4.0};
+    const std::vector<double> ys = {1.0, 3.0, 2.0, 5.0};
+    const CubicHermiteSpline s(xs, ys);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        EXPECT_NEAR(s(xs[i]), ys[i], 1e-12);
+    }
+}
+
+TEST(Spline, FlatExtrapolationOutsideRange) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0};
+    const std::vector<double> ys = {10.0, 20.0, 15.0};
+    const CubicHermiteSpline s(xs, ys);
+    EXPECT_DOUBLE_EQ(s(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(s(-100.0), 10.0);
+    EXPECT_DOUBLE_EQ(s(3.0), 15.0);
+    EXPECT_DOUBLE_EQ(s(99.0), 15.0);
+    EXPECT_DOUBLE_EQ(s.derivative(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.derivative(10.0), 0.0);
+}
+
+TEST(Spline, MonotoneDataGivesMonotoneInterpolant) {
+    // Fritsch-Carlson's whole point: REG must not invent minima the system
+    // does not have, or the annealing solver exploits them.
+    const std::vector<double> xs = {100.0, 200.0, 300.0, 500.0, 1000.0};
+    const std::vector<double> ys = {800.0, 420.0, 400.0, 395.0, 393.0};
+    const CubicHermiteSpline s(xs, ys);
+    double prev = s(100.0);
+    for (double x = 100.5; x <= 1000.0; x += 0.5) {
+        const double y = s(x);
+        EXPECT_LE(y, prev + 1e-9) << "non-monotone at x=" << x;
+        prev = y;
+    }
+}
+
+TEST(Spline, IncreasingDataStaysIncreasing) {
+    const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+    const std::vector<double> ys = {0.0, 0.1, 5.0, 5.1};
+    const CubicHermiteSpline s(xs, ys);
+    double prev = s(0.0);
+    for (double x = 0.01; x <= 3.0; x += 0.01) {
+        const double y = s(x);
+        EXPECT_GE(y, prev - 1e-9) << "non-monotone at x=" << x;
+        prev = y;
+    }
+}
+
+TEST(Spline, LinearDataReproducedExactly) {
+    const std::vector<double> xs = {0.0, 1.0, 2.0, 5.0};
+    const std::vector<double> ys = {1.0, 3.0, 5.0, 11.0};  // y = 2x + 1
+    const CubicHermiteSpline s(xs, ys);
+    for (double x = 0.0; x <= 5.0; x += 0.1) {
+        EXPECT_NEAR(s(x), 2.0 * x + 1.0, 1e-9);
+    }
+    EXPECT_NEAR(s.derivative(2.7), 2.0, 1e-9);
+}
+
+TEST(Spline, ConstantData) {
+    const std::vector<double> xs = {0.0, 1.0, 2.0};
+    const std::vector<double> ys = {7.0, 7.0, 7.0};
+    const CubicHermiteSpline s(xs, ys);
+    for (double x = -1.0; x <= 3.0; x += 0.25) EXPECT_DOUBLE_EQ(s(x), 7.0);
+}
+
+TEST(Spline, TwoPointsIsLinear) {
+    const std::vector<double> xs = {1.0, 3.0};
+    const std::vector<double> ys = {2.0, 6.0};
+    const CubicHermiteSpline s(xs, ys);
+    EXPECT_NEAR(s(2.0), 4.0, 1e-12);
+}
+
+TEST(Spline, ContinuityAcrossSegments) {
+    const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+    const std::vector<double> ys = {0.0, 2.0, 1.0, 4.0};
+    const CubicHermiteSpline s(xs, ys);
+    for (double knot : {1.0, 2.0}) {
+        EXPECT_NEAR(s(knot - 1e-9), s(knot + 1e-9), 1e-6);
+    }
+}
+
+TEST(Spline, DerivativeMatchesFiniteDifference) {
+    const std::vector<double> xs = {0.0, 1.0, 2.0, 4.0};
+    const std::vector<double> ys = {1.0, 2.5, 2.0, 8.0};
+    const CubicHermiteSpline s(xs, ys);
+    for (double x : {0.3, 0.9, 1.5, 2.7, 3.9}) {
+        const double h = 1e-6;
+        const double fd = (s(x + h) - s(x - h)) / (2 * h);
+        EXPECT_NEAR(s.derivative(x), fd, 1e-4) << "x=" << x;
+    }
+}
+
+TEST(Spline, RejectsBadInput) {
+    const std::vector<double> one = {1.0};
+    EXPECT_THROW(CubicHermiteSpline(one, one), PreconditionError);
+    const std::vector<double> xs = {1.0, 1.0};
+    const std::vector<double> ys = {1.0, 2.0};
+    EXPECT_THROW(CubicHermiteSpline(xs, ys), PreconditionError);
+    const std::vector<double> decreasing = {2.0, 1.0};
+    EXPECT_THROW(CubicHermiteSpline(decreasing, ys), PreconditionError);
+    const std::vector<double> mismatched = {1.0, 2.0, 3.0};
+    EXPECT_THROW(CubicHermiteSpline(mismatched, ys), PreconditionError);
+}
+
+TEST(Spline, EmptyStateQueries) {
+    CubicHermiteSpline s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_THROW((void)s(1.0), PreconditionError);
+}
+
+TEST(Spline, KnotAccessors) {
+    const std::vector<double> xs = {1.0, 2.0, 4.0};
+    const std::vector<double> ys = {5.0, 6.0, 7.0};
+    const CubicHermiteSpline s(xs, ys);
+    EXPECT_DOUBLE_EQ(s.min_x(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max_x(), 4.0);
+    ASSERT_EQ(s.knots_x().size(), 3u);
+    EXPECT_DOUBLE_EQ(s.knots_y()[2], 7.0);
+}
+
+}  // namespace
+}  // namespace cast

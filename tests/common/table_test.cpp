@@ -1,0 +1,57 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cast {
+namespace {
+
+TEST(TextTable, RendersAlignedAscii) {
+    TextTable t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22"});
+    std::ostringstream ss;
+    t.print(ss);
+    const std::string out = ss.str();
+    EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+    EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+    EXPECT_NE(out.find("+-------+-------+"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TextTable, EmptyHeaderThrows) { EXPECT_THROW(TextTable t({}), PreconditionError); }
+
+TEST(TextTable, CsvEscapesSpecials) {
+    TextTable t({"k", "v"});
+    t.add_row({"a,b", "quote\"inside"});
+    std::ostringstream ss;
+    t.print_csv(ss);
+    EXPECT_EQ(ss.str(), "k,v\n\"a,b\",\"quote\"\"inside\"\n");
+}
+
+TEST(TextTable, RowCount) {
+    TextTable t({"x"});
+    EXPECT_EQ(t.row_count(), 0u);
+    t.add_row({"1"});
+    t.add_row({"2"});
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Format, FixedPrecision) {
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159, 0), "3");
+    EXPECT_EQ(fmt(2.0), "2.00");
+}
+
+TEST(Format, Percentage) {
+    EXPECT_EQ(fmt_pct(0.514), "51.4%");
+    EXPECT_EQ(fmt_pct(1.21, 0), "121%");
+}
+
+}  // namespace
+}  // namespace cast

@@ -1,0 +1,86 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cast {
+namespace {
+
+using namespace cast::literals;
+
+TEST(Units, GigaBytesArithmetic) {
+    const GigaBytes a = 100_GB;
+    const GigaBytes b = 28_GB;
+    EXPECT_DOUBLE_EQ((a + b).value(), 128.0);
+    EXPECT_DOUBLE_EQ((a - b).value(), 72.0);
+    EXPECT_DOUBLE_EQ((a * 2.0).value(), 200.0);
+    EXPECT_DOUBLE_EQ((2.0 * a).value(), 200.0);
+    EXPECT_DOUBLE_EQ((a / 4.0).value(), 25.0);
+    EXPECT_DOUBLE_EQ(a / b, 100.0 / 28.0);
+}
+
+TEST(Units, GigaBytesMegabytesRoundTrip) {
+    EXPECT_DOUBLE_EQ(GigaBytes{1.5}.megabytes(), 1500.0);
+    EXPECT_DOUBLE_EQ(GigaBytes::from_megabytes(1500.0).value(), 1.5);
+}
+
+TEST(Units, VolumeOverBandwidthIsSeconds) {
+    const Seconds t = 1_GB / 100_MBps;
+    EXPECT_DOUBLE_EQ(t.value(), 10.0);
+}
+
+TEST(Units, BandwidthTimesTimeIsVolume) {
+    const GigaBytes v = 250_MBps * Seconds{8.0};
+    EXPECT_DOUBLE_EQ(v.value(), 2.0);
+    EXPECT_DOUBLE_EQ((Seconds{8.0} * 250_MBps).value(), 2.0);
+}
+
+TEST(Units, SecondsConversions) {
+    EXPECT_DOUBLE_EQ(Seconds::from_minutes(2.5).value(), 150.0);
+    EXPECT_DOUBLE_EQ(Seconds::from_hours(1.0).value(), 3600.0);
+    EXPECT_DOUBLE_EQ(Seconds{90.0}.minutes(), 1.5);
+    EXPECT_DOUBLE_EQ(Seconds{5400.0}.hours(), 1.5);
+    EXPECT_DOUBLE_EQ((3_min).value(), 180.0);
+}
+
+TEST(Units, ComparisonOperators) {
+    EXPECT_LT(10_GB, 20_GB);
+    EXPECT_GT(Dollars{2.0}, Dollars{1.0});
+    EXPECT_EQ(Seconds{60.0}, 1_min);
+    EXPECT_LE(100_MBps, 100_MBps);
+}
+
+TEST(Units, CompoundAssignment) {
+    GigaBytes g{10.0};
+    g += 5_GB;
+    EXPECT_DOUBLE_EQ(g.value(), 15.0);
+    g -= 3_GB;
+    EXPECT_DOUBLE_EQ(g.value(), 12.0);
+    g *= 2.0;
+    EXPECT_DOUBLE_EQ(g.value(), 24.0);
+}
+
+TEST(Units, StreamOutput) {
+    std::ostringstream ss;
+    ss << 10_GB << " " << 48_MBps << " " << Dollars{1.5} << " " << Seconds{3.0};
+    EXPECT_EQ(ss.str(), "10 GB 48 MB/s $1.5 3 s");
+}
+
+TEST(Units, ApproxEqual) {
+    EXPECT_TRUE(approx_equal(1.0, 1.0));
+    EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(approx_equal(1.0, 1.001));
+    EXPECT_TRUE(approx_equal(0.0, 1e-12));
+    EXPECT_TRUE(approx_equal(1e9, 1e9 * (1.0 + 1e-10)));
+    EXPECT_FALSE(approx_equal(1e9, 1.001e9));
+}
+
+TEST(Units, DefaultConstructedIsZero) {
+    EXPECT_DOUBLE_EQ(GigaBytes{}.value(), 0.0);
+    EXPECT_DOUBLE_EQ(Seconds{}.value(), 0.0);
+    EXPECT_DOUBLE_EQ(Dollars{}.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace cast

@@ -1,0 +1,114 @@
+#include "core/characterization.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cast::core {
+namespace {
+
+using cloud::StorageTier;
+using workload::AppKind;
+
+workload::JobSpec mk_job(AppKind app, double gb) {
+    const int maps = std::max(1, static_cast<int>(gb / 0.128));
+    return workload::JobSpec{.id = 1,
+                             .name = "char",
+                             .app = app,
+                             .input = GigaBytes{gb},
+                             .map_tasks = maps,
+                             .reduce_tasks = std::max(1, maps / 4),
+                             .reuse_group = std::nullopt};
+}
+
+class CharacterizationTest : public ::testing::Test {
+protected:
+    cloud::ClusterSpec cluster = cloud::ClusterSpec::paper_single_node();
+    cloud::StorageCatalog catalog = cloud::StorageCatalog::google_cloud();
+};
+
+TEST_F(CharacterizationTest, BlockTiersGetExperimentVolumes) {
+    const auto caps = characterization_capacities(cluster, catalog,
+                                                  mk_job(AppKind::kSort, 50.0),
+                                                  StorageTier::kPersistentSsd);
+    // 500 GB experiment volume even though the job needs only 150.
+    EXPECT_DOUBLE_EQ(caps.per_vm_of(StorageTier::kPersistentSsd).value(), 500.0);
+    EXPECT_DOUBLE_EQ(caps.per_vm_of(StorageTier::kEphemeralSsd).value(), 0.0);
+}
+
+TEST_F(CharacterizationTest, BlockVolumesGrowWhenJobNeedsMore) {
+    const auto caps = characterization_capacities(cluster, catalog,
+                                                  mk_job(AppKind::kSort, 400.0),
+                                                  StorageTier::kPersistentSsd);
+    // Sort 400 GB needs 1200 GB on a single VM.
+    EXPECT_GE(caps.per_vm_of(StorageTier::kPersistentSsd).value(), 1200.0);
+}
+
+TEST_F(CharacterizationTest, EphemeralGetsBackingStore) {
+    const auto job = mk_job(AppKind::kSort, 100.0);
+    const auto caps = characterization_capacities(cluster, catalog, job,
+                                                  StorageTier::kEphemeralSsd);
+    EXPECT_GT(caps.per_vm_of(StorageTier::kEphemeralSsd).value(), 0.0);
+    EXPECT_NEAR(caps.per_vm_of(StorageTier::kObjectStore).value(),
+                (job.input + job.output()).value(), 1e-9);
+    // Whole 375 GB volumes.
+    EXPECT_NEAR(std::fmod(caps.per_vm_of(StorageTier::kEphemeralSsd).value(), 375.0), 0.0,
+                1e-9);
+}
+
+TEST_F(CharacterizationTest, ObjectStoreGetsIntermediateVolume) {
+    const auto job = mk_job(AppKind::kSort, 100.0);
+    const auto caps =
+        characterization_capacities(cluster, catalog, job, StorageTier::kObjectStore);
+    EXPECT_NEAR(caps.per_vm_of(StorageTier::kPersistentSsd).value(),
+                cloud::object_store_intermediate_volume(job.intermediate(), 1).value(),
+                1e-9);
+}
+
+TEST_F(CharacterizationTest, AggregateIsPerVmTimesWorkers) {
+    cloud::ClusterSpec four = cluster;
+    four.worker_count = 4;
+    const auto caps = characterization_capacities(four, catalog, mk_job(AppKind::kGrep, 80.0),
+                                                  StorageTier::kPersistentHdd);
+    for (StorageTier t : cloud::kAllTiers) {
+        EXPECT_NEAR(caps.aggregate_of(t).value(), 4.0 * caps.per_vm_of(t).value(), 1e-9);
+    }
+}
+
+TEST_F(CharacterizationTest, RunProducesConsistentCostsAndUtility) {
+    const auto r = run_job_on_tier(cluster, catalog, mk_job(AppKind::kGrep, 20.0),
+                                   StorageTier::kPersistentSsd);
+    EXPECT_GT(r.sim.makespan.value(), 0.0);
+    EXPECT_GT(r.vm_cost.value(), 0.0);
+    EXPECT_GT(r.storage_cost.value(), 0.0);
+    EXPECT_NEAR(r.utility, tenant_utility(r.sim.makespan, r.total_cost()), 1e-12);
+    EXPECT_NEAR(r.vm_cost.value(),
+                cluster.price_per_minute().value() * r.sim.makespan.minutes(), 1e-9);
+}
+
+TEST_F(CharacterizationTest, CustomBlockVolumeOptionRespected) {
+    CharacterizationOptions opts;
+    opts.block_volume_per_vm = GigaBytes{250.0};
+    const auto r = run_job_on_tier(cluster, catalog, mk_job(AppKind::kGrep, 20.0),
+                                   StorageTier::kPersistentSsd, opts);
+    EXPECT_DOUBLE_EQ(r.capacities.per_vm_of(StorageTier::kPersistentSsd).value(), 250.0);
+    // 250 GB persSSD is slower than 500 GB: higher runtime than default.
+    const auto def = run_job_on_tier(cluster, catalog, mk_job(AppKind::kGrep, 20.0),
+                                     StorageTier::kPersistentSsd);
+    EXPECT_GT(r.sim.makespan.value(), def.sim.makespan.value());
+}
+
+TEST_F(CharacterizationTest, InputSplitRunsAcrossTiers) {
+    auto grep = mk_job(AppKind::kGrep, 6.0);
+    grep.map_tasks = 24;
+    grep.reduce_tasks = 6;
+    const Seconds pure = run_job_with_input_split(
+        cluster, catalog, grep, {{StorageTier::kEphemeralSsd, 1.0}});
+    const Seconds mixed = run_job_with_input_split(
+        cluster, catalog, grep,
+        {{StorageTier::kEphemeralSsd, 0.5}, {StorageTier::kPersistentHdd, 0.5}});
+    EXPECT_GT(mixed.value(), pure.value());
+    EXPECT_THROW(
+        (void)run_job_with_input_split(cluster, catalog, grep, {}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace cast::core

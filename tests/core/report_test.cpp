@@ -1,0 +1,96 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_support.hpp"
+
+namespace cast::core {
+namespace {
+
+using cloud::StorageTier;
+using workload::AppKind;
+
+workload::JobSpec mk_job(int id, AppKind app, double gb) {
+    const int maps = std::max(1, static_cast<int>(gb / 0.128));
+    return workload::JobSpec{.id = id,
+                             .name = "rep-" + std::to_string(id),
+                             .app = app,
+                             .input = GigaBytes{gb},
+                             .map_tasks = maps,
+                             .reduce_tasks = std::max(1, maps / 4),
+                             .reuse_group = std::nullopt};
+}
+
+class ReportTest : public ::testing::Test {
+protected:
+    workload::Workload w{{mk_job(1, AppKind::kSort, 30.0), mk_job(2, AppKind::kGrep, 50.0)}};
+    PlanEvaluator evaluator{testing::small_models(), w};
+    TieringPlan plan = TieringPlan::uniform(2, StorageTier::kPersistentSsd);
+};
+
+TEST_F(ReportTest, PlanReportContainsPlacementsAndBill) {
+    const auto eval = evaluator.evaluate(plan);
+    std::ostringstream os;
+    write_plan_report(evaluator, plan, eval, os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("rep-1"), std::string::npos);
+    EXPECT_NE(out.find("rep-2"), std::string::npos);
+    EXPECT_NE(out.find("persSSD"), std::string::npos);
+    EXPECT_NE(out.find("tenant utility"), std::string::npos);
+    EXPECT_NE(out.find("provisioning bill"), std::string::npos);
+    EXPECT_NE(out.find("total"), std::string::npos);
+}
+
+TEST_F(ReportTest, InfeasiblePlanReportSaysSo) {
+    const workload::Workload huge({mk_job(1, AppKind::kSort, 4000.0)});
+    PlanEvaluator ev(testing::small_models(), huge);
+    const TieringPlan p = TieringPlan::uniform(1, StorageTier::kEphemeralSsd);
+    const auto eval = ev.evaluate(p);
+    ASSERT_FALSE(eval.feasible);
+    std::ostringstream os;
+    write_plan_report(ev, p, eval, os);
+    EXPECT_NE(os.str().find("INFEASIBLE"), std::string::npos);
+}
+
+TEST_F(ReportTest, DeploymentReportShowsDeltas) {
+    const auto modeled = evaluator.evaluate(plan);
+    const auto measured = Deployer().deploy(evaluator, plan);
+    std::ostringstream os;
+    write_deployment_report(evaluator, plan, modeled, measured, os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("delta"), std::string::npos);
+    EXPECT_NE(out.find("measured:"), std::string::npos);
+    EXPECT_NE(out.find("modeled:"), std::string::npos);
+    EXPECT_NE(out.find("billed on measured runtime"), std::string::npos);
+}
+
+TEST_F(ReportTest, CapacityBillSkipsEmptyTiersAndSumsTotal) {
+    const auto caps = evaluator.capacities(plan);
+    std::ostringstream os;
+    write_capacity_bill(caps, Seconds::from_minutes(30.0), testing::small_models().catalog(),
+                        os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("persSSD"), std::string::npos);
+    EXPECT_EQ(out.find("persHDD"), std::string::npos);  // not provisioned
+    EXPECT_NE(out.find("total"), std::string::npos);
+}
+
+TEST_F(ReportTest, WorkflowReportListsTransfersAndVerdict) {
+    const auto wf = workload::make_search_log_workflow(Seconds{1e6});
+    WorkflowEvaluator ev(testing::small_models(), wf);
+    WorkflowPlan p = WorkflowPlan::uniform(wf.size(), StorageTier::kPersistentSsd);
+    p.decisions[wf.index_of(3)] = {StorageTier::kEphemeralSsd, 1.0};
+    const auto dep = Deployer().deploy_workflow(ev, p);
+    std::ostringstream os;
+    write_workflow_report(ev, p, dep, os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("search-log-analysis"), std::string::npos);
+    EXPECT_NE(out.find("MET"), std::string::npos);
+    EXPECT_NE(out.find("cross-tier transfers"), std::string::npos);
+    EXPECT_NE(out.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cast::core

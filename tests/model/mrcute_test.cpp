@@ -1,0 +1,133 @@
+#include "model/mrcute.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cast::model {
+namespace {
+
+using cloud::StorageTier;
+using workload::AppKind;
+using cast::literals::operator""_MBps;
+
+workload::JobSpec job_with(AppKind app, double input_gb, int maps, int reduces) {
+    return workload::JobSpec{.id = 1,
+                             .name = "est",
+                             .app = app,
+                             .input = GigaBytes{input_gb},
+                             .map_tasks = maps,
+                             .reduce_tasks = reduces,
+                             .reuse_group = std::nullopt};
+}
+
+PhaseBandwidths uniform_bw(double mbps) {
+    return PhaseBandwidths{MBytesPerSec{mbps}, MBytesPerSec{mbps}, MBytesPerSec{mbps}};
+}
+
+TEST(WaveCount, CeilingDivision) {
+    EXPECT_EQ(wave_count(1, 8), 1);
+    EXPECT_EQ(wave_count(8, 8), 1);
+    EXPECT_EQ(wave_count(9, 8), 2);
+    EXPECT_EQ(wave_count(200, 200), 1);
+    EXPECT_EQ(wave_count(3000, 200), 15);
+    EXPECT_THROW((void)wave_count(0, 8), PreconditionError);
+    EXPECT_THROW((void)wave_count(8, 0), PreconditionError);
+}
+
+TEST(Estimate, SingleWaveHandComputed) {
+    // 1 worker VM, 8 map slots. 8 maps of 1 GB each at 100 MB/s: one wave
+    // of 10 s. Sort: inter == output == input; 2 reduces -> 4 GB each.
+    cloud::ClusterSpec cluster = cloud::ClusterSpec::paper_single_node();
+    const auto job = job_with(AppKind::kSort, 8.0, 8, 2);
+    const auto est = estimate_breakdown(cluster, job, uniform_bw(100.0));
+    EXPECT_NEAR(est.map.value(), 10.0, 1e-9);            // 1000 MB / 100
+    EXPECT_NEAR(est.shuffle.value(), 40.0, 1e-9);        // 4000 MB / 100
+    EXPECT_NEAR(est.reduce.value(), 40.0, 1e-9);
+    EXPECT_NEAR(est.total().value(), 90.0, 1e-9);
+}
+
+TEST(Estimate, WaveQuantizationMatters) {
+    cloud::ClusterSpec cluster = cloud::ClusterSpec::paper_single_node();
+    const auto eight = job_with(AppKind::kGrep, 8.0, 8, 1);
+    const auto nine = job_with(AppKind::kGrep, 9.0, 9, 1);  // same chunk size
+    const auto b8 = estimate_breakdown(cluster, eight, uniform_bw(100.0));
+    const auto b9 = estimate_breakdown(cluster, nine, uniform_bw(100.0));
+    // 9 tasks on 8 slots -> 2 waves: the map term doubles (chunk size is
+    // identical in both jobs).
+    EXPECT_NEAR(b9.map.value(), 2.0 * b8.map.value(), 1e-9);
+}
+
+TEST(Estimate, IterationsMultiply) {
+    cloud::ClusterSpec cluster = cloud::ClusterSpec::paper_single_node();
+    const auto kmeans = job_with(AppKind::kKMeans, 8.0, 8, 2);
+    const auto grep = job_with(AppKind::kGrep, 8.0, 8, 2);
+    const auto bw = uniform_bw(100.0);
+    const int iters = workload::ApplicationProfile::of(AppKind::kKMeans).iterations();
+    // Map term scales exactly with iteration count for equal-sized maps.
+    const auto est_k = estimate_breakdown(cluster, kmeans, bw);
+    const auto est_g = estimate_breakdown(cluster, grep, bw);
+    EXPECT_NEAR(est_k.map.value(), est_g.map.value() * iters, 1e-9);
+}
+
+TEST(Estimate, FasterBandwidthShortensEstimate) {
+    cloud::ClusterSpec cluster = cloud::ClusterSpec::paper_400_core();
+    const auto job = job_with(AppKind::kSort, 384.0, 3000, 750);
+    const double slow = estimate(cluster, job, uniform_bw(10.0)).value();
+    const double fast = estimate(cluster, job, uniform_bw(40.0)).value();
+    EXPECT_NEAR(slow / fast, 4.0, 1e-9);
+}
+
+TEST(Estimate, ValidatesInputs) {
+    cloud::ClusterSpec cluster = cloud::ClusterSpec::paper_single_node();
+    const auto job = job_with(AppKind::kSort, 8.0, 8, 2);
+    PhaseBandwidths bad = uniform_bw(100.0);
+    bad.shuffle = MBytesPerSec{0.0};
+    EXPECT_THROW((void)estimate(cluster, job, bad), PreconditionError);
+}
+
+TEST(EstimateStaging, MatchesMinOfEndpoints) {
+    const auto catalog = cloud::StorageCatalog::google_cloud();
+    cloud::ClusterSpec cluster = cloud::ClusterSpec::paper_single_node();
+    // 10 GB to a 375 GB ephSSD volume: objStore's 265 MB/s is the limit.
+    const Seconds t = estimate_staging(cluster, catalog, StorageTier::kEphemeralSsd,
+                                       GigaBytes{375.0}, GigaBytes{10.0});
+    EXPECT_NEAR(t.value(), 10000.0 / 265.0, 1e-6);
+    // To a 100 GB persHDD volume (20 MB/s write): the volume is the limit.
+    const Seconds t2 = estimate_staging(cluster, catalog, StorageTier::kPersistentHdd,
+                                        GigaBytes{100.0}, GigaBytes{10.0});
+    EXPECT_NEAR(t2.value(), 10000.0 / 20.0, 1e-6);
+}
+
+TEST(EstimateStaging, ScalesWithClusterSizeUpToBucketCeiling) {
+    const auto catalog = cloud::StorageCatalog::google_cloud();
+    cloud::ClusterSpec c1 = cloud::ClusterSpec::paper_single_node();
+    cloud::ClusterSpec c4 = c1;
+    c4.worker_count = 4;
+    cloud::ClusterSpec c10 = cloud::ClusterSpec::paper_10_node();
+    auto dl = [&](const cloud::ClusterSpec& c) {
+        return estimate_staging(c, catalog, StorageTier::kEphemeralSsd, GigaBytes{375.0},
+                                GigaBytes{100.0}, StagingDirection::kDownload)
+            .value();
+    };
+    // 4 VMs: 4x the single-VM object-store streams (4 x 265 < 1200 cap).
+    EXPECT_NEAR(dl(c1) / dl(c4), 4.0, 1e-9);
+    // 10 VMs: capped by the bucket-level 1200 MB/s aggregate read ceiling.
+    EXPECT_NEAR(dl(c1) / dl(c10), 1200.0 / 265.0, 1e-9);
+    // Uploads hit the (lower) aggregate write ceiling.
+    const double ul10 = estimate_staging(c10, catalog, StorageTier::kEphemeralSsd,
+                                         GigaBytes{375.0}, GigaBytes{100.0},
+                                         StagingDirection::kUpload)
+                            .value();
+    EXPECT_NEAR(ul10, 100000.0 / 500.0, 1e-6);
+}
+
+TEST(EstimateStaging, ZeroVolumeFree) {
+    const auto catalog = cloud::StorageCatalog::google_cloud();
+    EXPECT_DOUBLE_EQ(estimate_staging(cloud::ClusterSpec::paper_single_node(), catalog,
+                                      StorageTier::kPersistentSsd, GigaBytes{100.0},
+                                      GigaBytes{0.0})
+                         .value(),
+                     0.0);
+}
+
+}  // namespace
+}  // namespace cast::model

@@ -1,0 +1,124 @@
+#include "model/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "test_support.hpp"
+
+namespace cast::model {
+namespace {
+
+using cloud::StorageTier;
+using workload::AppKind;
+
+TEST(Serialize, RoundTripIsBitExact) {
+    const PerfModelSet& original = testing::small_models();
+    std::stringstream buffer;
+    save_model_set(original, buffer);
+    const PerfModelSet loaded = load_model_set(buffer);
+
+    EXPECT_EQ(loaded.cluster().worker_count, original.cluster().worker_count);
+    EXPECT_EQ(loaded.cluster().worker.name, original.cluster().worker.name);
+    EXPECT_EQ(loaded.catalog().name(), original.catalog().name());
+    for (AppKind app : workload::kAllApps) {
+        for (StorageTier tier : cloud::kAllTiers) {
+            const auto& a = original.tier_model(app, tier);
+            const auto& b = loaded.tier_model(app, tier);
+            EXPECT_DOUBLE_EQ(a.bandwidths.map.value(), b.bandwidths.map.value());
+            EXPECT_DOUBLE_EQ(a.bandwidths.shuffle.value(), b.bandwidths.shuffle.value());
+            EXPECT_DOUBLE_EQ(a.bandwidths.reduce.value(), b.bandwidths.reduce.value());
+            EXPECT_DOUBLE_EQ(a.reference_capacity_per_vm.value(),
+                             b.reference_capacity_per_vm.value());
+            EXPECT_EQ(a.scales_with_intermediate_volume, b.scales_with_intermediate_volume);
+            ASSERT_EQ(a.runtime_scale.size(), b.runtime_scale.size());
+            for (std::size_t i = 0; i < a.runtime_scale.size(); ++i) {
+                EXPECT_DOUBLE_EQ(a.runtime_scale.knots_x()[i], b.runtime_scale.knots_x()[i]);
+                EXPECT_DOUBLE_EQ(a.runtime_scale.knots_y()[i], b.runtime_scale.knots_y()[i]);
+            }
+        }
+    }
+}
+
+TEST(Serialize, RoundTripPreservesPredictions) {
+    const PerfModelSet& original = testing::small_models();
+    std::stringstream buffer;
+    save_model_set(original, buffer);
+    const PerfModelSet loaded = load_model_set(buffer);
+    const workload::JobSpec job{.id = 1,
+                                .name = "rt",
+                                .app = AppKind::kSort,
+                                .input = GigaBytes{40.0},
+                                .map_tasks = 312,
+                                .reduce_tasks = 78,
+                                .reuse_group = std::nullopt};
+    for (StorageTier tier : cloud::kAllTiers) {
+        EXPECT_DOUBLE_EQ(original.job_runtime(job, tier, GigaBytes{300.0}).value(),
+                         loaded.job_runtime(job, tier, GigaBytes{300.0}).value())
+            << cloud::tier_name(tier);
+    }
+}
+
+TEST(Serialize, SecondSaveIsIdentical) {
+    std::stringstream a;
+    save_model_set(testing::small_models(), a);
+    std::stringstream b;
+    save_model_set(load_model_set(a), b);
+    // Compare against a fresh serialization of the original.
+    std::stringstream a2;
+    save_model_set(testing::small_models(), a2);
+    EXPECT_EQ(b.str(), a2.str());
+}
+
+TEST(Serialize, FileRoundTrip) {
+    const std::string path = ::testing::TempDir() + "/cast_models_test.txt";
+    save_model_set_file(testing::small_models(), path);
+    const PerfModelSet loaded = load_model_set_file(path);
+    EXPECT_EQ(loaded.cluster().worker_count,
+              testing::small_models().cluster().worker_count);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, FileErrorsThrow) {
+    EXPECT_THROW((void)load_model_set_file("/nonexistent/dir/models.txt"), ValidationError);
+    EXPECT_THROW(save_model_set_file(testing::small_models(), "/nonexistent/dir/m.txt"),
+                 ValidationError);
+}
+
+TEST(Serialize, RejectsCorruptInput) {
+    auto load_str = [](const std::string& text) {
+        std::istringstream is(text);
+        return load_model_set(is);
+    };
+    EXPECT_THROW((void)load_str(""), ValidationError);
+    EXPECT_THROW((void)load_str("wrong-magic v1\n"), ValidationError);
+    EXPECT_THROW((void)load_str("cast-model-set v99\n"), ValidationError);
+    EXPECT_THROW((void)load_str("cast-model-set v1\ncatalog google-cloud\nend\n"),
+                 ValidationError);  // missing cluster
+    EXPECT_THROW((void)load_str("cast-model-set v1\nbogus-key 1\nend\n"), ValidationError);
+}
+
+TEST(Serialize, RejectsTruncatedModels) {
+    std::stringstream buffer;
+    save_model_set(testing::small_models(), buffer);
+    std::string text = buffer.str();
+    // Drop the last model line (keep "end").
+    const auto end_pos = text.rfind("model ");
+    text.erase(end_pos, text.rfind("end") - end_pos);
+    std::istringstream is(text);
+    EXPECT_THROW((void)load_model_set(is), ValidationError);
+}
+
+TEST(Serialize, RejectsUnknownCatalog) {
+    std::stringstream buffer;
+    save_model_set(testing::small_models(), buffer);
+    std::string text = buffer.str();
+    const auto pos = text.find("google-cloud");
+    text.replace(pos, std::string("google-cloud").size(), "magic-cloud9");
+    std::istringstream is(text);
+    EXPECT_THROW((void)load_model_set(is), ValidationError);
+}
+
+}  // namespace
+}  // namespace cast::model

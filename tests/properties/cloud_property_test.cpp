@@ -1,0 +1,109 @@
+// Parameterized property tests over the cloud catalog: provisioning and
+// pricing invariants for every service.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cloud/storage.hpp"
+#include "common/rng.hpp"
+
+namespace cast::cloud {
+namespace {
+
+class ServiceSweep : public ::testing::TestWithParam<StorageTier> {
+protected:
+    StorageCatalog catalog = StorageCatalog::google_cloud();
+    const StorageService& service() { return catalog.service(GetParam()); }
+};
+
+TEST_P(ServiceSweep, ProvisionIsIdempotent) {
+    Rng rng(42 + tier_index(GetParam()));
+    for (int i = 0; i < 200; ++i) {
+        const GigaBytes req{rng.uniform(0.0, 1400.0)};
+        const GigaBytes once = service().provision(req);
+        EXPECT_DOUBLE_EQ(service().provision(once).value(), once.value())
+            << "request " << req.value();
+    }
+}
+
+TEST_P(ServiceSweep, ProvisionNeverShrinksTheRequest) {
+    Rng rng(7 + tier_index(GetParam()));
+    for (int i = 0; i < 200; ++i) {
+        const GigaBytes req{rng.uniform(0.0, 1400.0)};
+        EXPECT_GE(service().provision(req).value(), req.value() - 1e-9);
+    }
+}
+
+TEST_P(ServiceSweep, ProvisionIsMonotone) {
+    Rng rng(11 + tier_index(GetParam()));
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.uniform(0.0, 1400.0);
+        const double b = a + rng.uniform(0.0, 100.0);
+        EXPECT_LE(service().provision(GigaBytes{a}).value(),
+                  service().provision(GigaBytes{b}).value() + 1e-9);
+    }
+}
+
+TEST_P(ServiceSweep, PerformanceMonotoneInCapacity) {
+    const auto& svc = service();
+    double prev_bw = 0.0;
+    double prev_iops = 0.0;
+    for (double c = 10.0; c <= 1500.0; c += 10.0) {
+        const auto p = svc.performance(GigaBytes{c});
+        EXPECT_GE(p.read_bw.value(), prev_bw - 1e-9) << c;
+        EXPECT_GE(p.iops.value(), prev_iops - 1e-9) << c;
+        prev_bw = p.read_bw.value();
+        prev_iops = p.iops.value();
+    }
+}
+
+TEST_P(ServiceSweep, ClusterBandwidthScalesSublinearlyAndMonotonically) {
+    const auto& svc = service();
+    const GigaBytes cap{375.0};
+    double prev_r = 0.0;
+    double prev_w = 0.0;
+    for (int nvm = 1; nvm <= 32; ++nvm) {
+        const double r = svc.cluster_read_bw(cap, nvm).value();
+        const double w = svc.cluster_write_bw(cap, nvm).value();
+        EXPECT_GE(r, prev_r - 1e-9);
+        EXPECT_GE(w, prev_w - 1e-9);
+        // Never more than linear in the VM count.
+        EXPECT_LE(r, svc.performance(cap).read_bw.value() * nvm + 1e-9);
+        prev_r = r;
+        prev_w = w;
+    }
+}
+
+TEST_P(ServiceSweep, PricingConsistency) {
+    const auto& svc = service();
+    EXPECT_GT(svc.price_per_gb_month().value(), 0.0);
+    EXPECT_NEAR(svc.price_per_gb_hour().value() * 730.0, svc.price_per_gb_month().value(),
+                1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllServices, ServiceSweep, ::testing::ValuesIn(kAllTiers),
+                         [](const ::testing::TestParamInfo<StorageTier>& info) {
+                             return std::string(tier_name(info.param));
+                         });
+
+TEST(ObjectStoreIntermediate, ConventionProperties) {
+    // Floor at 100 GB, grows with 2x headroom, splits across VMs.
+    EXPECT_DOUBLE_EQ(object_store_intermediate_volume(GigaBytes{0.0}, 1).value(), 100.0);
+    EXPECT_DOUBLE_EQ(object_store_intermediate_volume(GigaBytes{10.0}, 1).value(), 100.0);
+    EXPECT_DOUBLE_EQ(object_store_intermediate_volume(GigaBytes{100.0}, 1).value(), 200.0);
+    EXPECT_DOUBLE_EQ(object_store_intermediate_volume(GigaBytes{100.0}, 4).value(), 100.0);
+    // Monotone in intermediate size, antitone in worker count.
+    double prev = 0.0;
+    for (double inter = 0.0; inter <= 500.0; inter += 25.0) {
+        const double v = object_store_intermediate_volume(GigaBytes{inter}, 2).value();
+        EXPECT_GE(v, prev - 1e-9);
+        prev = v;
+    }
+    for (int nvm = 1; nvm < 16; ++nvm) {
+        EXPECT_GE(object_store_intermediate_volume(GigaBytes{400.0}, nvm).value(),
+                  object_store_intermediate_volume(GigaBytes{400.0}, nvm + 1).value() - 1e-9);
+    }
+}
+
+}  // namespace
+}  // namespace cast::cloud

@@ -1,0 +1,150 @@
+// Parameterized property tests over the Eq. 2-6 plan evaluator.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/utility.hpp"
+#include "test_support.hpp"
+
+namespace cast::core {
+namespace {
+
+using cloud::StorageTier;
+using workload::AppKind;
+
+workload::Workload seeded_workload(std::uint64_t seed, std::size_t jobs) {
+    Rng rng(seed);
+    std::vector<workload::JobSpec> specs;
+    for (std::size_t i = 0; i < jobs; ++i) {
+        const AppKind app = workload::kAllApps[rng.below(workload::kAllApps.size())];
+        const double gb = rng.uniform(20.0, 300.0);
+        const int maps = std::max(1, static_cast<int>(gb / 0.128));
+        specs.push_back(workload::JobSpec{.id = static_cast<int>(i) + 1,
+                                          .name = "ev-" + std::to_string(i),
+                                          .app = app,
+                                          .input = GigaBytes{gb},
+                                          .map_tasks = maps,
+                                          .reduce_tasks = std::max(1, maps / 4),
+                                          .reuse_group = std::nullopt});
+    }
+    return workload::Workload(std::move(specs));
+}
+
+class EvaluatorTierSweep
+    : public ::testing::TestWithParam<std::tuple<StorageTier, std::uint64_t>> {};
+
+TEST_P(EvaluatorTierSweep, UtilityMatchesItsDefinition) {
+    const auto [tier, seed] = GetParam();
+    PlanEvaluator eval(testing::small_models(), seeded_workload(seed, 6));
+    const auto e = eval.evaluate(TieringPlan::uniform(6, tier));
+    ASSERT_TRUE(e.feasible) << cloud::tier_name(tier);
+    EXPECT_NEAR(e.utility,
+                (1.0 / e.total_runtime.minutes()) / e.total_cost().value(), 1e-15);
+}
+
+TEST_P(EvaluatorTierSweep, CapacityCoversEq3ForEveryJob) {
+    const auto [tier, seed] = GetParam();
+    const auto w = seeded_workload(seed, 6);
+    PlanEvaluator eval(testing::small_models(), w);
+    const auto caps = eval.capacities(TieringPlan::uniform(6, tier));
+    double required = 0.0;
+    for (const auto& j : w.jobs()) required += j.capacity_requirement().value();
+    EXPECT_GE(caps.aggregate_of(tier).value(), required - 1e-6);
+}
+
+TEST_P(EvaluatorTierSweep, VmCostLinearInRuntimeStorageStepwise) {
+    const auto [tier, seed] = GetParam();
+    PlanEvaluator eval(testing::small_models(), seeded_workload(seed, 6));
+    const auto caps = eval.capacities(TieringPlan::uniform(6, tier));
+    const auto [vm30, st30] = eval.costs_for(Seconds::from_minutes(30.0), caps);
+    const auto [vm60, st60] = eval.costs_for(Seconds::from_minutes(60.0), caps);
+    const auto [vm90, st90] = eval.costs_for(Seconds::from_minutes(90.0), caps);
+    EXPECT_NEAR(vm60.value(), 2.0 * vm30.value(), 1e-9);
+    EXPECT_NEAR(vm90.value(), 3.0 * vm30.value(), 1e-9);
+    EXPECT_DOUBLE_EQ(st30.value(), st60.value());        // same billed hour
+    EXPECT_NEAR(st90.value(), 2.0 * st30.value(), 1e-9);  // next hour
+}
+
+TEST_P(EvaluatorTierSweep, OverprovisionNeverLengthensModeledRuntime) {
+    const auto [tier, seed] = GetParam();
+    PlanEvaluator eval(testing::small_models(), seeded_workload(seed, 6));
+    const auto exact = eval.evaluate(TieringPlan::uniform(6, tier, 1.0));
+    const auto padded = eval.evaluate(TieringPlan::uniform(6, tier, 3.0));
+    if (!exact.feasible || !padded.feasible) GTEST_SKIP();
+    // More capacity -> same or faster (block-tier bandwidth scaling),
+    // within a small spline tolerance.
+    EXPECT_LE(padded.total_runtime.value(), exact.total_runtime.value() * 1.02);
+    // And it always costs at least as much in storage.
+    EXPECT_GE(padded.storage_cost.value(), exact.storage_cost.value() - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TiersAndSeeds, EvaluatorTierSweep,
+    ::testing::Combine(::testing::ValuesIn(cloud::kAllTiers),
+                       ::testing::Values(101u, 202u, 303u)),
+    [](const ::testing::TestParamInfo<EvaluatorTierSweep::ParamType>& info) {
+        return std::string(cloud::tier_name(std::get<0>(info.param))) + "_s" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Reuse-aware accounting invariants.
+// ---------------------------------------------------------------------------
+
+class ReuseAccountingSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReuseAccountingSweep, AwareNeverChargesMoreCapacityThanOblivious) {
+    const auto seed = GetParam();
+    Rng rng(seed);
+    std::vector<workload::JobSpec> specs;
+    const double gb = rng.uniform(50.0, 200.0);
+    for (int i = 0; i < 6; ++i) {
+        const int maps = std::max(1, static_cast<int>(gb / 0.128));
+        specs.push_back(workload::JobSpec{.id = i + 1,
+                                          .name = "ra-" + std::to_string(i),
+                                          .app = AppKind::kGrep,
+                                          .input = GigaBytes{gb},
+                                          .map_tasks = maps,
+                                          .reduce_tasks = std::max(1, maps / 4),
+                                          .reuse_group = i < 4 ? std::optional<int>(1)
+                                                               : std::nullopt});
+    }
+    const workload::Workload w(specs);
+    PlanEvaluator oblivious(testing::small_models(), w, EvalOptions{false});
+    PlanEvaluator aware(testing::small_models(), w, EvalOptions{true});
+    for (StorageTier tier : cloud::kAllTiers) {
+        const auto plan = TieringPlan::uniform(w.size(), tier);
+        EXPECT_LE(aware.capacities(plan).total().value(),
+                  oblivious.capacities(plan).total().value() + 1e-6)
+            << cloud::tier_name(tier);
+    }
+}
+
+TEST_P(ReuseAccountingSweep, ExactlyOneLeaderPerGroup) {
+    const auto w = [&] {
+        std::vector<workload::JobSpec> specs;
+        for (int i = 0; i < 9; ++i) {
+            specs.push_back(workload::JobSpec{.id = i + 1,
+                                              .name = "g-" + std::to_string(i),
+                                              .app = AppKind::kSort,
+                                              .input = GigaBytes{64.0},
+                                              .map_tasks = 500,
+                                              .reduce_tasks = 125,
+                                              .reuse_group = (i % 3) + 1});
+        }
+        return workload::Workload(specs);
+    }();
+    PlanEvaluator aware(testing::small_models(), w, EvalOptions{true});
+    std::map<int, int> leaders;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        if (aware.pays_input_download(i)) leaders[*w.job(i).reuse_group]++;
+    }
+    for (const auto& [group, count] : leaders) EXPECT_EQ(count, 1) << "group " << group;
+    EXPECT_EQ(leaders.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReuseAccountingSweep, ::testing::Values(5u, 17u, 29u));
+
+}  // namespace
+}  // namespace cast::core

@@ -1,0 +1,166 @@
+// Parameterized property tests over the model layer: the estimator and
+// the profiled model set must behave sanely across the whole input space.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "model/profiler.hpp"
+#include "test_support.hpp"
+
+namespace cast::model {
+namespace {
+
+using cloud::StorageTier;
+using workload::AppKind;
+
+workload::JobSpec sized_job(AppKind app, double gb, int maps) {
+    return workload::JobSpec{.id = 1,
+                             .name = "prop",
+                             .app = app,
+                             .input = GigaBytes{gb},
+                             .map_tasks = maps,
+                             .reduce_tasks = std::max(1, maps / 4),
+                             .reuse_group = std::nullopt};
+}
+
+// ---------------------------------------------------------------------------
+// Estimator algebraic properties.
+// ---------------------------------------------------------------------------
+
+class EstimatorSweep : public ::testing::TestWithParam<AppKind> {
+protected:
+    cloud::ClusterSpec cluster = cloud::ClusterSpec::paper_10_node();
+    PhaseBandwidths bw{MBytesPerSec{40.0}, MBytesPerSec{30.0}, MBytesPerSec{25.0}};
+};
+
+TEST_P(EstimatorSweep, MonotoneInInputAtFixedChunkSize) {
+    const AppKind app = GetParam();
+    double prev = 0.0;
+    for (int maps : {80, 160, 320, 640}) {
+        const double t =
+            estimate(cluster, sized_job(app, maps * 0.128, maps), bw).value();
+        EXPECT_GT(t, prev) << maps;
+        prev = t;
+    }
+}
+
+TEST_P(EstimatorSweep, InverselyProportionalToBandwidth) {
+    const AppKind app = GetParam();
+    const auto job = sized_job(app, 64.0, 500);
+    const double t1 = estimate(cluster, job, bw).value();
+    PhaseBandwidths doubled{MBytesPerSec{bw.map.value() * 2},
+                            MBytesPerSec{bw.shuffle.value() * 2},
+                            MBytesPerSec{bw.reduce.value() * 2}};
+    EXPECT_NEAR(estimate(cluster, job, doubled).value(), t1 / 2.0, 1e-9);
+}
+
+TEST_P(EstimatorSweep, BreakdownSumsToTotal) {
+    const AppKind app = GetParam();
+    const auto job = sized_job(app, 32.0, 250);
+    const auto b = estimate_breakdown(cluster, job, bw);
+    EXPECT_NEAR(b.total().value(),
+                b.map.value() + b.shuffle.value() + b.reduce.value(), 1e-12);
+    EXPECT_NEAR(estimate(cluster, job, bw).value(), b.total().value(), 1e-12);
+}
+
+TEST_P(EstimatorSweep, WaveBoundaryNeverDecreasesRuntime) {
+    const AppKind app = GetParam();
+    const int slots = cluster.total_map_slots();
+    // Crossing a wave boundary with identical chunk size must not shorten
+    // the estimate.
+    const auto at_boundary = sized_job(app, slots * 0.128, slots);
+    const auto over_boundary = sized_job(app, (slots + 1) * 0.128, slots + 1);
+    EXPECT_GE(estimate(cluster, over_boundary, bw).value(),
+              estimate(cluster, at_boundary, bw).value() - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, EstimatorSweep, ::testing::ValuesIn(workload::kAllApps),
+                         [](const ::testing::TestParamInfo<AppKind>& info) {
+                             return std::string(workload::app_name(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Profiled model set properties across (app, tier).
+// ---------------------------------------------------------------------------
+
+class ModelSetSweep
+    : public ::testing::TestWithParam<std::tuple<AppKind, StorageTier>> {};
+
+TEST_P(ModelSetSweep, ProcessingTimeMonotoneInCapacity) {
+    const auto [app, tier] = GetParam();
+    const auto& models = testing::small_models();
+    const auto job = sized_job(app, 48.0, 375);
+    double prev = 1e18;
+    for (double cap : {30.0, 100.0, 300.0, 700.0}) {
+        const double t = models.processing_time(job, tier, GigaBytes{cap}).value();
+        EXPECT_LE(t, prev * 1.02) << cap;  // small spline tolerance
+        prev = t;
+    }
+}
+
+TEST_P(ModelSetSweep, RuntimeScalesLinearlyWithDataAtFixedWaveShape) {
+    const auto [app, tier] = GetParam();
+    const auto& models = testing::small_models();
+    // Doubling data, map tasks AND reduce tasks in whole-wave multiples
+    // doubles every Eq. 1 term, so the estimate must double exactly
+    // (chunk and partition sizes are unchanged).
+    const int mslots = models.cluster().total_map_slots();
+    const int rslots = models.cluster().total_reduce_slots();
+    auto job_with = [&](int waves) {
+        workload::JobSpec j = sized_job(app, mslots * waves * 0.128, mslots * waves);
+        j.reduce_tasks = rslots * waves;
+        return j;
+    };
+    const double t_small =
+        models.processing_time(job_with(2), tier, GigaBytes{500.0}).value();
+    const double t_big = models.processing_time(job_with(4), tier, GigaBytes{500.0}).value();
+    EXPECT_NEAR(t_big / t_small, 2.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, ModelSetSweep,
+    ::testing::Combine(::testing::ValuesIn(workload::kAllApps),
+                       ::testing::ValuesIn(cloud::kAllTiers)),
+    [](const ::testing::TestParamInfo<ModelSetSweep::ParamType>& info) {
+        return std::string(workload::app_name(std::get<0>(info.param))) + "_" +
+               std::string(cloud::tier_name(std::get<1>(info.param)));
+    });
+
+// ---------------------------------------------------------------------------
+// Spline regression fuzz: the Fritsch-Carlson interpolant of any monotone
+// random sample stays monotone and within the sample's range.
+// ---------------------------------------------------------------------------
+
+class SplineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SplineFuzz, MonotoneAndBoundedOnRandomMonotoneData) {
+    Rng rng(GetParam());
+    const std::size_t n = 3 + rng.below(10);
+    std::vector<double> xs;
+    std::vector<double> ys;
+    double x = rng.uniform(0.0, 10.0);
+    double y = rng.uniform(50.0, 100.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        xs.push_back(x);
+        ys.push_back(y);
+        x += rng.uniform(0.5, 20.0);
+        y -= rng.uniform(0.0, 15.0);  // non-increasing, like runtime vs capacity
+    }
+    const CubicHermiteSpline s(xs, ys);
+    double prev = s(xs.front());
+    for (double q = xs.front(); q <= xs.back(); q += (xs.back() - xs.front()) / 500.0) {
+        const double v = s(q);
+        EXPECT_LE(v, prev + 1e-9);
+        EXPECT_LE(v, ys.front() + 1e-9);
+        EXPECT_GE(v, ys.back() - 1e-9);
+        prev = v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplineFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+}  // namespace
+}  // namespace cast::model

@@ -1,0 +1,203 @@
+// Parameterized property tests over the cluster simulator: invariants that
+// must hold for every (application, tier, size, cluster) combination, not
+// just the calibrated points the figure benches exercise.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "sim/mapreduce.hpp"
+
+namespace cast::sim {
+namespace {
+
+using cloud::StorageTier;
+using workload::AppKind;
+
+workload::JobSpec sized_job(AppKind app, double gb, int id = 1) {
+    const int maps = std::max(1, static_cast<int>(gb / 0.128));
+    return workload::JobSpec{.id = id,
+                             .name = std::string(workload::app_name(app)) + "-prop",
+                             .app = app,
+                             .input = GigaBytes{gb},
+                             .map_tasks = maps,
+                             .reduce_tasks = std::max(1, maps / 4),
+                             .reuse_group = std::nullopt};
+}
+
+TierCapacities generous_caps() {
+    TierCapacities caps;
+    caps.set(StorageTier::kEphemeralSsd, GigaBytes{750.0});
+    caps.set(StorageTier::kPersistentSsd, GigaBytes{500.0});
+    caps.set(StorageTier::kPersistentHdd, GigaBytes{500.0});
+    return caps;
+}
+
+ClusterSim sim_with(int vms, std::uint64_t seed = 5, double jitter = 0.0) {
+    cloud::ClusterSpec cluster = cloud::ClusterSpec::paper_single_node();
+    cluster.worker_count = vms;
+    return ClusterSim(cluster, cloud::StorageCatalog::google_cloud(), generous_caps(),
+                      SimOptions{.seed = seed, .jitter_sigma = jitter});
+}
+
+// ---------------------------------------------------------------------------
+// Sweep every app on every tier.
+// ---------------------------------------------------------------------------
+
+class AppTierSweep
+    : public ::testing::TestWithParam<std::tuple<AppKind, StorageTier>> {};
+
+TEST_P(AppTierSweep, MakespanPositiveAndPhaseConsistent) {
+    const auto [app, tier] = GetParam();
+    auto sim = sim_with(2);
+    const auto r = sim.run_job(JobPlacement::on_tier(sized_job(app, 8.0), tier));
+    EXPECT_GT(r.makespan.value(), 0.0);
+    EXPECT_NEAR(r.makespan.value(), r.phases.total().value(), 1e-6);
+    EXPECT_GE(r.phases.map.value(), 0.0);
+    EXPECT_GE(r.phases.shuffle.value(), 0.0);
+    EXPECT_GE(r.phases.reduce.value(), 0.0);
+}
+
+TEST_P(AppTierSweep, MakespanMonotoneInInputSize) {
+    const auto [app, tier] = GetParam();
+    auto sim = sim_with(2);
+    double prev = 0.0;
+    for (double gb : {2.0, 8.0, 32.0}) {
+        const double t =
+            sim.run_job(JobPlacement::on_tier(sized_job(app, gb), tier)).makespan.value();
+        EXPECT_GT(t, prev) << gb << " GB";
+        prev = t;
+    }
+}
+
+TEST_P(AppTierSweep, MoreWorkersNeverSlower) {
+    const auto [app, tier] = GetParam();
+    const auto job = sized_job(app, 16.0);
+    const double t2 =
+        sim_with(2).run_job(JobPlacement::on_tier(job, tier)).makespan.value();
+    const double t8 =
+        sim_with(8).run_job(JobPlacement::on_tier(job, tier)).makespan.value();
+    // Per-VM volumes multiply with workers; allow 2% slack for staging
+    // phases that are already cluster-wide-capped (objStore ceilings).
+    EXPECT_LE(t8, t2 * 1.02);
+}
+
+TEST_P(AppTierSweep, DeterministicAcrossIdenticalRuns) {
+    const auto [app, tier] = GetParam();
+    const auto job = sized_job(app, 8.0);
+    const double a =
+        sim_with(3, 77, 0.06).run_job(JobPlacement::on_tier(job, tier)).makespan.value();
+    const double b =
+        sim_with(3, 77, 0.06).run_job(JobPlacement::on_tier(job, tier)).makespan.value();
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_P(AppTierSweep, JitterStaysNearDeterministicRuntime) {
+    const auto [app, tier] = GetParam();
+    const auto job = sized_job(app, 8.0);
+    const double det =
+        sim_with(2, 5, 0.0).run_job(JobPlacement::on_tier(job, tier)).makespan.value();
+    const double jit =
+        sim_with(2, 5, 0.08).run_job(JobPlacement::on_tier(job, tier)).makespan.value();
+    EXPECT_NEAR(jit / det, 1.0, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAppsAllTiers, AppTierSweep,
+    ::testing::Combine(::testing::ValuesIn(workload::kAllApps),
+                       ::testing::ValuesIn(cloud::kAllTiers)),
+    [](const ::testing::TestParamInfo<AppTierSweep::ParamType>& info) {
+        return std::string(workload::app_name(std::get<0>(info.param))) + "_" +
+               std::string(cloud::tier_name(std::get<1>(info.param)));
+    });
+
+// ---------------------------------------------------------------------------
+// Capacity sweep on the block tiers: bandwidth scaling must be monotone.
+// ---------------------------------------------------------------------------
+
+class CapacitySweep
+    : public ::testing::TestWithParam<std::tuple<StorageTier, double>> {};
+
+TEST_P(CapacitySweep, BiggerVolumeNeverSlowerForIoBoundScan) {
+    const auto [tier, cap] = GetParam();
+    cloud::ClusterSpec cluster = cloud::ClusterSpec::paper_single_node();
+    const auto catalog = cloud::StorageCatalog::google_cloud();
+    auto runtime_at = [&](double c) {
+        TierCapacities caps;
+        caps.set(tier, GigaBytes{c});
+        ClusterSim sim(cluster, catalog, caps, SimOptions{.seed = 3, .jitter_sigma = 0.0});
+        return sim.run_job(JobPlacement::on_tier(sized_job(AppKind::kGrep, 4.0), tier))
+            .makespan.value();
+    };
+    EXPECT_LE(runtime_at(cap * 2.0), runtime_at(cap) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlockTiers, CapacitySweep,
+    ::testing::Combine(::testing::Values(StorageTier::kPersistentSsd,
+                                         StorageTier::kPersistentHdd),
+                       ::testing::Values(50.0, 100.0, 200.0, 400.0)),
+    [](const ::testing::TestParamInfo<CapacitySweep::ParamType>& info) {
+        return std::string(cloud::tier_name(std::get<0>(info.param))) + "_" +
+               std::to_string(static_cast<int>(std::get<1>(info.param))) + "gb";
+    });
+
+// ---------------------------------------------------------------------------
+// Work conservation: total bytes moved / makespan never exceeds the
+// provisioned aggregate bandwidth of the slowest phase's resources.
+// ---------------------------------------------------------------------------
+
+class ConservationSweep : public ::testing::TestWithParam<AppKind> {};
+
+TEST_P(ConservationSweep, ThroughputBoundedByProvisionedBandwidth) {
+    const AppKind app = GetParam();
+    const int vms = 2;
+    auto sim = sim_with(vms);
+    const auto job = sized_job(app, 16.0);
+    const auto r = sim.run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd));
+    const auto& profile = workload::ApplicationProfile::of(app);
+    // Bytes through the persSSD pools during the map phase: input read +
+    // intermediate write, per iteration.
+    const double map_mb =
+        (job.input.megabytes() + job.intermediate().megabytes()) * profile.iterations();
+    const double pool_mbps = sim.tier_bandwidth_per_vm(StorageTier::kPersistentSsd).value() *
+                             vms;
+    EXPECT_GE(r.phases.map.value(), map_mb / pool_mbps - 1e-6)
+        << "map phase finished faster than the provisioned bandwidth allows";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, ConservationSweep, ::testing::ValuesIn(workload::kAllApps),
+                         [](const ::testing::TestParamInfo<AppKind>& info) {
+                             return std::string(workload::app_name(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Input splits: any mixed placement is bounded by its pure endpoints.
+// ---------------------------------------------------------------------------
+
+class SplitSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitSweep, MixedRuntimeBetweenPureEndpoints) {
+    const double fraction = GetParam();
+    auto sim = sim_with(1);
+    auto run_with = [&](std::vector<InputSplit> splits) {
+        JobPlacement p = JobPlacement::on_tier(sized_job(AppKind::kGrep, 6.0),
+                                               StorageTier::kEphemeralSsd);
+        p.stage_in = false;
+        p.stage_out = false;
+        p.input_splits = std::move(splits);
+        return sim.run_job(p).makespan.value();
+    };
+    const double fast = run_with({{StorageTier::kEphemeralSsd, 1.0}});
+    const double slow = run_with({{StorageTier::kPersistentHdd, 1.0}});
+    const double mixed = run_with({{StorageTier::kEphemeralSsd, fraction},
+                                   {StorageTier::kPersistentHdd, 1.0 - fraction}});
+    EXPECT_GE(mixed, fast - 1e-6);
+    EXPECT_LE(mixed, slow + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SplitSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace cast::sim

@@ -1,0 +1,144 @@
+#include "sim/flow_engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cast::sim {
+namespace {
+
+using cast::literals::operator""_MBps;
+
+TEST(FlowEngine, SingleFlowRunsAtCap) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(100.0_MBps);
+    const FlowId f = e.start_flow(r, 50.0, 10.0);  // capped below the pool
+    EXPECT_DOUBLE_EQ(e.flow_rate(f), 10.0);
+    const auto done = e.advance();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0], f);
+    EXPECT_DOUBLE_EQ(e.now().value(), 5.0);  // 50 MB / 10 MB/s
+    EXPECT_TRUE(e.flow_done(f));
+}
+
+TEST(FlowEngine, SingleFlowLimitedByPool) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(100.0_MBps);
+    e.start_flow(r, 200.0, 1e9);
+    (void)e.advance();
+    EXPECT_DOUBLE_EQ(e.now().value(), 2.0);  // 200 MB / 100 MB/s
+}
+
+TEST(FlowEngine, EqualFlowsShareEqually) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(100.0_MBps);
+    const FlowId a = e.start_flow(r, 100.0, 1e9);
+    const FlowId b = e.start_flow(r, 100.0, 1e9);
+    EXPECT_DOUBLE_EQ(e.flow_rate(a), 50.0);
+    EXPECT_DOUBLE_EQ(e.flow_rate(b), 50.0);
+    const auto done = e.advance();
+    EXPECT_EQ(done.size(), 2u);  // both finish together
+    EXPECT_DOUBLE_EQ(e.now().value(), 2.0);
+}
+
+TEST(FlowEngine, WaterFillingRedistributesCappedSurplus) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(100.0_MBps);
+    const FlowId slow = e.start_flow(r, 1000.0, 10.0);  // cap 10
+    const FlowId fast = e.start_flow(r, 1000.0, 1e9);
+    // Equal share would be 50/50; the capped flow frees 40 for the other.
+    EXPECT_DOUBLE_EQ(e.flow_rate(slow), 10.0);
+    EXPECT_DOUBLE_EQ(e.flow_rate(fast), 90.0);
+}
+
+TEST(FlowEngine, WaterFillingThreeTiersOfCaps) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(90.0_MBps);
+    const FlowId f1 = e.start_flow(r, 1e6, 10.0);
+    const FlowId f2 = e.start_flow(r, 1e6, 25.0);
+    const FlowId f3 = e.start_flow(r, 1e6, 1e9);
+    EXPECT_DOUBLE_EQ(e.flow_rate(f1), 10.0);
+    EXPECT_DOUBLE_EQ(e.flow_rate(f2), 25.0);
+    EXPECT_DOUBLE_EQ(e.flow_rate(f3), 55.0);
+}
+
+TEST(FlowEngine, DepartureSpeedsUpRemaining) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(100.0_MBps);
+    e.start_flow(r, 50.0, 1e9);             // finishes first (1 s at 50)
+    const FlowId big = e.start_flow(r, 150.0, 1e9);
+    (void)e.advance();                      // t = 1.0: small done, big has 100 left
+    EXPECT_DOUBLE_EQ(e.now().value(), 1.0);
+    EXPECT_DOUBLE_EQ(e.flow_rate(big), 100.0);  // now alone
+    (void)e.advance();
+    EXPECT_DOUBLE_EQ(e.now().value(), 2.0);  // 100 MB at 100 MB/s
+}
+
+TEST(FlowEngine, IndependentResourcesDoNotInterfere) {
+    FlowEngine e;
+    const ResourceId r1 = e.add_resource(10.0_MBps);
+    const ResourceId r2 = e.add_resource(1000.0_MBps);
+    const FlowId a = e.start_flow(r1, 100.0, 1e9);
+    const FlowId b = e.start_flow(r2, 100.0, 1e9);
+    EXPECT_DOUBLE_EQ(e.flow_rate(a), 10.0);
+    EXPECT_DOUBLE_EQ(e.flow_rate(b), 1000.0);
+}
+
+TEST(FlowEngine, ZeroDemandFlowCompletesWithoutTimeAdvance) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(100.0_MBps);
+    const FlowId f = e.start_flow(r, 0.0, 1.0);
+    const auto done = e.advance();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0], f);
+    EXPECT_DOUBLE_EQ(e.now().value(), 0.0);
+}
+
+TEST(FlowEngine, AdvanceWithNoFlowsReturnsEmpty) {
+    FlowEngine e;
+    (void)e.add_resource(10.0_MBps);
+    EXPECT_TRUE(e.advance().empty());
+}
+
+TEST(FlowEngine, ConservationOfWork) {
+    // Total bytes delivered per unit time never exceeds resource capacity:
+    // with three competing flows of distinct sizes, completion times must
+    // be consistent with integral capacity use.
+    FlowEngine e;
+    const ResourceId r = e.add_resource(30.0_MBps);
+    e.start_flow(r, 30.0, 1e9);
+    e.start_flow(r, 60.0, 1e9);
+    e.start_flow(r, 90.0, 1e9);
+    double last = 0.0;
+    std::size_t completed = 0;
+    while (true) {
+        const auto done = e.advance();
+        if (done.empty()) break;
+        completed += done.size();
+        last = e.now().value();
+    }
+    EXPECT_EQ(completed, 3u);
+    // 180 MB total through 30 MB/s = exactly 6 s regardless of sharing.
+    EXPECT_NEAR(last, 6.0, 1e-9);
+}
+
+TEST(FlowEngine, InvalidInputsRejected) {
+    FlowEngine e;
+    EXPECT_THROW((void)e.add_resource(0.0_MBps), PreconditionError);
+    const ResourceId r = e.add_resource(10.0_MBps);
+    EXPECT_THROW((void)e.start_flow(r + 1, 10.0, 1.0), PreconditionError);
+    EXPECT_THROW((void)e.start_flow(r, -1.0, 1.0), PreconditionError);
+    EXPECT_THROW((void)e.start_flow(r, 10.0, 0.0), PreconditionError);
+}
+
+TEST(FlowEngine, ActiveFlowCountTracksLifecycle) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(10.0_MBps);
+    EXPECT_EQ(e.active_flow_count(), 0u);
+    e.start_flow(r, 10.0, 1e9);
+    e.start_flow(r, 20.0, 1e9);
+    EXPECT_EQ(e.active_flow_count(), 2u);
+    (void)e.advance();
+    EXPECT_EQ(e.active_flow_count(), 1u);
+}
+
+}  // namespace
+}  // namespace cast::sim

@@ -1,0 +1,307 @@
+#include "sim/mapreduce.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cast::sim {
+namespace {
+
+using cloud::StorageTier;
+using workload::AppKind;
+using cast::literals::operator""_GB;
+
+workload::JobSpec make_job(AppKind app, double input_gb, int maps, int reduces) {
+    return workload::JobSpec{.id = 1,
+                             .name = "test",
+                             .app = app,
+                             .input = GigaBytes{input_gb},
+                             .map_tasks = maps,
+                             .reduce_tasks = reduces,
+                             .reuse_group = std::nullopt};
+}
+
+TierCapacities standard_caps() {
+    TierCapacities caps;
+    caps.set(StorageTier::kEphemeralSsd, 375.0_GB);
+    caps.set(StorageTier::kPersistentSsd, 500.0_GB);
+    caps.set(StorageTier::kPersistentHdd, 500.0_GB);
+    return caps;
+}
+
+ClusterSim make_sim(int vms = 1, TierCapacities caps = standard_caps(),
+                    double jitter = 0.0) {
+    cloud::ClusterSpec cluster = cloud::ClusterSpec::paper_single_node();
+    cluster.worker_count = vms;
+    return ClusterSim(cluster, cloud::StorageCatalog::google_cloud(), caps,
+                      SimOptions{.seed = 5, .jitter_sigma = jitter});
+}
+
+TEST(JobPlacement, OnTierConventions) {
+    const auto job = make_job(AppKind::kSort, 10.0, 80, 20);
+    const auto eph = JobPlacement::on_tier(job, StorageTier::kEphemeralSsd);
+    EXPECT_TRUE(eph.stage_in);
+    EXPECT_TRUE(eph.stage_out);
+    EXPECT_EQ(eph.intermediate_tier, StorageTier::kEphemeralSsd);
+
+    const auto obj = JobPlacement::on_tier(job, StorageTier::kObjectStore);
+    EXPECT_FALSE(obj.stage_in);
+    EXPECT_EQ(obj.intermediate_tier, StorageTier::kPersistentSsd);
+
+    const auto pers = JobPlacement::on_tier(job, StorageTier::kPersistentSsd);
+    EXPECT_FALSE(pers.stage_in);
+    EXPECT_FALSE(pers.stage_out);
+}
+
+TEST(JobPlacement, ValidationRejectsBadSplits) {
+    const auto job = make_job(AppKind::kSort, 10.0, 80, 20);
+    JobPlacement p = JobPlacement::on_tier(job, StorageTier::kPersistentSsd);
+    p.input_splits = {{StorageTier::kPersistentSsd, 0.5},
+                      {StorageTier::kEphemeralSsd, 0.2}};  // sums to 0.7
+    EXPECT_THROW(p.validate(), PreconditionError);
+    p.input_splits.clear();
+    EXPECT_THROW(p.validate(), PreconditionError);
+    p = JobPlacement::on_tier(job, StorageTier::kPersistentSsd);
+    p.intermediate_tier = StorageTier::kObjectStore;
+    EXPECT_THROW(p.validate(), PreconditionError);
+}
+
+TEST(ClusterSim, RunsOnUnprovisionedTierRejected) {
+    TierCapacities caps;  // nothing attached
+    auto sim = make_sim(1, caps);
+    const auto job = make_job(AppKind::kGrep, 1.0, 8, 2);
+    EXPECT_THROW((void)sim.run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd)),
+                 PreconditionError);
+}
+
+TEST(ClusterSim, ObjectStoreAlwaysReachable) {
+    TierCapacities caps;
+    caps.set(StorageTier::kPersistentSsd, 100.0_GB);  // for intermediates
+    auto sim = make_sim(1, caps);
+    const auto job = make_job(AppKind::kGrep, 1.0, 8, 2);
+    EXPECT_NO_THROW((void)sim.run_job(JobPlacement::on_tier(job, StorageTier::kObjectStore)));
+}
+
+TEST(ClusterSim, MakespanEqualsPhaseSum) {
+    auto sim = make_sim();
+    const auto job = make_job(AppKind::kSort, 4.0, 32, 8);
+    const auto r = sim.run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd));
+    EXPECT_NEAR(r.makespan.value(), r.phases.total().value(), 1e-6);
+    EXPECT_GT(r.phases.map.value(), 0.0);
+    EXPECT_GT(r.phases.shuffle.value(), 0.0);
+    EXPECT_GT(r.phases.reduce.value(), 0.0);
+    EXPECT_DOUBLE_EQ(r.phases.stage_in.value(), 0.0);
+}
+
+TEST(ClusterSim, EphemeralPlacementPaysStaging) {
+    auto sim = make_sim();
+    const auto job = make_job(AppKind::kSort, 4.0, 32, 8);
+    const auto r = sim.run_job(JobPlacement::on_tier(job, StorageTier::kEphemeralSsd));
+    EXPECT_GT(r.phases.stage_in.value(), 0.0);
+    EXPECT_GT(r.phases.stage_out.value(), 0.0);
+    // Download of 4 GB through the 265 MB/s objStore allocation on 1 VM.
+    EXPECT_NEAR(r.phases.stage_in.value(), 4000.0 / 265.0, 1.0);
+}
+
+TEST(ClusterSim, FasterTierIsFasterForIoBoundJob) {
+    auto sim = make_sim();
+    const auto job = make_job(AppKind::kGrep, 6.0, 48, 4);
+    const auto eph =
+        sim.run_job(JobPlacement::on_tier(job, StorageTier::kEphemeralSsd)).phases;
+    const auto ssd =
+        sim.run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd)).phases;
+    const auto hdd =
+        sim.run_job(JobPlacement::on_tier(job, StorageTier::kPersistentHdd)).phases;
+    // Processing (excluding staging) ordering follows tier bandwidth.
+    EXPECT_LT(eph.processing().value(), ssd.processing().value());
+    EXPECT_LT(ssd.processing().value(), hdd.processing().value());
+}
+
+TEST(ClusterSim, CpuBoundJobInsensitiveToTier) {
+    auto sim = make_sim();
+    const auto job = make_job(AppKind::kKMeans, 4.0, 32, 8);
+    const double ssd =
+        sim.run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd)).makespan.value();
+    const double hdd =
+        sim.run_job(JobPlacement::on_tier(job, StorageTier::kPersistentHdd)).makespan.value();
+    EXPECT_NEAR(ssd / hdd, 1.0, 0.05);  // Fig. 1d: similar performance
+}
+
+TEST(ClusterSim, IterativeAppCostsScaleWithIterations) {
+    auto sim = make_sim();
+    const auto kmeans = make_job(AppKind::kKMeans, 2.0, 16, 4);
+    const auto grep = make_job(AppKind::kGrep, 2.0, 16, 4);
+    const double t_kmeans =
+        sim.run_job(JobPlacement::on_tier(kmeans, StorageTier::kPersistentSsd))
+            .makespan.value();
+    const double t_grep =
+        sim.run_job(JobPlacement::on_tier(grep, StorageTier::kPersistentSsd))
+            .makespan.value();
+    // KMeans re-reads its input every iteration at a low compute rate; it
+    // must be several times slower than a single sequential scan.
+    EXPECT_GT(t_kmeans, 3.0 * t_grep);
+}
+
+TEST(ClusterSim, MoreVmsShortenJob) {
+    const auto job = make_job(AppKind::kGrep, 12.0, 96, 8);
+    auto sim1 = make_sim(1);
+    auto sim4 = make_sim(4);
+    const double t1 =
+        sim1.run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd)).makespan.value();
+    const double t4 =
+        sim4.run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd)).makespan.value();
+    EXPECT_LT(t4, t1 / 2.5);  // near-linear scaling for an I/O-bound scan
+}
+
+TEST(ClusterSim, CapacityScalingSpeedsUpPersistentSsd) {
+    const auto job = make_job(AppKind::kGrep, 6.0, 48, 4);
+    TierCapacities small = standard_caps();
+    small.set(StorageTier::kPersistentSsd, 100.0_GB);
+    TierCapacities large = standard_caps();
+    large.set(StorageTier::kPersistentSsd, 500.0_GB);
+    const double t_small =
+        make_sim(1, small)
+            .run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd))
+            .makespan.value();
+    const double t_large =
+        make_sim(1, large)
+            .run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd))
+            .makespan.value();
+    // 48 vs 234 MB/s: expect roughly the bandwidth ratio for an I/O-bound
+    // job (Fig. 2's mechanism).
+    EXPECT_GT(t_small / t_large, 3.0);
+}
+
+TEST(ClusterSim, MixedPlacementTracksSlowTier) {
+    // Fig. 5a: 50% ephSSD + 50% persHDD is no better than persHDD alone.
+    const auto job = make_job(AppKind::kGrep, 6.0, 48, 4);
+    auto sim = make_sim(1);
+    JobPlacement mixed = JobPlacement::on_tier(job, StorageTier::kEphemeralSsd);
+    mixed.stage_in = false;
+    mixed.stage_out = false;
+    mixed.input_splits = {{StorageTier::kEphemeralSsd, 0.5},
+                          {StorageTier::kPersistentHdd, 0.5}};
+    const double t_mixed = sim.run_job(mixed).makespan.value();
+
+    JobPlacement hdd_only = mixed;
+    hdd_only.input_splits = {{StorageTier::kPersistentHdd, 1.0}};
+    const double t_hdd = sim.run_job(hdd_only).makespan.value();
+
+    JobPlacement eph_only = mixed;
+    eph_only.input_splits = {{StorageTier::kEphemeralSsd, 1.0}};
+    const double t_eph = sim.run_job(eph_only).makespan.value();
+
+    EXPECT_LT(t_eph, 0.5 * t_hdd);          // the tiers really differ
+    EXPECT_GT(t_mixed, 0.8 * t_hdd * 0.5);  // mixed pays at least the slow half
+    // The slow half's tasks run at per-stream-cap speed regardless of how
+    // few they are, so mixed lands near the HDD-only time scaled by the
+    // slow fraction of waves — far from the eph-only time.
+    EXPECT_GT(t_mixed, 2.0 * t_eph);
+}
+
+TEST(ClusterSim, NinetyPercentFastStillSlow) {
+    // Fig. 5b: even 90% on ephSSD does not rescue the job.
+    const auto job = make_job(AppKind::kGrep, 6.0, 48, 4);
+    auto sim = make_sim(1);
+    JobPlacement mixed = JobPlacement::on_tier(job, StorageTier::kEphemeralSsd);
+    mixed.stage_in = false;
+    mixed.stage_out = false;
+    mixed.input_splits = {{StorageTier::kEphemeralSsd, 0.9},
+                          {StorageTier::kPersistentHdd, 0.1}};
+    const double t_mixed = sim.run_job(mixed).makespan.value();
+    JobPlacement eph_only = mixed;
+    eph_only.input_splits = {{StorageTier::kEphemeralSsd, 1.0}};
+    const double t_eph = sim.run_job(eph_only).makespan.value();
+    EXPECT_GT(t_mixed, 1.5 * t_eph);
+}
+
+TEST(ClusterSim, JoinOnObjectStorePaysRequestOverheads) {
+    const auto job = make_job(AppKind::kJoin, 6.0, 48, 12);
+    TierCapacities caps = standard_caps();
+    auto sim = make_sim(1, caps);
+    const double t_obj =
+        sim.run_job(JobPlacement::on_tier(job, StorageTier::kObjectStore)).makespan.value();
+    const double t_ssd =
+        sim.run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd)).makespan.value();
+    EXPECT_GT(t_obj, 1.3 * t_ssd);  // Fig. 1b: objStore clearly worse for Join
+}
+
+TEST(ClusterSim, DeterministicForSeed) {
+    const auto job = make_job(AppKind::kSort, 4.0, 32, 8);
+    auto a = make_sim(2, standard_caps(), 0.06);
+    auto b = make_sim(2, standard_caps(), 0.06);
+    EXPECT_DOUBLE_EQ(
+        a.run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd)).makespan.value(),
+        b.run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd)).makespan.value());
+}
+
+TEST(ClusterSim, JitterPerturbsButBounded) {
+    const auto job = make_job(AppKind::kSort, 4.0, 32, 8);
+    auto det = make_sim(1, standard_caps(), 0.0);
+    auto jit = make_sim(1, standard_caps(), 0.06);
+    const double t0 =
+        det.run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd)).makespan.value();
+    const double t1 =
+        jit.run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd)).makespan.value();
+    EXPECT_NE(t0, t1);
+    EXPECT_NEAR(t1 / t0, 1.0, 0.25);
+}
+
+TEST(ClusterSim, RunSerialPreservesOrderAndCount) {
+    auto sim = make_sim();
+    std::vector<JobPlacement> ps;
+    for (int i = 0; i < 3; ++i) {
+        auto job = make_job(AppKind::kGrep, 1.0 + i, 8 * (i + 1), 2);
+        job.id = i + 1;
+        ps.push_back(JobPlacement::on_tier(job, StorageTier::kPersistentSsd));
+    }
+    const auto results = sim.run_serial(ps);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_LT(results[0].makespan.value(), results[2].makespan.value());
+}
+
+TEST(ClusterSim, TransferTimeMatchesSlowerEndpoint) {
+    auto sim = make_sim(1);
+    // persSSD(500) read 234 vs persHDD(500) write 97: HDD limits.
+    const Seconds t = sim.run_transfer(10.0_GB, StorageTier::kPersistentSsd,
+                                       StorageTier::kPersistentHdd);
+    EXPECT_NEAR(t.value(), 10000.0 / 97.0, 1.0);
+    EXPECT_DOUBLE_EQ(
+        sim.run_transfer(10.0_GB, StorageTier::kPersistentSsd, StorageTier::kPersistentSsd)
+            .value(),
+        0.0);
+    EXPECT_DOUBLE_EQ(
+        sim.run_transfer(GigaBytes{0.0}, StorageTier::kPersistentSsd,
+                         StorageTier::kPersistentHdd)
+            .value(),
+        0.0);
+}
+
+TEST(ClusterSim, TransferScalesWithVmCount) {
+    auto sim1 = make_sim(1);
+    auto sim5 = make_sim(5);
+    const double t1 = sim1.run_transfer(10.0_GB, StorageTier::kPersistentSsd,
+                                        StorageTier::kPersistentHdd)
+                          .value();
+    const double t5 = sim5.run_transfer(10.0_GB, StorageTier::kPersistentSsd,
+                                        StorageTier::kPersistentHdd)
+                          .value();
+    EXPECT_NEAR(t1 / t5, 5.0, 1e-6);
+}
+
+TEST(ClusterSim, TierBandwidthReflectsProvisioning) {
+    auto sim = make_sim();
+    EXPECT_NEAR(sim.tier_bandwidth_per_vm(StorageTier::kPersistentSsd).value(), 234.0, 1e-6);
+    EXPECT_NEAR(sim.tier_bandwidth_per_vm(StorageTier::kEphemeralSsd).value(), 733.0, 1e-6);
+    EXPECT_NEAR(sim.tier_bandwidth_per_vm(StorageTier::kObjectStore).value(), 265.0, 1e-6);
+}
+
+TEST(ClusterSim, ProvisioningRoundsEphemeralVolumes) {
+    TierCapacities caps;
+    caps.set(StorageTier::kEphemeralSsd, 400.0_GB);  // rounds to 2 volumes
+    auto sim = make_sim(1, caps);
+    EXPECT_NEAR(sim.capacities().of(StorageTier::kEphemeralSsd).value(), 750.0, 1e-9);
+    EXPECT_NEAR(sim.tier_bandwidth_per_vm(StorageTier::kEphemeralSsd).value(), 2 * 733.0,
+                1e-6);
+}
+
+}  // namespace
+}  // namespace cast::sim

@@ -1,0 +1,132 @@
+// Tests for the multi-node shuffle network pool and the object-store
+// aggregate ceilings — the two cluster-scale effects that do not exist on
+// a single node.
+#include <gtest/gtest.h>
+
+#include "sim/mapreduce.hpp"
+
+namespace cast::sim {
+namespace {
+
+using cloud::StorageTier;
+using workload::AppKind;
+
+workload::JobSpec sort_job(double gb) {
+    const int maps = std::max(1, static_cast<int>(gb / 0.128));
+    return workload::JobSpec{.id = 1,
+                             .name = "net-sort",
+                             .app = AppKind::kSort,
+                             .input = GigaBytes{gb},
+                             .map_tasks = maps,
+                             .reduce_tasks = std::max(1, maps / 4),
+                             .reuse_group = std::nullopt};
+}
+
+ClusterSim sim_with_network(int vms, double network_mbps) {
+    cloud::ClusterSpec cluster = cloud::ClusterSpec::paper_single_node();
+    cluster.worker_count = vms;
+    cluster.worker.shuffle_network_bw = MBytesPerSec{network_mbps};
+    TierCapacities caps;
+    caps.set(StorageTier::kPersistentSsd, GigaBytes{500.0});
+    caps.set(StorageTier::kEphemeralSsd, GigaBytes{375.0});
+    return ClusterSim(cluster, cloud::StorageCatalog::google_cloud(), caps,
+                      SimOptions{.seed = 4, .jitter_sigma = 0.0});
+}
+
+TEST(NetworkShuffle, MultiNodeShuffleBoundByNetwork) {
+    // Halving the network bandwidth must roughly double a network-bound
+    // shuffle phase on a multi-node cluster.
+    const auto job = sort_job(32.0);
+    const auto fast = sim_with_network(4, 200.0)
+                          .run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd))
+                          .phases;
+    const auto slow = sim_with_network(4, 100.0)
+                          .run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd))
+                          .phases;
+    EXPECT_NEAR(slow.shuffle.value() / fast.shuffle.value(), 2.0, 0.2);
+    // Map and reduce phases touch disks, not the network: unchanged.
+    EXPECT_NEAR(slow.map.value(), fast.map.value(), 1e-6);
+    EXPECT_NEAR(slow.reduce.value(), fast.reduce.value(), 1e-6);
+}
+
+TEST(NetworkShuffle, SingleNodeShuffleIgnoresNetwork) {
+    const auto job = sort_job(16.0);
+    const double a = sim_with_network(1, 200.0)
+                         .run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd))
+                         .phases.shuffle.value();
+    const double b = sim_with_network(1, 20.0)
+                         .run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd))
+                         .phases.shuffle.value();
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(NetworkShuffle, EphemeralAdvantageShrinksAtScale) {
+    // On one node the shuffle runs at local-disk speed, so ephSSD is much
+    // faster than persSSD; on a multi-node cluster both shuffle through
+    // the same network pool and the gap narrows (the paper's Fig. 7
+    // ephSSD-100% story).
+    const auto job = sort_job(32.0);
+    auto ratio_at = [&](int vms) {
+        auto s = sim_with_network(vms, 140.0);
+        JobPlacement eph = JobPlacement::on_tier(job, StorageTier::kEphemeralSsd);
+        eph.stage_in = false;
+        eph.stage_out = false;
+        const double t_eph = s.run_job(eph).phases.processing().value();
+        const double t_ssd =
+            s.run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd))
+                .phases.processing()
+                .value();
+        return t_ssd / t_eph;
+    };
+    EXPECT_GT(ratio_at(1), ratio_at(4) + 0.2);
+}
+
+TEST(ObjectStoreCeilings, StageInSaturatesAtBucketLimit) {
+    // Download throughput grows with VM count only up to the 1200 MB/s
+    // bucket read ceiling (265 * 5 > 1200 already).
+    const auto job = sort_job(64.0);
+    auto stage_in_at = [&](int vms) {
+        return sim_with_network(vms, 1000.0)
+            .run_job(JobPlacement::on_tier(job, StorageTier::kEphemeralSsd))
+            .phases.stage_in.value();
+    };
+    const double t2 = stage_in_at(2);   // 530 MB/s aggregate
+    const double t4 = stage_in_at(4);   // 1060 MB/s
+    const double t8 = stage_in_at(8);   // capped at 1200
+    const double t16 = stage_in_at(16); // still 1200
+    EXPECT_NEAR(t2 / t4, 2.0, 0.1);
+    EXPECT_NEAR(t8 / t16, 1.0, 0.05);
+}
+
+TEST(ObjectStoreCeilings, WritesCapLowerThanReads) {
+    // The same volume uploads slower than it downloads on a big cluster
+    // (500 vs 1200 MB/s aggregate).
+    const auto job = sort_job(64.0);  // output == input for Sort
+    const auto phases = sim_with_network(16, 1000.0)
+                            .run_job(JobPlacement::on_tier(job, StorageTier::kEphemeralSsd))
+                            .phases;
+    EXPECT_GT(phases.stage_out.value(), 1.8 * phases.stage_in.value());
+}
+
+TEST(RunSerial, MixedPlacementsAccumulateIndependently) {
+    auto sim = sim_with_network(2, 140.0);
+    workload::JobSpec a = sort_job(8.0);
+    a.id = 1;
+    workload::JobSpec b = sort_job(8.0);
+    b.id = 2;
+    std::vector<JobPlacement> placements = {
+        JobPlacement::on_tier(a, StorageTier::kPersistentSsd),
+        JobPlacement::on_tier(b, StorageTier::kEphemeralSsd),
+    };
+    const auto results = sim.run_serial(placements);
+    ASSERT_EQ(results.size(), 2u);
+    // Each serial job matches its standalone run exactly (no cross-job
+    // state in the simulator).
+    EXPECT_DOUBLE_EQ(results[0].makespan.value(),
+                     sim.run_job(placements[0]).makespan.value());
+    EXPECT_DOUBLE_EQ(results[1].makespan.value(),
+                     sim.run_job(placements[1]).makespan.value());
+}
+
+}  // namespace
+}  // namespace cast::sim

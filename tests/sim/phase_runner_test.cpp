@@ -1,0 +1,109 @@
+#include "sim/phase_runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cast::sim {
+namespace {
+
+using cast::literals::operator""_MBps;
+
+TEST(PhaseRunner, EmptyPhaseTakesNoTime) {
+    FlowEngine e;
+    EXPECT_DOUBLE_EQ(run_phase(e, {}, 1, 1).value(), 0.0);
+}
+
+TEST(PhaseRunner, SingleTaskSingleSegment) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(100.0_MBps);
+    std::vector<SimTask> tasks = {SimTask{0, {Segment{r, 50.0, 1e9}}}};
+    EXPECT_DOUBLE_EQ(run_phase(e, std::move(tasks), 1, 4).value(), 0.5);
+}
+
+TEST(PhaseRunner, SegmentsRunSequentially) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(100.0_MBps);
+    // 50 MB at pool speed, then 100 MB capped at 10 MB/s: 0.5 + 10 s.
+    std::vector<SimTask> tasks = {
+        SimTask{0, {Segment{r, 50.0, 1e9}, Segment{r, 100.0, 10.0}}}};
+    EXPECT_NEAR(run_phase(e, std::move(tasks), 1, 1).value(), 10.5, 1e-9);
+}
+
+TEST(PhaseRunner, SlotLimitCreatesWaves) {
+    FlowEngine e;
+    const ResourceId unlimited = e.add_resource(MBytesPerSec{1e12});
+    // 4 tasks, 2 slots, each takes 1 s at its cap -> 2 waves -> 2 s.
+    std::vector<SimTask> tasks(4, SimTask{0, {Segment{unlimited, 10.0, 10.0}}});
+    EXPECT_NEAR(run_phase(e, std::move(tasks), 1, 2).value(), 2.0, 1e-9);
+}
+
+TEST(PhaseRunner, SlotFreesImmediatelyOnCompletion) {
+    FlowEngine e;
+    const ResourceId unlimited = e.add_resource(MBytesPerSec{1e12});
+    // One slot; a short task then a long one queued behind it.
+    std::vector<SimTask> tasks = {SimTask{0, {Segment{unlimited, 1.0, 1.0}}},
+                                  SimTask{0, {Segment{unlimited, 3.0, 1.0}}}};
+    EXPECT_NEAR(run_phase(e, std::move(tasks), 1, 1).value(), 4.0, 1e-9);
+}
+
+TEST(PhaseRunner, PerVmSlotsAreIndependent) {
+    FlowEngine e;
+    const ResourceId unlimited = e.add_resource(MBytesPerSec{1e12});
+    // Two VMs, one slot each: 2 tasks per VM of 1 s each -> 2 s total (not 4).
+    std::vector<SimTask> tasks = {SimTask{0, {Segment{unlimited, 1.0, 1.0}}},
+                                  SimTask{0, {Segment{unlimited, 1.0, 1.0}}},
+                                  SimTask{1, {Segment{unlimited, 1.0, 1.0}}},
+                                  SimTask{1, {Segment{unlimited, 1.0, 1.0}}}};
+    EXPECT_NEAR(run_phase(e, std::move(tasks), 2, 1).value(), 2.0, 1e-9);
+}
+
+TEST(PhaseRunner, ContentionOnSharedPool) {
+    FlowEngine e;
+    const ResourceId pool = e.add_resource(100.0_MBps);
+    // 2 tasks sharing a 100 MB/s pool, 100 MB each, uncapped: both run at
+    // 50 -> 2 s.
+    std::vector<SimTask> tasks(2, SimTask{0, {Segment{pool, 100.0, 1e9}}});
+    EXPECT_NEAR(run_phase(e, std::move(tasks), 1, 2).value(), 2.0, 1e-9);
+}
+
+TEST(PhaseRunner, StragglerDominatesMakespan) {
+    // The Fig. 5 mechanism in miniature: one slow-capped task pins the
+    // phase even when the others finish quickly.
+    FlowEngine e;
+    const ResourceId pool = e.add_resource(1000.0_MBps);
+    std::vector<SimTask> tasks(8, SimTask{0, {Segment{pool, 100.0, 100.0}}});
+    tasks.push_back(SimTask{0, {Segment{pool, 100.0, 2.0}}});  // straggler
+    EXPECT_NEAR(run_phase(e, std::move(tasks), 1, 16).value(), 50.0, 1e-6);
+}
+
+TEST(PhaseRunner, ChainedPhasesAccumulateEngineClock) {
+    FlowEngine e;
+    const ResourceId unlimited = e.add_resource(MBytesPerSec{1e12});
+    (void)run_phase(e, {SimTask{0, {Segment{unlimited, 2.0, 1.0}}}}, 1, 1);
+    const Seconds second = run_phase(e, {SimTask{0, {Segment{unlimited, 3.0, 1.0}}}}, 1, 1);
+    EXPECT_NEAR(second.value(), 3.0, 1e-9);  // phase time, not absolute
+    EXPECT_NEAR(e.now().value(), 5.0, 1e-9);
+}
+
+TEST(PhaseRunner, RejectsBadTasks) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(10.0_MBps);
+    std::vector<SimTask> bad_vm = {SimTask{5, {Segment{r, 1.0, 1.0}}}};
+    EXPECT_THROW((void)run_phase(e, std::move(bad_vm), 2, 1), PreconditionError);
+    std::vector<SimTask> no_segments = {SimTask{0, {}}};
+    EXPECT_THROW((void)run_phase(e, std::move(no_segments), 1, 1), PreconditionError);
+}
+
+TEST(PhaseRunner, ManyTasksComplete) {
+    FlowEngine e;
+    const ResourceId pool = e.add_resource(1000.0_MBps);
+    std::vector<SimTask> tasks;
+    for (int i = 0; i < 500; ++i) {
+        tasks.push_back(SimTask{i % 4, {Segment{pool, 10.0, 50.0}}});
+    }
+    const Seconds t = run_phase(e, std::move(tasks), 4, 8);
+    // 5000 MB through a 1000 MB/s pool: at least 5 s.
+    EXPECT_GE(t.value(), 5.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace cast::sim

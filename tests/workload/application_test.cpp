@@ -1,0 +1,117 @@
+#include "workload/application.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cast::workload {
+namespace {
+
+TEST(Application, NamesRoundTrip) {
+    for (AppKind a : kAllApps) {
+        EXPECT_EQ(app_from_name(app_name(a)), a);
+    }
+    EXPECT_FALSE(app_from_name("WordCount").has_value());
+}
+
+TEST(Application, PhaseNames) {
+    EXPECT_EQ(phase_name(Phase::kMap), "map");
+    EXPECT_EQ(phase_name(Phase::kShuffle), "shuffle");
+    EXPECT_EQ(phase_name(Phase::kReduce), "reduce");
+}
+
+TEST(Application, AllProfilesPresentAndConsistent) {
+    const auto all = ApplicationProfile::all();
+    ASSERT_EQ(all.size(), kAllApps.size());
+    for (AppKind a : kAllApps) {
+        const auto& p = ApplicationProfile::of(a);
+        EXPECT_EQ(p.kind(), a);
+        EXPECT_EQ(p.name(), app_name(a));
+    }
+}
+
+// Table 2 classification.
+TEST(Application, Table2SortIsShuffleIntensive) {
+    const auto& p = ApplicationProfile::of(AppKind::kSort);
+    EXPECT_TRUE(p.intensity().shuffle_io);
+    EXPECT_FALSE(p.intensity().map_io);
+    EXPECT_FALSE(p.intensity().cpu);
+}
+
+TEST(Application, Table2JoinIsShuffleAndReduceIntensive) {
+    const auto& p = ApplicationProfile::of(AppKind::kJoin);
+    EXPECT_TRUE(p.intensity().shuffle_io);
+    EXPECT_TRUE(p.intensity().reduce_io);
+    EXPECT_FALSE(p.intensity().cpu);
+}
+
+TEST(Application, Table2GrepIsMapIntensive) {
+    const auto& p = ApplicationProfile::of(AppKind::kGrep);
+    EXPECT_TRUE(p.intensity().map_io);
+    EXPECT_FALSE(p.intensity().shuffle_io);
+    EXPECT_FALSE(p.intensity().cpu);
+}
+
+TEST(Application, Table2KMeansIsCpuIntensive) {
+    const auto& p = ApplicationProfile::of(AppKind::kKMeans);
+    EXPECT_TRUE(p.intensity().cpu);
+    EXPECT_FALSE(p.intensity().map_io);
+}
+
+// Calibration invariants the Fig. 1 shapes rest on.
+TEST(Application, SortHasNoMapDataReduction) {
+    // §3.1.2: "there is no data reduction in the map phase".
+    const auto& p = ApplicationProfile::of(AppKind::kSort);
+    EXPECT_DOUBLE_EQ(p.map_selectivity(), 1.0);
+    EXPECT_DOUBLE_EQ(p.reduce_selectivity(), 1.0);
+}
+
+TEST(Application, GrepSelectivityTiny) {
+    EXPECT_LE(ApplicationProfile::of(AppKind::kGrep).map_selectivity(), 0.01);
+}
+
+TEST(Application, IterativeAppsIterate) {
+    EXPECT_GT(ApplicationProfile::of(AppKind::kKMeans).iterations(), 1);
+    EXPECT_GT(ApplicationProfile::of(AppKind::kPageRank).iterations(), 1);
+    EXPECT_EQ(ApplicationProfile::of(AppKind::kSort).iterations(), 1);
+    EXPECT_EQ(ApplicationProfile::of(AppKind::kJoin).iterations(), 1);
+    EXPECT_EQ(ApplicationProfile::of(AppKind::kGrep).iterations(), 1);
+}
+
+TEST(Application, KMeansComputeRateBelowAnyTierShare) {
+    // KMeans must be compute-bound even on persHDD so that persSSD and
+    // persHDD perform alike (Fig. 1d): its per-task rate must sit below
+    // persHDD's per-slot share at the reference 500 GB capacity
+    // (97 MB/s / 8 slots ≈ 12 MB/s).
+    EXPECT_LT(ApplicationProfile::of(AppKind::kKMeans).map_compute_rate().value(), 12.0);
+}
+
+TEST(Application, GrepScanRateAboveAnyTierShare) {
+    // Grep must stay I/O-bound on every tier: its scan rate exceeds even
+    // ephSSD's per-slot share (733/8 ≈ 92 MB/s).
+    EXPECT_GT(ApplicationProfile::of(AppKind::kGrep).map_compute_rate().value(), 92.0);
+}
+
+TEST(Application, JoinEmitsManySmallFiles) {
+    // The GCS-connector pathology of Fig. 1b needs Join to write many
+    // objects per reduce task; the other apps write one.
+    EXPECT_GE(ApplicationProfile::of(AppKind::kJoin).files_per_reduce_task(), 16);
+    EXPECT_EQ(ApplicationProfile::of(AppKind::kSort).files_per_reduce_task(), 1);
+    EXPECT_EQ(ApplicationProfile::of(AppKind::kGrep).files_per_reduce_task(), 1);
+}
+
+TEST(Application, PageRankOutputRatioMatchesPaperExample) {
+    // Fig. 4a: PageRank on 20 GB emits 386 MB of page IDs (~1.9%).
+    const auto& p = ApplicationProfile::of(AppKind::kPageRank);
+    const GigaBytes out = p.output_size(GigaBytes{20.0});
+    EXPECT_NEAR(out.value(), 0.386, 0.2);  // same order of magnitude
+}
+
+TEST(Application, SizeHelpersComposeSelectivities) {
+    const auto& p = ApplicationProfile::of(AppKind::kJoin);
+    const GigaBytes input{100.0};
+    EXPECT_DOUBLE_EQ(p.intermediate_size(input).value(), 100.0 * p.map_selectivity());
+    EXPECT_DOUBLE_EQ(p.output_size(input).value(),
+                     100.0 * p.map_selectivity() * p.reduce_selectivity());
+}
+
+}  // namespace
+}  // namespace cast::workload

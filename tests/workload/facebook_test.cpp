@@ -1,0 +1,165 @@
+#include "workload/facebook.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace cast::workload {
+namespace {
+
+TEST(FacebookBins, Table4RowsSumTo100Jobs) {
+    int total = 0;
+    for (const auto& b : facebook_bins()) total += b.workload_jobs;
+    EXPECT_EQ(total, 100);
+}
+
+TEST(FacebookBins, Table4MapCounts) {
+    const auto& bins = facebook_bins();
+    const int expected_maps[] = {1, 5, 10, 50, 500, 1500, 3000};
+    const int expected_jobs[] = {35, 22, 16, 13, 7, 4, 3};
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        EXPECT_EQ(bins[i].workload_maps, expected_maps[i]) << "bin " << i + 1;
+        EXPECT_EQ(bins[i].workload_jobs, expected_jobs[i]) << "bin " << i + 1;
+    }
+}
+
+TEST(FacebookBins, LargeJobsDominateData) {
+    // §5.1.1: >99% of data is touched by bins 5-7.
+    const auto& bins = facebook_bins();
+    double small = 0.0;
+    double large = 0.0;
+    for (const auto& b : bins) {
+        const double data = static_cast<double>(b.workload_maps) * b.workload_jobs;
+        (b.bin >= 5 ? large : small) += data;
+    }
+    EXPECT_GT(large / (small + large), 0.9);
+}
+
+class SynthesizedWorkloadTest : public ::testing::Test {
+protected:
+    Workload w = synthesize_facebook_workload(/*seed=*/42);
+};
+
+TEST_F(SynthesizedWorkloadTest, Has100Jobs) { EXPECT_EQ(w.size(), 100u); }
+
+TEST_F(SynthesizedWorkloadTest, BinDistributionMatchesTable4) {
+    std::map<int, int> by_maps;
+    for (const auto& j : w.jobs()) by_maps[j.map_tasks]++;
+    EXPECT_EQ(by_maps[1], 35);
+    EXPECT_EQ(by_maps[5], 22);
+    EXPECT_EQ(by_maps[10], 16);
+    EXPECT_EQ(by_maps[50], 13);
+    EXPECT_EQ(by_maps[500], 7);
+    EXPECT_EQ(by_maps[1500], 4);
+    EXPECT_EQ(by_maps[3000], 3);
+}
+
+TEST_F(SynthesizedWorkloadTest, InputSizeIsMapsTimesChunk) {
+    for (const auto& j : w.jobs()) {
+        EXPECT_NEAR(j.input.value(), j.map_tasks * 0.128, 1e-9) << j.name;
+    }
+}
+
+TEST_F(SynthesizedWorkloadTest, FifteenPercentShareInput) {
+    int sharing = 0;
+    for (const auto& j : w.jobs()) sharing += j.reuse_group.has_value() ? 1 : 0;
+    EXPECT_EQ(sharing, 15);
+}
+
+TEST_F(SynthesizedWorkloadTest, ReuseGroupsAreWellFormed) {
+    const auto groups = w.reuse_groups();
+    EXPECT_EQ(groups.size(), 5u);  // 15 jobs / groups of 3
+    for (const auto& [id, members] : groups) {
+        EXPECT_EQ(members.size(), 3u) << "group " << id;
+        // All members in the same bin (equal inputs) — Workload::validate
+        // enforces equal sizes; also check equal map counts.
+        for (std::size_t m : members) {
+            EXPECT_EQ(w.job(m).map_tasks, w.job(members[0]).map_tasks);
+        }
+    }
+}
+
+TEST_F(SynthesizedWorkloadTest, AppMixRoughlyBalanced) {
+    // Apps are assigned round-robin, then reuse-group members adopt their
+    // leader's class (recurring jobs), so counts drift a little from 25.
+    std::map<AppKind, int> counts;
+    int total = 0;
+    for (const auto& j : w.jobs()) {
+        counts[j.app]++;
+        ++total;
+    }
+    EXPECT_EQ(total, 100);
+    for (AppKind a :
+         {AppKind::kSort, AppKind::kJoin, AppKind::kGrep, AppKind::kKMeans}) {
+        EXPECT_GE(counts[a], 17) << app_name(a);
+        EXPECT_LE(counts[a], 33) << app_name(a);
+    }
+}
+
+TEST_F(SynthesizedWorkloadTest, ReuseGroupsAreRecurringJobs) {
+    for (const auto& [id, members] : w.reuse_groups()) {
+        for (std::size_t m : members) {
+            EXPECT_EQ(w.job(m).app, w.job(members[0]).app) << "group " << id;
+        }
+    }
+}
+
+TEST_F(SynthesizedWorkloadTest, DeterministicForSeed) {
+    const Workload w2 = synthesize_facebook_workload(42);
+    ASSERT_EQ(w2.size(), w.size());
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        EXPECT_EQ(w.job(i).name, w2.job(i).name);
+        EXPECT_EQ(w.job(i).reuse_group, w2.job(i).reuse_group);
+    }
+}
+
+TEST_F(SynthesizedWorkloadTest, DifferentSeedsChangeGrouping) {
+    const Workload w2 = synthesize_facebook_workload(43);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        if (w.job(i).reuse_group != w2.job(i).reuse_group) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(SynthesisOptions, CustomReuseFraction) {
+    SynthesisOptions opts;
+    opts.reuse_fraction = 0.0;
+    const Workload w = synthesize_facebook_workload(1, opts);
+    for (const auto& j : w.jobs()) EXPECT_FALSE(j.reuse_group.has_value());
+}
+
+TEST(ModelAccuracyWorkload, SixteenJobsAboutTwoTerabytes) {
+    const Workload w = synthesize_model_accuracy_workload(7);
+    EXPECT_EQ(w.size(), 16u);
+    EXPECT_NEAR(w.total_input().value(), 2000.0, 500.0);  // ~2 TB (§5.1.4)
+}
+
+TEST(DeadlineWorkflows, PaperShape) {
+    const auto wfs = synthesize_deadline_workflows(11);
+    ASSERT_EQ(wfs.size(), 5u);
+    std::size_t total_jobs = 0;
+    std::size_t longest = 0;
+    for (const auto& wf : wfs) {
+        total_jobs += wf.size();
+        longest = std::max(longest, wf.size());
+        // Deadlines in the paper's 15-40 minute band.
+        EXPECT_GE(wf.deadline().minutes(), 15.0 - 1e-9) << wf.name();
+        EXPECT_LE(wf.deadline().minutes(), 40.0 + 1e-9) << wf.name();
+        EXPECT_NO_THROW(wf.validate());
+    }
+    EXPECT_EQ(total_jobs, 31u);  // §5.2.1
+    EXPECT_EQ(longest, 9u);
+}
+
+TEST(DeadlineWorkflows, EdgesFormConnectedDags) {
+    for (const auto& wf : synthesize_deadline_workflows(11)) {
+        EXPECT_EQ(wf.edges().size(), wf.size() - 1);  // built as a tree
+        EXPECT_EQ(wf.dfs_order().size(), wf.size());
+        EXPECT_EQ(wf.roots().size(), 1u);
+    }
+}
+
+}  // namespace
+}  // namespace cast::workload

@@ -1,0 +1,111 @@
+#include "workload/job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cast::workload {
+namespace {
+
+using cast::literals::operator""_GB;
+
+JobSpec sample_job(int id = 1, AppKind app = AppKind::kSort, double input_gb = 100.0) {
+    return JobSpec{.id = id,
+                   .name = "j" + std::to_string(id),
+                   .app = app,
+                   .input = GigaBytes{input_gb},
+                   .map_tasks = 100,
+                   .reduce_tasks = 25,
+                   .reuse_group = std::nullopt};
+}
+
+TEST(JobSpec, DerivedSizesFollowProfile) {
+    const JobSpec j = sample_job(1, AppKind::kSort, 100.0);
+    EXPECT_DOUBLE_EQ(j.intermediate().value(), 100.0);  // Sort: selectivity 1
+    EXPECT_DOUBLE_EQ(j.output().value(), 100.0);
+    EXPECT_DOUBLE_EQ(j.capacity_requirement().value(), 300.0);  // Eq. 3
+}
+
+TEST(JobSpec, GrepRequirementBarelyAboveInput) {
+    const JobSpec j = sample_job(1, AppKind::kGrep, 100.0);
+    EXPECT_LT(j.capacity_requirement().value(), 101.0);
+    EXPECT_GE(j.capacity_requirement().value(), 100.0);
+}
+
+TEST(JobSpec, ValidationCatchesBadSpecs) {
+    JobSpec j = sample_job();
+    j.input = GigaBytes{0.0};
+    EXPECT_THROW(j.validate(), PreconditionError);
+    j = sample_job();
+    j.map_tasks = 0;
+    EXPECT_THROW(j.validate(), PreconditionError);
+    j = sample_job();
+    j.reduce_tasks = 0;
+    EXPECT_THROW(j.validate(), PreconditionError);
+}
+
+TEST(Workload, DuplicateIdsRejected) {
+    EXPECT_THROW(Workload({sample_job(1), sample_job(1)}), ValidationError);
+}
+
+TEST(Workload, ReuseGroupsCollectMembers) {
+    JobSpec a = sample_job(1);
+    JobSpec b = sample_job(2);
+    JobSpec c = sample_job(3);
+    a.reuse_group = 5;
+    b.reuse_group = 5;
+    const Workload w({a, b, c});
+    const auto groups = w.reuse_groups();
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups.at(5), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Workload, ReuseGroupRequiresEqualInputs) {
+    JobSpec a = sample_job(1, AppKind::kSort, 100.0);
+    JobSpec b = sample_job(2, AppKind::kSort, 200.0);
+    a.reuse_group = 1;
+    b.reuse_group = 1;
+    EXPECT_THROW(Workload({a, b}), ValidationError);
+}
+
+TEST(Workload, TotalInputSums) {
+    const Workload w({sample_job(1, AppKind::kSort, 100.0),
+                      sample_job(2, AppKind::kGrep, 50.0)});
+    EXPECT_DOUBLE_EQ(w.total_input().value(), 150.0);
+}
+
+TEST(Workload, TotalRequirementCountsSharedInputOnce) {
+    JobSpec a = sample_job(1, AppKind::kGrep, 100.0);
+    JobSpec b = sample_job(2, AppKind::kGrep, 100.0);
+    a.reuse_group = 1;
+    b.reuse_group = 1;
+    const Workload w({a, b});
+    // Shared input once + both jobs' intermediates/outputs.
+    const double expected =
+        100.0 + 2 * (a.intermediate().value() + a.output().value());
+    EXPECT_NEAR(w.total_capacity_requirement().value(), expected, 1e-9);
+}
+
+TEST(Workload, AccessorsAndBounds) {
+    const Workload w({sample_job(1)});
+    EXPECT_EQ(w.size(), 1u);
+    EXPECT_FALSE(w.empty());
+    EXPECT_EQ(w.job(0).id, 1);
+    EXPECT_THROW((void)w.job(1), PreconditionError);
+}
+
+TEST(ReusePattern, PaperPatterns) {
+    const ReusePattern hr = ReusePattern::one_hour();
+    EXPECT_EQ(hr.accesses, 7);
+    EXPECT_DOUBLE_EQ(hr.lifetime.hours(), 1.0);
+    const ReusePattern wk = ReusePattern::one_week();
+    EXPECT_EQ(wk.accesses, 7);
+    EXPECT_DOUBLE_EQ(wk.lifetime.hours(), 168.0);
+    EXPECT_EQ(ReusePattern::none().accesses, 1);
+}
+
+TEST(ReusePattern, ValidationRejectsZeroAccesses) {
+    ReusePattern p{0, Seconds{10.0}};
+    EXPECT_THROW(p.validate(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace cast::workload

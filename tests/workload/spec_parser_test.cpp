@@ -1,0 +1,139 @@
+#include "workload/spec_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/facebook.hpp"
+
+namespace cast::workload {
+namespace {
+
+ParsedSpec parse_str(const std::string& text) {
+    std::istringstream is(text);
+    return parse_spec(is);
+}
+
+TEST(SpecParser, MinimalWorkload) {
+    const auto spec = parse_str("job 1 Sort 120\n");
+    ASSERT_TRUE(spec.workload.has_value());
+    EXPECT_FALSE(spec.is_workflow());
+    const auto& w = *spec.workload;
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w.job(0).app, AppKind::kSort);
+    EXPECT_DOUBLE_EQ(w.job(0).input.value(), 120.0);
+    // Paper defaults: 128 MB chunks, reduces = maps/4.
+    EXPECT_EQ(w.job(0).map_tasks, 937);
+    EXPECT_EQ(w.job(0).reduce_tasks, 234);
+}
+
+TEST(SpecParser, CommentsAndBlankLinesIgnored) {
+    const auto spec = parse_str(
+        "# header comment\n"
+        "\n"
+        "job 1 Grep 10   # trailing comment\n"
+        "   \t  \n"
+        "job 2 Join 20\n");
+    ASSERT_TRUE(spec.workload.has_value());
+    EXPECT_EQ(spec.workload->size(), 2u);
+}
+
+TEST(SpecParser, ExplicitOptionsRespected) {
+    const auto spec =
+        parse_str("job 7 KMeans 64 maps=100 reduces=10 group=3 name=nightly\n");
+    const auto& j = spec.workload->job(0);
+    EXPECT_EQ(j.id, 7);
+    EXPECT_EQ(j.map_tasks, 100);
+    EXPECT_EQ(j.reduce_tasks, 10);
+    EXPECT_EQ(j.reuse_group, 3);
+    EXPECT_EQ(j.name, "nightly");
+}
+
+TEST(SpecParser, WorkflowWithEdges) {
+    const auto spec = parse_str(
+        "workflow etl deadline-min=30\n"
+        "job 1 Grep 250\n"
+        "job 2 Sort 120\n"
+        "job 3 Join 120\n"
+        "edge 1 2\n"
+        "edge 2 3\n");
+    ASSERT_TRUE(spec.is_workflow());
+    const auto& wf = *spec.workflow;
+    EXPECT_EQ(wf.name(), "etl");
+    EXPECT_DOUBLE_EQ(wf.deadline().minutes(), 30.0);
+    EXPECT_EQ(wf.size(), 3u);
+    EXPECT_EQ(wf.edges().size(), 2u);
+    EXPECT_EQ(wf.roots(), (std::vector<std::size_t>{0}));
+}
+
+TEST(SpecParser, ErrorsCarryLineNumbers) {
+    try {
+        (void)parse_str("job 1 Sort 120\njob 2 FooBar 10\n");
+        FAIL() << "should have thrown";
+    } catch (const ValidationError& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("FooBar"), std::string::npos);
+    }
+}
+
+TEST(SpecParser, RejectsMalformedInput) {
+    EXPECT_THROW((void)parse_str(""), ValidationError);                      // no jobs
+    EXPECT_THROW((void)parse_str("job 1 Sort\n"), ValidationError);          // missing size
+    EXPECT_THROW((void)parse_str("job 1 Sort -5\n"), ValidationError);       // negative
+    EXPECT_THROW((void)parse_str("job x Sort 10\n"), ValidationError);       // bad id
+    EXPECT_THROW((void)parse_str("job 1 Sort 10 bogus\n"), ValidationError); // stray token
+    EXPECT_THROW((void)parse_str("job 1 Sort 10 foo=1\n"), ValidationError); // bad option
+    EXPECT_THROW((void)parse_str("frob 1\n"), ValidationError);              // bad keyword
+    EXPECT_THROW((void)parse_str("edge 1 2\n"), ValidationError);  // edge outside workflow
+    EXPECT_THROW((void)parse_str("job 1 Sort 10\nworkflow w deadline-min=5\n"),
+                 ValidationError);  // workflow not first
+    EXPECT_THROW((void)parse_str("workflow w\njob 1 Sort 10\n"),
+                 ValidationError);  // missing deadline
+    EXPECT_THROW((void)parse_str("workflow w deadline-min=5\njob 1 Sort 10\nedge 1 9\n"),
+                 ValidationError);  // unknown edge endpoint
+    EXPECT_THROW((void)parse_str("job 1 Sort 10\njob 1 Grep 20\n"),
+                 ValidationError);  // duplicate id
+}
+
+TEST(SpecParser, WorkloadRoundTrip) {
+    const Workload original = synthesize_facebook_workload(42);
+    std::ostringstream out;
+    write_spec(original, out);
+    const auto spec = parse_str(out.str());
+    ASSERT_TRUE(spec.workload.has_value());
+    const auto& loaded = *spec.workload;
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded.job(i).id, original.job(i).id);
+        EXPECT_EQ(loaded.job(i).app, original.job(i).app);
+        EXPECT_DOUBLE_EQ(loaded.job(i).input.value(), original.job(i).input.value());
+        EXPECT_EQ(loaded.job(i).map_tasks, original.job(i).map_tasks);
+        EXPECT_EQ(loaded.job(i).reduce_tasks, original.job(i).reduce_tasks);
+        EXPECT_EQ(loaded.job(i).reuse_group, original.job(i).reuse_group);
+    }
+}
+
+TEST(SpecParser, WorkflowRoundTrip) {
+    const Workflow original = make_search_log_workflow(Seconds{7200.0});
+    std::ostringstream out;
+    write_spec(original, out);
+    const auto spec = parse_str(out.str());
+    ASSERT_TRUE(spec.is_workflow());
+    const auto& loaded = *spec.workflow;
+    EXPECT_EQ(loaded.name(), original.name());
+    EXPECT_DOUBLE_EQ(loaded.deadline().value(), original.deadline().value());
+    ASSERT_EQ(loaded.size(), original.size());
+    ASSERT_EQ(loaded.edges().size(), original.edges().size());
+    for (std::size_t i = 0; i < original.edges().size(); ++i) {
+        EXPECT_EQ(loaded.edges()[i].from_job, original.edges()[i].from_job);
+        EXPECT_EQ(loaded.edges()[i].to_job, original.edges()[i].to_job);
+    }
+    EXPECT_EQ(loaded.topological_order(), original.topological_order());
+}
+
+TEST(SpecParser, MissingFileThrows) {
+    EXPECT_THROW((void)parse_spec_file("/nonexistent/spec.txt"), ValidationError);
+}
+
+}  // namespace
+}  // namespace cast::workload

@@ -1,0 +1,133 @@
+#include "workload/workflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cast::workload {
+namespace {
+
+JobSpec wf_job(int id) {
+    return JobSpec{.id = id,
+                   .name = "j" + std::to_string(id),
+                   .app = AppKind::kSort,
+                   .input = GigaBytes{10.0},
+                   .map_tasks = 10,
+                   .reduce_tasks = 2,
+                   .reuse_group = std::nullopt};
+}
+
+Workflow diamond() {
+    // 1 -> {2, 3} -> 4
+    return Workflow("diamond", {wf_job(1), wf_job(2), wf_job(3), wf_job(4)},
+                    {{1, 2}, {1, 3}, {2, 4}, {3, 4}}, Seconds{1000.0});
+}
+
+TEST(Workflow, IndexOfFindsJobs) {
+    const Workflow w = diamond();
+    EXPECT_EQ(w.index_of(1), 0u);
+    EXPECT_EQ(w.index_of(4), 3u);
+    EXPECT_THROW((void)w.index_of(99), ValidationError);
+}
+
+TEST(Workflow, PredecessorsAndSuccessors) {
+    const Workflow w = diamond();
+    EXPECT_TRUE(w.predecessors(0).empty());
+    EXPECT_EQ(w.predecessors(3), (std::vector<std::size_t>{1, 2}));
+    EXPECT_EQ(w.successors(0), (std::vector<std::size_t>{1, 2}));
+    EXPECT_TRUE(w.successors(3).empty());
+}
+
+TEST(Workflow, RootsAreSourceJobs) {
+    const Workflow w = diamond();
+    EXPECT_EQ(w.roots(), (std::vector<std::size_t>{0}));
+}
+
+TEST(Workflow, TopologicalOrderRespectsEdges) {
+    const Workflow w = diamond();
+    const auto order = w.topological_order();
+    ASSERT_EQ(order.size(), 4u);
+    auto pos = [&](std::size_t idx) {
+        return std::find(order.begin(), order.end(), idx) - order.begin();
+    };
+    EXPECT_LT(pos(0), pos(1));
+    EXPECT_LT(pos(0), pos(2));
+    EXPECT_LT(pos(1), pos(3));
+    EXPECT_LT(pos(2), pos(3));
+}
+
+TEST(Workflow, TopologicalOrderDeterministic) {
+    const Workflow w = diamond();
+    EXPECT_EQ(w.topological_order(), w.topological_order());
+}
+
+TEST(Workflow, DfsOrderVisitsAllOnce) {
+    const Workflow w = diamond();
+    auto order = w.dfs_order();
+    ASSERT_EQ(order.size(), 4u);
+    std::sort(order.begin(), order.end());
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Workflow, DfsStartsAtRoot) {
+    const Workflow w = diamond();
+    EXPECT_EQ(w.dfs_order().front(), 0u);
+}
+
+TEST(Workflow, CycleRejected) {
+    EXPECT_THROW(Workflow("cyclic", {wf_job(1), wf_job(2)}, {{1, 2}, {2, 1}}, Seconds{100.0}),
+                 InvariantError);
+}
+
+TEST(Workflow, SelfEdgeRejected) {
+    EXPECT_THROW(Workflow("self", {wf_job(1)}, {{1, 1}}, Seconds{100.0}), ValidationError);
+}
+
+TEST(Workflow, UnknownEdgeEndpointRejected) {
+    EXPECT_THROW(Workflow("bad-edge", {wf_job(1)}, {{1, 7}}, Seconds{100.0}),
+                 ValidationError);
+}
+
+TEST(Workflow, ZeroDeadlineRejected) {
+    EXPECT_THROW(Workflow("no-deadline", {wf_job(1)}, {}, Seconds{0.0}), PreconditionError);
+}
+
+TEST(Workflow, EmptyNameRejected) {
+    EXPECT_THROW(Workflow("", {wf_job(1)}, {}, Seconds{10.0}), PreconditionError);
+}
+
+// The paper's Fig. 4a example.
+TEST(SearchLogWorkflow, ShapeMatchesFig4a) {
+    const Workflow w = make_search_log_workflow();
+    ASSERT_EQ(w.size(), 4u);
+    EXPECT_DOUBLE_EQ(w.deadline().value(), 8000.0);
+
+    const std::size_t grep = w.index_of(1);
+    const std::size_t pagerank = w.index_of(2);
+    const std::size_t sort = w.index_of(3);
+    const std::size_t join = w.index_of(4);
+
+    EXPECT_EQ(w.jobs()[grep].app, AppKind::kGrep);
+    EXPECT_DOUBLE_EQ(w.jobs()[grep].input.value(), 250.0);
+    EXPECT_EQ(w.jobs()[pagerank].app, AppKind::kPageRank);
+    EXPECT_DOUBLE_EQ(w.jobs()[pagerank].input.value(), 20.0);
+    EXPECT_EQ(w.jobs()[sort].app, AppKind::kSort);
+    EXPECT_EQ(w.jobs()[join].app, AppKind::kJoin);
+
+    // Grep -> Sort, Pagerank -> Join, Sort -> Join.
+    EXPECT_EQ(w.successors(grep), (std::vector<std::size_t>{sort}));
+    EXPECT_EQ(w.successors(pagerank), (std::vector<std::size_t>{join}));
+    EXPECT_EQ(w.successors(sort), (std::vector<std::size_t>{join}));
+    EXPECT_EQ(w.roots(), (std::vector<std::size_t>{grep, pagerank}));
+}
+
+TEST(SearchLogWorkflow, MapTasksTrackChunkCount) {
+    const Workflow w = make_search_log_workflow();
+    for (const auto& j : w.jobs()) {
+        EXPECT_NEAR(j.map_tasks, j.input.value() / 0.128, 1.0) << j.name;
+        EXPECT_GE(j.reduce_tasks, 1);
+    }
+}
+
+}  // namespace
+}  // namespace cast::workload

@@ -1,0 +1,225 @@
+// cast_plan — command-line storage tiering planner.
+//
+// The operational entry point a tenant would actually use:
+//
+//   cast_plan tiers   [--catalog NAME]
+//       Print the storage catalog (Table 1).
+//
+//   cast_plan profile --workers N [--catalog NAME] [--out FILE]
+//       Run offline profiling for an N-worker cluster and save the model
+//       set (expensive step; do it once per cluster shape).
+//
+//   cast_plan plan --models FILE --spec FILE [--reuse-aware] [--deploy]
+//       Plan a batch workload spec; print the placement, capacities and
+//       modeled cost/utility; optionally deploy on the simulator.
+//
+//   cast_plan workflow --models FILE --spec FILE [--deploy]
+//       Plan a workflow spec under its deadline (CAST++ Eq. 8-10).
+//
+//   cast_plan synth --seed N [--out FILE]
+//       Emit the paper's 100-job Facebook-derived workload as an editable
+//       spec file.
+//
+// Exit codes: 0 success, 1 usage error, 2 runtime/validation error.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/castpp.hpp"
+#include "core/deployer.hpp"
+#include "core/report.hpp"
+#include "model/serialize.hpp"
+#include "workload/facebook.hpp"
+#include "workload/spec_parser.hpp"
+
+namespace {
+
+using namespace cast;
+
+struct Args {
+    std::string command;
+    std::map<std::string, std::string> options;
+    std::vector<std::string> flags;
+
+    [[nodiscard]] std::string get(const std::string& key, const std::string& def = "") const {
+        const auto it = options.find(key);
+        return it == options.end() ? def : it->second;
+    }
+    [[nodiscard]] bool has_flag(const std::string& f) const {
+        return std::find(flags.begin(), flags.end(), f) != flags.end();
+    }
+};
+
+int usage() {
+    std::cerr
+        << "usage:\n"
+           "  cast_plan tiers    [--catalog google-cloud|aws-like]\n"
+           "  cast_plan profile  --workers N [--catalog NAME] [--out FILE]\n"
+           "  cast_plan plan     --models FILE --spec FILE [--reuse-aware] [--deploy]\n"
+           "  cast_plan workflow --models FILE --spec FILE [--deploy]\n"
+           "  cast_plan synth    [--seed N] [--out FILE]\n";
+    return 1;
+}
+
+Args parse_args(int argc, char** argv) {
+    Args args;
+    if (argc < 2) return args;
+    args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string token = argv[i];
+        if (token.rfind("--", 0) != 0) {
+            throw ValidationError("unexpected argument: " + token);
+        }
+        token.erase(0, 2);
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+            args.options[token] = argv[++i];
+        } else {
+            args.flags.push_back(token);
+        }
+    }
+    return args;
+}
+
+int cmd_tiers(const Args& args) {
+    const auto catalog = cloud::StorageCatalog::by_name(args.get("catalog", "google-cloud"));
+    std::cout << "catalog: " << catalog.name() << "\n";
+    TextTable t({"tier", "description", "persistent", "$/GB/month", "max GB/VM",
+                 "MB/s @500GB/VM"});
+    for (cloud::StorageTier tier : cloud::kAllTiers) {
+        const auto& svc = catalog.service(tier);
+        const auto max = svc.max_capacity_per_vm();
+        t.add_row({std::string(cloud::tier_name(tier)), svc.description(),
+                   svc.persistent() ? "yes" : "no", fmt(svc.price_per_gb_month().value(), 3),
+                   max ? fmt(max->value(), 0) : "unlimited",
+                   fmt(svc.performance(svc.provision(GigaBytes{500.0})).read_bw.value(), 0)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int cmd_profile(const Args& args) {
+    const std::string workers = args.get("workers");
+    if (workers.empty()) {
+        std::cerr << "profile: --workers is required\n";
+        return 1;
+    }
+    cloud::ClusterSpec cluster = cloud::ClusterSpec::paper_single_node();
+    cluster.worker_count = std::stoi(workers);
+    const auto catalog = cloud::StorageCatalog::by_name(args.get("catalog", "google-cloud"));
+    std::cout << "profiling " << cluster.worker_count << " x " << cluster.worker.name
+              << " against catalog '" << catalog.name() << "'...\n";
+    ThreadPool pool;
+    const auto models = model::Profiler(cluster, catalog).profile(&pool);
+    const std::string out = args.get("out", "cast-models.txt");
+    model::save_model_set_file(models, out);
+    std::cout << "model set written to " << out << "\n";
+    return 0;
+}
+
+int cmd_plan(const Args& args) {
+    const std::string models_path = args.get("models");
+    const std::string spec_path = args.get("spec");
+    if (models_path.empty() || spec_path.empty()) {
+        std::cerr << "plan: --models and --spec are required\n";
+        return 1;
+    }
+    const auto models = model::load_model_set_file(models_path);
+    const auto spec = workload::parse_spec_file(spec_path);
+    if (spec.is_workflow()) {
+        std::cerr << "plan: spec is a workflow; use 'cast_plan workflow'\n";
+        return 1;
+    }
+    const auto& w = *spec.workload;
+    const bool reuse_aware = args.has_flag("reuse-aware");
+
+    ThreadPool pool;
+    const core::CastResult result = reuse_aware
+                                        ? core::plan_cast_plus_plus(models, w, {}, &pool)
+                                        : core::plan_cast(models, w, {}, &pool);
+    core::PlanEvaluator evaluator(models, w, core::EvalOptions{.reuse_aware = reuse_aware});
+    std::cout << (reuse_aware ? "CAST++" : "CAST") << " ";
+    if (args.has_flag("deploy")) {
+        const auto dep = core::Deployer().deploy(evaluator, result.plan);
+        core::write_deployment_report(evaluator, result.plan, result.evaluation, dep,
+                                      std::cout);
+    } else {
+        core::write_plan_report(evaluator, result.plan, result.evaluation, std::cout);
+    }
+    return 0;
+}
+
+int cmd_workflow(const Args& args) {
+    const std::string models_path = args.get("models");
+    const std::string spec_path = args.get("spec");
+    if (models_path.empty() || spec_path.empty()) {
+        std::cerr << "workflow: --models and --spec are required\n";
+        return 1;
+    }
+    const auto models = model::load_model_set_file(models_path);
+    const auto spec = workload::parse_spec_file(spec_path);
+    if (!spec.is_workflow()) {
+        std::cerr << "workflow: spec is a batch workload; use 'cast_plan plan'\n";
+        return 1;
+    }
+    const auto& wf = *spec.workflow;
+    ThreadPool pool;
+    core::WorkflowEvaluator evaluator(models, wf);
+    const auto solved = core::WorkflowSolver(evaluator).solve(&pool);
+    std::cout << "CAST++ workflow plan for '" << wf.name() << "' (deadline "
+              << fmt(wf.deadline().minutes(), 1) << " min):\n";
+    TextTable t({"job", "tier", "capacity factor"});
+    for (std::size_t i = 0; i < wf.size(); ++i) {
+        t.add_row({wf.jobs()[i].name,
+                   std::string(cloud::tier_name(solved.plan.decisions[i].tier)),
+                   fmt(solved.plan.decisions[i].overprovision, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "modeled: runtime " << fmt(solved.evaluation.total_runtime.minutes(), 1)
+              << " min, cost $" << fmt(solved.evaluation.total_cost().value(), 2)
+              << (solved.evaluation.meets_deadline ? "  [meets deadline]"
+                                                   : "  [deadline infeasible]")
+              << "\n";
+    if (args.has_flag("deploy")) {
+        const auto dep = core::Deployer().deploy_workflow(evaluator, solved.plan);
+        std::cout << "deployed: runtime " << fmt(dep.total_runtime.minutes(), 1)
+                  << " min, cost $" << fmt(dep.total_cost().value(), 2) << ", deadline "
+                  << (dep.met_deadline ? "MET" : "MISSED") << "\n";
+    }
+    return 0;
+}
+
+int cmd_synth(const Args& args) {
+    const std::uint64_t seed = std::stoull(args.get("seed", "42"));
+    const auto w = workload::synthesize_facebook_workload(seed);
+    const std::string out = args.get("out");
+    if (out.empty()) {
+        workload::write_spec(w, std::cout);
+    } else {
+        std::ofstream file(out);
+        if (!file) throw ValidationError("cannot open " + out);
+        workload::write_spec(w, file);
+        std::cout << w.size() << "-job workload spec written to " << out << "\n";
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        const Args args = parse_args(argc, argv);
+        if (args.command == "tiers") return cmd_tiers(args);
+        if (args.command == "profile") return cmd_profile(args);
+        if (args.command == "plan") return cmd_plan(args);
+        if (args.command == "workflow") return cmd_workflow(args);
+        if (args.command == "synth") return cmd_synth(args);
+        return usage();
+    } catch (const std::exception& e) {
+        std::cerr << "cast_plan: " << e.what() << "\n";
+        return 2;
+    }
+}
