@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cluster_sizing.dir/ablation_cluster_sizing.cpp.o"
+  "CMakeFiles/ablation_cluster_sizing.dir/ablation_cluster_sizing.cpp.o.d"
+  "ablation_cluster_sizing"
+  "ablation_cluster_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cluster_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

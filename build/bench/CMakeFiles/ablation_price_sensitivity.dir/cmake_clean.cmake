@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_price_sensitivity.dir/ablation_price_sensitivity.cpp.o"
+  "CMakeFiles/ablation_price_sensitivity.dir/ablation_price_sensitivity.cpp.o.d"
+  "ablation_price_sensitivity"
+  "ablation_price_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_price_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

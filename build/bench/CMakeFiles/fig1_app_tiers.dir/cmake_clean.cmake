@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_app_tiers.dir/fig1_app_tiers.cpp.o"
+  "CMakeFiles/fig1_app_tiers.dir/fig1_app_tiers.cpp.o.d"
+  "fig1_app_tiers"
+  "fig1_app_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_app_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

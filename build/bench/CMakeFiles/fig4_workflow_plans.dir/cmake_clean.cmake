@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_workflow_plans.dir/fig4_workflow_plans.cpp.o"
+  "CMakeFiles/fig4_workflow_plans.dir/fig4_workflow_plans.cpp.o.d"
+  "fig4_workflow_plans"
+  "fig4_workflow_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_workflow_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fine_grained.dir/fig5_fine_grained.cpp.o"
+  "CMakeFiles/fig5_fine_grained.dir/fig5_fine_grained.cpp.o.d"
+  "fig5_fine_grained"
+  "fig5_fine_grained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fine_grained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tenant_utility.dir/fig7_tenant_utility.cpp.o"
+  "CMakeFiles/fig7_tenant_utility.dir/fig7_tenant_utility.cpp.o.d"
+  "fig7_tenant_utility"
+  "fig7_tenant_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tenant_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

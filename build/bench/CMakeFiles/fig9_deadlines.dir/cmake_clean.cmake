@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_deadlines.dir/fig9_deadlines.cpp.o"
+  "CMakeFiles/fig9_deadlines.dir/fig9_deadlines.cpp.o.d"
+  "fig9_deadlines"
+  "fig9_deadlines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_deadlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_solver.cpp" "bench/CMakeFiles/micro_solver.dir/micro_solver.cpp.o" "gcc" "bench/CMakeFiles/micro_solver.dir/micro_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

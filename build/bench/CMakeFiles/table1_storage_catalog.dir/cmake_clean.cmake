@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_storage_catalog.dir/table1_storage_catalog.cpp.o"
+  "CMakeFiles/table1_storage_catalog.dir/table1_storage_catalog.cpp.o.d"
+  "table1_storage_catalog"
+  "table1_storage_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_storage_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

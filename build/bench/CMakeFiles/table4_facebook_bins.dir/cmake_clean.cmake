@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_facebook_bins.dir/table4_facebook_bins.cpp.o"
+  "CMakeFiles/table4_facebook_bins.dir/table4_facebook_bins.cpp.o.d"
+  "table4_facebook_bins"
+  "table4_facebook_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_facebook_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

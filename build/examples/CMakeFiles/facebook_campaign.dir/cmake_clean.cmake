@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facebook_campaign.dir/facebook_campaign.cpp.o"
+  "CMakeFiles/facebook_campaign.dir/facebook_campaign.cpp.o.d"
+  "facebook_campaign"
+  "facebook_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facebook_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_deadline.dir/workflow_deadline.cpp.o"
+  "CMakeFiles/workflow_deadline.dir/workflow_deadline.cpp.o.d"
+  "workflow_deadline"
+  "workflow_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_cloud.dir/cloud/storage.cpp.o"
+  "CMakeFiles/cast_cloud.dir/cloud/storage.cpp.o.d"
+  "libcast_cloud.a"
+  "libcast_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

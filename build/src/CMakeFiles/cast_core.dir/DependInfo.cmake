@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/annealing.cpp" "src/CMakeFiles/cast_core.dir/core/annealing.cpp.o" "gcc" "src/CMakeFiles/cast_core.dir/core/annealing.cpp.o.d"
+  "/root/repo/src/core/castpp.cpp" "src/CMakeFiles/cast_core.dir/core/castpp.cpp.o" "gcc" "src/CMakeFiles/cast_core.dir/core/castpp.cpp.o.d"
+  "/root/repo/src/core/characterization.cpp" "src/CMakeFiles/cast_core.dir/core/characterization.cpp.o" "gcc" "src/CMakeFiles/cast_core.dir/core/characterization.cpp.o.d"
+  "/root/repo/src/core/cluster_planner.cpp" "src/CMakeFiles/cast_core.dir/core/cluster_planner.cpp.o" "gcc" "src/CMakeFiles/cast_core.dir/core/cluster_planner.cpp.o.d"
+  "/root/repo/src/core/deployer.cpp" "src/CMakeFiles/cast_core.dir/core/deployer.cpp.o" "gcc" "src/CMakeFiles/cast_core.dir/core/deployer.cpp.o.d"
+  "/root/repo/src/core/greedy.cpp" "src/CMakeFiles/cast_core.dir/core/greedy.cpp.o" "gcc" "src/CMakeFiles/cast_core.dir/core/greedy.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/CMakeFiles/cast_core.dir/core/plan.cpp.o" "gcc" "src/CMakeFiles/cast_core.dir/core/plan.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/cast_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/cast_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/utility.cpp" "src/CMakeFiles/cast_core.dir/core/utility.cpp.o" "gcc" "src/CMakeFiles/cast_core.dir/core/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cast_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

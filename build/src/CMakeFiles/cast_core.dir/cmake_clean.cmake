@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_core.dir/core/annealing.cpp.o"
+  "CMakeFiles/cast_core.dir/core/annealing.cpp.o.d"
+  "CMakeFiles/cast_core.dir/core/castpp.cpp.o"
+  "CMakeFiles/cast_core.dir/core/castpp.cpp.o.d"
+  "CMakeFiles/cast_core.dir/core/characterization.cpp.o"
+  "CMakeFiles/cast_core.dir/core/characterization.cpp.o.d"
+  "CMakeFiles/cast_core.dir/core/cluster_planner.cpp.o"
+  "CMakeFiles/cast_core.dir/core/cluster_planner.cpp.o.d"
+  "CMakeFiles/cast_core.dir/core/deployer.cpp.o"
+  "CMakeFiles/cast_core.dir/core/deployer.cpp.o.d"
+  "CMakeFiles/cast_core.dir/core/greedy.cpp.o"
+  "CMakeFiles/cast_core.dir/core/greedy.cpp.o.d"
+  "CMakeFiles/cast_core.dir/core/plan.cpp.o"
+  "CMakeFiles/cast_core.dir/core/plan.cpp.o.d"
+  "CMakeFiles/cast_core.dir/core/report.cpp.o"
+  "CMakeFiles/cast_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/cast_core.dir/core/utility.cpp.o"
+  "CMakeFiles/cast_core.dir/core/utility.cpp.o.d"
+  "libcast_core.a"
+  "libcast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

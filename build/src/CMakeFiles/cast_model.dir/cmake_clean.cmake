@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_model.dir/model/mrcute.cpp.o"
+  "CMakeFiles/cast_model.dir/model/mrcute.cpp.o.d"
+  "CMakeFiles/cast_model.dir/model/profiler.cpp.o"
+  "CMakeFiles/cast_model.dir/model/profiler.cpp.o.d"
+  "CMakeFiles/cast_model.dir/model/serialize.cpp.o"
+  "CMakeFiles/cast_model.dir/model/serialize.cpp.o.d"
+  "libcast_model.a"
+  "libcast_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_sim.dir/sim/mapreduce.cpp.o"
+  "CMakeFiles/cast_sim.dir/sim/mapreduce.cpp.o.d"
+  "libcast_sim.a"
+  "libcast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

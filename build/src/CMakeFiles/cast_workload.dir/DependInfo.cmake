@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/application.cpp" "src/CMakeFiles/cast_workload.dir/workload/application.cpp.o" "gcc" "src/CMakeFiles/cast_workload.dir/workload/application.cpp.o.d"
+  "/root/repo/src/workload/facebook.cpp" "src/CMakeFiles/cast_workload.dir/workload/facebook.cpp.o" "gcc" "src/CMakeFiles/cast_workload.dir/workload/facebook.cpp.o.d"
+  "/root/repo/src/workload/spec_parser.cpp" "src/CMakeFiles/cast_workload.dir/workload/spec_parser.cpp.o" "gcc" "src/CMakeFiles/cast_workload.dir/workload/spec_parser.cpp.o.d"
+  "/root/repo/src/workload/workflow.cpp" "src/CMakeFiles/cast_workload.dir/workload/workflow.cpp.o" "gcc" "src/CMakeFiles/cast_workload.dir/workload/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_workload.dir/workload/application.cpp.o"
+  "CMakeFiles/cast_workload.dir/workload/application.cpp.o.d"
+  "CMakeFiles/cast_workload.dir/workload/facebook.cpp.o"
+  "CMakeFiles/cast_workload.dir/workload/facebook.cpp.o.d"
+  "CMakeFiles/cast_workload.dir/workload/spec_parser.cpp.o"
+  "CMakeFiles/cast_workload.dir/workload/spec_parser.cpp.o.d"
+  "CMakeFiles/cast_workload.dir/workload/workflow.cpp.o"
+  "CMakeFiles/cast_workload.dir/workload/workflow.cpp.o.d"
+  "libcast_workload.a"
+  "libcast_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_tests.dir/cloud/catalog_variants_test.cpp.o"
+  "CMakeFiles/cloud_tests.dir/cloud/catalog_variants_test.cpp.o.d"
+  "CMakeFiles/cloud_tests.dir/cloud/cluster_test.cpp.o"
+  "CMakeFiles/cloud_tests.dir/cloud/cluster_test.cpp.o.d"
+  "CMakeFiles/cloud_tests.dir/cloud/storage_test.cpp.o"
+  "CMakeFiles/cloud_tests.dir/cloud/storage_test.cpp.o.d"
+  "cloud_tests"
+  "cloud_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

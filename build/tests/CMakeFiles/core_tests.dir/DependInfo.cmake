@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/annealing_test.cpp" "tests/CMakeFiles/core_tests.dir/core/annealing_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/annealing_test.cpp.o.d"
+  "/root/repo/tests/core/castpp_test.cpp" "tests/CMakeFiles/core_tests.dir/core/castpp_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/castpp_test.cpp.o.d"
+  "/root/repo/tests/core/characterization_test.cpp" "tests/CMakeFiles/core_tests.dir/core/characterization_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/characterization_test.cpp.o.d"
+  "/root/repo/tests/core/cluster_planner_test.cpp" "tests/CMakeFiles/core_tests.dir/core/cluster_planner_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cluster_planner_test.cpp.o.d"
+  "/root/repo/tests/core/deployer_test.cpp" "tests/CMakeFiles/core_tests.dir/core/deployer_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/deployer_test.cpp.o.d"
+  "/root/repo/tests/core/greedy_test.cpp" "tests/CMakeFiles/core_tests.dir/core/greedy_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/greedy_test.cpp.o.d"
+  "/root/repo/tests/core/plan_test.cpp" "tests/CMakeFiles/core_tests.dir/core/plan_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/plan_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/utility_test.cpp" "tests/CMakeFiles/core_tests.dir/core/utility_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/utility_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/annealing_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/annealing_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/castpp_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/castpp_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/characterization_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/characterization_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/cluster_planner_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/cluster_planner_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/deployer_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/deployer_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/greedy_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/greedy_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/plan_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/plan_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/utility_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/utility_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

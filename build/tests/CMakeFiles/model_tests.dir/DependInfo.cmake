@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/mrcute_test.cpp" "tests/CMakeFiles/model_tests.dir/model/mrcute_test.cpp.o" "gcc" "tests/CMakeFiles/model_tests.dir/model/mrcute_test.cpp.o.d"
+  "/root/repo/tests/model/profiler_test.cpp" "tests/CMakeFiles/model_tests.dir/model/profiler_test.cpp.o" "gcc" "tests/CMakeFiles/model_tests.dir/model/profiler_test.cpp.o.d"
+  "/root/repo/tests/model/serialize_test.cpp" "tests/CMakeFiles/model_tests.dir/model/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/model_tests.dir/model/serialize_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_tests.dir/properties/cloud_property_test.cpp.o"
+  "CMakeFiles/property_tests.dir/properties/cloud_property_test.cpp.o.d"
+  "CMakeFiles/property_tests.dir/properties/evaluator_property_test.cpp.o"
+  "CMakeFiles/property_tests.dir/properties/evaluator_property_test.cpp.o.d"
+  "CMakeFiles/property_tests.dir/properties/model_property_test.cpp.o"
+  "CMakeFiles/property_tests.dir/properties/model_property_test.cpp.o.d"
+  "CMakeFiles/property_tests.dir/properties/sim_property_test.cpp.o"
+  "CMakeFiles/property_tests.dir/properties/sim_property_test.cpp.o.d"
+  "CMakeFiles/property_tests.dir/properties/solver_property_test.cpp.o"
+  "CMakeFiles/property_tests.dir/properties/solver_property_test.cpp.o.d"
+  "CMakeFiles/property_tests.dir/properties/workflow_property_test.cpp.o"
+  "CMakeFiles/property_tests.dir/properties/workflow_property_test.cpp.o.d"
+  "property_tests"
+  "property_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

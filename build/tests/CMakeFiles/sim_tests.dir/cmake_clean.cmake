@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/flow_engine_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/flow_engine_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/mapreduce_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/mapreduce_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/network_shuffle_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/network_shuffle_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/phase_runner_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/phase_runner_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/application_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/application_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/application_test.cpp.o.d"
+  "/root/repo/tests/workload/facebook_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/facebook_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/facebook_test.cpp.o.d"
+  "/root/repo/tests/workload/job_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/job_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/job_test.cpp.o.d"
+  "/root/repo/tests/workload/spec_parser_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/spec_parser_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/spec_parser_test.cpp.o.d"
+  "/root/repo/tests/workload/workflow_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/workflow_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/workflow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cast_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tests.dir/workload/application_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/application_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/facebook_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/facebook_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/job_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/job_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/spec_parser_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/spec_parser_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/workflow_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/workflow_test.cpp.o.d"
+  "workload_tests"
+  "workload_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_tests "/root/repo/build/tests/common_tests")
+set_tests_properties(common_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;cast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cloud_tests "/root/repo/build/tests/cloud_tests")
+set_tests_properties(cloud_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;cast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_tests "/root/repo/build/tests/workload_tests")
+set_tests_properties(workload_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;24;cast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_tests "/root/repo/build/tests/sim_tests")
+set_tests_properties(sim_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;31;cast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(model_tests "/root/repo/build/tests/model_tests")
+set_tests_properties(model_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;37;cast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_tests "/root/repo/build/tests/integration_tests")
+set_tests_properties(integration_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;43;cast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_tests "/root/repo/build/tests/property_tests")
+set_tests_properties(property_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;48;cast_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_tests "/root/repo/build/tests/core_tests")
+set_tests_properties(core_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;57;cast_add_test;/root/repo/tests/CMakeLists.txt;0;")

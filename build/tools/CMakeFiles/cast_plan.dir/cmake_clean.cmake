@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_plan.dir/cast_plan.cpp.o"
+  "CMakeFiles/cast_plan.dir/cast_plan.cpp.o.d"
+  "cast_plan"
+  "cast_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
