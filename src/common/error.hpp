@@ -33,6 +33,50 @@ public:
     explicit ValidationError(const std::string& what) : std::invalid_argument(what) {}
 };
 
+/// Thrown when a *simulated* execution fails for a modeled operational
+/// reason — an injected fault exhausted its retry budget, a preempted task
+/// ran out of re-execution attempts. Distinct from InvariantError (a bug in
+/// the model itself) so callers such as the failure-aware Deployer can
+/// retry or degrade instead of crashing. Carries the job/phase context of
+/// the failure when known.
+class SimulationError : public std::runtime_error {
+public:
+    explicit SimulationError(std::string detail, std::string job = "",
+                             std::string phase = "")
+        : std::runtime_error(compose(detail, job, phase)),
+          detail_(std::move(detail)),
+          job_(std::move(job)),
+          phase_(std::move(phase)) {}
+
+    /// The failure description without job/phase decoration.
+    [[nodiscard]] const std::string& detail() const { return detail_; }
+    /// Name of the failing job ("" when unknown).
+    [[nodiscard]] const std::string& job() const { return job_; }
+    /// Phase in which the failure occurred ("map", "stage_in", ...; "" when
+    /// unknown).
+    [[nodiscard]] const std::string& phase() const { return phase_; }
+
+    /// Re-raise with (job, phase) context attached; used by layers that
+    /// know more than the layer that threw.
+    [[nodiscard]] SimulationError with_context(std::string job, std::string phase) const {
+        return SimulationError(detail_, std::move(job), std::move(phase));
+    }
+
+private:
+    static std::string compose(const std::string& detail, const std::string& job,
+                               const std::string& phase) {
+        std::string what = "simulated failure";
+        if (!job.empty()) what += " in job '" + job + "'";
+        if (!phase.empty()) what += " during " + phase;
+        what += ": " + detail;
+        return what;
+    }
+
+    std::string detail_;
+    std::string job_;
+    std::string phase_;
+};
+
 namespace detail {
 
 [[noreturn]] inline void contract_fail_precondition(std::string_view expr,

@@ -26,7 +26,26 @@ CastResult plan_with(const model::PerfModelSet& models, const workload::Workload
         // constraint set by aligning every group on its leader's tier, so
         // the annealing start point is feasible.
         for (const auto& [group, members] : workload.reuse_groups()) {
-            const PlacementDecision lead = initial.decision(members.front());
+            PlacementDecision lead = initial.decision(members.front());
+            // A pinned member dictates the whole group's tier (Eq. 7 keeps
+            // the group together, the pin decides where). Two members pinned
+            // apart make the group unplaceable — report that, don't let the
+            // solver choke on an infeasible start.
+            std::optional<std::pair<std::size_t, cloud::StorageTier>> pinned;
+            for (std::size_t m : members) {
+                const auto& pin = workload.job(m).pinned_tier;
+                if (!pin) continue;
+                if (pinned && pinned->second != *pin) {
+                    throw ValidationError(
+                        "reuse group " + std::to_string(group) + " pins '" +
+                        workload.job(pinned->first).name + "' to " +
+                        std::string(cloud::tier_name(pinned->second)) + " but '" +
+                        workload.job(m).name + "' to " +
+                        std::string(cloud::tier_name(*pin)));
+                }
+                pinned = {m, *pin};
+                lead.tier = *pin;
+            }
             for (std::size_t m : members) initial.set_decision(m, lead);
         }
     }
@@ -106,6 +125,14 @@ WorkflowEvaluation WorkflowEvaluator::evaluate(const WorkflowPlan& plan) const {
     for (const auto& d : plan.decisions) d.validate();
 
     WorkflowEvaluation eval;
+    for (std::size_t i = 0; i < workflow_.size(); ++i) {
+        const auto& job = workflow_.jobs()[i];
+        if (job.pinned_tier && *job.pinned_tier != plan.decisions[i].tier) {
+            eval.infeasibility = "job '" + job.name + "' is pinned to " +
+                                 std::string(cloud::tier_name(*job.pinned_tier));
+            return eval;
+        }
+    }
     const int nvm = models_->cluster().worker_count;
 
     // --- Capacities (Eq. 10 + deployment conventions).

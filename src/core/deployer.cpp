@@ -1,31 +1,184 @@
 #include "core/deployer.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace cast::core {
 
 namespace {
 using cloud::StorageTier;
 using cloud::tier_index;
+
+std::string fault_summary(const std::string& job_name, const sim::FaultStats& f) {
+    std::string s = "job '" + job_name + "': " + std::to_string(f.task_retries) +
+                    " task re-executions, " + std::to_string(f.request_retries) +
+                    " request retries, " + std::to_string(f.stragglers) + " stragglers, " +
+                    std::to_string(f.throttle_events) + " throttle events";
+    if (f.backoff_delay.value() > 0.0) {
+        s += ", " + std::to_string(f.backoff_delay.value()) + "s backoff";
+    }
+    return s;
+}
+
+void validate_decisions(const std::vector<PlacementDecision>& decisions,
+                        const workload::Workload& workload) {
+    if (decisions.size() != workload.size()) {
+        throw ValidationError("plan has " + std::to_string(decisions.size()) +
+                              " decisions for " + std::to_string(workload.size()) + " jobs");
+    }
+    for (std::size_t i = 0; i < decisions.size(); ++i) {
+        const auto& d = decisions[i];
+        const auto& job = workload.job(i);
+        if (!std::isfinite(d.overprovision) || d.overprovision < 1.0) {
+            throw ValidationError("job '" + job.name + "': over-provisioning factor " +
+                                  std::to_string(d.overprovision) +
+                                  " is not a finite value >= 1");
+        }
+        if (job.pinned_tier && *job.pinned_tier != d.tier) {
+            throw ValidationError("job '" + job.name + "' is pinned to " +
+                                  std::string(cloud::tier_name(*job.pinned_tier)) +
+                                  " but the plan places it on " +
+                                  std::string(cloud::tier_name(d.tier)));
+        }
+    }
+}
+
+/// A workflow has no pinned-tier or reuse metadata beyond its job specs;
+/// reuse the same per-decision checks.
+void validate_decisions(const std::vector<PlacementDecision>& decisions,
+                        const std::vector<workload::JobSpec>& jobs) {
+    validate_decisions(decisions, workload::Workload(jobs));
+}
+
+/// Account for a degraded job: its primary data moves to the backing object
+/// store (billed there), and intermediates need the conventional persSSD
+/// volume to exist.
+CapacityBreakdown augment_for_degradation(CapacityBreakdown caps,
+                                          const workload::JobSpec& job, int worker_count) {
+    const GigaBytes inter_vol =
+        cloud::object_store_intermediate_volume(job.intermediate(), worker_count);
+    const std::size_t pers = tier_index(StorageTier::kPersistentSsd);
+    if (caps.per_vm[pers].value() < inter_vol.value()) {
+        caps.per_vm[pers] = inter_vol;
+        caps.aggregate[pers] = GigaBytes{inter_vol.value() * worker_count};
+    }
+    const std::size_t obj = tier_index(StorageTier::kObjectStore);
+    caps.aggregate[obj] += job.capacity_requirement();
+    caps.per_vm[obj] += GigaBytes{job.capacity_requirement().value() / worker_count};
+    return caps;
+}
+
 }  // namespace
 
 sim::ClusterSim Deployer::make_sim(const model::PerfModelSet& models,
-                                   const CapacityBreakdown& caps) const {
+                                   const CapacityBreakdown& caps,
+                                   const sim::SimOptions& options) const {
     sim::TierCapacities tc;
     for (StorageTier t : cloud::kAllTiers) {
         tc.set(t, caps.per_vm[tier_index(t)]);
     }
-    return sim::ClusterSim(models.cluster(), models.catalog(), tc, sim_options_);
+    return sim::ClusterSim(models.cluster(), models.catalog(), tc, options);
+}
+
+void Deployer::validate_plan(const PlanEvaluator& evaluator, const TieringPlan& plan) {
+    validate_decisions(plan.decisions(), evaluator.workload());
+    // Provisioning rules (per-VM volume maxima, whole-volume rounding) can
+    // reject a decision; surface that before any job runs.
+    (void)evaluator.capacities(plan);
+}
+
+void Deployer::validate_workflow_plan(const WorkflowEvaluator& evaluator,
+                                      const WorkflowPlan& plan) {
+    validate_decisions(plan.decisions, evaluator.workflow().jobs());
+    const WorkflowEvaluation modeled = evaluator.evaluate(plan);
+    if (!modeled.feasible) {
+        throw ValidationError("cannot deploy an infeasible workflow plan: " +
+                              modeled.infeasibility);
+    }
+}
+
+Deployer::JobRun Deployer::run_with_policy(const model::PerfModelSet& models,
+                                           const CapacityBreakdown& caps,
+                                           const sim::ClusterSim& primary,
+                                           const sim::JobPlacement& placement,
+                                           std::size_t job_index, int* retry_count,
+                                           std::vector<std::string>* fault_log) const {
+    const workload::JobSpec& job = placement.job;
+    JobRun out;
+    std::string last_error;
+    for (int attempt = 0; attempt < policy_.max_job_attempts; ++attempt) {
+        try {
+            if (attempt == 0) {
+                out.result = primary.run_job(placement);
+            } else {
+                // A fresh execution sees fresh luck: salt the fault stream
+                // (and only it — determinism of the deployment is preserved
+                // because the salt depends only on the attempt number).
+                sim::SimOptions salted = sim_options_;
+                salted.faults.seed ^=
+                    0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(attempt);
+                out.result = make_sim(models, caps, salted).run_job(placement);
+            }
+            if (out.result.faults.any()) {
+                fault_log->push_back(fault_summary(job.name, out.result.faults));
+            }
+            return out;
+        } catch (const SimulationError& e) {
+            last_error = e.what();
+            ++*retry_count;
+            if (attempt + 1 < policy_.max_job_attempts) {
+                Seconds wait = policy_.retry_backoff_base;
+                for (int i = 0; i < attempt; ++i) {
+                    wait = Seconds{wait.value() * policy_.retry_backoff_multiplier};
+                }
+                out.backoff += wait;
+                fault_log->push_back("job '" + job.name + "' attempt " +
+                                     std::to_string(attempt + 1) + " failed (" + e.phase() +
+                                     "): retrying after " + std::to_string(wait.value()) +
+                                     "s backoff");
+            }
+        }
+    }
+
+    const bool already_on_backing_store =
+        !placement.input_splits.empty() &&
+        placement.input_splits.front().tier == StorageTier::kObjectStore;
+    if (!policy_.degrade_to_backing_store || already_on_backing_store) {
+        throw SimulationError("job failed " + std::to_string(policy_.max_job_attempts) +
+                                       " executions; last: " + last_error,
+                                   job.name, "deploy");
+    }
+
+    // Graceful degradation: re-home the job's data to the durable backing
+    // object store and run it there fault-free (the backing store is the
+    // reliability anchor of the paper's tiering conventions — ephSSD data
+    // is *defined* as recoverable from it).
+    fault_log->push_back("job '" + job.name + "' degraded to " +
+                         std::string(cloud::tier_name(StorageTier::kObjectStore)) +
+                         " after " + std::to_string(policy_.max_job_attempts) +
+                         " failed executions");
+    const int nvm = models.cluster().worker_count;
+    const CapacityBreakdown degraded_caps = augment_for_degradation(caps, job, nvm);
+    sim::SimOptions calm = sim_options_;
+    calm.faults = sim::FaultProfile::none();
+    const sim::JobPlacement fallback =
+        sim::JobPlacement::on_tier(job, StorageTier::kObjectStore);
+    out.result = make_sim(models, degraded_caps, calm).run_job(fallback);
+    out.degraded = true;
+    (void)job_index;
+    return out;
 }
 
 WorkloadDeployment Deployer::deploy(const PlanEvaluator& evaluator,
                                     const TieringPlan& plan) const {
+    validate_plan(evaluator, plan);
     const auto& workload = evaluator.workload();
-    CAST_EXPECTS(plan.size() == workload.size());
 
     WorkloadDeployment dep;
     dep.capacities = evaluator.capacities(plan);
-    const sim::ClusterSim simulator = make_sim(evaluator.models(), dep.capacities);
+    const sim::ClusterSim simulator =
+        make_sim(evaluator.models(), dep.capacities, sim_options_);
 
     std::vector<sim::JobPlacement> placements;
     placements.reserve(workload.size());
@@ -37,9 +190,20 @@ WorkloadDeployment Deployer::deploy(const PlanEvaluator& evaluator,
         if (p.stage_in) p.stage_in = evaluator.pays_input_download(i);
         placements.push_back(std::move(p));
     }
-    dep.job_results = simulator.run_serial(placements);
+
     Seconds total{0.0};
-    for (const auto& r : dep.job_results) total += r.makespan;
+    dep.job_results.reserve(placements.size());
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+        JobRun run = run_with_policy(evaluator.models(), dep.capacities, simulator,
+                                     placements[i], i, &dep.retry_count, &dep.fault_log);
+        if (run.degraded) {
+            dep.degraded_jobs.push_back(i);
+            dep.capacities = augment_for_degradation(dep.capacities, workload.job(i),
+                                                     evaluator.models().cluster().worker_count);
+        }
+        total += run.result.makespan + run.backoff;
+        dep.job_results.push_back(std::move(run.result));
+    }
     dep.total_runtime = total;
     const auto [vm, store] = evaluator.costs_for(total, dep.capacities);
     dep.vm_cost = vm;
@@ -50,17 +214,17 @@ WorkloadDeployment Deployer::deploy(const PlanEvaluator& evaluator,
 
 WorkflowDeployment Deployer::deploy_workflow(const WorkflowEvaluator& evaluator,
                                              const WorkflowPlan& plan) const {
+    validate_workflow_plan(evaluator, plan);
     const auto& wf = evaluator.workflow();
-    CAST_EXPECTS(plan.decisions.size() == wf.size());
 
     // Capacity breakdown comes from the workflow evaluator (Eq. 10 +
     // conventions); reuse its provisioning by evaluating once.
     const WorkflowEvaluation modeled = evaluator.evaluate(plan);
-    CAST_EXPECTS_MSG(modeled.feasible, "cannot deploy an infeasible workflow plan");
 
     WorkflowDeployment dep;
     dep.capacities = modeled.capacities;
-    const sim::ClusterSim simulator = make_sim(evaluator.models(), dep.capacities);
+    const sim::ClusterSim simulator =
+        make_sim(evaluator.models(), dep.capacities, sim_options_);
 
     Seconds total{0.0};
     dep.job_results.resize(wf.size());
@@ -74,15 +238,30 @@ WorkflowDeployment Deployer::deploy_workflow(const WorkflowEvaluator& evaluator,
             p.stage_in = wf.predecessors(i).empty();
             p.stage_out = wf.successors(i).empty();
         }
-        dep.job_results[i] = simulator.run_job(p);
-        total += dep.job_results[i].makespan;
+        JobRun run = run_with_policy(evaluator.models(), dep.capacities, simulator, p, i,
+                                     &dep.retry_count, &dep.fault_log);
+        if (run.degraded) {
+            dep.degraded_jobs.push_back(i);
+            dep.capacities = augment_for_degradation(dep.capacities, wf.jobs()[i],
+                                                     evaluator.models().cluster().worker_count);
+        }
+        total += run.result.makespan + run.backoff;
+        dep.job_results[i] = std::move(run.result);
     }
     dep.transfer_times.reserve(wf.edges().size());
     for (const auto& edge : wf.edges()) {
         const std::size_t u = wf.index_of(edge.from_job);
         const std::size_t v = wf.index_of(edge.to_job);
-        const StorageTier su = plan.decisions[u].tier;
-        const StorageTier sv = plan.decisions[v].tier;
+        // A degraded producer's output now lives on the backing store, so
+        // the consumer fetches from there instead of the planned tier.
+        auto degraded = [&](std::size_t idx) {
+            return std::find(dep.degraded_jobs.begin(), dep.degraded_jobs.end(), idx) !=
+                   dep.degraded_jobs.end();
+        };
+        const StorageTier su =
+            degraded(u) ? StorageTier::kObjectStore : plan.decisions[u].tier;
+        const StorageTier sv =
+            degraded(v) ? StorageTier::kObjectStore : plan.decisions[v].tier;
         Seconds t{0.0};
         if (su != sv) t = simulator.run_transfer(wf.jobs()[u].output(), su, sv);
         dep.transfer_times.push_back(t);

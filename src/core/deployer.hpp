@@ -8,8 +8,17 @@
 // reports *measured* runtime, cost, utility and deadline compliance using
 // the same Eq. 5-6 cost formulas the solver optimizes, so modeled and
 // measured numbers are directly comparable (Fig. 7-9).
+//
+// The Deployer is failure-aware: plans are validated up front (typed
+// ValidationError instead of a contract trap deep in the simulator), a job
+// whose injected faults exhaust the simulator's task-attempt budget is
+// retried with exponential backoff (a fresh execution sees fresh luck), and
+// a job that keeps failing degrades gracefully — its data is re-homed to
+// the durable backing object store instead of failing the whole workload.
+// Every such event lands in the deployment's fault_log.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/castpp.hpp"
@@ -19,6 +28,28 @@
 
 namespace cast::core {
 
+/// How the Deployer reacts to simulated failures. The defaults retry a few
+/// times and then fall back to the backing store; `max_job_attempts = 1`
+/// with degradation off reproduces fail-fast behaviour.
+struct DeployPolicy {
+    /// Executions of one job before declaring its placement failed
+    /// (includes the first run).
+    int max_job_attempts = 3;
+    /// Wall-clock backoff between job re-executions; grows geometrically.
+    Seconds retry_backoff_base{30.0};
+    double retry_backoff_multiplier = 2.0;
+    /// After the attempt budget, re-home the job to the backing object
+    /// store (durable, always reachable) instead of propagating the error.
+    bool degrade_to_backing_store = true;
+
+    void validate() const {
+        CAST_EXPECTS_MSG(max_job_attempts >= 1, "need at least one job attempt");
+        CAST_EXPECTS_MSG(retry_backoff_base.value() >= 0.0,
+                         "retry backoff must be non-negative");
+        CAST_EXPECTS_MSG(retry_backoff_multiplier >= 1.0, "retry backoff must not shrink");
+    }
+};
+
 struct WorkloadDeployment {
     Seconds total_runtime{0.0};
     Dollars vm_cost{0.0};
@@ -26,6 +57,13 @@ struct WorkloadDeployment {
     double utility = 0.0;
     CapacityBreakdown capacities;
     std::vector<sim::JobResult> job_results;
+    /// Indices of jobs re-homed to the backing object store after their
+    /// planned tier kept failing.
+    std::vector<std::size_t> degraded_jobs;
+    /// Job re-executions the deployer performed (stage-leg and whole-job).
+    int retry_count = 0;
+    /// Human-readable record of every fault handled during deployment.
+    std::vector<std::string> fault_log;
 
     [[nodiscard]] Dollars total_cost() const { return vm_cost + storage_cost; }
 };
@@ -38,16 +76,24 @@ struct WorkflowDeployment {
     CapacityBreakdown capacities;
     std::vector<sim::JobResult> job_results;   // workflow job order
     std::vector<Seconds> transfer_times;       // workflow edge order
+    std::vector<std::size_t> degraded_jobs;    // workflow job indices
+    int retry_count = 0;
+    std::vector<std::string> fault_log;
 
     [[nodiscard]] Dollars total_cost() const { return vm_cost + storage_cost; }
 };
 
 class Deployer {
 public:
-    explicit Deployer(sim::SimOptions sim_options = {}) : sim_options_(sim_options) {}
+    explicit Deployer(sim::SimOptions sim_options = {}, DeployPolicy policy = {})
+        : sim_options_(sim_options), policy_(policy) {
+        policy_.validate();
+    }
 
     /// Deploy a workload plan: provision per the evaluator's capacity
-    /// breakdown, run all jobs serially, measure.
+    /// breakdown, run all jobs serially, measure. Validates the plan first;
+    /// throws ValidationError on a malformed plan and SimulationError only
+    /// when a job fails beyond the policy's retry/degradation budget.
     [[nodiscard]] WorkloadDeployment deploy(const PlanEvaluator& evaluator,
                                             const TieringPlan& plan) const;
 
@@ -56,13 +102,39 @@ public:
     [[nodiscard]] WorkflowDeployment deploy_workflow(const WorkflowEvaluator& evaluator,
                                                      const WorkflowPlan& plan) const;
 
+    /// Pre-flight validation of a workload plan: size mismatch, non-finite
+    /// or sub-1 over-provisioning factors, violated tier pins, and
+    /// unprovisionable capacities all raise ValidationError naming the
+    /// offending job.
+    static void validate_plan(const PlanEvaluator& evaluator, const TieringPlan& plan);
+
+    /// Pre-flight validation of a workflow plan (same checks, plus model
+    /// feasibility which the workflow evaluator reports).
+    static void validate_workflow_plan(const WorkflowEvaluator& evaluator,
+                                       const WorkflowPlan& plan);
+
 private:
     /// Build the simulator with the plan's per-VM capacities (persSSD floor
     /// for objStore intermediates included by the evaluators).
     [[nodiscard]] sim::ClusterSim make_sim(const model::PerfModelSet& models,
-                                           const CapacityBreakdown& caps) const;
+                                           const CapacityBreakdown& caps,
+                                           const sim::SimOptions& options) const;
+
+    /// Run one job with the policy's retry/backoff/degradation semantics.
+    struct JobRun {
+        sim::JobResult result;
+        Seconds backoff{0.0};  // injected wall-clock wait between attempts
+        bool degraded = false;
+    };
+    [[nodiscard]] JobRun run_with_policy(const model::PerfModelSet& models,
+                                         const CapacityBreakdown& caps,
+                                         const sim::ClusterSim& primary,
+                                         const sim::JobPlacement& placement,
+                                         std::size_t job_index, int* retry_count,
+                                         std::vector<std::string>* fault_log) const;
 
     sim::SimOptions sim_options_;
+    DeployPolicy policy_;
 };
 
 }  // namespace cast::core

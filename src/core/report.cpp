@@ -10,6 +10,16 @@ namespace cast::core {
 namespace {
 using cloud::StorageTier;
 using cloud::tier_index;
+
+/// Shared fault section for workload/workflow deployments: silent when the
+/// deployment saw no faults, so fault-free reports are unchanged.
+void write_fault_section(int retry_count, const std::vector<std::size_t>& degraded_jobs,
+                         const std::vector<std::string>& fault_log, std::ostream& os) {
+    if (retry_count == 0 && degraded_jobs.empty() && fault_log.empty()) return;
+    os << "\nfault handling: " << retry_count << " job re-execution(s), "
+       << degraded_jobs.size() << " job(s) degraded to the backing store\n";
+    for (const auto& line : fault_log) os << "  - " << line << "\n";
+}
 }  // namespace
 
 void write_capacity_bill(const CapacityBreakdown& caps, Seconds runtime,
@@ -95,6 +105,8 @@ void write_deployment_report(const PlanEvaluator& evaluator, const TieringPlan& 
     os << "\n\nprovisioning bill (billed on measured runtime):\n";
     write_capacity_bill(measured.capacities, measured.total_runtime,
                         evaluator.models().catalog(), os);
+    write_fault_section(measured.retry_count, measured.degraded_jobs, measured.fault_log,
+                        os);
 }
 
 void write_workflow_report(const WorkflowEvaluator& evaluator, const WorkflowPlan& plan,
@@ -128,6 +140,8 @@ void write_workflow_report(const WorkflowEvaluator& evaluator, const WorkflowPla
         }
         edges.print(os);
     }
+    write_fault_section(measured.retry_count, measured.degraded_jobs, measured.fault_log,
+                        os);
 }
 
 }  // namespace cast::core

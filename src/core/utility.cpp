@@ -116,6 +116,14 @@ PlanEvaluation PlanEvaluator::evaluate(const TieringPlan& plan) const {
         eval.infeasibility = "plan splits a reuse group across tiers (violates Eq. 7)";
         return eval;
     }
+    for (std::size_t i = 0; i < workload_.size(); ++i) {
+        const auto& job = workload_.job(i);
+        if (job.pinned_tier && *job.pinned_tier != plan.decision(i).tier) {
+            eval.infeasibility = "job '" + job.name + "' is pinned to " +
+                                 std::string(cloud::tier_name(*job.pinned_tier));
+            return eval;
+        }
+    }
     try {
         eval.capacities = capacities(plan);
     } catch (const ValidationError& e) {

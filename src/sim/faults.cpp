@@ -1,0 +1,77 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cast::sim {
+
+FaultProfile FaultProfile::scaled(double intensity, std::uint64_t seed, Seconds horizon) {
+    CAST_EXPECTS_MSG(intensity >= 0.0 && intensity <= 1.0, "intensity must be in [0, 1]");
+    CAST_EXPECTS_MSG(horizon.value() > 0.0, "horizon must be positive");
+    FaultProfile p;
+    p.seed = seed;
+    if (intensity <= 0.0) return p;  // enabled() == false: exact seed behaviour
+
+    p.object_store_error_rate = 0.03 * intensity;
+    p.task_kill_prob = 0.01 * intensity;
+    p.straggler_prob = 0.05 * intensity;
+    p.straggler_factor = 1.0 + 2.0 * intensity;
+
+    // Throttling: each tier suffers periodic incident windows whose depth
+    // and width grow with intensity. Offsets are jittered per tier from the
+    // profile seed so tiers do not throttle in lock-step.
+    Rng rng = Rng(seed).fork(0x7468726f74ULL);  // "throt"
+    const double period_s = 300.0;
+    const double duration_s = 20.0 + 70.0 * intensity;
+    const double factor = std::max(0.25, 1.0 - 0.6 * intensity);
+    for (cloud::StorageTier tier : cloud::kAllTiers) {
+        const double offset = rng.uniform(0.0, period_s);
+        for (double t = offset; t < horizon.value(); t += period_s) {
+            p.episodes.push_back(ThrottleEpisode{tier, Seconds{t}, Seconds{duration_s},
+                                                 factor});
+        }
+    }
+    return p;
+}
+
+AttemptFaults FaultInjector::on_attempt(std::size_t task, int attempt) {
+    AttemptFaults a;
+    const FaultProfile& p = *profile_;
+    if (attempt > 0) ++stats_.task_retries;
+
+    // Straggler amplification: the attempt runs, just slowly.
+    if (p.straggler_prob > 0.0 && rng_.uniform() < p.straggler_prob) {
+        a.demand_scale = p.straggler_factor;
+        ++stats_.stragglers;
+    }
+
+    // VM preemption / task kill: the attempt completes its work and is then
+    // thrown away (we charge the full demand — the paper's speculative-
+    // execution tail comes from exactly this wasted work).
+    if (p.task_kill_prob > 0.0 && rng_.uniform() < p.task_kill_prob) {
+        a.fail = true;
+    }
+
+    // Object-store request errors: each request retries with exponential
+    // backoff; a request that exhausts its retries fails the attempt.
+    if (p.object_store_error_rate > 0.0 && requests_) {
+        const int n = static_cast<int>(std::llround(requests_(task)));
+        for (int r = 0; r < n; ++r) {
+            int tries = 0;
+            while (rng_.uniform() < p.object_store_error_rate) {
+                if (tries >= p.retry.max_request_retries) {
+                    a.fail = true;  // retries exhausted: task attempt fails
+                    break;
+                }
+                a.delay += p.retry.wait(tries, rng_.uniform());
+                ++tries;
+                ++stats_.request_retries;
+            }
+        }
+    }
+
+    stats_.backoff_delay += a.delay;
+    return a;
+}
+
+}  // namespace cast::sim

@@ -1,0 +1,214 @@
+// Deterministic fault injection for the cluster simulator.
+//
+// The seed simulator models a perfectly reliable cloud. Real object stores
+// throttle (429/503 episodes), VMs get preempted, tasks fail and re-execute
+// in extra waves, and some tasks simply straggle. A FaultProfile describes
+// those behaviours as seed-reproducible random processes; a FaultInjector
+// samples them in deterministic scheduling order so two runs with the same
+// profile produce bit-identical makespans and fault logs. An all-zero
+// profile is guaranteed to leave the simulator's output bit-identical to
+// the fault-free code path: every injection site is gated on
+// FaultProfile::enabled().
+//
+// The model has four ingredients:
+//   * throttling episodes  — a tier's bandwidth is cut to `rate_factor` of
+//     its provisioned value for a time window (applied to every pool of the
+//     tier: provider-side incidents are correlated across VMs);
+//   * per-request object-store errors — each objStore request fails with
+//     probability `object_store_error_rate` and is retried with capped
+//     exponential backoff + jitter; a request that exhausts its retries
+//     fails the whole task attempt;
+//   * task kills / VM preemptions — a task attempt is killed with
+//     probability `task_kill_prob` and rejoins its VM's wave queue, exactly
+//     like a Hadoop re-execution (this is what grows the tail);
+//   * straggler amplification — with probability `straggler_prob` a task
+//     attempt's demands are multiplied by `straggler_factor`.
+// A task attempt that fails re-executes up to `task_max_attempts` times;
+// exhausting the budget raises SimulationError (the "injected fault beat
+// the retry policy" signal the failure-aware Deployer reacts to).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cloud/storage.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace cast::sim {
+
+/// One transient throttling window: during [start, start + duration) the
+/// tier delivers only `rate_factor` of its provisioned bandwidth. Times are
+/// relative to job start (each job runs on a fresh engine clock).
+struct ThrottleEpisode {
+    cloud::StorageTier tier = cloud::StorageTier::kObjectStore;
+    Seconds start{0.0};
+    Seconds duration{0.0};
+    double rate_factor = 1.0;  // in (0, 1]; 1 = no throttling
+
+    void validate() const {
+        CAST_EXPECTS_MSG(start.value() >= 0.0, "episode start must be non-negative");
+        CAST_EXPECTS_MSG(duration.value() >= 0.0, "episode duration must be non-negative");
+        CAST_EXPECTS_MSG(rate_factor > 0.0 && rate_factor <= 1.0,
+                         "episode rate factor must be in (0, 1]");
+    }
+};
+
+/// Exponential-backoff retry policy for transient object-store request
+/// errors (the connector's 429/503 handling).
+struct RetryPolicy {
+    int max_request_retries = 4;     // retries per request before giving up
+    Seconds backoff_base{0.5};       // first backoff
+    double backoff_multiplier = 2.0; // growth per retry
+    double backoff_jitter = 0.25;    // uniform +-fraction applied to each wait
+
+    void validate() const {
+        CAST_EXPECTS_MSG(max_request_retries >= 0, "retry count must be non-negative");
+        CAST_EXPECTS_MSG(backoff_base.value() >= 0.0, "backoff base must be non-negative");
+        CAST_EXPECTS_MSG(backoff_multiplier >= 1.0, "backoff must not shrink");
+        CAST_EXPECTS_MSG(backoff_jitter >= 0.0 && backoff_jitter < 1.0,
+                         "backoff jitter must be in [0, 1)");
+    }
+
+    /// Backoff before retry number `retry` (0-based), jittered by `u` in
+    /// [0, 1).
+    [[nodiscard]] Seconds wait(int retry, double u) const {
+        double w = backoff_base.value();
+        for (int i = 0; i < retry; ++i) w *= backoff_multiplier;
+        return Seconds{w * (1.0 + backoff_jitter * (2.0 * u - 1.0))};
+    }
+};
+
+/// Everything that can go wrong, as a seed-reproducible description. The
+/// default-constructed profile injects nothing.
+struct FaultProfile {
+    /// Seed of the fault sampling stream. Independent of SimOptions::seed so
+    /// enabling faults never perturbs the task-jitter stream.
+    std::uint64_t seed = 0;
+    /// Per-request objStore failure probability (429/503/connection reset).
+    double object_store_error_rate = 0.0;
+    /// Per-task-attempt kill probability (VM preemption, node blacklist).
+    double task_kill_prob = 0.0;
+    /// Per-task-attempt straggler probability and demand multiplier.
+    double straggler_prob = 0.0;
+    double straggler_factor = 1.0;  // >= 1
+    /// Task attempts before the job is declared failed (Hadoop's
+    /// mapred.map.max.attempts default).
+    int task_max_attempts = 4;
+    RetryPolicy retry;
+    std::vector<ThrottleEpisode> episodes;
+
+    /// True iff the profile can perturb a simulation at all. Every
+    /// injection site is gated on this, which is what guarantees the
+    /// all-zero profile reproduces the seed simulator bit-for-bit.
+    [[nodiscard]] bool enabled() const {
+        return object_store_error_rate > 0.0 || task_kill_prob > 0.0 ||
+               (straggler_prob > 0.0 && straggler_factor != 1.0) || !episodes.empty();
+    }
+
+    void validate() const {
+        CAST_EXPECTS_MSG(object_store_error_rate >= 0.0 && object_store_error_rate < 1.0,
+                         "objStore error rate must be in [0, 1)");
+        CAST_EXPECTS_MSG(task_kill_prob >= 0.0 && task_kill_prob < 1.0,
+                         "task kill probability must be in [0, 1)");
+        CAST_EXPECTS_MSG(straggler_prob >= 0.0 && straggler_prob <= 1.0,
+                         "straggler probability must be in [0, 1]");
+        CAST_EXPECTS_MSG(straggler_factor >= 1.0, "stragglers cannot speed tasks up");
+        CAST_EXPECTS_MSG(task_max_attempts >= 1, "need at least one task attempt");
+        retry.validate();
+        for (const auto& e : episodes) e.validate();
+    }
+
+    [[nodiscard]] static FaultProfile none() { return {}; }
+
+    /// A one-knob profile for sweeps: intensity 0 is fault-free, 1 is a
+    /// severe incident day. Episode placement is derived from `seed`, so
+    /// the whole sweep is reproducible.
+    [[nodiscard]] static FaultProfile scaled(double intensity, std::uint64_t seed,
+                                             Seconds horizon = Seconds::from_hours(2.0));
+};
+
+/// What the injector did to one job — surfaced through JobResult and
+/// aggregated into the Deployer's fault log.
+struct FaultStats {
+    int task_retries = 0;      // task attempts re-executed (kills + exhausted requests)
+    int request_retries = 0;   // objStore requests retried
+    int stragglers = 0;        // attempts amplified
+    int throttle_events = 0;   // capacity-change events that fired during the job
+    Seconds backoff_delay{0.0};  // total injected retry/backoff wait
+
+    [[nodiscard]] bool any() const {
+        return task_retries > 0 || request_retries > 0 || stragglers > 0 ||
+               throttle_events > 0 || backoff_delay.value() > 0.0;
+    }
+
+    FaultStats& operator+=(const FaultStats& o) {
+        task_retries += o.task_retries;
+        request_retries += o.request_retries;
+        stragglers += o.stragglers;
+        throttle_events += o.throttle_events;
+        backoff_delay += o.backoff_delay;
+        return *this;
+    }
+
+    [[nodiscard]] friend bool operator==(const FaultStats& a, const FaultStats& b) {
+        return a.task_retries == b.task_retries && a.request_retries == b.request_retries &&
+               a.stragglers == b.stragglers && a.throttle_events == b.throttle_events &&
+               a.backoff_delay.value() == b.backoff_delay.value();
+    }
+};
+
+/// Sampled plan for one task attempt, consumed by run_phase.
+struct AttemptFaults {
+    double demand_scale = 1.0;  // straggler amplification of every segment
+    Seconds delay{0.0};         // retry/backoff wait charged before the segments
+    bool fail = false;          // attempt fails on completion; task re-executes
+};
+
+/// Hook run_phase consults per task attempt. Kept abstract so tests can
+/// script exact fault sequences.
+class TaskFaultModel {
+public:
+    virtual ~TaskFaultModel() = default;
+    /// Called once per (task, attempt) in deterministic scheduling order,
+    /// just before the attempt occupies its slot.
+    virtual AttemptFaults on_attempt(std::size_t task, int attempt) = 0;
+    /// Attempts allowed per task before run_phase raises SimulationError.
+    [[nodiscard]] virtual int max_attempts() const = 0;
+};
+
+/// Samples a FaultProfile for one job. Construct one per job with a
+/// distinct `stream` (the job id), then point it at each phase in turn via
+/// begin_phase(); the per-task objStore request count is a callback because
+/// fine-grained input splits give different tasks different tiers.
+class FaultInjector final : public TaskFaultModel {
+public:
+    using RequestCountFn = std::function<double(std::size_t task)>;
+
+    FaultInjector(const FaultProfile& profile, std::uint64_t stream)
+        : profile_(&profile), rng_(Rng(profile.seed).fork(stream)) {
+        profile.validate();
+    }
+
+    /// Enter a phase: subsequent attempts charge `requests` objStore
+    /// requests per task (nullptr = no objStore requests in this phase).
+    void begin_phase(RequestCountFn requests) { requests_ = std::move(requests); }
+
+    AttemptFaults on_attempt(std::size_t task, int attempt) override;
+    [[nodiscard]] int max_attempts() const override { return profile_->task_max_attempts; }
+
+    [[nodiscard]] const FaultStats& stats() const { return stats_; }
+    /// Engine-side throttle event count is known only after the run;
+    /// ClusterSim folds it in before reporting.
+    void record_throttle_events(int n) { stats_.throttle_events += n; }
+
+private:
+    const FaultProfile* profile_;
+    Rng rng_;
+    FaultStats stats_;
+    RequestCountFn requests_;
+};
+
+}  // namespace cast::sim

@@ -71,6 +71,31 @@ public:
         return flows_[f].done;
     }
 
+    /// Schedule a capacity change: at absolute engine time `at`, `res` will
+    /// deliver `capacity` MB/s. Used by fault injection to model throttling
+    /// episodes (schedule the cut at episode start and the restore at its
+    /// end). Events never complete flows by themselves; advance() stops at
+    /// each event boundary, re-water-fills, and continues to the next flow
+    /// completion. Events in the past apply on the next advance().
+    void schedule_capacity_change(ResourceId res, Seconds at, MBytesPerSec capacity) {
+        CAST_EXPECTS(res < resources_.size());
+        CAST_EXPECTS_MSG(capacity.value() > 0.0, "throttled capacity must stay positive");
+        const CapacityEvent ev{at.value(), res, capacity.value()};
+        // Keep sorted by time, insertion order preserved for ties.
+        auto it = std::upper_bound(
+            events_.begin() + static_cast<std::ptrdiff_t>(next_event_), events_.end(), ev,
+            [](const CapacityEvent& a, const CapacityEvent& b) { return a.at < b.at; });
+        events_.insert(it, ev);
+    }
+
+    /// Capacity-change events that have fired so far (fault-log accounting).
+    [[nodiscard]] std::size_t applied_capacity_events() const { return next_event_; }
+
+    [[nodiscard]] double resource_capacity(ResourceId res) const {
+        CAST_EXPECTS(res < resources_.size());
+        return resources_[res].capacity_mbps;
+    }
+
     [[nodiscard]] Seconds now() const { return Seconds{now_}; }
 
     [[nodiscard]] std::size_t active_flow_count() const {
@@ -88,30 +113,53 @@ public:
             return completed;
         }
         if (active_.empty()) return completed;
-        recompute_rates();
-        double min_dt = std::numeric_limits<double>::infinity();
-        for (FlowId i : active_) {
-            const Flow& f = flows_[i];
-            CAST_ENSURES_MSG(f.rate > 0.0, "active flow has zero rate");
-            min_dt = std::min(min_dt, f.remaining_mb / f.rate);
-        }
-        now_ += min_dt;
-        std::size_t keep = 0;
-        for (std::size_t k = 0; k < active_.size(); ++k) {
-            const FlowId id = active_[k];
-            Flow& f = flows_[id];
-            f.remaining_mb -= f.rate * min_dt;
-            if (f.remaining_mb <= kCompletionEpsilonMb) {
-                f.remaining_mb = 0.0;
-                f.done = true;
-                completed.push_back(id);
-            } else {
-                active_[keep++] = id;
+        while (completed.empty()) {
+            // Apply any capacity events that are due (at or before now).
+            while (next_event_ < events_.size() && events_[next_event_].at <= now_) {
+                apply_event(events_[next_event_++]);
             }
+            recompute_rates();
+            double min_dt = std::numeric_limits<double>::infinity();
+            for (FlowId i : active_) {
+                const Flow& f = flows_[i];
+                CAST_ENSURES_MSG(f.rate > 0.0, "active flow has zero rate");
+                min_dt = std::min(min_dt, f.remaining_mb / f.rate);
+            }
+            // Stop at the next capacity event if it arrives strictly before
+            // the earliest completion: drain flows partially, re-share, go
+            // around again. (Ties favour the completion; the event then
+            // fires at the top of the next iteration or call.)
+            if (next_event_ < events_.size()) {
+                const double ev_dt = events_[next_event_].at - now_;
+                if (ev_dt < min_dt) {
+                    now_ += ev_dt;
+                    for (FlowId id : active_) {
+                        Flow& f = flows_[id];
+                        f.remaining_mb = std::max(0.0, f.remaining_mb - f.rate * ev_dt);
+                    }
+                    apply_event(events_[next_event_++]);
+                    rates_dirty_ = true;
+                    continue;
+                }
+            }
+            now_ += min_dt;
+            std::size_t keep = 0;
+            for (std::size_t k = 0; k < active_.size(); ++k) {
+                const FlowId id = active_[k];
+                Flow& f = flows_[id];
+                f.remaining_mb -= f.rate * min_dt;
+                if (f.remaining_mb <= kCompletionEpsilonMb) {
+                    f.remaining_mb = 0.0;
+                    f.done = true;
+                    completed.push_back(id);
+                } else {
+                    active_[keep++] = id;
+                }
+            }
+            active_.resize(keep);
+            rates_dirty_ = true;
+            CAST_ENSURES_MSG(!completed.empty(), "time advanced without completing a flow");
         }
-        active_.resize(keep);
-        rates_dirty_ = true;
-        CAST_ENSURES_MSG(!completed.empty(), "time advanced without completing a flow");
         return completed;
     }
 
@@ -139,6 +187,16 @@ private:
         double rate;
         bool done;
     };
+
+    struct CapacityEvent {
+        double at;
+        ResourceId res;
+        double capacity_mbps;
+    };
+
+    void apply_event(const CapacityEvent& ev) {
+        resources_[ev.res].capacity_mbps = ev.capacity_mbps;
+    }
 
     /// Max-min fair allocation with per-flow caps, per resource
     /// (water-filling): repeatedly give every unfrozen flow an equal share;
@@ -173,6 +231,8 @@ private:
     std::vector<FlowId> active_;
     std::vector<FlowId> instantly_done_;
     std::vector<std::vector<FlowId>> per_resource_active_;
+    std::vector<CapacityEvent> events_;
+    std::size_t next_event_ = 0;
     double now_ = 0.0;
     bool rates_dirty_ = true;
 };

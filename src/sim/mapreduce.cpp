@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "sim/flow_engine.hpp"
 #include "sim/phase_runner.hpp"
@@ -60,6 +62,7 @@ ClusterSim::ClusterSim(cloud::ClusterSpec cluster, cloud::StorageCatalog catalog
       options_(options) {
     cluster_.validate();
     CAST_EXPECTS(options_.jitter_sigma >= 0.0);
+    options_.faults.validate();
     for (StorageTier t : cloud::kAllTiers) {
         const auto& service = catalog_.service(t);
         const GigaBytes per_vm = capacities_.of(t);
@@ -208,6 +211,48 @@ JobResult ClusterSim::run_job(const JobPlacement& placement) const {
         return options_.jitter_sigma > 0.0 ? rng.lognormal_jitter(options_.jitter_sigma) : 1.0;
     };
 
+    // Fault injection: a per-job injector with its own stream (so enabling
+    // faults never perturbs the jitter stream above), plus throttling
+    // episodes scheduled onto every pool of the affected tiers. All of it
+    // is gated on enabled(): a zero profile leaves this function
+    // bit-identical to the fault-free simulator.
+    std::optional<FaultInjector> injector;
+    if (options_.faults.enabled()) {
+        injector.emplace(options_.faults, static_cast<std::uint64_t>(job.id));
+        for (const auto& ep : options_.faults.episodes) {
+            if (ep.duration.value() <= 0.0 || ep.rate_factor >= 1.0) continue;
+            auto throttle_pool = [&](ResourceId rid) {
+                const double base = engine.resource_capacity(rid);
+                engine.schedule_capacity_change(rid, ep.start,
+                                                MBytesPerSec{base * ep.rate_factor});
+                engine.schedule_capacity_change(rid, ep.start + ep.duration,
+                                                MBytesPerSec{base});
+            };
+            if (ep.tier == StorageTier::kObjectStore) {
+                // Bucket-level incident: both directions of the shared service.
+                if (res.object_store_read) throttle_pool(*res.object_store_read);
+                if (res.object_store_write) throttle_pool(*res.object_store_write);
+            } else {
+                // Provider-side volume incident, correlated across VMs.
+                for (ResourceId rid : res.pools[tier_index(ep.tier)]) throttle_pool(rid);
+            }
+        }
+    }
+
+    // Run one phase through the injector (request counts are per-task
+    // because fine-grained splits give tasks different input tiers), and
+    // re-raise injected failures with (job, phase) context.
+    auto run_faulted = [&](const char* phase_name, std::vector<SimTask>&& tasks, int slots,
+                           FaultInjector::RequestCountFn requests) {
+        if (injector) injector->begin_phase(std::move(requests));
+        try {
+            return run_phase(engine, std::move(tasks), nvm, slots,
+                             injector ? &*injector : nullptr, res.unbounded);
+        } catch (const SimulationError& e) {
+            throw e.with_context(job.name, phase_name);
+        }
+    };
+
     const double input_mb = job.input.megabytes();
     const double inter_mb = job.intermediate().megabytes();
     const double output_mb = job.output().megabytes();
@@ -236,7 +281,10 @@ JobResult ClusterSim::run_job(const JobPlacement& placement) const {
                              per_vm_mb * jitter(), dest_bw}}});
             }
         }
-        phases.stage_in = run_phase(engine, std::move(tasks), nvm, /*slots_per_vm=*/2);
+        // Each stage task holds one bulk objStore session: one "request"
+        // that can hit a transient error and back off.
+        phases.stage_in = run_faulted("stage_in", std::move(tasks), /*slots=*/2,
+                                      [](std::size_t) { return 1.0; });
     }
 
     // Assign each map task an input tier according to the split fractions:
@@ -285,7 +333,14 @@ JobResult ClusterSim::run_job(const JobPlacement& placement) const {
                 }
                 tasks.push_back(std::move(task));
             }
-            phases.map += run_phase(engine, std::move(tasks), nvm, map_slots);
+            const double files_per_map = app.files_per_map_task();
+            phases.map += run_faulted(
+                "map", std::move(tasks), map_slots, [&, files_per_map](std::size_t t) {
+                    return input_tier_of_task(static_cast<int>(t)) ==
+                                   StorageTier::kObjectStore
+                               ? files_per_map
+                               : 0.0;
+                });
         }
 
         // ---- Shuffle phase: each reduce task fetches its partition of the
@@ -307,7 +362,8 @@ JobResult ClusterSim::run_job(const JobPlacement& placement) const {
                              std::min(app.shuffle_transfer_rate().value(),
                                       per_stream_cap(placement.intermediate_tier))}}});
             }
-            phases.shuffle += run_phase(engine, std::move(tasks), nvm, reduce_slots);
+            phases.shuffle += run_faulted("shuffle", std::move(tasks), reduce_slots,
+                                          /*requests=*/nullptr);
         }
 
         // ---- Reduce phase: merge-read the shuffled partition, compute,
@@ -359,7 +415,11 @@ JobResult ClusterSim::run_job(const JobPlacement& placement) const {
                 }
                 tasks.push_back(std::move(task));
             }
-            phases.reduce += run_phase(engine, std::move(tasks), nvm, reduce_slots);
+            const double files_per_reduce =
+                out_tier == StorageTier::kObjectStore ? app.files_per_reduce_task() : 0.0;
+            phases.reduce += run_faulted(
+                "reduce", std::move(tasks), reduce_slots,
+                [files_per_reduce](std::size_t) { return files_per_reduce; });
         }
     }
 
@@ -374,12 +434,18 @@ JobResult ClusterSim::run_job(const JobPlacement& placement) const {
                 {Segment{res.write_pool(StorageTier::kObjectStore, vm),
                          (output_mb / nvm) * jitter(), src_bw}}});
         }
-        phases.stage_out = run_phase(engine, std::move(tasks), nvm, /*slots_per_vm=*/2);
+        phases.stage_out = run_faulted("stage_out", std::move(tasks), /*slots=*/2,
+                                       [](std::size_t) { return 1.0; });
     }
 
     JobResult result;
     result.phases = phases;
     result.makespan = engine.now();
+    if (injector) {
+        injector->record_throttle_events(
+            static_cast<int>(engine.applied_capacity_events()));
+        result.faults = injector->stats();
+    }
     CAST_ENSURES(result.makespan.value() >= 0.0);
     CAST_ENSURES(approx_equal(result.makespan.value(), phases.total().value(), 1e-6));
     return result;

@@ -23,6 +23,7 @@
 #include "cloud/storage.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "sim/faults.hpp"
 #include "workload/job.hpp"
 
 namespace cast::sim {
@@ -81,12 +82,19 @@ struct PhaseTimes {
 struct JobResult {
     Seconds makespan{0.0};
     PhaseTimes phases;
+    /// What fault injection did to this job (all zeros when the profile is
+    /// disabled — the struct itself never perturbs the simulation).
+    FaultStats faults;
 };
 
 struct SimOptions {
     std::uint64_t seed = 42;
     /// Lognormal sigma of per-task demand jitter (0 = deterministic).
     double jitter_sigma = 0.06;
+    /// Injected failures (sim/faults.hpp). The default (all-zero) profile
+    /// leaves every simulation bit-identical to the fault-free simulator;
+    /// the fault stream is seeded by `faults.seed`, independent of `seed`.
+    FaultProfile faults{};
 };
 
 class ClusterSim {
@@ -98,7 +106,9 @@ public:
     [[nodiscard]] const TierCapacities& capacities() const { return capacities_; }
 
     /// Execute one job and report its measured phase times. Deterministic
-    /// for a given (options.seed, job id).
+    /// for a given (options.seed, options.faults, job id). Throws
+    /// SimulationError carrying (job, phase) context when an injected fault
+    /// outlives the task-attempt budget.
     [[nodiscard]] JobResult run_job(const JobPlacement& placement) const;
 
     /// Execute jobs back-to-back (the paper's workloads run as a serial

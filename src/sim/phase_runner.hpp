@@ -7,12 +7,20 @@
 // task on that VM. Unlike the analytical model's whole-wave quantization
 // (Eq. 1), slots free up task-by-task — one of the deliberate differences
 // that gives the model-accuracy experiment (Fig. 8) a real gap to measure.
+//
+// With a TaskFaultModel attached (sim/faults.hpp), each task attempt may be
+// amplified (stragglers), delayed (retry backoff) or failed outright; a
+// failed attempt re-joins the back of its VM's queue — a Hadoop
+// re-execution, which is what grows the tail into extra waves. A task that
+// exhausts its attempt budget raises SimulationError.
 #pragma once
 
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "sim/faults.hpp"
 #include "sim/flow_engine.hpp"
 
 namespace cast::sim {
@@ -33,8 +41,17 @@ struct SimTask {
 /// Run all tasks to completion under per-VM slot limits; returns the phase
 /// makespan (time from call to last task completion). The engine's clock
 /// carries across calls, so a caller can chain phases on one engine.
+///
+/// When `faults` is non-null, every task attempt is planned through it:
+/// its demand scale multiplies every segment, its delay is charged first
+/// (as a flow on `delay_resource`, which should be an uncontended resource
+/// with demand interpreted as seconds at rate 1), and a failing attempt
+/// re-enqueues the task at the back of its VM queue. A task whose attempts
+/// are exhausted raises SimulationError. A null `faults` leaves the seed
+/// scheduling bit-identical.
 inline Seconds run_phase(FlowEngine& engine, std::vector<SimTask> tasks, int vm_count,
-                         int slots_per_vm) {
+                         int slots_per_vm, TaskFaultModel* faults = nullptr,
+                         ResourceId delay_resource = 0) {
     CAST_EXPECTS(vm_count >= 1);
     CAST_EXPECTS(slots_per_vm >= 1);
     const Seconds start = engine.now();
@@ -64,9 +81,15 @@ inline Seconds run_phase(FlowEngine& engine, std::vector<SimTask> tasks, int vm_
     std::vector<int> free_slots(static_cast<std::size_t>(vm_count), slots_per_vm);
     std::size_t tasks_left = tasks.size();
 
-    auto start_segment = [&](std::size_t task_idx, std::size_t seg_idx) {
-        const Segment& seg = tasks[task_idx].segments[seg_idx];
-        const FlowId id = engine.start_flow(seg.resource, seg.demand_mb, seg.cap_mbps);
+    // Per-task fault state, allocated only when faults are injected.
+    std::vector<int> attempts;
+    std::vector<AttemptFaults> plans;
+    if (faults != nullptr) {
+        attempts.assign(tasks.size(), 0);
+        plans.assign(tasks.size(), AttemptFaults{});
+    }
+
+    auto record_flow = [&](FlowId id, std::size_t task_idx, std::size_t next_segment) {
         if (!base_known) {
             flow_id_base = id;
             base_known = true;
@@ -74,7 +97,31 @@ inline Seconds run_phase(FlowEngine& engine, std::vector<SimTask> tasks, int vm_
         CAST_ENSURES_MSG(id >= flow_id_base, "flow ids must grow monotonically");
         const std::size_t slot = id - flow_id_base;
         if (slot >= by_flow.size()) by_flow.resize(slot + 1);
-        by_flow[slot] = Running{task_idx, seg_idx + 1};
+        by_flow[slot] = Running{task_idx, next_segment};
+    };
+
+    auto start_segment = [&](std::size_t task_idx, std::size_t seg_idx) {
+        const Segment& seg = tasks[task_idx].segments[seg_idx];
+        const double scale = faults != nullptr ? plans[task_idx].demand_scale : 1.0;
+        const FlowId id =
+            engine.start_flow(seg.resource, seg.demand_mb * scale, seg.cap_mbps);
+        record_flow(id, task_idx, seg_idx + 1);
+    };
+
+    auto launch_attempt = [&](std::size_t task_idx) {
+        if (faults != nullptr) {
+            plans[task_idx] = faults->on_attempt(task_idx, attempts[task_idx]);
+            if (plans[task_idx].delay.value() > 0.0) {
+                // Backoff wait: a flow of `delay` "MB" capped at 1 MB/s on
+                // the uncontended delay resource lasts exactly `delay`
+                // seconds. Segment 0 starts when it completes.
+                const FlowId id = engine.start_flow(delay_resource,
+                                                    plans[task_idx].delay.value(), 1.0);
+                record_flow(id, task_idx, 0);
+                return;
+            }
+        }
+        start_segment(task_idx, 0);
     };
 
     auto fill_slots = [&](int vm) {
@@ -84,7 +131,7 @@ inline Seconds run_phase(FlowEngine& engine, std::vector<SimTask> tasks, int vm_
             const std::size_t task_idx = q.front();
             q.pop_front();
             --slots;
-            start_segment(task_idx, 0);
+            launch_attempt(task_idx);
         }
     };
 
@@ -99,11 +146,26 @@ inline Seconds run_phase(FlowEngine& engine, std::vector<SimTask> tasks, int vm_
             const SimTask& t = tasks[r.task];
             if (r.next_segment < t.segments.size()) {
                 start_segment(r.task, r.next_segment);
-            } else {
-                --tasks_left;
-                ++free_slots[static_cast<std::size_t>(t.vm)];
-                fill_slots(t.vm);
+                continue;
             }
+            if (faults != nullptr && plans[r.task].fail) {
+                // Injected failure: the attempt's work is wasted and the
+                // task re-joins its VM's wave queue (Hadoop re-execution).
+                const int next_attempt = ++attempts[r.task];
+                if (next_attempt >= faults->max_attempts()) {
+                    throw SimulationError("task " + std::to_string(r.task) +
+                                          " exhausted " +
+                                          std::to_string(faults->max_attempts()) +
+                                          " attempts (injected faults)");
+                }
+                ++free_slots[static_cast<std::size_t>(t.vm)];
+                queues[static_cast<std::size_t>(t.vm)].push_back(r.task);
+                fill_slots(t.vm);
+                continue;
+            }
+            --tasks_left;
+            ++free_slots[static_cast<std::size_t>(t.vm)];
+            fill_slots(t.vm);
         }
     }
     return engine.now() - start;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "cloud/storage.hpp"
 #include "common/error.hpp"
 #include "common/units.hpp"
 #include "workload/application.hpp"
@@ -28,6 +29,10 @@ struct JobSpec {
     /// dataset (fully); CAST++ pins them to one tier (Eq. 7) and counts the
     /// shared input capacity once.
     std::optional<int> reuse_group;
+    /// Operator-imposed tier pin (spec option `tier=`): the job's data must
+    /// live on this tier. Solvers may use it as a constraint; the Deployer's
+    /// failure-aware validation rejects plans that violate it.
+    std::optional<cloud::StorageTier> pinned_tier = std::nullopt;
 
     [[nodiscard]] const ApplicationProfile& profile() const {
         return ApplicationProfile::of(app);

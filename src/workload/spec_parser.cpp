@@ -1,8 +1,11 @@
 #include "workload/spec_parser.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <vector>
+
+#include "cloud/storage.hpp"
 
 namespace cast::workload {
 
@@ -41,6 +44,9 @@ double parse_double(const std::string& value, int line_no, const std::string& wh
         fail(line_no, "bad " + what + " '" + value + "'");
     }
     if (consumed != value.size()) fail(line_no, "bad " + what + " '" + value + "'");
+    // std::stod happily parses "nan" and "inf"; neither is a meaningful
+    // size, count or deadline anywhere in the spec format.
+    if (!std::isfinite(v)) fail(line_no, what + " must be finite, got '" + value + "'");
     return v;
 }
 
@@ -78,12 +84,22 @@ JobSpec parse_job_line(std::istringstream& tokens, int line_no) {
         if (!split_kv(token, key, value)) fail(line_no, "unexpected token '" + token + "'");
         if (key == "maps") {
             job.map_tasks = parse_int(value, line_no, "maps");
+            if (job.map_tasks < 1) fail(line_no, "maps must be positive");
         } else if (key == "reduces") {
             job.reduce_tasks = parse_int(value, line_no, "reduces");
+            if (job.reduce_tasks < 1) fail(line_no, "reduces must be positive");
         } else if (key == "group") {
             job.reuse_group = parse_int(value, line_no, "group");
         } else if (key == "name") {
             job.name = value;
+        } else if (key == "tier") {
+            const auto tier = cloud::tier_from_name(value);
+            if (!tier) {
+                fail(line_no, "malformed tier '" + value +
+                                  "' for field 'tier' (expected ephSSD, persSSD, "
+                                  "persHDD or objStore)");
+            }
+            job.pinned_tier = *tier;
         } else {
             fail(line_no, "unknown option '" + key + "'");
         }
@@ -177,6 +193,7 @@ void write_job(const JobSpec& job, std::ostream& os) {
     os << "job " << job.id << ' ' << app_name(job.app) << ' ' << job.input.value()
        << " maps=" << job.map_tasks << " reduces=" << job.reduce_tasks;
     if (job.reuse_group) os << " group=" << *job.reuse_group;
+    if (job.pinned_tier) os << " tier=" << cloud::tier_name(*job.pinned_tier);
     if (!job.name.empty()) os << " name=" << job.name;
     os << '\n';
 }

@@ -8,6 +8,10 @@
 //   job 2 Grep 300 maps=2344 reduces=500
 //   job 3 Grep 300 group=1              # shares input dataset "1"
 //   job 4 Grep 300 group=1
+//   job 5 Join 80 tier=persSSD          # operator pin: data must live here
+//
+// Sizes, counts and deadlines are validated (finite, positive, well-formed
+// tier names); violations raise ValidationError naming the line and field.
 //
 //   # a workflow (first keyword switches the mode)
 //   workflow nightly-etl deadline-min=30

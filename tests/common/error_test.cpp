@@ -43,10 +43,38 @@ TEST(Contracts, EnsuresMessageMentionsInvariant) {
 
 TEST(Contracts, ExceptionHierarchy) {
     // Both contract errors are logic_errors; ValidationError is an
-    // invalid_argument. Callers can catch coarsely.
+    // invalid_argument. Callers can catch coarsely. SimulationError is a
+    // runtime_error: a modeled operational failure, not a bug.
     EXPECT_THROW(throw PreconditionError("x"), std::logic_error);
     EXPECT_THROW(throw InvariantError("x"), std::logic_error);
     EXPECT_THROW(throw ValidationError("x"), std::invalid_argument);
+    EXPECT_THROW(throw SimulationError("x"), std::runtime_error);
+}
+
+TEST(SimulationErrorTest, CarriesJobAndPhaseContext) {
+    const SimulationError e("task 3 exhausted 4 attempts", "Sort-1", "map");
+    EXPECT_EQ(e.detail(), "task 3 exhausted 4 attempts");
+    EXPECT_EQ(e.job(), "Sort-1");
+    EXPECT_EQ(e.phase(), "map");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("Sort-1"), std::string::npos);
+    EXPECT_NE(what.find("map"), std::string::npos);
+    EXPECT_NE(what.find("task 3 exhausted 4 attempts"), std::string::npos);
+}
+
+TEST(SimulationErrorTest, ContextDefaultsToUnknown) {
+    const SimulationError e("boom");
+    EXPECT_TRUE(e.job().empty());
+    EXPECT_TRUE(e.phase().empty());
+    EXPECT_EQ(std::string(e.what()), "simulated failure: boom");
+}
+
+TEST(SimulationErrorTest, WithContextPreservesDetail) {
+    const SimulationError bare("retries exhausted");
+    const SimulationError decorated = bare.with_context("Grep-2", "stage_in");
+    EXPECT_EQ(decorated.detail(), bare.detail());
+    EXPECT_EQ(decorated.job(), "Grep-2");
+    EXPECT_EQ(decorated.phase(), "stage_in");
 }
 
 }  // namespace

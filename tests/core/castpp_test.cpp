@@ -58,6 +58,44 @@ TEST(CastFacade, PlusPlusRespectsReuseGroups) {
     EXPECT_TRUE(result.plan.respects_reuse_groups(w));
 }
 
+TEST(CastFacade, SolverHonorsTierPin) {
+    // Unpinned, this 1800 GB KMeans lands on persHDD (see greedy tests);
+    // the pin must override the utility-optimal choice.
+    auto pinned = mk_job(1, AppKind::kKMeans, 1800.0);
+    pinned.pinned_tier = StorageTier::kPersistentSsd;
+    const workload::Workload w({pinned, mk_job(2, AppKind::kSort, 40.0)});
+    const auto result = plan_cast(testing::small_models(), w, fast_cast_options());
+    ASSERT_TRUE(result.evaluation.feasible);
+    EXPECT_EQ(result.plan.decision(0).tier, StorageTier::kPersistentSsd);
+    EXPECT_EQ(result.greedy_initial.decision(0).tier, StorageTier::kPersistentSsd);
+}
+
+TEST(CastFacade, PinnedMemberAnchorsWholeReuseGroup) {
+    auto a = mk_job(1, AppKind::kGrep, 40.0, 1);
+    auto b = mk_job(2, AppKind::kGrep, 40.0, 1);
+    b.pinned_tier = StorageTier::kObjectStore;
+    const workload::Workload w({a, b, mk_job(3, AppKind::kSort, 30.0)});
+    const auto result = plan_cast_plus_plus(testing::small_models(), w, fast_cast_options());
+    ASSERT_TRUE(result.evaluation.feasible);
+    EXPECT_EQ(result.plan.decision(0).tier, StorageTier::kObjectStore);
+    EXPECT_EQ(result.plan.decision(1).tier, StorageTier::kObjectStore);
+}
+
+TEST(CastFacade, ConflictingGroupPinsRejectedWithClearError) {
+    auto a = mk_job(1, AppKind::kGrep, 40.0, 1);
+    auto b = mk_job(2, AppKind::kGrep, 40.0, 1);
+    a.pinned_tier = StorageTier::kPersistentSsd;
+    b.pinned_tier = StorageTier::kObjectStore;
+    const workload::Workload w({a, b});
+    try {
+        plan_cast_plus_plus(testing::small_models(), w, fast_cast_options());
+        FAIL() << "expected ValidationError";
+    } catch (const ValidationError& e) {
+        EXPECT_NE(std::string(e.what()).find("reuse group"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("j1"), std::string::npos);
+    }
+}
+
 TEST(CastFacade, PlusPlusBeatsCastOnReuseHeavyWorkload) {
     // With substantial sharing, reuse awareness must not lose (§5.1.3).
     std::vector<workload::JobSpec> jobs;
@@ -100,6 +138,17 @@ TEST_F(WorkflowEvalTest, UniformPlanEvaluates) {
     EXPECT_EQ(e.transfer_times.size(), 3u);
     // Same tier everywhere: no cross-tier transfers.
     for (const auto& t : e.transfer_times) EXPECT_DOUBLE_EQ(t.value(), 0.0);
+}
+
+TEST_F(WorkflowEvalTest, PinViolationIsInfeasible) {
+    std::vector<workload::JobSpec> jobs = wf.jobs();
+    jobs[0].pinned_tier = StorageTier::kPersistentSsd;
+    workload::Workflow pinned("pinned", std::move(jobs),
+                              {wf.edges().begin(), wf.edges().end()}, wf.deadline());
+    WorkflowEvaluator pinned_eval{testing::small_models(), pinned};
+    const auto e = pinned_eval.evaluate(WorkflowPlan::uniform(4, StorageTier::kEphemeralSsd));
+    EXPECT_FALSE(e.feasible);
+    EXPECT_NE(e.infeasibility.find("pinned"), std::string::npos);
 }
 
 TEST_F(WorkflowEvalTest, CrossTierEdgesPayTransfers) {

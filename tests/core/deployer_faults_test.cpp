@@ -1,0 +1,177 @@
+// Failure-aware deployment: plan validation, retry/backoff, graceful
+// degradation to the backing object store, and fault reporting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/deployer.hpp"
+#include "core/report.hpp"
+#include "test_support.hpp"
+#include "workload/workflow.hpp"
+
+namespace cast::core {
+namespace {
+
+using cloud::StorageTier;
+using workload::AppKind;
+
+workload::JobSpec mk_job(int id, AppKind app, double gb,
+                         std::optional<StorageTier> pin = std::nullopt) {
+    const int maps = std::max(1, static_cast<int>(gb / 0.128));
+    workload::JobSpec job{.id = id,
+                          .name = "j" + std::to_string(id),
+                          .app = app,
+                          .input = GigaBytes{gb},
+                          .map_tasks = maps,
+                          .reduce_tasks = std::max(1, maps / 4),
+                          .reuse_group = std::nullopt};
+    job.pinned_tier = pin;
+    return job;
+}
+
+workload::Workload small_workload() {
+    return workload::Workload({mk_job(1, AppKind::kSort, 30.0),
+                               mk_job(2, AppKind::kGrep, 40.0),
+                               mk_job(3, AppKind::kKMeans, 20.0)});
+}
+
+sim::SimOptions doomed_options() {
+    // Every task attempt is almost surely killed and gets a single attempt:
+    // all placements on block tiers fail all executions and must degrade.
+    sim::SimOptions o{.seed = 3, .jitter_sigma = 0.06};
+    o.faults.seed = 11;
+    o.faults.task_kill_prob = 0.9;
+    o.faults.task_max_attempts = 1;
+    return o;
+}
+
+TEST(DeployerValidation, RejectsSizeMismatch) {
+    PlanEvaluator eval(testing::small_models(), small_workload());
+    EXPECT_THROW(Deployer::validate_plan(
+                     eval, TieringPlan::uniform(2, StorageTier::kPersistentSsd)),
+                 ValidationError);
+}
+
+TEST(DeployerValidation, RejectsViolatedTierPin) {
+    const workload::Workload w(
+        {mk_job(1, AppKind::kSort, 30.0),
+         mk_job(2, AppKind::kGrep, 40.0, StorageTier::kPersistentSsd)});
+    PlanEvaluator eval(testing::small_models(), w);
+    try {
+        Deployer::validate_plan(eval, TieringPlan::uniform(2, StorageTier::kEphemeralSsd));
+        FAIL() << "should have thrown";
+    } catch (const ValidationError& e) {
+        EXPECT_NE(std::string(e.what()).find("j2"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("pinned"), std::string::npos);
+    }
+    // A plan that honours the pin passes the same check.
+    EXPECT_NO_THROW(Deployer::validate_plan(
+        eval, TieringPlan::uniform(2, StorageTier::kPersistentSsd)));
+}
+
+TEST(DeployerValidation, WorkflowRejectsSizeMismatchAndBadFactor) {
+    const workload::Workflow wf = workload::make_search_log_workflow(Seconds{1e6});
+    WorkflowEvaluator eval(testing::small_models(), wf);
+    EXPECT_THROW(Deployer::validate_workflow_plan(
+                     eval, WorkflowPlan::uniform(2, StorageTier::kPersistentSsd)),
+                 ValidationError);
+    // WorkflowPlan is a plain struct, so a sub-1 factor can reach the
+    // deployer; it must be caught before any job runs.
+    WorkflowPlan bad = WorkflowPlan::uniform(wf.size(), StorageTier::kPersistentSsd);
+    bad.decisions[1].overprovision = 0.5;
+    EXPECT_THROW(Deployer::validate_workflow_plan(eval, bad), ValidationError);
+}
+
+TEST(DeployerFaults, AggressiveFaultsDegradeGracefully) {
+    PlanEvaluator eval(testing::small_models(), small_workload());
+    const auto plan = TieringPlan::uniform(3, StorageTier::kPersistentSsd);
+    const auto dep = Deployer(doomed_options()).deploy(eval, plan);
+
+    // Every job failed its attempt budget, was retried with backoff, and
+    // was finally re-homed to the backing object store.
+    EXPECT_EQ(dep.degraded_jobs, (std::vector<std::size_t>{0, 1, 2}));
+    EXPECT_GE(dep.retry_count, 3);
+    EXPECT_FALSE(dep.fault_log.empty());
+    ASSERT_EQ(dep.job_results.size(), 3u);
+    for (const auto& r : dep.job_results) EXPECT_GT(r.makespan.value(), 0.0);
+    EXPECT_GT(dep.total_cost().value(), 0.0);
+    // Degraded jobs bill on the object store.
+    EXPECT_GT(dep.capacities.aggregate_of(StorageTier::kObjectStore).value(), 0.0);
+}
+
+TEST(DeployerFaults, RetriesAddBackoffToRuntime) {
+    PlanEvaluator eval(testing::small_models(), small_workload());
+    const auto plan = TieringPlan::uniform(3, StorageTier::kPersistentSsd);
+    DeployPolicy quick;
+    quick.retry_backoff_base = Seconds{1000.0};
+    const auto slow = Deployer(doomed_options(), quick).deploy(eval, plan);
+    DeployPolicy cheap;
+    cheap.retry_backoff_base = Seconds{0.0};
+    const auto fast = Deployer(doomed_options(), cheap).deploy(eval, plan);
+    // Same fault history, different backoff policy: the 1000 s waits are
+    // the only difference (3 jobs x 2 retries, geometric growth).
+    EXPECT_GT(slow.total_runtime.value(), fast.total_runtime.value() + 5000.0);
+}
+
+TEST(DeployerFaults, FailFastPolicyPropagatesSimulationError) {
+    PlanEvaluator eval(testing::small_models(), small_workload());
+    const auto plan = TieringPlan::uniform(3, StorageTier::kPersistentSsd);
+    const DeployPolicy fail_fast{.max_job_attempts = 1,
+                                 .retry_backoff_base = Seconds{0.0},
+                                 .retry_backoff_multiplier = 1.0,
+                                 .degrade_to_backing_store = false};
+    try {
+        (void)Deployer(doomed_options(), fail_fast).deploy(eval, plan);
+        FAIL() << "should have thrown";
+    } catch (const SimulationError& e) {
+        EXPECT_EQ(e.phase(), "deploy");
+        EXPECT_FALSE(e.job().empty());
+    }
+}
+
+TEST(DeployerFaults, MildFaultsSurviveWithoutDegradation) {
+    PlanEvaluator eval(testing::small_models(), small_workload());
+    const auto plan = TieringPlan::uniform(3, StorageTier::kPersistentSsd);
+    sim::SimOptions mild{.seed = 3, .jitter_sigma = 0.06};
+    mild.faults = sim::FaultProfile::scaled(0.5, 3);
+    const auto dep = Deployer(mild).deploy(eval, plan);
+    EXPECT_TRUE(dep.degraded_jobs.empty());
+    bool any_faults = false;
+    for (const auto& r : dep.job_results) any_faults |= r.faults.any();
+    EXPECT_TRUE(any_faults);
+    // Degradation is throughput loss, not failure: all jobs completed.
+    EXPECT_EQ(dep.job_results.size(), 3u);
+}
+
+TEST(DeployerFaults, WorkflowDeploymentDegradesAllDoomedJobs) {
+    const workload::Workflow wf = workload::make_search_log_workflow(Seconds{1e6});
+    WorkflowEvaluator eval(testing::small_models(), wf);
+    const auto plan = WorkflowPlan::uniform(wf.size(), StorageTier::kPersistentSsd);
+    const auto dep = Deployer(doomed_options()).deploy_workflow(eval, plan);
+    EXPECT_EQ(dep.degraded_jobs.size(), wf.size());
+    EXPECT_EQ(dep.job_results.size(), wf.size());
+    for (const auto& r : dep.job_results) EXPECT_GT(r.makespan.value(), 0.0);
+    // All endpoints re-homed to objStore: no cross-tier transfer remains.
+    for (const auto& t : dep.transfer_times) EXPECT_DOUBLE_EQ(t.value(), 0.0);
+    EXPECT_FALSE(dep.fault_log.empty());
+}
+
+TEST(DeployerFaults, ReportsIncludeFaultSectionOnlyWhenFaulted) {
+    PlanEvaluator eval(testing::small_models(), small_workload());
+    const auto plan = TieringPlan::uniform(3, StorageTier::kPersistentSsd);
+    const auto modeled = eval.evaluate(plan);
+
+    const auto calm = Deployer().deploy(eval, plan);
+    std::ostringstream calm_os;
+    write_deployment_report(eval, plan, modeled, calm, calm_os);
+    EXPECT_EQ(calm_os.str().find("fault handling"), std::string::npos);
+
+    const auto rough = Deployer(doomed_options()).deploy(eval, plan);
+    std::ostringstream rough_os;
+    write_deployment_report(eval, plan, modeled, rough, rough_os);
+    EXPECT_NE(rough_os.str().find("fault handling"), std::string::npos);
+    EXPECT_NE(rough_os.str().find("degraded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cast::core

@@ -108,6 +108,18 @@ TEST(PlanEvaluator, InfeasiblePlanReportsNotThrows) {
     EXPECT_DOUBLE_EQ(e.utility, 0.0);
 }
 
+TEST(PlanEvaluator, PinViolationIsInfeasibleNotThrown) {
+    auto job = mk_job(1, AppKind::kSort, 40.0);
+    job.pinned_tier = StorageTier::kPersistentSsd;
+    const workload::Workload w({job});
+    PlanEvaluator eval(testing::small_models(), w);
+    const auto bad = eval.evaluate(TieringPlan::uniform(1, StorageTier::kEphemeralSsd));
+    EXPECT_FALSE(bad.feasible);
+    EXPECT_NE(bad.infeasibility.find("pinned"), std::string::npos);
+    const auto good = eval.evaluate(TieringPlan::uniform(1, StorageTier::kPersistentSsd));
+    EXPECT_TRUE(good.feasible);
+}
+
 TEST(PlanEvaluator, CostsMatchEq5AndEq6) {
     PlanEvaluator eval(testing::small_models(), small_workload());
     const TieringPlan plan = TieringPlan::uniform(3, StorageTier::kPersistentHdd);

@@ -1,0 +1,149 @@
+// Seeded-determinism properties of the fault-injection subsystem:
+//   * an all-zero FaultProfile reproduces the fault-free simulator and
+//     deployer bit-for-bit (every injection site is gated on enabled());
+//   * a nonzero seeded profile is exactly reproducible — same makespans,
+//     same FaultStats, same deployment fault logs;
+//   * distinct fault seeds sample distinct fault histories.
+#include <gtest/gtest.h>
+
+#include "core/deployer.hpp"
+#include "sim/mapreduce.hpp"
+#include "test_support.hpp"
+
+namespace cast {
+namespace {
+
+using cloud::StorageTier;
+using workload::AppKind;
+using cast::literals::operator""_GB;
+
+workload::JobSpec prop_job(int id, AppKind app, double gb) {
+    const int maps = std::max(1, static_cast<int>(gb / 0.128));
+    return workload::JobSpec{.id = id,
+                             .name = "j" + std::to_string(id),
+                             .app = app,
+                             .input = GigaBytes{gb},
+                             .map_tasks = maps,
+                             .reduce_tasks = std::max(1, maps / 4),
+                             .reuse_group = std::nullopt};
+}
+
+sim::ClusterSim prop_sim(const sim::SimOptions& options, int vms = 2) {
+    sim::TierCapacities caps;
+    caps.set(StorageTier::kEphemeralSsd, 375.0_GB);
+    caps.set(StorageTier::kPersistentSsd, 500.0_GB);
+    caps.set(StorageTier::kPersistentHdd, 500.0_GB);
+    cloud::ClusterSpec cluster = cloud::ClusterSpec::paper_single_node();
+    cluster.worker_count = vms;
+    return sim::ClusterSim(cluster, cloud::StorageCatalog::google_cloud(), caps, options);
+}
+
+workload::Workload prop_workload() {
+    return workload::Workload({prop_job(1, AppKind::kSort, 30.0),
+                               prop_job(2, AppKind::kGrep, 40.0),
+                               prop_job(3, AppKind::kKMeans, 20.0)});
+}
+
+TEST(FaultDeterminism, ZeroProfileIsBitIdenticalInSimulator) {
+    const auto job = prop_job(1, AppKind::kSort, 4.0);
+    const auto placement = sim::JobPlacement::on_tier(job, StorageTier::kPersistentSsd);
+
+    const sim::SimOptions plain{.seed = 5, .jitter_sigma = 0.06};
+    // A profile with a seed and tweaked knobs that still cannot perturb
+    // anything must be exactly the fault-free code path.
+    sim::SimOptions zeroed = plain;
+    zeroed.faults.seed = 99;
+    zeroed.faults.task_max_attempts = 7;
+    zeroed.faults.straggler_prob = 0.9;  // factor stays 1: no-op
+    ASSERT_FALSE(zeroed.faults.enabled());
+
+    const sim::JobResult a = prop_sim(plain).run_job(placement);
+    const sim::JobResult b = prop_sim(zeroed).run_job(placement);
+    EXPECT_EQ(a.makespan.value(), b.makespan.value());  // bit-identical, not NEAR
+    EXPECT_EQ(a.phases.stage_in.value(), b.phases.stage_in.value());
+    EXPECT_EQ(a.phases.map.value(), b.phases.map.value());
+    EXPECT_EQ(a.phases.shuffle.value(), b.phases.shuffle.value());
+    EXPECT_EQ(a.phases.reduce.value(), b.phases.reduce.value());
+    EXPECT_EQ(a.phases.stage_out.value(), b.phases.stage_out.value());
+    EXPECT_FALSE(b.faults.any());
+}
+
+TEST(FaultDeterminism, ZeroProfileIsBitIdenticalInDeployment) {
+    core::PlanEvaluator eval(testing::small_models(), prop_workload());
+    const auto plan = core::TieringPlan::uniform(3, StorageTier::kPersistentSsd);
+
+    const auto plain =
+        core::Deployer(sim::SimOptions{.seed = 3, .jitter_sigma = 0.06}).deploy(eval, plan);
+    sim::SimOptions zeroed{.seed = 3, .jitter_sigma = 0.06};
+    zeroed.faults.seed = 2718;
+    const auto withseed = core::Deployer(zeroed).deploy(eval, plan);
+
+    EXPECT_EQ(plain.total_runtime.value(), withseed.total_runtime.value());
+    EXPECT_EQ(plain.vm_cost.value(), withseed.vm_cost.value());
+    EXPECT_EQ(plain.storage_cost.value(), withseed.storage_cost.value());
+    EXPECT_EQ(withseed.retry_count, 0);
+    EXPECT_TRUE(withseed.degraded_jobs.empty());
+    EXPECT_TRUE(withseed.fault_log.empty());
+}
+
+TEST(FaultDeterminism, SeededProfileReproducesMakespanAndStats) {
+    const auto job = prop_job(1, AppKind::kGrep, 6.0);
+    const auto placement = sim::JobPlacement::on_tier(job, StorageTier::kObjectStore);
+    sim::SimOptions faulty{.seed = 5, .jitter_sigma = 0.06};
+    faulty.faults = sim::FaultProfile::scaled(0.75, 7);
+
+    const sim::JobResult a = prop_sim(faulty).run_job(placement);
+    const sim::JobResult b = prop_sim(faulty).run_job(placement);
+    EXPECT_EQ(a.makespan.value(), b.makespan.value());
+    EXPECT_TRUE(a.faults == b.faults);
+    EXPECT_TRUE(a.faults.any());
+}
+
+TEST(FaultDeterminism, SeededProfilePerturbsButFaultFreeBaselineUnchanged) {
+    const auto job = prop_job(1, AppKind::kGrep, 6.0);
+    const auto placement = sim::JobPlacement::on_tier(job, StorageTier::kPersistentSsd);
+    const sim::SimOptions plain{.seed = 5, .jitter_sigma = 0.06};
+    sim::SimOptions faulty = plain;
+    faulty.faults = sim::FaultProfile::scaled(0.75, 7);
+
+    const double calm = prop_sim(plain).run_job(placement).makespan.value();
+    const double rough = prop_sim(faulty).run_job(placement).makespan.value();
+    EXPECT_GT(rough, calm);  // throttling + stragglers must cost time
+    // And the fault stream is independent of the jitter stream: running the
+    // plain simulation again still reproduces the original number.
+    EXPECT_EQ(prop_sim(plain).run_job(placement).makespan.value(), calm);
+}
+
+TEST(FaultDeterminism, DistinctFaultSeedsSampleDistinctHistories) {
+    const auto job = prop_job(1, AppKind::kGrep, 6.0);
+    const auto placement = sim::JobPlacement::on_tier(job, StorageTier::kObjectStore);
+    sim::SimOptions a{.seed = 5, .jitter_sigma = 0.0};
+    a.faults = sim::FaultProfile::scaled(0.75, 7);
+    sim::SimOptions b = a;
+    b.faults = sim::FaultProfile::scaled(0.75, 8);
+    const sim::JobResult ra = prop_sim(a).run_job(placement);
+    const sim::JobResult rb = prop_sim(b).run_job(placement);
+    EXPECT_FALSE(ra.faults == rb.faults);
+    EXPECT_NE(ra.makespan.value(), rb.makespan.value());
+}
+
+TEST(FaultDeterminism, DeployerFaultHandlingReproducible) {
+    core::PlanEvaluator eval(testing::small_models(), prop_workload());
+    const auto plan = core::TieringPlan::uniform(3, StorageTier::kPersistentSsd);
+    sim::SimOptions rough{.seed = 3, .jitter_sigma = 0.06};
+    rough.faults.seed = 11;
+    rough.faults.task_kill_prob = 0.9;
+    rough.faults.task_max_attempts = 1;
+
+    const auto a = core::Deployer(rough).deploy(eval, plan);
+    const auto b = core::Deployer(rough).deploy(eval, plan);
+    EXPECT_EQ(a.total_runtime.value(), b.total_runtime.value());
+    EXPECT_EQ(a.retry_count, b.retry_count);
+    EXPECT_EQ(a.degraded_jobs, b.degraded_jobs);
+    EXPECT_EQ(a.fault_log, b.fault_log);
+    EXPECT_GT(a.retry_count, 0);
+    EXPECT_FALSE(a.fault_log.empty());
+}
+
+}  // namespace
+}  // namespace cast

@@ -1,0 +1,418 @@
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "sim/mapreduce.hpp"
+#include "sim/phase_runner.hpp"
+
+namespace cast::sim {
+namespace {
+
+using cloud::StorageTier;
+using workload::AppKind;
+using cast::literals::operator""_GB;
+using cast::literals::operator""_MBps;
+
+// ---------------------------------------------------------------------------
+// FaultProfile / RetryPolicy
+// ---------------------------------------------------------------------------
+
+TEST(FaultProfile, DefaultProfileInjectsNothing) {
+    const FaultProfile p;
+    EXPECT_FALSE(p.enabled());
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_FALSE(FaultProfile::none().enabled());
+}
+
+TEST(FaultProfile, EnabledDetectsEachKnob) {
+    FaultProfile p;
+    p.object_store_error_rate = 0.01;
+    EXPECT_TRUE(p.enabled());
+
+    p = {};
+    p.task_kill_prob = 0.01;
+    EXPECT_TRUE(p.enabled());
+
+    // A straggler with factor 1 is indistinguishable from no straggler.
+    p = {};
+    p.straggler_prob = 0.5;
+    EXPECT_FALSE(p.enabled());
+    p.straggler_factor = 2.0;
+    EXPECT_TRUE(p.enabled());
+
+    p = {};
+    p.episodes.push_back(
+        ThrottleEpisode{StorageTier::kPersistentSsd, Seconds{0.0}, Seconds{10.0}, 0.5});
+    EXPECT_TRUE(p.enabled());
+}
+
+TEST(FaultProfile, ValidationRejectsBadValues) {
+    FaultProfile p;
+    p.object_store_error_rate = 1.0;  // certain failure would loop forever
+    EXPECT_THROW(p.validate(), PreconditionError);
+
+    p = {};
+    p.task_kill_prob = -0.1;
+    EXPECT_THROW(p.validate(), PreconditionError);
+
+    p = {};
+    p.straggler_factor = 0.5;  // stragglers cannot speed tasks up
+    EXPECT_THROW(p.validate(), PreconditionError);
+
+    p = {};
+    p.task_max_attempts = 0;
+    EXPECT_THROW(p.validate(), PreconditionError);
+
+    p = {};
+    p.retry.backoff_multiplier = 0.5;
+    EXPECT_THROW(p.validate(), PreconditionError);
+
+    p = {};
+    p.retry.backoff_jitter = 1.0;
+    EXPECT_THROW(p.validate(), PreconditionError);
+
+    p = {};
+    p.episodes.push_back(
+        ThrottleEpisode{StorageTier::kPersistentSsd, Seconds{0.0}, Seconds{10.0}, 0.0});
+    EXPECT_THROW(p.validate(), PreconditionError);
+
+    p.episodes.back() = ThrottleEpisode{StorageTier::kPersistentSsd, Seconds{-1.0},
+                                        Seconds{10.0}, 0.5};
+    EXPECT_THROW(p.validate(), PreconditionError);
+}
+
+TEST(RetryPolicy, WaitGrowsExponentiallyWithJitterBounds) {
+    RetryPolicy r;  // base 0.5 s, x2, +-25%
+    EXPECT_DOUBLE_EQ(r.wait(0, 0.5).value(), 0.5);
+    EXPECT_DOUBLE_EQ(r.wait(1, 0.5).value(), 1.0);
+    EXPECT_DOUBLE_EQ(r.wait(3, 0.5).value(), 4.0);
+    // u = 0 is the most negative jitter, u -> 1 the most positive.
+    EXPECT_DOUBLE_EQ(r.wait(0, 0.0).value(), 0.5 * 0.75);
+    EXPECT_LT(r.wait(0, 0.999).value(), 0.5 * 1.25 + 1e-9);
+}
+
+TEST(FaultProfile, ScaledZeroIntensityIsFaultFree) {
+    const FaultProfile p = FaultProfile::scaled(0.0, 7);
+    EXPECT_FALSE(p.enabled());
+    EXPECT_TRUE(p.episodes.empty());
+}
+
+TEST(FaultProfile, ScaledProfileDeterministicAndValid) {
+    const Seconds horizon = Seconds::from_hours(1.0);
+    const FaultProfile a = FaultProfile::scaled(0.8, 7, horizon);
+    const FaultProfile b = FaultProfile::scaled(0.8, 7, horizon);
+    EXPECT_TRUE(a.enabled());
+    EXPECT_NO_THROW(a.validate());
+    ASSERT_EQ(a.episodes.size(), b.episodes.size());
+    ASSERT_FALSE(a.episodes.empty());
+    for (std::size_t i = 0; i < a.episodes.size(); ++i) {
+        EXPECT_EQ(a.episodes[i].tier, b.episodes[i].tier);
+        EXPECT_DOUBLE_EQ(a.episodes[i].start.value(), b.episodes[i].start.value());
+        EXPECT_DOUBLE_EQ(a.episodes[i].duration.value(), b.episodes[i].duration.value());
+        EXPECT_DOUBLE_EQ(a.episodes[i].rate_factor, b.episodes[i].rate_factor);
+        EXPECT_LT(a.episodes[i].start.value(), horizon.value());
+    }
+    // Incidents hit every tier, not just the object store.
+    bool seen[cloud::kTierCount] = {};
+    for (const auto& e : a.episodes) seen[cloud::tier_index(e.tier)] = true;
+    for (bool s : seen) EXPECT_TRUE(s);
+}
+
+// ---------------------------------------------------------------------------
+// FlowEngine capacity events (the throttling substrate)
+// ---------------------------------------------------------------------------
+
+TEST(FlowEngineEvents, CapacityCutSlowsCompletion) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(100.0_MBps);
+    (void)e.start_flow(r, 100.0, 1e9);
+    // Halve the capacity halfway through: 50 MB drain in the first 0.5 s,
+    // the remaining 50 MB at 50 MB/s -> completes at 1.5 s.
+    e.schedule_capacity_change(r, Seconds{0.5}, 50.0_MBps);
+    const auto done = e.advance();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_NEAR(e.now().value(), 1.5, 1e-9);
+    EXPECT_EQ(e.applied_capacity_events(), 1u);
+    EXPECT_DOUBLE_EQ(e.resource_capacity(r), 50.0);
+}
+
+TEST(FlowEngineEvents, CapacityRestoredAfterEpisode) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(100.0_MBps);
+    (void)e.start_flow(r, 100.0, 1e9);
+    // Cut to 50 during [0.25, 0.75): 25 MB + 25 MB done by 0.75 s, the
+    // remaining 50 MB at the restored 100 MB/s -> completes at 1.25 s.
+    e.schedule_capacity_change(r, Seconds{0.25}, 50.0_MBps);
+    e.schedule_capacity_change(r, Seconds{0.75}, 100.0_MBps);
+    (void)e.advance();
+    EXPECT_NEAR(e.now().value(), 1.25, 1e-9);
+    EXPECT_EQ(e.applied_capacity_events(), 2u);
+    EXPECT_DOUBLE_EQ(e.resource_capacity(r), 100.0);
+}
+
+TEST(FlowEngineEvents, EventAfterLastCompletionNeverFires) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(100.0_MBps);
+    (void)e.start_flow(r, 100.0, 1e9);
+    e.schedule_capacity_change(r, Seconds{10.0}, 1.0_MBps);
+    (void)e.advance();
+    EXPECT_NEAR(e.now().value(), 1.0, 1e-9);
+    EXPECT_EQ(e.applied_capacity_events(), 0u);
+    EXPECT_DOUBLE_EQ(e.resource_capacity(r), 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// run_phase with a scripted fault model
+// ---------------------------------------------------------------------------
+
+class ScriptedFaults final : public TaskFaultModel {
+public:
+    using Fn = std::function<AttemptFaults(std::size_t, int)>;
+    ScriptedFaults(int max_attempts, Fn fn) : max_(max_attempts), fn_(std::move(fn)) {}
+    AttemptFaults on_attempt(std::size_t task, int attempt) override {
+        return fn_(task, attempt);
+    }
+    [[nodiscard]] int max_attempts() const override { return max_; }
+
+private:
+    int max_;
+    Fn fn_;
+};
+
+TEST(PhaseRunnerFaults, FailedAttemptReexecutes) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(MBytesPerSec{1e12});
+    std::vector<SimTask> tasks = {SimTask{0, {Segment{r, 1.0, 1.0}}}};  // 1 s
+    ScriptedFaults faults(4, [](std::size_t, int attempt) {
+        AttemptFaults a;
+        a.fail = attempt == 0;  // first attempt is wasted work
+        return a;
+    });
+    EXPECT_NEAR(run_phase(e, std::move(tasks), 1, 1, &faults, r).value(), 2.0, 1e-9);
+}
+
+TEST(PhaseRunnerFaults, ReexecutionJoinsBackOfQueue) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(MBytesPerSec{1e12});
+    // One slot, two 1 s tasks; task 0's first attempt fails, so the order
+    // is t0 (wasted), t1, t0 again -> 3 s (Hadoop re-execution tail).
+    std::vector<SimTask> tasks = {SimTask{0, {Segment{r, 1.0, 1.0}}},
+                                  SimTask{0, {Segment{r, 1.0, 1.0}}}};
+    ScriptedFaults faults(4, [](std::size_t task, int attempt) {
+        AttemptFaults a;
+        a.fail = task == 0 && attempt == 0;
+        return a;
+    });
+    EXPECT_NEAR(run_phase(e, std::move(tasks), 1, 1, &faults, r).value(), 3.0, 1e-9);
+}
+
+TEST(PhaseRunnerFaults, ExhaustedAttemptsThrowSimulationError) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(MBytesPerSec{1e12});
+    std::vector<SimTask> tasks = {SimTask{0, {Segment{r, 1.0, 1.0}}}};
+    ScriptedFaults faults(2, [](std::size_t, int) {
+        AttemptFaults a;
+        a.fail = true;
+        return a;
+    });
+    try {
+        (void)run_phase(e, std::move(tasks), 1, 1, &faults, r);
+        FAIL() << "should have thrown";
+    } catch (const SimulationError& ex) {
+        EXPECT_NE(std::string(ex.what()).find("exhausted"), std::string::npos);
+    }
+}
+
+TEST(PhaseRunnerFaults, StragglerScalesDemand) {
+    FlowEngine e;
+    const ResourceId r = e.add_resource(MBytesPerSec{1e12});
+    std::vector<SimTask> tasks = {SimTask{0, {Segment{r, 1.0, 1.0}}}};
+    ScriptedFaults faults(4, [](std::size_t, int) {
+        AttemptFaults a;
+        a.demand_scale = 3.0;
+        return a;
+    });
+    EXPECT_NEAR(run_phase(e, std::move(tasks), 1, 1, &faults, r).value(), 3.0, 1e-9);
+}
+
+TEST(PhaseRunnerFaults, RetryDelayChargedBeforeSegments) {
+    FlowEngine e;
+    const ResourceId delay = e.add_resource(MBytesPerSec{1e12});
+    const ResourceId r = e.add_resource(MBytesPerSec{1e12});
+    std::vector<SimTask> tasks = {SimTask{0, {Segment{r, 1.0, 1.0}}}};
+    ScriptedFaults faults(4, [](std::size_t, int) {
+        AttemptFaults a;
+        a.delay = Seconds{5.0};
+        return a;
+    });
+    EXPECT_NEAR(run_phase(e, std::move(tasks), 1, 1, &faults, delay).value(), 6.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector sampling
+// ---------------------------------------------------------------------------
+
+FaultProfile busy_profile() {
+    FaultProfile p;
+    p.seed = 17;
+    p.object_store_error_rate = 0.3;
+    p.task_kill_prob = 0.2;
+    p.straggler_prob = 0.3;
+    p.straggler_factor = 2.5;
+    return p;
+}
+
+TEST(FaultInjector, DeterministicForSameProfileAndStream) {
+    const FaultProfile p = busy_profile();
+    FaultInjector a(p, 3);
+    FaultInjector b(p, 3);
+    a.begin_phase([](std::size_t) { return 4.0; });
+    b.begin_phase([](std::size_t) { return 4.0; });
+    for (std::size_t t = 0; t < 200; ++t) {
+        const AttemptFaults fa = a.on_attempt(t, 0);
+        const AttemptFaults fb = b.on_attempt(t, 0);
+        EXPECT_DOUBLE_EQ(fa.demand_scale, fb.demand_scale);
+        EXPECT_DOUBLE_EQ(fa.delay.value(), fb.delay.value());
+        EXPECT_EQ(fa.fail, fb.fail);
+    }
+    EXPECT_TRUE(a.stats() == b.stats());
+    EXPECT_TRUE(a.stats().any());
+}
+
+TEST(FaultInjector, IndependentStreamsSampleIndependently) {
+    const FaultProfile p = busy_profile();
+    FaultInjector a(p, 1);
+    FaultInjector b(p, 2);
+    a.begin_phase([](std::size_t) { return 4.0; });
+    b.begin_phase([](std::size_t) { return 4.0; });
+    for (std::size_t t = 0; t < 200; ++t) {
+        (void)a.on_attempt(t, 0);
+        (void)b.on_attempt(t, 0);
+    }
+    EXPECT_FALSE(a.stats() == b.stats());
+}
+
+TEST(FaultInjector, RequestErrorsRetryWithBackoff) {
+    FaultProfile p;
+    p.seed = 23;
+    p.object_store_error_rate = 0.4;
+    FaultInjector inj(p, 0);
+    inj.begin_phase([](std::size_t) { return 5.0; });
+    for (std::size_t t = 0; t < 100; ++t) (void)inj.on_attempt(t, 0);
+    EXPECT_GT(inj.stats().request_retries, 0);
+    EXPECT_GT(inj.stats().backoff_delay.value(), 0.0);
+    // A phase with no objStore requests must sample no request errors.
+    FaultInjector calm(p, 0);
+    calm.begin_phase(nullptr);
+    for (std::size_t t = 0; t < 100; ++t) (void)calm.on_attempt(t, 0);
+    EXPECT_EQ(calm.stats().request_retries, 0);
+}
+
+TEST(FaultInjector, ReexecutionsAreCounted) {
+    const FaultProfile p = busy_profile();
+    FaultInjector inj(p, 0);
+    (void)inj.on_attempt(0, 0);
+    (void)inj.on_attempt(0, 1);
+    (void)inj.on_attempt(0, 2);
+    EXPECT_EQ(inj.stats().task_retries, 2);
+}
+
+// ---------------------------------------------------------------------------
+// ClusterSim integration
+// ---------------------------------------------------------------------------
+
+workload::JobSpec sim_job(AppKind app, double gb, int maps, int reduces) {
+    return workload::JobSpec{.id = 1,
+                             .name = "test",
+                             .app = app,
+                             .input = GigaBytes{gb},
+                             .map_tasks = maps,
+                             .reduce_tasks = reduces,
+                             .reuse_group = std::nullopt};
+}
+
+ClusterSim sim_with(SimOptions options, int vms = 1) {
+    TierCapacities caps;
+    caps.set(StorageTier::kEphemeralSsd, 375.0_GB);
+    caps.set(StorageTier::kPersistentSsd, 500.0_GB);
+    caps.set(StorageTier::kPersistentHdd, 500.0_GB);
+    cloud::ClusterSpec cluster = cloud::ClusterSpec::paper_single_node();
+    cluster.worker_count = vms;
+    return ClusterSim(cluster, cloud::StorageCatalog::google_cloud(), caps, options);
+}
+
+TEST(ClusterSimFaults, ThrottleEpisodeSlowsJob) {
+    const auto job = sim_job(AppKind::kGrep, 6.0, 48, 4);
+    const auto placement = JobPlacement::on_tier(job, StorageTier::kPersistentSsd);
+    const double calm =
+        sim_with(SimOptions{.seed = 5, .jitter_sigma = 0.0}).run_job(placement).makespan.value();
+
+    SimOptions throttled{.seed = 5, .jitter_sigma = 0.0};
+    throttled.faults.episodes.push_back(ThrottleEpisode{
+        StorageTier::kPersistentSsd, Seconds{0.0}, Seconds{1e5}, 0.25});
+    const JobResult r = sim_with(throttled).run_job(placement);
+    EXPECT_GT(r.makespan.value(), 1.5 * calm);
+    EXPECT_GE(r.faults.throttle_events, 1);
+    EXPECT_TRUE(r.faults.any());
+}
+
+TEST(ClusterSimFaults, StragglersExtendMakespanAndAreCounted) {
+    const auto job = sim_job(AppKind::kGrep, 6.0, 48, 4);
+    const auto placement = JobPlacement::on_tier(job, StorageTier::kPersistentSsd);
+    const double calm =
+        sim_with(SimOptions{.seed = 5, .jitter_sigma = 0.0}).run_job(placement).makespan.value();
+
+    SimOptions straggly{.seed = 5, .jitter_sigma = 0.0};
+    straggly.faults.seed = 9;
+    straggly.faults.straggler_prob = 0.5;
+    straggly.faults.straggler_factor = 3.0;
+    const JobResult r = sim_with(straggly).run_job(placement);
+    EXPECT_GT(r.makespan.value(), calm);
+    EXPECT_GT(r.faults.stragglers, 0);
+}
+
+TEST(ClusterSimFaults, KillsGrowReexecutionTail) {
+    const auto job = sim_job(AppKind::kGrep, 6.0, 48, 4);
+    const auto placement = JobPlacement::on_tier(job, StorageTier::kPersistentSsd);
+    const double calm =
+        sim_with(SimOptions{.seed = 5, .jitter_sigma = 0.0}).run_job(placement).makespan.value();
+
+    SimOptions killy{.seed = 5, .jitter_sigma = 0.0};
+    killy.faults.seed = 11;
+    killy.faults.task_kill_prob = 0.3;
+    killy.faults.task_max_attempts = 16;  // keep the job alive
+    const JobResult r = sim_with(killy).run_job(placement);
+    EXPECT_GT(r.makespan.value(), calm);
+    EXPECT_GT(r.faults.task_retries, 0);
+}
+
+TEST(ClusterSimFaults, AttemptExhaustionCarriesJobContext) {
+    const auto job = sim_job(AppKind::kGrep, 2.0, 16, 4);
+    SimOptions doomed{.seed = 5, .jitter_sigma = 0.0};
+    doomed.faults.seed = 13;
+    doomed.faults.task_kill_prob = 0.97;
+    doomed.faults.task_max_attempts = 1;
+    try {
+        (void)sim_with(doomed).run_job(JobPlacement::on_tier(job, StorageTier::kPersistentSsd));
+        FAIL() << "should have thrown";
+    } catch (const SimulationError& e) {
+        EXPECT_EQ(e.job(), "test");
+        EXPECT_FALSE(e.phase().empty());
+        EXPECT_NE(std::string(e.what()).find("test"), std::string::npos);
+    }
+}
+
+TEST(ClusterSimFaults, InvalidProfileRejectedAtConstruction) {
+    SimOptions bad;
+    bad.faults.object_store_error_rate = 1.0;
+    TierCapacities caps;
+    caps.set(StorageTier::kPersistentSsd, 500.0_GB);
+    EXPECT_THROW(ClusterSim(cloud::ClusterSpec::paper_single_node(),
+                            cloud::StorageCatalog::google_cloud(), caps, bad),
+                 PreconditionError);
+}
+
+}  // namespace
+}  // namespace cast::sim

@@ -95,6 +95,52 @@ TEST(SpecParser, RejectsMalformedInput) {
                  ValidationError);  // duplicate id
 }
 
+TEST(SpecParser, RejectsNonFiniteNumbers) {
+    // std::stod accepts "nan" and "inf"; the spec format must not.
+    EXPECT_THROW((void)parse_str("job 1 Sort nan\n"), ValidationError);
+    EXPECT_THROW((void)parse_str("job 1 Sort inf\n"), ValidationError);
+    EXPECT_THROW((void)parse_str("job 1 Sort -inf\n"), ValidationError);
+    EXPECT_THROW((void)parse_str("workflow w deadline-min=nan\njob 1 Sort 10\n"),
+                 ValidationError);
+    try {
+        (void)parse_str("job 1 Sort nan\n");
+        FAIL() << "should have thrown";
+    } catch (const ValidationError& e) {
+        EXPECT_NE(std::string(e.what()).find("finite"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("input size"), std::string::npos);
+    }
+}
+
+TEST(SpecParser, RejectsNonPositiveSizesAndCounts) {
+    EXPECT_THROW((void)parse_str("job 1 Sort 0\n"), ValidationError);
+    EXPECT_THROW((void)parse_str("job 1 Sort 10 maps=0\n"), ValidationError);
+    EXPECT_THROW((void)parse_str("job 1 Sort 10 reduces=-2\n"), ValidationError);
+    EXPECT_THROW((void)parse_str("workflow w deadline-min=0\njob 1 Sort 10\n"),
+                 ValidationError);
+}
+
+TEST(SpecParser, TierPinParsedAndRoundTripped) {
+    const auto spec = parse_str("job 5 Join 80 tier=persSSD\n");
+    ASSERT_TRUE(spec.workload.has_value());
+    EXPECT_EQ(spec.workload->job(0).pinned_tier, cloud::StorageTier::kPersistentSsd);
+
+    std::ostringstream out;
+    write_spec(*spec.workload, out);
+    EXPECT_NE(out.str().find("tier=persSSD"), std::string::npos);
+    const auto again = parse_str(out.str());
+    EXPECT_EQ(again.workload->job(0).pinned_tier, cloud::StorageTier::kPersistentSsd);
+}
+
+TEST(SpecParser, RejectsMalformedTierName) {
+    try {
+        (void)parse_str("job 1 Sort 10 tier=floppy\n");
+        FAIL() << "should have thrown";
+    } catch (const ValidationError& e) {
+        EXPECT_NE(std::string(e.what()).find("floppy"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("'tier'"), std::string::npos);
+    }
+}
+
 TEST(SpecParser, WorkloadRoundTrip) {
     const Workload original = synthesize_facebook_workload(42);
     std::ostringstream out;
