@@ -339,4 +339,18 @@ StorageCatalog StorageCatalog::by_name(std::string_view name) {
     throw ValidationError("unknown storage catalog: " + std::string(name));
 }
 
+StorageCatalog StorageCatalog::custom(
+    std::string name, std::array<std::shared_ptr<const StorageService>, kTierCount> services) {
+    CAST_EXPECTS_MSG(!name.empty(), "custom catalog needs a name");
+    for (StorageTier t : kAllTiers) {
+        const auto& svc = services[tier_index(t)];
+        CAST_EXPECTS_MSG(svc != nullptr, "custom catalog is missing a service");
+        CAST_EXPECTS_MSG(svc->tier() == t, "custom catalog service is in the wrong slot");
+    }
+    StorageCatalog catalog;
+    catalog.name_ = std::move(name);
+    catalog.services_ = std::move(services);
+    return catalog;
+}
+
 }  // namespace cast::cloud

@@ -162,6 +162,14 @@ public:
     /// ValidationError for unknown names. Used by model-set serialization.
     [[nodiscard]] static StorageCatalog by_name(std::string_view name);
 
+    /// Assemble a catalog from caller-provided services, one per tier (all
+    /// four required). This is how tests and experiments model third-party
+    /// or deliberately defective catalogs; the services' performance
+    /// invariants are the caller's problem — lint_catalog is the checker.
+    [[nodiscard]] static StorageCatalog custom(
+        std::string name,
+        std::array<std::shared_ptr<const StorageService>, kTierCount> services);
+
     /// The factory name this catalog was created under.
     [[nodiscard]] const std::string& name() const { return name_; }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <mutex>
 
+#include "lint/analyzer.hpp"
+
 namespace cast::core {
 
 AnnealingSolver::AnnealingSolver(const PlanEvaluator& evaluator, AnnealingOptions options)
@@ -114,6 +116,14 @@ AnnealingResult AnnealingSolver::run_chain(const TieringPlan& initial,
 }
 
 AnnealingResult AnnealingSolver::solve(const TieringPlan& initial, ThreadPool* pool) const {
+    // Pre-solve lint: reject inputs no annealing chain can fix (conflicting
+    // reuse-group pins, unmodeled applications, a broken catalog) before
+    // burning iterations on them.
+    lint::LintContext lint_ctx;
+    lint_ctx.models = &evaluator_->models();
+    lint_ctx.reuse_aware = evaluator_->options().reuse_aware;
+    lint::enforce(lint::lint_workload(evaluator_->workload(), lint_ctx));
+
     // Multi-start: rotate chains across the supplied initial plan and every
     // feasible uniform plan (Eq. 7-projected in group-moves mode, which
     // uniform plans satisfy trivially).

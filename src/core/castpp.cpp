@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "lint/analyzer.hpp"
+#include "lint/checks.hpp"
+
 namespace cast::core {
 
 namespace {
@@ -17,6 +20,15 @@ namespace {
 
 CastResult plan_with(const model::PerfModelSet& models, const workload::Workload& workload,
                      const CastOptions& options, bool reuse_aware, ThreadPool* pool) {
+    // Pre-solve lint: errors (unplaceable reuse groups, unmodeled apps, a
+    // broken catalog) reject before any search spends time; warnings ride
+    // along into the result for reports.
+    lint::LintContext lint_ctx;
+    lint_ctx.models = &models;
+    lint_ctx.reuse_aware = reuse_aware;
+    lint::Report pre = lint::lint_workload(workload, lint_ctx);
+    lint::enforce(pre);
+
     PlanEvaluator evaluator(models, workload, EvalOptions{.reuse_aware = reuse_aware});
 
     GreedySolver greedy(evaluator);
@@ -24,27 +36,14 @@ CastResult plan_with(const model::PerfModelSet& models, const workload::Workload
     if (reuse_aware) {
         // Greedy ignores reuse groups; project its plan onto the Eq. 7
         // constraint set by aligning every group on its leader's tier, so
-        // the annealing start point is feasible.
+        // the annealing start point is feasible. A pinned member dictates
+        // the whole group's tier (Eq. 7 keeps the group together, the pin
+        // decides where); members pinned apart were rejected by lint rule
+        // L005 above.
         for (const auto& [group, members] : workload.reuse_groups()) {
             PlacementDecision lead = initial.decision(members.front());
-            // A pinned member dictates the whole group's tier (Eq. 7 keeps
-            // the group together, the pin decides where). Two members pinned
-            // apart make the group unplaceable — report that, don't let the
-            // solver choke on an infeasible start.
-            std::optional<std::pair<std::size_t, cloud::StorageTier>> pinned;
             for (std::size_t m : members) {
-                const auto& pin = workload.job(m).pinned_tier;
-                if (!pin) continue;
-                if (pinned && pinned->second != *pin) {
-                    throw ValidationError(
-                        "reuse group " + std::to_string(group) + " pins '" +
-                        workload.job(pinned->first).name + "' to " +
-                        std::string(cloud::tier_name(pinned->second)) + " but '" +
-                        workload.job(m).name + "' to " +
-                        std::string(cloud::tier_name(*pin)));
-                }
-                pinned = {m, *pin};
-                lead.tier = *pin;
+                if (workload.job(m).pinned_tier) lead.tier = *workload.job(m).pinned_tier;
             }
             for (std::size_t m : members) initial.set_decision(m, lead);
         }
@@ -54,8 +53,12 @@ CastResult plan_with(const model::PerfModelSet& models, const workload::Workload
     annealing.group_moves = reuse_aware;
     AnnealingSolver solver(evaluator, annealing);
     AnnealingResult result = solver.solve(initial, pool);
-    return CastResult{std::move(result.plan), std::move(result.evaluation),
-                      std::move(initial)};
+    CastResult out{std::move(result.plan), std::move(result.evaluation),
+                   std::move(initial)};
+    for (const lint::Finding* f : pre.at(lint::Severity::kWarning)) {
+        out.lint_notes.push_back(f->format());
+    }
+    return out;
 }
 
 }  // namespace
@@ -125,11 +128,13 @@ WorkflowEvaluation WorkflowEvaluator::evaluate(const WorkflowPlan& plan) const {
     for (const auto& d : plan.decisions) d.validate();
 
     WorkflowEvaluation eval;
-    for (std::size_t i = 0; i < workflow_.size(); ++i) {
-        const auto& job = workflow_.jobs()[i];
-        if (job.pinned_tier && *job.pinned_tier != plan.decisions[i].tier) {
-            eval.infeasibility = "job '" + job.name + "' is pinned to " +
-                                 std::string(cloud::tier_name(*job.pinned_tier));
+    {
+        // Operator pins via the shared lint check (same rule the deployer
+        // and CLI enforce).
+        std::vector<lint::Finding> violations;
+        lint::check_tier_pins(workflow_.jobs(), plan.decisions, violations);
+        if (!violations.empty()) {
+            eval.infeasibility = violations.front().message;
             return eval;
         }
     }
@@ -361,6 +366,16 @@ WorkflowPlan WorkflowSolver::best_uniform_plan() const {
 }
 
 WorkflowSolveResult WorkflowSolver::solve(ThreadPool* pool) const {
+    // Pre-solve lint. Structural errors reject; an unattainable deadline
+    // (L009's certified lower bound) is demoted to a note because this
+    // solver's contract is best-effort — the §5.2.2 baselines count misses,
+    // so a plan must come back even when no plan can meet the deadline.
+    lint::LintContext lint_ctx;
+    lint_ctx.models = &evaluator_->models();
+    lint::Report pre = lint::lint_workflow(evaluator_->workflow(), lint_ctx);
+    lint::demote(pre, "L009", lint::Severity::kWarning);
+    lint::enforce(pre);
+
     std::vector<WorkflowSolveResult> results(static_cast<std::size_t>(options_.chains));
     auto run_one = [&](std::size_t c) {
         results[c] = run_chain(options_.seed + 104729 * (c + 1));
@@ -379,8 +394,14 @@ WorkflowSolveResult WorkflowSolver::solve(ThreadPool* pool) const {
     for (std::size_t c = 1; c < results.size(); ++c) {
         if (score(results[c].evaluation) > score(results[best].evaluation)) best = c;
     }
-    if (score(fallback.evaluation) > score(results[best].evaluation)) return fallback;
-    return results[best];
+    WorkflowSolveResult chosen =
+        score(fallback.evaluation) > score(results[best].evaluation)
+            ? std::move(fallback)
+            : std::move(results[best]);
+    for (const lint::Finding* f : pre.at(lint::Severity::kWarning)) {
+        chosen.lint_notes.push_back(f->format());
+    }
+    return chosen;
 }
 
 // ---------------------------------------------------------------------------

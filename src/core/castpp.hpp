@@ -36,6 +36,8 @@ struct CastResult {
     TieringPlan plan;
     PlanEvaluation evaluation;
     TieringPlan greedy_initial;
+    /// Pre-solve lint warnings (formatted findings); empty on a clean input.
+    std::vector<std::string> lint_notes;
 };
 
 /// Basic CAST: reuse-oblivious utility maximization.
@@ -113,6 +115,10 @@ struct WorkflowSolveResult {
     WorkflowPlan plan;
     WorkflowEvaluation evaluation;
     int iterations = 0;
+    /// Pre-solve lint warnings, including a demoted L009 when the deadline
+    /// is below the certified runtime lower bound (the solve is then
+    /// best-effort by construction).
+    std::vector<std::string> lint_notes;
 };
 
 /// CAST++ deadline mode: minimize $total subject to the workflow deadline

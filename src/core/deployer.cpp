@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "lint/analyzer.hpp"
+
 namespace cast::core {
 
 namespace {
@@ -21,34 +23,33 @@ std::string fault_summary(const std::string& job_name, const sim::FaultStats& f)
     return s;
 }
 
-void validate_decisions(const std::vector<PlacementDecision>& decisions,
-                        const workload::Workload& workload) {
-    if (decisions.size() != workload.size()) {
-        throw ValidationError("plan has " + std::to_string(decisions.size()) +
-                              " decisions for " + std::to_string(workload.size()) + " jobs");
-    }
-    for (std::size_t i = 0; i < decisions.size(); ++i) {
-        const auto& d = decisions[i];
-        const auto& job = workload.job(i);
-        if (!std::isfinite(d.overprovision) || d.overprovision < 1.0) {
-            throw ValidationError("job '" + job.name + "': over-provisioning factor " +
-                                  std::to_string(d.overprovision) +
-                                  " is not a finite value >= 1");
-        }
-        if (job.pinned_tier && *job.pinned_tier != d.tier) {
-            throw ValidationError("job '" + job.name + "' is pinned to " +
-                                  std::string(cloud::tier_name(*job.pinned_tier)) +
-                                  " but the plan places it on " +
-                                  std::string(cloud::tier_name(d.tier)));
-        }
-    }
+/// Pre-deploy lint of a workload plan: shape, factor, pin and reuse rules
+/// (L012-L018) plus the workload rules, all through the shared analyzer.
+lint::Report lint_plan(const PlanEvaluator& evaluator, const TieringPlan& plan) {
+    lint::LintContext ctx;
+    ctx.models = &evaluator.models();
+    ctx.reuse_aware = evaluator.options().reuse_aware;
+    return lint::lint_workload_plan(evaluator.workload(), plan, ctx);
 }
 
-/// A workflow has no pinned-tier or reuse metadata beyond its job specs;
-/// reuse the same per-decision checks.
-void validate_decisions(const std::vector<PlacementDecision>& decisions,
-                        const std::vector<workload::JobSpec>& jobs) {
-    validate_decisions(decisions, workload::Workload(jobs));
+/// Pre-deploy lint of a workflow plan. L009 (deadline below the certified
+/// lower bound) is demoted to a warning: the deployer's job is to execute
+/// and measure — a plan that will miss its deadline still deploys, and the
+/// report says MISSED (the §5.2.2 baselines depend on exactly that).
+lint::Report lint_workflow_plan_for_deploy(const WorkflowEvaluator& evaluator,
+                                           const WorkflowPlan& plan) {
+    lint::LintContext ctx;
+    ctx.models = &evaluator.models();
+    lint::Report report =
+        lint::lint_workflow_plan(evaluator.workflow(), plan.decisions, ctx);
+    lint::demote(report, "L009", lint::Severity::kWarning);
+    return report;
+}
+
+void capture_warnings(const lint::Report& report, std::vector<std::string>* out) {
+    for (const lint::Finding* f : report.at(lint::Severity::kWarning)) {
+        out->push_back(f->format());
+    }
 }
 
 /// Account for a degraded job: its primary data moves to the backing object
@@ -82,7 +83,7 @@ sim::ClusterSim Deployer::make_sim(const model::PerfModelSet& models,
 }
 
 void Deployer::validate_plan(const PlanEvaluator& evaluator, const TieringPlan& plan) {
-    validate_decisions(plan.decisions(), evaluator.workload());
+    lint::enforce(lint_plan(evaluator, plan));
     // Provisioning rules (per-VM volume maxima, whole-volume rounding) can
     // reject a decision; surface that before any job runs.
     (void)evaluator.capacities(plan);
@@ -90,7 +91,7 @@ void Deployer::validate_plan(const PlanEvaluator& evaluator, const TieringPlan& 
 
 void Deployer::validate_workflow_plan(const WorkflowEvaluator& evaluator,
                                       const WorkflowPlan& plan) {
-    validate_decisions(plan.decisions, evaluator.workflow().jobs());
+    lint::enforce(lint_workflow_plan_for_deploy(evaluator, plan));
     const WorkflowEvaluation modeled = evaluator.evaluate(plan);
     if (!modeled.feasible) {
         throw ValidationError("cannot deploy an infeasible workflow plan: " +
@@ -172,10 +173,12 @@ Deployer::JobRun Deployer::run_with_policy(const model::PerfModelSet& models,
 
 WorkloadDeployment Deployer::deploy(const PlanEvaluator& evaluator,
                                     const TieringPlan& plan) const {
-    validate_plan(evaluator, plan);
+    const lint::Report checked = lint_plan(evaluator, plan);
+    lint::enforce(checked);
     const auto& workload = evaluator.workload();
 
     WorkloadDeployment dep;
+    capture_warnings(checked, &dep.lint_warnings);
     dep.capacities = evaluator.capacities(plan);
     const sim::ClusterSim simulator =
         make_sim(evaluator.models(), dep.capacities, sim_options_);
@@ -214,14 +217,20 @@ WorkloadDeployment Deployer::deploy(const PlanEvaluator& evaluator,
 
 WorkflowDeployment Deployer::deploy_workflow(const WorkflowEvaluator& evaluator,
                                              const WorkflowPlan& plan) const {
-    validate_workflow_plan(evaluator, plan);
+    const lint::Report checked = lint_workflow_plan_for_deploy(evaluator, plan);
+    lint::enforce(checked);
     const auto& wf = evaluator.workflow();
 
     // Capacity breakdown comes from the workflow evaluator (Eq. 10 +
     // conventions); reuse its provisioning by evaluating once.
     const WorkflowEvaluation modeled = evaluator.evaluate(plan);
+    if (!modeled.feasible) {
+        throw ValidationError("cannot deploy an infeasible workflow plan: " +
+                              modeled.infeasibility);
+    }
 
     WorkflowDeployment dep;
+    capture_warnings(checked, &dep.lint_warnings);
     dep.capacities = modeled.capacities;
     const sim::ClusterSim simulator =
         make_sim(evaluator.models(), dep.capacities, sim_options_);

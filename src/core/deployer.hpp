@@ -64,6 +64,9 @@ struct WorkloadDeployment {
     int retry_count = 0;
     /// Human-readable record of every fault handled during deployment.
     std::vector<std::string> fault_log;
+    /// Warning-severity lint findings from pre-deploy validation (errors
+    /// throw instead). Rendered by write_deployment_report.
+    std::vector<std::string> lint_warnings;
 
     [[nodiscard]] Dollars total_cost() const { return vm_cost + storage_cost; }
 };
@@ -79,6 +82,9 @@ struct WorkflowDeployment {
     std::vector<std::size_t> degraded_jobs;    // workflow job indices
     int retry_count = 0;
     std::vector<std::string> fault_log;
+    /// Warning-severity lint findings from pre-deploy validation, including
+    /// a demoted L009 when the deadline is provably unattainable.
+    std::vector<std::string> lint_warnings;
 
     [[nodiscard]] Dollars total_cost() const { return vm_cost + storage_cost; }
 };
@@ -102,14 +108,17 @@ public:
     [[nodiscard]] WorkflowDeployment deploy_workflow(const WorkflowEvaluator& evaluator,
                                                      const WorkflowPlan& plan) const;
 
-    /// Pre-flight validation of a workload plan: size mismatch, non-finite
-    /// or sub-1 over-provisioning factors, violated tier pins, and
-    /// unprovisionable capacities all raise ValidationError naming the
-    /// offending job.
+    /// Pre-flight validation of a workload plan through cast::lint: size
+    /// mismatch (L012), non-finite or sub-1 over-provisioning factors
+    /// (L013), violated tier pins (L014), split reuse groups (L015),
+    /// unprovisionable capacities (L017) and unmodeled placements (L018)
+    /// all raise ValidationError naming the offending finding.
     static void validate_plan(const PlanEvaluator& evaluator, const TieringPlan& plan);
 
-    /// Pre-flight validation of a workflow plan (same checks, plus model
-    /// feasibility which the workflow evaluator reports).
+    /// Pre-flight validation of a workflow plan (same rules, plus model
+    /// feasibility which the workflow evaluator reports; L009 deadline
+    /// infeasibility is a warning here — missed deadlines deploy and
+    /// report MISSED).
     static void validate_workflow_plan(const WorkflowEvaluator& evaluator,
                                        const WorkflowPlan& plan);
 

@@ -1,5 +1,7 @@
 #include "core/greedy.hpp"
 
+#include "lint/analyzer.hpp"
+
 namespace cast::core {
 
 double GreedySolver::single_job_utility(const workload::JobSpec& job, cloud::StorageTier tier,
@@ -17,6 +19,13 @@ double GreedySolver::single_job_utility(const workload::JobSpec& job, cloud::Sto
 
 TieringPlan GreedySolver::solve(const GreedyOptions& options) const {
     CAST_EXPECTS(!options.overprov_choices.empty());
+    // Pre-solve lint: same rejection the annealing solver applies, so a bad
+    // workload fails identically whichever solver sees it first.
+    lint::LintContext lint_ctx;
+    lint_ctx.models = &evaluator_->models();
+    lint_ctx.reuse_aware = evaluator_->options().reuse_aware;
+    lint::enforce(lint::lint_workload(evaluator_->workload(), lint_ctx));
+
     const auto& jobs = evaluator_->workload().jobs();
     std::vector<PlacementDecision> decisions;
     decisions.reserve(jobs.size());

@@ -20,6 +20,14 @@ void write_fault_section(int retry_count, const std::vector<std::size_t>& degrad
        << degraded_jobs.size() << " job(s) degraded to the backing store\n";
     for (const auto& line : fault_log) os << "  - " << line << "\n";
 }
+
+/// Shared lint-note section: silent when pre-solve/pre-deploy lint found
+/// nothing, so clean reports are unchanged.
+void write_lint_section(const std::vector<std::string>& notes, std::ostream& os) {
+    if (notes.empty()) return;
+    os << "\nlint notes:\n";
+    for (const auto& line : notes) os << "  - " << line << "\n";
+}
 }  // namespace
 
 void write_capacity_bill(const CapacityBreakdown& caps, Seconds runtime,
@@ -43,7 +51,8 @@ void write_capacity_bill(const CapacityBreakdown& caps, Seconds runtime,
 }
 
 void write_plan_report(const PlanEvaluator& evaluator, const TieringPlan& plan,
-                       const PlanEvaluation& evaluation, std::ostream& os) {
+                       const PlanEvaluation& evaluation, std::ostream& os,
+                       const std::vector<std::string>& lint_notes) {
     const auto& workload = evaluator.workload();
     CAST_EXPECTS(plan.size() == workload.size());
     os << "tiering plan: " << plan.summarize() << "\n\n";
@@ -61,6 +70,7 @@ void write_plan_report(const PlanEvaluator& evaluator, const TieringPlan& plan,
     t.print(os);
     if (!evaluation.feasible) {
         os << "\nINFEASIBLE: " << evaluation.infeasibility << "\n";
+        write_lint_section(lint_notes, os);
         return;
     }
     os << "\nmodeled: runtime " << fmt(evaluation.total_runtime.minutes(), 1)
@@ -70,6 +80,7 @@ void write_plan_report(const PlanEvaluator& evaluator, const TieringPlan& plan,
        << evaluation.utility << "\n\nprovisioning bill:\n";
     write_capacity_bill(evaluation.capacities, evaluation.total_runtime,
                         evaluator.models().catalog(), os);
+    write_lint_section(lint_notes, os);
 }
 
 void write_deployment_report(const PlanEvaluator& evaluator, const TieringPlan& plan,
@@ -107,6 +118,7 @@ void write_deployment_report(const PlanEvaluator& evaluator, const TieringPlan& 
                         evaluator.models().catalog(), os);
     write_fault_section(measured.retry_count, measured.degraded_jobs, measured.fault_log,
                         os);
+    write_lint_section(measured.lint_warnings, os);
 }
 
 void write_workflow_report(const WorkflowEvaluator& evaluator, const WorkflowPlan& plan,
@@ -142,6 +154,7 @@ void write_workflow_report(const WorkflowEvaluator& evaluator, const WorkflowPla
     }
     write_fault_section(measured.retry_count, measured.degraded_jobs, measured.fault_log,
                         os);
+    write_lint_section(measured.lint_warnings, os);
 }
 
 }  // namespace cast::core

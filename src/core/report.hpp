@@ -20,8 +20,11 @@ void write_capacity_bill(const CapacityBreakdown& caps, Seconds runtime,
                          const cloud::StorageCatalog& catalog, std::ostream& os);
 
 /// Full plan report: placement table, modeled runtime/cost/utility, bill.
+/// `lint_notes` (e.g. CastResult::lint_notes) are rendered as a trailing
+/// section when non-empty.
 void write_plan_report(const PlanEvaluator& evaluator, const TieringPlan& plan,
-                       const PlanEvaluation& evaluation, std::ostream& os);
+                       const PlanEvaluation& evaluation, std::ostream& os,
+                       const std::vector<std::string>& lint_notes = {});
 
 /// Deployment report: adds measured per-job phase times and the
 /// modeled-vs-measured deltas.

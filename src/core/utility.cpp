@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "lint/checks.hpp"
+
 namespace cast::core {
 
 namespace {
@@ -112,17 +114,17 @@ PlanEvaluation PlanEvaluator::evaluate(const TieringPlan& plan) const {
         eval.infeasibility = "empty workload";
         return eval;
     }
-    if (options_.reuse_aware && !plan.respects_reuse_groups(workload_)) {
-        eval.infeasibility = "plan splits a reuse group across tiers (violates Eq. 7)";
-        return eval;
+    // Placement constraints (Eq. 7 co-location, operator pins) via the
+    // shared lint checks, so solver, deployer and CLI agree on what a
+    // violation is; the clean path appends nothing.
+    std::vector<lint::Finding> violations;
+    if (options_.reuse_aware) {
+        lint::check_reuse_group_split(workload_.jobs(), plan.decisions(), violations);
     }
-    for (std::size_t i = 0; i < workload_.size(); ++i) {
-        const auto& job = workload_.job(i);
-        if (job.pinned_tier && *job.pinned_tier != plan.decision(i).tier) {
-            eval.infeasibility = "job '" + job.name + "' is pinned to " +
-                                 std::string(cloud::tier_name(*job.pinned_tier));
-            return eval;
-        }
+    lint::check_tier_pins(workload_.jobs(), plan.decisions(), violations);
+    if (!violations.empty()) {
+        eval.infeasibility = violations.front().message;
+        return eval;
     }
     try {
         eval.capacities = capacities(plan);

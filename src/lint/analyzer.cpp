@@ -1,0 +1,86 @@
+#include "lint/analyzer.hpp"
+
+namespace cast::lint {
+
+namespace {
+
+/// Fill catalog from the model set when the caller provided only models.
+void complete(LintInput& input, const LintContext& ctx) {
+    input.catalog = ctx.catalog;
+    input.models = ctx.models;
+    input.reuse_aware = ctx.reuse_aware;
+    input.source = ctx.source;
+    if (input.catalog == nullptr && input.models != nullptr) {
+        input.catalog = &input.models->catalog();
+    }
+}
+
+}  // namespace
+
+Report Analyzer::run(const LintInput& input) const {
+    Report report;
+    for (const auto& rule : rules_) rule->run(input, report.findings);
+    return report;
+}
+
+const Analyzer& Analyzer::standard() {
+    static const Analyzer instance;
+    return instance;
+}
+
+Report lint_workload(const workload::Workload& workload, const LintContext& ctx) {
+    LintInput input;
+    input.jobs = &workload.jobs();
+    complete(input, ctx);
+    return Analyzer::standard().run(input);
+}
+
+Report lint_workload_plan(const workload::Workload& workload, const core::TieringPlan& plan,
+                          const LintContext& ctx) {
+    LintInput input;
+    input.jobs = &workload.jobs();
+    input.decisions = &plan.decisions();
+    complete(input, ctx);
+    return Analyzer::standard().run(input);
+}
+
+Report lint_workflow(const workload::Workflow& workflow, const LintContext& ctx) {
+    LintInput input;
+    input.jobs = &workflow.jobs();
+    input.edges = &workflow.edges();
+    input.deadline = workflow.deadline();
+    input.workflow_name = workflow.name();
+    complete(input, ctx);
+    return Analyzer::standard().run(input);
+}
+
+Report lint_workflow_plan(const workload::Workflow& workflow,
+                          const std::vector<core::PlacementDecision>& decisions,
+                          const LintContext& ctx) {
+    LintInput input;
+    input.jobs = &workflow.jobs();
+    input.edges = &workflow.edges();
+    input.deadline = workflow.deadline();
+    input.workflow_name = workflow.name();
+    input.decisions = &decisions;
+    complete(input, ctx);
+    return Analyzer::standard().run(input);
+}
+
+Report lint_catalog(const cloud::StorageCatalog& catalog) {
+    LintInput input;
+    input.catalog = &catalog;
+    return Analyzer::standard().run(input);
+}
+
+Report lint_spec(const workload::ParsedSpec& spec, const LintContext& ctx) {
+    LintContext with_source = ctx;
+    with_source.source = &spec.source;
+    if (spec.is_workflow()) {
+        return lint_workflow(*spec.workflow, with_source);
+    }
+    CAST_EXPECTS_MSG(spec.workload.has_value(), "parsed spec holds neither kind");
+    return lint_workload(*spec.workload, with_source);
+}
+
+}  // namespace cast::lint

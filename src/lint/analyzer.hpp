@@ -1,0 +1,78 @@
+// The cast::lint Analyzer: runs a rule set over specs, catalogs, and plans.
+//
+// Three consumption styles, all over the same rules:
+//   * library: lint_workload(...)/lint_workflow(...)/lint_catalog(...)
+//     return a Report the caller inspects;
+//   * pre-solve/pre-deploy hooks: the solvers and the Deployer run the
+//     relevant entry point and enforce() it — error findings reject the
+//     input before any search or deployment spends time on it, warnings
+//     ride along into reports;
+//   * CLI: tools/cast_lint parses spec files and prints text or JSON.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "lint/rules.hpp"
+
+namespace cast::lint {
+
+/// Optional surroundings for a lint run. Everything may be null; more
+/// context enables more rules (L009-L011, L017, L018 need catalog/models).
+struct LintContext {
+    const cloud::StorageCatalog* catalog = nullptr;
+    const model::PerfModelSet* models = nullptr;
+    /// Eq. 7 reuse constraints active (CAST++ planning)?
+    bool reuse_aware = false;
+    /// Source locations when the input came from a parsed spec file.
+    const workload::SpecSourceMap* source = nullptr;
+};
+
+class Analyzer {
+public:
+    /// Analyzer over the standard L001..L018 rule set.
+    Analyzer() : Analyzer(standard_rules()) {}
+    explicit Analyzer(std::vector<std::unique_ptr<Rule>> rules)
+        : rules_(std::move(rules)) {}
+
+    [[nodiscard]] const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
+
+    /// Run every rule over the input; findings arrive in rule-ID order.
+    [[nodiscard]] Report run(const LintInput& input) const;
+
+    /// Shared immutable instance with the standard rules (the hooks use
+    /// this to avoid rebuilding the rule set per solve).
+    [[nodiscard]] static const Analyzer& standard();
+
+private:
+    std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// Lint a batch workload (plus whatever the context provides).
+[[nodiscard]] Report lint_workload(const workload::Workload& workload,
+                                   const LintContext& ctx = {});
+
+/// Lint a batch workload together with a tiering plan for it.
+[[nodiscard]] Report lint_workload_plan(const workload::Workload& workload,
+                                        const core::TieringPlan& plan,
+                                        const LintContext& ctx = {});
+
+/// Lint a workflow (DAG rules plus the L009 deadline lower bound when the
+/// context carries models).
+[[nodiscard]] Report lint_workflow(const workload::Workflow& workflow,
+                                   const LintContext& ctx = {});
+
+/// Lint a workflow together with per-stage placement decisions.
+[[nodiscard]] Report lint_workflow_plan(const workload::Workflow& workflow,
+                                        const std::vector<core::PlacementDecision>& decisions,
+                                        const LintContext& ctx = {});
+
+/// Lint a storage catalog on its own (L010/L011).
+[[nodiscard]] Report lint_catalog(const cloud::StorageCatalog& catalog);
+
+/// Lint a parsed spec file (workload or workflow), attributing findings to
+/// source lines via the spec's source map.
+[[nodiscard]] Report lint_spec(const workload::ParsedSpec& spec, const LintContext& ctx = {});
+
+}  // namespace cast::lint

@@ -1,0 +1,82 @@
+#include "lint/checks.hpp"
+
+#include <map>
+
+namespace cast::lint {
+
+namespace {
+
+std::string tier_str(cloud::StorageTier t) { return std::string(cloud::tier_name(t)); }
+
+}  // namespace
+
+void check_tier_pins(const std::vector<workload::JobSpec>& jobs,
+                     const std::vector<core::PlacementDecision>& decisions,
+                     std::vector<Finding>& out) {
+    const std::size_t n = std::min(jobs.size(), decisions.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& job = jobs[i];
+        if (!job.pinned_tier || *job.pinned_tier == decisions[i].tier) continue;
+        out.push_back(Finding{
+            .rule = "L014",
+            .severity = Severity::kError,
+            .subject = "job '" + job.name + "'",
+            .message = "job '" + job.name + "' is pinned to " +
+                       tier_str(*job.pinned_tier) + " but the plan places it on " +
+                       tier_str(decisions[i].tier),
+            .fix_hint = "move the job back to " + tier_str(*job.pinned_tier) +
+                        " or drop the tier= pin from the spec",
+        });
+    }
+}
+
+void check_reuse_pin_conflicts(const std::vector<workload::JobSpec>& jobs,
+                               Severity severity, std::vector<Finding>& out) {
+    // group id -> (index of first pinned member, its tier)
+    std::map<int, std::pair<std::size_t, cloud::StorageTier>> pinned;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto& job = jobs[i];
+        if (!job.reuse_group || !job.pinned_tier) continue;
+        const auto [it, inserted] = pinned.emplace(*job.reuse_group,
+                                                   std::make_pair(i, *job.pinned_tier));
+        if (inserted || it->second.second == *job.pinned_tier) continue;
+        out.push_back(Finding{
+            .rule = "L005",
+            .severity = severity,
+            .subject = "reuse group " + std::to_string(*job.reuse_group),
+            .message = "reuse group " + std::to_string(*job.reuse_group) + " pins '" +
+                       jobs[it->second.first].name + "' to " +
+                       tier_str(it->second.second) + " but '" + job.name + "' to " +
+                       tier_str(*job.pinned_tier) +
+                       " (Eq. 7 co-locates the group on one tier)",
+            .fix_hint = "make every pinned member of the group agree on one tier",
+        });
+    }
+}
+
+void check_reuse_group_split(const std::vector<workload::JobSpec>& jobs,
+                             const std::vector<core::PlacementDecision>& decisions,
+                             std::vector<Finding>& out) {
+    // group id -> (index of first member, its planned tier)
+    std::map<int, std::pair<std::size_t, cloud::StorageTier>> first;
+    const std::size_t n = std::min(jobs.size(), decisions.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& job = jobs[i];
+        if (!job.reuse_group) continue;
+        const auto [it, inserted] =
+            first.emplace(*job.reuse_group, std::make_pair(i, decisions[i].tier));
+        if (inserted || it->second.second == decisions[i].tier) continue;
+        out.push_back(Finding{
+            .rule = "L015",
+            .severity = Severity::kError,
+            .subject = "reuse group " + std::to_string(*job.reuse_group),
+            .message = "plan splits reuse group " + std::to_string(*job.reuse_group) +
+                       " across tiers: '" + jobs[it->second.first].name + "' on " +
+                       tier_str(it->second.second) + " but '" + job.name + "' on " +
+                       tier_str(decisions[i].tier) + " (violates Eq. 7)",
+            .fix_hint = "place every member of the group on one tier",
+        });
+    }
+}
+
+}  // namespace cast::lint

@@ -1,0 +1,133 @@
+#include "lint/finding.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace cast::lint {
+
+std::string_view severity_name(Severity s) {
+    switch (s) {
+        case Severity::kInfo: return "info";
+        case Severity::kWarning: return "warning";
+        case Severity::kError: return "error";
+    }
+    CAST_ENSURES_MSG(false, "unreachable: bad Severity");
+}
+
+std::string Finding::format() const {
+    std::string out = std::string(severity_name(severity)) + " " + rule;
+    if (!subject.empty()) out += " [" + subject + "]";
+    if (line) out += " (line " + std::to_string(*line) + ")";
+    out += ": " + message;
+    if (!fix_hint.empty()) out += ". hint: " + fix_hint;
+    return out;
+}
+
+Severity Report::max_severity() const {
+    Severity max = Severity::kInfo;
+    for (const auto& f : findings) max = std::max(max, f.severity);
+    return max;
+}
+
+std::size_t Report::count(Severity s) const {
+    return static_cast<std::size_t>(
+        std::count_if(findings.begin(), findings.end(),
+                      [s](const Finding& f) { return f.severity == s; }));
+}
+
+std::vector<const Finding*> Report::at(Severity s) const {
+    std::vector<const Finding*> out;
+    for (const auto& f : findings) {
+        if (f.severity == s) out.push_back(&f);
+    }
+    return out;
+}
+
+void Report::merge(Report other) {
+    findings.insert(findings.end(), std::make_move_iterator(other.findings.begin()),
+                    std::make_move_iterator(other.findings.end()));
+}
+
+void Report::write_text(std::ostream& os) const {
+    for (Severity s : {Severity::kError, Severity::kWarning, Severity::kInfo}) {
+        for (const Finding* f : at(s)) os << f->format() << "\n";
+    }
+    os << count(Severity::kError) << " error(s), " << count(Severity::kWarning)
+       << " warning(s), " << count(Severity::kInfo) << " note(s)\n";
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, std::string_view s) {
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    static constexpr char kHex[] = "0123456789abcdef";
+                    os << "\\u00" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+}  // namespace
+
+void Report::write_json(std::ostream& os, const std::string& source) const {
+    os << "{";
+    if (!source.empty()) {
+        os << "\"source\": ";
+        write_json_string(os, source);
+        os << ", ";
+    }
+    os << "\"errors\": " << count(Severity::kError)
+       << ", \"warnings\": " << count(Severity::kWarning) << ", \"findings\": [";
+    bool first = true;
+    for (Severity s : {Severity::kError, Severity::kWarning, Severity::kInfo}) {
+        for (const Finding* f : at(s)) {
+            if (!first) os << ", ";
+            first = false;
+            os << "{\"rule\": ";
+            write_json_string(os, f->rule);
+            os << ", \"severity\": ";
+            write_json_string(os, severity_name(f->severity));
+            os << ", \"subject\": ";
+            write_json_string(os, f->subject);
+            os << ", \"message\": ";
+            write_json_string(os, f->message);
+            if (!f->fix_hint.empty()) {
+                os << ", \"fix_hint\": ";
+                write_json_string(os, f->fix_hint);
+            }
+            if (f->line) os << ", \"line\": " << *f->line;
+            os << "}";
+        }
+    }
+    os << "]}\n";
+}
+
+void demote(Report& report, std::string_view rule, Severity severity) {
+    for (auto& f : report.findings) {
+        if (f.rule == rule && f.severity > severity) f.severity = severity;
+    }
+}
+
+void enforce(const Report& report) {
+    if (report.ok()) return;
+    std::string what = "lint rejected the input:";
+    for (const Finding* f : report.at(Severity::kError)) {
+        what += "\n  " + f->format();
+    }
+    throw ValidationError(what);
+}
+
+}  // namespace cast::lint

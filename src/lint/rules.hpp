@@ -1,0 +1,92 @@
+// The cast::lint rule engine: Rule interface, LintInput, standard rule set.
+//
+// CAST decides placements before anything runs, so its inputs (workload
+// specs, the Table-1 storage catalog, DAG workflows) and outputs (tiering
+// plans) are checked statically, before a single simulated second is spent.
+// Each rule encodes one invariant under a stable ID; the standard set is:
+//
+//   L001 error  job sizes/counts finite and positive
+//   L002 warn   job magnitudes within plausible operating ranges
+//   L003 error  job ids unique
+//   L004 error  reuse-group members share one input size
+//   L005 error* reuse-group tier pins agree (*warning when not reuse-aware)
+//   L006 error  workflow DAG has no cycles or self-edges
+//   L007 warn   no isolated (edge-less) stage in a connected workflow
+//   L008 error  workflow edges reference declared job ids
+//   L009 error  deadline at least the fastest-possible critical path
+//   L010 error  catalog capacity->throughput curves monotone non-decreasing
+//   L011 error  catalog tier conventions resolvable (durable backing store,
+//               block-tier intermediate home)
+//   L012 error  plan has one decision per job
+//   L013 error  over-provision factors finite and >= 1
+//   L014 error  plan honors operator tier pins
+//   L015 error  plan keeps reuse groups on one tier (Eq. 7)
+//   L016 warn   over-provision factors buy something (<= 16x, not on
+//               objStore whose performance is capacity-flat)
+//   L017 error  per-VM capacities fit provider volume limits
+//   L018 error  a profiled model exists for every (app, tier) placement
+//
+// Rules run over whatever slice of the input is present: spec-only lint
+// skips plan rules, model-free lint skips L009/L017/L018, and so on. Rule
+// L000 is reserved for "the spec did not parse" (emitted by tooling, not by
+// a Rule).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cloud/storage.hpp"
+#include "common/units.hpp"
+#include "core/plan.hpp"
+#include "lint/finding.hpp"
+#include "model/profiler.hpp"
+#include "workload/spec_parser.hpp"
+#include "workload/workflow.hpp"
+
+namespace cast::lint {
+
+/// Non-owning view of everything a lint run may analyze. Only `jobs` is
+/// required; every other field widens the rule set that can run. Raw
+/// vectors (not validated Workload/Workflow objects) are deliberate: lint
+/// must be able to describe inputs too broken to construct.
+struct LintInput {
+    const std::vector<workload::JobSpec>* jobs = nullptr;
+    /// Workflow context; null/absent for batch workloads.
+    const std::vector<workload::WorkflowEdge>* edges = nullptr;
+    std::optional<Seconds> deadline;
+    std::string workflow_name;
+    /// Plan under review (batch or workflow decisions), when any.
+    const std::vector<core::PlacementDecision>* decisions = nullptr;
+    const cloud::StorageCatalog* catalog = nullptr;
+    const model::PerfModelSet* models = nullptr;
+    /// Whether Eq. 7 reuse constraints are active (CAST++ planning).
+    bool reuse_aware = false;
+    /// Spec-file locations for findings, when the input came from a file.
+    const workload::SpecSourceMap* source = nullptr;
+
+    [[nodiscard]] bool is_workflow() const { return edges != nullptr; }
+};
+
+/// One invariant, identified by a stable rule ID. run() appends a Finding
+/// per violation and must tolerate partial inputs (skip, don't crash).
+class Rule {
+public:
+    Rule() = default;
+    Rule(const Rule&) = delete;
+    Rule& operator=(const Rule&) = delete;
+    virtual ~Rule() = default;
+
+    [[nodiscard]] virtual std::string_view id() const = 0;
+    [[nodiscard]] virtual Severity default_severity() const = 0;
+    /// One-line description of the invariant, for --list-rules and docs.
+    [[nodiscard]] virtual std::string_view summary() const = 0;
+    virtual void run(const LintInput& input, std::vector<Finding>& out) const = 0;
+};
+
+/// The standard L001..L018 rule set, in ID order.
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> standard_rules();
+
+}  // namespace cast::lint

@@ -11,19 +11,41 @@ namespace cast::workload {
 
 namespace {
 
-[[noreturn]] void fail(int line_no, const std::string& what) {
-    throw ValidationError("spec line " + std::to_string(line_no) + ": " + what);
+/// One whitespace-delimited token plus the 1-based column where it starts
+/// in the raw (uncommented) source line, for error messages.
+struct Token {
+    std::string text;
+    int column = 0;
+};
+
+[[noreturn]] void fail(int line_no, int column, const std::string& what) {
+    std::string where = "spec line " + std::to_string(line_no);
+    if (column > 0) where += ", col " + std::to_string(column);
+    throw ValidationError(where + ": " + what);
 }
 
-/// Strip a trailing "# comment" and surrounding whitespace.
-std::string strip(const std::string& raw) {
+[[noreturn]] void fail_at(int line_no, const Token& tok, const std::string& what) {
+    fail(line_no, tok.column, what);
+}
+
+/// Split a raw line into tokens with column positions, dropping a trailing
+/// "# comment".
+std::vector<Token> tokenize(const std::string& raw) {
     std::string s = raw;
     const auto hash = s.find('#');
     if (hash != std::string::npos) s.erase(hash);
-    const auto first = s.find_first_not_of(" \t\r");
-    if (first == std::string::npos) return "";
-    const auto last = s.find_last_not_of(" \t\r");
-    return s.substr(first, last - first + 1);
+    std::vector<Token> tokens;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        if (s[i] == ' ' || s[i] == '\t' || s[i] == '\r') {
+            ++i;
+            continue;
+        }
+        const std::size_t start = i;
+        while (i < s.size() && s[i] != ' ' && s[i] != '\t' && s[i] != '\r') ++i;
+        tokens.push_back(Token{s.substr(start, i - start), static_cast<int>(start) + 1});
+    }
+    return tokens;
 }
 
 /// Parse "key=value" into (key, value); returns false for plain tokens.
@@ -35,79 +57,93 @@ bool split_kv(const std::string& token, std::string& key, std::string& value) {
     return true;
 }
 
-double parse_double(const std::string& value, int line_no, const std::string& what) {
+/// Column of the value part of a "key=value" token.
+int value_column(const Token& tok, const std::string& key) {
+    return tok.column + static_cast<int>(key.size()) + 1;
+}
+
+double parse_double(const std::string& value, int line_no, int column,
+                    const std::string& what) {
     std::size_t consumed = 0;
     double v = 0.0;
     try {
         v = std::stod(value, &consumed);
     } catch (const std::exception&) {
-        fail(line_no, "bad " + what + " '" + value + "'");
+        fail(line_no, column, "bad " + what + " '" + value + "'");
     }
-    if (consumed != value.size()) fail(line_no, "bad " + what + " '" + value + "'");
+    if (consumed != value.size()) fail(line_no, column, "bad " + what + " '" + value + "'");
     // std::stod happily parses "nan" and "inf"; neither is a meaningful
     // size, count or deadline anywhere in the spec format.
-    if (!std::isfinite(v)) fail(line_no, what + " must be finite, got '" + value + "'");
+    if (!std::isfinite(v)) {
+        fail(line_no, column, what + " must be finite, got '" + value + "'");
+    }
     return v;
 }
 
-int parse_int(const std::string& value, int line_no, const std::string& what) {
-    const double v = parse_double(value, line_no, what);
+int parse_int(const std::string& value, int line_no, int column, const std::string& what) {
+    const double v = parse_double(value, line_no, column, what);
     const int i = static_cast<int>(v);
-    if (static_cast<double>(i) != v) fail(line_no, what + " must be an integer");
+    if (static_cast<double>(i) != v) fail(line_no, column, what + " must be an integer");
     return i;
 }
 
-JobSpec parse_job_line(std::istringstream& tokens, int line_no) {
-    std::string id_tok;
-    std::string app_tok;
-    std::string gb_tok;
-    tokens >> id_tok >> app_tok >> gb_tok;
-    if (gb_tok.empty()) fail(line_no, "job needs: job <id> <app> <input-GB> [options]");
+JobSpec parse_job_line(const std::vector<Token>& tokens, int line_no) {
+    if (tokens.size() < 4) {
+        fail(line_no, tokens.front().column,
+             "job needs: job <id> <app> <input-GB> [options]");
+    }
+    const Token& id_tok = tokens[1];
+    const Token& app_tok = tokens[2];
+    const Token& gb_tok = tokens[3];
 
     JobSpec job;
-    job.id = parse_int(id_tok, line_no, "job id");
-    const auto app = app_from_name(app_tok);
-    if (!app) fail(line_no, "unknown application '" + app_tok + "'");
+    job.id = parse_int(id_tok.text, line_no, id_tok.column, "job id");
+    const auto app = app_from_name(app_tok.text);
+    if (!app) fail_at(line_no, app_tok, "unknown application '" + app_tok.text + "'");
     job.app = *app;
-    job.input = GigaBytes{parse_double(gb_tok, line_no, "input size")};
-    if (job.input.value() <= 0.0) fail(line_no, "input size must be positive");
+    job.input = GigaBytes{parse_double(gb_tok.text, line_no, gb_tok.column, "input size")};
+    if (job.input.value() <= 0.0) fail_at(line_no, gb_tok, "input size must be positive");
 
     // Paper defaults: one map per 128 MB chunk, reduces = maps / 4.
     job.map_tasks = std::max(1, static_cast<int>(job.input.value() / 0.128));
     job.reduce_tasks = std::max(1, job.map_tasks / 4);
     job.name = std::string(app_name(job.app)) + "-" + std::to_string(job.id);
 
-    std::string token;
-    while (tokens >> token) {
+    for (std::size_t t = 4; t < tokens.size(); ++t) {
+        const Token& tok = tokens[t];
         std::string key;
         std::string value;
-        if (!split_kv(token, key, value)) fail(line_no, "unexpected token '" + token + "'");
+        if (!split_kv(tok.text, key, value)) {
+            fail_at(line_no, tok, "unexpected token '" + tok.text + "'");
+        }
+        const int vcol = value_column(tok, key);
         if (key == "maps") {
-            job.map_tasks = parse_int(value, line_no, "maps");
-            if (job.map_tasks < 1) fail(line_no, "maps must be positive");
+            job.map_tasks = parse_int(value, line_no, vcol, "maps");
+            if (job.map_tasks < 1) fail(line_no, vcol, "maps must be positive");
         } else if (key == "reduces") {
-            job.reduce_tasks = parse_int(value, line_no, "reduces");
-            if (job.reduce_tasks < 1) fail(line_no, "reduces must be positive");
+            job.reduce_tasks = parse_int(value, line_no, vcol, "reduces");
+            if (job.reduce_tasks < 1) fail(line_no, vcol, "reduces must be positive");
         } else if (key == "group") {
-            job.reuse_group = parse_int(value, line_no, "group");
+            job.reuse_group = parse_int(value, line_no, vcol, "group");
         } else if (key == "name") {
             job.name = value;
         } else if (key == "tier") {
             const auto tier = cloud::tier_from_name(value);
             if (!tier) {
-                fail(line_no, "malformed tier '" + value +
-                                  "' for field 'tier' (expected ephSSD, persSSD, "
-                                  "persHDD or objStore)");
+                fail(line_no, vcol,
+                     "malformed tier '" + value +
+                         "' for field 'tier' (expected ephSSD, persSSD, "
+                         "persHDD or objStore)");
             }
             job.pinned_tier = *tier;
         } else {
-            fail(line_no, "unknown option '" + key + "'");
+            fail_at(line_no, tok, "unknown option '" + key + "'");
         }
     }
     try {
         job.validate();
     } catch (const std::exception& e) {
-        fail(line_no, e.what());
+        fail(line_no, tokens.front().column, e.what());
     }
     return job;
 }
@@ -123,50 +159,59 @@ ParsedSpec parse_spec(std::istream& is) {
     Seconds wf_deadline{0.0};
     std::vector<JobSpec> jobs;
     std::vector<WorkflowEdge> edges;
+    SpecSourceMap source;
     bool saw_anything = false;
 
     while (std::getline(is, raw)) {
         ++line_no;
-        const std::string line = strip(raw);
-        if (line.empty()) continue;
-        std::istringstream tokens(line);
-        std::string keyword;
-        tokens >> keyword;
+        const std::vector<Token> tokens = tokenize(raw);
+        if (tokens.empty()) continue;
+        const Token& keyword = tokens.front();
 
-        if (keyword == "workflow") {
-            if (saw_anything) fail(line_no, "'workflow' must be the first directive");
+        if (keyword.text == "workflow") {
+            if (saw_anything) {
+                fail_at(line_no, keyword, "'workflow' must be the first directive");
+            }
             is_workflow = true;
-            tokens >> wf_name;
-            if (wf_name.empty()) fail(line_no, "workflow needs a name");
-            std::string token;
-            while (tokens >> token) {
+            if (tokens.size() < 2) fail_at(line_no, keyword, "workflow needs a name");
+            wf_name = tokens[1].text;
+            for (std::size_t t = 2; t < tokens.size(); ++t) {
                 std::string key;
                 std::string value;
-                if (!split_kv(token, key, value) || key != "deadline-min") {
-                    fail(line_no, "expected deadline-min=<minutes>");
+                if (!split_kv(tokens[t].text, key, value) || key != "deadline-min") {
+                    fail_at(line_no, tokens[t], "expected deadline-min=<minutes>");
                 }
-                wf_deadline = Seconds::from_minutes(
-                    parse_double(value, line_no, "deadline"));
+                wf_deadline = Seconds::from_minutes(parse_double(
+                    value, line_no, value_column(tokens[t], key), "deadline"));
             }
-            if (wf_deadline.value() <= 0.0) fail(line_no, "workflow needs deadline-min=...");
+            if (wf_deadline.value() <= 0.0) {
+                fail_at(line_no, keyword, "workflow needs deadline-min=...");
+            }
+            source.workflow_line = line_no;
             saw_anything = true;
-        } else if (keyword == "job") {
+        } else if (keyword.text == "job") {
             jobs.push_back(parse_job_line(tokens, line_no));
+            source.job_line.emplace(jobs.back().id, line_no);
             saw_anything = true;
-        } else if (keyword == "edge") {
-            if (!is_workflow) fail(line_no, "'edge' is only valid inside a workflow");
-            std::string from;
-            std::string to;
-            tokens >> from >> to;
-            if (to.empty()) fail(line_no, "edge needs: edge <from-id> <to-id>");
-            edges.push_back(WorkflowEdge{parse_int(from, line_no, "edge endpoint"),
-                                         parse_int(to, line_no, "edge endpoint")});
+        } else if (keyword.text == "edge") {
+            if (!is_workflow) {
+                fail_at(line_no, keyword, "'edge' is only valid inside a workflow");
+            }
+            if (tokens.size() < 3) {
+                fail_at(line_no, keyword, "edge needs: edge <from-id> <to-id>");
+            }
+            const int from =
+                parse_int(tokens[1].text, line_no, tokens[1].column, "edge endpoint");
+            const int to =
+                parse_int(tokens[2].text, line_no, tokens[2].column, "edge endpoint");
+            edges.push_back(WorkflowEdge{from, to});
+            source.edge_line.emplace(std::make_pair(from, to), line_no);
             saw_anything = true;
         } else {
-            fail(line_no, "unknown directive '" + keyword + "'");
+            fail_at(line_no, keyword, "unknown directive '" + keyword.text + "'");
         }
     }
-    if (jobs.empty()) fail(line_no, "spec contains no jobs");
+    if (jobs.empty()) fail(line_no, 0, "spec contains no jobs");
 
     ParsedSpec result;
     try {
@@ -178,6 +223,7 @@ ParsedSpec parse_spec(std::istream& is) {
     } catch (const std::exception& e) {
         throw ValidationError(std::string("spec: ") + e.what());
     }
+    result.source = std::move(source);
     return result;
 }
 

@@ -1,7 +1,8 @@
 // Plain-text workload/workflow specification parser.
 //
 // Lets users describe their jobs without writing C++ — the input format of
-// the cast_plan CLI tool. Line-oriented, '#' comments, whitespace-split:
+// the cast_plan and cast_lint CLI tools. Line-oriented, '#' comments,
+// whitespace-split:
 //
 //   # a batch workload
 //   job 1 Sort 120                      # input in GB; maps/reduces derived
@@ -11,7 +12,8 @@
 //   job 5 Join 80 tier=persSSD          # operator pin: data must live here
 //
 // Sizes, counts and deadlines are validated (finite, positive, well-formed
-// tier names); violations raise ValidationError naming the line and field.
+// tier names); violations raise ValidationError naming the line and column
+// of the offending token ("spec line 4, col 12: ...").
 //
 //   # a workflow (first keyword switches the mode)
 //   workflow nightly-etl deadline-min=30
@@ -24,6 +26,8 @@
 #pragma once
 
 #include <iosfwd>
+#include <map>
+#include <optional>
 #include <string>
 
 #include "workload/job.hpp"
@@ -31,16 +35,40 @@
 
 namespace cast::workload {
 
+/// Where each spec construct was declared, so downstream diagnostics
+/// (cast::lint findings, ValidationError messages) can point back at the
+/// offending line of the source file.
+struct SpecSourceMap {
+    /// job id -> 1-based line of its "job" directive.
+    std::map<int, int> job_line;
+    /// (from id, to id) -> 1-based line of the "edge" directive.
+    std::map<std::pair<int, int>, int> edge_line;
+    /// 1-based line of the "workflow" directive (0 for batch workloads).
+    int workflow_line = 0;
+
+    [[nodiscard]] std::optional<int> line_of_job(int job_id) const {
+        const auto it = job_line.find(job_id);
+        if (it == job_line.end()) return std::nullopt;
+        return it->second;
+    }
+    [[nodiscard]] std::optional<int> line_of_edge(int from_id, int to_id) const {
+        const auto it = edge_line.find({from_id, to_id});
+        if (it == edge_line.end()) return std::nullopt;
+        return it->second;
+    }
+};
+
 /// What a spec file contained: exactly one of the two.
 struct ParsedSpec {
     std::optional<Workload> workload;
     std::optional<Workflow> workflow;
+    SpecSourceMap source;
 
     [[nodiscard]] bool is_workflow() const { return workflow.has_value(); }
 };
 
-/// Parse a spec from a stream. Throws ValidationError with a line number on
-/// any syntax or semantic error.
+/// Parse a spec from a stream. Throws ValidationError with the line and
+/// column of the offending token on any syntax or semantic error.
 [[nodiscard]] ParsedSpec parse_spec(std::istream& is);
 
 /// Parse a spec file. Throws ValidationError when the file cannot be read.

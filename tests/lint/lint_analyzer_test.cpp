@@ -1,0 +1,245 @@
+// Analyzer surface tests: Report serialization and rollups, enforce/demote
+// semantics, spec-file line attribution, the pre-solve hooks, and two
+// property sweeps — every shipped example spec lints clean, and every bad
+// fixture trips the rule its filename promises.
+#include "lint/analyzer.hpp"
+
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/annealing.hpp"
+#include "core/castpp.hpp"
+#include "core/greedy.hpp"
+#include "test_support.hpp"
+#include "workload/spec_parser.hpp"
+
+namespace cast::lint {
+namespace {
+
+namespace fs = std::filesystem;
+using workload::AppKind;
+using workload::JobSpec;
+
+workload::ParsedSpec parse(const std::string& text) {
+    std::istringstream is(text);
+    return workload::parse_spec(is);
+}
+
+Finding mk_finding(std::string rule, Severity severity, std::string message = "") {
+    Finding f;
+    f.rule = std::move(rule);
+    f.severity = severity;
+    f.message = std::move(message);
+    return f;
+}
+
+TEST(Report, RollupsAndSeverityBuckets) {
+    Report report;
+    report.add(mk_finding("L002", Severity::kWarning, "w"));
+    report.add(mk_finding("L001", Severity::kError, "e"));
+    report.add(mk_finding("L002", Severity::kWarning, "w2"));
+    EXPECT_EQ(report.max_severity(), Severity::kError);
+    EXPECT_EQ(report.count(Severity::kError), 1u);
+    EXPECT_EQ(report.count(Severity::kWarning), 2u);
+    EXPECT_FALSE(report.ok());
+    EXPECT_FALSE(report.clean());
+    EXPECT_EQ(report.at(Severity::kWarning).size(), 2u);
+
+    Report clean;
+    EXPECT_TRUE(clean.ok());
+    EXPECT_TRUE(clean.clean());
+    EXPECT_EQ(clean.max_severity(), Severity::kInfo);
+}
+
+TEST(Report, TextPutsErrorsFirstAndCountsTrailing) {
+    Report report;
+    report.add(mk_finding("L002", Severity::kWarning, "warn"));
+    report.add(mk_finding("L001", Severity::kError, "err"));
+    std::ostringstream os;
+    report.write_text(os);
+    const std::string text = os.str();
+    EXPECT_LT(text.find("error L001"), text.find("warning L002"));
+    EXPECT_NE(text.find("1 error(s), 1 warning(s)"), std::string::npos);
+}
+
+TEST(Report, JsonCarriesRuleSeverityAndLine) {
+    Report report;
+    report.add(Finding{.rule = "L014",
+                       .severity = Severity::kError,
+                       .subject = "job 'x'",
+                       .message = "msg with \"quotes\"",
+                       .fix_hint = "hint",
+                       .line = 7});
+    std::ostringstream os;
+    report.write_json(os, "a.spec");
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"source\": \"a.spec\""), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"L014\""), std::string::npos);
+    EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos);
+    EXPECT_NE(json.find("\"line\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+    EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+}
+
+TEST(Enforce, ThrowsNamingEveryErrorFinding) {
+    Report report;
+    report.add(mk_finding("L003", Severity::kError, "dup id"));
+    report.add(mk_finding("L016", Severity::kWarning, "meh"));
+    try {
+        enforce(report);
+        FAIL() << "enforce() must throw on error findings";
+    } catch (const ValidationError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("L003"), std::string::npos);
+        EXPECT_NE(what.find("dup id"), std::string::npos);
+        EXPECT_EQ(what.find("L016"), std::string::npos);  // warnings don't reject
+    }
+
+    Report warnings_only;
+    warnings_only.add(mk_finding("L016", Severity::kWarning));
+    EXPECT_NO_THROW(enforce(warnings_only));
+}
+
+TEST(Demote, DowngradesOnlyTheNamedRule) {
+    Report report;
+    report.add(mk_finding("L009", Severity::kError));
+    report.add(mk_finding("L001", Severity::kError));
+    demote(report, "L009", Severity::kWarning);
+    EXPECT_EQ(report.findings[0].severity, Severity::kWarning);
+    EXPECT_EQ(report.findings[1].severity, Severity::kError);
+    // Demoting never upgrades.
+    demote(report, "L009", Severity::kError);
+    EXPECT_EQ(report.findings[0].severity, Severity::kWarning);
+}
+
+TEST(LintSpec, AttributesFindingsToSourceLines) {
+    const auto spec = parse(
+        "# comment\n"
+        "job 1 Sort 120\n"
+        "job 2 Grep 200000\n");
+    const Report report = lint_spec(spec);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings.front().rule, "L002");
+    ASSERT_TRUE(report.findings.front().line.has_value());
+    EXPECT_EQ(*report.findings.front().line, 3);
+}
+
+TEST(LintSpec, WorkflowSpecRunsDagRules) {
+    const auto spec = parse(
+        "workflow half-wired deadline-min=600\n"
+        "job 1 Grep 100\n"
+        "job 2 Sort 50\n"
+        "job 3 Join 40\n"
+        "edge 1 2\n");
+    const Report report = lint_spec(spec);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings.front().rule, "L007");
+    ASSERT_TRUE(report.findings.front().line.has_value());
+    EXPECT_EQ(*report.findings.front().line, 4);  // the isolated job's line
+}
+
+TEST(LintCatalog, BuiltInCatalogsAreClean) {
+    EXPECT_TRUE(lint_catalog(cloud::StorageCatalog::google_cloud()).clean());
+    EXPECT_TRUE(lint_catalog(cloud::StorageCatalog::aws_like()).clean());
+}
+
+// --- Pre-solve hooks ------------------------------------------------------
+
+workload::Workload conflicted_workload() {
+    JobSpec a;
+    a.id = 1;
+    a.name = "Grep-1";
+    a.app = AppKind::kGrep;
+    a.input = GigaBytes{50.0};
+    a.map_tasks = 400;
+    a.reduce_tasks = 100;
+    a.reuse_group = 1;
+    a.pinned_tier = cloud::StorageTier::kEphemeralSsd;
+    JobSpec b = a;
+    b.id = 2;
+    b.name = "Grep-2";
+    b.pinned_tier = cloud::StorageTier::kPersistentSsd;
+    return workload::Workload({a, b});
+}
+
+TEST(PreSolveHooks, AnnealingRejectsConflictedReuseGroupWithRuleId) {
+    const auto& models = testing::small_models();
+    core::PlanEvaluator evaluator(models, conflicted_workload(),
+                                  core::EvalOptions{.reuse_aware = true});
+    core::AnnealingSolver solver(evaluator);
+    const auto initial =
+        core::TieringPlan::uniform(2, cloud::StorageTier::kPersistentSsd);
+    try {
+        (void)solver.solve(initial);
+        FAIL() << "pre-solve lint must reject the conflicted reuse group";
+    } catch (const ValidationError& e) {
+        EXPECT_NE(std::string(e.what()).find("L005"), std::string::npos);
+    }
+}
+
+TEST(PreSolveHooks, GreedyRejectsConflictedReuseGroupWithRuleId) {
+    const auto& models = testing::small_models();
+    core::PlanEvaluator evaluator(models, conflicted_workload(),
+                                  core::EvalOptions{.reuse_aware = true});
+    core::GreedySolver solver(evaluator);
+    EXPECT_THROW((void)solver.solve(core::GreedyOptions{}), ValidationError);
+}
+
+// --- Property sweeps over the shipped spec files --------------------------
+
+std::vector<fs::path> spec_files(const fs::path& dir) {
+    std::vector<fs::path> out;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        if (entry.path().extension() == ".spec") out.push_back(entry.path());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+TEST(SpecProperties, EveryExampleSpecLintsClean) {
+    const auto catalog = cloud::StorageCatalog::google_cloud();
+    LintContext ctx;
+    ctx.catalog = &catalog;
+    ctx.reuse_aware = true;  // the stricter mode must also be clean
+    const auto files = spec_files(CAST_EXAMPLE_SPEC_DIR);
+    ASSERT_GE(files.size(), 5u);
+    for (const auto& path : files) {
+        const auto spec = workload::parse_spec_file(path.string());
+        const Report report = lint_spec(spec, ctx);
+        std::ostringstream os;
+        report.write_text(os);
+        EXPECT_TRUE(report.clean()) << path << ":\n" << os.str();
+    }
+}
+
+TEST(SpecProperties, EveryFixtureTripsTheRuleItsNamePromises) {
+    const auto catalog = cloud::StorageCatalog::google_cloud();
+    LintContext ctx;
+    ctx.catalog = &catalog;
+    ctx.reuse_aware = true;
+    const auto files = spec_files(CAST_LINT_FIXTURE_DIR);
+    ASSERT_GE(files.size(), 5u);
+    for (const auto& path : files) {
+        const std::string expected_rule = path.filename().string().substr(0, 4);
+        if (expected_rule == "L000") {
+            // Too broken to parse (ValidationError or InvariantError,
+            // depending on what breaks): the CLI maps this to rule L000.
+            EXPECT_THROW((void)workload::parse_spec_file(path.string()), std::exception)
+                << path;
+            continue;
+        }
+        const auto spec = workload::parse_spec_file(path.string());
+        const Report report = lint_spec(spec, ctx);
+        std::set<std::string> rules;
+        for (const auto& f : report.findings) rules.insert(f.rule);
+        EXPECT_TRUE(rules.count(expected_rule) == 1) << path << " expected " << expected_rule;
+    }
+}
+
+}  // namespace
+}  // namespace cast::lint

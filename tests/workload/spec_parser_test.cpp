@@ -181,5 +181,49 @@ TEST(SpecParser, MissingFileThrows) {
     EXPECT_THROW((void)parse_spec_file("/nonexistent/spec.txt"), ValidationError);
 }
 
+TEST(SpecParser, ErrorsCarryColumnOfTheOffendingToken) {
+    try {
+        (void)parse_str("job 1 Sort 120\njob 2 Grep -30\n");
+        FAIL() << "should have thrown";
+    } catch (const ValidationError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 2"), std::string::npos);
+        EXPECT_NE(what.find("col 12"), std::string::npos);  // where "-30" starts
+    }
+}
+
+TEST(SpecParser, ErrorsPointAtTheValuePartOfAnOption) {
+    try {
+        (void)parse_str("job 1 Sort 10 maps=0\n");
+        FAIL() << "should have thrown";
+    } catch (const ValidationError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 1"), std::string::npos);
+        EXPECT_NE(what.find("col 20"), std::string::npos);  // where "0" starts
+    }
+}
+
+TEST(SpecParser, SourceMapRecordsDeclarationLines) {
+    const auto spec = parse_str(
+        "# header\n"
+        "workflow etl deadline-min=30\n"
+        "job 1 Grep 250\n"
+        "\n"
+        "job 2 Sort 120\n"
+        "edge 1 2\n");
+    EXPECT_EQ(spec.source.workflow_line, 2);
+    EXPECT_EQ(spec.source.line_of_job(1), 3);
+    EXPECT_EQ(spec.source.line_of_job(2), 5);
+    EXPECT_EQ(spec.source.line_of_edge(1, 2), 6);
+    EXPECT_EQ(spec.source.line_of_job(9), std::nullopt);
+    EXPECT_EQ(spec.source.line_of_edge(2, 1), std::nullopt);
+}
+
+TEST(SpecParser, BatchSourceMapHasNoWorkflowLine) {
+    const auto spec = parse_str("job 1 Sort 120\n");
+    EXPECT_EQ(spec.source.workflow_line, 0);
+    EXPECT_EQ(spec.source.line_of_job(1), 1);
+}
+
 }  // namespace
 }  // namespace cast::workload

@@ -1,0 +1,142 @@
+// cast_lint — static analysis for CAST spec files.
+//
+//   cast_lint [options] SPEC...
+//
+//   --catalog NAME   storage catalog to lint against (google-cloud|aws-like;
+//                    default google-cloud). Enables the catalog-dependent
+//                    rules (L010, L011, L017).
+//   --models FILE    profiled model set; enables the model-dependent rules
+//                    (L009 deadline lower bound, L018 model coverage) and
+//                    overrides --catalog with the set's own catalog.
+//   --reuse-aware    treat Eq. 7 reuse-group constraints as binding (L005
+//                    pin conflicts become errors instead of warnings).
+//   --json           machine-readable output: a JSON array with one report
+//                    object per spec file.
+//
+// A spec that does not parse is reported as rule L000 (error) with the
+// parser's line/column message; linting continues with the remaining files.
+//
+// Exit code is the maximum severity across all files: 0 when every spec is
+// clean (info-only findings included), 1 when the worst finding is a
+// warning, 2 when any error (or parse failure) was found, 3 on usage error.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/analyzer.hpp"
+#include "model/serialize.hpp"
+#include "workload/spec_parser.hpp"
+
+namespace {
+
+using namespace cast;
+
+struct Args {
+    std::string catalog_name = "google-cloud";
+    std::string models_path;
+    bool reuse_aware = false;
+    bool json = false;
+    std::vector<std::string> specs;
+};
+
+int usage() {
+    std::cerr << "usage: cast_lint [--catalog google-cloud|aws-like] [--models FILE]\n"
+                 "                 [--reuse-aware] [--json] SPEC...\n";
+    return 3;
+}
+
+bool parse_args(int argc, char** argv, Args* out) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string token = argv[i];
+        if (token == "--catalog" && i + 1 < argc) {
+            out->catalog_name = argv[++i];
+        } else if (token == "--models" && i + 1 < argc) {
+            out->models_path = argv[++i];
+        } else if (token == "--reuse-aware") {
+            out->reuse_aware = true;
+        } else if (token == "--json") {
+            out->json = true;
+        } else if (token.rfind("--", 0) == 0) {
+            std::cerr << "cast_lint: unknown option " << token << "\n";
+            return false;
+        } else {
+            out->specs.push_back(token);
+        }
+    }
+    return !out->specs.empty();
+}
+
+/// Lint one spec file; parse failures become a single L000 error finding so
+/// broken specs flow through the same reporting/exit-code path as rule hits.
+lint::Report lint_file(const std::string& path, const lint::LintContext& ctx) {
+    workload::ParsedSpec spec;
+    try {
+        spec = workload::parse_spec_file(path);
+    } catch (const std::exception& e) {
+        lint::Report report;
+        report.add(lint::Finding{.rule = "L000",
+                                 .severity = lint::Severity::kError,
+                                 .subject = path,
+                                 .message = std::string("spec did not parse: ") + e.what(),
+                                 .fix_hint = "fix the syntax error before linting"});
+        return report;
+    }
+    return lint::lint_spec(spec, ctx);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Args args;
+    if (!parse_args(argc, argv, &args)) return usage();
+
+    try {
+        // Context shared by every file. The model set (when given) carries
+        // its own catalog; otherwise lint against the named built-in one.
+        std::optional<model::PerfModelSet> models;
+        std::optional<cloud::StorageCatalog> catalog;
+        lint::LintContext ctx;
+        ctx.reuse_aware = args.reuse_aware;
+        if (!args.models_path.empty()) {
+            models = model::load_model_set_file(args.models_path);
+            ctx.models = &*models;
+        } else {
+            catalog = cloud::StorageCatalog::by_name(args.catalog_name);
+            ctx.catalog = &*catalog;
+        }
+
+        lint::Severity worst = lint::Severity::kInfo;
+        bool any_findings = false;
+        if (args.json) std::cout << "[";
+        for (std::size_t i = 0; i < args.specs.size(); ++i) {
+            const lint::Report report = lint_file(args.specs[i], ctx);
+            if (!report.clean()) {
+                any_findings = true;
+                worst = std::max(worst, report.max_severity());
+            }
+            if (args.json) {
+                if (i > 0) std::cout << ",";
+                std::cout << "\n";
+                report.write_json(std::cout, args.specs[i]);
+            } else if (report.clean()) {
+                std::cout << args.specs[i] << ": clean\n";
+            } else {
+                std::cout << args.specs[i] << ":\n";
+                report.write_text(std::cout);
+            }
+        }
+        if (args.json) std::cout << "\n]\n";
+
+        if (!any_findings) return 0;
+        switch (worst) {
+            case lint::Severity::kError: return 2;
+            case lint::Severity::kWarning: return 1;
+            case lint::Severity::kInfo: return 0;
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "cast_lint: " << e.what() << "\n";
+        return 2;
+    }
+}

@@ -147,7 +147,8 @@ int cmd_plan(const Args& args) {
         core::write_deployment_report(evaluator, result.plan, result.evaluation, dep,
                                       std::cout);
     } else {
-        core::write_plan_report(evaluator, result.plan, result.evaluation, std::cout);
+        core::write_plan_report(evaluator, result.plan, result.evaluation, std::cout,
+                                result.lint_notes);
     }
     return 0;
 }
