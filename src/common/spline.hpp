@@ -115,10 +115,20 @@ private:
                 m_[i + 1] = 0.0;
                 continue;
             }
-            const double alpha = m_[i] / delta[i];
-            const double beta = m_[i + 1] / delta[i];
-            if (alpha < 0.0) m_[i] = 0.0;
-            if (beta < 0.0) m_[i + 1] = 0.0;
+            double alpha = m_[i] / delta[i];
+            double beta = m_[i + 1] / delta[i];
+            // A tangent opposing the secant is clamped to zero, and the
+            // clamped value must feed the circle test below — using the
+            // stale ratio would rescale against a tangent that no longer
+            // exists and could leave α or β beyond 3, breaking monotonicity.
+            if (alpha < 0.0) {
+                m_[i] = 0.0;
+                alpha = 0.0;
+            }
+            if (beta < 0.0) {
+                m_[i + 1] = 0.0;
+                beta = 0.0;
+            }
             const double s = alpha * alpha + beta * beta;
             if (s > 9.0) {
                 const double tau = 3.0 / std::sqrt(s);

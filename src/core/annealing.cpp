@@ -1,7 +1,8 @@
 #include "core/annealing.hpp"
 
+#include <array>
 #include <cmath>
-#include <mutex>
+#include <memory>
 
 #include "lint/analyzer.hpp"
 
@@ -19,32 +20,117 @@ AnnealingSolver::AnnealingSolver(const PlanEvaluator& evaluator, AnnealingOption
     CAST_EXPECTS(options_.chains >= 1);
 }
 
-std::vector<std::vector<std::size_t>> AnnealingSolver::move_units() const {
+std::vector<MoveUnit> AnnealingSolver::move_units() const {
     const auto& workload = evaluator_->workload();
-    std::vector<std::vector<std::size_t>> units;
-    if (!options_.group_moves) {
-        for (std::size_t i = 0; i < workload.size(); ++i) units.push_back({i});
-        return units;
-    }
-    std::vector<bool> grouped(workload.size(), false);
-    for (const auto& [group, members] : workload.reuse_groups()) {
-        units.push_back(members);
-        for (std::size_t i : members) grouped[i] = true;
-    }
-    for (std::size_t i = 0; i < workload.size(); ++i) {
-        if (!grouped[i]) units.push_back({i});
+    const auto finish = [&](MoveUnit unit) {
+        for (std::size_t j : unit.jobs) {
+            const auto& job = workload.job(j);
+            unit.app_mask |= 1u << workload::app_index(job.app);
+            if (job.pinned_tier) {
+                unit.allowed_tiers &= 1u << cloud::tier_index(*job.pinned_tier);
+            }
+        }
+        return unit;
+    };
+    constexpr std::uint32_t kAllTierBits = (1u << cloud::kTierCount) - 1;
+    std::vector<MoveUnit> units;
+    if (options_.group_moves) {
+        std::vector<bool> grouped(workload.size(), false);
+        for (const auto& [group, members] : workload.reuse_groups()) {
+            units.push_back(finish(MoveUnit{members, 0, kAllTierBits}));
+            for (std::size_t i : members) grouped[i] = true;
+        }
+        for (std::size_t i = 0; i < workload.size(); ++i) {
+            if (!grouped[i]) units.push_back(finish(MoveUnit{{i}, 0, kAllTierBits}));
+        }
+    } else {
+        for (std::size_t i = 0; i < workload.size(); ++i) {
+            units.push_back(finish(MoveUnit{{i}, 0, kAllTierBits}));
+        }
     }
     return units;
 }
 
-AnnealingResult AnnealingSolver::run_chain(const TieringPlan& initial,
-                                           std::uint64_t seed) const {
+TieringPlan AnnealingSolver::propose_neighbor(Rng& rng, const TieringPlan& curr,
+                                              const std::vector<MoveUnit>& units,
+                                              std::vector<std::size_t>& changed) const {
+    changed.clear();
+    TieringPlan neighbor = curr;
+    const double move_kind = rng.uniform();
+    if (move_kind < options_.app_move_probability) {
+        // --- Batch move: relocate one app class to one tier. A unit
+        // participates when any member runs the drawn application (units
+        // are reuse groups in group_moves mode, and Eq. 7 forces the whole
+        // group along) and no member's pin forbids the target tier.
+        const workload::AppKind app =
+            workload::kAllApps[rng.below(workload::kAllApps.size())];
+        const cloud::StorageTier t = cloud::kAllTiers[rng.below(cloud::kAllTiers.size())];
+        const std::uint32_t app_bit = 1u << workload::app_index(app);
+        const std::uint32_t tier_bit = 1u << cloud::tier_index(t);
+        for (const auto& unit : units) {
+            if ((unit.app_mask & app_bit) == 0 || (unit.allowed_tiers & tier_bit) == 0) {
+                continue;
+            }
+            for (std::size_t j : unit.jobs) {
+                PlacementDecision d = neighbor.decision(j);
+                if (d.tier == t) continue;
+                d.tier = t;
+                neighbor.set_decision(j, d);
+                changed.push_back(j);
+            }
+        }
+    } else {
+        // --- Single-unit move: a pin-respecting tier change, or a new
+        // over-provisioning factor.
+        const MoveUnit& unit = units[rng.below(units.size())];
+        const PlacementDecision old = curr.decision(unit.jobs.front());
+        PlacementDecision next = old;
+        const bool want_tier_move =
+            move_kind < options_.app_move_probability + options_.tier_move_probability;
+        std::array<cloud::StorageTier, cloud::kTierCount> allowed{};
+        std::size_t n_allowed = 0;
+        if (want_tier_move) {
+            for (cloud::StorageTier t : cloud::kAllTiers) {
+                if (t == old.tier) continue;
+                if (unit.allowed_tiers & (1u << cloud::tier_index(t))) {
+                    allowed[n_allowed++] = t;
+                }
+            }
+        }
+        if (want_tier_move && n_allowed > 0) {
+            next.tier = allowed[rng.below(n_allowed)];
+        } else {
+            // Fully pinned units degrade to factor moves instead of
+            // proposing a guaranteed-infeasible tier change.
+            next.overprovision =
+                options_.overprov_choices[rng.below(options_.overprov_choices.size())];
+        }
+        for (std::size_t j : unit.jobs) {
+            const PlacementDecision& d = curr.decision(j);
+            if (d.tier == next.tier && d.overprovision == next.overprovision) continue;
+            neighbor.set_decision(j, next);
+            changed.push_back(j);
+        }
+    }
+    return neighbor;
+}
+
+AnnealingResult AnnealingSolver::run_chain(const TieringPlan& initial, std::uint64_t seed,
+                                           EvalCache* cache) const {
     const auto units = move_units();
     CAST_EXPECTS_MSG(!units.empty(), "cannot anneal an empty workload");
     Rng rng(seed);
 
+    std::unique_ptr<EvalCache> owned;
+    if (!options_.use_evaluation_cache) {
+        cache = nullptr;
+    } else if (cache == nullptr) {
+        owned = std::make_unique<EvalCache>();
+        cache = owned.get();
+    }
+
     TieringPlan curr = initial;
-    PlanEvaluation curr_eval = evaluator_->evaluate(curr);
+    PlanEvaluation curr_eval = evaluator_->evaluate(curr, cache);
     CAST_EXPECTS_MSG(curr_eval.feasible, "annealing needs a feasible initial plan");
 
     AnnealingResult best;
@@ -57,46 +143,21 @@ AnnealingResult AnnealingSolver::run_chain(const TieringPlan& initial,
     CAST_ENSURES(u_scale > 0.0);
     double temperature = options_.initial_temperature;
 
+    std::vector<std::size_t> changed;
+    changed.reserve(evaluator_->workload().size());
     for (int iter = 0; iter < options_.iter_max; ++iter) {
         temperature = std::max(temperature * options_.cooling, options_.min_temperature);
 
-        // --- Neighbor: batch-relocate one app class, or perturb one unit.
-        TieringPlan neighbor = curr;
-        const double move_kind = rng.uniform();
-        if (move_kind < options_.app_move_probability) {
-            const workload::AppKind app =
-                workload::kAllApps[rng.below(workload::kAllApps.size())];
-            const cloud::StorageTier t = cloud::kAllTiers[rng.below(cloud::kAllTiers.size())];
-            for (const auto& unit : units) {
-                if (evaluator_->workload().job(unit.front()).app != app) continue;
-                for (std::size_t j : unit) {
-                    PlacementDecision d = neighbor.decision(j);
-                    d.tier = t;
-                    neighbor.set_decision(j, d);
-                }
-            }
-        } else {
-            const auto& unit = units[rng.below(units.size())];
-            const PlacementDecision old = curr.decision(unit.front());
-            PlacementDecision next = old;
-            if (move_kind <
-                options_.app_move_probability + options_.tier_move_probability) {
-                // Random different tier.
-                cloud::StorageTier t;
-                do {
-                    t = cloud::kAllTiers[rng.below(cloud::kAllTiers.size())];
-                } while (t == old.tier);
-                next.tier = t;
-            } else {
-                next.overprovision =
-                    options_.overprov_choices[rng.below(options_.overprov_choices.size())];
-            }
-            for (std::size_t j : unit) neighbor.set_decision(j, next);
-        }
-
-        const PlanEvaluation neighbor_eval = evaluator_->evaluate(neighbor);
+        TieringPlan neighbor = propose_neighbor(rng, curr, units, changed);
+        PlanEvaluation neighbor_eval =
+            options_.use_evaluation_cache
+                ? evaluator_->evaluate_delta(curr_eval, neighbor, changed, cache)
+                : evaluator_->evaluate(neighbor);
         ++best.iterations;
-        if (!neighbor_eval.feasible) continue;
+        if (!neighbor_eval.feasible) {
+            ++best.infeasible_neighbors;
+            continue;
+        }
 
         if (neighbor_eval.utility > best.evaluation.utility) {
             best.plan = neighbor;
@@ -108,14 +169,15 @@ AnnealingResult AnnealingSolver::run_chain(const TieringPlan& initial,
         const bool accept = delta >= 0.0 || rng.uniform() < std::exp(delta / temperature);
         if (accept) {
             curr = std::move(neighbor);
-            curr_eval = neighbor_eval;
+            curr_eval = std::move(neighbor_eval);
             ++best.accepted_moves;
         }
     }
     return best;
 }
 
-AnnealingResult AnnealingSolver::solve(const TieringPlan& initial, ThreadPool* pool) const {
+AnnealingResult AnnealingSolver::solve(const TieringPlan& initial, ThreadPool* pool,
+                                       EvalCache* cache) const {
     // Pre-solve lint: reject inputs no annealing chain can fix (conflicting
     // reuse-group pins, unmodeled applications, a broken catalog) before
     // burning iterations on them.
@@ -124,6 +186,17 @@ AnnealingResult AnnealingSolver::solve(const TieringPlan& initial, ThreadPool* p
     lint_ctx.reuse_aware = evaluator_->options().reuse_aware;
     lint::enforce(lint::lint_workload(evaluator_->workload(), lint_ctx));
 
+    // One memo table shared by every chain: chains revisit the same
+    // (job, tier, capacity) points constantly, so sharing multiplies the
+    // hit rate. EvalCache is thread-safe (sharded locks).
+    std::unique_ptr<EvalCache> owned;
+    if (!options_.use_evaluation_cache) {
+        cache = nullptr;
+    } else if (cache == nullptr) {
+        owned = std::make_unique<EvalCache>();
+        cache = owned.get();
+    }
+
     // Multi-start: rotate chains across the supplied initial plan and every
     // feasible uniform plan (Eq. 7-projected in group-moves mode, which
     // uniform plans satisfy trivially).
@@ -131,12 +204,15 @@ AnnealingResult AnnealingSolver::solve(const TieringPlan& initial, ThreadPool* p
     if (options_.diverse_starts) {
         for (cloud::StorageTier t : cloud::kAllTiers) {
             TieringPlan uniform = TieringPlan::uniform(initial.size(), t);
-            if (evaluator_->evaluate(uniform).feasible) starts.push_back(std::move(uniform));
+            if (evaluator_->evaluate(uniform, cache).feasible) {
+                starts.push_back(std::move(uniform));
+            }
         }
     }
     std::vector<AnnealingResult> results(static_cast<std::size_t>(options_.chains));
     auto run_one = [&](std::size_t c) {
-        results[c] = run_chain(starts[c % starts.size()], options_.seed + 7919 * (c + 1));
+        results[c] =
+            run_chain(starts[c % starts.size()], options_.seed + 7919 * (c + 1), cache);
     };
     if (pool != nullptr && options_.chains > 1) {
         pool->parallel_for(results.size(), run_one);
@@ -147,7 +223,20 @@ AnnealingResult AnnealingSolver::solve(const TieringPlan& initial, ThreadPool* p
     for (std::size_t c = 1; c < results.size(); ++c) {
         if (results[c].evaluation.utility > results[best].evaluation.utility) best = c;
     }
-    return results[best];
+    // Report the winning chain's plan but the WHOLE search's effort: summing
+    // only the winner used to under-report multi-chain work by ~1/chains.
+    AnnealingResult out = std::move(results[best]);
+    out.best_chain = static_cast<int>(best);
+    out.iterations = 0;
+    out.accepted_moves = 0;
+    out.infeasible_neighbors = 0;
+    for (const AnnealingResult& r : results) {
+        out.iterations += r.iterations;
+        out.accepted_moves += r.accepted_moves;
+        out.infeasible_neighbors += r.infeasible_neighbors;
+    }
+    if (cache != nullptr) out.cache_stats = cache->stats();
+    return out;
 }
 
 }  // namespace cast::core

@@ -17,6 +17,7 @@
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "core/eval_cache.hpp"
 #include "core/plan.hpp"
 #include "core/utility.hpp"
 
@@ -55,13 +56,42 @@ struct AnnealingOptions {
     std::uint64_t seed = 1;
     /// CAST++: move whole reuse groups together so Eq. 7 always holds.
     bool group_moves = false;
+    /// Memoize REG runtimes (EvalCache) and evaluate neighbors through the
+    /// incremental evaluate_delta path. Results are bit-identical to the
+    /// uncached evaluator for identical seeds; the flag exists so the
+    /// solver_throughput bench can measure the uncached baseline.
+    bool use_evaluation_cache = true;
 };
 
 struct AnnealingResult {
     TieringPlan plan;
     PlanEvaluation evaluation;
+    /// Search-effort counters. From run_chain() they cover that one chain;
+    /// from solve() they are aggregated across ALL chains, so reports and
+    /// benches see the true effort of multi-chain search.
     int iterations = 0;
     int accepted_moves = 0;
+    /// Neighbors rejected outright because evaluation found them
+    /// infeasible (pin/Eq. 7 violations never reach this: the move
+    /// generator respects them by construction).
+    int infeasible_neighbors = 0;
+    /// Index of the winning chain (solve() only; 0 for a single chain).
+    int best_chain = 0;
+    /// Memo-table statistics of the run (all zero when the cache is
+    /// disabled).
+    EvalCacheStats cache_stats{};
+};
+
+/// One move unit — a single job, or a whole reuse group in group_moves
+/// mode — with its membership and pin constraints precomputed as bitmasks,
+/// so the per-iteration move generator tests one bit instead of scanning
+/// members.
+struct MoveUnit {
+    std::vector<std::size_t> jobs;
+    /// Bit per workload::AppKind some member runs.
+    std::uint32_t app_mask = 0;
+    /// Bit per tier no member's `tier=` pin forbids.
+    std::uint32_t allowed_tiers = 0;
 };
 
 class AnnealingSolver {
@@ -70,18 +100,33 @@ public:
 
     /// Anneal from `initial` (e.g. the greedy plan, or a uniform plan).
     /// The initial plan must be feasible. Runs options.chains chains, on
-    /// `pool` when provided, and returns the best result.
+    /// `pool` when provided, and returns the best result with counters
+    /// aggregated across chains. All chains share one evaluation cache:
+    /// `cache` when supplied, otherwise an internally created one.
     [[nodiscard]] AnnealingResult solve(const TieringPlan& initial,
-                                        ThreadPool* pool = nullptr) const;
+                                        ThreadPool* pool = nullptr,
+                                        EvalCache* cache = nullptr) const;
 
     /// One chain with an explicit seed (exposed for tests/determinism).
-    [[nodiscard]] AnnealingResult run_chain(const TieringPlan& initial,
-                                            std::uint64_t seed) const;
+    /// Uses `cache` when supplied, else its own, unless the options disable
+    /// caching altogether.
+    [[nodiscard]] AnnealingResult run_chain(const TieringPlan& initial, std::uint64_t seed,
+                                            EvalCache* cache = nullptr) const;
+
+    /// The move units: single jobs, or reuse groups in group_moves mode,
+    /// with membership/pin masks precomputed. Exposed for tests.
+    [[nodiscard]] std::vector<MoveUnit> move_units() const;
+
+    /// Generate one neighbor of `curr`, appending the indices of every
+    /// decision that actually differs to `changed` (cleared first). Pin-
+    /// and app-membership-aware: a proposed move never violates a `tier=`
+    /// pin, and app batch moves relocate exactly the units containing the
+    /// drawn application class. Exposed for tests.
+    [[nodiscard]] TieringPlan propose_neighbor(Rng& rng, const TieringPlan& curr,
+                                               const std::vector<MoveUnit>& units,
+                                               std::vector<std::size_t>& changed) const;
 
 private:
-    /// The move units: single jobs, or reuse groups in group_moves mode.
-    [[nodiscard]] std::vector<std::vector<std::size_t>> move_units() const;
-
     const PlanEvaluator* evaluator_;
     AnnealingOptions options_;
 };

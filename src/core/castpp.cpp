@@ -1,6 +1,7 @@
 #include "core/castpp.hpp"
 
 #include <cmath>
+#include <memory>
 
 #include "lint/analyzer.hpp"
 #include "lint/checks.hpp"
@@ -31,8 +32,14 @@ CastResult plan_with(const model::PerfModelSet& models, const workload::Workload
 
     PlanEvaluator evaluator(models, workload, EvalOptions{.reuse_aware = reuse_aware});
 
+    // One memo table for the whole pipeline: runtimes computed during the
+    // greedy sweep (keyed on job content, not workload index) are reused by
+    // every annealing chain.
+    EvalCache shared_cache;
+    EvalCache* cache = options.annealing.use_evaluation_cache ? &shared_cache : nullptr;
+
     GreedySolver greedy(evaluator);
-    TieringPlan initial = greedy.solve(options.greedy_init);
+    TieringPlan initial = greedy.solve(options.greedy_init, cache);
     if (reuse_aware) {
         // Greedy ignores reuse groups; project its plan onto the Eq. 7
         // constraint set by aligning every group on its leader's tier, so
@@ -52,7 +59,7 @@ CastResult plan_with(const model::PerfModelSet& models, const workload::Workload
     AnnealingOptions annealing = options.annealing;
     annealing.group_moves = reuse_aware;
     AnnealingSolver solver(evaluator, annealing);
-    AnnealingResult result = solver.solve(initial, pool);
+    AnnealingResult result = solver.solve(initial, pool, cache);
     CastResult out{std::move(result.plan), std::move(result.evaluation),
                    std::move(initial)};
     for (const lint::Finding* f : pre.at(lint::Severity::kWarning)) {
@@ -122,7 +129,8 @@ Seconds WorkflowEvaluator::transfer_time(GigaBytes volume, StorageTier from,
     return Seconds{volume.megabytes() / cluster_mbps};
 }
 
-WorkflowEvaluation WorkflowEvaluator::evaluate(const WorkflowPlan& plan) const {
+WorkflowEvaluation WorkflowEvaluator::evaluate(const WorkflowPlan& plan,
+                                               EvalCache* cache) const {
     CAST_EXPECTS_MSG(plan.decisions.size() == workflow_.size(),
                      "plan/workflow size mismatch");
     for (const auto& d : plan.decisions) d.validate();
@@ -198,8 +206,11 @@ WorkflowEvaluation WorkflowEvaluator::evaluate(const WorkflowPlan& plan) const {
             legs.download_input = workflow_.predecessors(i).empty();
             legs.upload_output = workflow_.successors(i).empty();
         }
-        const Seconds t = models_->job_runtime(
-            workflow_.jobs()[i], d.tier, eval.capacities.per_vm[tier_index(d.tier)], legs);
+        const GigaBytes per_vm = eval.capacities.per_vm[tier_index(d.tier)];
+        const Seconds t =
+            cache != nullptr
+                ? cache->job_runtime(*models_, workflow_.jobs()[i], d.tier, per_vm, legs)
+                : models_->job_runtime(workflow_.jobs()[i], d.tier, per_vm, legs);
         eval.job_runtimes[i] = t;
         total += t;
     }
@@ -221,18 +232,11 @@ WorkflowEvaluation WorkflowEvaluator::evaluate(const WorkflowPlan& plan) const {
     }
     eval.total_runtime = total;
 
-    // --- Cost (Eq. 8): same Eq. 5-6 formulas over the workflow makespan.
-    const auto& cluster = models_->cluster();
-    eval.vm_cost = Dollars{cluster.price_per_minute().value() * total.minutes()};
-    const double hours = std::ceil(total.minutes() / 60.0);
-    double storage = 0.0;
-    for (StorageTier t : cloud::kAllTiers) {
-        const GigaBytes cap = eval.capacities.aggregate[tier_index(t)];
-        if (cap.value() <= 0.0) continue;
-        storage +=
-            cap.value() * models_->catalog().service(t).price_per_gb_hour().value() * hours;
-    }
-    eval.storage_cost = Dollars{storage};
+    // --- Cost (Eq. 8): the shared Eq. 5-6 formula over the workflow
+    // makespan, so workflow plans are costed exactly like tiering plans.
+    const auto [vm, store] = eq5_eq6_costs(*models_, total, eval.capacities);
+    eval.vm_cost = vm;
+    eval.storage_cost = store;
     eval.meets_deadline = total <= workflow_.deadline();
     eval.feasible = true;
     return eval;
@@ -280,28 +284,38 @@ double WorkflowSolver::score(const WorkflowEvaluation& eval) const {
     return s;
 }
 
-WorkflowSolveResult WorkflowSolver::run_chain(std::uint64_t seed) const {
+WorkflowSolveResult WorkflowSolver::run_chain(std::uint64_t seed, EvalCache* cache) const {
     const auto& wf = evaluator_->workflow();
     const std::vector<std::size_t> dfs = wf.dfs_order();
     CAST_EXPECTS(!dfs.empty());
     Rng rng(seed);
+
+    std::unique_ptr<EvalCache> owned;
+    if (!options_.use_evaluation_cache) {
+        cache = nullptr;
+    } else if (cache == nullptr) {
+        owned = std::make_unique<EvalCache>();
+        cache = owned.get();
+    }
 
     // Multi-start across chains: chain seeds ending in 0 start from the
     // best canonical uniform plan; the rest rotate the starting tier (and a
     // generous starting over-provision factor, since block-tier speed needs
     // pooled capacity) by seed.
     WorkflowPlan curr =
-        seed % 3 == 0 ? best_uniform_plan()
+        seed % 3 == 0 ? best_uniform_plan(cache)
                       : WorkflowPlan::uniform(
                             wf.size(), cloud::kAllTiers[seed % cloud::kAllTiers.size()],
                             options_.overprov_choices[(seed / 7) %
                                                       options_.overprov_choices.size()]);
-    WorkflowEvaluation curr_eval = evaluator_->evaluate(curr);
+    WorkflowEvaluation curr_eval = evaluator_->evaluate(curr, cache);
     if (!curr_eval.feasible) {
         curr = WorkflowPlan::uniform(wf.size(), StorageTier::kPersistentSsd);
-        curr_eval = evaluator_->evaluate(curr);
+        curr_eval = evaluator_->evaluate(curr, cache);
     }
-    WorkflowSolveResult best{curr, curr_eval, 0};
+    WorkflowSolveResult best;
+    best.plan = curr;
+    best.evaluation = curr_eval;
     double curr_score = score(curr_eval);
     double best_score = curr_score;
 
@@ -330,7 +344,7 @@ WorkflowSolveResult WorkflowSolver::run_chain(std::uint64_t seed) const {
         }
         neighbor.decisions[job_idx] = d;
 
-        const WorkflowEvaluation neighbor_eval = evaluator_->evaluate(neighbor);
+        const WorkflowEvaluation neighbor_eval = evaluator_->evaluate(neighbor, cache);
         const double neighbor_score = score(neighbor_eval);
         ++best.iterations;
         if (neighbor_eval.feasible && neighbor_score > best_score) {
@@ -348,14 +362,14 @@ WorkflowSolveResult WorkflowSolver::run_chain(std::uint64_t seed) const {
     return best;
 }
 
-WorkflowPlan WorkflowSolver::best_uniform_plan() const {
+WorkflowPlan WorkflowSolver::best_uniform_plan(EvalCache* cache) const {
     const auto& wf = evaluator_->workflow();
     WorkflowPlan best = WorkflowPlan::uniform(wf.size(), StorageTier::kPersistentSsd);
-    double best_score = score(evaluator_->evaluate(best));
+    double best_score = score(evaluator_->evaluate(best, cache));
     for (StorageTier t : cloud::kAllTiers) {
         for (double k : options_.overprov_choices) {
             WorkflowPlan candidate = WorkflowPlan::uniform(wf.size(), t, k);
-            const double s = score(evaluator_->evaluate(candidate));
+            const double s = score(evaluator_->evaluate(candidate, cache));
             if (s > best_score) {
                 best_score = s;
                 best = std::move(candidate);
@@ -365,7 +379,7 @@ WorkflowPlan WorkflowSolver::best_uniform_plan() const {
     return best;
 }
 
-WorkflowSolveResult WorkflowSolver::solve(ThreadPool* pool) const {
+WorkflowSolveResult WorkflowSolver::solve(ThreadPool* pool, EvalCache* cache) const {
     // Pre-solve lint. Structural errors reject; an unattainable deadline
     // (L009's certified lower bound) is demoted to a note because this
     // solver's contract is best-effort — the §5.2.2 baselines count misses,
@@ -376,9 +390,17 @@ WorkflowSolveResult WorkflowSolver::solve(ThreadPool* pool) const {
     lint::demote(pre, "L009", lint::Severity::kWarning);
     lint::enforce(pre);
 
+    std::unique_ptr<EvalCache> owned;
+    if (!options_.use_evaluation_cache) {
+        cache = nullptr;
+    } else if (cache == nullptr) {
+        owned = std::make_unique<EvalCache>();
+        cache = owned.get();
+    }
+
     std::vector<WorkflowSolveResult> results(static_cast<std::size_t>(options_.chains));
     auto run_one = [&](std::size_t c) {
-        results[c] = run_chain(options_.seed + 104729 * (c + 1));
+        results[c] = run_chain(options_.seed + 104729 * (c + 1), cache);
     };
     if (pool != nullptr && options_.chains > 1) {
         pool->parallel_for(results.size(), run_one);
@@ -388,16 +410,21 @@ WorkflowSolveResult WorkflowSolver::solve(ThreadPool* pool) const {
     // The canonical uniform sweep is a guaranteed floor: annealing must not
     // return anything it scores below the best single-tier plan.
     WorkflowSolveResult fallback;
-    fallback.plan = best_uniform_plan();
-    fallback.evaluation = evaluator_->evaluate(fallback.plan);
+    fallback.plan = best_uniform_plan(cache);
+    fallback.evaluation = evaluator_->evaluate(fallback.plan, cache);
+    fallback.best_chain = -1;
     std::size_t best = 0;
     for (std::size_t c = 1; c < results.size(); ++c) {
         if (score(results[c].evaluation) > score(results[best].evaluation)) best = c;
     }
+    const bool fallback_wins = score(fallback.evaluation) > score(results[best].evaluation);
     WorkflowSolveResult chosen =
-        score(fallback.evaluation) > score(results[best].evaluation)
-            ? std::move(fallback)
-            : std::move(results[best]);
+        fallback_wins ? std::move(fallback) : std::move(results[best]);
+    if (!fallback_wins) chosen.best_chain = static_cast<int>(best);
+    // Report the whole search's effort, not just the winner's share.
+    chosen.iterations = 0;
+    for (const WorkflowSolveResult& r : results) chosen.iterations += r.iterations;
+    if (cache != nullptr) chosen.cache_stats = cache->stats();
     for (const lint::Finding* f : pre.at(lint::Severity::kWarning)) {
         chosen.lint_notes.push_back(f->format());
     }

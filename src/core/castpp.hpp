@@ -93,7 +93,10 @@ public:
     /// topological order; a DAG edge whose endpoints sit on different tiers
     /// pays a cross-tier transfer of the producer's output; root jobs on
     /// ephSSD stage in from objStore, terminal jobs on ephSSD stage out.
-    [[nodiscard]] WorkflowEvaluation evaluate(const WorkflowPlan& plan) const;
+    /// When a cache is supplied, per-job REG runtimes are memoized through
+    /// it (bit-identical — REG is deterministic).
+    [[nodiscard]] WorkflowEvaluation evaluate(const WorkflowPlan& plan,
+                                              EvalCache* cache = nullptr) const;
 
     /// Eq. 10 capacity requirement of one workflow job under a plan.
     [[nodiscard]] GigaBytes job_requirement(const WorkflowPlan& plan,
@@ -114,7 +117,14 @@ private:
 struct WorkflowSolveResult {
     WorkflowPlan plan;
     WorkflowEvaluation evaluation;
+    /// From solve(): aggregated across ALL chains (a run_chain() result
+    /// covers that one chain only).
     int iterations = 0;
+    /// Index of the winning chain (solve() only; -1 when the uniform-plan
+    /// fallback beat every chain, 0 for a single chain).
+    int best_chain = 0;
+    /// Memo-table statistics (zero when caching is disabled).
+    EvalCacheStats cache_stats{};
     /// Pre-solve lint warnings, including a demoted L009 when the deadline
     /// is below the certified runtime lower bound (the solve is then
     /// best-effort by construction).
@@ -132,8 +142,12 @@ public:
     WorkflowSolver(const WorkflowEvaluator& evaluator, AnnealingOptions options = {},
                    double deadline_safety = 1.0);
 
-    [[nodiscard]] WorkflowSolveResult solve(ThreadPool* pool = nullptr) const;
-    [[nodiscard]] WorkflowSolveResult run_chain(std::uint64_t seed) const;
+    /// All chains share one evaluation cache: `cache` when supplied,
+    /// otherwise an internally created one (unless options disable caching).
+    [[nodiscard]] WorkflowSolveResult solve(ThreadPool* pool = nullptr,
+                                            EvalCache* cache = nullptr) const;
+    [[nodiscard]] WorkflowSolveResult run_chain(std::uint64_t seed,
+                                                EvalCache* cache = nullptr) const;
 
 private:
     /// Score to maximize: -cost when the deadline holds, else heavily
@@ -143,7 +157,7 @@ private:
 
     /// Best-scoring uniform plan over tiers x over-provision factors (the
     /// multi-start anchor and result floor).
-    [[nodiscard]] WorkflowPlan best_uniform_plan() const;
+    [[nodiscard]] WorkflowPlan best_uniform_plan(EvalCache* cache = nullptr) const;
 
     const WorkflowEvaluator* evaluator_;
     AnnealingOptions options_;

@@ -1,7 +1,6 @@
 #include "core/deployer.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <string>
 
 #include "lint/analyzer.hpp"
@@ -278,17 +277,12 @@ WorkflowDeployment Deployer::deploy_workflow(const WorkflowEvaluator& evaluator,
     }
     dep.total_runtime = total;
 
-    const auto& cluster = evaluator.models().cluster();
-    dep.vm_cost = Dollars{cluster.price_per_minute().value() * total.minutes()};
-    const double hours = std::ceil(total.minutes() / 60.0);
-    double storage = 0.0;
-    for (StorageTier t : cloud::kAllTiers) {
-        const GigaBytes cap = dep.capacities.aggregate[tier_index(t)];
-        if (cap.value() <= 0.0) continue;
-        storage += cap.value() *
-                   evaluator.models().catalog().service(t).price_per_gb_hour().value() * hours;
-    }
-    dep.storage_cost = Dollars{storage};
+    // Bill via the shared Eq. 5-6 formula (eq5_eq6_costs): a deployed run
+    // and its plan's model must cost identically for the same makespan and
+    // capacities, or reports comparing them would show phantom drift.
+    const auto [vm, store] = eq5_eq6_costs(evaluator.models(), total, dep.capacities);
+    dep.vm_cost = vm;
+    dep.storage_cost = store;
     dep.met_deadline = total <= wf.deadline();
     return dep;
 }

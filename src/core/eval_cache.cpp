@@ -1,0 +1,129 @@
+#include "core/eval_cache.hpp"
+
+#include <array>
+#include <bit>
+
+namespace cast::core {
+
+namespace {
+
+[[nodiscard]] constexpr std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) {
+    // SplitMix64 finalizer: cheap, well-distributed bit mixing.
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// Source of globally unique cache generations; see L1Entry.
+std::atomic<std::uint64_t> g_generation{0};
+
+}  // namespace
+
+EvalCache::EvalCache(std::size_t shards)
+    : shards_(std::make_unique<Shard[]>(round_up_pow2(std::max<std::size_t>(1, shards)))),
+      shard_mask_(round_up_pow2(std::max<std::size_t>(1, shards)) - 1),
+      generation_(g_generation.fetch_add(1, std::memory_order_relaxed) + 1) {}
+
+std::size_t EvalCache::KeyHash::operator()(const Key& k) const {
+    std::uint64_t h = mix64(k.input_bits ^ 0x9e3779b97f4a7c15ULL);
+    h = mix64(h ^ k.capacity_bits);
+    h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.app)) |
+                   (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.tier)) << 8) |
+                   (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.legs)) << 16)));
+    h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.map_tasks)) |
+                   (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.reduce_tasks))
+                    << 32)));
+    return static_cast<std::size_t>(h);
+}
+
+Seconds EvalCache::job_runtime(const model::PerfModelSet& models,
+                               const workload::JobSpec& job, cloud::StorageTier tier,
+                               GigaBytes per_vm_capacity, model::StagingLegs legs) {
+    // Canonical capacity key: an objStore placement whose model scales with
+    // the conventional intermediate volume never reads the provisioned
+    // capacity (neither processing nor staging), so all capacities map to
+    // one entry.
+    double capacity = per_vm_capacity.value();
+    if (tier == cloud::StorageTier::kObjectStore && models.has_tier_model(job.app, tier) &&
+        models.tier_model(job.app, tier).scales_with_intermediate_volume) {
+        capacity = 0.0;
+    }
+    const Key key{
+        .input_bits = std::bit_cast<std::uint64_t>(job.input.value()),
+        .capacity_bits = std::bit_cast<std::uint64_t>(capacity),
+        .app = static_cast<std::int32_t>(workload::app_index(job.app)),
+        .tier = static_cast<std::int32_t>(cloud::tier_index(tier)),
+        .map_tasks = job.map_tasks,
+        .reduce_tasks = job.reduce_tasks,
+        .legs = static_cast<std::uint32_t>(legs.download_input ? 1 : 0) |
+                static_cast<std::uint32_t>(legs.upload_output ? 2 : 0),
+    };
+    const std::size_t h = KeyHash{}(key);
+
+    // Thread-local L1 probe: no lock, no atomic write beyond the stats
+    // counter. Valid only when the slot was filled by this cache in its
+    // current generation.
+    constexpr std::size_t kL1Slots = 2048;  // power of two, ~128 KB/thread
+    static thread_local std::array<L1Entry, kL1Slots> l1{};
+    const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+    L1Entry& slot = l1[h & (kL1Slots - 1)];
+    if (slot.owner == this && slot.generation == gen && slot.key == key) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return Seconds{slot.value};
+    }
+
+    Shard& shard = shards_[h & shard_mask_];
+    {
+        std::lock_guard lock(shard.mutex);
+        const auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            slot = L1Entry{this, gen, key, it->second};
+            return Seconds{it->second};
+        }
+    }
+    // Compute outside the lock: the value is a pure function of the key, so
+    // a concurrent duplicate computation stores the same bits.
+    const Seconds t = models.job_runtime(job, tier, per_vm_capacity, legs);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard lock(shard.mutex);
+        shard.map.emplace(key, t.value());
+    }
+    slot = L1Entry{this, gen, key, t.value()};
+    return t;
+}
+
+EvalCacheStats EvalCache::stats() const {
+    return EvalCacheStats{hits_.load(std::memory_order_relaxed),
+                          misses_.load(std::memory_order_relaxed)};
+}
+
+std::size_t EvalCache::size() const {
+    std::size_t n = 0;
+    for (std::size_t s = 0; s <= shard_mask_; ++s) {
+        std::lock_guard lock(shards_[s].mutex);
+        n += shards_[s].map.size();
+    }
+    return n;
+}
+
+void EvalCache::clear() {
+    for (std::size_t s = 0; s <= shard_mask_; ++s) {
+        std::lock_guard lock(shards_[s].mutex);
+        shards_[s].map.clear();
+    }
+    // A fresh generation invalidates every thread's L1 slots at once.
+    generation_.store(g_generation.fetch_add(1, std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace cast::core

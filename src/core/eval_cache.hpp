@@ -1,0 +1,126 @@
+// Memoized REG runtime lookups for plan evaluation.
+//
+// The annealing inner loop evaluates one neighbor plan per iteration, and
+// the dominant cost of an evaluation is the per-job REG estimate
+// (model::PerfModelSet::job_runtime): spline lookups plus the staging-leg
+// model. Provider-side provisioning quantizes per-VM capacities (whole
+// 375 GB ephSSD volumes, whole-GB persistent volumes), so the search keeps
+// revisiting a small set of (job, tier, capacity, legs) configurations —
+// across iterations, across chains, and across the greedy initialization.
+// EvalCache memoizes exactly that quadruple.
+//
+// Keying. Jobs are identified by the fields job_runtime actually reads
+// (application class, input size, map/reduce task counts) rather than by
+// workload index, so one cache is shared safely between evaluators over
+// different workloads (e.g. GreedySolver's single-job evaluators and the
+// full-workload annealing evaluator). The model set is NOT part of the key:
+// a cache must only ever be used with one PerfModelSet (cluster, catalog
+// and profiled splines). The capacity key is canonicalized to
+// zero for objStore placements whose model scales with the conventional
+// intermediate volume instead of provisioned capacity — objStore runtime
+// is capacity-independent there, and the canonical key keeps hit rates
+// high while objStore aggregates drift.
+//
+// Thread safety. The table is sharded by key hash; each shard has its own
+// mutex, so concurrent annealing chains sharing one cache (the ThreadPool
+// path) contend only on colliding shards. Values are deterministic
+// functions of their key, so duplicated computation under a race is
+// benign: both threads store the same bits.
+//
+// L1 front. Each thread additionally keeps a small lock-free direct-mapped
+// array in front of the shared table: the annealing inner loop re-reads the
+// same few hundred hot keys, and a thread-local probe (one index, one key
+// compare) costs a fraction of a mutex acquisition. Entries are tagged with
+// the owning cache and a globally unique generation, so a cleared or
+// destroyed cache can never serve stale values — not even to a new cache
+// constructed at the same address.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "cloud/storage.hpp"
+#include "common/units.hpp"
+#include "model/profiler.hpp"
+#include "workload/job.hpp"
+
+namespace cast::core {
+
+struct EvalCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
+    [[nodiscard]] double hit_rate() const {
+        const std::uint64_t n = lookups();
+        return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+    }
+};
+
+class EvalCache {
+public:
+    /// `shards` is rounded up to a power of two.
+    explicit EvalCache(std::size_t shards = 16);
+
+    EvalCache(const EvalCache&) = delete;
+    EvalCache& operator=(const EvalCache&) = delete;
+
+    /// Memoized model::PerfModelSet::job_runtime. On a miss the runtime is
+    /// computed through `models` and stored; identical lookups (same job
+    /// content, tier, provisioned per-VM capacity and staging legs) return
+    /// the identical bits thereafter.
+    [[nodiscard]] Seconds job_runtime(const model::PerfModelSet& models,
+                                      const workload::JobSpec& job, cloud::StorageTier tier,
+                                      GigaBytes per_vm_capacity, model::StagingLegs legs);
+
+    [[nodiscard]] EvalCacheStats stats() const;
+
+    /// Total number of memoized entries across all shards.
+    [[nodiscard]] std::size_t size() const;
+
+    void clear();
+
+private:
+    struct Key {
+        std::uint64_t input_bits = 0;
+        std::uint64_t capacity_bits = 0;
+        std::int32_t app = 0;
+        std::int32_t tier = 0;
+        std::int32_t map_tasks = 0;
+        std::int32_t reduce_tasks = 0;
+        std::uint32_t legs = 0;
+
+        friend bool operator==(const Key&, const Key&) = default;
+    };
+
+    struct KeyHash {
+        [[nodiscard]] std::size_t operator()(const Key& k) const;
+    };
+
+    struct Shard {
+        std::mutex mutex;
+        std::unordered_map<Key, double, KeyHash> map;
+    };
+
+    /// One slot of the thread-local direct-mapped L1. A slot is valid for
+    /// this cache only when (owner, generation) both match; generations are
+    /// drawn from a process-global counter, so no two logical cache
+    /// lifetimes ever share one.
+    struct L1Entry {
+        const EvalCache* owner = nullptr;
+        std::uint64_t generation = 0;
+        Key key{};
+        double value = 0.0;
+    };
+
+    std::unique_ptr<Shard[]> shards_;
+    std::size_t shard_mask_;
+    std::atomic<std::uint64_t> generation_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace cast::core

@@ -5,7 +5,7 @@
 namespace cast::core {
 
 double GreedySolver::single_job_utility(const workload::JobSpec& job, cloud::StorageTier tier,
-                                        double k) const {
+                                        double k, EvalCache* cache) const {
     // Algorithm 1 computes Utility(j, f) from Eq. 1 and Eq. 2 for the job
     // in isolation: a one-job workload evaluated under the same model.
     workload::JobSpec solo = job;
@@ -13,11 +13,11 @@ double GreedySolver::single_job_utility(const workload::JobSpec& job, cloud::Sto
     PlanEvaluator solo_eval(evaluator_->models(), workload::Workload({solo}),
                             evaluator_->options());
     TieringPlan plan(std::vector<PlacementDecision>{PlacementDecision{tier, k}});
-    const PlanEvaluation eval = solo_eval.evaluate(plan);
+    const PlanEvaluation eval = solo_eval.evaluate(plan, cache);
     return eval.feasible ? eval.utility : 0.0;
 }
 
-TieringPlan GreedySolver::solve(const GreedyOptions& options) const {
+TieringPlan GreedySolver::solve(const GreedyOptions& options, EvalCache* cache) const {
     CAST_EXPECTS(!options.overprov_choices.empty());
     // Pre-solve lint: same rejection the annealing solver applies, so a bad
     // workload fails identically whichever solver sees it first.
@@ -35,14 +35,14 @@ TieringPlan GreedySolver::solve(const GreedyOptions& options) const {
         for (cloud::StorageTier tier : cloud::kAllTiers) {
             if (options.over_provision) {
                 for (double k : options.overprov_choices) {
-                    const double u = single_job_utility(job, tier, k);
+                    const double u = single_job_utility(job, tier, k, cache);
                     if (u > best_utility) {
                         best_utility = u;
                         best = PlacementDecision{tier, k};
                     }
                 }
             } else {
-                const double u = single_job_utility(job, tier, 1.0);
+                const double u = single_job_utility(job, tier, 1.0, cache);
                 if (u > best_utility) {
                     best_utility = u;
                     best = PlacementDecision{tier, 1.0};

@@ -28,13 +28,19 @@ class GreedySolver {
 public:
     explicit GreedySolver(const PlanEvaluator& evaluator) : evaluator_(&evaluator) {}
 
-    [[nodiscard]] TieringPlan solve(const GreedyOptions& options = {}) const;
+    /// When `cache` is supplied, every single-job evaluation memoizes its
+    /// REG runtime through it. The cache keys on job content rather than
+    /// workload index, so the same table can be (and in the CAST facades
+    /// is) shared with the annealing stage that refines this plan.
+    [[nodiscard]] TieringPlan solve(const GreedyOptions& options = {},
+                                    EvalCache* cache = nullptr) const;
 
     /// Single-job utility of placing `job` on `tier` with factor k — the
     /// Utility(j, f) of Algorithm 1. Returns 0 when the placement is
     /// infeasible on its own.
     [[nodiscard]] double single_job_utility(const workload::JobSpec& job,
-                                            cloud::StorageTier tier, double k) const;
+                                            cloud::StorageTier tier, double k,
+                                            EvalCache* cache = nullptr) const;
 
 private:
     const PlanEvaluator* evaluator_;

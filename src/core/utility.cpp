@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/eval_cache.hpp"
 #include "lint/checks.hpp"
 
 namespace cast::core {
@@ -21,6 +22,30 @@ PlanEvaluator::PlanEvaluator(const model::PerfModelSet& models, workload::Worklo
                 group_leader_[members[i]] = false;
             }
         }
+    }
+    for (const auto& job : workload_.jobs()) {
+        if (models_->has_tier_model(job.app, StorageTier::kObjectStore) &&
+            !models_->tier_model(job.app, StorageTier::kObjectStore)
+                 .scales_with_intermediate_volume) {
+            objstore_capacity_sensitive_ = true;
+            break;
+        }
+    }
+    // Per-job capacity terms are invariant across plans; precompute them so
+    // the per-iteration capacities() loop is pure array arithmetic. The
+    // stored doubles are exactly what the accessors return, so plans
+    // evaluate bit-identically to recomputing in the loop.
+    req_.reserve(workload_.size());
+    eph_backing_.reserve(workload_.size());
+    inter_.reserve(workload_.size());
+    for (std::size_t i = 0; i < workload_.size(); ++i) {
+        const auto& job = workload_.job(i);
+        req_.push_back(job_requirement(i));
+        GigaBytes backing = job.output();
+        if (pays_input_download(i)) backing += job.input;
+        eph_backing_.push_back(backing);
+        inter_.push_back(job.intermediate());
+        if (job.pinned_tier) has_tier_pins_ = true;
     }
 }
 
@@ -43,23 +68,18 @@ CapacityBreakdown PlanEvaluator::capacities(const TieringPlan& plan) const {
     CapacityBreakdown caps;
     GigaBytes max_object_store_inter{0.0};
     bool any_on_object_store = false;
+    const auto& ds = plan.decisions();
     for (std::size_t i = 0; i < workload_.size(); ++i) {
-        const auto& d = plan.decision(i);
-        const auto& job = workload_.job(i);
-        const GigaBytes ci{job_requirement(i).value() * d.overprovision};
+        const auto& d = ds[i];
+        const GigaBytes ci{req_[i].value() * d.overprovision};
         caps.aggregate[tier_index(d.tier)] += ci;
         if (d.tier == StorageTier::kEphemeralSsd) {
             // Backing store: the input comes from, and the output returns
             // to, objStore (charged there).
-            GigaBytes backing = job.output();
-            if (pays_input_download(i)) backing += job.input;
-            caps.aggregate[tier_index(StorageTier::kObjectStore)] += backing;
-        }
-        if (d.tier == StorageTier::kObjectStore) {
+            caps.aggregate[tier_index(StorageTier::kObjectStore)] += eph_backing_[i];
+        } else if (d.tier == StorageTier::kObjectStore) {
             any_on_object_store = true;
-            if (job.intermediate() > max_object_store_inter) {
-                max_object_store_inter = job.intermediate();
-            }
+            if (inter_[i] > max_object_store_inter) max_object_store_inter = inter_[i];
         }
     }
     const int nvm = models_->cluster().worker_count;
@@ -89,10 +109,10 @@ CapacityBreakdown PlanEvaluator::capacities(const TieringPlan& plan) const {
     return caps;
 }
 
-std::pair<Dollars, Dollars> PlanEvaluator::costs_for(Seconds runtime,
-                                                     const CapacityBreakdown& caps) const {
+std::pair<Dollars, Dollars> eq5_eq6_costs(const model::PerfModelSet& models, Seconds runtime,
+                                          const CapacityBreakdown& caps) {
     CAST_EXPECTS(runtime.value() > 0.0);
-    const auto& cluster = models_->cluster();
+    const auto& cluster = models.cluster();
     // Eq. 5: VM-minutes over the makespan (workers + master).
     const Dollars vm_cost{cluster.price_per_minute().value() * runtime.minutes()};
     // Eq. 6: storage is billed per GB-hour with hourly rounding.
@@ -101,13 +121,44 @@ std::pair<Dollars, Dollars> PlanEvaluator::costs_for(Seconds runtime,
     for (StorageTier t : cloud::kAllTiers) {
         const GigaBytes cap = caps.aggregate[tier_index(t)];
         if (cap.value() <= 0.0) continue;
-        storage += cap.value() * models_->catalog().service(t).price_per_gb_hour().value() *
+        storage += cap.value() * models.catalog().service(t).price_per_gb_hour().value() *
                    hours;
     }
     return {vm_cost, Dollars{storage}};
 }
 
-PlanEvaluation PlanEvaluator::evaluate(const TieringPlan& plan) const {
+std::pair<Dollars, Dollars> PlanEvaluator::costs_for(Seconds runtime,
+                                                     const CapacityBreakdown& caps) const {
+    return eq5_eq6_costs(*models_, runtime, caps);
+}
+
+Seconds PlanEvaluator::job_runtime_for(const TieringPlan& plan, std::size_t job_idx,
+                                       const CapacityBreakdown& caps,
+                                       EvalCache* cache) const {
+    const auto& d = plan.decision(job_idx);
+    model::StagingLegs legs = model::StagingLegs::for_tier(d.tier);
+    if (legs.download_input) legs.download_input = pays_input_download(job_idx);
+    const GigaBytes per_vm = caps.per_vm[tier_index(d.tier)];
+    if (cache != nullptr) {
+        return cache->job_runtime(*models_, workload_.job(job_idx), d.tier, per_vm, legs);
+    }
+    return models_->job_runtime(workload_.job(job_idx), d.tier, per_vm, legs);
+}
+
+std::array<bool, cloud::kTierCount> PlanEvaluator::reusable_tiers(
+    const CapacityBreakdown& base, const CapacityBreakdown& next) const {
+    std::array<bool, cloud::kTierCount> reusable{};
+    for (StorageTier t : cloud::kAllTiers) {
+        const std::size_t ti = tier_index(t);
+        reusable[ti] = (t == StorageTier::kObjectStore && !objstore_capacity_sensitive_) ||
+                       base.per_vm[ti].value() == next.per_vm[ti].value();
+    }
+    return reusable;
+}
+
+PlanEvaluation PlanEvaluator::evaluate_impl(const TieringPlan& plan, EvalCache* cache,
+                                            const PlanEvaluation* base,
+                                            std::span<const std::size_t> changed) const {
     CAST_EXPECTS_MSG(plan.size() == workload_.size(), "plan/workload size mismatch");
     PlanEvaluation eval;
     if (workload_.empty()) {
@@ -116,15 +167,23 @@ PlanEvaluation PlanEvaluator::evaluate(const TieringPlan& plan) const {
     }
     // Placement constraints (Eq. 7 co-location, operator pins) via the
     // shared lint checks, so solver, deployer and CLI agree on what a
-    // violation is; the clean path appends nothing.
-    std::vector<lint::Finding> violations;
-    if (options_.reuse_aware) {
-        lint::check_reuse_group_split(workload_.jobs(), plan.decisions(), violations);
-    }
-    lint::check_tier_pins(workload_.jobs(), plan.decisions(), violations);
-    if (!violations.empty()) {
-        eval.infeasibility = violations.front().message;
-        return eval;
+    // violation is; the clean path appends nothing. These stay full-plan
+    // even on the incremental path: they are cheap comparisons, and running
+    // them unchanged keeps infeasibility messages bit-identical. A check
+    // that cannot fire for this workload (no reuse groups tracked, no pins)
+    // is skipped outright — it would append nothing either way.
+    if (options_.reuse_aware || has_tier_pins_) {
+        std::vector<lint::Finding> violations;
+        if (options_.reuse_aware) {
+            lint::check_reuse_group_split(workload_.jobs(), plan.decisions(), violations);
+        }
+        if (has_tier_pins_) {
+            lint::check_tier_pins(workload_.jobs(), plan.decisions(), violations);
+        }
+        if (!violations.empty()) {
+            eval.infeasibility = violations.front().message;
+            return eval;
+        }
     }
     try {
         eval.capacities = capacities(plan);
@@ -134,17 +193,64 @@ PlanEvaluation PlanEvaluator::evaluate(const TieringPlan& plan) const {
     }
 
     // Eq. 4: serial makespan out of per-job REG estimates at the plan's
-    // per-VM capacities.
-    eval.job_runtimes.reserve(workload_.size());
+    // per-VM capacities. A job's runtime depends only on its own tier, that
+    // tier's per-VM capacity and its staging legs, so the base evaluation's
+    // runtime carries over for every job whose decision is untouched and
+    // whose tier's per-VM capacity is bitwise unchanged — no memo lookup,
+    // no model call. Only jobs on tiers whose capacity shifted
+    // (provisioning rounding, the objStore persSSD floor, ephSSD backing)
+    // and jobs whose own decision moved re-derive their runtime, through
+    // the memo table.
     Seconds total{0.0};
-    for (std::size_t i = 0; i < workload_.size(); ++i) {
-        const auto& d = plan.decision(i);
-        model::StagingLegs legs = model::StagingLegs::for_tier(d.tier);
-        if (legs.download_input) legs.download_input = pays_input_download(i);
-        const Seconds t = models_->job_runtime(
-            workload_.job(i), d.tier, eval.capacities.per_vm[tier_index(d.tier)], legs);
-        eval.job_runtimes.push_back(t);
-        total += t;
+    if (base != nullptr && base->feasible && base->job_runtimes.size() == workload_.size()) {
+        const std::array<bool, cloud::kTierCount> reusable =
+            reusable_tiers(base->capacities, eval.capacities);
+        eval.job_runtimes = base->job_runtimes;
+        const auto& ds = plan.decisions();
+        bool any_runtime_changed = false;
+        bool all_reusable = true;
+        for (const bool r : reusable) all_reusable = all_reusable && r;
+        if (!all_reusable) {
+            // Capacity sweep: re-derive directly instead of through the memo
+            // table. These keys carry a freshly rounded capacity, so they
+            // miss (and would churn the table with inserts) far more often
+            // than the per-decision moves below; at REG's evaluation cost a
+            // direct call is cheaper than a shard lock either way.
+            for (std::size_t i = 0; i < workload_.size(); ++i) {
+                if (!reusable[tier_index(ds[i].tier)]) {
+                    const Seconds t = job_runtime_for(plan, i, eval.capacities, nullptr);
+                    any_runtime_changed |= t.value() != eval.job_runtimes[i].value();
+                    eval.job_runtimes[i] = t;
+                }
+            }
+        }
+        // A changed job's base runtime belongs to its old decision: recompute
+        // it even when its (new) tier's capacity is unchanged, unless the
+        // capacity pass above already did. `changed` holds unique indices, so
+        // each job is recomputed at most once.
+        for (std::size_t j : changed) {
+            if (reusable[tier_index(ds[j].tier)]) {
+                const Seconds t = job_runtime_for(plan, j, eval.capacities, cache);
+                any_runtime_changed |= t.value() != eval.job_runtimes[j].value();
+                eval.job_runtimes[j] = t;
+            }
+        }
+        if (any_runtime_changed) {
+            // Sum in index order, exactly as the full loop does, so the
+            // floating-point total is bit-identical.
+            for (const Seconds& t : eval.job_runtimes) total += t;
+        } else {
+            // Every runtime is bitwise what the base summed (in the same
+            // index order), so the base total IS this plan's total.
+            total = base->total_runtime;
+        }
+    } else {
+        eval.job_runtimes.reserve(workload_.size());
+        for (std::size_t i = 0; i < workload_.size(); ++i) {
+            const Seconds t = job_runtime_for(plan, i, eval.capacities, cache);
+            eval.job_runtimes.push_back(t);
+            total += t;
+        }
     }
     eval.total_runtime = total;
     const auto [vm, store] = costs_for(total, eval.capacities);
@@ -153,6 +259,22 @@ PlanEvaluation PlanEvaluator::evaluate(const TieringPlan& plan) const {
     eval.utility = tenant_utility(total, eval.total_cost());
     eval.feasible = true;
     return eval;
+}
+
+PlanEvaluation PlanEvaluator::evaluate(const TieringPlan& plan, EvalCache* cache) const {
+    return evaluate_impl(plan, cache, nullptr, {});
+}
+
+PlanEvaluation PlanEvaluator::evaluate_delta(const PlanEvaluation& base,
+                                             const TieringPlan& plan,
+                                             std::span<const std::size_t> changed_jobs,
+                                             EvalCache* cache) const {
+    // An infeasible base carries no reusable runtimes; evaluate fresh.
+    if (!base.feasible) return evaluate_impl(plan, cache, nullptr, {});
+    // No decision differs (the caller's contract): the base evaluation IS
+    // the evaluation of `plan`.
+    if (changed_jobs.empty()) return base;
+    return evaluate_impl(plan, cache, &base, changed_jobs);
 }
 
 }  // namespace cast::core

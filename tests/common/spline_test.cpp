@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "common/rng.hpp"
+
 namespace cast {
 namespace {
 
@@ -52,6 +54,44 @@ TEST(Spline, IncreasingDataStaysIncreasing) {
         const double y = s(x);
         EXPECT_GE(y, prev - 1e-9) << "non-monotone at x=" << x;
         prev = y;
+    }
+}
+
+TEST(Spline, RandomizedMonotoneKnotsStayMonotone) {
+    // Property check of the Fritsch-Carlson limiter over randomized
+    // monotone knot sets, including near-flat runs and steep cliffs (the
+    // shapes that push α²+β² past 9 and exercise the clamp + rescale
+    // interaction). Any interior dip would hand the annealing solver a
+    // phantom optimum.
+    Rng rng(4242);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t n = 3 + rng.below(8);
+        const bool decreasing = trial % 2 == 0;
+        std::vector<double> xs(n);
+        std::vector<double> ys(n);
+        double x = 1.0 + rng.uniform() * 10.0;
+        double y = decreasing ? 500.0 + rng.uniform() * 500.0 : rng.uniform() * 10.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            xs[i] = x;
+            ys[i] = y;
+            x += 0.5 + rng.uniform() * 200.0;
+            // Mix flat steps (zero secant) with steep ones.
+            const double step = rng.uniform() < 0.3 ? 0.0 : rng.uniform() * 300.0;
+            y += decreasing ? -step : step;
+        }
+        const CubicHermiteSpline s(xs, ys);
+        double prev = s(xs.front());
+        const double span = xs.back() - xs.front();
+        for (int k = 1; k <= 400; ++k) {
+            const double xi = xs.front() + span * k / 400.0;
+            const double yi = s(xi);
+            if (decreasing) {
+                ASSERT_LE(yi, prev + 1e-9) << "trial " << trial << " x=" << xi;
+            } else {
+                ASSERT_GE(yi, prev - 1e-9) << "trial " << trial << " x=" << xi;
+            }
+            prev = yi;
+        }
     }
 }
 

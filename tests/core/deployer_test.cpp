@@ -117,6 +117,28 @@ TEST(Deployer, WorkflowModeledRuntimeTracksMeasured) {
     EXPECT_NEAR(measured.total_runtime.value() / modeled.total_runtime.value(), 1.0, 0.25);
 }
 
+TEST(Deployer, WorkflowCostsUseSameFormulaAsEvaluator) {
+    // The deployed workflow and the planner's model must bill through the
+    // one shared Eq. 5-6 implementation: for the same makespan and
+    // capacities the costs are equal to the last bit, so modeled-vs-
+    // deployed comparisons can never show phantom cost drift.
+    const workload::Workflow wf = workload::make_search_log_workflow(Seconds{1e6});
+    WorkflowEvaluator eval(testing::small_models(), wf);
+    WorkflowPlan plan = WorkflowPlan::uniform(4, StorageTier::kPersistentSsd);
+    plan.decisions[wf.index_of(3)] = {StorageTier::kEphemeralSsd, 1.0};
+    const auto dep = Deployer().deploy_workflow(eval, plan);
+    const auto [vm, store] = eq5_eq6_costs(eval.models(), dep.total_runtime, dep.capacities);
+    EXPECT_EQ(dep.vm_cost.value(), vm.value());
+    EXPECT_EQ(dep.storage_cost.value(), store.value());
+
+    // And the evaluator's own modeled costs come from the same formula.
+    const auto modeled = eval.evaluate(plan);
+    const auto [mvm, mstore] =
+        eq5_eq6_costs(eval.models(), modeled.total_runtime, modeled.capacities);
+    EXPECT_EQ(modeled.vm_cost.value(), mvm.value());
+    EXPECT_EQ(modeled.storage_cost.value(), mstore.value());
+}
+
 TEST(Deployer, WorkflowDeadlineMissDetected) {
     const workload::Workflow wf = workload::make_search_log_workflow(Seconds{1.0});
     WorkflowEvaluator eval(testing::small_models(), wf);

@@ -1,0 +1,422 @@
+#include "core/eval_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/annealing.hpp"
+#include "core/castpp.hpp"
+#include "test_support.hpp"
+#include "workload/facebook.hpp"
+
+namespace cast::core {
+namespace {
+
+using cloud::StorageTier;
+using workload::AppKind;
+
+workload::JobSpec mk_job(int id, AppKind app, double gb,
+                         std::optional<int> group = std::nullopt) {
+    const int maps = std::max(1, static_cast<int>(gb / 0.128));
+    return workload::JobSpec{.id = id,
+                             .name = "j" + std::to_string(id),
+                             .app = app,
+                             .input = GigaBytes{gb},
+                             .map_tasks = maps,
+                             .reduce_tasks = std::max(1, maps / 4),
+                             .reuse_group = group};
+}
+
+workload::Workload mixed_workload() {
+    return workload::Workload(
+        {mk_job(1, AppKind::kSort, 320.0), mk_job(2, AppKind::kJoin, 240.0),
+         mk_job(3, AppKind::kGrep, 480.0), mk_job(4, AppKind::kKMeans, 200.0),
+         mk_job(5, AppKind::kSort, 160.0), mk_job(6, AppKind::kGrep, 280.0)});
+}
+
+// ---------------------------------------------------------------------------
+// Memo-table unit behavior.
+// ---------------------------------------------------------------------------
+
+TEST(EvalCache, MemoizedLookupReturnsIdenticalBits) {
+    const auto& models = testing::small_models();
+    const auto job = mk_job(1, AppKind::kSort, 100.0);
+    const auto legs = model::StagingLegs::for_tier(StorageTier::kPersistentSsd);
+    EvalCache cache;
+    const Seconds direct =
+        models.job_runtime(job, StorageTier::kPersistentSsd, GigaBytes{120.0}, legs);
+    const Seconds a =
+        cache.job_runtime(models, job, StorageTier::kPersistentSsd, GigaBytes{120.0}, legs);
+    const Seconds b =
+        cache.job_runtime(models, job, StorageTier::kPersistentSsd, GigaBytes{120.0}, legs);
+    EXPECT_EQ(a.value(), direct.value());
+    EXPECT_EQ(b.value(), direct.value());
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EvalCache, DistinguishesCapacityTierAndLegs) {
+    const auto& models = testing::small_models();
+    const auto job = mk_job(1, AppKind::kGrep, 80.0);
+    EvalCache cache;
+    const model::StagingLegs none{false, false};
+    const model::StagingLegs both{true, true};
+    (void)cache.job_runtime(models, job, StorageTier::kPersistentSsd, GigaBytes{100.0}, none);
+    (void)cache.job_runtime(models, job, StorageTier::kPersistentSsd, GigaBytes{200.0}, none);
+    (void)cache.job_runtime(models, job, StorageTier::kPersistentHdd, GigaBytes{100.0}, none);
+    (void)cache.job_runtime(models, job, StorageTier::kPersistentSsd, GigaBytes{100.0}, both);
+    EXPECT_EQ(cache.stats().misses, 4u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(EvalCache, ObjectStoreCapacityCanonicalized) {
+    // The profiled objStore models scale with the conventional intermediate
+    // volume, never with provisioned capacity, so every capacity maps to
+    // one cache entry.
+    const auto& models = testing::small_models();
+    ASSERT_TRUE(models.tier_model(AppKind::kSort, StorageTier::kObjectStore)
+                    .scales_with_intermediate_volume);
+    const auto job = mk_job(1, AppKind::kSort, 60.0);
+    const model::StagingLegs legs{false, false};
+    EvalCache cache;
+    const Seconds a =
+        cache.job_runtime(models, job, StorageTier::kObjectStore, GigaBytes{10.0}, legs);
+    const Seconds b =
+        cache.job_runtime(models, job, StorageTier::kObjectStore, GigaBytes{700.0}, legs);
+    EXPECT_EQ(a.value(), b.value());
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EvalCache, ClearResetsEntriesAndStats) {
+    const auto& models = testing::small_models();
+    EvalCache cache;
+    (void)cache.job_runtime(models, mk_job(1, AppKind::kJoin, 50.0),
+                            StorageTier::kPersistentSsd, GigaBytes{64.0},
+                            model::StagingLegs{false, false});
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().lookups(), 0u);
+    EXPECT_EQ(cache.stats().hit_rate(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Golden equivalence: delta + memoized evaluation == full evaluation, bit
+// for bit, across a long randomized neighbor walk on the paper workload.
+// ---------------------------------------------------------------------------
+
+void expect_bit_identical(const PlanEvaluation& delta, const PlanEvaluation& full,
+                          int step) {
+    ASSERT_EQ(delta.feasible, full.feasible) << "step " << step;
+    ASSERT_EQ(delta.infeasibility, full.infeasibility) << "step " << step;
+    if (!full.feasible) return;
+    ASSERT_EQ(delta.total_runtime.value(), full.total_runtime.value()) << "step " << step;
+    ASSERT_EQ(delta.vm_cost.value(), full.vm_cost.value()) << "step " << step;
+    ASSERT_EQ(delta.storage_cost.value(), full.storage_cost.value()) << "step " << step;
+    ASSERT_EQ(delta.utility, full.utility) << "step " << step;
+    ASSERT_EQ(delta.job_runtimes.size(), full.job_runtimes.size());
+    for (std::size_t i = 0; i < full.job_runtimes.size(); ++i) {
+        ASSERT_EQ(delta.job_runtimes[i].value(), full.job_runtimes[i].value())
+            << "step " << step << " job " << i;
+    }
+    for (StorageTier t : cloud::kAllTiers) {
+        ASSERT_EQ(delta.capacities.aggregate_of(t).value(),
+                  full.capacities.aggregate_of(t).value())
+            << "step " << step;
+        ASSERT_EQ(delta.capacities.per_vm_of(t).value(), full.capacities.per_vm_of(t).value())
+            << "step " << step;
+    }
+}
+
+void golden_walk(bool reuse_aware) {
+    const workload::Workload w = workload::synthesize_facebook_workload(7);
+    PlanEvaluator eval(testing::small_models(), w, EvalOptions{.reuse_aware = reuse_aware});
+    AnnealingOptions opts;
+    opts.group_moves = reuse_aware;
+    AnnealingSolver solver(eval, opts);
+    const auto units = solver.move_units();
+
+    EvalCache cache;
+    TieringPlan curr = TieringPlan::uniform(w.size(), StorageTier::kPersistentSsd);
+    PlanEvaluation curr_eval = eval.evaluate(curr, &cache);
+    ASSERT_TRUE(curr_eval.feasible);
+
+    Rng rng(99);
+    std::vector<std::size_t> changed;
+    int accepted = 0;
+    for (int step = 0; step < 1200; ++step) {
+        const TieringPlan next = solver.propose_neighbor(rng, curr, units, changed);
+        const PlanEvaluation delta_eval = eval.evaluate_delta(curr_eval, next, changed, &cache);
+        const PlanEvaluation full_eval = eval.evaluate(next);  // fresh, uncached
+        expect_bit_identical(delta_eval, full_eval, step);
+        if (delta_eval.feasible) {
+            curr = next;
+            curr_eval = delta_eval;
+            ++accepted;
+        }
+    }
+    // The walk must actually move, and memoization must actually bite.
+    EXPECT_GT(accepted, 100);
+    EXPECT_GT(cache.stats().hit_rate(), 0.5);
+}
+
+TEST(EvalCacheGolden, DeltaMatchesFullEvaluationReuseOblivious) { golden_walk(false); }
+
+TEST(EvalCacheGolden, DeltaMatchesFullEvaluationReuseAware) { golden_walk(true); }
+
+TEST(EvalCacheGolden, CachedChainBitIdenticalToUncachedChain) {
+    // The cache and delta path must not perturb the search trajectory: the
+    // same seed must produce the same plan and utility, bit for bit.
+    PlanEvaluator eval(testing::small_models(), mixed_workload());
+    AnnealingOptions cached_opts;
+    cached_opts.iter_max = 2500;
+    AnnealingOptions uncached_opts = cached_opts;
+    uncached_opts.use_evaluation_cache = false;
+    AnnealingSolver cached(eval, cached_opts);
+    AnnealingSolver uncached(eval, uncached_opts);
+    const TieringPlan init = TieringPlan::uniform(6, StorageTier::kPersistentSsd);
+    for (std::uint64_t seed : {1ULL, 42ULL, 977ULL}) {
+        const auto a = cached.run_chain(init, seed);
+        const auto b = uncached.run_chain(init, seed);
+        EXPECT_EQ(a.evaluation.utility, b.evaluation.utility) << "seed " << seed;
+        EXPECT_EQ(a.accepted_moves, b.accepted_moves) << "seed " << seed;
+        EXPECT_EQ(a.infeasible_neighbors, b.infeasible_neighbors) << "seed " << seed;
+        ASSERT_EQ(a.plan.size(), b.plan.size());
+        for (std::size_t i = 0; i < a.plan.size(); ++i) {
+            EXPECT_EQ(a.plan.decision(i).tier, b.plan.decision(i).tier);
+            EXPECT_EQ(a.plan.decision(i).overprovision, b.plan.decision(i).overprovision);
+        }
+    }
+}
+
+TEST(EvalCacheGolden, SharedCacheAcrossParallelChainsMatchesSerial) {
+    // Eight chains hammering one memo table through the ThreadPool must be
+    // both race-free (the TSAN lane runs this test) and bit-identical to
+    // the serial solve.
+    PlanEvaluator eval(testing::small_models(), mixed_workload());
+    AnnealingOptions opts;
+    opts.iter_max = 800;
+    opts.chains = 8;
+    opts.seed = 23;
+    AnnealingSolver solver(eval, opts);
+    const TieringPlan init = TieringPlan::uniform(6, StorageTier::kPersistentSsd);
+    ThreadPool pool(4);
+    EvalCache cache;
+    const auto parallel = solver.solve(init, &pool, &cache);
+    const auto serial = solver.solve(init, nullptr);
+    EXPECT_EQ(parallel.evaluation.utility, serial.evaluation.utility);
+    EXPECT_EQ(parallel.iterations, serial.iterations);
+    EXPECT_EQ(parallel.accepted_moves, serial.accepted_moves);
+    EXPECT_EQ(parallel.best_chain, serial.best_chain);
+    for (std::size_t i = 0; i < parallel.plan.size(); ++i) {
+        EXPECT_EQ(parallel.plan.decision(i).tier, serial.plan.decision(i).tier);
+        EXPECT_EQ(parallel.plan.decision(i).overprovision,
+                  serial.plan.decision(i).overprovision);
+    }
+    EXPECT_GT(parallel.cache_stats.lookups(), 0u);
+    EXPECT_GT(parallel.cache_stats.hit_rate(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Move-generator regressions (pins + per-unit app membership).
+// ---------------------------------------------------------------------------
+
+TEST(AnnealingMoves, AppMoveRelocatesUnitsByMembership) {
+    // Reuse group whose FIRST member is Grep but which contains a Sort job:
+    // a Sort batch move must relocate the whole group (the old generator
+    // classified the unit by its front job and would never move it), while
+    // the solo Grep job stays put.
+    const workload::Workload w({mk_job(1, AppKind::kGrep, 30.0, 1),
+                                mk_job(2, AppKind::kSort, 30.0, 1),
+                                mk_job(3, AppKind::kGrep, 20.0)});
+    PlanEvaluator eval(testing::small_models(), w, EvalOptions{.reuse_aware = true});
+    AnnealingOptions opts;
+    opts.group_moves = true;
+    opts.app_move_probability = 1.0;
+    opts.tier_move_probability = 0.0;
+    AnnealingSolver solver(eval, opts);
+    const auto units = solver.move_units();
+
+    const TieringPlan curr = TieringPlan::uniform(3, StorageTier::kPersistentSsd);
+    Rng rng(5);
+    std::vector<std::size_t> changed;
+    bool group_moved_alone = false;
+    for (int i = 0; i < 400; ++i) {
+        const TieringPlan next = solver.propose_neighbor(rng, curr, units, changed);
+        // Eq. 7 must hold structurally on every proposal.
+        EXPECT_EQ(next.decision(0).tier, next.decision(1).tier);
+        std::vector<std::size_t> sorted = changed;
+        std::sort(sorted.begin(), sorted.end());
+        if (sorted == std::vector<std::size_t>{0, 1}) group_moved_alone = true;
+    }
+    // Only a Sort draw moves the group without the solo Grep job; seeing it
+    // proves membership is per-unit, not front-job.
+    EXPECT_TRUE(group_moved_alone);
+}
+
+TEST(AnnealingMoves, AppMoveRespectsTierPins) {
+    workload::JobSpec pinned = mk_job(1, AppKind::kSort, 40.0);
+    pinned.pinned_tier = StorageTier::kPersistentSsd;
+    const workload::Workload w({pinned, mk_job(2, AppKind::kSort, 50.0),
+                                mk_job(3, AppKind::kGrep, 30.0)});
+    PlanEvaluator eval(testing::small_models(), w);
+    AnnealingOptions opts;
+    opts.app_move_probability = 1.0;
+    opts.tier_move_probability = 0.0;
+    AnnealingSolver solver(eval, opts);
+    const auto units = solver.move_units();
+
+    TieringPlan curr = TieringPlan::uniform(3, StorageTier::kPersistentSsd);
+    Rng rng(11);
+    std::vector<std::size_t> changed;
+    bool unpinned_sort_moved = false;
+    for (int i = 0; i < 400; ++i) {
+        const TieringPlan next = solver.propose_neighbor(rng, curr, units, changed);
+        EXPECT_EQ(next.decision(0).tier, StorageTier::kPersistentSsd)
+            << "pinned job moved on proposal " << i;
+        if (next.decision(1).tier != curr.decision(1).tier) unpinned_sort_moved = true;
+        if (!changed.empty()) curr = next;  // keep walking
+    }
+    // The pin must constrain only its own job, not its whole app class.
+    EXPECT_TRUE(unpinned_sort_moved);
+}
+
+TEST(AnnealingMoves, TierMoveDegradesToFactorMoveWhenFullyPinned) {
+    workload::JobSpec pinned = mk_job(1, AppKind::kKMeans, 35.0);
+    pinned.pinned_tier = StorageTier::kPersistentHdd;
+    const workload::Workload w({pinned});
+    PlanEvaluator eval(testing::small_models(), w);
+    AnnealingOptions opts;
+    opts.app_move_probability = 0.0;
+    opts.tier_move_probability = 1.0;
+    AnnealingSolver solver(eval, opts);
+    const auto units = solver.move_units();
+
+    TieringPlan curr = TieringPlan::uniform(1, StorageTier::kPersistentHdd);
+    Rng rng(3);
+    std::vector<std::size_t> changed;
+    bool factor_changed = false;
+    for (int i = 0; i < 100; ++i) {
+        const TieringPlan next = solver.propose_neighbor(rng, curr, units, changed);
+        EXPECT_EQ(next.decision(0).tier, StorageTier::kPersistentHdd);
+        if (next.decision(0).overprovision != curr.decision(0).overprovision) {
+            factor_changed = true;
+            curr = next;
+        }
+    }
+    EXPECT_TRUE(factor_changed);
+}
+
+TEST(AnnealingMoves, FullyPinnedChainProposesNoInfeasibleNeighbors) {
+    // With every job pinned, the old generator kept proposing pin-violating
+    // tier moves that evaluation then rejected; the fixed generator never
+    // wastes an iteration on one.
+    std::vector<workload::JobSpec> jobs;
+    for (int i = 1; i <= 4; ++i) {
+        workload::JobSpec j = mk_job(i, AppKind::kGrep, 20.0 + i);
+        j.pinned_tier = StorageTier::kPersistentSsd;
+        jobs.push_back(std::move(j));
+    }
+    PlanEvaluator eval(testing::small_models(), workload::Workload(jobs));
+    AnnealingOptions opts;
+    opts.iter_max = 2000;
+    AnnealingSolver solver(eval, opts);
+    const auto result =
+        solver.run_chain(TieringPlan::uniform(4, StorageTier::kPersistentSsd), 9);
+    EXPECT_EQ(result.infeasible_neighbors, 0);
+    EXPECT_EQ(result.iterations, opts.iter_max);
+    EXPECT_TRUE(result.evaluation.feasible);
+}
+
+TEST(AnnealingMoves, ChangedListMatchesActualPlanDiff) {
+    PlanEvaluator eval(testing::small_models(), mixed_workload());
+    AnnealingSolver solver(eval, AnnealingOptions{});
+    const auto units = solver.move_units();
+    TieringPlan curr = TieringPlan::uniform(6, StorageTier::kPersistentSsd);
+    Rng rng(31);
+    std::vector<std::size_t> changed;
+    for (int i = 0; i < 500; ++i) {
+        const TieringPlan next = solver.propose_neighbor(rng, curr, units, changed);
+        std::vector<std::size_t> diff;
+        for (std::size_t j = 0; j < curr.size(); ++j) {
+            if (curr.decision(j).tier != next.decision(j).tier ||
+                curr.decision(j).overprovision != next.decision(j).overprovision) {
+                diff.push_back(j);
+            }
+        }
+        std::vector<std::size_t> sorted = changed;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_EQ(sorted, diff) << "proposal " << i;
+        curr = next;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Search-effort counters.
+// ---------------------------------------------------------------------------
+
+TEST(AnnealingCounters, SolveAggregatesAcrossChains) {
+    PlanEvaluator eval(testing::small_models(), mixed_workload());
+    AnnealingOptions opts;
+    opts.iter_max = 1000;
+    opts.chains = 3;
+    opts.seed = 17;
+    AnnealingSolver solver(eval, opts);
+    const TieringPlan init = TieringPlan::uniform(6, StorageTier::kPersistentSsd);
+    const auto result = solver.solve(init);
+
+    // iterations: every chain runs iter_max neighbors.
+    EXPECT_EQ(result.iterations, 3 * opts.iter_max);
+    EXPECT_GE(result.best_chain, 0);
+    EXPECT_LT(result.best_chain, 3);
+    EXPECT_GT(result.cache_stats.lookups(), 0u);
+
+    // accepted_moves/infeasible_neighbors: the sum over the same chains run
+    // individually (counters are cache-independent — the search trajectory
+    // is bit-identical either way).
+    const TieringPlan uniform_init = init;  // chains rotate over diverse starts
+    std::vector<TieringPlan> starts{uniform_init};
+    for (StorageTier t : cloud::kAllTiers) {
+        TieringPlan u = TieringPlan::uniform(6, t);
+        if (eval.evaluate(u).feasible) starts.push_back(std::move(u));
+    }
+    int accepted = 0;
+    int infeasible = 0;
+    double best_utility = -1.0;
+    int best_chain = 0;
+    for (std::size_t c = 0; c < 3; ++c) {
+        const auto r =
+            solver.run_chain(starts[c % starts.size()], opts.seed + 7919 * (c + 1));
+        accepted += r.accepted_moves;
+        infeasible += r.infeasible_neighbors;
+        if (r.evaluation.utility > best_utility) {
+            best_utility = r.evaluation.utility;
+            best_chain = static_cast<int>(c);
+        }
+    }
+    EXPECT_EQ(result.accepted_moves, accepted);
+    EXPECT_EQ(result.infeasible_neighbors, infeasible);
+    EXPECT_EQ(result.best_chain, best_chain);
+    EXPECT_EQ(result.evaluation.utility, best_utility);
+}
+
+TEST(WorkflowCounters, SolveAggregatesAcrossChains) {
+    const workload::Workflow wf = workload::make_search_log_workflow(Seconds{1e6});
+    WorkflowEvaluator eval(testing::small_models(), wf);
+    AnnealingOptions opts;
+    opts.iter_max = 300;
+    opts.chains = 2;
+    WorkflowSolver solver(eval, opts);
+    const auto result = solver.solve();
+    EXPECT_EQ(result.iterations, 2 * opts.iter_max);
+    EXPECT_GE(result.best_chain, -1);  // -1 = uniform fallback won
+    EXPECT_LT(result.best_chain, 2);
+    EXPECT_GT(result.cache_stats.lookups(), 0u);
+    EXPECT_GT(result.cache_stats.hit_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace cast::core
