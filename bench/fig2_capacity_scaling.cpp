@@ -1,13 +1,21 @@
 // Figure 2: impact of scaling persSSD volume capacity for Sort and Grep,
 // observed (simulator) vs the REG regression model (§3.1.2, §4.2.1).
+//
+// The observed points are independent (job, capacity) configurations, so
+// they run as one sim::BatchRunner batch over the thread pool; outcomes
+// come back indexed, and the table below reads them in sweep order —
+// bit-identical to the old serial per-point loop.
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/characterization.hpp"
+#include "sim/batch.hpp"
 
 namespace {
 using namespace cast;
 using cloud::StorageTier;
+using cloud::tier_index;
 using workload::AppKind;
 }  // namespace
 
@@ -22,21 +30,41 @@ int main() {
     const auto sort = bench::make_job(1, AppKind::kSort, 100.0);
     const auto grep = bench::make_job(2, AppKind::kGrep, 300.0);
 
+    const std::vector<double> caps = {100.0, 200.0, 300.0, 400.0, 500.0,
+                                      600.0, 700.0, 800.0, 900.0, 1000.0};
+
+    // One batch config per (capacity, job), jobs interleaved per capacity.
+    std::vector<sim::BatchConfig> configs;
+    configs.reserve(caps.size() * 2);
+    for (double cap : caps) {
+        core::CharacterizationOptions opts;
+        opts.block_volume_per_vm = GigaBytes{cap};
+        for (const auto& job : {sort, grep}) {
+            const core::CapacityBreakdown breakdown = core::characterization_capacities(
+                cluster, catalog, job, StorageTier::kPersistentSsd, opts);
+            sim::TierCapacities tc;
+            for (StorageTier t : cloud::kAllTiers) {
+                tc.set(t, breakdown.per_vm[tier_index(t)]);
+            }
+            configs.push_back(sim::BatchConfig{
+                sim::JobPlacement::on_tier(job, StorageTier::kPersistentSsd), tc,
+                opts.sim});
+        }
+    }
+    const sim::BatchRunner runner(cluster, catalog);
+    ThreadPool pool;
+    const std::vector<sim::BatchOutcome> outcomes = runner.run(configs, &pool);
+
     TextTable t({"per-VM persSSD (GB)", "Sort obs (s)", "Sort reg (s)", "Grep obs (s)",
                  "Grep reg (s)"});
     double sort100 = 0.0;
     double sort200 = 0.0;
     double grep100 = 0.0;
     double grep200 = 0.0;
-    for (double cap : {100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0}) {
-        core::CharacterizationOptions opts;
-        opts.block_volume_per_vm = GigaBytes{cap};
-        const double sort_obs =
-            core::run_job_on_tier(cluster, catalog, sort, StorageTier::kPersistentSsd, opts)
-                .sim.makespan.value();
-        const double grep_obs =
-            core::run_job_on_tier(cluster, catalog, grep, StorageTier::kPersistentSsd, opts)
-                .sim.makespan.value();
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+        const double cap = caps[i];
+        const double sort_obs = outcomes[2 * i].result.makespan.value();
+        const double grep_obs = outcomes[2 * i + 1].result.makespan.value();
         const double sort_reg =
             models.processing_time(sort, StorageTier::kPersistentSsd, GigaBytes{cap}).value();
         const double grep_reg =

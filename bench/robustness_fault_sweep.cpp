@@ -135,10 +135,19 @@ int main() {
     configs.push_back(
         {"CAST++", core::plan_cast_plus_plus(models, workload, cast_opts, &pool).plan, true});
 
-    std::vector<std::vector<Point>> workload_curves(configs.size());
-    for (double intensity : kIntensities) {
-        const core::Deployer deployer = make_deployer(intensity);
-        for (std::size_t c = 0; c < configs.size(); ++c) {
+    // The (intensity x config) grid cells are independent deployments;
+    // fan them over the pool, each writing its preallocated Point by index
+    // so the JSON curves come out in the same order as the serial sweep.
+    // The shared PlanEvaluators are thread-safe (sharded EvalCache).
+    std::vector<std::vector<Point>> workload_curves(
+        configs.size(), std::vector<Point>(kIntensities.size()));
+    pool.parallel_for(
+        kIntensities.size() * configs.size(),
+        [&](std::size_t cell) {
+            const std::size_t i = cell / configs.size();
+            const std::size_t c = cell % configs.size();
+            const double intensity = kIntensities[i];
+            const core::Deployer deployer = make_deployer(intensity);
             Point pt;
             pt.intensity = intensity;
             try {
@@ -154,11 +163,11 @@ int main() {
                 std::cerr << "  " << configs[c].name << " @" << num(intensity, 2)
                           << " failed: " << e.what() << "\n";
             }
-            workload_curves[c].push_back(pt);
+            workload_curves[c][i] = pt;
             std::cerr << "  workload " << configs[c].name << " @" << num(intensity, 2)
                       << " done\n";
-        }
-    }
+        },
+        /*grain=*/1);
 
     // ---------------- workflow part: deadline-miss degradation ------------
     const auto workflows = workload::synthesize_deadline_workflows(11);
@@ -200,10 +209,15 @@ int main() {
     }
 
     const int wf_count = static_cast<int>(workflows.size());
-    std::vector<std::vector<Point>> workflow_curves(wf_configs.size());
-    for (double intensity : kIntensities) {
-        const core::Deployer deployer = make_deployer(intensity);
-        for (std::size_t c = 0; c < wf_configs.size(); ++c) {
+    std::vector<std::vector<Point>> workflow_curves(
+        wf_configs.size(), std::vector<Point>(kIntensities.size()));
+    pool.parallel_for(
+        kIntensities.size() * wf_configs.size(),
+        [&](std::size_t cell) {
+            const std::size_t i = cell / wf_configs.size();
+            const std::size_t c = cell % wf_configs.size();
+            const double intensity = kIntensities[i];
+            const core::Deployer deployer = make_deployer(intensity);
             Point pt;
             pt.intensity = intensity;
             pt.deadline_misses = 0;
@@ -225,11 +239,11 @@ int main() {
                 std::cerr << "  " << wf_configs[c].name << " @" << num(intensity, 2)
                           << " failed: " << e.what() << "\n";
             }
-            workflow_curves[c].push_back(pt);
+            workflow_curves[c][i] = pt;
             std::cerr << "  workflow " << wf_configs[c].name << " @" << num(intensity, 2)
                       << " done\n";
-        }
-    }
+        },
+        /*grain=*/1);
 
     // ---------------- JSON document ---------------------------------------
     std::cout << "{\n"

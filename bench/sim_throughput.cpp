@@ -1,0 +1,157 @@
+// Batch-simulation throughput bench: measures the two layers the parallel
+// experiment engine adds on top of the seed simulator and writes
+// BENCH_sim_throughput.json.
+//
+//   1. hot path — the same batch run serially with per-job allocation
+//      (scratch reuse off: fresh engine, fresh wave vectors per job, the
+//      seed behaviour) vs the reused thread-local arena;
+//   2. parallelism — the batch fanned over the work-stealing pool.
+//
+// Determinism is asserted, not assumed: the serial and pooled runs must
+// produce bit-identical makespans (exact double equality) before any
+// number is reported. host_cores is recorded so a single-core CI host's
+// ~1x parallel factor is legible next to a multi-core host's scaling.
+//
+// Usage: sim_throughput [--smoke]   (--smoke shrinks the batch for ctest)
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/batch.hpp"
+
+namespace {
+using namespace cast;
+using cloud::StorageTier;
+using workload::AppKind;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// A mixed batch shaped like the experiment drivers' workloads: every
+/// (app, tier, capacity, seed) combination the sweeps touch.
+std::vector<sim::BatchConfig> make_batch(int repeats) {
+    const std::vector<std::pair<AppKind, double>> jobs = {
+        {AppKind::kSort, 25.0}, {AppKind::kGrep, 60.0}, {AppKind::kKMeans, 12.0}};
+    const std::vector<StorageTier> tiers = {StorageTier::kPersistentSsd,
+                                            StorageTier::kPersistentHdd,
+                                            StorageTier::kEphemeralSsd};
+    std::vector<sim::BatchConfig> configs;
+    int id = 1;
+    for (int rep = 0; rep < repeats; ++rep) {
+        for (const auto& [app, gb] : jobs) {
+            for (StorageTier tier : tiers) {
+                const workload::JobSpec job = bench::make_job(id++, app, gb);
+                sim::TierCapacities caps;
+                caps.set(tier, GigaBytes{300.0 + 100.0 * (rep % 8)});
+                if (tier == StorageTier::kObjectStore) {
+                    caps.set(StorageTier::kPersistentSsd, GigaBytes{300.0});
+                }
+                configs.push_back(sim::BatchConfig{
+                    sim::JobPlacement::on_tier(job, tier), caps,
+                    sim::SimOptions{.seed = 42 + static_cast<std::uint64_t>(rep),
+                                    .jitter_sigma = 0.06}});
+            }
+        }
+    }
+    return configs;
+}
+
+bool identical(const std::vector<sim::BatchOutcome>& a,
+               const std::vector<sim::BatchOutcome>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].failed != b[i].failed) return false;
+        if (a[i].result.makespan.value() != b[i].result.makespan.value()) return false;
+        if (a[i].result.phases.total().value() != b[i].result.phases.total().value()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    // Full mode needs enough jobs that each timed mode runs ~1 s — per-job
+    // cost is ~0.3 ms, so timing noise swamps anything much smaller.
+    const int repeats = smoke ? 1 : 300;
+
+    const auto cluster = cloud::ClusterSpec::paper_10_node();
+    const auto catalog = cloud::StorageCatalog::google_cloud();
+    const sim::BatchRunner runner(cluster, catalog);
+    const std::vector<sim::BatchConfig> configs = make_batch(repeats);
+    const auto n = static_cast<double>(configs.size());
+    std::cerr << "sim_throughput: " << configs.size() << " configs"
+              << (smoke ? " (smoke)" : "") << "\n";
+
+    // Warm-up: fault in code paths and page in the catalog before timing.
+    (void)runner.run({configs.front()});
+
+    // 1. Serial, per-job allocation (the seed simulator's storage behaviour).
+    sim::set_scratch_reuse(false);
+    auto t0 = std::chrono::steady_clock::now();
+    const auto serial_alloc = runner.run(configs);
+    const double serial_alloc_s = seconds_since(t0);
+
+    // 2. Serial, reused thread-local arena (the new hot path).
+    sim::set_scratch_reuse(true);
+    t0 = std::chrono::steady_clock::now();
+    const auto serial_reuse = runner.run(configs);
+    const double serial_reuse_s = seconds_since(t0);
+
+    // 3. Fanned over the work-stealing pool.
+    ThreadPool pool;
+    t0 = std::chrono::steady_clock::now();
+    const auto pooled = runner.run(configs, &pool);
+    const double pooled_s = seconds_since(t0);
+
+    const bool deterministic =
+        identical(serial_alloc, serial_reuse) && identical(serial_reuse, pooled);
+    if (!deterministic) {
+        std::cerr << "FAIL: batch outcomes differ across modes\n";
+        return 1;
+    }
+
+    const double hot_path_speedup = serial_alloc_s / serial_reuse_s;
+    const double parallel_speedup = serial_reuse_s / pooled_s;
+    const double batch_speedup = serial_alloc_s / pooled_s;
+    const unsigned host_cores = std::thread::hardware_concurrency();
+
+    std::cerr << "serial (per-job alloc): " << fmt(serial_alloc_s, 2) << " s ("
+              << fmt(n / serial_alloc_s, 1) << " jobs/s)\n"
+              << "serial (arena reuse):   " << fmt(serial_reuse_s, 2) << " s ("
+              << fmt(n / serial_reuse_s, 1) << " jobs/s, " << fmt(hot_path_speedup, 2)
+              << "x)\n"
+              << "pooled (" << pool.worker_count() << " workers):     "
+              << fmt(pooled_s, 2) << " s (" << fmt(n / pooled_s, 1) << " jobs/s, "
+              << fmt(batch_speedup, 2) << "x vs seed)\n"
+              << "determinism: serial and pooled outcomes bit-identical\n";
+
+    std::ofstream out("BENCH_sim_throughput.json");
+    out << "{\n"
+        << "  \"bench\": \"sim_throughput\",\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"configs\": " << configs.size() << ",\n"
+        << "  \"host_cores\": " << host_cores << ",\n"
+        << "  \"pool_workers\": " << pool.worker_count() << ",\n"
+        << "  \"serial_alloc_s\": " << fmt(serial_alloc_s, 4) << ",\n"
+        << "  \"serial_reuse_s\": " << fmt(serial_reuse_s, 4) << ",\n"
+        << "  \"pooled_s\": " << fmt(pooled_s, 4) << ",\n"
+        << "  \"jobs_per_s_serial_alloc\": " << fmt(n / serial_alloc_s, 2) << ",\n"
+        << "  \"jobs_per_s_serial_reuse\": " << fmt(n / serial_reuse_s, 2) << ",\n"
+        << "  \"jobs_per_s_pooled\": " << fmt(n / pooled_s, 2) << ",\n"
+        << "  \"hot_path_speedup\": " << fmt(hot_path_speedup, 3) << ",\n"
+        << "  \"parallel_speedup\": " << fmt(parallel_speedup, 3) << ",\n"
+        << "  \"batch_speedup_vs_seed\": " << fmt(batch_speedup, 3) << ",\n"
+        << "  \"deterministic_across_modes\": true\n"
+        << "}\n";
+    std::cout << "BENCH_sim_throughput.json written\n";
+    return 0;
+}

@@ -1,19 +1,36 @@
-// A small fixed-size thread pool with a parallel_for helper.
+// Work-stealing thread pool with a chunked parallel_for.
 //
-// Used by the annealing solver (independent chains) and the profiler
-// (independent calibration runs). Work items are type-erased tasks; the
-// pool is created once and joined in the destructor (RAII, no detached
-// threads). parallel_for degrades gracefully to inline execution when the
-// pool has a single worker, so behaviour is identical on 1-core machines.
+// v2 design (the batch-simulation engine's substrate):
+//   * Each worker owns a deque: it pushes/pops work at the back (LIFO, cache
+//     warm) and thieves take from the front (FIFO, coarse chunks first).
+//   * parallel_for claims *chunks* of the index space through one atomic
+//     counter — no per-index heap task, no shared-queue traffic on the hot
+//     path. The grain size is explicit (default: ~4 chunks per worker).
+//   * Nested submission is safe: a thread blocked in parallel_for first
+//     drains its own chunks inline and then helps execute other pool tasks
+//     while it waits, so a worker calling parallel_for (annealing chains
+//     profiling inside cluster planning, batch sims inside calibration)
+//     can never deadlock the pool.
+//   * Exceptions thrown by parallel_for bodies are aggregated: one failure
+//     rethrows as-is, several are collected into a ParallelForError.
+//   * CAST_THREADS overrides the default worker count (reproducible CI).
+// The pool is created once and joined in the destructor (RAII, no detached
+// threads). parallel_for degrades to inline execution on a 1-worker pool,
+// so behaviour is identical on 1-core machines.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdlib>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -22,15 +39,44 @@
 
 namespace cast {
 
+/// Aggregate of 2+ exceptions thrown by parallel_for bodies. A single
+/// failing body rethrows its original exception instead.
+class ParallelForError : public std::runtime_error {
+public:
+    explicit ParallelForError(std::vector<std::string> messages)
+        : std::runtime_error(compose(messages)), messages_(std::move(messages)) {}
+
+    /// what() of every body exception, in claim order.
+    [[nodiscard]] const std::vector<std::string>& messages() const { return messages_; }
+
+private:
+    static std::string compose(const std::vector<std::string>& messages) {
+        std::string what =
+            "parallel_for: " + std::to_string(messages.size()) + " bodies failed: [";
+        for (std::size_t i = 0; i < messages.size(); ++i) {
+            if (i > 0) what += "; ";
+            what += messages[i];
+        }
+        what += "]";
+        return what;
+    }
+
+    std::vector<std::string> messages_;
+};
+
 class ThreadPool {
 public:
-    /// Create a pool with `workers` threads (>= 1). Defaults to the hardware
-    /// concurrency, with a floor of 1.
+    /// Create a pool with `workers` threads (>= 1). Defaults to CAST_THREADS
+    /// when set, else the hardware concurrency, with a floor of 1.
     explicit ThreadPool(std::size_t workers = default_workers()) {
         CAST_EXPECTS(workers >= 1);
+        queues_.reserve(workers);
+        for (std::size_t i = 0; i < workers; ++i) {
+            queues_.push_back(std::make_unique<WorkerQueue>());
+        }
         threads_.reserve(workers);
         for (std::size_t i = 0; i < workers; ++i) {
-            threads_.emplace_back([this] { worker_loop(); });
+            threads_.emplace_back([this, i] { worker_loop(i); });
         }
     }
 
@@ -39,8 +85,8 @@ public:
 
     ~ThreadPool() {
         {
-            std::lock_guard lock(mutex_);
-            stopping_ = true;
+            std::lock_guard lock(sleep_mutex_);
+            stopping_.store(true, std::memory_order_relaxed);
         }
         cv_.notify_all();
         for (auto& t : threads_) t.join();
@@ -48,70 +94,217 @@ public:
 
     [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
 
-    /// Submit a callable; returns a future for its result.
+    /// True when the calling thread is one of this pool's workers.
+    [[nodiscard]] bool on_worker_thread() const { return current_worker(this) >= 0; }
+
+    /// Submit a callable; returns a future for its result. Safe to call from
+    /// worker threads (the task goes to the caller's own deque).
     template <typename F>
     auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
         using R = std::invoke_result_t<F>;
         auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
         std::future<R> fut = task->get_future();
-        {
-            std::lock_guard lock(mutex_);
-            CAST_EXPECTS_MSG(!stopping_, "submit on a stopping pool");
-            queue_.emplace_back([task]() mutable { (*task)(); });
-        }
-        cv_.notify_one();
+        push_task([task]() mutable { (*task)(); });
         return fut;
     }
 
-    /// Run body(i) for i in [0, n), distributing across workers, and wait for
-    /// completion. The first exception thrown by any body is rethrown here.
+    /// Run body(i) for i in [0, n), distributing chunks of `grain`
+    /// consecutive indices across workers, and wait for completion. The
+    /// calling thread participates (and helps drain unrelated pool tasks
+    /// while waiting, making nested parallel_for safe). grain == 0 picks
+    /// ~4 chunks per worker. All body exceptions are collected: a single
+    /// one is rethrown as-is, several become a ParallelForError.
     template <typename Body>
-    void parallel_for(std::size_t n, Body&& body) {
+    void parallel_for(std::size_t n, Body&& body, std::size_t grain = 0) {
+        CAST_EXPECTS_MSG(!stopping_.load(std::memory_order_relaxed),
+                         "parallel_for on a stopping pool");
         if (n == 0) return;
-        if (worker_count() == 1 || n == 1) {
+        if (grain == 0) grain = std::max<std::size_t>(1, n / (worker_count() * 4));
+        if (worker_count() == 1 || n == 1 || n <= grain) {
             for (std::size_t i = 0; i < n; ++i) body(i);
             return;
         }
-        std::vector<std::future<void>> futures;
-        futures.reserve(n);
-        for (std::size_t i = 0; i < n; ++i) {
-            futures.push_back(submit([&body, i] { body(i); }));
+
+        struct State {
+            std::atomic<std::size_t> next{0};
+            std::atomic<std::size_t> done{0};
+            std::size_t n = 0;
+            std::size_t grain = 1;
+            std::mutex error_mutex;
+            std::vector<std::exception_ptr> errors;
+        };
+        auto state = std::make_shared<State>();
+        state->n = n;
+        state->grain = grain;
+
+        // Claim chunks until the index space is exhausted. A failing chunk
+        // still counts its indices as done so every waiter terminates.
+        auto run_chunks = [state, &body] {
+            for (;;) {
+                const std::size_t begin =
+                    state->next.fetch_add(state->grain, std::memory_order_relaxed);
+                if (begin >= state->n) return;
+                const std::size_t end = std::min(begin + state->grain, state->n);
+                try {
+                    for (std::size_t i = begin; i < end; ++i) body(i);
+                } catch (...) {
+                    std::lock_guard lock(state->error_mutex);
+                    state->errors.push_back(std::current_exception());
+                }
+                state->done.fetch_add(end - begin, std::memory_order_acq_rel);
+            }
+        };
+
+        // One runner task per worker; each drains as many chunks as it can.
+        // The runners capture `state` by shared_ptr (they may outlive this
+        // frame's wait when all chunks were already claimed) but touch
+        // `body` only while done < n, which the wait below outlasts.
+        const std::size_t runners = worker_count();
+        for (std::size_t w = 0; w < runners; ++w) push_task(run_chunks);
+        run_chunks();
+        // Help execute unrelated pool tasks while waiting: if this thread is
+        // itself a worker inside an outer parallel_for, the chunks it is
+        // blocked on may be queued behind other runners.
+        while (state->done.load(std::memory_order_acquire) < n) {
+            if (!try_run_one_task()) std::this_thread::yield();
         }
-        std::exception_ptr first_error;
-        for (auto& f : futures) {
+
+        std::vector<std::exception_ptr> errors;
+        {
+            std::lock_guard lock(state->error_mutex);
+            errors.swap(state->errors);
+        }
+        if (errors.empty()) return;
+        if (errors.size() == 1) std::rethrow_exception(errors[0]);
+        std::vector<std::string> messages;
+        messages.reserve(errors.size());
+        for (const auto& e : errors) {
             try {
-                f.get();
+                std::rethrow_exception(e);
+            } catch (const std::exception& ex) {
+                messages.emplace_back(ex.what());
             } catch (...) {
-                if (!first_error) first_error = std::current_exception();
+                messages.emplace_back("unknown exception");
             }
         }
-        if (first_error) std::rethrow_exception(first_error);
+        throw ParallelForError(std::move(messages));
     }
 
+    /// CAST_THREADS env var (>= 1) when set, else hardware concurrency.
     [[nodiscard]] static std::size_t default_workers() {
+        // Read once: getenv is unsynchronized against setenv, but CAST_THREADS
+        // is only ever set before the first pool is created (CI harness).
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
+        if (const char* env = std::getenv("CAST_THREADS")) {
+            const long v = std::strtol(env, nullptr, 10);
+            if (v >= 1) return static_cast<std::size_t>(v);
+        }
         const unsigned hw = std::thread::hardware_concurrency();
         return hw == 0 ? 1 : static_cast<std::size_t>(hw);
     }
 
 private:
-    void worker_loop() {
-        for (;;) {
-            std::function<void()> task;
-            {
-                std::unique_lock lock(mutex_);
-                cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-                if (queue_.empty()) return;  // stopping_ and drained
-                task = std::move(queue_.front());
-                queue_.pop_front();
+    using Task = std::function<void()>;
+
+    struct WorkerQueue {
+        std::mutex mutex;
+        std::deque<Task> deque;
+    };
+
+    /// Index of the calling thread in `pool`, or -1 for external threads.
+    /// thread_local so one thread can be a worker of at most one pool at a
+    /// time while other pools treat it as external (correct: pools do not
+    /// share threads).
+    static int& worker_slot(const ThreadPool* pool) {
+        thread_local const ThreadPool* my_pool = nullptr;
+        thread_local int my_index = -1;
+        if (my_pool != pool) {
+            my_pool = pool;
+            my_index = -1;
+        }
+        return my_index;
+    }
+
+    [[nodiscard]] int current_worker(const ThreadPool* pool) const {
+        return worker_slot(pool);
+    }
+
+    void push_task(Task task) {
+        CAST_EXPECTS_MSG(!stopping_.load(std::memory_order_relaxed),
+                         "submit on a stopping pool");
+        const int self = current_worker(this);
+        // Workers push to their own deque (back = LIFO, warm); external
+        // producers round-robin across deques.
+        const std::size_t q =
+            self >= 0 ? static_cast<std::size_t>(self)
+                      : next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+        {
+            std::lock_guard lock(queues_[q]->mutex);
+            queues_[q]->deque.push_back(std::move(task));
+        }
+        pending_.fetch_add(1, std::memory_order_release);
+        {
+            // Lock/unlock pairs the notify with the sleeper's predicate
+            // check, closing the lost-wakeup window.
+            std::lock_guard lock(sleep_mutex_);
+        }
+        cv_.notify_one();
+    }
+
+    /// Pop from own deque (back) or steal from another (front). Returns
+    /// false when every deque is empty.
+    bool try_pop_task(Task& out) {
+        const int self = current_worker(this);
+        const std::size_t start =
+            self >= 0 ? static_cast<std::size_t>(self)
+                      : next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+        for (std::size_t k = 0; k < queues_.size(); ++k) {
+            const std::size_t q = (start + k) % queues_.size();
+            WorkerQueue& wq = *queues_[q];
+            std::lock_guard lock(wq.mutex);
+            if (wq.deque.empty()) continue;
+            if (k == 0 && self >= 0) {
+                out = std::move(wq.deque.back());
+                wq.deque.pop_back();
+            } else {
+                out = std::move(wq.deque.front());
+                wq.deque.pop_front();
             }
-            task();
+            pending_.fetch_sub(1, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    }
+
+    bool try_run_one_task() {
+        Task task;
+        if (!try_pop_task(task)) return false;
+        task();
+        return true;
+    }
+
+    void worker_loop(std::size_t index) {
+        worker_slot(this) = static_cast<int>(index);
+        for (;;) {
+            if (try_run_one_task()) continue;
+            std::unique_lock lock(sleep_mutex_);
+            cv_.wait(lock, [this] {
+                return stopping_.load(std::memory_order_relaxed) ||
+                       pending_.load(std::memory_order_acquire) > 0;
+            });
+            if (stopping_.load(std::memory_order_relaxed) &&
+                pending_.load(std::memory_order_acquire) == 0) {
+                return;  // stopping and drained
+            }
         }
     }
 
-    std::mutex mutex_;
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::mutex sleep_mutex_;
     std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
-    bool stopping_ = false;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::size_t> pending_{0};
+    std::atomic<std::size_t> next_queue_{0};
     std::vector<std::thread> threads_;
 };
 

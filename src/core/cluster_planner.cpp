@@ -19,9 +19,13 @@ ClusterPlanner::ClusterPlanner(cloud::StorageCatalog catalog,
 
 std::vector<ClusterPlanOutcome> ClusterPlanner::evaluate(const workload::Workload& workload,
                                                          ThreadPool* pool) const {
-    std::vector<ClusterPlanOutcome> outcomes;
-    outcomes.reserve(candidates_.size());
-    for (const auto& candidate : candidates_) {
+    // Candidates are independent; evaluate them in parallel, writing by
+    // index so the outcome order (and the stable sort below) never depends
+    // on worker count. The inner profiling/solver stages reuse the same
+    // pool — nested parallel_for is safe on the work-stealing pool.
+    std::vector<ClusterPlanOutcome> outcomes(candidates_.size());
+    auto evaluate_one = [&](std::size_t i) {
+        const ClusterCandidate& candidate = candidates_[i];
         // Profiling is per cluster shape: slot counts and volume geometry
         // change the M̂ matrix and the REG splines.
         model::Profiler profiler(candidate.cluster, catalog_, options_.profiler);
@@ -30,8 +34,12 @@ std::vector<ClusterPlanOutcome> ClusterPlanner::evaluate(const workload::Workloa
             options_.reuse_aware
                 ? plan_cast_plus_plus(models, workload, options_.cast, pool)
                 : plan_cast(models, workload, options_.cast, pool);
-        outcomes.push_back(
-            ClusterPlanOutcome{candidate, result.plan, result.evaluation});
+        outcomes[i] = ClusterPlanOutcome{candidate, result.plan, result.evaluation};
+    };
+    if (pool != nullptr) {
+        pool->parallel_for(candidates_.size(), evaluate_one, /*grain=*/1);
+    } else {
+        for (std::size_t i = 0; i < candidates_.size(); ++i) evaluate_one(i);
     }
     std::stable_sort(outcomes.begin(), outcomes.end(),
                      [](const ClusterPlanOutcome& a, const ClusterPlanOutcome& b) {

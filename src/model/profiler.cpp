@@ -3,6 +3,8 @@
 #include <mutex>
 #include <string>
 
+#include "sim/batch.hpp"
+
 namespace cast::model {
 
 namespace {
@@ -39,7 +41,7 @@ workload::JobSpec Profiler::calibration_job(AppKind app) const {
 }
 
 sim::PhaseTimes Profiler::measure(AppKind app, StorageTier tier,
-                                  GigaBytes per_vm_capacity) const {
+                                  GigaBytes per_vm_capacity, ThreadPool* pool) const {
     const workload::JobSpec job = calibration_job(app);
 
     sim::TierCapacities caps;
@@ -58,18 +60,30 @@ sim::PhaseTimes Profiler::measure(AppKind app, StorageTier tier,
     }
 
     const sim::JobPlacement placement = sim::JobPlacement::on_tier(job, tier);
-    sim::PhaseTimes sum;
+
+    // The runs_per_point repetitions are independent configurations (each
+    // with its own seed), so they batch over the pool; outcomes come back
+    // indexed by run, and the sum below is in run order — bit-identical to
+    // the old serial loop for any worker count.
+    std::vector<sim::BatchConfig> configs;
+    configs.reserve(static_cast<std::size_t>(options_.runs_per_point));
     for (int run = 0; run < options_.runs_per_point; ++run) {
-        sim::ClusterSim simulator(
-            cluster_, catalog_, caps,
+        configs.push_back(sim::BatchConfig{
+            placement, caps,
             sim::SimOptions{.seed = options_.seed + 1000 * static_cast<std::uint64_t>(run),
-                            .jitter_sigma = options_.jitter_sigma});
-        const sim::JobResult result = simulator.run_job(placement);
-        sum.stage_in += result.phases.stage_in;
-        sum.map += result.phases.map;
-        sum.shuffle += result.phases.shuffle;
-        sum.reduce += result.phases.reduce;
-        sum.stage_out += result.phases.stage_out;
+                            .jitter_sigma = options_.jitter_sigma}});
+    }
+    const sim::BatchRunner runner(cluster_, catalog_);
+    const std::vector<sim::BatchOutcome> outcomes = runner.run(configs, pool);
+
+    sim::PhaseTimes sum;
+    for (const sim::BatchOutcome& outcome : outcomes) {
+        CAST_ENSURES_MSG(!outcome.failed, "fault-free calibration run failed");
+        sum.stage_in += outcome.result.phases.stage_in;
+        sum.map += outcome.result.phases.map;
+        sum.shuffle += outcome.result.phases.shuffle;
+        sum.reduce += outcome.result.phases.reduce;
+        sum.stage_out += outcome.result.phases.stage_out;
     }
     const double inv = 1.0 / options_.runs_per_point;
     return sim::PhaseTimes{.stage_in = sum.stage_in * inv,
@@ -79,7 +93,7 @@ sim::PhaseTimes Profiler::measure(AppKind app, StorageTier tier,
                            .stage_out = sum.stage_out * inv};
 }
 
-TierModel Profiler::profile_pair(AppKind app, StorageTier tier) const {
+TierModel Profiler::profile_pair(AppKind app, StorageTier tier, ThreadPool* pool) const {
     const workload::JobSpec job = calibration_job(app);
     const auto& profile = workload::ApplicationProfile::of(app);
     const auto& service = catalog_.service(tier);
@@ -111,7 +125,7 @@ TierModel Profiler::profile_pair(AppKind app, StorageTier tier) const {
     }
 
     // --- M̂: invert Eq. 1 on the measured per-iteration phase times.
-    const sim::PhaseTimes ref = measure(app, tier, ref_capacity);
+    const sim::PhaseTimes ref = measure(app, tier, ref_capacity, pool);
     const int iters = profile.iterations();
     const int map_waves = wave_count(job.map_tasks, cluster_.total_map_slots());
     const int reduce_waves = wave_count(job.reduce_tasks, cluster_.total_reduce_slots());
@@ -146,7 +160,7 @@ TierModel Profiler::profile_pair(AppKind app, StorageTier tier) const {
         for (double c : sweep) {
             const GigaBytes provisioned = service.provision(GigaBytes{c});
             if (!xs.empty() && provisioned.value() <= xs.back()) continue;  // dedupe rounding
-            const sim::PhaseTimes at = measure(app, tier, provisioned);
+            const sim::PhaseTimes at = measure(app, tier, provisioned, pool);
             xs.push_back(provisioned.value());
             ys.push_back(at.processing().value() / ref_runtime);
         }
@@ -168,13 +182,17 @@ PerfModelSet Profiler::profile(ThreadPool* pool) const {
         for (StorageTier tier : cloud::kAllTiers) tasks.push_back({app, tier});
     }
     std::mutex mutex;
+    // Passing the pool down makes the per-pair calibration batches nested
+    // parallel_fors — safe with the work-stealing pool (a blocked worker
+    // helps drain other tasks), and it keeps the pool busy at the tail of
+    // the sweep when few pairs remain.
     auto run_one = [&](std::size_t i) {
-        TierModel model = profile_pair(tasks[i].app, tasks[i].tier);
+        TierModel model = profile_pair(tasks[i].app, tasks[i].tier, pool);
         std::lock_guard lock(mutex);
         set.set_tier_model(tasks[i].app, tasks[i].tier, std::move(model));
     };
     if (pool != nullptr) {
-        pool->parallel_for(tasks.size(), run_one);
+        pool->parallel_for(tasks.size(), run_one, /*grain=*/1);
     } else {
         for (std::size_t i = 0; i < tasks.size(); ++i) run_one(i);
     }

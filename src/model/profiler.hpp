@@ -159,16 +159,20 @@ public:
     /// run on `pool` when provided.
     [[nodiscard]] PerfModelSet profile(ThreadPool* pool = nullptr) const;
 
-    /// Profile a single (app, tier) pair (exposed for tests).
-    [[nodiscard]] TierModel profile_pair(workload::AppKind app,
-                                         cloud::StorageTier tier) const;
+    /// Profile a single (app, tier) pair (exposed for tests). The repeated
+    /// calibration runs batch over `pool` when provided; results are
+    /// bit-identical with any worker count (sim::BatchRunner's contract).
+    [[nodiscard]] TierModel profile_pair(workload::AppKind app, cloud::StorageTier tier,
+                                         ThreadPool* pool = nullptr) const;
 
 private:
     [[nodiscard]] workload::JobSpec calibration_job(workload::AppKind app) const;
     /// Average processing phase times for the calibration job of `app` on
-    /// `tier` at the given per-VM capacity.
+    /// `tier` at the given per-VM capacity. The runs_per_point repetitions
+    /// are independent configurations batched over `pool`.
     [[nodiscard]] sim::PhaseTimes measure(workload::AppKind app, cloud::StorageTier tier,
-                                          GigaBytes per_vm_capacity) const;
+                                          GigaBytes per_vm_capacity,
+                                          ThreadPool* pool = nullptr) const;
 
     cloud::ClusterSpec cluster_;
     cloud::StorageCatalog catalog_;

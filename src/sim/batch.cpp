@@ -1,0 +1,50 @@
+#include "sim/batch.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace cast::sim {
+
+BatchRunner::BatchRunner(cloud::ClusterSpec cluster, cloud::StorageCatalog catalog,
+                         BatchOptions options)
+    : cluster_(std::move(cluster)), catalog_(std::move(catalog)), options_(options) {
+    cluster_.validate();
+    CAST_EXPECTS_MSG(options_.grain >= 1, "batch grain must be at least 1");
+}
+
+BatchOutcome BatchRunner::run_one(const BatchConfig& config) const {
+    // Each configuration gets its own ClusterSim: construction is cheap
+    // (the catalog holds shared_ptr services) and it keeps per-config
+    // capacities/options fully independent of scheduling order.
+    const ClusterSim sim(cluster_, catalog_, config.capacities, config.options);
+    BatchOutcome outcome;
+    try {
+        outcome.result = sim.run_job(config.placement);
+    } catch (const SimulationError& e) {
+        // Injected faults exhausted a task's attempt budget — a legitimate
+        // experiment outcome (the robustness sweep counts these), not a
+        // reason to abort the other configurations.
+        outcome.failed = true;
+        outcome.error = e.what();
+    }
+    return outcome;
+}
+
+std::vector<BatchOutcome> BatchRunner::run(const std::vector<BatchConfig>& configs,
+                                           ThreadPool* pool) const {
+    std::vector<BatchOutcome> outcomes(configs.size());
+    if (pool == nullptr || pool->worker_count() == 1 || configs.size() <= 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            outcomes[i] = run_one(configs[i]);
+        }
+        return outcomes;
+    }
+    pool->parallel_for(
+        configs.size(),
+        [&](std::size_t i) { outcomes[i] = run_one(configs[i]); },
+        options_.grain);
+    return outcomes;
+}
+
+}  // namespace cast::sim

@@ -1,0 +1,78 @@
+// Batched cluster simulation over the thread pool.
+//
+// The experiment drivers (model calibration, Fig. 2/8 benches, robustness
+// sweeps, cluster planning) all share one shape: run many independent
+// (job placement, tier capacities, sim options) configurations and collect
+// per-configuration results. BatchRunner fans that shape over a
+// cast::ThreadPool with a determinism contract:
+//
+//   * results are written by configuration index, never appended;
+//   * each configuration carries its own SimOptions (seed included), and
+//     run_job derives every random stream from (options.seed, job id), so
+//     a configuration's result is independent of which worker runs it, in
+//     what order, and how many workers exist — batch output is
+//     bit-identical for 1, 2 or N workers;
+//   * each worker thread reuses its own simulation scratch (arena flow
+//     engine + wave buffers, thread-local inside ClusterSim::run_job), so
+//     steady-state batches allocate almost nothing per job.
+//
+// A configuration that raises SimulationError (fault injection exhausting
+// a task's attempt budget) is captured in its outcome instead of aborting
+// the batch; precondition violations (malformed configs) still propagate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/cluster.hpp"
+#include "cloud/storage.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/mapreduce.hpp"
+
+namespace cast::sim {
+
+/// One independent simulation: a placed job on a provisioned cluster.
+struct BatchConfig {
+    JobPlacement placement;
+    TierCapacities capacities;
+    SimOptions options;
+};
+
+/// Result slot for one configuration, written by index.
+struct BatchOutcome {
+    JobResult result;
+    /// True when the simulation raised SimulationError (injected faults
+    /// exhausted a task's attempt budget); `result` is default-initialized.
+    bool failed = false;
+    std::string error;
+};
+
+struct BatchOptions {
+    /// parallel_for grain: configurations per claimed chunk. Jobs are
+    /// coarse units (one job simulates thousands of flow events), so the
+    /// default claims one config at a time for best load balance.
+    std::size_t grain = 1;
+};
+
+/// Fans a vector of configurations over a thread pool. Stateless between
+/// runs apart from the cluster/catalog it simulates on.
+class BatchRunner {
+public:
+    BatchRunner(cloud::ClusterSpec cluster, cloud::StorageCatalog catalog,
+                BatchOptions options = {});
+
+    /// Run every configuration; outcome[i] corresponds to configs[i].
+    /// With a null pool (or a 1-worker pool) the batch runs serially on the
+    /// calling thread — the results are bit-identical either way.
+    [[nodiscard]] std::vector<BatchOutcome> run(const std::vector<BatchConfig>& configs,
+                                                ThreadPool* pool = nullptr) const;
+
+private:
+    [[nodiscard]] BatchOutcome run_one(const BatchConfig& config) const;
+
+    cloud::ClusterSpec cluster_;
+    cloud::StorageCatalog catalog_;
+    BatchOptions options_;
+};
+
+}  // namespace cast::sim

@@ -6,15 +6,27 @@
 // sharing with per-flow rate caps (water-filling). CPU-bound work is a flow
 // through an uncontended resource with the compute rate as its cap. The
 // engine advances time event-by-event: at each step it water-fills every
-// resource, finds the earliest flow completion, advances the clock, and
-// retires finished flows. Slot-limited task scheduling sits on top in
-// phase_runner.hpp.
+// resource whose membership or capacity changed, finds the earliest flow
+// completion, advances the clock, and retires finished flows. Slot-limited
+// task scheduling sits on top in phase_runner.hpp.
 //
 // This processor-sharing treatment is what lets the simulator reproduce
 // the paper's contention phenomena: tasks on a slow tier starving a mixed
 // placement (Fig. 5), capacity-scaled volume bandwidth saturating (Fig. 2),
 // and wave-level interference that the analytical model (Eq. 1) does not
 // capture (the honest error of Fig. 8).
+//
+// Hot-path storage discipline (the batch engine runs millions of steps):
+//   * flows live in one arena vector whose capacity survives reset(), so a
+//     reused engine allocates nothing in steady state;
+//   * per-resource member lists are maintained incrementally (insert on
+//     start_flow, erase on completion) and kept sorted by cap, so a step
+//     re-water-fills only the resources it actually touched and never
+//     re-sorts;
+//   * capacity events sit in a binary heap (insertion-ordered for ties)
+//     instead of a linearly re-sorted vector;
+//   * advance() writes completions into a reused buffer and returns a
+//     reference — no per-step allocation.
 #pragma once
 
 #include <algorithm>
@@ -35,11 +47,33 @@ class FlowEngine {
 public:
     FlowEngine() = default;
 
+    /// Drop all resources, flows and pending events and rewind the clock to
+    /// zero, keeping every buffer's capacity. A reset engine is
+    /// indistinguishable from a freshly constructed one (bit-identical
+    /// simulations), but re-running a same-shaped job allocates nothing.
+    void reset() {
+        resources_.clear();
+        flows_.clear();
+        active_.clear();
+        instantly_done_.clear();
+        completed_.clear();
+        for (auto& v : per_resource_active_) v.clear();
+        // per_resource_active_ itself keeps its slots (and their inner
+        // capacity); add_resource reuses them index-by-index.
+        events_.clear();
+        applied_events_ = 0;
+        event_seq_ = 0;
+        dirty_resources_.clear();
+        now_ = 0.0;
+    }
+
     /// Register a shared resource with the given aggregate capacity (MB/s).
     ResourceId add_resource(MBytesPerSec capacity) {
         CAST_EXPECTS_MSG(capacity.value() > 0.0, "resource capacity must be positive");
-        resources_.push_back(Resource{capacity.value()});
-        per_resource_active_.emplace_back();
+        resources_.push_back(Resource{capacity.value(), /*dirty=*/false});
+        if (per_resource_active_.size() < resources_.size()) {
+            per_resource_active_.emplace_back();
+        }
         return resources_.size() - 1;
     }
 
@@ -61,8 +95,9 @@ public:
             instantly_done_.push_back(id);
         } else {
             active_.push_back(id);
+            insert_member(res, id);
+            mark_dirty(res);
         }
-        rates_dirty_ = true;
         return id;
     }
 
@@ -80,16 +115,12 @@ public:
     void schedule_capacity_change(ResourceId res, Seconds at, MBytesPerSec capacity) {
         CAST_EXPECTS(res < resources_.size());
         CAST_EXPECTS_MSG(capacity.value() > 0.0, "throttled capacity must stay positive");
-        const CapacityEvent ev{at.value(), res, capacity.value()};
-        // Keep sorted by time, insertion order preserved for ties.
-        auto it = std::upper_bound(
-            events_.begin() + static_cast<std::ptrdiff_t>(next_event_), events_.end(), ev,
-            [](const CapacityEvent& a, const CapacityEvent& b) { return a.at < b.at; });
-        events_.insert(it, ev);
+        events_.push_back(CapacityEvent{at.value(), event_seq_++, res, capacity.value()});
+        std::push_heap(events_.begin(), events_.end(), EventLater{});
     }
 
     /// Capacity-change events that have fired so far (fault-log accounting).
-    [[nodiscard]] std::size_t applied_capacity_events() const { return next_event_; }
+    [[nodiscard]] std::size_t applied_capacity_events() const { return applied_events_; }
 
     [[nodiscard]] double resource_capacity(ResourceId res) const {
         CAST_EXPECTS(res < resources_.size());
@@ -104,19 +135,21 @@ public:
 
     /// Advance the clock to the next flow completion. Returns the ids of
     /// all flows that completed at the new time (empty iff no active flow).
-    /// Zero-demand flows complete "now" without advancing the clock.
-    std::vector<FlowId> advance() {
-        std::vector<FlowId> completed;
+    /// Zero-demand flows complete "now" without advancing the clock. The
+    /// returned buffer is owned by the engine and overwritten by the next
+    /// advance().
+    const std::vector<FlowId>& advance() {
+        completed_.clear();
         if (!instantly_done_.empty()) {
-            completed.swap(instantly_done_);
-            for (FlowId f : completed) flows_[f].done = true;
-            return completed;
+            completed_.swap(instantly_done_);
+            for (FlowId f : completed_) flows_[f].done = true;
+            return completed_;
         }
-        if (active_.empty()) return completed;
-        while (completed.empty()) {
+        if (active_.empty()) return completed_;
+        while (completed_.empty()) {
             // Apply any capacity events that are due (at or before now).
-            while (next_event_ < events_.size() && events_[next_event_].at <= now_) {
-                apply_event(events_[next_event_++]);
+            while (!events_.empty() && events_.front().at <= now_) {
+                pop_apply_event();
             }
             recompute_rates();
             double min_dt = std::numeric_limits<double>::infinity();
@@ -129,16 +162,15 @@ public:
             // the earliest completion: drain flows partially, re-share, go
             // around again. (Ties favour the completion; the event then
             // fires at the top of the next iteration or call.)
-            if (next_event_ < events_.size()) {
-                const double ev_dt = events_[next_event_].at - now_;
+            if (!events_.empty()) {
+                const double ev_dt = events_.front().at - now_;
                 if (ev_dt < min_dt) {
                     now_ += ev_dt;
                     for (FlowId id : active_) {
                         Flow& f = flows_[id];
                         f.remaining_mb = std::max(0.0, f.remaining_mb - f.rate * ev_dt);
                     }
-                    apply_event(events_[next_event_++]);
-                    rates_dirty_ = true;
+                    pop_apply_event();
                     continue;
                 }
             }
@@ -151,16 +183,17 @@ public:
                 if (f.remaining_mb <= kCompletionEpsilonMb) {
                     f.remaining_mb = 0.0;
                     f.done = true;
-                    completed.push_back(id);
+                    completed_.push_back(id);
+                    erase_member(f.res, id);
+                    mark_dirty(f.res);
                 } else {
                     active_[keep++] = id;
                 }
             }
             active_.resize(keep);
-            rates_dirty_ = true;
-            CAST_ENSURES_MSG(!completed.empty(), "time advanced without completing a flow");
+            CAST_ENSURES_MSG(!completed_.empty(), "time advanced without completing a flow");
         }
-        return completed;
+        return completed_;
     }
 
     /// Current fair-share rate of an active flow (after the last advance or
@@ -178,6 +211,7 @@ private:
 
     struct Resource {
         double capacity_mbps;
+        bool dirty;
     };
 
     struct Flow {
@@ -190,29 +224,60 @@ private:
 
     struct CapacityEvent {
         double at;
+        std::uint64_t seq;  // insertion order breaks time ties
         ResourceId res;
         double capacity_mbps;
     };
 
-    void apply_event(const CapacityEvent& ev) {
+    /// Max-heap comparator inverted into a min-heap on (at, seq):
+    /// earliest event first, insertion order preserved for ties.
+    struct EventLater {
+        bool operator()(const CapacityEvent& a, const CapacityEvent& b) const {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    void pop_apply_event() {
+        const CapacityEvent ev = events_.front();
+        std::pop_heap(events_.begin(), events_.end(), EventLater{});
+        events_.pop_back();
+        ++applied_events_;
         resources_[ev.res].capacity_mbps = ev.capacity_mbps;
+        mark_dirty(ev.res);
     }
 
-    /// Max-min fair allocation with per-flow caps, per resource
-    /// (water-filling): repeatedly give every unfrozen flow an equal share;
-    /// flows whose cap is below the share freeze at their cap and return
-    /// the surplus to the pool.
+    void mark_dirty(ResourceId res) {
+        if (resources_[res].dirty) return;
+        resources_[res].dirty = true;
+        dirty_resources_.push_back(res);
+    }
+
+    /// Keep the resource's member list sorted ascending by cap (ties keep
+    /// insertion order, matching the stable behaviour the water-fill needs).
+    void insert_member(ResourceId res, FlowId id) {
+        auto& ids = per_resource_active_[res];
+        const double cap = flows_[id].cap_mbps;
+        auto it = std::upper_bound(ids.begin(), ids.end(), cap,
+                                   [this](double c, FlowId f) { return c < flows_[f].cap_mbps; });
+        ids.insert(it, id);
+    }
+
+    void erase_member(ResourceId res, FlowId id) {
+        auto& ids = per_resource_active_[res];
+        ids.erase(std::find(ids.begin(), ids.end(), id));
+    }
+
+    /// Max-min fair allocation with per-flow caps (water-filling),
+    /// recomputed only for resources whose membership or capacity changed:
+    /// repeatedly give every unfrozen flow an equal share; flows whose cap
+    /// is below the share freeze at their cap and return the surplus to the
+    /// pool. The member lists stay cap-sorted, so one pass suffices.
     void recompute_rates() {
-        if (!rates_dirty_) return;
-        for (auto& v : per_resource_active_) v.clear();
-        for (FlowId i : active_) per_resource_active_[flows_[i].res].push_back(i);
-        for (ResourceId r = 0; r < resources_.size(); ++r) {
-            auto& ids = per_resource_active_[r];
+        for (ResourceId r : dirty_resources_) {
+            resources_[r].dirty = false;
+            const auto& ids = per_resource_active_[r];
             if (ids.empty()) continue;
-            // Sort ascending by cap; then a single pass water-fills.
-            std::sort(ids.begin(), ids.end(), [this](FlowId a, FlowId b) {
-                return flows_[a].cap_mbps < flows_[b].cap_mbps;
-            });
             double remaining = resources_[r].capacity_mbps;
             std::size_t left = ids.size();
             for (FlowId id : ids) {
@@ -223,18 +288,20 @@ private:
                 --left;
             }
         }
-        rates_dirty_ = false;
+        dirty_resources_.clear();
     }
 
     std::vector<Resource> resources_;
     std::vector<Flow> flows_;
     std::vector<FlowId> active_;
     std::vector<FlowId> instantly_done_;
+    std::vector<FlowId> completed_;
     std::vector<std::vector<FlowId>> per_resource_active_;
-    std::vector<CapacityEvent> events_;
-    std::size_t next_event_ = 0;
+    std::vector<ResourceId> dirty_resources_;
+    std::vector<CapacityEvent> events_;  // binary heap, earliest on top
+    std::size_t applied_events_ = 0;
+    std::uint64_t event_seq_ = 0;
     double now_ = 0.0;
-    bool rates_dirty_ = true;
 };
 
 }  // namespace cast::sim

@@ -1,6 +1,7 @@
 #include "sim/mapreduce.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <optional>
 #include <string>
@@ -20,7 +21,15 @@ using workload::ApplicationProfile;
 // Capacity of the uncontended resource used for CPU work and fixed delays.
 constexpr double kUnboundedMbps = 1e15;
 
+std::atomic<bool> g_scratch_reuse{true};
+
 }  // namespace
+
+void set_scratch_reuse(bool enabled) {
+    g_scratch_reuse.store(enabled, std::memory_order_relaxed);
+}
+
+bool scratch_reuse_enabled() { return g_scratch_reuse.load(std::memory_order_relaxed); }
 
 JobPlacement JobPlacement::on_tier(const workload::JobSpec& job, StorageTier tier) {
     JobPlacement p;
@@ -84,27 +93,45 @@ MBytesPerSec ClusterSim::tier_bandwidth_per_vm(StorageTier t) const {
     return p->read_bw;
 }
 
-namespace {
+namespace detail {
 
-/// Per-run scratch: resource ids for (vm, tier) volume pools plus the
-/// uncontended resource.
-struct ResourceTable {
-    FlowEngine& engine;
-    int vm_count;
+/// Per-thread reusable simulation state: the arena flow engine, the
+/// resource ids for (vm, tier) volume pools plus the uncontended resource,
+/// the per-wave task batch, and the phase-runner bookkeeping. Everything
+/// keeps its buffer capacity across jobs; reset() re-registers resources
+/// for the next job's topology. The scratch is storage, never state — a
+/// fresh scratch and a reused one produce bit-identical simulations.
+struct SimScratch {
+    FlowEngine engine;
+    TaskBatch tasks;
+    PhaseScratch phase;
+
+    int vm_count = 0;
     std::array<std::vector<ResourceId>, cloud::kTierCount> pools{};
     std::vector<ResourceId> network_pools;
-    ResourceId unbounded;
+    ResourceId unbounded = 0;
     // The object store is a shared service with bucket-level aggregate
     // ceilings, so it gets two cluster-wide pools (read / write) instead of
     // per-VM volume pools.
     std::optional<ResourceId> object_store_read;
     std::optional<ResourceId> object_store_write;
 
-    ResourceTable(FlowEngine& eng, int vms, MBytesPerSec network_bw)
-        : engine(eng), vm_count(vms) {
+    /// Rewind the engine and re-register the base resources (uncontended +
+    /// per-VM network pools), matching a freshly constructed engine's
+    /// resource-id assignment exactly.
+    void reset(int vms, MBytesPerSec network_bw) {
+        engine.reset();
+        tasks.clear();
+        vm_count = vms;
+        for (auto& v : pools) v.clear();
+        network_pools.clear();
+        object_store_read.reset();
+        object_store_write.reset();
         unbounded = engine.add_resource(MBytesPerSec{kUnboundedMbps});
         network_pools.reserve(static_cast<std::size_t>(vms));
-        for (int i = 0; i < vms; ++i) network_pools.push_back(engine.add_resource(network_bw));
+        for (int i = 0; i < vms; ++i) {
+            network_pools.push_back(engine.add_resource(network_bw));
+        }
     }
 
     [[nodiscard]] ResourceId network(int vm) const {
@@ -152,9 +179,21 @@ struct ResourceTable {
     }
 };
 
-}  // namespace
+}  // namespace detail
 
 JobResult ClusterSim::run_job(const JobPlacement& placement) const {
+    if (scratch_reuse_enabled()) {
+        // One scratch per thread: BatchRunner workers, profiler calibration
+        // threads and serial callers all reuse their own arena.
+        static thread_local detail::SimScratch scratch;
+        return run_job_impl(placement, scratch);
+    }
+    detail::SimScratch scratch;
+    return run_job_impl(placement, scratch);
+}
+
+JobResult ClusterSim::run_job_impl(const JobPlacement& placement,
+                                   detail::SimScratch& res) const {
     placement.validate();
     const workload::JobSpec& job = placement.job;
     const ApplicationProfile& app = job.profile();
@@ -186,8 +225,8 @@ JobResult ClusterSim::run_job(const JobPlacement& placement) const {
         return p->read_bw.value() / static_cast<double>(map_slots);
     };
 
-    FlowEngine engine;
-    ResourceTable res(engine, nvm, cluster_.worker.shuffle_network_bw);
+    FlowEngine& engine = res.engine;
+    res.reset(nvm, cluster_.worker.shuffle_network_bw);
     for (StorageTier t : cloud::kAllTiers) {
         const bool used =
             std::any_of(placement.input_splits.begin(), placement.input_splits.end(),
@@ -239,14 +278,17 @@ JobResult ClusterSim::run_job(const JobPlacement& placement) const {
         }
     }
 
+    // The wave batch, rebuilt (capacity-reusing) for every phase.
+    TaskBatch& batch = res.tasks;
+
     // Run one phase through the injector (request counts are per-task
     // because fine-grained splits give tasks different input tiers), and
     // re-raise injected failures with (job, phase) context.
-    auto run_faulted = [&](const char* phase_name, std::vector<SimTask>&& tasks, int slots,
+    auto run_faulted = [&](const char* phase_name, int slots,
                            FaultInjector::RequestCountFn requests) {
         if (injector) injector->begin_phase(std::move(requests));
         try {
-            return run_phase(engine, std::move(tasks), nvm, slots,
+            return run_phase(engine, batch, nvm, slots, res.phase,
                              injector ? &*injector : nullptr, res.unbounded);
         } catch (const SimulationError& e) {
             throw e.with_context(job.name, phase_name);
@@ -268,23 +310,22 @@ JobResult ClusterSim::run_job(const JobPlacement& placement) const {
     // ceiling does not apply; the copy runs at the slower of the
     // object-store allocation and the destination volume's write bandwidth.
     if (placement.stage_in) {
-        std::vector<SimTask> tasks;
+        batch.clear();
         for (const auto& split : placement.input_splits) {
             CAST_EXPECTS_MSG(split.tier != StorageTier::kObjectStore,
                              "staging in to objStore makes no sense");
             const double per_vm_mb = input_mb * split.fraction / nvm;
             const double dest_bw = perf_[tier_index(split.tier)]->write_bw.value();
             for (int vm = 0; vm < nvm; ++vm) {
-                tasks.push_back(SimTask{
-                    vm,
-                    {Segment{res.read_pool(StorageTier::kObjectStore, vm),
-                             per_vm_mb * jitter(), dest_bw}}});
+                batch.begin_task(vm);
+                batch.add_segment(res.read_pool(StorageTier::kObjectStore, vm),
+                                  per_vm_mb * jitter(), dest_bw);
             }
         }
         // Each stage task holds one bulk objStore session: one "request"
         // that can hit a transient error and back off.
-        phases.stage_in = run_faulted("stage_in", std::move(tasks), /*slots=*/2,
-                                      [](std::size_t) { return 1.0; });
+        phases.stage_in =
+            run_faulted("stage_in", /*slots=*/2, [](std::size_t) { return 1.0; });
     }
 
     // Assign each map task an input tier according to the split fractions:
@@ -306,36 +347,34 @@ JobResult ClusterSim::run_job(const JobPlacement& placement) const {
 
         // ---- Map phase.
         {
-            std::vector<SimTask> tasks;
-            tasks.reserve(static_cast<std::size_t>(m));
+            batch.clear();
+            batch.reserve(static_cast<std::size_t>(m), static_cast<std::size_t>(m) * 3);
             for (int t = 0; t < m; ++t) {
                 const int vm = t % nvm;
                 const StorageTier in_tier = input_tier_of_task(t);
-                SimTask task{vm, {}};
+                batch.begin_task(vm);
                 if (in_tier == StorageTier::kObjectStore) {
                     // Connection setup per input object (GCS connector).
-                    task.segments.push_back(
-                        Segment{res.unbounded,
-                                app.files_per_map_task() * obj_overhead.value() * jitter(),
-                                1.0});
+                    batch.add_segment(
+                        res.unbounded,
+                        app.files_per_map_task() * obj_overhead.value() * jitter(), 1.0);
                 }
                 // Streamed read + compute of this task's chunk.
-                task.segments.push_back(
-                    Segment{res.read_pool(in_tier, vm), chunk_mb * jitter(),
-                            std::min(app.map_compute_rate().value(), per_stream_cap(in_tier))});
+                batch.add_segment(
+                    res.read_pool(in_tier, vm), chunk_mb * jitter(),
+                    std::min(app.map_compute_rate().value(), per_stream_cap(in_tier)));
                 // Emit intermediate data.
                 if (inter_mb > 0.0) {
-                    task.segments.push_back(
-                        Segment{res.write_pool(placement.intermediate_tier, vm),
-                                (inter_mb / m) * jitter(),
-                                std::min(app.map_compute_rate().value(),
-                                         per_stream_cap(placement.intermediate_tier))});
+                    batch.add_segment(
+                        res.write_pool(placement.intermediate_tier, vm),
+                        (inter_mb / m) * jitter(),
+                        std::min(app.map_compute_rate().value(),
+                                 per_stream_cap(placement.intermediate_tier)));
                 }
-                tasks.push_back(std::move(task));
             }
             const double files_per_map = app.files_per_map_task();
             phases.map += run_faulted(
-                "map", std::move(tasks), map_slots, [&, files_per_map](std::size_t t) {
+                "map", map_slots, [&, files_per_map](std::size_t t) {
                     return input_tier_of_task(static_cast<int>(t)) ==
                                    StorageTier::kObjectStore
                                ? files_per_map
@@ -349,76 +388,72 @@ JobResult ClusterSim::run_job(const JobPlacement& placement) const {
         // Hadoop shuffle path's per-VM throughput; on a single node the
         // shuffle is a local copy on the intermediate volume.
         if (inter_mb > 0.0) {
-            std::vector<SimTask> tasks;
-            tasks.reserve(static_cast<std::size_t>(r));
+            batch.clear();
+            batch.reserve(static_cast<std::size_t>(r), static_cast<std::size_t>(r));
             for (int t = 0; t < r; ++t) {
                 const int vm = t % nvm;
                 const ResourceId pool = nvm > 1
                                             ? res.network(vm)
                                             : res.pool(placement.intermediate_tier, vm);
-                tasks.push_back(SimTask{
-                    vm,
-                    {Segment{pool, (inter_mb / r) * jitter(),
-                             std::min(app.shuffle_transfer_rate().value(),
-                                      per_stream_cap(placement.intermediate_tier))}}});
+                batch.begin_task(vm);
+                batch.add_segment(pool, (inter_mb / r) * jitter(),
+                                  std::min(app.shuffle_transfer_rate().value(),
+                                           per_stream_cap(placement.intermediate_tier)));
             }
-            phases.shuffle += run_faulted("shuffle", std::move(tasks), reduce_slots,
-                                          /*requests=*/nullptr);
+            phases.shuffle += run_faulted("shuffle", reduce_slots, /*requests=*/nullptr);
         }
 
         // ---- Reduce phase: merge-read the shuffled partition, compute,
         // write the output.
         {
-            std::vector<SimTask> tasks;
-            tasks.reserve(static_cast<std::size_t>(r));
+            batch.clear();
+            batch.reserve(static_cast<std::size_t>(r), static_cast<std::size_t>(r) * 4);
             const double out_this_iter_mb = last_iter ? output_mb : inter_mb * 0.05;
             for (int t = 0; t < r; ++t) {
                 const int vm = t % nvm;
-                SimTask task{vm, {}};
+                batch.begin_task(vm);
+                std::size_t segments = 0;
                 if (inter_mb > 0.0) {
-                    task.segments.push_back(
-                        Segment{res.pool(placement.intermediate_tier, vm),
-                                (inter_mb / r) * jitter(),
-                                std::min(app.reduce_compute_rate().value(),
-                                         per_stream_cap(placement.intermediate_tier))});
+                    batch.add_segment(
+                        res.pool(placement.intermediate_tier, vm), (inter_mb / r) * jitter(),
+                        std::min(app.reduce_compute_rate().value(),
+                                 per_stream_cap(placement.intermediate_tier)));
+                    ++segments;
                 }
                 if (out_this_iter_mb > 0.0) {
                     if (out_tier == StorageTier::kObjectStore) {
                         // Connection setup + commit for every output object,
                         // then the write itself, then the rename-as-copy the
                         // Hadoop output committer performs on object stores.
-                        task.segments.push_back(Segment{
+                        batch.add_segment(
                             res.unbounded,
                             app.files_per_reduce_task() * obj_overhead.value() * jitter(),
-                            1.0});
-                        task.segments.push_back(
-                            Segment{res.write_pool(out_tier, vm),
-                                    (out_this_iter_mb / r) * jitter(),
-                                    std::min(app.reduce_compute_rate().value(),
-                                             per_stream_cap(out_tier))});
-                        task.segments.push_back(
-                            Segment{res.write_pool(out_tier, vm),
-                                    (out_this_iter_mb / r) * jitter(),
-                                    per_stream_cap(out_tier)});
+                            1.0);
+                        batch.add_segment(
+                            res.write_pool(out_tier, vm), (out_this_iter_mb / r) * jitter(),
+                            std::min(app.reduce_compute_rate().value(),
+                                     per_stream_cap(out_tier)));
+                        batch.add_segment(res.write_pool(out_tier, vm),
+                                          (out_this_iter_mb / r) * jitter(),
+                                          per_stream_cap(out_tier));
                     } else {
-                        task.segments.push_back(
-                            Segment{res.write_pool(out_tier, vm),
-                                    (out_this_iter_mb / r) * jitter(),
-                                    std::min(app.reduce_compute_rate().value(),
-                                             per_stream_cap(out_tier))});
+                        batch.add_segment(
+                            res.write_pool(out_tier, vm), (out_this_iter_mb / r) * jitter(),
+                            std::min(app.reduce_compute_rate().value(),
+                                     per_stream_cap(out_tier)));
                     }
+                    ++segments;
                 }
-                if (task.segments.empty()) {
+                if (segments == 0) {
                     // Degenerate (no intermediate, no output): a token tick
                     // so the task still occupies its slot.
-                    task.segments.push_back(Segment{res.unbounded, 1e-3, 1.0});
+                    batch.add_segment(res.unbounded, 1e-3, 1.0);
                 }
-                tasks.push_back(std::move(task));
             }
             const double files_per_reduce =
                 out_tier == StorageTier::kObjectStore ? app.files_per_reduce_task() : 0.0;
             phases.reduce += run_faulted(
-                "reduce", std::move(tasks), reduce_slots,
+                "reduce", reduce_slots,
                 [files_per_reduce](std::size_t) { return files_per_reduce; });
         }
     }
@@ -426,16 +461,15 @@ JobResult ClusterSim::run_job(const JobPlacement& placement) const {
     // ---- Stage out: bulk copy of the final output to the object store.
     if (placement.stage_out && output_mb > 0.0 &&
         placement.output_tier != StorageTier::kObjectStore) {
-        std::vector<SimTask> tasks;
+        batch.clear();
         const double src_bw = perf_[tier_index(placement.output_tier)]->read_bw.value();
         for (int vm = 0; vm < nvm; ++vm) {
-            tasks.push_back(SimTask{
-                vm,
-                {Segment{res.write_pool(StorageTier::kObjectStore, vm),
-                         (output_mb / nvm) * jitter(), src_bw}}});
+            batch.begin_task(vm);
+            batch.add_segment(res.write_pool(StorageTier::kObjectStore, vm),
+                              (output_mb / nvm) * jitter(), src_bw);
         }
-        phases.stage_out = run_faulted("stage_out", std::move(tasks), /*slots=*/2,
-                                       [](std::size_t) { return 1.0; });
+        phases.stage_out =
+            run_faulted("stage_out", /*slots=*/2, [](std::size_t) { return 1.0; });
     }
 
     JobResult result;

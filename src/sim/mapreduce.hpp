@@ -28,6 +28,18 @@
 
 namespace cast::sim {
 
+namespace detail {
+struct SimScratch;
+}  // namespace detail
+
+/// Process-global switch for reuse of the thread-local simulation scratch
+/// (arena flow engine, wave task batch, phase bookkeeping). On by default;
+/// the sim_throughput bench turns it off to measure the per-job allocation
+/// cost the scratch removes. Simulation results are bit-identical either
+/// way — the scratch is storage, never state.
+void set_scratch_reuse(bool enabled);
+[[nodiscard]] bool scratch_reuse_enabled();
+
 /// Per-VM provisioned capacity for each tier (zero = tier not attached).
 /// objStore needs no provisioning to be readable; a nonzero value there
 /// only matters for cost accounting, not simulation.
@@ -108,7 +120,8 @@ public:
     /// Execute one job and report its measured phase times. Deterministic
     /// for a given (options.seed, options.faults, job id). Throws
     /// SimulationError carrying (job, phase) context when an injected fault
-    /// outlives the task-attempt budget.
+    /// outlives the task-attempt budget. Thread-safe: concurrent calls on
+    /// one ClusterSim each use their own thread-local scratch.
     [[nodiscard]] JobResult run_job(const JobPlacement& placement) const;
 
     /// Execute jobs back-to-back (the paper's workloads run as a serial
@@ -127,7 +140,8 @@ public:
     [[nodiscard]] MBytesPerSec tier_bandwidth_per_vm(cloud::StorageTier t) const;
 
 private:
-    struct ResourceMap;
+    [[nodiscard]] JobResult run_job_impl(const JobPlacement& placement,
+                                         detail::SimScratch& scratch) const;
 
     cloud::ClusterSpec cluster_;
     cloud::StorageCatalog catalog_;

@@ -13,9 +13,14 @@
 // failed attempt re-joins the back of its VM's queue — a Hadoop
 // re-execution, which is what grows the tail into extra waves. A task that
 // exhausts its attempt budget raises SimulationError.
+//
+// Storage discipline: a phase is described by a TaskBatch — tasks index
+// into one contiguous segment pool — and executed against a PhaseScratch
+// holding the queues and bookkeeping vectors. Both keep their capacity
+// across phases and jobs, so a reused simulation allocates nothing per
+// wave. The SimTask-vector overload remains as a convenience wrapper.
 #pragma once
 
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -38,6 +43,89 @@ struct SimTask {
     std::vector<Segment> segments;
 };
 
+/// Flat, reusable phase description: every task is a (vm, segment-range)
+/// view into one shared segment pool. clear() keeps capacity, so building
+/// the next wave into the same batch is allocation-free in steady state.
+class TaskBatch {
+public:
+    void clear() {
+        tasks_.clear();
+        segments_.clear();
+    }
+
+    void reserve(std::size_t tasks, std::size_t segments) {
+        tasks_.reserve(tasks);
+        segments_.reserve(segments);
+    }
+
+    /// Start a new task on `vm`; subsequent add_segment calls append to it
+    /// until the next begin_task.
+    void begin_task(int vm) {
+        tasks_.push_back(TaskRef{vm, static_cast<std::uint32_t>(segments_.size()), 0});
+    }
+
+    void add_segment(ResourceId resource, double demand_mb, double cap_mbps) {
+        CAST_EXPECTS_MSG(!tasks_.empty(), "add_segment before begin_task");
+        segments_.push_back(Segment{resource, demand_mb, cap_mbps});
+        ++tasks_.back().seg_count;
+    }
+
+    [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+    [[nodiscard]] bool empty() const { return tasks_.empty(); }
+
+    [[nodiscard]] int vm_of(std::size_t task) const { return tasks_[task].vm; }
+
+    [[nodiscard]] std::size_t segment_count(std::size_t task) const {
+        return tasks_[task].seg_count;
+    }
+
+    [[nodiscard]] const Segment& segment(std::size_t task, std::size_t index) const {
+        return segments_[tasks_[task].seg_begin + index];
+    }
+
+private:
+    struct TaskRef {
+        int vm;
+        std::uint32_t seg_begin;
+        std::uint32_t seg_count;
+    };
+
+    std::vector<TaskRef> tasks_;
+    std::vector<Segment> segments_;
+};
+
+/// Reusable bookkeeping for run_phase. All vectors keep their capacity
+/// across phases; one scratch serves any number of sequential phases on
+/// one thread.
+struct PhaseScratch {
+    /// Per-VM FIFO queues of pending task indices, flattened: queue[vm] is
+    /// pending_[...] with a consumed-head cursor (avoids deque node churn;
+    /// re-executions append at the back like Hadoop's wave queue).
+    struct VmQueue {
+        std::vector<std::size_t> items;
+        std::size_t head = 0;
+
+        [[nodiscard]] bool empty() const { return head >= items.size(); }
+        [[nodiscard]] std::size_t pop_front() { return items[head++]; }
+        void push_back(std::size_t v) { items.push_back(v); }
+        void clear() {
+            items.clear();
+            head = 0;
+        }
+    };
+
+    struct Running {
+        std::size_t task = 0;
+        std::size_t next_segment = 0;  // segment to start after current completes
+    };
+
+    std::vector<VmQueue> queues;
+    std::vector<Running> by_flow;
+    std::vector<int> free_slots;
+    std::vector<int> attempts;
+    std::vector<AttemptFaults> plans;
+};
+
 /// Run all tasks to completion under per-VM slot limits; returns the phase
 /// makespan (time from call to last task completion). The engine's clock
 /// carries across calls, so a caller can chain phases on one engine.
@@ -49,44 +137,44 @@ struct SimTask {
 /// re-enqueues the task at the back of its VM queue. A task whose attempts
 /// are exhausted raises SimulationError. A null `faults` leaves the seed
 /// scheduling bit-identical.
-inline Seconds run_phase(FlowEngine& engine, std::vector<SimTask> tasks, int vm_count,
-                         int slots_per_vm, TaskFaultModel* faults = nullptr,
-                         ResourceId delay_resource = 0) {
+inline Seconds run_phase(FlowEngine& engine, const TaskBatch& tasks, int vm_count,
+                         int slots_per_vm, PhaseScratch& scratch,
+                         TaskFaultModel* faults = nullptr, ResourceId delay_resource = 0) {
     CAST_EXPECTS(vm_count >= 1);
     CAST_EXPECTS(slots_per_vm >= 1);
     const Seconds start = engine.now();
     if (tasks.empty()) return Seconds{0.0};
 
-    for (const SimTask& t : tasks) {
-        CAST_EXPECTS_MSG(t.vm >= 0 && t.vm < vm_count, "task assigned to unknown VM");
-        CAST_EXPECTS_MSG(!t.segments.empty(), "task with no segments");
+    for (std::size_t i = 0; i < tasks.task_count(); ++i) {
+        CAST_EXPECTS_MSG(tasks.vm_of(i) >= 0 && tasks.vm_of(i) < vm_count,
+                         "task assigned to unknown VM");
+        CAST_EXPECTS_MSG(tasks.segment_count(i) > 0, "task with no segments");
     }
 
-    // Per-VM FIFO queues of pending task indices.
-    std::vector<std::deque<std::size_t>> queues(static_cast<std::size_t>(vm_count));
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-        queues[static_cast<std::size_t>(tasks[i].vm)].push_back(i);
+    auto& queues = scratch.queues;
+    queues.resize(static_cast<std::size_t>(vm_count));
+    for (auto& q : queues) q.clear();
+    for (std::size_t i = 0; i < tasks.task_count(); ++i) {
+        queues[static_cast<std::size_t>(tasks.vm_of(i))].push_back(i);
     }
 
-    struct Running {
-        std::size_t task = 0;
-        std::size_t next_segment = 0;  // segment to start after current completes
-    };
     // flow id -> running record. Flow ids grow monotonically per engine, so
     // an offset-indexed vector works.
-    std::vector<Running> by_flow;
+    auto& by_flow = scratch.by_flow;
+    by_flow.clear();
     std::size_t flow_id_base = 0;
     bool base_known = false;
 
-    std::vector<int> free_slots(static_cast<std::size_t>(vm_count), slots_per_vm);
-    std::size_t tasks_left = tasks.size();
+    auto& free_slots = scratch.free_slots;
+    free_slots.assign(static_cast<std::size_t>(vm_count), slots_per_vm);
+    std::size_t tasks_left = tasks.task_count();
 
     // Per-task fault state, allocated only when faults are injected.
-    std::vector<int> attempts;
-    std::vector<AttemptFaults> plans;
+    auto& attempts = scratch.attempts;
+    auto& plans = scratch.plans;
     if (faults != nullptr) {
-        attempts.assign(tasks.size(), 0);
-        plans.assign(tasks.size(), AttemptFaults{});
+        attempts.assign(tasks.task_count(), 0);
+        plans.assign(tasks.task_count(), AttemptFaults{});
     }
 
     auto record_flow = [&](FlowId id, std::size_t task_idx, std::size_t next_segment) {
@@ -97,11 +185,11 @@ inline Seconds run_phase(FlowEngine& engine, std::vector<SimTask> tasks, int vm_
         CAST_ENSURES_MSG(id >= flow_id_base, "flow ids must grow monotonically");
         const std::size_t slot = id - flow_id_base;
         if (slot >= by_flow.size()) by_flow.resize(slot + 1);
-        by_flow[slot] = Running{task_idx, next_segment};
+        by_flow[slot] = PhaseScratch::Running{task_idx, next_segment};
     };
 
     auto start_segment = [&](std::size_t task_idx, std::size_t seg_idx) {
-        const Segment& seg = tasks[task_idx].segments[seg_idx];
+        const Segment& seg = tasks.segment(task_idx, seg_idx);
         const double scale = faults != nullptr ? plans[task_idx].demand_scale : 1.0;
         const FlowId id =
             engine.start_flow(seg.resource, seg.demand_mb * scale, seg.cap_mbps);
@@ -128,8 +216,7 @@ inline Seconds run_phase(FlowEngine& engine, std::vector<SimTask> tasks, int vm_
         auto& q = queues[static_cast<std::size_t>(vm)];
         auto& slots = free_slots[static_cast<std::size_t>(vm)];
         while (slots > 0 && !q.empty()) {
-            const std::size_t task_idx = q.front();
-            q.pop_front();
+            const std::size_t task_idx = q.pop_front();
             --slots;
             launch_attempt(task_idx);
         }
@@ -138,16 +225,16 @@ inline Seconds run_phase(FlowEngine& engine, std::vector<SimTask> tasks, int vm_
     for (int vm = 0; vm < vm_count; ++vm) fill_slots(vm);
 
     while (tasks_left > 0) {
-        const std::vector<FlowId> completed = engine.advance();
+        const std::vector<FlowId>& completed = engine.advance();
         CAST_ENSURES_MSG(!completed.empty(), "phase deadlocked: tasks left but no active flow");
         for (FlowId id : completed) {
             if (id < flow_id_base || id - flow_id_base >= by_flow.size()) continue;
-            const Running r = by_flow[id - flow_id_base];
-            const SimTask& t = tasks[r.task];
-            if (r.next_segment < t.segments.size()) {
+            const PhaseScratch::Running r = by_flow[id - flow_id_base];
+            if (r.next_segment < tasks.segment_count(r.task)) {
                 start_segment(r.task, r.next_segment);
                 continue;
             }
+            const int vm = tasks.vm_of(r.task);
             if (faults != nullptr && plans[r.task].fail) {
                 // Injected failure: the attempt's work is wasted and the
                 // task re-joins its VM's wave queue (Hadoop re-execution).
@@ -158,17 +245,37 @@ inline Seconds run_phase(FlowEngine& engine, std::vector<SimTask> tasks, int vm_
                                           std::to_string(faults->max_attempts()) +
                                           " attempts (injected faults)");
                 }
-                ++free_slots[static_cast<std::size_t>(t.vm)];
-                queues[static_cast<std::size_t>(t.vm)].push_back(r.task);
-                fill_slots(t.vm);
+                ++free_slots[static_cast<std::size_t>(vm)];
+                queues[static_cast<std::size_t>(vm)].push_back(r.task);
+                fill_slots(vm);
                 continue;
             }
             --tasks_left;
-            ++free_slots[static_cast<std::size_t>(t.vm)];
-            fill_slots(t.vm);
+            ++free_slots[static_cast<std::size_t>(vm)];
+            fill_slots(vm);
         }
     }
     return engine.now() - start;
+}
+
+/// Convenience overload over a SimTask vector (tests, simple callers):
+/// copies the tasks into a local TaskBatch and runs with local scratch.
+inline Seconds run_phase(FlowEngine& engine, const std::vector<SimTask>& tasks,
+                         int vm_count, int slots_per_vm, TaskFaultModel* faults = nullptr,
+                         ResourceId delay_resource = 0) {
+    TaskBatch batch;
+    std::size_t segments = 0;
+    for (const SimTask& t : tasks) segments += t.segments.size();
+    batch.reserve(tasks.size(), segments);
+    for (const SimTask& t : tasks) {
+        batch.begin_task(t.vm);
+        for (const Segment& s : t.segments) {
+            batch.add_segment(s.resource, s.demand_mb, s.cap_mbps);
+        }
+    }
+    PhaseScratch scratch;
+    return run_phase(engine, batch, vm_count, slots_per_vm, scratch, faults,
+                     delay_resource);
 }
 
 }  // namespace cast::sim

@@ -72,6 +72,78 @@ TEST(ThreadPool, ManyTasksAllComplete) {
     EXPECT_EQ(sum.load(), 500L * 501 / 2);
 }
 
+TEST(ThreadPool, ParallelForExplicitGrainVisitsEveryIndexOnce) {
+    ThreadPool pool(4);
+    // 103 indices in chunks of 7: uneven tail chunk, more chunks than
+    // workers — every index must still be visited exactly once.
+    std::vector<std::atomic<int>> counts(103);
+    pool.parallel_for(103, [&](std::size_t i) { counts[i]++; }, /*grain=*/7);
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+    // A worker blocked in an inner parallel_for must help drain the pool,
+    // otherwise outer+inner on a small pool deadlocks (the planner nests
+    // profiling batches inside candidate evaluation this way).
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    pool.parallel_for(
+        8,
+        [&](std::size_t) {
+            pool.parallel_for(32, [&](std::size_t) { total++; }, /*grain=*/1);
+        },
+        /*grain=*/1);
+    EXPECT_EQ(total.load(), 8 * 32);
+}
+
+TEST(ThreadPool, ParallelForAggregatesMultipleExceptions) {
+    ThreadPool pool(4);
+    try {
+        pool.parallel_for(
+            16,
+            [](std::size_t i) {
+                throw std::runtime_error("body " + std::to_string(i));
+            },
+            /*grain=*/1);
+        FAIL() << "expected ParallelForError";
+    } catch (const ParallelForError& e) {
+        // Every chunk fails, every failure is collected.
+        EXPECT_EQ(e.messages().size(), 16u);
+        EXPECT_NE(std::string(e.what()).find("16 bodies failed"), std::string::npos);
+    }
+}
+
+TEST(ThreadPool, ParallelForSingleFailureRethrowsOriginalType) {
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [](std::size_t i) {
+                                       if (i == 17) throw std::logic_error("one");
+                                   },
+                                   /*grain=*/4),
+                 std::logic_error);
+}
+
+TEST(ThreadPool, CastThreadsEnvOverridesDefaultWorkers) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) - single-threaded test setup
+    setenv("CAST_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::default_workers(), 3u);
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) - single-threaded test setup
+    setenv("CAST_THREADS", "not-a-number", 1);
+    EXPECT_GE(ThreadPool::default_workers(), 1u);
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) - single-threaded test setup
+    unsetenv("CAST_THREADS");
+    EXPECT_GE(ThreadPool::default_workers(), 1u);
+}
+
+TEST(ThreadPool, SubmitFromWorkerThreadCompletes) {
+    ThreadPool pool(2);
+    auto outer = pool.submit([&pool] {
+        auto inner = pool.submit([] { return 7; });
+        return inner.get() + 1;
+    });
+    EXPECT_EQ(outer.get(), 8);
+}
+
 TEST(ThreadPool, DestructorDrainsCleanly) {
     std::atomic<int> done{0};
     {

@@ -1,0 +1,104 @@
+// Concurrency hammer for the batch engine (runs in the TSan CI lane via
+// core_tests): several threads drive BatchRunner batches over one shared
+// thread pool while also evaluating plans through one shared EvalCache —
+// the exact sharing pattern of the experiment drivers (profiling batches
+// inside cluster planning inside an annealing evaluation). TSan verifies
+// the synchronization; the assertions verify the results stay
+// bit-identical under the contention.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/eval_cache.hpp"
+#include "core/utility.hpp"
+#include "sim/batch.hpp"
+#include "test_support.hpp"
+#include "workload/facebook.hpp"
+
+namespace cast::core {
+namespace {
+
+using cloud::StorageTier;
+using workload::AppKind;
+
+workload::JobSpec mk_job(int id, AppKind app, double gb) {
+    const int maps = std::max(1, static_cast<int>(gb / 0.128));
+    return workload::JobSpec{.id = id,
+                             .name = "hammer-" + std::to_string(id),
+                             .app = app,
+                             .input = GigaBytes{gb},
+                             .map_tasks = maps,
+                             .reduce_tasks = std::max(1, maps / 4),
+                             .reuse_group = std::nullopt};
+}
+
+std::vector<sim::BatchConfig> hammer_configs() {
+    std::vector<sim::BatchConfig> configs;
+    for (int i = 0; i < 12; ++i) {
+        const StorageTier tier =
+            i % 2 == 0 ? StorageTier::kPersistentSsd : StorageTier::kPersistentHdd;
+        sim::TierCapacities caps;
+        caps.set(tier, GigaBytes{150.0 + 25.0 * (i % 4)});
+        configs.push_back(sim::BatchConfig{
+            sim::JobPlacement::on_tier(
+                mk_job(i + 1, i % 3 == 0 ? AppKind::kSort : AppKind::kGrep, 2.0 + i % 3),
+            tier),
+            caps, sim::SimOptions{.seed = 11 + static_cast<std::uint64_t>(i),
+                                  .jitter_sigma = 0.06}});
+    }
+    return configs;
+}
+
+TEST(BatchHammer, ConcurrentBatchesAndSharedEvalCacheStayDeterministic) {
+    const auto cluster = cloud::ClusterSpec::paper_single_node();
+    const auto catalog = cloud::StorageCatalog::google_cloud();
+    const sim::BatchRunner runner(cluster, catalog);
+    const std::vector<sim::BatchConfig> configs = hammer_configs();
+
+    // Reference outcomes, computed serially up front.
+    const std::vector<sim::BatchOutcome> reference = runner.run(configs);
+
+    const auto& models = testing::small_models();
+    const workload::Workload workload = workload::synthesize_facebook_workload(3);
+    const PlanEvaluator evaluator(models, workload);
+    const TieringPlan plan =
+        TieringPlan::uniform(workload.size(), StorageTier::kPersistentSsd);
+    EvalCache cache;
+    const PlanEvaluation ref_eval = evaluator.evaluate(plan, &cache);
+
+    ThreadPool pool(4);
+    constexpr int kHammerThreads = 4;
+    constexpr int kRounds = 3;
+    std::vector<std::thread> threads;
+    std::vector<int> mismatches(kHammerThreads, 0);
+    threads.reserve(kHammerThreads);
+    for (int t = 0; t < kHammerThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int round = 0; round < kRounds; ++round) {
+                // Batch simulation over the shared pool...
+                const auto outcomes = runner.run(configs, &pool);
+                for (std::size_t i = 0; i < outcomes.size(); ++i) {
+                    if (outcomes[i].result.makespan.value() !=
+                        reference[i].result.makespan.value()) {
+                        ++mismatches[t];
+                    }
+                }
+                // ...interleaved with evaluations through the shared cache.
+                const PlanEvaluation ev = evaluator.evaluate(plan, &cache);
+                if (ev.utility != ref_eval.utility ||
+                    ev.total_runtime.value() != ref_eval.total_runtime.value()) {
+                    ++mismatches[t];
+                }
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    for (int t = 0; t < kHammerThreads; ++t) {
+        EXPECT_EQ(mismatches[t], 0) << "thread " << t << " saw divergent results";
+    }
+}
+
+}  // namespace
+}  // namespace cast::core
