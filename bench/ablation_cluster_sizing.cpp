@@ -9,7 +9,9 @@
 #include "core/cluster_planner.hpp"
 #include "workload/facebook.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    (void)cast::bench::BenchArgs::parse(argc, argv);  // --threads N pins pool sizes
+
     using namespace cast;
     bench::print_header("Ablation: cluster sizing x storage tiering",
                         "the future-work extension of §4.2.1 (not a paper figure)");

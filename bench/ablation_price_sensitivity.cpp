@@ -41,7 +41,9 @@ StorageTier best_tier_with_scaled_price(const model::PerfModelSet& models,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    (void)cast::bench::BenchArgs::parse(argc, argv);  // --threads N pins pool sizes
+
     bench::print_header("Ablation: storage price sensitivity of tier choices",
                         "robustness of the Fig. 1 insights (not a paper figure)");
     const auto models = bench::profile_models(cloud::ClusterSpec::paper_single_node());

@@ -4,9 +4,14 @@
 // comparison is immediate.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cloud/cluster.hpp"
 #include "cloud/storage.hpp"
@@ -16,6 +21,136 @@
 #include "workload/job.hpp"
 
 namespace cast::bench {
+
+/// Shared CLI surface of the throughput benches: `[--smoke] [--threads N]`.
+/// --smoke shrinks the run for the CTest smoke lane; --threads pins the
+/// worker count of every pool the process creates.
+struct BenchArgs {
+    bool smoke = false;
+    std::size_t threads = 0;  ///< 0 = CAST_THREADS / hardware default
+
+    /// Parse or die (usage to stderr, exit 2). --threads is applied by
+    /// exporting CAST_THREADS before any pool exists, so pools constructed
+    /// deep inside helpers (profile_models) size themselves identically to
+    /// ones the bench builds itself.
+    static BenchArgs parse(int argc, char** argv) {
+        BenchArgs args;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            std::string threads_value;
+            if (arg == "--smoke") {
+                args.smoke = true;
+                continue;
+            }
+            if (arg == "--threads" && i + 1 < argc) {
+                threads_value = argv[++i];
+            } else if (arg.rfind("--threads=", 0) == 0) {
+                threads_value = arg.substr(std::string("--threads=").size());
+            } else {
+                std::cerr << "unknown argument '" << arg << "'\nusage: " << argv[0]
+                          << " [--smoke] [--threads N]\n";
+                std::exit(2);
+            }
+            const long v = std::strtol(threads_value.c_str(), nullptr, 10);
+            if (v < 1) {
+                std::cerr << "--threads wants a positive integer, got '" << threads_value
+                          << "'\n";
+                std::exit(2);
+            }
+            args.threads = static_cast<std::size_t>(v);
+        }
+        if (args.threads > 0) {
+            setenv("CAST_THREADS", std::to_string(args.threads).c_str(), 1);
+        }
+        return args;
+    }
+};
+
+/// Minimal ordered JSON-object emitter for the BENCH_*.json documents.
+/// Numbers print through fmt() with explicit precision so committed
+/// baselines diff cleanly run-to-run; nested documents are pre-composed
+/// strings via add_raw.
+class JsonObject {
+public:
+    JsonObject& add(const std::string& key, const std::string& value) {
+        return add_raw(key, "\"" + value + "\"");
+    }
+    JsonObject& add(const std::string& key, const char* value) {
+        return add(key, std::string(value));
+    }
+    JsonObject& add(const std::string& key, double value, int precision = 3) {
+        return add_raw(key, fmt(value, precision));
+    }
+    JsonObject& add(const std::string& key, int value) {
+        return add_raw(key, std::to_string(value));
+    }
+    JsonObject& add(const std::string& key, long long value) {
+        return add_raw(key, std::to_string(value));
+    }
+    JsonObject& add(const std::string& key, unsigned long long value) {
+        return add_raw(key, std::to_string(value));
+    }
+    JsonObject& add(const std::string& key, unsigned long value) {
+        return add_raw(key, std::to_string(value));
+    }
+    JsonObject& add(const std::string& key, unsigned value) {
+        return add_raw(key, std::to_string(value));
+    }
+    JsonObject& add(const std::string& key, bool value) {
+        return add_raw(key, value ? "true" : "false");
+    }
+    JsonObject& add_raw(const std::string& key, const std::string& json) {
+        fields_.emplace_back(key, json);
+        return *this;
+    }
+
+    /// One-line form, for nesting inside another document via add_raw.
+    [[nodiscard]] std::string inline_str() const {
+        std::string out = "{";
+        for (std::size_t i = 0; i < fields_.size(); ++i) {
+            if (i > 0) out += ", ";
+            out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+        }
+        out += "}";
+        return out;
+    }
+
+    [[nodiscard]] std::string str(int indent = 2) const {
+        const std::string pad(static_cast<std::size_t>(indent), ' ');
+        std::string out = "{\n";
+        for (std::size_t i = 0; i < fields_.size(); ++i) {
+            out += pad + "\"" + fields_[i].first + "\": " + fields_[i].second;
+            out += i + 1 < fields_.size() ? ",\n" : "\n";
+        }
+        out += "}";
+        return out;
+    }
+
+private:
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Write `json` to `path` and echo it to stdout (the CI log copy).
+inline void write_bench_json(const std::string& path, const JsonObject& json) {
+    std::ofstream out(path);
+    out << json.str() << "\n";
+    std::cout << json.str() << "\n";
+}
+
+/// Linear-interpolated percentile (p in [0, 100]) of an unsorted sample.
+inline double percentile(std::vector<double> values, double p) {
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    return values[lo] + (values[hi] - values[lo]) * (rank - static_cast<double>(lo));
+}
+
+/// Seconds elapsed since `start` (steady clock).
+inline double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
 
 /// Build a job sized the way the paper's experiments are: one map task per
 /// 128 MB chunk, reduce parallelism at a quarter of the maps.

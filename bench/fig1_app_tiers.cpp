@@ -31,7 +31,9 @@ void print_table2() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    (void)cast::bench::BenchArgs::parse(argc, argv);  // --threads N pins pool sizes
+
     bench::print_header("Figure 1: app performance & tenant utility per storage tier",
                         "Figure 1 and Table 2");
     print_table2();

@@ -19,7 +19,9 @@ using cloud::tier_index;
 using workload::AppKind;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    (void)cast::bench::BenchArgs::parse(argc, argv);  // --threads N pins pool sizes
+
     bench::print_header("Figure 2: runtime vs per-VM persSSD capacity (10-VM cluster)",
                         "Figure 2");
     const auto cluster = cloud::ClusterSpec::paper_10_node();

@@ -12,7 +12,9 @@ using workload::AppKind;
 using workload::ReusePattern;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    (void)cast::bench::BenchArgs::parse(argc, argv);  // --threads N pins pool sizes
+
     bench::print_header("Figure 3: tenant utility under data reuse patterns", "Figure 3");
     const auto models = bench::profile_models(cloud::ClusterSpec::paper_single_node());
 

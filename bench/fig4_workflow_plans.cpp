@@ -11,7 +11,9 @@ using namespace cast;
 using cloud::StorageTier;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    (void)cast::bench::BenchArgs::parse(argc, argv);  // --threads N pins pool sizes
+
     bench::print_header("Figure 4: workflow tiering plans, cost vs runtime", "Figure 4");
     const auto cluster = cloud::ClusterSpec::paper_single_node();
     const auto models = bench::profile_models(cluster);

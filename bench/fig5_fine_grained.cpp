@@ -11,7 +11,9 @@ using namespace cast;
 using cloud::StorageTier;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    (void)cast::bench::BenchArgs::parse(argc, argv);  // --threads N pins pool sizes
+
     bench::print_header("Figure 5: fine-grained partitioning cannot avoid stragglers",
                         "Figure 5");
     // The paper's setup: 6 GB input, 24 map tasks scheduled as ONE wave.

@@ -19,7 +19,9 @@ struct Config {
 };
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    (void)cast::bench::BenchArgs::parse(argc, argv);  // --threads N pins pool sizes
+
     bench::print_header(
         "Figure 7: tenant utility / cost / capacity mix across configurations",
         "Figure 7 (a)-(c)");

@@ -22,7 +22,9 @@ using namespace cast;
 using cloud::StorageTier;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    (void)cast::bench::BenchArgs::parse(argc, argv);  // --threads N pins pool sizes
+
     bench::print_header("Figure 8: predicted vs observed runtime (model accuracy)",
                         "Figure 8");
     const auto cluster = cloud::ClusterSpec::paper_400_core();

@@ -13,7 +13,9 @@ using namespace cast;
 using cloud::StorageTier;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    (void)cast::bench::BenchArgs::parse(argc, argv);  // --threads N pins pool sizes
+
     bench::print_header("Figure 9: workflow deadline miss rate vs cost", "Figure 9");
     const auto cluster = cloud::ClusterSpec::paper_400_core();
     const auto models = bench::profile_models(cluster);

@@ -95,7 +95,9 @@ std::string curve_json(const std::string& name, const std::vector<Point>& points
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    (void)cast::bench::BenchArgs::parse(argc, argv);  // --threads N pins pool sizes
+
     std::cerr << "robustness_fault_sweep: deployment degradation vs fault intensity\n"
               << "(fault model per DESIGN.md; plans computed fault-free, deployed "
                  "under FaultProfile::scaled)\n";

@@ -12,10 +12,7 @@
 // number is reported. host_cores is recorded so a single-core CI host's
 // ~1x parallel factor is legible next to a multi-core host's scaling.
 //
-// Usage: sim_throughput [--smoke]   (--smoke shrinks the batch for ctest)
-#include <chrono>
-#include <cstring>
-#include <fstream>
+// Usage: sim_throughput [--smoke] [--threads N]
 #include <iostream>
 #include <string>
 #include <thread>
@@ -28,10 +25,6 @@ namespace {
 using namespace cast;
 using cloud::StorageTier;
 using workload::AppKind;
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-}
 
 /// A mixed batch shaped like the experiment drivers' workloads: every
 /// (app, tier, capacity, seed) combination the sweeps touch.
@@ -78,10 +71,10 @@ bool identical(const std::vector<sim::BatchOutcome>& a,
 }  // namespace
 
 int main(int argc, char** argv) {
-    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
     // Full mode needs enough jobs that each timed mode runs ~1 s — per-job
     // cost is ~0.3 ms, so timing noise swamps anything much smaller.
-    const int repeats = smoke ? 1 : 300;
+    const int repeats = args.smoke ? 1 : 300;
 
     const auto cluster = cloud::ClusterSpec::paper_10_node();
     const auto catalog = cloud::StorageCatalog::google_cloud();
@@ -89,7 +82,7 @@ int main(int argc, char** argv) {
     const std::vector<sim::BatchConfig> configs = make_batch(repeats);
     const auto n = static_cast<double>(configs.size());
     std::cerr << "sim_throughput: " << configs.size() << " configs"
-              << (smoke ? " (smoke)" : "") << "\n";
+              << (args.smoke ? " (smoke)" : "") << "\n";
 
     // Warm-up: fault in code paths and page in the catalog before timing.
     (void)runner.run({configs.front()});
@@ -98,19 +91,19 @@ int main(int argc, char** argv) {
     sim::set_scratch_reuse(false);
     auto t0 = std::chrono::steady_clock::now();
     const auto serial_alloc = runner.run(configs);
-    const double serial_alloc_s = seconds_since(t0);
+    const double serial_alloc_s = bench::seconds_since(t0);
 
     // 2. Serial, reused thread-local arena (the new hot path).
     sim::set_scratch_reuse(true);
     t0 = std::chrono::steady_clock::now();
     const auto serial_reuse = runner.run(configs);
-    const double serial_reuse_s = seconds_since(t0);
+    const double serial_reuse_s = bench::seconds_since(t0);
 
     // 3. Fanned over the work-stealing pool.
     ThreadPool pool;
     t0 = std::chrono::steady_clock::now();
     const auto pooled = runner.run(configs, &pool);
-    const double pooled_s = seconds_since(t0);
+    const double pooled_s = bench::seconds_since(t0);
 
     const bool deterministic =
         identical(serial_alloc, serial_reuse) && identical(serial_reuse, pooled);
@@ -134,24 +127,22 @@ int main(int argc, char** argv) {
               << fmt(batch_speedup, 2) << "x vs seed)\n"
               << "determinism: serial and pooled outcomes bit-identical\n";
 
-    std::ofstream out("BENCH_sim_throughput.json");
-    out << "{\n"
-        << "  \"bench\": \"sim_throughput\",\n"
-        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
-        << "  \"configs\": " << configs.size() << ",\n"
-        << "  \"host_cores\": " << host_cores << ",\n"
-        << "  \"pool_workers\": " << pool.worker_count() << ",\n"
-        << "  \"serial_alloc_s\": " << fmt(serial_alloc_s, 4) << ",\n"
-        << "  \"serial_reuse_s\": " << fmt(serial_reuse_s, 4) << ",\n"
-        << "  \"pooled_s\": " << fmt(pooled_s, 4) << ",\n"
-        << "  \"jobs_per_s_serial_alloc\": " << fmt(n / serial_alloc_s, 2) << ",\n"
-        << "  \"jobs_per_s_serial_reuse\": " << fmt(n / serial_reuse_s, 2) << ",\n"
-        << "  \"jobs_per_s_pooled\": " << fmt(n / pooled_s, 2) << ",\n"
-        << "  \"hot_path_speedup\": " << fmt(hot_path_speedup, 3) << ",\n"
-        << "  \"parallel_speedup\": " << fmt(parallel_speedup, 3) << ",\n"
-        << "  \"batch_speedup_vs_seed\": " << fmt(batch_speedup, 3) << ",\n"
-        << "  \"deterministic_across_modes\": true\n"
-        << "}\n";
-    std::cout << "BENCH_sim_throughput.json written\n";
+    bench::JsonObject json;
+    json.add("bench", "sim_throughput")
+        .add("smoke", args.smoke)
+        .add("configs", static_cast<unsigned long long>(configs.size()))
+        .add("host_cores", host_cores)
+        .add("pool_workers", static_cast<unsigned long long>(pool.worker_count()))
+        .add("serial_alloc_s", serial_alloc_s, 4)
+        .add("serial_reuse_s", serial_reuse_s, 4)
+        .add("pooled_s", pooled_s, 4)
+        .add("jobs_per_s_serial_alloc", n / serial_alloc_s, 2)
+        .add("jobs_per_s_serial_reuse", n / serial_reuse_s, 2)
+        .add("jobs_per_s_pooled", n / pooled_s, 2)
+        .add("hot_path_speedup", hot_path_speedup, 3)
+        .add("parallel_speedup", parallel_speedup, 3)
+        .add("batch_speedup_vs_seed", batch_speedup, 3)
+        .add("deterministic_across_modes", true);
+    bench::write_bench_json("BENCH_sim_throughput.json", json);
     return 0;
 }

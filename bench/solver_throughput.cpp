@@ -9,15 +9,11 @@
 // stdout — iterations/sec for each configuration, the speedup, and the
 // memo-table hit rate. Progress goes to stderr.
 //
+// Usage: solver_throughput [--smoke] [--threads N]
 // `--smoke` shrinks the iteration counts so the CTest smoke target finishes
 // in seconds; the committed BENCH_solver_throughput.json comes from a full
 // run.
-#include <chrono>
-#include <cstring>
-#include <fstream>
-#include <iomanip>
 #include <iostream>
-#include <sstream>
 #include <string>
 
 #include "bench_util.hpp"
@@ -28,12 +24,6 @@
 namespace {
 using namespace cast;
 using cloud::StorageTier;
-
-std::string num(double v, int prec = 3) {
-    std::ostringstream os;
-    os << std::fixed << std::setprecision(prec) << v;
-    return os.str();
-}
 
 struct ChainTiming {
     int iterations = 0;
@@ -50,39 +40,37 @@ ChainTiming time_chain(const core::AnnealingSolver& solver, const core::TieringP
                        std::uint64_t seed, core::EvalCache* cache) {
     const auto start = std::chrono::steady_clock::now();
     const core::AnnealingResult result = solver.run_chain(init, seed, cache);
-    const auto elapsed =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
     ChainTiming t;
     t.iterations = result.iterations;
-    t.seconds = elapsed.count();
+    t.seconds = bench::seconds_since(start);
     t.utility = result.evaluation.utility;
     if (cache != nullptr) t.cache = cache->stats();
     return t;
 }
 
-std::string timing_json(const char* name, const ChainTiming& t, bool with_cache) {
-    std::ostringstream os;
-    os << "  \"" << name << "\": {\"iterations\": " << t.iterations
-       << ", \"seconds\": " << num(t.seconds, 4)
-       << ", \"iters_per_sec\": " << num(t.iters_per_sec(), 1);
+std::string timing_json(const ChainTiming& t, bool with_cache) {
+    bench::JsonObject json;
+    json.add("iterations", t.iterations)
+        .add("seconds", t.seconds, 4)
+        .add("iters_per_sec", t.iters_per_sec(), 1);
     if (with_cache) {
-        os << ", \"cache_hits\": " << t.cache.hits << ", \"cache_misses\": " << t.cache.misses
-           << ", \"cache_hit_rate\": " << num(t.cache.hit_rate(), 4);
+        json.add("cache_hits", static_cast<unsigned long long>(t.cache.hits))
+            .add("cache_misses", static_cast<unsigned long long>(t.cache.misses))
+            .add("cache_hit_rate", t.cache.hit_rate(), 4);
     }
-    os << "}";
-    return os.str();
+    return json.inline_str();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
-    const int chain_iters = smoke ? 500 : 20000;
-    const int solve_iters = smoke ? 300 : 8000;
+    const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+    const int chain_iters = args.smoke ? 500 : 20000;
+    const int solve_iters = args.smoke ? 300 : 8000;
 
     std::cerr << "solver_throughput: annealing iterations/sec, memoized+incremental vs "
                  "full evaluation (Facebook workload, "
-              << (smoke ? "smoke" : "full") << " run)\n";
+              << (args.smoke ? "smoke" : "full") << " run)\n";
 
     const auto cluster = cloud::ClusterSpec::paper_400_core();
     model::ProfilerOptions popts;
@@ -117,9 +105,9 @@ int main(int argc, char** argv) {
         uncached.seconds > 0.0 && cached.seconds > 0.0 ? uncached.seconds / cached.seconds
                                                        : 0.0;
     const bool identical = uncached.utility == cached.utility;
-    std::cerr << "uncached: " << num(uncached.iters_per_sec(), 0) << " it/s, cached: "
-              << num(cached.iters_per_sec(), 0) << " it/s, speedup " << num(speedup, 2)
-              << "x, hit rate " << num(cached.cache.hit_rate(), 3)
+    std::cerr << "uncached: " << fmt(uncached.iters_per_sec(), 0) << " it/s, cached: "
+              << fmt(cached.iters_per_sec(), 0) << " it/s, speedup " << fmt(speedup, 2)
+              << "x, hit rate " << fmt(cached.cache.hit_rate(), 3)
               << (identical ? "" : "  [WARNING: utilities differ!]") << "\n";
 
     // --- Multi-chain solve sharing one cache across the thread pool.
@@ -131,35 +119,31 @@ int main(int argc, char** argv) {
     core::EvalCache solve_cache;
     const auto solve_start = std::chrono::steady_clock::now();
     const core::AnnealingResult solve_result = solve_solver.solve(init, &pool, &solve_cache);
-    const double solve_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - solve_start).count();
+    const double solve_seconds = bench::seconds_since(solve_start);
     std::cerr << "multi-chain solve: " << solve_result.iterations << " iterations in "
-              << num(solve_seconds, 2) << " s, shared-cache hit rate "
-              << num(solve_result.cache_stats.hit_rate(), 3) << "\n";
+              << fmt(solve_seconds, 2) << " s, shared-cache hit rate "
+              << fmt(solve_result.cache_stats.hit_rate(), 3) << "\n";
 
-    std::ostringstream json;
-    json << "{\n"
-         << "  \"benchmark\": \"solver_throughput\",\n"
-         << "  \"workload\": \"facebook_100_jobs\",\n"
-         << "  \"cluster\": \"" << cluster.worker_count << "x " << cluster.worker.name
-         << "\",\n"
-         << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
-         << timing_json("uncached_full_evaluation", uncached, false) << ",\n"
-         << timing_json("cached_incremental_evaluation", cached, true) << ",\n"
-         << "  \"speedup\": " << num(speedup, 2) << ",\n"
-         << "  \"bit_identical_utility\": " << (identical ? "true" : "false") << ",\n"
-         << "  \"multi_chain_solve\": {\"chains\": " << solve_opts.chains
-         << ", \"iterations\": " << solve_result.iterations
-         << ", \"seconds\": " << num(solve_seconds, 4)
-         << ", \"iters_per_sec\": " << num(solve_result.iterations / solve_seconds, 1)
-         << ", \"best_chain\": " << solve_result.best_chain
-         << ", \"cache_hit_rate\": " << num(solve_result.cache_stats.hit_rate(), 4) << "}\n"
-         << "}\n";
+    bench::JsonObject multi_chain;
+    multi_chain.add("chains", solve_opts.chains)
+        .add("iterations", solve_result.iterations)
+        .add("seconds", solve_seconds, 4)
+        .add("iters_per_sec", solve_result.iterations / solve_seconds, 1)
+        .add("best_chain", solve_result.best_chain)
+        .add("cache_hit_rate", solve_result.cache_stats.hit_rate(), 4);
 
-    std::ofstream out("BENCH_solver_throughput.json");
-    out << json.str();
-    out.close();
-    std::cout << json.str();
+    bench::JsonObject json;
+    json.add("benchmark", "solver_throughput")
+        .add("workload", "facebook_100_jobs")
+        .add("cluster",
+             std::to_string(cluster.worker_count) + "x " + cluster.worker.name)
+        .add("mode", args.smoke ? "smoke" : "full")
+        .add_raw("uncached_full_evaluation", timing_json(uncached, false))
+        .add_raw("cached_incremental_evaluation", timing_json(cached, true))
+        .add("speedup", speedup, 2)
+        .add("bit_identical_utility", identical)
+        .add_raw("multi_chain_solve", multi_chain.inline_str());
+    bench::write_bench_json("BENCH_solver_throughput.json", json);
 
     if (!identical) {
         std::cerr << "FAIL: cached and uncached utilities differ\n";
@@ -167,8 +151,8 @@ int main(int argc, char** argv) {
     }
     // The smoke lane only checks it runs and stays bit-identical; the full
     // run is expected to clear the 3x bar.
-    if (!smoke && speedup < 3.0) {
-        std::cerr << "FAIL: speedup " << num(speedup, 2) << "x below the 3x target\n";
+    if (!args.smoke && speedup < 3.0) {
+        std::cerr << "FAIL: speedup " << fmt(speedup, 2) << "x below the 3x target\n";
         return 1;
     }
     return 0;

@@ -27,7 +27,9 @@ double measured_stream_mbps(const cloud::StorageService& service, double capacit
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    (void)cast::bench::BenchArgs::parse(argc, argv);  // --threads N pins pool sizes
+
     bench::print_header("Table 1: Google Cloud storage details", "Table 1");
     const StorageCatalog catalog = StorageCatalog::google_cloud();
 

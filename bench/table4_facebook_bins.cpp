@@ -6,7 +6,9 @@
 #include "bench_util.hpp"
 #include "workload/facebook.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    (void)cast::bench::BenchArgs::parse(argc, argv);  // --threads N pins pool sizes
+
     using namespace cast;
     bench::print_header("Table 4: Facebook trace bins and synthesized workload", "Table 4");
 

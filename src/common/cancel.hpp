@@ -1,0 +1,38 @@
+// Cooperative cancellation for long-running solves.
+//
+// A CancelToken is a shared stop flag the planning service hands to every
+// budgeted solve it dispatches: the solver polls stop_requested() at chain-
+// segment boundaries (cheap relaxed load) and, when it fires, returns its
+// best-so-far feasible result flagged budget_exhausted instead of throwing
+// or blocking. One token may be observed by many solves at once (service
+// shutdown cancels the whole in-flight set), so all operations are atomic
+// and the token itself is immovable.
+#pragma once
+
+#include <atomic>
+
+namespace cast {
+
+class CancelToken {
+public:
+    CancelToken() = default;
+    CancelToken(const CancelToken&) = delete;
+    CancelToken& operator=(const CancelToken&) = delete;
+
+    /// Ask every observing solve to stop at its next segment boundary.
+    /// Idempotent and safe from any thread.
+    void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+
+    [[nodiscard]] bool stop_requested() const noexcept {
+        return stop_.load(std::memory_order_relaxed);
+    }
+
+    /// Re-arm the token (between serving generations; never while solves
+    /// that observe it are in flight).
+    void reset() noexcept { stop_.store(false, std::memory_order_relaxed); }
+
+private:
+    std::atomic<bool> stop_{false};
+};
+
+}  // namespace cast

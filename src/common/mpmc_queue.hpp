@@ -1,0 +1,128 @@
+// Bounded multi-producer/multi-consumer submission queue with priorities.
+//
+// The planning service's admission layer: producers (request submitters)
+// try_push and are told immediately when the queue is full — backpressure
+// is an explicit reject, never an unbounded buffer — while the consumer
+// (the dispatcher) pops the highest-priority items first, FIFO within a
+// priority level, and can drain a whole compatible batch under one lock
+// acquisition. close() wakes every waiter; items already admitted are
+// still handed out after close so no accepted request is ever dropped.
+//
+// Deliberately mutex+cv rather than a lock-free ring: operations are a few
+// pointer moves under a lock that is held for nanoseconds, while the work
+// items they carry are multi-millisecond solves — the queue is never the
+// bottleneck, and the simple implementation is trivially correct under
+// TSan.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cast {
+
+template <typename T>
+class BoundedPriorityQueue {
+public:
+    /// `capacity` bounds the total item count across all priority levels;
+    /// `levels` is the number of priority classes (0 = most urgent).
+    explicit BoundedPriorityQueue(std::size_t capacity, std::size_t levels = 3)
+        : levels_(levels), capacity_(capacity) {
+        CAST_EXPECTS(capacity >= 1);
+        CAST_EXPECTS(levels >= 1);
+    }
+
+    BoundedPriorityQueue(const BoundedPriorityQueue&) = delete;
+    BoundedPriorityQueue& operator=(const BoundedPriorityQueue&) = delete;
+
+    /// Admit an item at `priority` (clamped to the highest configured
+    /// level). Returns false — and leaves `item` untouched beyond the
+    /// failed move-attempt — when the queue is full or closed; the caller
+    /// owns the reject path.
+    [[nodiscard]] bool try_push(T item, std::size_t priority = 1) {
+        {
+            std::lock_guard lock(mutex_);
+            if (closed_ || size_ >= capacity_) return false;
+            const std::size_t level = priority < levels_.size() ? priority
+                                                                : levels_.size() - 1;
+            levels_[level].push_back(std::move(item));
+            ++size_;
+        }
+        cv_.notify_one();
+        return true;
+    }
+
+    /// Pop the single highest-priority item. Blocks until an item arrives
+    /// or the queue is closed AND drained (then returns nullopt).
+    [[nodiscard]] std::optional<T> pop() {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return size_ > 0 || closed_; });
+        if (size_ == 0) return std::nullopt;
+        return pop_one_locked();
+    }
+
+    /// Drain up to `max` items into `out` (appended), highest priority
+    /// first, under one lock acquisition. Blocks for the first item like
+    /// pop(); returns the number appended — 0 only when closed and drained.
+    std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+        CAST_EXPECTS(max >= 1);
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return size_ > 0 || closed_; });
+        std::size_t n = 0;
+        while (size_ > 0 && n < max) {
+            out.push_back(pop_one_locked());
+            ++n;
+        }
+        return n;
+    }
+
+    /// Refuse new items and wake every blocked consumer. Items admitted
+    /// before close() remain poppable (graceful drain).
+    void close() {
+        {
+            std::lock_guard lock(mutex_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::lock_guard lock(mutex_);
+        return size_;
+    }
+
+    [[nodiscard]] bool closed() const {
+        std::lock_guard lock(mutex_);
+        return closed_;
+    }
+
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+private:
+    /// Precondition: mutex held, size_ > 0.
+    [[nodiscard]] T pop_one_locked() {
+        for (auto& level : levels_) {
+            if (level.empty()) continue;
+            T item = std::move(level.front());
+            level.pop_front();
+            --size_;
+            return item;
+        }
+        throw InvariantError("BoundedPriorityQueue: size/level bookkeeping diverged");
+    }
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<std::deque<T>> levels_;
+    std::size_t capacity_;
+    std::size_t size_ = 0;
+    bool closed_ = false;
+};
+
+}  // namespace cast

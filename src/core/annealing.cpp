@@ -18,6 +18,7 @@ AnnealingSolver::AnnealingSolver(const PlanEvaluator& evaluator, AnnealingOption
     CAST_EXPECTS(options_.tier_move_probability >= 0.0 &&
                  options_.tier_move_probability <= 1.0);
     CAST_EXPECTS(options_.chains >= 1);
+    CAST_EXPECTS(options_.max_wall_ms >= 0.0);
 }
 
 std::vector<MoveUnit> AnnealingSolver::move_units() const {
@@ -117,6 +118,12 @@ TieringPlan AnnealingSolver::propose_neighbor(Rng& rng, const TieringPlan& curr,
 
 AnnealingResult AnnealingSolver::run_chain(const TieringPlan& initial, std::uint64_t seed,
                                            EvalCache* cache) const {
+    return run_chain(initial, seed, cache, SolveDeadline::from(options_));
+}
+
+AnnealingResult AnnealingSolver::run_chain(const TieringPlan& initial, std::uint64_t seed,
+                                           EvalCache* cache,
+                                           const SolveDeadline& deadline) const {
     const auto units = move_units();
     CAST_EXPECTS_MSG(!units.empty(), "cannot anneal an empty workload");
     Rng rng(seed);
@@ -143,9 +150,18 @@ AnnealingResult AnnealingSolver::run_chain(const TieringPlan& initial, std::uint
     CAST_ENSURES(u_scale > 0.0);
     double temperature = options_.initial_temperature;
 
+    const bool bounded = !deadline.unbounded();
     std::vector<std::size_t> changed;
     changed.reserve(evaluator_->workload().size());
     for (int iter = 0; iter < options_.iter_max; ++iter) {
+        // Budget/cancel poll once per segment. Checking at iter 0 too makes
+        // an already-expired deadline (chains queued behind others on a
+        // small pool) return the evaluated initial plan immediately.
+        if (bounded && iter % AnnealingOptions::kBudgetCheckStride == 0 &&
+            deadline.expired()) {
+            best.budget_exhausted = true;
+            break;
+        }
         temperature = std::max(temperature * options_.cooling, options_.min_temperature);
 
         TieringPlan neighbor = propose_neighbor(rng, curr, units, changed);
@@ -178,6 +194,11 @@ AnnealingResult AnnealingSolver::run_chain(const TieringPlan& initial, std::uint
 
 AnnealingResult AnnealingSolver::solve(const TieringPlan& initial, ThreadPool* pool,
                                        EvalCache* cache) const {
+    // One deadline for the whole solve, armed before any other work so the
+    // wall budget covers lint and start-plan evaluation too: chains
+    // dispatched late (sequential execution, or more chains than workers)
+    // inherit the remaining budget rather than each restarting the clock.
+    const SolveDeadline deadline = SolveDeadline::from(options_);
     // Pre-solve lint: reject inputs no annealing chain can fix (conflicting
     // reuse-group pins, unmodeled applications, a broken catalog) before
     // burning iterations on them.
@@ -211,8 +232,8 @@ AnnealingResult AnnealingSolver::solve(const TieringPlan& initial, ThreadPool* p
     }
     std::vector<AnnealingResult> results(static_cast<std::size_t>(options_.chains));
     auto run_one = [&](std::size_t c) {
-        results[c] =
-            run_chain(starts[c % starts.size()], options_.seed + 7919 * (c + 1), cache);
+        results[c] = run_chain(starts[c % starts.size()], options_.seed + 7919 * (c + 1),
+                               cache, deadline);
     };
     if (pool != nullptr && options_.chains > 1) {
         pool->parallel_for(results.size(), run_one);
@@ -230,10 +251,12 @@ AnnealingResult AnnealingSolver::solve(const TieringPlan& initial, ThreadPool* p
     out.iterations = 0;
     out.accepted_moves = 0;
     out.infeasible_neighbors = 0;
+    out.budget_exhausted = false;
     for (const AnnealingResult& r : results) {
         out.iterations += r.iterations;
         out.accepted_moves += r.accepted_moves;
         out.infeasible_neighbors += r.infeasible_neighbors;
+        out.budget_exhausted = out.budget_exhausted || r.budget_exhausted;
     }
     if (cache != nullptr) out.cache_stats = cache->stats();
     return out;

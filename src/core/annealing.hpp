@@ -11,10 +11,12 @@
 // improves plan quality at fixed wall-clock.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/eval_cache.hpp"
@@ -61,6 +63,50 @@ struct AnnealingOptions {
     /// uncached evaluator for identical seeds; the flag exists so the
     /// solver_throughput bench can measure the uncached baseline.
     bool use_evaluation_cache = true;
+    /// Wall-clock budget for the WHOLE solve — all chains together — in
+    /// milliseconds; 0 disables the budget. A chain that reaches the
+    /// deadline stops at its next segment boundary and returns its
+    /// best-so-far plan (feasible by construction: the search never keeps
+    /// an infeasible incumbent), with the result flagged budget_exhausted.
+    /// Exhaustion is a degraded answer, never an error.
+    double max_wall_ms = 0.0;
+    /// Cooperative cancellation, polled together with the budget at chain
+    /// segment boundaries (every kBudgetCheckStride iterations). The token
+    /// must outlive the solve; cancellation reports as budget_exhausted.
+    const CancelToken* cancel = nullptr;
+
+    /// Iterations between budget/cancel polls: coarse enough that the
+    /// steady_clock read vanishes against ~µs evaluations, fine enough
+    /// that deadline overshoot stays well under a millisecond.
+    static constexpr int kBudgetCheckStride = 32;
+};
+
+/// Shared solve deadline derived from options at solve() entry, so every
+/// chain — run in parallel or sequentially — answers to one wall clock.
+struct SolveDeadline {
+    std::optional<std::chrono::steady_clock::time_point> at;
+    const CancelToken* cancel = nullptr;
+
+    [[nodiscard]] static SolveDeadline from(const AnnealingOptions& options) {
+        SolveDeadline d;
+        if (options.max_wall_ms > 0.0) {
+            d.at = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double, std::milli>(options.max_wall_ms));
+        }
+        d.cancel = options.cancel;
+        return d;
+    }
+
+    [[nodiscard]] bool expired() const {
+        if (cancel != nullptr && cancel->stop_requested()) return true;
+        return at.has_value() && std::chrono::steady_clock::now() >= *at;
+    }
+
+    /// True when neither a wall budget nor a token is armed — the polling
+    /// branch is skipped entirely, keeping unbudgeted solves bit-for-bit on
+    /// their historical trajectories at zero cost.
+    [[nodiscard]] bool unbounded() const { return !at.has_value() && cancel == nullptr; }
 };
 
 struct AnnealingResult {
@@ -80,6 +126,10 @@ struct AnnealingResult {
     /// Memo-table statistics of the run (all zero when the cache is
     /// disabled).
     EvalCacheStats cache_stats{};
+    /// True when the wall budget (or a cancellation) stopped the search
+    /// early: the plan is the best feasible one found so far, not the
+    /// converged optimum. From solve() it is the OR across chains.
+    bool budget_exhausted = false;
 };
 
 /// One move unit — a single job, or a whole reuse group in group_moves
@@ -109,9 +159,14 @@ public:
 
     /// One chain with an explicit seed (exposed for tests/determinism).
     /// Uses `cache` when supplied, else its own, unless the options disable
-    /// caching altogether.
+    /// caching altogether. The deadline defaults to one freshly derived
+    /// from the options; solve() passes its own so all chains share one
+    /// wall clock.
     [[nodiscard]] AnnealingResult run_chain(const TieringPlan& initial, std::uint64_t seed,
                                             EvalCache* cache = nullptr) const;
+    [[nodiscard]] AnnealingResult run_chain(const TieringPlan& initial, std::uint64_t seed,
+                                            EvalCache* cache,
+                                            const SolveDeadline& deadline) const;
 
     /// The move units: single jobs, or reuse groups in group_moves mode,
     /// with membership/pin masks precomputed. Exposed for tests.

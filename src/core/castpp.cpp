@@ -20,7 +20,13 @@ using cloud::tier_index;
 namespace {
 
 CastResult plan_with(const model::PerfModelSet& models, const workload::Workload& workload,
-                     const CastOptions& options, bool reuse_aware, ThreadPool* pool) {
+                     const CastOptions& options, bool reuse_aware, ThreadPool* pool,
+                     EvalCache* cache) {
+    // A wall budget covers the WHOLE facade, not just annealing: greedy
+    // initialization runs on this clock too, and the annealing stage gets
+    // only what remains (serving p99 targets would otherwise quietly slip
+    // by the greedy time).
+    const auto entry = std::chrono::steady_clock::now();
     // Pre-solve lint: errors (unplaceable reuse groups, unmodeled apps, a
     // broken catalog) reject before any search spends time; warnings ride
     // along into the result for reports.
@@ -34,9 +40,15 @@ CastResult plan_with(const model::PerfModelSet& models, const workload::Workload
 
     // One memo table for the whole pipeline: runtimes computed during the
     // greedy sweep (keyed on job content, not workload index) are reused by
-    // every annealing chain.
-    EvalCache shared_cache;
-    EvalCache* cache = options.annealing.use_evaluation_cache ? &shared_cache : nullptr;
+    // every annealing chain. A caller-supplied cache (the serve layer's
+    // snapshot-scoped table) replaces the per-call one, so the memo also
+    // survives across requests.
+    EvalCache local_cache;
+    if (!options.annealing.use_evaluation_cache) {
+        cache = nullptr;
+    } else if (cache == nullptr) {
+        cache = &local_cache;
+    }
 
     GreedySolver greedy(evaluator);
     TieringPlan initial = greedy.solve(options.greedy_init, cache);
@@ -58,10 +70,26 @@ CastResult plan_with(const model::PerfModelSet& models, const workload::Workload
 
     AnnealingOptions annealing = options.annealing;
     annealing.group_moves = reuse_aware;
+    if (annealing.max_wall_ms > 0.0) {
+        const double spent =
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                      entry)
+                .count();
+        // Keep the budget armed even when greedy ate all of it: a tiny
+        // positive remainder makes every chain bail at its first poll and
+        // return its evaluated (feasible) start plan, flagged exhausted.
+        annealing.max_wall_ms = std::max(annealing.max_wall_ms - spent, 1e-3);
+    }
     AnnealingSolver solver(evaluator, annealing);
     AnnealingResult result = solver.solve(initial, pool, cache);
-    CastResult out{std::move(result.plan), std::move(result.evaluation),
-                   std::move(initial)};
+    CastResult out;
+    out.plan = std::move(result.plan);
+    out.evaluation = std::move(result.evaluation);
+    out.greedy_initial = std::move(initial);
+    out.iterations = result.iterations;
+    out.best_chain = result.best_chain;
+    out.cache_stats = result.cache_stats;
+    out.budget_exhausted = result.budget_exhausted;
     for (const lint::Finding* f : pre.at(lint::Severity::kWarning)) {
         out.lint_notes.push_back(f->format());
     }
@@ -71,14 +99,14 @@ CastResult plan_with(const model::PerfModelSet& models, const workload::Workload
 }  // namespace
 
 CastResult plan_cast(const model::PerfModelSet& models, const workload::Workload& workload,
-                     const CastOptions& options, ThreadPool* pool) {
-    return plan_with(models, workload, options, /*reuse_aware=*/false, pool);
+                     const CastOptions& options, ThreadPool* pool, EvalCache* cache) {
+    return plan_with(models, workload, options, /*reuse_aware=*/false, pool, cache);
 }
 
 CastResult plan_cast_plus_plus(const model::PerfModelSet& models,
                                const workload::Workload& workload, const CastOptions& options,
-                               ThreadPool* pool) {
-    return plan_with(models, workload, options, /*reuse_aware=*/true, pool);
+                               ThreadPool* pool, EvalCache* cache) {
+    return plan_with(models, workload, options, /*reuse_aware=*/true, pool, cache);
 }
 
 // ---------------------------------------------------------------------------
@@ -251,6 +279,7 @@ WorkflowSolver::WorkflowSolver(const WorkflowEvaluator& evaluator, AnnealingOpti
     : evaluator_(&evaluator), options_(std::move(options)), deadline_safety_(deadline_safety) {
     CAST_EXPECTS(options_.iter_max >= 1);
     CAST_EXPECTS(!options_.overprov_choices.empty());
+    CAST_EXPECTS(options_.max_wall_ms >= 0.0);
     CAST_EXPECTS(deadline_safety_ > 0.0 && deadline_safety_ <= 1.0);
     // cᵢ is a continuous decision variable in the paper; our move set
     // discretizes it. Extend the factor menu so a uniform plan can reach
@@ -285,6 +314,11 @@ double WorkflowSolver::score(const WorkflowEvaluation& eval) const {
 }
 
 WorkflowSolveResult WorkflowSolver::run_chain(std::uint64_t seed, EvalCache* cache) const {
+    return run_chain(seed, cache, SolveDeadline::from(options_));
+}
+
+WorkflowSolveResult WorkflowSolver::run_chain(std::uint64_t seed, EvalCache* cache,
+                                              const SolveDeadline& deadline) const {
     const auto& wf = evaluator_->workflow();
     const std::vector<std::size_t> dfs = wf.dfs_order();
     CAST_EXPECTS(!dfs.empty());
@@ -323,7 +357,18 @@ WorkflowSolveResult WorkflowSolver::run_chain(std::uint64_t seed, EvalCache* cac
     double temperature = options_.initial_temperature;
     std::size_t cursor = 0;
 
+    const bool bounded = !deadline.unbounded();
     for (int iter = 0; iter < options_.iter_max; ++iter) {
+        // Budget/cancel poll once per segment (incl. iter 0, so a chain
+        // dispatched after the deadline returns its evaluated start plan
+        // immediately). Best-so-far is feasible whenever any evaluated
+        // plan was — the persSSD-uniform retreat above guarantees one for
+        // every workflow the lint gate admits.
+        if (bounded && iter % AnnealingOptions::kBudgetCheckStride == 0 &&
+            deadline.expired()) {
+            best.budget_exhausted = true;
+            break;
+        }
         temperature = std::max(temperature * options_.cooling, options_.min_temperature);
 
         // DFS-order traversal of the DAG for neighbor generation (§4.3).
@@ -380,6 +425,9 @@ WorkflowPlan WorkflowSolver::best_uniform_plan(EvalCache* cache) const {
 }
 
 WorkflowSolveResult WorkflowSolver::solve(ThreadPool* pool, EvalCache* cache) const {
+    // Arm the shared wall clock before lint and the uniform sweep so the
+    // whole solve answers to one budget.
+    const SolveDeadline deadline = SolveDeadline::from(options_);
     // Pre-solve lint. Structural errors reject; an unattainable deadline
     // (L009's certified lower bound) is demoted to a note because this
     // solver's contract is best-effort — the §5.2.2 baselines count misses,
@@ -400,7 +448,7 @@ WorkflowSolveResult WorkflowSolver::solve(ThreadPool* pool, EvalCache* cache) co
 
     std::vector<WorkflowSolveResult> results(static_cast<std::size_t>(options_.chains));
     auto run_one = [&](std::size_t c) {
-        results[c] = run_chain(options_.seed + 104729 * (c + 1), cache);
+        results[c] = run_chain(options_.seed + 104729 * (c + 1), cache, deadline);
     };
     if (pool != nullptr && options_.chains > 1) {
         pool->parallel_for(results.size(), run_one);
@@ -423,7 +471,11 @@ WorkflowSolveResult WorkflowSolver::solve(ThreadPool* pool, EvalCache* cache) co
     if (!fallback_wins) chosen.best_chain = static_cast<int>(best);
     // Report the whole search's effort, not just the winner's share.
     chosen.iterations = 0;
-    for (const WorkflowSolveResult& r : results) chosen.iterations += r.iterations;
+    chosen.budget_exhausted = false;
+    for (const WorkflowSolveResult& r : results) {
+        chosen.iterations += r.iterations;
+        chosen.budget_exhausted = chosen.budget_exhausted || r.budget_exhausted;
+    }
     if (cache != nullptr) chosen.cache_stats = cache->stats();
     for (const lint::Finding* f : pre.at(lint::Severity::kWarning)) {
         chosen.lint_notes.push_back(f->format());

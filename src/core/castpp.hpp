@@ -38,19 +38,32 @@ struct CastResult {
     TieringPlan greedy_initial;
     /// Pre-solve lint warnings (formatted findings); empty on a clean input.
     std::vector<std::string> lint_notes;
+    /// Search-effort counters and memo-table statistics, carried up from
+    /// the annealing stage so CLI/serve reports can show them without
+    /// re-running anything.
+    int iterations = 0;
+    int best_chain = 0;
+    EvalCacheStats cache_stats{};
+    /// True when options.annealing.max_wall_ms (or a CancelToken) stopped
+    /// the search early; the plan is best-so-far feasible, not converged.
+    bool budget_exhausted = false;
 };
 
-/// Basic CAST: reuse-oblivious utility maximization.
+/// Basic CAST: reuse-oblivious utility maximization. When `cache` is
+/// supplied the whole pipeline (greedy init + every annealing chain)
+/// memoizes through it instead of a per-call table — the serve layer passes
+/// its snapshot-scoped cache here so REG runtimes amortize across requests.
 [[nodiscard]] CastResult plan_cast(const model::PerfModelSet& models,
                                    const workload::Workload& workload,
                                    const CastOptions& options = {},
-                                   ThreadPool* pool = nullptr);
+                                   ThreadPool* pool = nullptr, EvalCache* cache = nullptr);
 
 /// CAST++ (Enhancement 1): reuse-aware utility maximization.
 [[nodiscard]] CastResult plan_cast_plus_plus(const model::PerfModelSet& models,
                                              const workload::Workload& workload,
                                              const CastOptions& options = {},
-                                             ThreadPool* pool = nullptr);
+                                             ThreadPool* pool = nullptr,
+                                             EvalCache* cache = nullptr);
 
 // ---------------------------------------------------------------------------
 // Workflow planning (Enhancement 2).
@@ -129,6 +142,9 @@ struct WorkflowSolveResult {
     /// is below the certified runtime lower bound (the solve is then
     /// best-effort by construction).
     std::vector<std::string> lint_notes;
+    /// True when the wall budget or a cancellation stopped the search
+    /// early (best-so-far result; OR across chains from solve()).
+    bool budget_exhausted = false;
 };
 
 /// CAST++ deadline mode: minimize $total subject to the workflow deadline
@@ -148,6 +164,10 @@ public:
                                             EvalCache* cache = nullptr) const;
     [[nodiscard]] WorkflowSolveResult run_chain(std::uint64_t seed,
                                                 EvalCache* cache = nullptr) const;
+    /// Chain under an explicit shared deadline (solve() passes its own so
+    /// all chains answer to one wall clock).
+    [[nodiscard]] WorkflowSolveResult run_chain(std::uint64_t seed, EvalCache* cache,
+                                                const SolveDeadline& deadline) const;
 
 private:
     /// Score to maximize: -cost when the deadline holds, else heavily

@@ -74,7 +74,7 @@ Seconds EvalCache::job_runtime(const model::PerfModelSet& models,
     const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
     L1Entry& slot = l1[h & (kL1Slots - 1)];
     if (slot.owner == this && slot.generation == gen && slot.key == key) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        l1_hits_.fetch_add(1, std::memory_order_relaxed);
         return Seconds{slot.value};
     }
 
@@ -83,7 +83,7 @@ Seconds EvalCache::job_runtime(const model::PerfModelSet& models,
         std::lock_guard lock(shard.mutex);
         const auto it = shard.map.find(key);
         if (it != shard.map.end()) {
-            hits_.fetch_add(1, std::memory_order_relaxed);
+            shared_hits_.fetch_add(1, std::memory_order_relaxed);
             slot = L1Entry{this, gen, key, it->second};
             return Seconds{it->second};
         }
@@ -96,13 +96,20 @@ Seconds EvalCache::job_runtime(const model::PerfModelSet& models,
         std::lock_guard lock(shard.mutex);
         shard.map.emplace(key, t.value());
     }
+    inserts_.fetch_add(1, std::memory_order_relaxed);
     slot = L1Entry{this, gen, key, t.value()};
     return t;
 }
 
 EvalCacheStats EvalCache::stats() const {
-    return EvalCacheStats{hits_.load(std::memory_order_relaxed),
-                          misses_.load(std::memory_order_relaxed)};
+    EvalCacheStats s;
+    s.l1_hits = l1_hits_.load(std::memory_order_relaxed);
+    s.shared_hits = shared_hits_.load(std::memory_order_relaxed);
+    s.hits = s.l1_hits + s.shared_hits;
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.inserts = inserts_.load(std::memory_order_relaxed);
+    s.generation_bumps = generation_bumps_.load(std::memory_order_relaxed);
+    return s;
 }
 
 std::size_t EvalCache::size() const {
@@ -122,8 +129,14 @@ void EvalCache::clear() {
     // A fresh generation invalidates every thread's L1 slots at once.
     generation_.store(g_generation.fetch_add(1, std::memory_order_relaxed) + 1,
                       std::memory_order_relaxed);
-    hits_.store(0, std::memory_order_relaxed);
+    l1_hits_.store(0, std::memory_order_relaxed);
+    shared_hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
+    inserts_.store(0, std::memory_order_relaxed);
+    // The bump counter deliberately survives the reset: it records how many
+    // times this cache's generation changed (the serve layer's epoch
+    // invalidations), which is exactly the history clear() would erase.
+    generation_bumps_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace cast::core

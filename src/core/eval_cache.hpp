@@ -50,8 +50,20 @@
 namespace cast::core {
 
 struct EvalCacheStats {
+    /// Total hits (L1 front + shared table); kept as a field so existing
+    /// consumers read one number.
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /// Hits served by the thread-local direct-mapped front (no lock).
+    std::uint64_t l1_hits = 0;
+    /// Hits served by the sharded shared table (one shard mutex).
+    std::uint64_t shared_hits = 0;
+    /// Entries stored into the shared table. Can exceed the table size
+    /// when racing threads compute one key twice (benign: same bits).
+    std::uint64_t inserts = 0;
+    /// Times clear() re-generationed the cache (snapshot swaps, epoch
+    /// invalidation) over this cache's lifetime. Survives clear() itself.
+    std::uint64_t generation_bumps = 0;
 
     [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
     [[nodiscard]] double hit_rate() const {
@@ -119,8 +131,11 @@ private:
     std::unique_ptr<Shard[]> shards_;
     std::size_t shard_mask_;
     std::atomic<std::uint64_t> generation_;
-    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> l1_hits_{0};
+    std::atomic<std::uint64_t> shared_hits_{0};
     std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> inserts_{0};
+    std::atomic<std::uint64_t> generation_bumps_{0};
 };
 
 }  // namespace cast::core

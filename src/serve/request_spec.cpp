@@ -1,0 +1,138 @@
+#include "serve/request_spec.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "workload/spec_parser.hpp"
+
+namespace cast::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, int line, const std::string& what) {
+    throw ValidationError("request file " + path + ", line " + std::to_string(line) + ": " +
+                          what);
+}
+
+std::uint64_t parse_count(const std::string& path, int line, const std::string& key,
+                          const std::string& value) {
+    try {
+        const long long v = std::stoll(value);
+        if (v < 0) fail(path, line, key + " must be >= 0, got " + value);
+        return static_cast<std::uint64_t>(v);
+    } catch (const ValidationError&) {
+        throw;
+    } catch (const std::exception&) {
+        fail(path, line, "malformed " + key + " value '" + value + "'");
+    }
+}
+
+double parse_ms(const std::string& path, int line, const std::string& value) {
+    try {
+        const double v = std::stod(value);
+        if (!(v >= 0.0)) fail(path, line, "budget-ms must be >= 0, got " + value);
+        return v;
+    } catch (const ValidationError&) {
+        throw;
+    } catch (const std::exception&) {
+        fail(path, line, "malformed budget-ms value '" + value + "'");
+    }
+}
+
+Priority parse_priority(const std::string& path, int line, const std::string& value) {
+    if (value == "high") return Priority::kHigh;
+    if (value == "normal") return Priority::kNormal;
+    if (value == "low") return Priority::kLow;
+    fail(path, line, "unknown priority '" + value + "' (want high|normal|low)");
+}
+
+}  // namespace
+
+std::vector<PlanRequest> load_requests(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw ValidationError("cannot read request file: " + path);
+    const std::filesystem::path base = std::filesystem::path(path).parent_path();
+
+    // Each spec file is parsed once even when many lines (or repeats)
+    // reference it — a replay file naturally hammers a few templates.
+    std::map<std::string, workload::ParsedSpec> spec_cache;
+    std::vector<PlanRequest> requests;
+    std::uint64_t next_id = 1;
+
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (const auto hash = line.find('#'); hash != std::string::npos) {
+            line.erase(hash);
+        }
+        std::istringstream tokens(line);
+        std::string keyword;
+        if (!(tokens >> keyword)) continue;  // blank/comment line
+        if (keyword != "request") {
+            fail(path, lineno, "unknown directive '" + keyword + "' (want 'request')");
+        }
+        std::string spec_rel;
+        if (!(tokens >> spec_rel)) fail(path, lineno, "missing spec path after 'request'");
+        const std::string spec_path = (base / spec_rel).string();
+
+        PlanRequest proto;
+        std::uint64_t repeat = 1;
+        std::string opt;
+        while (tokens >> opt) {
+            const auto eq = opt.find('=');
+            const std::string key = opt.substr(0, eq);
+            const std::string value = eq == std::string::npos ? "" : opt.substr(eq + 1);
+            if (key == "seed") {
+                proto.seed = parse_count(path, lineno, "seed", value);
+            } else if (key == "priority") {
+                proto.priority = parse_priority(path, lineno, value);
+            } else if (key == "budget-ms") {
+                proto.max_wall_ms = parse_ms(path, lineno, value);
+            } else if (key == "reuse-aware") {
+                proto.reuse_aware = true;
+            } else if (key == "repeat") {
+                repeat = parse_count(path, lineno, "repeat", value);
+                if (repeat == 0) fail(path, lineno, "repeat must be >= 1");
+            } else {
+                fail(path, lineno, "unknown option '" + opt + "'");
+            }
+        }
+
+        auto it = spec_cache.find(spec_path);
+        if (it == spec_cache.end()) {
+            try {
+                it = spec_cache.emplace(spec_path, workload::parse_spec_file(spec_path))
+                         .first;
+            } catch (const std::exception& e) {
+                fail(path, lineno, std::string("bad spec '") + spec_rel + "': " + e.what());
+            }
+        }
+        const workload::ParsedSpec& spec = it->second;
+        if (spec.is_workflow()) {
+            proto.kind = RequestKind::kWorkflow;
+            proto.workflow = spec.workflow;
+            if (proto.reuse_aware) {
+                fail(path, lineno, "reuse-aware applies to batch specs, '" + spec_rel +
+                                       "' is a workflow");
+            }
+        } else {
+            proto.kind = RequestKind::kBatch;
+            proto.workload = spec.workload;
+        }
+
+        for (std::uint64_t r = 0; r < repeat; ++r) {
+            PlanRequest req = proto;
+            req.id = next_id++;
+            requests.push_back(std::move(req));
+        }
+    }
+    return requests;
+}
+
+}  // namespace cast::serve

@@ -1,0 +1,36 @@
+// Plain-text request files for `cast_plan serve` and replay tooling.
+//
+// One request per line, referencing workload/workflow spec files (the
+// format workload/spec_parser.hpp defines). '#' comments, whitespace-split:
+//
+//   # a replay mix
+//   request specs/nightly.spec seed=7 priority=high budget-ms=50
+//   request specs/adhoc.spec reuse-aware repeat=20
+//   request specs/etl.spec priority=low
+//
+// Options:
+//   seed=N          solver seed override (default: the service's seed)
+//   priority=P      high | normal | low          (default normal)
+//   budget-ms=X     per-request wall budget      (default: service default)
+//   reuse-aware     plan with CAST++ Enhancement 1 (batch specs only)
+//   repeat=N        expand into N identical requests (replay popular
+//                   templates — the cross-request cache's bread and butter)
+//
+// Spec paths are resolved relative to the request file's own directory, so
+// request files are relocatable alongside their specs. Each referenced
+// spec is parsed once and shared across its repeats. Ids are assigned
+// sequentially in file order, starting at 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace cast::serve {
+
+/// Parse a request file. Throws ValidationError naming the offending line
+/// on any syntax error, unknown option, or unreadable spec.
+[[nodiscard]] std::vector<PlanRequest> load_requests(const std::string& path);
+
+}  // namespace cast::serve

@@ -1,0 +1,245 @@
+#include "serve/service.hpp"
+
+#include <exception>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "workload/spec_parser.hpp"
+
+namespace cast::serve {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+    return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Service-wide solver options specialized to one request: seed and wall
+/// budget come from the request (falling back to service defaults), the
+/// cancel token from the service. Everything else is shared config.
+core::CastOptions request_options(const ServiceOptions& service, const PlanRequest& request,
+                                  const CancelToken* cancel) {
+    core::CastOptions opts = service.solver;
+    if (request.seed) opts.annealing.seed = *request.seed;
+    opts.annealing.max_wall_ms =
+        request.max_wall_ms > 0.0 ? request.max_wall_ms : service.default_max_wall_ms;
+    opts.annealing.cancel = cancel;
+    return opts;
+}
+
+}  // namespace
+
+PlannerService::PlannerService(SnapshotPtr snapshot, ServiceOptions options)
+    : options_(std::move(options)),
+      snapshot_(std::move(snapshot)),
+      queue_(options_.queue_capacity, 3),
+      pool_(options_.workers) {
+    CAST_EXPECTS_MSG(snapshot_ != nullptr, "PlannerService needs a snapshot");
+    CAST_EXPECTS(options_.max_batch >= 1);
+    CAST_EXPECTS(options_.default_max_wall_ms >= 0.0);
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+PlannerService::~PlannerService() {
+    // Close admission; the dispatcher drains whatever is already queued
+    // (fast when cancel_inflight() latched the token) and exits on the
+    // queue's closed+empty signal. Pool workers join in ~ThreadPool.
+    queue_.close();
+    if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::future<PlanResponse> PlannerService::submit(PlanRequest request) {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    auto pending = std::make_unique<Pending>();
+    pending->request = std::move(request);
+    pending->enqueued = std::chrono::steady_clock::now();
+    const std::uint64_t id = pending->request.id;
+    const auto level = static_cast<std::size_t>(pending->request.priority);
+    // The future must be taken before the push: once admitted, the
+    // dispatcher owns the Pending and may fulfill it at any moment.
+    std::future<PlanResponse> fut = pending->promise.get_future();
+    if (queue_.try_push(std::move(pending), level)) return fut;
+
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    PlanResponse resp;
+    resp.id = id;
+    resp.status = ResponseStatus::kRejected;
+    resp.error = "queue full or service shutting down";
+    std::promise<PlanResponse> immediate;
+    immediate.set_value(std::move(resp));
+    return immediate.get_future();
+}
+
+void PlannerService::swap_snapshot(SnapshotPtr next) {
+    CAST_EXPECTS_MSG(next != nullptr, "cannot swap in a null snapshot");
+    SnapshotPtr old;
+    {
+        std::lock_guard lock(snapshot_mutex_);
+        old = std::exchange(snapshot_, std::move(next));
+    }
+    swaps_.fetch_add(1, std::memory_order_relaxed);
+    // Solves dispatched against the old snapshot may still be running;
+    // clearing bumps the cache generation, so their thread-local L1 slots
+    // are invalidated and values re-derive from the model set — the same
+    // bits either way, since the cache is a pure memo.
+    old->cache().clear();
+}
+
+SnapshotPtr PlannerService::snapshot() const {
+    std::lock_guard lock(snapshot_mutex_);
+    return snapshot_;
+}
+
+void PlannerService::cancel_inflight() { cancel_.request_stop(); }
+
+ServiceStats PlannerService::stats() const {
+    ServiceStats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.errors = errors_.load(std::memory_order_relaxed);
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.coalesced = coalesced_.load(std::memory_order_relaxed);
+    s.snapshot_swaps = swaps_.load(std::memory_order_relaxed);
+    s.cache = snapshot()->cache().stats();
+    return s;
+}
+
+void PlannerService::dispatcher_loop() {
+    std::vector<std::unique_ptr<Pending>> batch;
+    for (;;) {
+        batch.clear();
+        if (queue_.pop_batch(batch, options_.max_batch) == 0) return;  // closed + drained
+        batches_.fetch_add(1, std::memory_order_relaxed);
+        dispatch_batch(batch);
+    }
+}
+
+void PlannerService::dispatch_batch(std::vector<std::unique_ptr<Pending>>& batch) {
+    // One snapshot capture per dispatch: every request in the batch solves
+    // against the same epoch even if a swap lands mid-batch.
+    const SnapshotPtr snap = snapshot();
+
+    // Coalesce identical requests: one representative solve per dedup key;
+    // the duplicates get a copy of its response. The duplicate would have
+    // computed exactly the same bits (deterministic solvers, shared
+    // snapshot, identical options), so sharing is observationally free.
+    std::vector<std::size_t> reps;
+    std::vector<std::vector<std::size_t>> dupes;
+    if (options_.coalesce_identical && batch.size() > 1) {
+        std::map<std::string, std::size_t> groups;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const auto [it, inserted] =
+                groups.emplace(dedup_key(batch[i]->request), reps.size());
+            if (inserted) {
+                reps.push_back(i);
+                dupes.emplace_back();
+            } else {
+                dupes[it->second].push_back(i);
+            }
+        }
+    } else {
+        reps.resize(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) reps[i] = i;
+        dupes.resize(batch.size());
+    }
+
+    pool_.parallel_for(
+        reps.size(),
+        [&](std::size_t r) {
+            Pending& rep = *batch[reps[r]];
+            const auto start = std::chrono::steady_clock::now();
+            PlanResponse resp = solve_request(rep.request, *snap);
+            resp.queue_ms = ms_between(rep.enqueued, start);
+            resp.solve_ms = ms_between(start, std::chrono::steady_clock::now());
+            for (const std::size_t d : dupes[r]) {
+                Pending& dup = *batch[d];
+                PlanResponse share = resp;
+                share.id = dup.request.id;
+                share.coalesced = true;
+                share.queue_ms = ms_between(dup.enqueued, start);
+                if (share.status == ResponseStatus::kError) {
+                    errors_.fetch_add(1, std::memory_order_relaxed);
+                }
+                coalesced_.fetch_add(1, std::memory_order_relaxed);
+                completed_.fetch_add(1, std::memory_order_relaxed);
+                dup.promise.set_value(std::move(share));
+            }
+            if (resp.status == ResponseStatus::kError) {
+                errors_.fetch_add(1, std::memory_order_relaxed);
+            }
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            rep.promise.set_value(std::move(resp));
+        },
+        /*grain=*/1);
+}
+
+PlanResponse PlannerService::solve_request(const PlanRequest& request, const Snapshot& snap) {
+    try {
+        return solve_direct(snap, request, options_, &cancel_);
+    } catch (const std::exception& e) {
+        // Lint rejections and validation failures are per-request faults;
+        // they must never take down the service or the batch.
+        PlanResponse resp;
+        resp.id = request.id;
+        resp.status = ResponseStatus::kError;
+        resp.error = e.what();
+        resp.snapshot_epoch = snap.epoch();
+        return resp;
+    }
+}
+
+std::string PlannerService::dedup_key(const PlanRequest& request) {
+    std::ostringstream os;
+    os << (request.kind == RequestKind::kBatch ? 'B' : 'W') << '|' << request.reuse_aware
+       << '|' << (request.seed ? std::to_string(*request.seed) : std::string("-")) << '|'
+       << request.max_wall_ms << '|';
+    // The spec serialization covers everything the solvers read (sizes,
+    // task counts, pins, reuse groups, deadlines); job names ride along
+    // because lint notes quote them.
+    if (request.workload) {
+        workload::write_spec(*request.workload, os);
+        for (std::size_t i = 0; i < request.workload->size(); ++i) {
+            os << '|' << request.workload->job(i).name;
+        }
+    }
+    if (request.workflow) {
+        workload::write_spec(*request.workflow, os);
+        os << '|' << request.workflow->name();
+        for (const workload::JobSpec& job : request.workflow->jobs()) {
+            os << '|' << job.name;
+        }
+    }
+    return os.str();
+}
+
+PlanResponse PlannerService::solve_direct(const Snapshot& snapshot, const PlanRequest& request,
+                                          const ServiceOptions& options,
+                                          const CancelToken* cancel) {
+    PlanResponse resp;
+    resp.id = request.id;
+    resp.snapshot_epoch = snapshot.epoch();
+    const core::CastOptions opts = request_options(options, request, cancel);
+    core::EvalCache& cache = snapshot.cache();
+    if (request.kind == RequestKind::kBatch) {
+        CAST_EXPECTS_MSG(request.workload.has_value(), "batch request carries no workload");
+        resp.batch = request.reuse_aware
+                         ? core::plan_cast_plus_plus(snapshot.models(), *request.workload,
+                                                     opts, nullptr, &cache)
+                         : core::plan_cast(snapshot.models(), *request.workload, opts,
+                                           nullptr, &cache);
+    } else {
+        CAST_EXPECTS_MSG(request.workflow.has_value(), "workflow request carries no workflow");
+        const core::WorkflowEvaluator evaluator(snapshot.models(), *request.workflow);
+        const core::WorkflowSolver solver(evaluator, opts.annealing,
+                                          options.workflow_deadline_safety);
+        resp.workflow = solver.solve(nullptr, &cache);
+    }
+    resp.status = ResponseStatus::kOk;
+    return resp;
+}
+
+}  // namespace cast::serve

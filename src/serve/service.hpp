@@ -1,0 +1,215 @@
+// Multi-tenant planning service: the serving layer over the CAST solvers.
+//
+// The one-shot pipeline (cast_plan) pays the full cold cost per request:
+// load models, build a fresh EvalCache, solve, exit. PlannerService keeps
+// a long-lived process warm instead:
+//
+//   * requests are admitted through a bounded priority queue (reject on
+//     overflow = explicit backpressure, never unbounded memory),
+//   * a dispatcher thread pops them in batches, coalesces identical
+//     requests (popular-template replay solves once, everyone gets the
+//     bits), and fans the unique solves over the work-stealing ThreadPool,
+//   * every solve runs against the current immutable Snapshot and its
+//     snapshot-scoped EvalCache, so REG runtimes computed for request N
+//     are free for request N+1 (bit-identical by EvalCache's contract),
+//   * per-request wall budgets and a service CancelToken make every solve
+//     boundable: exhaustion returns the best-so-far feasible plan flagged
+//     budget_exhausted, never an error.
+//
+// Determinism: the service calls the exact same plan_cast /
+// plan_cast_plus_plus / WorkflowSolver::solve facades a direct caller
+// would, with pool=nullptr inside the worker (chains sequential per
+// request). Since solvers are deterministic and the cache is
+// bit-transparent, a response is bit-identical to the direct solve of the
+// same request, regardless of worker count, queue order, cache warmth, or
+// a snapshot swap racing other requests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/mpmc_queue.hpp"
+#include "common/thread_pool.hpp"
+#include "core/castpp.hpp"
+#include "serve/snapshot.hpp"
+#include "workload/workflow.hpp"
+
+namespace cast::serve {
+
+/// Queue levels, highest first (level 0 drains before level 1, §BoundedPriorityQueue).
+enum class Priority : std::size_t { kHigh = 0, kNormal = 1, kLow = 2 };
+
+enum class RequestKind { kBatch, kWorkflow };
+
+struct PlanRequest {
+    std::uint64_t id = 0;
+    RequestKind kind = RequestKind::kBatch;
+    /// Exactly one of the two, matching `kind`.
+    std::optional<workload::Workload> workload;
+    std::optional<workload::Workflow> workflow;
+    /// Batch requests: plain CAST vs CAST++ Enhancement 1.
+    bool reuse_aware = false;
+    /// Overrides the service's solver seed when set (golden tests pin it).
+    std::optional<std::uint64_t> seed;
+    /// Per-request wall budget (ms); 0 inherits the service default, and a
+    /// default of 0 means unbudgeted.
+    double max_wall_ms = 0.0;
+    Priority priority = Priority::kNormal;
+};
+
+enum class ResponseStatus {
+    kOk,        ///< solved (possibly budget_exhausted — still a plan)
+    kRejected,  ///< backpressure: queue full or service shutting down
+    kError,     ///< the solve itself threw (e.g. lint rejection)
+};
+
+struct PlanResponse {
+    std::uint64_t id = 0;
+    ResponseStatus status = ResponseStatus::kError;
+    std::string error;
+    /// Batch result (kind == kBatch); carries plan, evaluation, iteration
+    /// counters, cache stats and the budget flag.
+    std::optional<core::CastResult> batch;
+    /// Workflow result (kind == kWorkflow).
+    std::optional<core::WorkflowSolveResult> workflow;
+    /// Epoch of the snapshot this request was solved against.
+    std::uint64_t snapshot_epoch = 0;
+    /// True when this response was shared from an identical request solved
+    /// in the same dispatch (bit-identical by solver determinism — the
+    /// duplicate would have computed exactly these bits).
+    bool coalesced = false;
+    double queue_ms = 0.0;
+    double solve_ms = 0.0;
+
+    [[nodiscard]] bool ok() const { return status == ResponseStatus::kOk; }
+    [[nodiscard]] bool budget_exhausted() const {
+        if (batch) return batch->budget_exhausted;
+        if (workflow) return workflow->budget_exhausted;
+        return false;
+    }
+};
+
+struct ServiceOptions {
+    /// Solver pool size (the dispatcher thread is extra).
+    std::size_t workers = ThreadPool::default_workers();
+    /// Admission-queue bound; try_push beyond it rejects (backpressure).
+    std::size_t queue_capacity = 256;
+    /// Max requests coalesced into one dispatch: they share one snapshot
+    /// capture and fan out over the pool together.
+    std::size_t max_batch = 16;
+    /// Default per-request wall budget (ms); 0 = unbudgeted.
+    double default_max_wall_ms = 0.0;
+    /// Solver configuration applied to every request (seed and budget are
+    /// overridden per request).
+    core::CastOptions solver;
+    /// WorkflowSolver deadline-safety margin (Eq. 9 headroom).
+    double workflow_deadline_safety = 1.0;
+    /// Solve identical requests landing in one dispatch once and share the
+    /// response (popular-template replay dedup). Safe because solves are
+    /// deterministic functions of (request, snapshot, options).
+    bool coalesce_identical = true;
+};
+
+/// Monotonic service counters plus the live snapshot's cache statistics.
+struct ServiceStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t batches = 0;         ///< dispatches (pop_batch groups)
+    std::uint64_t coalesced = 0;       ///< responses shared from a duplicate
+    std::uint64_t snapshot_swaps = 0;  ///< swap_snapshot calls
+    core::EvalCacheStats cache;        ///< current snapshot's memo table
+};
+
+class PlannerService {
+public:
+    PlannerService(SnapshotPtr snapshot, ServiceOptions options = {});
+
+    PlannerService(const PlannerService&) = delete;
+    PlannerService& operator=(const PlannerService&) = delete;
+
+    /// Closes admission, drains queued work (unless cancel_inflight() was
+    /// called), and joins the dispatcher and pool.
+    ~PlannerService();
+
+    /// Enqueue a request. Always returns a future: on admission it resolves
+    /// when the solve finishes; on overflow/shutdown it is already resolved
+    /// with kRejected. Never blocks on a full queue — backpressure is the
+    /// caller's signal to slow down.
+    [[nodiscard]] std::future<PlanResponse> submit(PlanRequest request);
+
+    /// Install a new snapshot. In-flight requests keep the snapshot they
+    /// were dispatched with (refcount); later dispatches see the new one.
+    /// The outgoing snapshot's cache is cleared, bumping its generation so
+    /// any thread-local L1 entries die with it.
+    void swap_snapshot(SnapshotPtr next);
+
+    [[nodiscard]] SnapshotPtr snapshot() const;
+
+    /// Cooperative cancellation of everything in flight *and* everything
+    /// still queued: each solve stops at its next segment boundary and
+    /// returns its best-so-far feasible plan flagged budget_exhausted.
+    /// The token latches — this is a fast-drain shutdown aid, not a
+    /// per-request cancel.
+    void cancel_inflight();
+
+    [[nodiscard]] ServiceStats stats() const;
+    [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+    /// Solve `request` directly against `snapshot` with no queue, no pool
+    /// and no shared cache side effects beyond the snapshot's own — the
+    /// serial baseline path, also used by the golden tests as the ground
+    /// truth the service must match bit-for-bit.
+    [[nodiscard]] static PlanResponse solve_direct(const Snapshot& snapshot,
+                                                   const PlanRequest& request,
+                                                   const ServiceOptions& options,
+                                                   const CancelToken* cancel = nullptr);
+
+private:
+    struct Pending {
+        PlanRequest request;
+        std::promise<PlanResponse> promise;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void dispatcher_loop();
+    void dispatch_batch(std::vector<std::unique_ptr<Pending>>& batch);
+    /// Compute the response (never throws; faults become kError). Timing
+    /// fields are the caller's to fill.
+    [[nodiscard]] PlanResponse solve_request(const PlanRequest& request,
+                                             const Snapshot& snap);
+    /// Coalescing identity: kind, solver-relevant options, and the full
+    /// workload/workflow content (spec serialization + job names).
+    [[nodiscard]] static std::string dedup_key(const PlanRequest& request);
+
+    ServiceOptions options_;
+    mutable std::mutex snapshot_mutex_;
+    SnapshotPtr snapshot_;
+
+    BoundedPriorityQueue<std::unique_ptr<Pending>> queue_;
+    ThreadPool pool_;
+    CancelToken cancel_;
+
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> errors_{0};
+    std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> coalesced_{0};
+    std::atomic<std::uint64_t> swaps_{0};
+
+    /// Started last: everything it touches must already be constructed.
+    std::thread dispatcher_;
+};
+
+}  // namespace cast::serve

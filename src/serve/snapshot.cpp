@@ -1,0 +1,33 @@
+#include "serve/snapshot.hpp"
+
+#include <atomic>
+
+namespace cast::serve {
+
+namespace {
+/// Process-global epoch source; see Snapshot::epoch().
+std::atomic<std::uint64_t> g_epoch{0};
+}  // namespace
+
+Snapshot::Snapshot(model::PerfModelSet models)
+    : models_(std::move(models)),
+      epoch_(g_epoch.fetch_add(1, std::memory_order_relaxed) + 1) {
+    const auto& catalog = models_.catalog();
+    for (cloud::StorageTier tier : cloud::kAllTiers) {
+        const auto& svc = catalog.service(tier);
+        TierTerms& t = terms_[cloud::tier_index(tier)];
+        t.price_per_gb_hour = svc.price_per_gb_hour().value();
+        if (const auto max = svc.max_capacity_per_vm()) t.max_per_vm_gb = max->value();
+        t.persistent = svc.persistent();
+        t.reference_read_mbps =
+            svc.cluster_read_bw(svc.provision(GigaBytes{500.0}),
+                                models_.cluster().worker_count)
+                .value();
+    }
+}
+
+SnapshotPtr make_snapshot(model::PerfModelSet models) {
+    return std::make_shared<const Snapshot>(std::move(models));
+}
+
+}  // namespace cast::serve

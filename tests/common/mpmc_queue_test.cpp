@@ -1,0 +1,137 @@
+#include "common/mpmc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace cast {
+namespace {
+
+TEST(BoundedPriorityQueue, PopsHighestPriorityFirstFifoWithinLevel) {
+    BoundedPriorityQueue<int> q(8, 3);
+    ASSERT_TRUE(q.try_push(10, 1));
+    ASSERT_TRUE(q.try_push(20, 2));
+    ASSERT_TRUE(q.try_push(1, 0));
+    ASSERT_TRUE(q.try_push(11, 1));
+    ASSERT_TRUE(q.try_push(2, 0));
+
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 10);
+    EXPECT_EQ(q.pop(), 11);
+    EXPECT_EQ(q.pop(), 20);
+}
+
+TEST(BoundedPriorityQueue, OutOfRangePriorityClampsToLowestLevel) {
+    BoundedPriorityQueue<int> q(4, 2);
+    ASSERT_TRUE(q.try_push(99, 57));  // clamped to level 1
+    ASSERT_TRUE(q.try_push(1, 0));
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 99);
+}
+
+TEST(BoundedPriorityQueue, RejectsWhenFullAndAdmitsAfterDrain) {
+    BoundedPriorityQueue<int> q(2);
+    ASSERT_TRUE(q.try_push(1));
+    ASSERT_TRUE(q.try_push(2));
+    EXPECT_FALSE(q.try_push(3));
+    EXPECT_EQ(q.size(), 2u);
+
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_TRUE(q.try_push(4));
+}
+
+TEST(BoundedPriorityQueue, CloseRejectsNewItemsButDrainsAdmittedOnes) {
+    BoundedPriorityQueue<int> q(4);
+    ASSERT_TRUE(q.try_push(1));
+    ASSERT_TRUE(q.try_push(2));
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.try_push(3));
+
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), std::nullopt);  // closed + drained: no block
+}
+
+TEST(BoundedPriorityQueue, PopBatchDrainsUpToMaxHighestFirst) {
+    BoundedPriorityQueue<int> q(8, 2);
+    for (int v : {10, 11, 12}) ASSERT_TRUE(q.try_push(v, 1));
+    for (int v : {1, 2}) ASSERT_TRUE(q.try_push(v, 0));
+
+    std::vector<int> out;
+    EXPECT_EQ(q.pop_batch(out, 4), 4u);
+    EXPECT_EQ(out, (std::vector<int>{1, 2, 10, 11}));
+    EXPECT_EQ(q.pop_batch(out, 4), 1u);
+    EXPECT_EQ(out.back(), 12);
+
+    q.close();
+    EXPECT_EQ(q.pop_batch(out, 4), 0u);  // closed + drained
+}
+
+TEST(BoundedPriorityQueue, MoveOnlyItemsFlowThrough) {
+    BoundedPriorityQueue<std::unique_ptr<int>> q(2);
+    ASSERT_TRUE(q.try_push(std::make_unique<int>(7)));
+    auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(**item, 7);
+}
+
+// Concurrency contract under TSan: many producers race try_push against
+// consumers draining with pop_batch; every admitted item comes out exactly
+// once and close() releases every blocked consumer.
+TEST(BoundedPriorityQueue, ConcurrentProducersAndBatchConsumersLoseNothing) {
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 3;
+    constexpr int kPerProducer = 500;
+
+    BoundedPriorityQueue<int> q(64, 3);
+    std::atomic<long long> pushed_sum{0};
+    std::atomic<long long> popped_sum{0};
+    std::atomic<int> popped_count{0};
+
+    std::vector<std::thread> consumers;
+    consumers.reserve(kConsumers);
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&] {
+            std::vector<int> batch;
+            for (;;) {
+                batch.clear();
+                if (q.pop_batch(batch, 8) == 0) return;
+                for (const int v : batch) {
+                    popped_sum.fetch_add(v, std::memory_order_relaxed);
+                    popped_count.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                const int value = p * kPerProducer + i;
+                // Spin on rejects: backpressure, not loss.
+                while (!q.try_push(value, static_cast<std::size_t>(value % 3))) {
+                    std::this_thread::yield();
+                }
+                pushed_sum.fetch_add(value, std::memory_order_relaxed);
+            }
+        });
+    }
+
+    for (auto& t : producers) t.join();
+    q.close();
+    for (auto& t : consumers) t.join();
+
+    EXPECT_EQ(popped_count.load(), kProducers * kPerProducer);
+    EXPECT_EQ(popped_sum.load(), pushed_sum.load());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cast

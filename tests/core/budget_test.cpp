@@ -1,0 +1,111 @@
+// Wall-budget and cancellation semantics of the solve pipeline: a budget
+// bounds the search, never the contract — exhaustion returns the
+// best-so-far feasible plan flagged budget_exhausted, and an unbudgeted
+// solve is bit-for-bit unaffected by the budget machinery existing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "common/cancel.hpp"
+#include "core/castpp.hpp"
+#include "test_support.hpp"
+#include "workload/workflow.hpp"
+
+namespace cast::core {
+namespace {
+
+using workload::AppKind;
+
+workload::JobSpec mk_job(int id, AppKind app, double gb) {
+    const int maps = std::max(1, static_cast<int>(gb / 0.128));
+    return workload::JobSpec{.id = id,
+                             .name = "j" + std::to_string(id),
+                             .app = app,
+                             .input = GigaBytes{gb},
+                             .map_tasks = maps,
+                             .reduce_tasks = std::max(1, maps / 4),
+                             .reuse_group = std::nullopt};
+}
+
+workload::Workload budget_workload() {
+    return workload::Workload({mk_job(1, AppKind::kSort, 120.0),
+                               mk_job(2, AppKind::kGrep, 200.0),
+                               mk_job(3, AppKind::kJoin, 90.0),
+                               mk_job(4, AppKind::kKMeans, 150.0)});
+}
+
+TEST(SolveBudget, TinyBudgetReturnsFeasiblePlanFlaggedExhausted) {
+    CastOptions opts;
+    opts.annealing.iter_max = 2'000'000;  // would run for minutes unbudgeted
+    opts.annealing.max_wall_ms = 1.0;
+
+    const CastResult result = plan_cast(testing::small_models(), budget_workload(), opts);
+
+    EXPECT_TRUE(result.budget_exhausted);
+    EXPECT_TRUE(result.evaluation.feasible);
+    EXPECT_GT(result.evaluation.utility, 0.0);
+    // The search stopped at a poll boundary long before iter_max.
+    EXPECT_LT(result.iterations, opts.annealing.iter_max);
+}
+
+TEST(SolveBudget, UnbudgetedSolveIsNeverFlagged) {
+    CastOptions opts;
+    opts.annealing.iter_max = 400;
+    const CastResult result = plan_cast(testing::small_models(), budget_workload(), opts);
+    EXPECT_FALSE(result.budget_exhausted);
+    EXPECT_EQ(result.iterations, opts.annealing.iter_max * opts.annealing.chains);
+}
+
+TEST(SolveBudget, GenerousBudgetDoesNotPerturbTheTrajectory) {
+    CastOptions base;
+    base.annealing.iter_max = 300;
+    CastOptions budgeted = base;
+    budgeted.annealing.max_wall_ms = 60'000.0;  // never reached
+
+    const CastResult a = plan_cast(testing::small_models(), budget_workload(), base);
+    const CastResult b = plan_cast(testing::small_models(), budget_workload(), budgeted);
+
+    EXPECT_FALSE(b.budget_exhausted);
+    EXPECT_EQ(a.evaluation.utility, b.evaluation.utility);
+    ASSERT_EQ(a.plan.size(), b.plan.size());
+    for (std::size_t i = 0; i < a.plan.size(); ++i) {
+        EXPECT_EQ(a.plan.decision(i).tier, b.plan.decision(i).tier);
+        EXPECT_EQ(a.plan.decision(i).overprovision, b.plan.decision(i).overprovision);
+    }
+}
+
+TEST(SolveBudget, PreLatchedCancelTokenStopsImmediatelyButStillPlans) {
+    CancelToken cancel;
+    cancel.request_stop();
+
+    CastOptions opts;
+    opts.annealing.iter_max = 2'000'000;
+    opts.annealing.cancel = &cancel;
+
+    const CastResult result = plan_cast(testing::small_models(), budget_workload(), opts);
+    EXPECT_TRUE(result.budget_exhausted);  // cancellation reports as exhaustion
+    EXPECT_TRUE(result.evaluation.feasible);
+    EXPECT_LT(result.iterations, opts.annealing.iter_max);
+}
+
+TEST(SolveBudget, WorkflowSolverHonorsTinyBudget) {
+    workload::Workflow wf(
+        "chain", {mk_job(1, AppKind::kSort, 80.0), mk_job(2, AppKind::kGrep, 80.0),
+                  mk_job(3, AppKind::kJoin, 60.0)},
+        {{1, 2}, {2, 3}}, Seconds{36000.0});
+
+    AnnealingOptions annealing;
+    annealing.iter_max = 2'000'000;
+    annealing.max_wall_ms = 1.0;
+
+    const WorkflowEvaluator evaluator(testing::small_models(), wf);
+    const WorkflowSolveResult result = WorkflowSolver(evaluator, annealing).solve();
+
+    EXPECT_TRUE(result.budget_exhausted);
+    EXPECT_LT(result.iterations, annealing.iter_max);
+    EXPECT_EQ(result.plan.decisions.size(), wf.size());
+}
+
+}  // namespace
+}  // namespace cast::core

@@ -1,0 +1,375 @@
+// PlannerService contract tests: the service is a throughput layer, never a
+// semantics layer — every response must be bit-identical to a direct solve
+// of the same request, under any worker count, queue pressure, coalescing,
+// cancellation, or a snapshot swap racing the dispatch.
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "serve/snapshot.hpp"
+#include "test_support.hpp"
+#include "workload/workflow.hpp"
+
+namespace cast::serve {
+namespace {
+
+using workload::AppKind;
+
+workload::JobSpec mk_job(int id, AppKind app, double gb,
+                         std::optional<int> group = std::nullopt) {
+    const int maps = std::max(1, static_cast<int>(gb / 0.128));
+    return workload::JobSpec{.id = id,
+                             .name = "j" + std::to_string(id),
+                             .app = app,
+                             .input = GigaBytes{gb},
+                             .map_tasks = maps,
+                             .reduce_tasks = std::max(1, maps / 4),
+                             .reuse_group = group};
+}
+
+workload::Workload workload_a() {
+    return workload::Workload({mk_job(1, AppKind::kSort, 200.0),
+                               mk_job(2, AppKind::kGrep, 150.0),
+                               mk_job(3, AppKind::kJoin, 120.0)});
+}
+
+workload::Workload workload_b() {
+    return workload::Workload({mk_job(1, AppKind::kKMeans, 90.0, 1),
+                               mk_job(2, AppKind::kKMeans, 90.0, 1),
+                               mk_job(3, AppKind::kSort, 260.0)});
+}
+
+workload::Workflow workflow_c() {
+    return workload::Workflow(
+        "wf", {mk_job(1, AppKind::kSort, 60.0), mk_job(2, AppKind::kGrep, 60.0)},
+        {{1, 2}}, Seconds{36000.0});
+}
+
+SnapshotPtr fresh_snapshot() { return make_snapshot(testing::small_models()); }
+
+/// Short-iteration solver config so each request solves in milliseconds.
+ServiceOptions fast_options(std::size_t workers) {
+    ServiceOptions opts;
+    opts.workers = workers;
+    opts.solver.annealing.iter_max = 150;
+    opts.solver.annealing.chains = 2;
+    return opts;
+}
+
+/// The mixed request mix used by the golden tests: two distinct batch
+/// workloads (one duplicated → coalescing candidate), a reuse-aware solve,
+/// and a workflow.
+std::vector<PlanRequest> golden_requests() {
+    std::vector<PlanRequest> requests;
+    PlanRequest a;
+    a.id = 1;
+    a.workload = workload_a();
+    a.seed = 7;
+    requests.push_back(a);
+
+    PlanRequest dup = a;  // identical content, new id: coalescable
+    dup.id = 2;
+    requests.push_back(dup);
+
+    PlanRequest b;
+    b.id = 3;
+    b.workload = workload_b();
+    b.reuse_aware = true;
+    b.seed = 11;
+    b.priority = Priority::kHigh;
+    requests.push_back(b);
+
+    PlanRequest wf;
+    wf.id = 4;
+    wf.kind = RequestKind::kWorkflow;
+    wf.workflow = workflow_c();
+    wf.seed = 3;
+    wf.priority = Priority::kLow;
+    requests.push_back(wf);
+    return requests;
+}
+
+void expect_bit_identical(const PlanResponse& got, const PlanResponse& want) {
+    ASSERT_EQ(got.status, want.status);
+    ASSERT_EQ(got.batch.has_value(), want.batch.has_value());
+    ASSERT_EQ(got.workflow.has_value(), want.workflow.has_value());
+    if (got.batch) {
+        EXPECT_EQ(got.batch->evaluation.utility, want.batch->evaluation.utility);
+        EXPECT_EQ(got.batch->evaluation.total_runtime.value(),
+                  want.batch->evaluation.total_runtime.value());
+        EXPECT_EQ(got.batch->evaluation.total_cost().value(),
+                  want.batch->evaluation.total_cost().value());
+        ASSERT_EQ(got.batch->plan.size(), want.batch->plan.size());
+        for (std::size_t i = 0; i < got.batch->plan.size(); ++i) {
+            EXPECT_EQ(got.batch->plan.decision(i).tier, want.batch->plan.decision(i).tier);
+            EXPECT_EQ(got.batch->plan.decision(i).overprovision,
+                      want.batch->plan.decision(i).overprovision);
+        }
+    }
+    if (got.workflow) {
+        EXPECT_EQ(got.workflow->evaluation.total_runtime.value(),
+                  want.workflow->evaluation.total_runtime.value());
+        EXPECT_EQ(got.workflow->evaluation.total_cost().value(),
+                  want.workflow->evaluation.total_cost().value());
+        ASSERT_EQ(got.workflow->plan.decisions.size(),
+                  want.workflow->plan.decisions.size());
+        for (std::size_t i = 0; i < got.workflow->plan.decisions.size(); ++i) {
+            EXPECT_EQ(got.workflow->plan.decisions[i].tier,
+                      want.workflow->plan.decisions[i].tier);
+            EXPECT_EQ(got.workflow->plan.decisions[i].overprovision,
+                      want.workflow->plan.decisions[i].overprovision);
+        }
+    }
+}
+
+// The golden contract: for every worker count, service responses carry
+// exactly the bits a direct solve produces — placements, utilities,
+// runtimes and costs compare with == (no tolerance).
+TEST(PlannerService, BitIdenticalToDirectSolveAcrossWorkerCounts) {
+    const ServiceOptions direct_opts = fast_options(1);
+    const auto truth_snapshot = fresh_snapshot();
+    std::vector<PlanResponse> truth;
+    for (const PlanRequest& request : golden_requests()) {
+        truth.push_back(PlannerService::solve_direct(*truth_snapshot, request, direct_opts));
+        ASSERT_TRUE(truth.back().ok());
+    }
+
+    for (const std::size_t workers : {1u, 2u, 8u}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        PlannerService service(fresh_snapshot(), fast_options(workers));
+        std::vector<std::future<PlanResponse>> futures;
+        for (const PlanRequest& request : golden_requests()) {
+            futures.push_back(service.submit(request));
+        }
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+            const PlanResponse got = futures[i].get();
+            ASSERT_TRUE(got.ok()) << got.error;
+            expect_bit_identical(got, truth[i]);
+        }
+    }
+}
+
+// A warm cache must not change bits either: replay the same mix twice on
+// one service; the second pass (high hit rate) matches the first.
+TEST(PlannerService, WarmCacheReplayIsBitIdentical) {
+    PlannerService service(fresh_snapshot(), fast_options(2));
+    auto run_once = [&] {
+        std::vector<std::future<PlanResponse>> futures;
+        for (const PlanRequest& request : golden_requests()) {
+            futures.push_back(service.submit(request));
+        }
+        std::vector<PlanResponse> out;
+        for (auto& f : futures) out.push_back(f.get());
+        return out;
+    };
+    const auto cold = run_once();
+    const auto warm = run_once();
+    const auto stats = service.stats();
+    EXPECT_GT(stats.cache.hits, 0u);
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        ASSERT_TRUE(warm[i].ok()) << warm[i].error;
+        expect_bit_identical(warm[i], cold[i]);
+    }
+}
+
+TEST(PlannerService, TinyBudgetFlagsExhaustionButStillPlans) {
+    ServiceOptions opts = fast_options(2);
+    opts.solver.annealing.iter_max = 2'000'000;
+    opts.default_max_wall_ms = 1.0;
+
+    PlannerService service(fresh_snapshot(), opts);
+    std::vector<std::future<PlanResponse>> futures;
+    for (const PlanRequest& request : golden_requests()) {
+        futures.push_back(service.submit(request));
+    }
+    for (auto& future : futures) {
+        const PlanResponse resp = future.get();
+        ASSERT_TRUE(resp.ok()) << resp.error;
+        EXPECT_TRUE(resp.budget_exhausted());
+        if (resp.batch) {
+            EXPECT_TRUE(resp.batch->evaluation.feasible);
+        }
+    }
+}
+
+TEST(PlannerService, BackpressureRejectsWhenQueueIsFull) {
+    ServiceOptions opts = fast_options(1);
+    opts.queue_capacity = 1;
+    opts.max_batch = 1;
+    opts.coalesce_identical = false;
+    opts.solver.annealing.iter_max = 2'000'000;
+    opts.default_max_wall_ms = 50.0;  // each solve occupies the worker ~50ms
+
+    PlannerService service(fresh_snapshot(), opts);
+    PlanRequest request;
+    request.workload = workload_a();
+    request.seed = 5;
+
+    std::vector<std::future<PlanResponse>> futures;
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        request.id = i + 1;
+        futures.push_back(service.submit(request));
+    }
+    std::size_t rejected = 0;
+    for (auto& future : futures) {
+        const PlanResponse resp = future.get();
+        if (resp.status == ResponseStatus::kRejected) {
+            ++rejected;
+            EXPECT_FALSE(resp.error.empty());
+        } else {
+            ASSERT_TRUE(resp.ok()) << resp.error;
+        }
+    }
+    // 16 instant submits against a 1-deep queue and ~50ms solves: most must
+    // bounce, and the ones that got in must all have completed.
+    EXPECT_GT(rejected, 0u);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.rejected, rejected);
+    EXPECT_EQ(stats.completed + stats.rejected, stats.submitted);
+}
+
+TEST(PlannerService, ErrorRequestFailsAloneWithoutPoisoningTheBatch) {
+    PlannerService service(fresh_snapshot(), fast_options(2));
+    PlanRequest bad;  // kBatch but no workload payload
+    bad.id = 1;
+    auto bad_future = service.submit(bad);
+
+    PlanRequest good;
+    good.id = 2;
+    good.workload = workload_a();
+    good.seed = 7;
+    auto good_future = service.submit(good);
+
+    const PlanResponse bad_resp = bad_future.get();
+    EXPECT_EQ(bad_resp.status, ResponseStatus::kError);
+    EXPECT_FALSE(bad_resp.error.empty());
+    const PlanResponse good_resp = good_future.get();
+    EXPECT_TRUE(good_resp.ok()) << good_resp.error;
+}
+
+TEST(PlannerService, CancelInflightDrainsQueuedWorkAsBudgetExhausted) {
+    ServiceOptions opts = fast_options(1);
+    opts.solver.annealing.iter_max = 2'000'000;
+    opts.default_max_wall_ms = 5'000.0;  // would take seconds uncancelled
+    opts.coalesce_identical = false;
+
+    PlannerService service(fresh_snapshot(), opts);
+    std::vector<std::future<PlanResponse>> futures;
+    PlanRequest request;
+    request.workload = workload_a();
+    request.seed = 5;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        request.id = i + 1;
+        futures.push_back(service.submit(request));
+    }
+    service.cancel_inflight();
+    for (auto& future : futures) {
+        const PlanResponse resp = future.get();
+        ASSERT_TRUE(resp.ok()) << resp.error;
+        EXPECT_TRUE(resp.budget_exhausted());
+    }
+}
+
+// The TSan hammer: concurrent submitters race snapshot swaps mid-flight.
+// Every response must still be valid, and every request solves against a
+// coherent snapshot (its epoch is one that actually existed).
+TEST(PlannerService, SnapshotSwapHammerUnderConcurrentSubmitters) {
+    constexpr int kSubmitters = 3;
+    constexpr int kPerSubmitter = 12;
+    constexpr int kSwaps = 8;
+
+    ServiceOptions opts = fast_options(4);
+    opts.solver.annealing.iter_max = 60;
+    opts.queue_capacity = 1024;
+
+    PlannerService service(fresh_snapshot(), opts);
+    std::atomic<std::uint64_t> next_id{1};
+    std::vector<std::vector<std::future<PlanResponse>>> futures(kSubmitters);
+
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (int s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&, s] {
+            for (int i = 0; i < kPerSubmitter; ++i) {
+                PlanRequest request;
+                request.id = next_id.fetch_add(1, std::memory_order_relaxed);
+                request.workload = (i % 2 == 0) ? workload_a() : workload_b();
+                request.reuse_aware = (i % 2 == 1);
+                request.seed = static_cast<std::uint64_t>(i);
+                futures[static_cast<std::size_t>(s)].push_back(service.submit(request));
+            }
+        });
+    }
+
+    std::thread swapper([&] {
+        for (int i = 0; i < kSwaps; ++i) {
+            service.swap_snapshot(fresh_snapshot());
+            std::this_thread::yield();
+        }
+    });
+
+    for (auto& t : submitters) t.join();
+    swapper.join();
+
+    std::set<std::uint64_t> epochs;
+    for (auto& lane : futures) {
+        for (auto& future : lane) {
+            const PlanResponse resp = future.get();
+            ASSERT_TRUE(resp.ok()) << resp.error;
+            epochs.insert(resp.snapshot_epoch);
+        }
+    }
+    EXPECT_GE(epochs.size(), 1u);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.snapshot_swaps, static_cast<std::uint64_t>(kSwaps));
+    EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kSubmitters * kPerSubmitter));
+    EXPECT_EQ(stats.errors, 0u);
+}
+
+// Coalesced duplicates must carry exactly the representative's bits, and a
+// coalesced response says so.
+TEST(PlannerService, CoalescingSharesBitsAcrossIdenticalRequests) {
+    ServiceOptions opts = fast_options(1);
+    opts.solver.annealing.iter_max = 2'000'000;
+    opts.default_max_wall_ms = 40.0;  // first solve long enough to queue behind
+    opts.max_batch = 16;
+
+    PlannerService service(fresh_snapshot(), opts);
+    // Occupy the dispatcher so the identical requests below land in one batch.
+    PlanRequest head;
+    head.id = 1;
+    head.workload = workload_b();
+    head.seed = 2;
+    auto head_future = service.submit(head);
+
+    PlanRequest request;
+    request.workload = workload_a();
+    request.seed = 9;
+    std::vector<std::future<PlanResponse>> futures;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        request.id = 10 + i;
+        futures.push_back(service.submit(request));
+    }
+    ASSERT_TRUE(head_future.get().ok());
+
+    std::vector<PlanResponse> responses;
+    for (auto& future : futures) responses.push_back(future.get());
+    for (const PlanResponse& resp : responses) {
+        ASSERT_TRUE(resp.ok()) << resp.error;
+        expect_bit_identical(resp, responses.front());
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.coalesced, static_cast<std::uint64_t>(std::count_if(
+                                   responses.begin(), responses.end(),
+                                   [](const PlanResponse& r) { return r.coalesced; })));
+}
+
+}  // namespace
+}  // namespace cast::serve

@@ -1,0 +1,117 @@
+#include "serve/request_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace cast::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Self-cleaning scratch directory; specs referenced by request files are
+/// written next to them so relative-path resolution is exercised for real.
+class RequestSpecTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = fs::temp_directory_path() /
+               ("cast_request_spec_" +
+                std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name());
+        fs::create_directories(dir_);
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string write(const std::string& name, const std::string& text) const {
+        const fs::path p = dir_ / name;
+        std::ofstream os(p);
+        os << text;
+        return p.string();
+    }
+
+    fs::path dir_;
+};
+
+constexpr const char* kBatchSpec = "job 1 Sort 120\njob 2 Grep 300\n";
+constexpr const char* kWorkflowSpec =
+    "workflow etl deadline-min=600\n"
+    "job 1 Sort 60\n"
+    "job 2 Grep 60\n"
+    "edge 1 2\n";
+
+TEST_F(RequestSpecTest, ParsesOptionsAndAssignsSequentialIds) {
+    write("w.spec", kBatchSpec);
+    const std::string path = write("r.txt",
+                                   "# replay file\n"
+                                   "request w.spec seed=7 priority=high budget-ms=12.5\n"
+                                   "\n"
+                                   "request w.spec reuse-aware  # trailing comment\n");
+    const auto requests = load_requests(path);
+    ASSERT_EQ(requests.size(), 2u);
+
+    EXPECT_EQ(requests[0].id, 1u);
+    EXPECT_EQ(requests[0].kind, RequestKind::kBatch);
+    ASSERT_TRUE(requests[0].workload.has_value());
+    EXPECT_EQ(requests[0].workload->size(), 2u);
+    EXPECT_EQ(requests[0].seed, 7u);
+    EXPECT_EQ(requests[0].priority, Priority::kHigh);
+    EXPECT_EQ(requests[0].max_wall_ms, 12.5);
+    EXPECT_FALSE(requests[0].reuse_aware);
+
+    EXPECT_EQ(requests[1].id, 2u);
+    EXPECT_TRUE(requests[1].reuse_aware);
+    EXPECT_EQ(requests[1].priority, Priority::kNormal);
+    EXPECT_FALSE(requests[1].seed.has_value());
+    EXPECT_EQ(requests[1].max_wall_ms, 0.0);
+}
+
+TEST_F(RequestSpecTest, RepeatExpandsCopiesWithFreshIds) {
+    write("w.spec", kBatchSpec);
+    const std::string path = write("r.txt", "request w.spec seed=3 repeat=3\nrequest w.spec\n");
+    const auto requests = load_requests(path);
+    ASSERT_EQ(requests.size(), 4u);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        EXPECT_EQ(requests[i].id, i + 1);
+    }
+    EXPECT_EQ(requests[0].seed, requests[2].seed);
+    EXPECT_FALSE(requests[3].seed.has_value());
+}
+
+TEST_F(RequestSpecTest, WorkflowSpecsBecomeWorkflowRequests) {
+    write("wf.spec", kWorkflowSpec);
+    const std::string path = write("r.txt", "request wf.spec priority=low\n");
+    const auto requests = load_requests(path);
+    ASSERT_EQ(requests.size(), 1u);
+    EXPECT_EQ(requests[0].kind, RequestKind::kWorkflow);
+    ASSERT_TRUE(requests[0].workflow.has_value());
+    EXPECT_EQ(requests[0].workflow->size(), 2u);
+    EXPECT_EQ(requests[0].priority, Priority::kLow);
+}
+
+TEST_F(RequestSpecTest, RejectsMalformedInput) {
+    write("w.spec", kBatchSpec);
+    write("wf.spec", kWorkflowSpec);
+
+    EXPECT_THROW((void)load_requests((dir_ / "missing.txt").string()), ValidationError);
+    EXPECT_THROW((void)load_requests(write("a.txt", "reqest w.spec\n")), ValidationError);
+    EXPECT_THROW((void)load_requests(write("b.txt", "request\n")), ValidationError);
+    EXPECT_THROW((void)load_requests(write("c.txt", "request nope.spec\n")),
+                 ValidationError);
+    EXPECT_THROW((void)load_requests(write("d.txt", "request w.spec frobnicate=1\n")),
+                 ValidationError);
+    EXPECT_THROW((void)load_requests(write("e.txt", "request w.spec repeat=0\n")),
+                 ValidationError);
+    EXPECT_THROW((void)load_requests(write("f.txt", "request w.spec budget-ms=-4\n")),
+                 ValidationError);
+    EXPECT_THROW((void)load_requests(write("g.txt", "request w.spec priority=urgent\n")),
+                 ValidationError);
+    EXPECT_THROW((void)load_requests(write("h.txt", "request wf.spec reuse-aware\n")),
+                 ValidationError);
+}
+
+}  // namespace
+}  // namespace cast::serve

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Performance gate for the serve-throughput bench.
+
+Re-runs the bench binary in a scratch directory and compares the fresh
+numbers against the committed baseline JSON. The gate fails when
+
+  * the bench itself fails (bit-identity or budget contract violated), or
+  * the best service plans/sec regressed more than --threshold (default
+    25%) relative to the baseline's best service plans/sec.
+
+Throughput is host-dependent, so the gate is opt-in (ctest -C BenchGate
+-L benchgate, or the CI release lane which runs baseline and fresh on the
+same runner class). Self-normalizing contract metrics (bit identity,
+budget adherence) are enforced unconditionally by the bench binary.
+
+Usage:
+  bench_gate.py --bench build/bench/serve_throughput \
+                --baseline BENCH_serve_throughput.json [--threshold 0.25]
+                [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+RESULT_NAME = "BENCH_serve_throughput.json"
+
+
+def best_service_plans_per_sec(report: dict) -> float:
+    """Headline metric: the best plans/sec over all service configurations.
+
+    Budgeted runs are excluded — their throughput is bounded by the wall
+    budget, not by the serving machinery under test.
+    """
+    best = 0.0
+    for run in report.get("service_runs", []):
+        if report.get("budget_ms", 0.0) > 0.0 and "budget" in str(run.get("config", "")):
+            continue
+        best = max(best, float(run.get("plans_per_sec", 0.0)))
+    if best <= 0.0:
+        raise ValueError("no service_runs with plans_per_sec > 0 in report")
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", required=True, help="serve_throughput binary")
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed fractional regression (default 0.25)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the bench in --smoke mode (CI wiring checks)")
+    args = parser.parse_args()
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.is_file():
+        print(f"bench_gate: baseline not found: {baseline_path}", file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+
+    cmd = [args.bench] + (["--smoke"] if args.smoke else [])
+    with tempfile.TemporaryDirectory(prefix="cast_bench_gate_") as scratch:
+        print(f"bench_gate: running {' '.join(cmd)}", flush=True)
+        proc = subprocess.run(cmd, cwd=scratch)
+        if proc.returncode != 0:
+            print(f"bench_gate: bench exited {proc.returncode} "
+                  "(contract check failed)", file=sys.stderr)
+            return 1
+        fresh = json.loads((Path(scratch) / RESULT_NAME).read_text())
+
+    if args.smoke or fresh.get("mode") != baseline.get("mode"):
+        # Different workload sizes are not comparable; the run above already
+        # validated the contracts, which is all a smoke gate checks.
+        print("bench_gate: modes differ (fresh "
+              f"{fresh.get('mode')} vs baseline {baseline.get('mode')}); "
+              "skipping throughput comparison")
+        return 0
+
+    base = best_service_plans_per_sec(baseline)
+    now = best_service_plans_per_sec(fresh)
+    ratio = now / base
+    verdict = "OK" if ratio >= 1.0 - args.threshold else "REGRESSION"
+    print(f"bench_gate: best service plans/sec {now:.1f} vs baseline {base:.1f} "
+          f"({ratio:.2%}) -> {verdict}")
+    if verdict != "OK":
+        print(f"bench_gate: regressed more than {args.threshold:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

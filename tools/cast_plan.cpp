@@ -20,9 +20,19 @@
 //       Emit the paper's 100-job Facebook-derived workload as an editable
 //       spec file.
 //
+//   cast_plan serve --models FILE --requests FILE [--workers N]
+//       Replay a request file through the long-lived PlannerService
+//       (snapshot cache, batching, coalescing) and print per-request
+//       results plus service/cache statistics.
+//
+// Every command also accepts `--threads N` to pin thread-pool sizes
+// (profiling, solver chains, service workers).
+//
 // Exit codes: 0 success, 1 usage error, 2 runtime/validation error.
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <map>
 #include <string>
@@ -33,6 +43,8 @@
 #include "core/deployer.hpp"
 #include "core/report.hpp"
 #include "model/serialize.hpp"
+#include "serve/request_spec.hpp"
+#include "serve/service.hpp"
 #include "workload/facebook.hpp"
 #include "workload/spec_parser.hpp"
 
@@ -61,8 +73,35 @@ int usage() {
            "  cast_plan profile  --workers N [--catalog NAME] [--out FILE]\n"
            "  cast_plan plan     --models FILE --spec FILE [--reuse-aware] [--deploy]\n"
            "  cast_plan workflow --models FILE --spec FILE [--deploy]\n"
-           "  cast_plan synth    [--seed N] [--out FILE]\n";
+           "  cast_plan synth    [--seed N] [--out FILE]\n"
+           "  cast_plan serve    --models FILE --requests FILE [--workers N]\n"
+           "                     [--queue N] [--batch N] [--budget-ms X]\n"
+           "(all commands accept --threads N to pin thread-pool sizes)\n";
     return 1;
+}
+
+/// Memo-table summary: how much of the evaluation work the cache absorbed.
+void print_cache_stats(const core::EvalCacheStats& cache, std::ostream& os) {
+    const std::uint64_t lookups = cache.hits + cache.misses;
+    os << "cache:  " << cache.hits << "/" << lookups << " hits";
+    if (lookups > 0) {
+        os << " (" << fmt(100.0 * static_cast<double>(cache.hits) /
+                              static_cast<double>(lookups),
+                          1)
+           << "%)";
+    }
+    os << ", L1 " << cache.l1_hits << ", shared " << cache.shared_hits << ", inserts "
+       << cache.inserts << ", generation bumps " << cache.generation_bumps << "\n";
+}
+
+/// Search-effort and memo-table summary shared by plan/workflow output:
+/// how hard the solver worked and how much the cache saved.
+void print_solver_stats(int iterations, int best_chain, const core::EvalCacheStats& cache,
+                        bool budget_exhausted, std::ostream& os) {
+    os << "search: " << iterations << " annealing iterations, best chain " << best_chain;
+    if (budget_exhausted) os << "  [budget exhausted: best-so-far plan]";
+    os << "\n";
+    print_cache_stats(cache, os);
 }
 
 Args parse_args(int argc, char** argv) {
@@ -136,10 +175,16 @@ int cmd_plan(const Args& args) {
     const auto& w = *spec.workload;
     const bool reuse_aware = args.has_flag("reuse-aware");
 
+    core::CastOptions opts;
+    const std::string budget = args.get("budget-ms");
+    if (!budget.empty()) opts.annealing.max_wall_ms = std::stod(budget);
+    const std::string seed = args.get("seed");
+    if (!seed.empty()) opts.annealing.seed = std::stoull(seed);
+
     ThreadPool pool;
     const core::CastResult result = reuse_aware
-                                        ? core::plan_cast_plus_plus(models, w, {}, &pool)
-                                        : core::plan_cast(models, w, {}, &pool);
+                                        ? core::plan_cast_plus_plus(models, w, opts, &pool)
+                                        : core::plan_cast(models, w, opts, &pool);
     core::PlanEvaluator evaluator(models, w, core::EvalOptions{.reuse_aware = reuse_aware});
     std::cout << (reuse_aware ? "CAST++" : "CAST") << " ";
     if (args.has_flag("deploy")) {
@@ -150,6 +195,8 @@ int cmd_plan(const Args& args) {
         core::write_plan_report(evaluator, result.plan, result.evaluation, std::cout,
                                 result.lint_notes);
     }
+    print_solver_stats(result.iterations, result.best_chain, result.cache_stats,
+                       result.budget_exhausted, std::cout);
     return 0;
 }
 
@@ -184,6 +231,8 @@ int cmd_workflow(const Args& args) {
               << (solved.evaluation.meets_deadline ? "  [meets deadline]"
                                                    : "  [deadline infeasible]")
               << "\n";
+    print_solver_stats(solved.iterations, solved.best_chain, solved.cache_stats,
+                       solved.budget_exhausted, std::cout);
     if (args.has_flag("deploy")) {
         const auto dep = core::Deployer().deploy_workflow(evaluator, solved.plan);
         std::cout << "deployed: runtime " << fmt(dep.total_runtime.minutes(), 1)
@@ -208,16 +257,89 @@ int cmd_synth(const Args& args) {
     return 0;
 }
 
+int cmd_serve(const Args& args) {
+    const std::string models_path = args.get("models");
+    const std::string requests_path = args.get("requests");
+    if (models_path.empty() || requests_path.empty()) {
+        std::cerr << "serve: --models and --requests are required\n";
+        return 1;
+    }
+    serve::ServiceOptions opts;
+    const std::string workers = args.get("workers");
+    if (!workers.empty()) opts.workers = std::stoul(workers);
+    const std::string queue = args.get("queue");
+    if (!queue.empty()) opts.queue_capacity = std::stoul(queue);
+    const std::string batch = args.get("batch");
+    if (!batch.empty()) opts.max_batch = std::stoul(batch);
+    const std::string budget = args.get("budget-ms");
+    if (!budget.empty()) opts.default_max_wall_ms = std::stod(budget);
+
+    auto requests = serve::load_requests(requests_path);
+    if (requests.empty()) {
+        std::cerr << "serve: " << requests_path << " contains no requests\n";
+        return 1;
+    }
+    const auto snapshot = serve::make_snapshot(model::load_model_set_file(models_path));
+    serve::PlannerService service(snapshot, opts);
+    std::cout << "serving " << requests.size() << " requests over " << opts.workers
+              << " workers (snapshot epoch " << snapshot->epoch() << ")\n";
+
+    // Open loop: everything is queued up front, so the dispatcher sees deep
+    // batches and coalescing/caching get a fair chance to kick in.
+    std::vector<std::future<serve::PlanResponse>> futures;
+    futures.reserve(requests.size());
+    for (serve::PlanRequest& request : requests) {
+        futures.push_back(service.submit(std::move(request)));
+    }
+
+    TextTable t({"id", "kind", "status", "utility / cost", "queue ms", "solve ms", "notes"});
+    int failures = 0;
+    for (auto& future : futures) {
+        const serve::PlanResponse resp = future.get();
+        std::string outcome = "-";
+        if (resp.batch) outcome = fmt(resp.batch->evaluation.utility, 3);
+        if (resp.workflow) {
+            outcome = "$";
+            outcome += fmt(resp.workflow->evaluation.total_cost().value(), 2);
+        }
+        std::string status;
+        switch (resp.status) {
+            case serve::ResponseStatus::kOk: status = "ok"; break;
+            case serve::ResponseStatus::kRejected: status = "rejected"; break;
+            case serve::ResponseStatus::kError: status = "error"; break;
+        }
+        std::string notes;
+        if (resp.coalesced) notes += "coalesced ";
+        if (resp.budget_exhausted()) notes += "budget-exhausted ";
+        if (!resp.error.empty()) notes += resp.error;
+        if (!resp.ok()) ++failures;
+        t.add_row({std::to_string(resp.id), resp.batch ? "batch" : "workflow", status,
+                   outcome, fmt(resp.queue_ms, 2), fmt(resp.solve_ms, 2), notes});
+    }
+    t.print(std::cout);
+
+    const serve::ServiceStats stats = service.stats();
+    std::cout << "service: " << stats.completed << " completed, " << stats.rejected
+              << " rejected, " << stats.errors << " errors, " << stats.coalesced
+              << " coalesced across " << stats.batches << " dispatches\n";
+    print_cache_stats(stats.cache, std::cout);
+    return failures == 0 ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     try {
         const Args args = parse_args(argc, argv);
+        // Applied before any ThreadPool exists: default_workers() reads it.
+        const std::string threads = args.get("threads");
+        if (!threads.empty()) ::setenv("CAST_THREADS", threads.c_str(), 1);
         if (args.command == "tiers") return cmd_tiers(args);
         if (args.command == "profile") return cmd_profile(args);
         if (args.command == "plan") return cmd_plan(args);
         if (args.command == "workflow") return cmd_workflow(args);
         if (args.command == "synth") return cmd_synth(args);
+        if (args.command == "serve") return cmd_serve(args);
         return usage();
     } catch (const std::exception& e) {
         std::cerr << "cast_plan: " << e.what() << "\n";
