@@ -15,6 +15,7 @@
 // run.
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "core/annealing.hpp"
@@ -138,6 +139,7 @@ int main(int argc, char** argv) {
         .add("cluster",
              std::to_string(cluster.worker_count) + "x " + cluster.worker.name)
         .add("mode", args.smoke ? "smoke" : "full")
+        .add("host_cores", std::thread::hardware_concurrency())
         .add_raw("uncached_full_evaluation", timing_json(uncached, false))
         .add_raw("cached_incremental_evaluation", timing_json(cached, true))
         .add("speedup", speedup, 2)

@@ -19,6 +19,40 @@ using cloud::tier_index;
 
 namespace {
 
+/// Pre-solve lint shared by every batch facade: errors (unplaceable reuse
+/// groups, unmodeled apps, a broken catalog) reject before any search
+/// spends time; warnings ride along into the result for reports.
+lint::Report lint_gate(const model::PerfModelSet& models, const workload::Workload& workload,
+                       bool reuse_aware) {
+    lint::LintContext lint_ctx;
+    lint_ctx.models = &models;
+    lint_ctx.reuse_aware = reuse_aware;
+    lint::Report pre = lint::lint_workload(workload, lint_ctx);
+    lint::enforce(pre);
+    return pre;
+}
+
+/// Algorithm 1 start plan, projected onto the Eq. 7 constraint set when
+/// reuse-aware: greedy ignores reuse groups, so every group is aligned on
+/// its leader's tier to make the plan feasible. A pinned member dictates
+/// the whole group's tier (Eq. 7 keeps the group together, the pin decides
+/// where); members pinned apart were rejected by lint rule L005.
+TieringPlan greedy_initial(const PlanEvaluator& evaluator, const workload::Workload& workload,
+                           const GreedyOptions& options, bool reuse_aware, EvalCache* cache) {
+    GreedySolver greedy(evaluator);
+    TieringPlan initial = greedy.solve(options, cache);
+    if (reuse_aware) {
+        for (const auto& [group, members] : workload.reuse_groups()) {
+            PlacementDecision lead = initial.decision(members.front());
+            for (std::size_t m : members) {
+                if (workload.job(m).pinned_tier) lead.tier = *workload.job(m).pinned_tier;
+            }
+            for (std::size_t m : members) initial.set_decision(m, lead);
+        }
+    }
+    return initial;
+}
+
 CastResult plan_with(const model::PerfModelSet& models, const workload::Workload& workload,
                      const CastOptions& options, bool reuse_aware, ThreadPool* pool,
                      EvalCache* cache) {
@@ -27,14 +61,7 @@ CastResult plan_with(const model::PerfModelSet& models, const workload::Workload
     // only what remains (serving p99 targets would otherwise quietly slip
     // by the greedy time).
     const auto entry = std::chrono::steady_clock::now();
-    // Pre-solve lint: errors (unplaceable reuse groups, unmodeled apps, a
-    // broken catalog) reject before any search spends time; warnings ride
-    // along into the result for reports.
-    lint::LintContext lint_ctx;
-    lint_ctx.models = &models;
-    lint_ctx.reuse_aware = reuse_aware;
-    lint::Report pre = lint::lint_workload(workload, lint_ctx);
-    lint::enforce(pre);
+    lint::Report pre = lint_gate(models, workload, reuse_aware);
 
     PlanEvaluator evaluator(models, workload, EvalOptions{.reuse_aware = reuse_aware});
 
@@ -50,23 +77,8 @@ CastResult plan_with(const model::PerfModelSet& models, const workload::Workload
         cache = &local_cache;
     }
 
-    GreedySolver greedy(evaluator);
-    TieringPlan initial = greedy.solve(options.greedy_init, cache);
-    if (reuse_aware) {
-        // Greedy ignores reuse groups; project its plan onto the Eq. 7
-        // constraint set by aligning every group on its leader's tier, so
-        // the annealing start point is feasible. A pinned member dictates
-        // the whole group's tier (Eq. 7 keeps the group together, the pin
-        // decides where); members pinned apart were rejected by lint rule
-        // L005 above.
-        for (const auto& [group, members] : workload.reuse_groups()) {
-            PlacementDecision lead = initial.decision(members.front());
-            for (std::size_t m : members) {
-                if (workload.job(m).pinned_tier) lead.tier = *workload.job(m).pinned_tier;
-            }
-            for (std::size_t m : members) initial.set_decision(m, lead);
-        }
-    }
+    TieringPlan initial =
+        greedy_initial(evaluator, workload, options.greedy_init, reuse_aware, cache);
 
     AnnealingOptions annealing = options.annealing;
     annealing.group_moves = reuse_aware;
@@ -107,6 +119,30 @@ CastResult plan_cast_plus_plus(const model::PerfModelSet& models,
                                const workload::Workload& workload, const CastOptions& options,
                                ThreadPool* pool, EvalCache* cache) {
     return plan_with(models, workload, options, /*reuse_aware=*/true, pool, cache);
+}
+
+CastResult plan_cast_greedy(const model::PerfModelSet& models,
+                            const workload::Workload& workload, const CastOptions& options,
+                            bool reuse_aware, EvalCache* cache) {
+    lint::Report pre = lint_gate(models, workload, reuse_aware);
+    PlanEvaluator evaluator(models, workload, EvalOptions{.reuse_aware = reuse_aware});
+
+    EvalCache local_cache;
+    if (!options.annealing.use_evaluation_cache) {
+        cache = nullptr;
+    } else if (cache == nullptr) {
+        cache = &local_cache;
+    }
+
+    CastResult out;
+    out.plan = greedy_initial(evaluator, workload, options.greedy_init, reuse_aware, cache);
+    out.evaluation = evaluator.evaluate(out.plan, cache);
+    out.greedy_initial = out.plan;
+    if (cache != nullptr) out.cache_stats = cache->stats();
+    for (const lint::Finding* f : pre.at(lint::Severity::kWarning)) {
+        out.lint_notes.push_back(f->format());
+    }
+    return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -481,6 +517,34 @@ WorkflowSolveResult WorkflowSolver::solve(ThreadPool* pool, EvalCache* cache) co
         chosen.lint_notes.push_back(f->format());
     }
     return chosen;
+}
+
+WorkflowSolveResult WorkflowSolver::solve_greedy(EvalCache* cache) const {
+    // Same lint gate as solve(), including the L009 demotion: the degraded
+    // path stays best-effort on deadlines no full solve could meet either.
+    lint::LintContext lint_ctx;
+    lint_ctx.models = &evaluator_->models();
+    lint::Report pre = lint::lint_workflow(evaluator_->workflow(), lint_ctx);
+    lint::demote(pre, "L009", lint::Severity::kWarning);
+    lint::enforce(pre);
+
+    std::unique_ptr<EvalCache> owned;
+    if (!options_.use_evaluation_cache) {
+        cache = nullptr;
+    } else if (cache == nullptr) {
+        owned = std::make_unique<EvalCache>();
+        cache = owned.get();
+    }
+
+    WorkflowSolveResult out;
+    out.plan = best_uniform_plan(cache);
+    out.evaluation = evaluator_->evaluate(out.plan, cache);
+    out.best_chain = -1;  // the uniform sweep "won" by being the only entry
+    if (cache != nullptr) out.cache_stats = cache->stats();
+    for (const lint::Finding* f : pre.at(lint::Severity::kWarning)) {
+        out.lint_notes.push_back(f->format());
+    }
+    return out;
 }
 
 // ---------------------------------------------------------------------------

@@ -65,6 +65,18 @@ struct CastResult {
                                              ThreadPool* pool = nullptr,
                                              EvalCache* cache = nullptr);
 
+/// Greedy-only placement: Algorithm 1 alone, with the same lint gate and
+/// reuse-group projection as the full facades but no annealing stage — the
+/// cheapest non-reject answer the serving layer's overload governor can
+/// degrade to. Orders of magnitude cheaper than a full solve (one
+/// single-job sweep instead of iter_max evaluations), deterministic, and
+/// Fig. 7 quantifies exactly how much plan quality it gives up.
+[[nodiscard]] CastResult plan_cast_greedy(const model::PerfModelSet& models,
+                                          const workload::Workload& workload,
+                                          const CastOptions& options = {},
+                                          bool reuse_aware = false,
+                                          EvalCache* cache = nullptr);
+
 // ---------------------------------------------------------------------------
 // Workflow planning (Enhancement 2).
 // ---------------------------------------------------------------------------
@@ -162,6 +174,12 @@ public:
     /// otherwise an internally created one (unless options disable caching).
     [[nodiscard]] WorkflowSolveResult solve(ThreadPool* pool = nullptr,
                                             EvalCache* cache = nullptr) const;
+    /// Greedy-only workflow answer: the best uniform plan over tiers x
+    /// factors (the multi-start anchor), evaluated but never annealed.
+    /// Runs the same lint gate as solve(); iterations = 0, best_chain = -1.
+    /// The overload governor degrades to this when a full workflow solve
+    /// cannot be afforded.
+    [[nodiscard]] WorkflowSolveResult solve_greedy(EvalCache* cache = nullptr) const;
     [[nodiscard]] WorkflowSolveResult run_chain(std::uint64_t seed,
                                                 EvalCache* cache = nullptr) const;
     /// Chain under an explicit shared deadline (solve() passes its own so

@@ -1,0 +1,61 @@
+#include "serve/faults.hpp"
+
+#include <limits>
+
+namespace cast::serve {
+
+ServeFaultProfile ServeFaultProfile::scaled(double intensity, std::uint64_t seed) {
+    CAST_EXPECTS_MSG(intensity >= 0.0 && intensity <= 1.0,
+                     "fault intensity must be in [0, 1]");
+    ServeFaultProfile p;
+    p.seed = seed;
+    // At intensity 1 roughly a third of requests stall for tens of ms and a
+    // quarter throw transiently — a severe-incident shape, still survivable.
+    p.stall_prob = 0.35 * intensity;
+    p.stall_min_ms = 1.0 * intensity;
+    p.stall_max_ms = 40.0 * intensity;
+    p.exception_prob = 0.25 * intensity;
+    p.max_failed_attempts = 2;
+    p.swap_storm_swaps = static_cast<int>(8.0 * intensity);
+    p.swap_storm_interval_ms = 1.0;
+    p.flood_factor = 1.0 + 3.0 * intensity;
+    return p;
+}
+
+AttemptFault ServeFaultInjector::on_attempt(std::uint64_t request_id, int attempt) {
+    CAST_EXPECTS(attempt >= 0);
+    AttemptFault fault;
+    if (!profile_.enabled()) return fault;
+
+    // One stream per request, a fixed draw sequence per stream: the fault
+    // plan is a pure function of (profile, request_id, attempt), so thread
+    // interleaving, batching and coalescing order cannot change it.
+    Rng rng = Rng(profile_.seed).fork(request_id);
+    const bool stalls = rng.uniform() < profile_.stall_prob;
+    const double stall_len = rng.uniform(profile_.stall_min_ms, profile_.stall_max_ms);
+    const bool throws = rng.uniform() < profile_.exception_prob;
+    int failed_attempts = 0;
+    if (throws) {
+        failed_attempts =
+            profile_.max_failed_attempts == 0
+                ? std::numeric_limits<int>::max()  // poisoned: fails forever
+                : 1 + static_cast<int>(rng.below(
+                          static_cast<std::uint64_t>(profile_.max_failed_attempts)));
+    }
+
+    // The stall models a wedged worker, not a flaky solve: it hits the first
+    // attempt only, so retries measure the exception path alone.
+    if (stalls && attempt == 0 && stall_len > 0.0) {
+        fault.stall_ms = stall_len;
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        stall_us_.fetch_add(static_cast<std::uint64_t>(stall_len * 1e3),
+                            std::memory_order_relaxed);
+    }
+    if (throws && attempt < failed_attempts) {
+        fault.throw_exception = true;
+        exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return fault;
+}
+
+}  // namespace cast::serve

@@ -1,0 +1,74 @@
+#include "serve/governor.hpp"
+
+#include <algorithm>
+
+namespace cast::serve {
+
+const char* degradation_level_name(DegradationLevel level) {
+    switch (level) {
+        case DegradationLevel::kFull: return "full";
+        case DegradationLevel::kTrimmed: return "trimmed";
+        case DegradationLevel::kGreedy: return "greedy";
+        case DegradationLevel::kShed: return "shed";
+    }
+    return "unknown";
+}
+
+void GovernorOptions::apply(DegradationLevel level, core::CastOptions& opts) const {
+    if (level != DegradationLevel::kTrimmed) return;
+    opts.annealing.iter_max = std::max(
+        1, static_cast<int>(static_cast<double>(opts.annealing.iter_max) * trim_iter_factor));
+    opts.annealing.chains = std::max(1, opts.annealing.chains / 2);
+    // 0 means unbudgeted; trimming a wall budget only makes sense when the
+    // request declared one (iteration trimming above bounds the rest).
+    if (opts.annealing.max_wall_ms > 0.0) opts.annealing.max_wall_ms *= trim_wall_factor;
+}
+
+void OverloadGovernor::record_solve_ms(double ms) {
+    if (ms < 0.0) return;
+    std::lock_guard lock(mutex_);
+    ewma_ms_ = seeded_ ? options_.ewma_alpha * ms + (1.0 - options_.ewma_alpha) * ewma_ms_
+                       : ms;
+    seeded_ = true;
+}
+
+double OverloadGovernor::ewma_solve_ms() const {
+    std::lock_guard lock(mutex_);
+    return ewma_ms_;
+}
+
+double OverloadGovernor::pressure(std::size_t queue_depth, std::size_t in_flight) const {
+    const double backlog = static_cast<double>(queue_depth + in_flight);
+    const double drain_ms =
+        backlog * ewma_solve_ms() / static_cast<double>(workers_);
+    double p = drain_ms / options_.latency_target_ms;
+    if (queue_capacity_ > 0) {
+        const double occupancy =
+            static_cast<double>(queue_depth) / static_cast<double>(queue_capacity_);
+        p = std::max(p, occupancy * options_.shed_pressure);
+    }
+    return p;
+}
+
+DegradationLevel OverloadGovernor::classify(double pressure) const {
+    if (pressure >= options_.shed_pressure) return DegradationLevel::kShed;
+    if (pressure >= options_.greedy_pressure) return DegradationLevel::kGreedy;
+    if (pressure >= options_.trim_pressure) return DegradationLevel::kTrimmed;
+    return DegradationLevel::kFull;
+}
+
+bool OverloadGovernor::provably_late(double deadline_ms, std::size_t queue_depth,
+                                     std::size_t in_flight) const {
+    if (deadline_ms <= 0.0) return false;
+    double ewma;
+    {
+        std::lock_guard lock(mutex_);
+        if (!seeded_) return false;
+        ewma = ewma_ms_;
+    }
+    const double backlog = static_cast<double>(queue_depth + in_flight);
+    const double predicted_wait_ms = backlog * ewma / static_cast<double>(workers_);
+    return predicted_wait_ms > deadline_ms;
+}
+
+}  // namespace cast::serve

@@ -1,5 +1,6 @@
 #include "serve/request_spec.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -14,6 +15,10 @@ namespace cast::serve {
 
 namespace {
 
+/// Upper bound on `repeat=` expansion — a typo'd repeat should be a parse
+/// error, not an out-of-memory.
+constexpr std::uint64_t kMaxRepeat = 1'000'000;
+
 [[noreturn]] void fail(const std::string& path, int line, const std::string& what) {
     throw ValidationError("request file " + path + ", line " + std::to_string(line) + ": " +
                           what);
@@ -21,26 +26,43 @@ namespace {
 
 std::uint64_t parse_count(const std::string& path, int line, const std::string& key,
                           const std::string& value) {
-    try {
-        const long long v = std::stoll(value);
-        if (v < 0) fail(path, line, key + " must be >= 0, got " + value);
-        return static_cast<std::uint64_t>(v);
-    } catch (const ValidationError&) {
-        throw;
-    } catch (const std::exception&) {
-        fail(path, line, "malformed " + key + " value '" + value + "'");
+    if (value.empty()) fail(path, line, key + " needs a value (" + key + "=N)");
+    // std::stoull silently wraps negatives ("-1" becomes 2^64-1); reject
+    // signs before it gets the chance.
+    if (value.front() == '-' || value.front() == '+') {
+        fail(path, line, key + " must be an unsigned integer, got '" + value + "'");
     }
-}
-
-double parse_ms(const std::string& path, int line, const std::string& value) {
     try {
-        const double v = std::stod(value);
-        if (!(v >= 0.0)) fail(path, line, "budget-ms must be >= 0, got " + value);
+        std::size_t pos = 0;
+        const unsigned long long v = std::stoull(value, &pos);
+        if (pos != value.size()) {
+            fail(path, line, key + " has trailing characters: '" + value + "'");
+        }
         return v;
     } catch (const ValidationError&) {
         throw;
     } catch (const std::exception&) {
-        fail(path, line, "malformed budget-ms value '" + value + "'");
+        fail(path, line, "malformed or out-of-range " + key + " value '" + value + "'");
+    }
+}
+
+double parse_ms(const std::string& path, int line, const std::string& key,
+                const std::string& value) {
+    if (value.empty()) fail(path, line, key + " needs a value (" + key + "=X)");
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(value, &pos);
+        if (pos != value.size()) {
+            fail(path, line, key + " has trailing characters: '" + value + "'");
+        }
+        // std::stod happily parses "inf" and "nan"; neither is a budget.
+        if (!std::isfinite(v)) fail(path, line, key + " must be finite, got " + value);
+        if (v < 0.0) fail(path, line, key + " must be >= 0, got " + value);
+        return v;
+    } catch (const ValidationError&) {
+        throw;
+    } catch (const std::exception&) {
+        fail(path, line, "malformed " + key + " value '" + value + "'");
     }
 }
 
@@ -93,12 +115,24 @@ std::vector<PlanRequest> load_requests(const std::string& path) {
             } else if (key == "priority") {
                 proto.priority = parse_priority(path, lineno, value);
             } else if (key == "budget-ms") {
-                proto.max_wall_ms = parse_ms(path, lineno, value);
+                proto.max_wall_ms = parse_ms(path, lineno, "budget-ms", value);
+            } else if (key == "deadline-ms") {
+                proto.deadline_ms = parse_ms(path, lineno, "deadline-ms", value);
+                if (proto.deadline_ms == 0.0) {
+                    fail(path, lineno, "deadline-ms must be positive (omit for none)");
+                }
             } else if (key == "reuse-aware") {
+                if (eq != std::string::npos) {
+                    fail(path, lineno, "reuse-aware is a flag and takes no value");
+                }
                 proto.reuse_aware = true;
             } else if (key == "repeat") {
                 repeat = parse_count(path, lineno, "repeat", value);
                 if (repeat == 0) fail(path, lineno, "repeat must be >= 1");
+                if (repeat > kMaxRepeat) {
+                    fail(path, lineno, "repeat too large (max " +
+                                           std::to_string(kMaxRepeat) + ")");
+                }
             } else {
                 fail(path, lineno, "unknown option '" + opt + "'");
             }

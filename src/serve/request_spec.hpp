@@ -12,6 +12,8 @@
 //   seed=N          solver seed override (default: the service's seed)
 //   priority=P      high | normal | low          (default normal)
 //   budget-ms=X     per-request wall budget      (default: service default)
+//   deadline-ms=X   end-to-end deadline; with the overload governor's
+//                   deadline admission on, provably-late requests are shed
 //   reuse-aware     plan with CAST++ Enhancement 1 (batch specs only)
 //   repeat=N        expand into N identical requests (replay popular
 //                   templates — the cross-request cache's bread and butter)

@@ -1,5 +1,6 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <map>
 #include <sstream>
@@ -17,6 +18,11 @@ double ms_between(std::chrono::steady_clock::time_point from,
     return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+void sleep_ms(double ms) {
+    if (ms <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
 /// Service-wide solver options specialized to one request: seed and wall
 /// budget come from the request (falling back to service defaults), the
 /// cancel token from the service. Everything else is shared config.
@@ -30,13 +36,29 @@ core::CastOptions request_options(const ServiceOptions& service, const PlanReque
     return opts;
 }
 
+PlanResponse shed_response(const PlanRequest& request, std::uint64_t epoch,
+                           std::string why) {
+    PlanResponse resp;
+    resp.id = request.id;
+    resp.kind = request.kind;
+    resp.status = ResponseStatus::kRejected;
+    resp.error = std::move(why);
+    resp.snapshot_epoch = epoch;
+    resp.degradation_level = DegradationLevel::kShed;
+    return resp;
+}
+
 }  // namespace
 
 PlannerService::PlannerService(SnapshotPtr snapshot, ServiceOptions options)
     : options_(std::move(options)),
       snapshot_(std::move(snapshot)),
       queue_(options_.queue_capacity, 3),
-      pool_(options_.workers) {
+      pool_(options_.workers),
+      governor_(options_.governor, std::max<std::size_t>(std::size_t{1}, options_.workers),
+                options_.queue_capacity),
+      injector_(options_.faults),
+      swap_breaker_(options_.governor.swap_breaker) {
     CAST_EXPECTS_MSG(snapshot_ != nullptr, "PlannerService needs a snapshot");
     CAST_EXPECTS(options_.max_batch >= 1);
     CAST_EXPECTS(options_.default_max_wall_ms >= 0.0);
@@ -53,10 +75,30 @@ PlannerService::~PlannerService() {
 
 std::future<PlanResponse> PlannerService::submit(PlanRequest request) {
     submitted_.fetch_add(1, std::memory_order_relaxed);
+
+    // Deadline-aware admission: with queue pressure P requests deep and an
+    // EWMA solve latency of E ms, a new request waits ~ P*E/workers before
+    // any worker touches it. If that alone exceeds the declared deadline,
+    // solving it would produce an answer nobody can use — shed now, while
+    // it is still free.
+    if (governor_.enabled() && options_.governor.deadline_admission &&
+        request.deadline_ms > 0.0 &&
+        governor_.provably_late(request.deadline_ms, queue_.size(),
+                                in_flight_.load(std::memory_order_relaxed))) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+        PlanResponse resp = shed_response(
+            request, 0, "deadline shed: predicted queue wait exceeds deadline-ms");
+        std::promise<PlanResponse> immediate;
+        immediate.set_value(std::move(resp));
+        return immediate.get_future();
+    }
+
     auto pending = std::make_unique<Pending>();
     pending->request = std::move(request);
     pending->enqueued = std::chrono::steady_clock::now();
     const std::uint64_t id = pending->request.id;
+    const RequestKind kind = pending->request.kind;
     const auto level = static_cast<std::size_t>(pending->request.priority);
     // The future must be taken before the push: once admitted, the
     // dispatcher owns the Pending and may fulfill it at any moment.
@@ -66,6 +108,7 @@ std::future<PlanResponse> PlannerService::submit(PlanRequest request) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     PlanResponse resp;
     resp.id = id;
+    resp.kind = kind;
     resp.status = ResponseStatus::kRejected;
     resp.error = "queue full or service shutting down";
     std::promise<PlanResponse> immediate;
@@ -76,11 +119,37 @@ std::future<PlanResponse> PlannerService::submit(PlanRequest request) {
 void PlannerService::swap_snapshot(SnapshotPtr next) {
     CAST_EXPECTS_MSG(next != nullptr, "cannot swap in a null snapshot");
     SnapshotPtr old;
+    bool storm_sample = false;
     {
         std::lock_guard lock(snapshot_mutex_);
         old = std::exchange(snapshot_, std::move(next));
+        if (governor_.enabled()) {
+            const auto now = std::chrono::steady_clock::now();
+            storm_sample = any_swap_ && ms_between(last_swap_, now) <
+                                            options_.governor.swap_storm_window_ms;
+            last_swap_ = now;
+            any_swap_ = true;
+        }
     }
     swaps_.fetch_add(1, std::memory_order_relaxed);
+
+    // Swap-storm guard: back-to-back swaps each clearing the outgoing cache
+    // serialize every in-flight solve against a cold memo table. The clear
+    // is an eager-invalidation optimization only — refcounting reclaims the
+    // snapshot regardless, and the cache is a pure memo (same bits derive
+    // either way) — so while the breaker says "storm", skip it.
+    if (governor_.enabled()) {
+        if (!swap_breaker_.allow()) {
+            swap_clears_suppressed_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        if (storm_sample) {
+            swap_breaker_.record_failure();
+        } else {
+            swap_breaker_.record_success();
+        }
+    }
+
     // Solves dispatched against the old snapshot may still be running;
     // clearing bumps the cache generation, so their thread-local L1 slots
     // are invalidated and values re-derive from the model set — the same
@@ -104,7 +173,22 @@ ServiceStats PlannerService::stats() const {
     s.batches = batches_.load(std::memory_order_relaxed);
     s.coalesced = coalesced_.load(std::memory_order_relaxed);
     s.snapshot_swaps = swaps_.load(std::memory_order_relaxed);
+    s.served_full = served_full_.load(std::memory_order_relaxed);
+    s.served_trimmed = served_trimmed_.load(std::memory_order_relaxed);
+    s.served_greedy = served_greedy_.load(std::memory_order_relaxed);
+    s.governor_shed = governor_shed_.load(std::memory_order_relaxed);
+    s.deadline_shed = deadline_shed_.load(std::memory_order_relaxed);
+    s.solve_retries = solve_retries_.load(std::memory_order_relaxed);
+    s.breaker_fastfail = breaker_fastfail_.load(std::memory_order_relaxed);
+    s.swap_clears_suppressed = swap_clears_suppressed_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard lock(breaker_mutex_);
+        s.breaker_trips = evicted_breaker_trips_ + swap_breaker_.trips();
+        for (const auto& [key, breaker] : breakers_) s.breaker_trips += breaker->trips();
+    }
+    s.ewma_solve_ms = governor_.ewma_solve_ms();
     s.cache = snapshot()->cache().stats();
+    s.faults = injector_.stats();
     return s;
 }
 
@@ -118,10 +202,26 @@ void PlannerService::dispatcher_loop() {
     }
 }
 
+void PlannerService::fulfill(Pending& pending, PlanResponse&& resp) {
+    if (resp.status == ResponseStatus::kRejected) {
+        // A dispatch-time shed is backpressure, not completed work — same
+        // accounting as a queue-full rejection at submit.
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        if (resp.status == ResponseStatus::kError) {
+            errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+        completed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    pending.promise.set_value(std::move(resp));
+}
+
 void PlannerService::dispatch_batch(std::vector<std::unique_ptr<Pending>>& batch) {
     // One snapshot capture per dispatch: every request in the batch solves
     // against the same epoch even if a swap lands mid-batch.
     const SnapshotPtr snap = snapshot();
+    in_flight_.fetch_add(batch.size(), std::memory_order_relaxed);
 
     // Coalesce identical requests: one representative solve per dedup key;
     // the duplicates get a copy of its response. The duplicate would have
@@ -152,51 +252,165 @@ void PlannerService::dispatch_batch(std::vector<std::unique_ptr<Pending>>& batch
         [&](std::size_t r) {
             Pending& rep = *batch[reps[r]];
             const auto start = std::chrono::steady_clock::now();
-            PlanResponse resp = solve_request(rep.request, *snap);
-            resp.queue_ms = ms_between(rep.enqueued, start);
+            const double waited_ms = ms_between(rep.enqueued, start);
+
+            // Walk the ladder: classify once per representative against the
+            // live backlog, then either shed or solve at the chosen level.
+            enum class Shed { kNone, kDeadline, kGovernor } shed = Shed::kNone;
+            PlanResponse resp;
+            if (governor_.enabled()) {
+                const DegradationLevel level = governor_.classify(governor_.pressure(
+                    queue_.size(), in_flight_.load(std::memory_order_relaxed)));
+                if (options_.governor.deadline_admission &&
+                    rep.request.deadline_ms > 0.0 &&
+                    waited_ms > rep.request.deadline_ms) {
+                    shed = Shed::kDeadline;
+                    resp = shed_response(rep.request, snap->epoch(),
+                                         "deadline shed: deadline-ms elapsed in queue");
+                } else if (level == DegradationLevel::kShed) {
+                    shed = Shed::kGovernor;
+                    resp = shed_response(rep.request, snap->epoch(),
+                                         "overload shed: backlog past the shed threshold");
+                } else {
+                    resp = solve_request(rep.request, *snap, level);
+                }
+            } else {
+                resp = solve_request(rep.request, *snap, DegradationLevel::kFull);
+            }
+            resp.queue_ms = waited_ms;
             resp.solve_ms = ms_between(start, std::chrono::steady_clock::now());
+
+            auto count_outcome = [&](const PlanResponse& out) {
+                switch (shed) {
+                    case Shed::kDeadline:
+                        deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+                        return;
+                    case Shed::kGovernor:
+                        governor_shed_.fetch_add(1, std::memory_order_relaxed);
+                        return;
+                    case Shed::kNone:
+                        break;
+                }
+                if (!out.ok()) return;
+                switch (out.degradation_level) {
+                    case DegradationLevel::kFull:
+                        served_full_.fetch_add(1, std::memory_order_relaxed);
+                        break;
+                    case DegradationLevel::kTrimmed:
+                        served_trimmed_.fetch_add(1, std::memory_order_relaxed);
+                        break;
+                    case DegradationLevel::kGreedy:
+                        served_greedy_.fetch_add(1, std::memory_order_relaxed);
+                        break;
+                    case DegradationLevel::kShed:
+                        break;
+                }
+            };
+
+            if (shed == Shed::kNone) {
+                // Feed the latency EWMA with actual solve time only — sheds
+                // are near-free and would talk the governor out of shedding.
+                governor_.record_solve_ms(resp.solve_ms);
+            }
+
             for (const std::size_t d : dupes[r]) {
                 Pending& dup = *batch[d];
                 PlanResponse share = resp;
                 share.id = dup.request.id;
                 share.coalesced = true;
                 share.queue_ms = ms_between(dup.enqueued, start);
-                if (share.status == ResponseStatus::kError) {
-                    errors_.fetch_add(1, std::memory_order_relaxed);
-                }
+                count_outcome(share);
                 coalesced_.fetch_add(1, std::memory_order_relaxed);
-                completed_.fetch_add(1, std::memory_order_relaxed);
-                dup.promise.set_value(std::move(share));
+                fulfill(dup, std::move(share));
             }
-            if (resp.status == ResponseStatus::kError) {
-                errors_.fetch_add(1, std::memory_order_relaxed);
-            }
-            completed_.fetch_add(1, std::memory_order_relaxed);
-            rep.promise.set_value(std::move(resp));
+            count_outcome(resp);
+            fulfill(rep, std::move(resp));
         },
         /*grain=*/1);
 }
 
-PlanResponse PlannerService::solve_request(const PlanRequest& request, const Snapshot& snap) {
-    try {
-        return solve_direct(snap, request, options_, &cancel_);
-    } catch (const std::exception& e) {
-        // Lint rejections and validation failures are per-request faults;
-        // they must never take down the service or the batch.
-        PlanResponse resp;
-        resp.id = request.id;
-        resp.status = ResponseStatus::kError;
-        resp.error = e.what();
-        resp.snapshot_epoch = snap.epoch();
-        return resp;
+std::shared_ptr<CircuitBreaker> PlannerService::breaker_for(const std::string& key) {
+    std::lock_guard lock(breaker_mutex_);
+    auto it = breakers_.find(key);
+    if (it != breakers_.end()) return it->second;
+    if (breakers_.size() >= kMaxBreakers) {
+        // Wholesale eviction keeps the map bounded without LRU bookkeeping;
+        // a poisoned template that reappears re-trips within one retry
+        // budget. Trips are carried so stats stay monotonic.
+        for (const auto& [k, b] : breakers_) evicted_breaker_trips_ += b->trips();
+        breakers_.clear();
     }
+    auto breaker = std::make_shared<CircuitBreaker>(options_.governor.breaker);
+    breakers_.emplace(key, breaker);
+    return breaker;
+}
+
+PlanResponse PlannerService::solve_request(const PlanRequest& request, const Snapshot& snap,
+                                           DegradationLevel level) {
+    const bool governed = governor_.enabled();
+
+    // One breaker per request template: a template that keeps exhausting
+    // its retry budget is failed fast instead of re-burning a worker every
+    // time it reappears.
+    std::shared_ptr<CircuitBreaker> breaker;
+    if (governed) {
+        breaker = breaker_for(dedup_key(request));
+        if (!breaker->allow()) {
+            breaker_fastfail_.fetch_add(1, std::memory_order_relaxed);
+            PlanResponse resp;
+            resp.id = request.id;
+            resp.kind = request.kind;
+            resp.status = ResponseStatus::kError;
+            resp.error = "circuit breaker open: this request template is failing fast";
+            resp.snapshot_epoch = snap.epoch();
+            resp.degradation_level = level;
+            return resp;
+        }
+    }
+
+    const int max_attempts = governed ? options_.governor.retry.max_attempts : 1;
+    PlanResponse resp;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        if (attempt > 0) {
+            solve_retries_.fetch_add(1, std::memory_order_relaxed);
+            sleep_ms(options_.governor.retry.wait_ms(attempt - 1));
+        }
+        try {
+            if (injector_.enabled()) {
+                const AttemptFault fault = injector_.on_attempt(request.id, attempt);
+                sleep_ms(fault.stall_ms);  // worker stall: a real sleep
+                if (fault.throw_exception) {
+                    throw SimulationError("injected serve-layer solver fault", "",
+                                          "serve");
+                }
+            }
+            resp = solve_direct(snap, request, options_, &cancel_, level);
+            resp.attempts = attempt + 1;
+            if (breaker) breaker->record_success();
+            return resp;
+        } catch (const std::exception& e) {
+            // Lint rejections, validation failures and injected faults are
+            // per-request faults; they must never take down the service or
+            // the batch.
+            if (breaker) breaker->record_failure();
+            resp = PlanResponse{};
+            resp.id = request.id;
+            resp.kind = request.kind;
+            resp.status = ResponseStatus::kError;
+            resp.error = e.what();
+            resp.snapshot_epoch = snap.epoch();
+            resp.degradation_level = level;
+            resp.attempts = attempt + 1;
+        }
+    }
+    return resp;
 }
 
 std::string PlannerService::dedup_key(const PlanRequest& request) {
     std::ostringstream os;
     os << (request.kind == RequestKind::kBatch ? 'B' : 'W') << '|' << request.reuse_aware
        << '|' << (request.seed ? std::to_string(*request.seed) : std::string("-")) << '|'
-       << request.max_wall_ms << '|';
+       << request.max_wall_ms << '|' << request.deadline_ms << '|';
     // The spec serialization covers everything the solvers read (sizes,
     // task counts, pins, reuse groups, deadlines); job names ride along
     // because lint notes quote them.
@@ -218,25 +432,36 @@ std::string PlannerService::dedup_key(const PlanRequest& request) {
 
 PlanResponse PlannerService::solve_direct(const Snapshot& snapshot, const PlanRequest& request,
                                           const ServiceOptions& options,
-                                          const CancelToken* cancel) {
+                                          const CancelToken* cancel, DegradationLevel level) {
+    CAST_EXPECTS_MSG(level != DegradationLevel::kShed,
+                     "kShed is a rejection, not a solver mode");
     PlanResponse resp;
     resp.id = request.id;
+    resp.kind = request.kind;
     resp.snapshot_epoch = snapshot.epoch();
-    const core::CastOptions opts = request_options(options, request, cancel);
+    resp.degradation_level = level;
+    core::CastOptions opts = request_options(options, request, cancel);
+    options.governor.apply(level, opts);  // kFull/kGreedy: no-op
     core::EvalCache& cache = snapshot.cache();
     if (request.kind == RequestKind::kBatch) {
         CAST_EXPECTS_MSG(request.workload.has_value(), "batch request carries no workload");
-        resp.batch = request.reuse_aware
-                         ? core::plan_cast_plus_plus(snapshot.models(), *request.workload,
-                                                     opts, nullptr, &cache)
-                         : core::plan_cast(snapshot.models(), *request.workload, opts,
-                                           nullptr, &cache);
+        if (level == DegradationLevel::kGreedy) {
+            resp.batch = core::plan_cast_greedy(snapshot.models(), *request.workload, opts,
+                                                request.reuse_aware, &cache);
+        } else if (request.reuse_aware) {
+            resp.batch = core::plan_cast_plus_plus(snapshot.models(), *request.workload,
+                                                   opts, nullptr, &cache);
+        } else {
+            resp.batch =
+                core::plan_cast(snapshot.models(), *request.workload, opts, nullptr, &cache);
+        }
     } else {
         CAST_EXPECTS_MSG(request.workflow.has_value(), "workflow request carries no workflow");
         const core::WorkflowEvaluator evaluator(snapshot.models(), *request.workflow);
         const core::WorkflowSolver solver(evaluator, opts.annealing,
                                           options.workflow_deadline_safety);
-        resp.workflow = solver.solve(nullptr, &cache);
+        resp.workflow = level == DegradationLevel::kGreedy ? solver.solve_greedy(&cache)
+                                                           : solver.solve(nullptr, &cache);
     }
     resp.status = ResponseStatus::kOk;
     return resp;

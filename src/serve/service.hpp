@@ -34,12 +34,16 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/cancel.hpp"
 #include "common/mpmc_queue.hpp"
+#include "common/retry.hpp"
 #include "common/thread_pool.hpp"
 #include "core/castpp.hpp"
+#include "serve/faults.hpp"
+#include "serve/governor.hpp"
 #include "serve/snapshot.hpp"
 #include "workload/workflow.hpp"
 
@@ -63,6 +67,10 @@ struct PlanRequest {
     /// Per-request wall budget (ms); 0 inherits the service default, and a
     /// default of 0 means unbudgeted.
     double max_wall_ms = 0.0;
+    /// Caller's end-to-end deadline (ms from submit); 0 = none. With the
+    /// governor's deadline admission on, a request whose predicted queue
+    /// wait already exceeds this is shed instead of solved-then-ignored.
+    double deadline_ms = 0.0;
     Priority priority = Priority::kNormal;
 };
 
@@ -74,6 +82,9 @@ enum class ResponseStatus {
 
 struct PlanResponse {
     std::uint64_t id = 0;
+    /// Echo of the request's kind — set on every path, including sheds and
+    /// errors where neither result below is populated.
+    RequestKind kind = RequestKind::kBatch;
     ResponseStatus status = ResponseStatus::kError;
     std::string error;
     /// Batch result (kind == kBatch); carries plan, evaluation, iteration
@@ -87,6 +98,12 @@ struct PlanResponse {
     /// in the same dispatch (bit-identical by solver determinism — the
     /// duplicate would have computed exactly these bits).
     bool coalesced = false;
+    /// Ladder level this response was served at (kFull when the governor is
+    /// idle; kShed on a governor/deadline rejection).
+    DegradationLevel degradation_level = DegradationLevel::kFull;
+    /// Solve attempts consumed (> 1 means the retry wrapper recovered from
+    /// at least one exception).
+    int attempts = 1;
     double queue_ms = 0.0;
     double solve_ms = 0.0;
 
@@ -117,6 +134,12 @@ struct ServiceOptions {
     /// response (popular-template replay dedup). Safe because solves are
     /// deterministic functions of (request, snapshot, options).
     bool coalesce_identical = true;
+    /// Overload governor; disabled by default, which leaves every response
+    /// bit-identical to an ungoverned service.
+    GovernorOptions governor;
+    /// Serve-layer fault injection; the zero profile (default) injects
+    /// nothing and is bit-identical to an uninstrumented service.
+    ServeFaultProfile faults;
 };
 
 /// Monotonic service counters plus the live snapshot's cache statistics.
@@ -128,7 +151,21 @@ struct ServiceStats {
     std::uint64_t batches = 0;         ///< dispatches (pop_batch groups)
     std::uint64_t coalesced = 0;       ///< responses shared from a duplicate
     std::uint64_t snapshot_swaps = 0;  ///< swap_snapshot calls
+    // Governor ladder counters: how many representative solves ran at each
+    // level, and how many requests were shed before any solve.
+    std::uint64_t served_full = 0;
+    std::uint64_t served_trimmed = 0;
+    std::uint64_t served_greedy = 0;
+    std::uint64_t governor_shed = 0;   ///< load-shed at dispatch (ladder level 3)
+    std::uint64_t deadline_shed = 0;   ///< provably-late drops (admission/dispatch)
+    // Fault-survival counters.
+    std::uint64_t solve_retries = 0;      ///< extra attempts after an exception
+    std::uint64_t breaker_fastfail = 0;   ///< requests refused by an open breaker
+    std::uint64_t breaker_trips = 0;      ///< breaker open transitions (all breakers)
+    std::uint64_t swap_clears_suppressed = 0;  ///< storm-guarded cache clears skipped
+    double ewma_solve_ms = 0.0;        ///< governor's latency estimate
     core::EvalCacheStats cache;        ///< current snapshot's memo table
+    ServeFaultStats faults;            ///< what the injector actually did
 };
 
 class PlannerService {
@@ -166,14 +203,19 @@ public:
     [[nodiscard]] ServiceStats stats() const;
     [[nodiscard]] const ServiceOptions& options() const { return options_; }
 
+    /// The injector's view of what it has done so far.
+    [[nodiscard]] ServeFaultStats fault_stats() const { return injector_.stats(); }
+
     /// Solve `request` directly against `snapshot` with no queue, no pool
     /// and no shared cache side effects beyond the snapshot's own — the
     /// serial baseline path, also used by the golden tests as the ground
-    /// truth the service must match bit-for-bit.
-    [[nodiscard]] static PlanResponse solve_direct(const Snapshot& snapshot,
-                                                   const PlanRequest& request,
-                                                   const ServiceOptions& options,
-                                                   const CancelToken* cancel = nullptr);
+    /// truth the service must match bit-for-bit. `level` selects the
+    /// degradation ladder rung to solve at (kFull = the PR 5 behavior;
+    /// kShed never reaches a solver and is rejected here).
+    [[nodiscard]] static PlanResponse solve_direct(
+        const Snapshot& snapshot, const PlanRequest& request,
+        const ServiceOptions& options, const CancelToken* cancel = nullptr,
+        DegradationLevel level = DegradationLevel::kFull);
 
 private:
     struct Pending {
@@ -184,10 +226,21 @@ private:
 
     void dispatcher_loop();
     void dispatch_batch(std::vector<std::unique_ptr<Pending>>& batch);
-    /// Compute the response (never throws; faults become kError). Timing
-    /// fields are the caller's to fill.
+    /// Compute the response at the given ladder level, surviving injected
+    /// and real solver exceptions via the retry/breaker wrapper (never
+    /// throws; terminal faults become kError). Timing fields are the
+    /// caller's to fill.
     [[nodiscard]] PlanResponse solve_request(const PlanRequest& request,
-                                             const Snapshot& snap);
+                                             const Snapshot& snap,
+                                             DegradationLevel level);
+    /// Per-template breaker lookup (governor path only); the map is bounded
+    /// and evicts wholesale when it outgrows kMaxBreakers. Shared ownership
+    /// because an eviction may race a worker mid-solve with its breaker.
+    [[nodiscard]] std::shared_ptr<CircuitBreaker> breaker_for(const std::string& key);
+    /// Fulfill one pending with its response, maintaining the
+    /// completed/rejected/errors counters (a dispatch-time shed counts as
+    /// rejected, not completed).
+    void fulfill(Pending& pending, PlanResponse&& resp);
     /// Coalescing identity: kind, solver-relevant options, and the full
     /// workload/workflow content (spec serialization + job names).
     [[nodiscard]] static std::string dedup_key(const PlanRequest& request);
@@ -199,6 +252,8 @@ private:
     BoundedPriorityQueue<std::unique_ptr<Pending>> queue_;
     ThreadPool pool_;
     CancelToken cancel_;
+    OverloadGovernor governor_;
+    ServeFaultInjector injector_;
 
     std::atomic<std::uint64_t> submitted_{0};
     std::atomic<std::uint64_t> completed_{0};
@@ -207,6 +262,27 @@ private:
     std::atomic<std::uint64_t> batches_{0};
     std::atomic<std::uint64_t> coalesced_{0};
     std::atomic<std::uint64_t> swaps_{0};
+    std::atomic<std::uint64_t> served_full_{0};
+    std::atomic<std::uint64_t> served_trimmed_{0};
+    std::atomic<std::uint64_t> served_greedy_{0};
+    std::atomic<std::uint64_t> governor_shed_{0};
+    std::atomic<std::uint64_t> deadline_shed_{0};
+    std::atomic<std::uint64_t> solve_retries_{0};
+    std::atomic<std::uint64_t> breaker_fastfail_{0};
+    std::atomic<std::uint64_t> swap_clears_suppressed_{0};
+    /// Requests popped from the queue whose response is not yet fulfilled;
+    /// feeds the governor's backlog estimate together with queue depth.
+    std::atomic<std::size_t> in_flight_{0};
+
+    static constexpr std::size_t kMaxBreakers = 256;
+    mutable std::mutex breaker_mutex_;
+    std::unordered_map<std::string, std::shared_ptr<CircuitBreaker>> breakers_;
+    /// Trips carried over from evicted breakers so stats stay monotonic.
+    std::uint64_t evicted_breaker_trips_ = 0;
+    /// Swap-storm guard state (see GovernorOptions::swap_storm_window_ms).
+    CircuitBreaker swap_breaker_;
+    std::chrono::steady_clock::time_point last_swap_{};
+    bool any_swap_ = false;
 
     /// Started last: everything it touches must already be constructed.
     std::thread dispatcher_;

@@ -133,5 +133,97 @@ TEST(BoundedPriorityQueue, ConcurrentProducersAndBatchConsumersLoseNothing) {
     EXPECT_EQ(q.size(), 0u);
 }
 
+// Shutdown race: close() fires while producers are mid-try_push and
+// consumers are mid-pop_batch. The contract under this race is exact —
+// every try_push that returned true is drained exactly once, every
+// try_push after close returns false, and no thread hangs. Run many short
+// rounds so TSan sees lots of distinct interleavings of close vs push/pop.
+TEST(BoundedPriorityQueue, CloseRacingPushAndPopBatchLosesNoAdmittedItem) {
+    constexpr int kRounds = 25;
+    constexpr int kProducers = 3;
+    constexpr int kConsumers = 2;
+    constexpr int kAttemptsPerProducer = 64;
+
+    for (int round = 0; round < kRounds; ++round) {
+        BoundedPriorityQueue<int> q(16, 2);
+        std::atomic<long long> admitted_sum{0};
+        std::atomic<int> admitted_count{0};
+        std::atomic<long long> drained_sum{0};
+        std::atomic<int> drained_count{0};
+
+        std::vector<std::thread> consumers;
+        consumers.reserve(kConsumers);
+        for (int c = 0; c < kConsumers; ++c) {
+            consumers.emplace_back([&] {
+                std::vector<int> batch;
+                for (;;) {
+                    batch.clear();
+                    if (q.pop_batch(batch, 4) == 0) return;
+                    for (const int v : batch) {
+                        drained_sum.fetch_add(v, std::memory_order_relaxed);
+                        drained_count.fetch_add(1, std::memory_order_relaxed);
+                    }
+                }
+            });
+        }
+
+        std::vector<std::thread> producers;
+        producers.reserve(kProducers);
+        for (int p = 0; p < kProducers; ++p) {
+            producers.emplace_back([&, p] {
+                for (int i = 0; i < kAttemptsPerProducer; ++i) {
+                    const int value = p * kAttemptsPerProducer + i + 1;
+                    // No retry loop: close() may land at any moment, and a
+                    // reject (full OR closed) simply doesn't count as admitted.
+                    if (q.try_push(value, static_cast<std::size_t>(value % 2))) {
+                        admitted_sum.fetch_add(value, std::memory_order_relaxed);
+                        admitted_count.fetch_add(1, std::memory_order_relaxed);
+                    }
+                }
+            });
+        }
+
+        // Close somewhere in the middle of the push storm.
+        std::thread closer([&] {
+            std::this_thread::yield();
+            q.close();
+        });
+
+        for (auto& t : producers) t.join();
+        closer.join();
+        for (auto& t : consumers) t.join();
+
+        EXPECT_FALSE(q.try_push(12345)) << "round " << round;
+        EXPECT_EQ(drained_count.load(), admitted_count.load()) << "round " << round;
+        EXPECT_EQ(drained_sum.load(), admitted_sum.load()) << "round " << round;
+        EXPECT_EQ(q.size(), 0u) << "round " << round;
+    }
+}
+
+// close() must release consumers blocked on an *empty* queue — the
+// wait-predicate race the dispatcher shutdown depends on.
+TEST(BoundedPriorityQueue, CloseReleasesConsumersBlockedOnEmptyQueue) {
+    BoundedPriorityQueue<int> q(4);
+    std::atomic<int> released{0};
+
+    std::vector<std::thread> consumers;
+    consumers.reserve(3);
+    for (int c = 0; c < 3; ++c) {
+        consumers.emplace_back([&, c] {
+            if (c % 2 == 0) {
+                EXPECT_EQ(q.pop(), std::nullopt);
+            } else {
+                std::vector<int> batch;
+                EXPECT_EQ(q.pop_batch(batch, 8), 0u);
+            }
+            released.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+
+    q.close();
+    for (auto& t : consumers) t.join();
+    EXPECT_EQ(released.load(), 3);
+}
+
 }  // namespace
 }  // namespace cast

@@ -1,0 +1,167 @@
+// Backoff and CircuitBreaker contract tests. The breaker tests use the
+// deterministic op-count cooldown (open_ops) so every transition is exactly
+// reproducible — no clock reads, no sleeps.
+#include "common/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cast {
+namespace {
+
+TEST(Backoff, WaitsGrowGeometricallyAndRespectTheCap) {
+    const Backoff b{.max_attempts = 5, .base_ms = 2.0, .multiplier = 3.0, .cap_ms = 10.0};
+    b.validate();
+    EXPECT_DOUBLE_EQ(b.wait_ms(0), 2.0);
+    EXPECT_DOUBLE_EQ(b.wait_ms(1), 6.0);
+    EXPECT_DOUBLE_EQ(b.wait_ms(2), 10.0);  // 18 capped
+    EXPECT_DOUBLE_EQ(b.wait_ms(3), 10.0);  // stays at the cap
+}
+
+TEST(Backoff, SingleAttemptMeansNoRetryAndZeroBaseIsLegal) {
+    const Backoff b{.max_attempts = 1, .base_ms = 0.0, .multiplier = 2.0, .cap_ms = 0.0};
+    b.validate();
+    EXPECT_DOUBLE_EQ(b.wait_ms(0), 0.0);
+}
+
+TEST(Backoff, ValidateRejectsNonsense) {
+    EXPECT_THROW((Backoff{.max_attempts = 0}.validate()), PreconditionError);
+    EXPECT_THROW((Backoff{.max_attempts = 1, .base_ms = -1.0}.validate()),
+                 PreconditionError);
+    EXPECT_THROW(
+        (Backoff{.max_attempts = 1, .base_ms = 1.0, .multiplier = 0.5}.validate()),
+        PreconditionError);
+    EXPECT_THROW((Backoff{.max_attempts = 1, .base_ms = 5.0, .multiplier = 2.0,
+                          .cap_ms = 1.0}
+                      .validate()),
+                 PreconditionError);
+}
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFailuresAndFailsFastWhileOpen) {
+    CircuitBreaker breaker({.failure_threshold = 3, .open_ms = 0.0, .open_ops = 100});
+    EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+
+    breaker.record_failure();
+    breaker.record_failure();
+    EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+    EXPECT_TRUE(breaker.allow());
+
+    breaker.record_failure();  // third consecutive: trip
+    EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+    EXPECT_EQ(breaker.trips(), 1u);
+    EXPECT_FALSE(breaker.allow());
+    EXPECT_FALSE(breaker.allow());
+}
+
+TEST(CircuitBreaker, SuccessResetsTheConsecutiveFailureCount) {
+    CircuitBreaker breaker({.failure_threshold = 2, .open_ms = 0.0, .open_ops = 100});
+    breaker.record_failure();
+    breaker.record_success();  // streak broken
+    breaker.record_failure();
+    EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+    breaker.record_failure();
+    EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreaker, OpCountCooldownAdmitsExactlyOneHalfOpenTrial) {
+    CircuitBreaker breaker({.failure_threshold = 1, .open_ms = 0.0, .open_ops = 2});
+    breaker.record_failure();
+    EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+
+    // Cooldown counted in refused calls: two refusals, then the trial.
+    EXPECT_FALSE(breaker.allow());
+    EXPECT_FALSE(breaker.allow());
+    EXPECT_TRUE(breaker.allow());  // the half-open trial
+    EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+    EXPECT_FALSE(breaker.allow());  // only one trial until it resolves
+
+    breaker.record_success();
+    EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+    EXPECT_TRUE(breaker.allow());
+}
+
+TEST(CircuitBreaker, FailedHalfOpenTrialReopensForAnotherCooldown) {
+    CircuitBreaker breaker({.failure_threshold = 1, .open_ms = 0.0, .open_ops = 1});
+    breaker.record_failure();
+    EXPECT_FALSE(breaker.allow());  // cooldown refusal
+    EXPECT_TRUE(breaker.allow());   // trial
+    breaker.record_failure();       // trial failed
+    EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+    EXPECT_EQ(breaker.trips(), 2u);
+    EXPECT_FALSE(breaker.allow());  // fresh cooldown starts over
+    EXPECT_TRUE(breaker.allow());
+    breaker.record_success();
+    EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, WallClockCooldownEventuallyAdmitsATrial) {
+    CircuitBreaker breaker({.failure_threshold = 1, .open_ms = 5.0, .open_ops = 0});
+    breaker.record_failure();
+    EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+    // Poll rather than assert an instant transition — only the *eventual*
+    // half-open admission is contractual on a wall clock.
+    bool admitted = false;
+    for (int i = 0; i < 200 && !admitted; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        admitted = breaker.allow();
+    }
+    EXPECT_TRUE(admitted);
+    EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+}
+
+// TSan lane: hammer one breaker from many threads. The invariant is not a
+// specific state (interleaving-dependent) but that the trip count stays
+// coherent and exactly one caller wins any half-open trial window.
+TEST(CircuitBreaker, ConcurrentCallersNeverCorruptTheStateMachine) {
+    CircuitBreaker breaker({.failure_threshold = 2, .open_ms = 0.0, .open_ops = 3});
+    constexpr int kThreads = 4;
+    constexpr int kOpsPerThread = 300;
+
+    std::atomic<std::uint64_t> allowed{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                if (breaker.allow()) {
+                    allowed.fetch_add(1, std::memory_order_relaxed);
+                    if ((t + i) % 3 == 0) {
+                        breaker.record_failure();
+                    } else {
+                        breaker.record_success();
+                    }
+                }
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    EXPECT_GT(allowed.load(), 0u);
+    const BreakerState final_state = breaker.state();
+    EXPECT_TRUE(final_state == BreakerState::kClosed ||
+                final_state == BreakerState::kOpen ||
+                final_state == BreakerState::kHalfOpen);
+    breaker.record_success();
+    EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+    EXPECT_TRUE(breaker.allow());
+}
+
+TEST(CircuitBreakerOptions, ValidateRejectsNonsense) {
+    EXPECT_THROW((CircuitBreakerOptions{.failure_threshold = 0}.validate()),
+                 PreconditionError);
+    EXPECT_THROW((CircuitBreakerOptions{.failure_threshold = 1, .open_ms = -1.0}
+                      .validate()),
+                 PreconditionError);
+    EXPECT_THROW((CircuitBreakerOptions{.failure_threshold = 1, .open_ms = 0.0,
+                                        .open_ops = -1}
+                      .validate()),
+                 PreconditionError);
+}
+
+}  // namespace
+}  // namespace cast

@@ -113,5 +113,52 @@ TEST_F(RequestSpecTest, RejectsMalformedInput) {
                  ValidationError);
 }
 
+TEST_F(RequestSpecTest, ParsesDeadlineMs) {
+    write("w.spec", kBatchSpec);
+    const auto requests =
+        load_requests(write("r.txt", "request w.spec deadline-ms=125.5\nrequest w.spec\n"));
+    ASSERT_EQ(requests.size(), 2u);
+    EXPECT_EQ(requests[0].deadline_ms, 125.5);
+    EXPECT_EQ(requests[1].deadline_ms, 0.0);  // none declared
+}
+
+// Numeric hardening: every malformed numeric must be a line-attributed
+// parse error, never a silently wrapped/truncated/non-finite value.
+TEST_F(RequestSpecTest, RejectsMalformedNumbersWithLineAttribution) {
+    write("w.spec", kBatchSpec);
+
+    const auto expect_fails_on_line_2 = [&](const std::string& name,
+                                            const std::string& option) {
+        const std::string file =
+            write(name, "request w.spec\nrequest w.spec " + option + "\n");
+        try {
+            (void)load_requests(file);
+            FAIL() << option << " was accepted";
+        } catch (const ValidationError& e) {
+            EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+                << "no line attribution for " << option << ": " << e.what();
+        }
+    };
+
+    // stoull would wrap "-1" to 2^64-1; must be rejected up front.
+    expect_fails_on_line_2("n1.txt", "seed=-1");
+    expect_fails_on_line_2("n2.txt", "seed=+3");
+    expect_fails_on_line_2("n3.txt", "seed=");
+    expect_fails_on_line_2("n4.txt", "seed=7x");
+    expect_fails_on_line_2("n5.txt", "repeat=99999999999999999999999999");
+    expect_fails_on_line_2("n6.txt", "repeat=2000000");  // over kMaxRepeat
+    expect_fails_on_line_2("n7.txt", "budget-ms=");
+    expect_fails_on_line_2("n8.txt", "budget-ms=12.5ms");
+    // stod happily parses inf/nan; neither is a budget or a deadline.
+    expect_fails_on_line_2("n9.txt", "budget-ms=inf");
+    expect_fails_on_line_2("n10.txt", "budget-ms=nan");
+    expect_fails_on_line_2("n11.txt", "deadline-ms=nan");
+    expect_fails_on_line_2("n12.txt", "deadline-ms=-5");
+    expect_fails_on_line_2("n13.txt", "deadline-ms=0");  // 0 means "omit it"
+    expect_fails_on_line_2("n14.txt", "deadline-ms=1e400");  // double overflow
+    // reuse-aware is a flag; a value is a typo worth catching.
+    expect_fails_on_line_2("n15.txt", "reuse-aware=1");
+}
+
 }  // namespace
 }  // namespace cast::serve

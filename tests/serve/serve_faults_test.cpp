@@ -1,0 +1,210 @@
+// ServeFaultProfile / ServeFaultInjector contract tests: the zero profile
+// injects nothing, every sampled fault plan is a pure function of
+// (profile, request id, attempt), and transient vs poisoned requests are
+// distinguishable exactly the way the retry wrapper and breaker rely on.
+#include "serve/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cast::serve {
+namespace {
+
+TEST(ServeFaultProfile, ZeroProfileIsDisabledAndValid) {
+    const ServeFaultProfile none = ServeFaultProfile::none();
+    none.validate();
+    EXPECT_FALSE(none.enabled());
+
+    ServeFaultInjector injector(none);
+    EXPECT_FALSE(injector.enabled());
+    for (std::uint64_t id = 1; id <= 64; ++id) {
+        for (int attempt = 0; attempt < 3; ++attempt) {
+            const AttemptFault fault = injector.on_attempt(id, attempt);
+            EXPECT_EQ(fault.stall_ms, 0.0);
+            EXPECT_FALSE(fault.throw_exception);
+        }
+    }
+    EXPECT_FALSE(injector.stats().any());
+}
+
+TEST(ServeFaultProfile, ValidateRejectsNonsense) {
+    ServeFaultProfile p;
+    p.stall_prob = 1.5;
+    EXPECT_THROW(p.validate(), PreconditionError);
+    p = {};
+    p.stall_min_ms = 5.0;
+    p.stall_max_ms = 1.0;
+    EXPECT_THROW(p.validate(), PreconditionError);
+    p = {};
+    p.exception_prob = -0.1;
+    EXPECT_THROW(p.validate(), PreconditionError);
+    p = {};
+    p.max_failed_attempts = -1;
+    EXPECT_THROW(p.validate(), PreconditionError);
+    p = {};
+    p.flood_factor = 0.0;
+    EXPECT_THROW(p.validate(), PreconditionError);
+}
+
+TEST(ServeFaultProfile, ScaledSweepIsValidMonotoneAndSeedDeterministic) {
+    ServeFaultProfile prev = ServeFaultProfile::scaled(0.0, 7);
+    prev.validate();
+    EXPECT_FALSE(prev.enabled());  // intensity 0 must be the zero profile
+    EXPECT_EQ(prev.flood_factor, 1.0);
+
+    for (const double intensity : {0.25, 0.5, 0.75, 1.0}) {
+        const ServeFaultProfile p = ServeFaultProfile::scaled(intensity, 7);
+        p.validate();
+        EXPECT_TRUE(p.enabled());
+        EXPECT_GE(p.stall_prob, prev.stall_prob);
+        EXPECT_GE(p.exception_prob, prev.exception_prob);
+        EXPECT_GE(p.flood_factor, prev.flood_factor);
+        EXPECT_GE(p.swap_storm_swaps, prev.swap_storm_swaps);
+        prev = p;
+    }
+
+    EXPECT_THROW((void)ServeFaultProfile::scaled(1.5, 7), PreconditionError);
+    EXPECT_THROW((void)ServeFaultProfile::scaled(-0.1, 7), PreconditionError);
+}
+
+// The determinism contract the bit-identity tests lean on: the fault plan
+// for (request, attempt) must not depend on the order injectors are asked,
+// on which injector instance asks, or on how many other requests exist.
+TEST(ServeFaultInjector, FaultPlanIsPureFunctionOfRequestAndAttempt) {
+    const ServeFaultProfile profile = ServeFaultProfile::scaled(1.0, 1234);
+
+    ServeFaultInjector forward(profile);
+    ServeFaultInjector backward(profile);
+
+    constexpr std::uint64_t kRequests = 200;
+    constexpr int kAttempts = 3;
+    std::vector<AttemptFault> a(kRequests * kAttempts);
+    std::vector<AttemptFault> b(kRequests * kAttempts);
+
+    for (std::uint64_t id = 0; id < kRequests; ++id) {
+        for (int attempt = 0; attempt < kAttempts; ++attempt) {
+            a[id * kAttempts + static_cast<std::uint64_t>(attempt)] =
+                forward.on_attempt(id + 1, attempt);
+        }
+    }
+    for (std::uint64_t id = kRequests; id-- > 0;) {
+        for (int attempt = kAttempts; attempt-- > 0;) {
+            b[id * kAttempts + static_cast<std::uint64_t>(attempt)] =
+                backward.on_attempt(id + 1, attempt);
+        }
+    }
+
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].stall_ms, b[i].stall_ms) << "slot " << i;
+        EXPECT_EQ(a[i].throw_exception, b[i].throw_exception) << "slot " << i;
+    }
+    // Identical queries in a different order produce identical aggregate
+    // counters too.
+    EXPECT_EQ(forward.stats().stalls, backward.stats().stalls);
+    EXPECT_EQ(forward.stats().injected_exceptions,
+              backward.stats().injected_exceptions);
+    // At intensity 1 over 200 requests, both fault classes must have fired.
+    EXPECT_GT(forward.stats().stalls, 0u);
+    EXPECT_GT(forward.stats().injected_exceptions, 0u);
+}
+
+TEST(ServeFaultInjector, ConcurrentSamplingMatchesSerialSampling) {
+    const ServeFaultProfile profile = ServeFaultProfile::scaled(0.8, 99);
+    constexpr std::uint64_t kRequests = 256;
+
+    ServeFaultInjector serial(profile);
+    std::vector<char> serial_throws(kRequests);
+    for (std::uint64_t id = 0; id < kRequests; ++id) {
+        serial_throws[id] = serial.on_attempt(id + 1, 0).throw_exception ? 1 : 0;
+    }
+
+    ServeFaultInjector concurrent(profile);
+    std::vector<char> concurrent_throws(kRequests);
+    std::vector<std::thread> threads;
+    constexpr int kThreads = 4;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::uint64_t id = static_cast<std::uint64_t>(t); id < kRequests;
+                 id += kThreads) {
+                concurrent_throws[id] =
+                    concurrent.on_attempt(id + 1, 0).throw_exception ? 1 : 0;
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    EXPECT_EQ(serial_throws, concurrent_throws);
+    EXPECT_EQ(serial.stats().stalls, concurrent.stats().stalls);
+    EXPECT_EQ(serial.stats().injected_exceptions,
+              concurrent.stats().injected_exceptions);
+}
+
+// Transient vs poisoned is what separates the retry wrapper's job from the
+// circuit breaker's: a transient request recovers within
+// max_failed_attempts extra tries; a poisoned one never does.
+TEST(ServeFaultInjector, TransientRequestsRecoverPoisonedOnesNeverDo) {
+    ServeFaultProfile transient;
+    transient.seed = 42;
+    transient.exception_prob = 1.0;  // every request marked
+    transient.max_failed_attempts = 2;
+    ServeFaultInjector transient_injector(transient);
+
+    for (std::uint64_t id = 1; id <= 50; ++id) {
+        int failed = 0;
+        int attempt = 0;
+        while (transient_injector.on_attempt(id, attempt).throw_exception) {
+            ++failed;
+            ++attempt;
+            ASSERT_LE(failed, transient.max_failed_attempts) << "request " << id;
+        }
+        EXPECT_GE(failed, 1) << "request " << id;  // marked: first try fails
+        // Recovery is stable: later attempts keep succeeding.
+        EXPECT_FALSE(transient_injector.on_attempt(id, attempt + 1).throw_exception);
+    }
+
+    ServeFaultProfile poisoned = transient;
+    poisoned.max_failed_attempts = 0;  // fails forever
+    ServeFaultInjector poisoned_injector(poisoned);
+    for (std::uint64_t id = 1; id <= 10; ++id) {
+        for (int attempt = 0; attempt < 8; ++attempt) {
+            EXPECT_TRUE(poisoned_injector.on_attempt(id, attempt).throw_exception)
+                << "request " << id << " attempt " << attempt;
+        }
+    }
+}
+
+TEST(ServeFaultInjector, StallsHitTheFirstAttemptOnlyAndAreCounted) {
+    ServeFaultProfile profile;
+    profile.seed = 5;
+    profile.stall_prob = 1.0;
+    profile.stall_min_ms = 2.0;
+    profile.stall_max_ms = 4.0;
+    ServeFaultInjector injector(profile);
+
+    double total_ms = 0.0;
+    constexpr std::uint64_t kRequests = 20;
+    for (std::uint64_t id = 1; id <= kRequests; ++id) {
+        const AttemptFault first = injector.on_attempt(id, 0);
+        EXPECT_GE(first.stall_ms, profile.stall_min_ms);
+        EXPECT_LE(first.stall_ms, profile.stall_max_ms);
+        total_ms += first.stall_ms;
+        // Retries of a stalled request do not stall again — the stall models
+        // a wedged worker, not a flaky solve.
+        EXPECT_EQ(injector.on_attempt(id, 1).stall_ms, 0.0);
+    }
+
+    const ServeFaultStats stats = injector.stats();
+    EXPECT_TRUE(stats.any());
+    EXPECT_EQ(stats.stalls, kRequests);
+    // stall_ms is summed in integer microseconds; allow that truncation.
+    EXPECT_NEAR(stats.stall_ms, total_ms, 0.001 * static_cast<double>(kRequests));
+}
+
+}  // namespace
+}  // namespace cast::serve

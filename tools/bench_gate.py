@@ -31,19 +31,23 @@ from pathlib import Path
 RESULT_NAME = "BENCH_serve_throughput.json"
 
 
-def best_service_plans_per_sec(report: dict) -> float:
+def best_service_plans_per_sec(report: dict, max_workers: int | None = None) -> float:
     """Headline metric: the best plans/sec over all service configurations.
 
     Budgeted runs are excluded — their throughput is bounded by the wall
-    budget, not by the serving machinery under test.
+    budget, not by the serving machinery under test. When `max_workers` is
+    given, runs with more workers than that are excluded too (used to strip
+    parallel-scaling configs when baseline and current hosts differ).
     """
     best = 0.0
     for run in report.get("service_runs", []):
         if report.get("budget_ms", 0.0) > 0.0 and "budget" in str(run.get("config", "")):
             continue
+        if max_workers is not None and int(run.get("workers", 1)) > max_workers:
+            continue
         best = max(best, float(run.get("plans_per_sec", 0.0)))
     if best <= 0.0:
-        raise ValueError("no service_runs with plans_per_sec > 0 in report")
+        raise ValueError("no comparable service_runs with plans_per_sec > 0 in report")
     return best
 
 
@@ -81,8 +85,26 @@ def main() -> int:
               "skipping throughput comparison")
         return 0
 
-    base = best_service_plans_per_sec(baseline)
-    now = best_service_plans_per_sec(fresh)
+    # Parallel-scaling numbers (workers > 1) only compare apples-to-apples
+    # when baseline and current were measured on hosts with the same core
+    # count; otherwise restrict the comparison to single-worker runs.
+    max_workers = None
+    base_cores = baseline.get("host_cores")
+    fresh_cores = fresh.get("host_cores")
+    if base_cores != fresh_cores:
+        print(f"bench_gate: host_cores differ (baseline {base_cores}, "
+              f"current {fresh_cores}); comparing single-worker runs only")
+        max_workers = 1
+
+    try:
+        base = best_service_plans_per_sec(baseline, max_workers)
+        now = best_service_plans_per_sec(fresh, max_workers)
+    except ValueError as err:
+        if max_workers is not None:
+            print(f"bench_gate: {err}; no core-count-independent runs to "
+                  "compare, skipping throughput comparison")
+            return 0
+        raise
     ratio = now / base
     verdict = "OK" if ratio >= 1.0 - args.threshold else "REGRESSION"
     print(f"bench_gate: best service plans/sec {now:.1f} vs baseline {base:.1f} "

@@ -21,9 +21,13 @@
 //       spec file.
 //
 //   cast_plan serve --models FILE --requests FILE [--workers N]
+//                   [--governor] [--latency-target-ms X] [--fault-intensity I]
 //       Replay a request file through the long-lived PlannerService
 //       (snapshot cache, batching, coalescing) and print per-request
-//       results plus service/cache statistics.
+//       results plus service/cache statistics. --governor enables the
+//       overload governor (degradation ladder, deadline admission, retry +
+//       circuit breakers); --fault-intensity injects the seeded serve-layer
+//       fault profile at intensity I in [0, 1] for resilience drills.
 //
 // Every command also accepts `--threads N` to pin thread-pool sizes
 // (profiling, solver chains, service workers).
@@ -76,6 +80,8 @@ int usage() {
            "  cast_plan synth    [--seed N] [--out FILE]\n"
            "  cast_plan serve    --models FILE --requests FILE [--workers N]\n"
            "                     [--queue N] [--batch N] [--budget-ms X]\n"
+           "                     [--governor] [--latency-target-ms X]\n"
+           "                     [--fault-intensity I] [--fault-seed N]\n"
            "(all commands accept --threads N to pin thread-pool sizes)\n";
     return 1;
 }
@@ -274,6 +280,23 @@ int cmd_serve(const Args& args) {
     const std::string budget = args.get("budget-ms");
     if (!budget.empty()) opts.default_max_wall_ms = std::stod(budget);
 
+    // Overload governor: off by default (bit-identical to the plain
+    // service); --latency-target-ms implies it since the target is its
+    // only input a replay run would want to tune.
+    const std::string latency_target = args.get("latency-target-ms");
+    if (args.has_flag("governor") || !latency_target.empty()) {
+        opts.governor.enabled = true;
+        if (!latency_target.empty()) {
+            opts.governor.latency_target_ms = std::stod(latency_target);
+        }
+    }
+    const std::string intensity = args.get("fault-intensity");
+    if (!intensity.empty()) {
+        const std::string fault_seed = args.get("fault-seed", "1");
+        opts.faults = serve::ServeFaultProfile::scaled(std::stod(intensity),
+                                                       std::stoull(fault_seed));
+    }
+
     auto requests = serve::load_requests(requests_path);
     if (requests.empty()) {
         std::cerr << "serve: " << requests_path << " contains no requests\n";
@@ -292,7 +315,8 @@ int cmd_serve(const Args& args) {
         futures.push_back(service.submit(std::move(request)));
     }
 
-    TextTable t({"id", "kind", "status", "utility / cost", "queue ms", "solve ms", "notes"});
+    TextTable t({"id", "kind", "status", "level", "utility / cost", "queue ms",
+                 "solve ms", "notes"});
     int failures = 0;
     for (auto& future : futures) {
         const serve::PlanResponse resp = future.get();
@@ -311,10 +335,15 @@ int cmd_serve(const Args& args) {
         std::string notes;
         if (resp.coalesced) notes += "coalesced ";
         if (resp.budget_exhausted()) notes += "budget-exhausted ";
+        if (resp.attempts > 1) {
+            notes += "attempts=" + std::to_string(resp.attempts) + " ";
+        }
         if (!resp.error.empty()) notes += resp.error;
         if (!resp.ok()) ++failures;
-        t.add_row({std::to_string(resp.id), resp.batch ? "batch" : "workflow", status,
-                   outcome, fmt(resp.queue_ms, 2), fmt(resp.solve_ms, 2), notes});
+        t.add_row({std::to_string(resp.id),
+                   resp.kind == serve::RequestKind::kBatch ? "batch" : "workflow", status,
+                   serve::degradation_level_name(resp.degradation_level), outcome,
+                   fmt(resp.queue_ms, 2), fmt(resp.solve_ms, 2), notes});
     }
     t.print(std::cout);
 
@@ -322,6 +351,20 @@ int cmd_serve(const Args& args) {
     std::cout << "service: " << stats.completed << " completed, " << stats.rejected
               << " rejected, " << stats.errors << " errors, " << stats.coalesced
               << " coalesced across " << stats.batches << " dispatches\n";
+    if (opts.governor.enabled) {
+        std::cout << "governor: full " << stats.served_full << ", trimmed "
+                  << stats.served_trimmed << ", greedy " << stats.served_greedy
+                  << ", shed " << stats.governor_shed << " overload + "
+                  << stats.deadline_shed << " deadline; retries "
+                  << stats.solve_retries << ", breaker fast-fails "
+                  << stats.breaker_fastfail << " (trips " << stats.breaker_trips
+                  << "), ewma solve " << fmt(stats.ewma_solve_ms, 2) << " ms\n";
+    }
+    if (stats.faults.any()) {
+        std::cout << "faults: " << stats.faults.stalls << " stalls ("
+                  << fmt(stats.faults.stall_ms, 1) << " ms), "
+                  << stats.faults.injected_exceptions << " injected exceptions\n";
+    }
     print_cache_stats(stats.cache, std::cout);
     return failures == 0 ? 0 : 2;
 }
