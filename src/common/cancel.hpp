@@ -6,7 +6,9 @@
 // best-so-far feasible result flagged budget_exhausted instead of throwing
 // or blocking. One token may be observed by many solves at once (service
 // shutdown cancels the whole in-flight set), so all operations are atomic
-// and the token itself is immovable.
+// and the token itself is immovable. Lock-free by design: there is no
+// mutex here for the thread-safety analysis to track — the whole contract
+// is the single atomic flag, which needs no capability annotations.
 #pragma once
 
 #include <atomic>

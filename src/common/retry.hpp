@@ -28,8 +28,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
+#include <thread>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 
 namespace cast {
@@ -59,6 +60,16 @@ struct Backoff {
         return std::min(w, cap_ms);
     }
 };
+
+/// Block the calling thread for `ms` milliseconds (no-op when <= 0). The
+/// single real-sleep primitive for the retry/backoff and fault-injection
+/// paths — cast_check rule C004 bans std::this_thread::sleep_for anywhere
+/// else in src/, so every wall-clock stall in the runtime is grep-able to
+/// this one function and the injector.
+inline void sleep_backoff_ms(double ms) {
+    if (ms <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
 
 enum class BreakerState { kClosed, kOpen, kHalfOpen };
 
@@ -91,8 +102,8 @@ public:
     /// True when the protected operation may proceed. In half-open state
     /// only the first caller gets a trial; everyone else keeps failing fast
     /// until record_success()/record_failure() resolves the trial.
-    [[nodiscard]] bool allow() {
-        std::lock_guard lock(mutex_);
+    [[nodiscard]] bool allow() CAST_EXCLUDES(mutex_) {
+        LockGuard lock(mutex_);
         switch (state_) {
             case BreakerState::kClosed:
                 return true;
@@ -110,14 +121,14 @@ public:
         return false;
     }
 
-    void record_success() {
-        std::lock_guard lock(mutex_);
+    void record_success() CAST_EXCLUDES(mutex_) {
+        LockGuard lock(mutex_);
         consecutive_failures_ = 0;
         state_ = BreakerState::kClosed;
     }
 
-    void record_failure() {
-        std::lock_guard lock(mutex_);
+    void record_failure() CAST_EXCLUDES(mutex_) {
+        LockGuard lock(mutex_);
         if (state_ == BreakerState::kHalfOpen) {
             open_locked();  // the trial failed; back to open for another cooldown
             return;
@@ -129,26 +140,26 @@ public:
         }
     }
 
-    [[nodiscard]] BreakerState state() const {
-        std::lock_guard lock(mutex_);
+    [[nodiscard]] BreakerState state() const CAST_EXCLUDES(mutex_) {
+        LockGuard lock(mutex_);
         return state_;
     }
 
     /// Times the breaker transitioned closed/half-open -> open.
-    [[nodiscard]] std::uint64_t trips() const {
-        std::lock_guard lock(mutex_);
+    [[nodiscard]] std::uint64_t trips() const CAST_EXCLUDES(mutex_) {
+        LockGuard lock(mutex_);
         return trips_;
     }
 
 private:
-    void open_locked() {
+    void open_locked() CAST_REQUIRES(mutex_) {
         state_ = BreakerState::kOpen;
         opened_at_ = std::chrono::steady_clock::now();
         refused_since_open_ = 0;
         ++trips_;
     }
 
-    [[nodiscard]] bool cooled_down_locked() const {
+    [[nodiscard]] bool cooled_down_locked() const CAST_REQUIRES(mutex_) {
         if (options_.open_ops > 0) return refused_since_open_ >= options_.open_ops;
         const auto elapsed = std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - opened_at_);
@@ -156,12 +167,12 @@ private:
     }
 
     CircuitBreakerOptions options_;
-    mutable std::mutex mutex_;
-    BreakerState state_ = BreakerState::kClosed;
-    int consecutive_failures_ = 0;
-    int refused_since_open_ = 0;
-    std::uint64_t trips_ = 0;
-    std::chrono::steady_clock::time_point opened_at_{};
+    mutable Mutex mutex_;
+    BreakerState state_ CAST_GUARDED_BY(mutex_) = BreakerState::kClosed;
+    int consecutive_failures_ CAST_GUARDED_BY(mutex_) = 0;
+    int refused_since_open_ CAST_GUARDED_BY(mutex_) = 0;
+    std::uint64_t trips_ CAST_GUARDED_BY(mutex_) = 0;
+    std::chrono::steady_clock::time_point opened_at_ CAST_GUARDED_BY(mutex_){};
 };
 
 }  // namespace cast

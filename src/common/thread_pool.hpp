@@ -20,7 +20,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdlib>
 #include <deque>
@@ -28,13 +27,13 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 
 namespace cast {
@@ -85,7 +84,10 @@ public:
 
     ~ThreadPool() {
         {
-            std::lock_guard lock(sleep_mutex_);
+            // The store is atomic, but pairing it with the sleep mutex
+            // closes the lost-wakeup window against a worker between its
+            // predicate check and its wait.
+            LockGuard lock(sleep_mutex_);
             stopping_.store(true, std::memory_order_relaxed);
         }
         cv_.notify_all();
@@ -130,8 +132,8 @@ public:
             std::atomic<std::size_t> done{0};
             std::size_t n = 0;
             std::size_t grain = 1;
-            std::mutex error_mutex;
-            std::vector<std::exception_ptr> errors;
+            Mutex error_mutex;
+            std::vector<std::exception_ptr> errors CAST_GUARDED_BY(error_mutex);
         };
         auto state = std::make_shared<State>();
         state->n = n;
@@ -148,7 +150,7 @@ public:
                 try {
                     for (std::size_t i = begin; i < end; ++i) body(i);
                 } catch (...) {
-                    std::lock_guard lock(state->error_mutex);
+                    LockGuard lock(state->error_mutex);
                     state->errors.push_back(std::current_exception());
                 }
                 state->done.fetch_add(end - begin, std::memory_order_acq_rel);
@@ -171,7 +173,7 @@ public:
 
         std::vector<std::exception_ptr> errors;
         {
-            std::lock_guard lock(state->error_mutex);
+            LockGuard lock(state->error_mutex);
             errors.swap(state->errors);
         }
         if (errors.empty()) return;
@@ -207,8 +209,8 @@ private:
     using Task = std::function<void()>;
 
     struct WorkerQueue {
-        std::mutex mutex;
-        std::deque<Task> deque;
+        Mutex mutex;
+        std::deque<Task> deque CAST_GUARDED_BY(mutex);
     };
 
     /// Index of the calling thread in `pool`, or -1 for external threads.
@@ -239,21 +241,22 @@ private:
             self >= 0 ? static_cast<std::size_t>(self)
                       : next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
         {
-            std::lock_guard lock(queues_[q]->mutex);
-            queues_[q]->deque.push_back(std::move(task));
+            WorkerQueue& wq = *queues_[q];
+            LockGuard lock(wq.mutex);
+            wq.deque.push_back(std::move(task));
         }
         pending_.fetch_add(1, std::memory_order_release);
         {
             // Lock/unlock pairs the notify with the sleeper's predicate
             // check, closing the lost-wakeup window.
-            std::lock_guard lock(sleep_mutex_);
+            LockGuard lock(sleep_mutex_);
         }
         cv_.notify_one();
     }
 
     /// Pop from own deque (back) or steal from another (front). Returns
     /// false when every deque is empty.
-    bool try_pop_task(Task& out) {
+    [[nodiscard]] bool try_pop_task(Task& out) {
         const int self = current_worker(this);
         const std::size_t start =
             self >= 0 ? static_cast<std::size_t>(self)
@@ -261,7 +264,7 @@ private:
         for (std::size_t k = 0; k < queues_.size(); ++k) {
             const std::size_t q = (start + k) % queues_.size();
             WorkerQueue& wq = *queues_[q];
-            std::lock_guard lock(wq.mutex);
+            LockGuard lock(wq.mutex);
             if (wq.deque.empty()) continue;
             if (k == 0 && self >= 0) {
                 out = std::move(wq.deque.back());
@@ -276,7 +279,7 @@ private:
         return false;
     }
 
-    bool try_run_one_task() {
+    [[nodiscard]] bool try_run_one_task() {
         Task task;
         if (!try_pop_task(task)) return false;
         task();
@@ -287,11 +290,11 @@ private:
         worker_slot(this) = static_cast<int>(index);
         for (;;) {
             if (try_run_one_task()) continue;
-            std::unique_lock lock(sleep_mutex_);
-            cv_.wait(lock, [this] {
-                return stopping_.load(std::memory_order_relaxed) ||
-                       pending_.load(std::memory_order_acquire) > 0;
-            });
+            UniqueLock lock(sleep_mutex_);
+            while (!stopping_.load(std::memory_order_relaxed) &&
+                   pending_.load(std::memory_order_acquire) == 0) {
+                cv_.wait(lock);
+            }
             if (stopping_.load(std::memory_order_relaxed) &&
                 pending_.load(std::memory_order_acquire) == 0) {
                 return;  // stopping and drained
@@ -300,8 +303,10 @@ private:
     }
 
     std::vector<std::unique_ptr<WorkerQueue>> queues_;
-    std::mutex sleep_mutex_;
-    std::condition_variable cv_;
+    /// Guards nothing directly (stopping_/pending_ are atomics); exists to
+    /// pair notifies with the sleep predicate so wakeups are never lost.
+    Mutex sleep_mutex_;
+    CondVar cv_;
     std::atomic<bool> stopping_{false};
     std::atomic<std::size_t> pending_{0};
     std::atomic<std::size_t> next_queue_{0};

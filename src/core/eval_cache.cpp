@@ -80,7 +80,7 @@ Seconds EvalCache::job_runtime(const model::PerfModelSet& models,
 
     Shard& shard = shards_[h & shard_mask_];
     {
-        std::lock_guard lock(shard.mutex);
+        LockGuard lock(shard.mutex);
         const auto it = shard.map.find(key);
         if (it != shard.map.end()) {
             shared_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -93,7 +93,7 @@ Seconds EvalCache::job_runtime(const model::PerfModelSet& models,
     const Seconds t = models.job_runtime(job, tier, per_vm_capacity, legs);
     misses_.fetch_add(1, std::memory_order_relaxed);
     {
-        std::lock_guard lock(shard.mutex);
+        LockGuard lock(shard.mutex);
         shard.map.emplace(key, t.value());
     }
     inserts_.fetch_add(1, std::memory_order_relaxed);
@@ -115,16 +115,18 @@ EvalCacheStats EvalCache::stats() const {
 std::size_t EvalCache::size() const {
     std::size_t n = 0;
     for (std::size_t s = 0; s <= shard_mask_; ++s) {
-        std::lock_guard lock(shards_[s].mutex);
-        n += shards_[s].map.size();
+        Shard& shard = shards_[s];
+        LockGuard lock(shard.mutex);
+        n += shard.map.size();
     }
     return n;
 }
 
 void EvalCache::clear() {
     for (std::size_t s = 0; s <= shard_mask_; ++s) {
-        std::lock_guard lock(shards_[s].mutex);
-        shards_[s].map.clear();
+        Shard& shard = shards_[s];
+        LockGuard lock(shard.mutex);
+        shard.map.clear();
     }
     // A fresh generation invalidates every thread's L1 slots at once.
     generation_.store(g_generation.fetch_add(1, std::memory_order_relaxed) + 1,

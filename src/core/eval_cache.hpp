@@ -23,7 +23,9 @@
 //
 // Thread safety. The table is sharded by key hash; each shard has its own
 // mutex, so concurrent annealing chains sharing one cache (the ThreadPool
-// path) contend only on colliding shards. Values are deterministic
+// path) contend only on colliding shards. Each shard's map carries a
+// CAST_GUARDED_BY contract, so the Clang thread-safety lane proves every
+// map access holds its shard mutex. Values are deterministic
 // functions of their key, so duplicated computation under a race is
 // benign: both threads store the same bits.
 //
@@ -39,8 +41,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
+
+#include "common/annotations.hpp"
 
 #include "cloud/storage.hpp"
 #include "common/units.hpp"
@@ -113,8 +116,8 @@ private:
     };
 
     struct Shard {
-        std::mutex mutex;
-        std::unordered_map<Key, double, KeyHash> map;
+        Mutex mutex;
+        std::unordered_map<Key, double, KeyHash> map CAST_GUARDED_BY(mutex);
     };
 
     /// One slot of the thread-local direct-mapped L1. A slot is valid for

@@ -1,8 +1,8 @@
 #include "model/profiler.hpp"
 
-#include <mutex>
 #include <string>
 
+#include "common/annotations.hpp"
 #include "sim/batch.hpp"
 
 namespace cast::model {
@@ -181,14 +181,14 @@ PerfModelSet Profiler::profile(ThreadPool* pool) const {
     for (AppKind app : workload::kAllApps) {
         for (StorageTier tier : cloud::kAllTiers) tasks.push_back({app, tier});
     }
-    std::mutex mutex;
+    Mutex mutex;
     // Passing the pool down makes the per-pair calibration batches nested
     // parallel_fors — safe with the work-stealing pool (a blocked worker
     // helps drain other tasks), and it keeps the pool busy at the tail of
     // the sweep when few pairs remain.
     auto run_one = [&](std::size_t i) {
         TierModel model = profile_pair(tasks[i].app, tasks[i].tier, pool);
-        std::lock_guard lock(mutex);
+        LockGuard lock(mutex);
         set.set_tier_model(tasks[i].app, tasks[i].tier, std::move(model));
     };
     if (pool != nullptr) {

@@ -26,14 +26,14 @@ void GovernorOptions::apply(DegradationLevel level, core::CastOptions& opts) con
 
 void OverloadGovernor::record_solve_ms(double ms) {
     if (ms < 0.0) return;
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     ewma_ms_ = seeded_ ? options_.ewma_alpha * ms + (1.0 - options_.ewma_alpha) * ewma_ms_
                        : ms;
     seeded_ = true;
 }
 
 double OverloadGovernor::ewma_solve_ms() const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return ewma_ms_;
 }
 
@@ -60,9 +60,9 @@ DegradationLevel OverloadGovernor::classify(double pressure) const {
 bool OverloadGovernor::provably_late(double deadline_ms, std::size_t queue_depth,
                                      std::size_t in_flight) const {
     if (deadline_ms <= 0.0) return false;
-    double ewma;
+    double ewma = 0.0;
     {
-        std::lock_guard lock(mutex_);
+        LockGuard lock(mutex_);
         if (!seeded_) return false;
         ewma = ewma_ms_;
     }

@@ -33,8 +33,8 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "common/retry.hpp"
 #include "core/castpp.hpp"
@@ -136,16 +136,17 @@ public:
     [[nodiscard]] const GovernorOptions& options() const { return options_; }
 
     /// Feed one completed solve's latency into the EWMA.
-    void record_solve_ms(double ms);
+    void record_solve_ms(double ms) CAST_EXCLUDES(mutex_);
 
     /// Current EWMA of solve latency (0 until the first sample).
-    [[nodiscard]] double ewma_solve_ms() const;
+    [[nodiscard]] double ewma_solve_ms() const CAST_EXCLUDES(mutex_);
 
     /// Overload pressure: estimated drain time of the current backlog over
     /// the latency target, with raw queue occupancy as a cold-start
     /// backstop (a full queue reads at least shed pressure even while the
     /// EWMA is unseeded).
-    [[nodiscard]] double pressure(std::size_t queue_depth, std::size_t in_flight) const;
+    [[nodiscard]] double pressure(std::size_t queue_depth, std::size_t in_flight) const
+        CAST_EXCLUDES(mutex_);
 
     /// Ladder level for a pressure reading.
     [[nodiscard]] DegradationLevel classify(double pressure) const;
@@ -155,16 +156,16 @@ public:
     /// exceeds the deadline. Never fires before the EWMA is seeded — with
     /// no latency evidence nothing is provable.
     [[nodiscard]] bool provably_late(double deadline_ms, std::size_t queue_depth,
-                                     std::size_t in_flight) const;
+                                     std::size_t in_flight) const CAST_EXCLUDES(mutex_);
 
 private:
     GovernorOptions options_;
     std::size_t workers_;
     std::size_t queue_capacity_;
 
-    mutable std::mutex mutex_;
-    double ewma_ms_ = 0.0;
-    bool seeded_ = false;
+    mutable Mutex mutex_;
+    double ewma_ms_ CAST_GUARDED_BY(mutex_) = 0.0;
+    bool seeded_ CAST_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace cast::serve

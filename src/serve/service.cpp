@@ -18,11 +18,6 @@ double ms_between(std::chrono::steady_clock::time_point from,
     return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
-void sleep_ms(double ms) {
-    if (ms <= 0.0) return;
-    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
-}
-
 /// Service-wide solver options specialized to one request: seed and wall
 /// budget come from the request (falling back to service defaults), the
 /// cancel token from the service. Everything else is shared config.
@@ -121,7 +116,7 @@ void PlannerService::swap_snapshot(SnapshotPtr next) {
     SnapshotPtr old;
     bool storm_sample = false;
     {
-        std::lock_guard lock(snapshot_mutex_);
+        LockGuard lock(snapshot_mutex_);
         old = std::exchange(snapshot_, std::move(next));
         if (governor_.enabled()) {
             const auto now = std::chrono::steady_clock::now();
@@ -158,7 +153,7 @@ void PlannerService::swap_snapshot(SnapshotPtr next) {
 }
 
 SnapshotPtr PlannerService::snapshot() const {
-    std::lock_guard lock(snapshot_mutex_);
+    LockGuard lock(snapshot_mutex_);
     return snapshot_;
 }
 
@@ -182,7 +177,7 @@ ServiceStats PlannerService::stats() const {
     s.breaker_fastfail = breaker_fastfail_.load(std::memory_order_relaxed);
     s.swap_clears_suppressed = swap_clears_suppressed_.load(std::memory_order_relaxed);
     {
-        std::lock_guard lock(breaker_mutex_);
+        LockGuard lock(breaker_mutex_);
         s.breaker_trips = evicted_breaker_trips_ + swap_breaker_.trips();
         for (const auto& [key, breaker] : breakers_) s.breaker_trips += breaker->trips();
     }
@@ -330,8 +325,8 @@ void PlannerService::dispatch_batch(std::vector<std::unique_ptr<Pending>>& batch
 }
 
 std::shared_ptr<CircuitBreaker> PlannerService::breaker_for(const std::string& key) {
-    std::lock_guard lock(breaker_mutex_);
-    auto it = breakers_.find(key);
+    LockGuard lock(breaker_mutex_);
+    const auto it = breakers_.find(key);
     if (it != breakers_.end()) return it->second;
     if (breakers_.size() >= kMaxBreakers) {
         // Wholesale eviction keeps the map bounded without LRU bookkeeping;
@@ -373,12 +368,12 @@ PlanResponse PlannerService::solve_request(const PlanRequest& request, const Sna
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
         if (attempt > 0) {
             solve_retries_.fetch_add(1, std::memory_order_relaxed);
-            sleep_ms(options_.governor.retry.wait_ms(attempt - 1));
+            sleep_backoff_ms(options_.governor.retry.wait_ms(attempt - 1));
         }
         try {
             if (injector_.enabled()) {
                 const AttemptFault fault = injector_.on_attempt(request.id, attempt);
-                sleep_ms(fault.stall_ms);  // worker stall: a real sleep
+                sleep_backoff_ms(fault.stall_ms);  // worker stall: a real sleep
                 if (fault.throw_exception) {
                     throw SimulationError("injected serve-layer solver fault", "",
                                           "serve");

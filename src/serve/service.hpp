@@ -30,13 +30,13 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/cancel.hpp"
 #include "common/mpmc_queue.hpp"
 #include "common/retry.hpp"
@@ -189,9 +189,9 @@ public:
     /// were dispatched with (refcount); later dispatches see the new one.
     /// The outgoing snapshot's cache is cleared, bumping its generation so
     /// any thread-local L1 entries die with it.
-    void swap_snapshot(SnapshotPtr next);
+    void swap_snapshot(SnapshotPtr next) CAST_EXCLUDES(snapshot_mutex_);
 
-    [[nodiscard]] SnapshotPtr snapshot() const;
+    [[nodiscard]] SnapshotPtr snapshot() const CAST_EXCLUDES(snapshot_mutex_);
 
     /// Cooperative cancellation of everything in flight *and* everything
     /// still queued: each solve stops at its next segment boundary and
@@ -236,7 +236,8 @@ private:
     /// Per-template breaker lookup (governor path only); the map is bounded
     /// and evicts wholesale when it outgrows kMaxBreakers. Shared ownership
     /// because an eviction may race a worker mid-solve with its breaker.
-    [[nodiscard]] std::shared_ptr<CircuitBreaker> breaker_for(const std::string& key);
+    [[nodiscard]] std::shared_ptr<CircuitBreaker> breaker_for(const std::string& key)
+        CAST_EXCLUDES(breaker_mutex_);
     /// Fulfill one pending with its response, maintaining the
     /// completed/rejected/errors counters (a dispatch-time shed counts as
     /// rejected, not completed).
@@ -246,8 +247,8 @@ private:
     [[nodiscard]] static std::string dedup_key(const PlanRequest& request);
 
     ServiceOptions options_;
-    mutable std::mutex snapshot_mutex_;
-    SnapshotPtr snapshot_;
+    mutable Mutex snapshot_mutex_;
+    SnapshotPtr snapshot_ CAST_GUARDED_BY(snapshot_mutex_);
 
     BoundedPriorityQueue<std::unique_ptr<Pending>> queue_;
     ThreadPool pool_;
@@ -275,14 +276,18 @@ private:
     std::atomic<std::size_t> in_flight_{0};
 
     static constexpr std::size_t kMaxBreakers = 256;
-    mutable std::mutex breaker_mutex_;
-    std::unordered_map<std::string, std::shared_ptr<CircuitBreaker>> breakers_;
+    mutable Mutex breaker_mutex_;
+    std::unordered_map<std::string, std::shared_ptr<CircuitBreaker>> breakers_
+        CAST_GUARDED_BY(breaker_mutex_);
     /// Trips carried over from evicted breakers so stats stay monotonic.
-    std::uint64_t evicted_breaker_trips_ = 0;
-    /// Swap-storm guard state (see GovernorOptions::swap_storm_window_ms).
+    std::uint64_t evicted_breaker_trips_ CAST_GUARDED_BY(breaker_mutex_) = 0;
+    /// Swap-storm guard state. The breaker is internally synchronized (it
+    /// sits below every service mutex in the lock hierarchy); the storm
+    /// detector's timestamps share the snapshot mutex because they are only
+    /// touched inside swap_snapshot's swap critical section.
     CircuitBreaker swap_breaker_;
-    std::chrono::steady_clock::time_point last_swap_{};
-    bool any_swap_ = false;
+    std::chrono::steady_clock::time_point last_swap_ CAST_GUARDED_BY(snapshot_mutex_){};
+    bool any_swap_ CAST_GUARDED_BY(snapshot_mutex_) = false;
 
     /// Started last: everything it touches must already be constructed.
     std::thread dispatcher_;

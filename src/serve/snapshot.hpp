@@ -19,7 +19,10 @@
 // installs the next epoch and clear()s the outgoing snapshot's cache,
 // which bumps its generation and invalidates every thread's L1 slots at
 // once (EvalCache's generation contract). The only mutable member is the
-// cache, which is internally synchronized.
+// cache, which is internally synchronized (its shard maps carry
+// CAST_GUARDED_BY contracts checked by the Clang thread-safety lane);
+// everything else is immutable after construction, so the snapshot itself
+// needs no mutex and no annotations.
 #pragma once
 
 #include <array>

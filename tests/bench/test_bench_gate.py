@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_gate.py's gate decisions and JSON summary.
+
+Each test fabricates a fake bench "binary" (a shell script that writes a
+canned BENCH_serve_throughput.json into its cwd, as the real bench does)
+plus a baseline file, runs bench_gate.py as a subprocess, and asserts on
+the exit code and the one-line BENCH_GATE_SUMMARY JSON record.
+
+Runs under plain unittest (no pytest in the image); registered with ctest
+as bench_gate_selftest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import stat
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+BENCH_GATE = REPO_ROOT / "tools" / "bench_gate.py"
+SUMMARY_TAG = "BENCH_GATE_SUMMARY"
+
+
+def make_report(plans_per_sec: float, mode: str = "full",
+                host_cores: int = 4) -> dict:
+    return {
+        "mode": mode,
+        "host_cores": host_cores,
+        "budget_ms": 0.0,
+        "service_runs": [
+            {"config": "baseline", "workers": 1, "plans_per_sec": plans_per_sec},
+            {"config": "parallel", "workers": host_cores,
+             "plans_per_sec": plans_per_sec * 2.0},
+        ],
+    }
+
+
+class BenchGateHarness(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="bench_gate_test_")
+        self.tmp = Path(self._tmp.name)
+        self.addCleanup(self._tmp.cleanup)
+
+    def fake_bench(self, report: dict, exit_code: int = 0) -> Path:
+        """A stand-in bench binary: dumps `report` into cwd, then exits."""
+        report_path = self.tmp / "canned_report.json"
+        report_path.write_text(json.dumps(report))
+        script = self.tmp / "fake_bench.sh"
+        script.write_text(
+            "#!/bin/sh\n"
+            f'cp "{report_path}" BENCH_serve_throughput.json\n'
+            f"exit {exit_code}\n")
+        script.chmod(script.stat().st_mode | stat.S_IXUSR)
+        return script
+
+    def baseline(self, report: dict) -> Path:
+        path = self.tmp / "baseline.json"
+        path.write_text(json.dumps(report))
+        return path
+
+    def run_gate(self, bench: Path, baseline: Path,
+                 *extra: str) -> tuple[subprocess.CompletedProcess, dict]:
+        proc = subprocess.run(
+            [sys.executable, str(BENCH_GATE), "--bench", str(bench),
+             "--baseline", str(baseline), *extra],
+            capture_output=True, text=True, check=False)
+        lines = [l for l in proc.stdout.splitlines()
+                 if l.startswith(SUMMARY_TAG + " ")]
+        self.assertEqual(len(lines), 1,
+                         f"expected exactly one summary line:\n{proc.stdout}")
+        return proc, json.loads(lines[0][len(SUMMARY_TAG) + 1:])
+
+
+class GateDecisions(BenchGateHarness):
+    def test_pass_when_throughput_holds(self):
+        bench = self.fake_bench(make_report(100.0))
+        base = self.baseline(make_report(100.0))
+        proc, summary = self.run_gate(bench, base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertEqual(summary["verdict"], "OK")
+        by_name = {m["name"]: m for m in summary["metrics"]}
+        self.assertEqual(by_name["bench_contracts"]["status"], "pass")
+        tput = by_name["service_plans_per_sec"]
+        self.assertEqual(tput["status"], "pass")
+        self.assertEqual(tput["baseline"], 200.0)  # best run (parallel)
+        self.assertEqual(tput["current"], 200.0)
+        self.assertEqual(tput["delta"], 0.0)
+
+    def test_fail_on_regression_beyond_threshold(self):
+        bench = self.fake_bench(make_report(60.0))   # -40% vs baseline
+        base = self.baseline(make_report(100.0))
+        proc, summary = self.run_gate(bench, base, "--threshold", "0.25")
+        self.assertEqual(proc.returncode, 1)
+        self.assertEqual(summary["verdict"], "FAIL")
+        tput = {m["name"]: m for m in summary["metrics"]}["service_plans_per_sec"]
+        self.assertEqual(tput["status"], "fail")
+        self.assertAlmostEqual(tput["delta"], -0.4, places=4)
+        self.assertEqual(tput["threshold"], 0.25)
+
+    def test_small_regression_within_threshold_passes(self):
+        bench = self.fake_bench(make_report(90.0))   # -10%, under 25%
+        base = self.baseline(make_report(100.0))
+        proc, summary = self.run_gate(bench, base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertEqual(summary["verdict"], "OK")
+
+    def test_smoke_skips_throughput_comparison(self):
+        bench = self.fake_bench(make_report(1.0, mode="smoke"))
+        base = self.baseline(make_report(100.0))
+        proc, summary = self.run_gate(bench, base, "--smoke")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertEqual(summary["verdict"], "OK")
+        tput = {m["name"]: m for m in summary["metrics"]}["service_plans_per_sec"]
+        self.assertEqual(tput["status"], "skip")
+        self.assertEqual(tput["reason"], "smoke run")
+
+    def test_bench_contract_failure_fails_gate(self):
+        bench = self.fake_bench(make_report(100.0), exit_code=3)
+        base = self.baseline(make_report(100.0))
+        proc, summary = self.run_gate(bench, base)
+        self.assertEqual(proc.returncode, 1)
+        self.assertEqual(summary["verdict"], "FAIL")
+        contracts = {m["name"]: m for m in summary["metrics"]}["bench_contracts"]
+        self.assertEqual(contracts["status"], "fail")
+        self.assertEqual(contracts["exit_code"], 3)
+
+    def test_core_count_mismatch_compares_single_worker_only(self):
+        bench = self.fake_bench(make_report(100.0, host_cores=8))
+        base = self.baseline(make_report(100.0, host_cores=4))
+        proc, summary = self.run_gate(bench, base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        tput = {m["name"]: m for m in summary["metrics"]}["service_plans_per_sec"]
+        self.assertEqual(tput["status"], "pass")
+        self.assertTrue(tput["single_worker_only"])
+        self.assertEqual(tput["baseline"], 100.0)  # parallel runs stripped
+
+
+class SummaryIsMachineReadable(BenchGateHarness):
+    def test_summary_is_one_line_valid_json(self):
+        bench = self.fake_bench(make_report(100.0))
+        base = self.baseline(make_report(100.0))
+        _, summary = self.run_gate(bench, base)
+        self.assertEqual(set(summary), {"verdict", "metrics"})
+        for m in summary["metrics"]:
+            self.assertIn("name", m)
+            self.assertIn(m["status"], ("pass", "fail", "skip"))
+
+
+if __name__ == "__main__":
+    unittest.main()

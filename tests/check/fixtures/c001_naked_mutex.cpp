@@ -1,0 +1,9 @@
+// Fixture: C001 must fire on a naked std lock type outside annotations.hpp.
+#include <mutex>
+
+namespace fixture {
+std::mutex g_mutex;  // line 5: naked mutex
+void touch() {
+    std::lock_guard lock(g_mutex);  // line 7: naked lock_guard
+}
+}  // namespace fixture

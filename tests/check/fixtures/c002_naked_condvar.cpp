@@ -1,0 +1,6 @@
+// Fixture: C002 must fire on a naked std::condition_variable.
+#include <condition_variable>
+
+namespace fixture {
+std::condition_variable g_cv;  // line 5: naked condition_variable
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: C003 must fire on every seed-free randomness/time source.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+int draw() {
+    std::random_device rd;            // line 8: hardware entropy
+    std::mt19937 gen(rd());           // line 9: implementation-defined PRNG
+    return rand() + static_cast<int>(time(nullptr));  // line 10: rand + time
+}
+}  // namespace fixture

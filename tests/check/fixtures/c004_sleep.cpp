@@ -1,0 +1,9 @@
+// Fixture: C004 must fire on a real sleep outside faults/retry files.
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+void nap() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // line 7
+}
+}  // namespace fixture

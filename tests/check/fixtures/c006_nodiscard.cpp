@@ -1,0 +1,9 @@
+// Fixture: C006 must fire on a try_*/-or_null return without [[nodiscard]].
+namespace fixture {
+struct Queue {
+    bool try_claim(int slot);          // line 4: discardable failure signal
+    int* entry_or_null(int slot);      // line 5: discardable null
+    [[nodiscard]] bool try_fine(int);  // annotated: must NOT fire
+    void try_void();                   // void return: must NOT fire
+};
+}  // namespace fixture

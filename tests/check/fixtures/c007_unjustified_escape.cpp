@@ -1,0 +1,7 @@
+// Fixture: C007 must fire on an unjustified CAST_NO_TSA escape.
+#include "common/annotations.hpp"
+
+namespace fixture {
+void sneaky() CAST_NO_TSA;
+void honest() CAST_NO_TSA;  // justified: fixture demonstrating an accepted escape
+}  // namespace fixture

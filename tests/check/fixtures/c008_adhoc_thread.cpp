@@ -1,0 +1,9 @@
+// Fixture: C008 must fire on an ad-hoc std::thread outside the pool/service.
+#include <thread>
+
+namespace fixture {
+void spawn() {
+    std::thread worker([] {});  // line 6: ad-hoc thread
+    worker.join();
+}
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: C009 must fire when CAST_NO_TSA escapes exceed the repo budget
+// of 3, even though each one carries a justification (C007-clean).
+#include "common/annotations.hpp"
+
+namespace fixture {
+void a() CAST_NO_TSA;  // justified: fixture escape one of four
+void b() CAST_NO_TSA;  // justified: fixture escape two of four
+void c() CAST_NO_TSA;  // justified: fixture escape three of four
+void d() CAST_NO_TSA;  // justified: fixture escape four of four
+}  // namespace fixture

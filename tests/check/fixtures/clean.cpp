@@ -1,0 +1,21 @@
+// Fixture: a rule-abiding file; cast_check must report zero findings.
+#include "common/annotations.hpp"
+
+namespace fixture {
+class Counter {
+public:
+    void bump() {
+        cast::LockGuard lock(mutex_);
+        ++count_;
+    }
+    [[nodiscard]] bool try_read(int& out) {
+        cast::LockGuard lock(mutex_);
+        out = count_;
+        return true;
+    }
+
+private:
+    cast::Mutex mutex_;
+    int count_ CAST_GUARDED_BY(mutex_) = 0;
+};
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: C005 must fire on allocation in a sim hot-path file (matched by
+// basename, which is how the fixture borrows the rule's file scope).
+#pragma once
+#include <cstdlib>
+
+namespace fixture {
+inline int* alloc_in_hot_path() {
+    return new int[16];  // line 8: hot-path allocation
+}
+inline void* alloc_c() { return malloc(8); }  // line 10: hot-path malloc
+}  // namespace fixture

@@ -200,6 +200,58 @@ TEST(BoundedPriorityQueue, CloseRacingPushAndPopBatchLosesNoAdmittedItem) {
     }
 }
 
+// Regression for the annotated wait loop (predicate lambda -> explicit
+// `while (...) cv_.wait(lock)` so thread-safety analysis sees the guarded
+// reads under the lock): consumers blocked on an EMPTY queue must wake on
+// a plain push, not only on close(). A broken loop either misses the wake
+// (hang) or re-reads state unlocked (TSan report in the TSan lane).
+TEST(BoundedPriorityQueue, BlockedConsumersWakeOnPushNotOnlyOnClose) {
+    constexpr int kItems = 200;
+    BoundedPriorityQueue<int> q(8, 2);
+    std::atomic<long long> drained_sum{0};
+    std::atomic<int> drained_count{0};
+
+    std::vector<std::thread> consumers;
+    consumers.reserve(3);
+    for (int c = 0; c < 3; ++c) {
+        consumers.emplace_back([&, c] {
+            std::vector<int> batch;
+            for (;;) {
+                if (c == 0) {
+                    // Single-pop path: exercises the pop() wait loop.
+                    const auto v = q.pop();
+                    if (!v) return;
+                    drained_sum.fetch_add(*v, std::memory_order_relaxed);
+                    drained_count.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    batch.clear();
+                    if (q.pop_batch(batch, 4) == 0) return;
+                    for (const int v : batch) {
+                        drained_sum.fetch_add(v, std::memory_order_relaxed);
+                        drained_count.fetch_add(1, std::memory_order_relaxed);
+                    }
+                }
+            }
+        });
+    }
+
+    // Push in dribbles with yields in between so consumers repeatedly drain
+    // the queue dry and re-block in the wait loop before the next item.
+    long long pushed_sum = 0;
+    for (int i = 1; i <= kItems; ++i) {
+        while (!q.try_push(i, static_cast<std::size_t>(i % 2))) {
+            std::this_thread::yield();
+        }
+        pushed_sum += i;
+        if (i % 7 == 0) std::this_thread::yield();
+    }
+    q.close();
+    for (auto& t : consumers) t.join();
+
+    EXPECT_EQ(drained_count.load(), kItems);
+    EXPECT_EQ(drained_sum.load(), pushed_sum);
+}
+
 // close() must release consumers blocked on an *empty* queue — the
 // wait-predicate race the dispatcher shutdown depends on.
 TEST(BoundedPriorityQueue, CloseReleasesConsumersBlockedOnEmptyQueue) {

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace cast {
@@ -155,6 +157,31 @@ TEST(ThreadPool, DestructorDrainsCleanly) {
         // stop, but nothing should crash or deadlock.
     }
     SUCCEED();
+}
+
+// Regression for the annotated worker sleep loop (predicate lambda ->
+// explicit `while (...) cv_.wait(lock)`): workers that went to sleep on an
+// empty pool must wake on later submissions. Short bursts separated by
+// yields drive workers into the wait loop between bursts; a lost wakeup
+// hangs this test, and an unlocked predicate read trips the TSan lane.
+TEST(ThreadPool, SleepingWorkersWakeOnLaterSubmissionBursts) {
+    constexpr int kBursts = 40;
+    constexpr int kTasksPerBurst = 8;
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+
+    for (int burst = 0; burst < kBursts; ++burst) {
+        std::vector<std::future<void>> futs;
+        futs.reserve(kTasksPerBurst);
+        for (int t = 0; t < kTasksPerBurst; ++t) {
+            futs.push_back(pool.submit([&done] {
+                done.fetch_add(1, std::memory_order_relaxed);
+            }));
+        }
+        for (auto& f : futs) f.get();  // pool drains; workers re-block
+        std::this_thread::yield();
+    }
+    EXPECT_EQ(done.load(), kBursts * kTasksPerBurst);
 }
 
 }  // namespace

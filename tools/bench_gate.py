@@ -13,6 +13,13 @@ Throughput is host-dependent, so the gate is opt-in (ctest -C BenchGate
 same runner class). Self-normalizing contract metrics (bit identity,
 budget adherence) are enforced unconditionally by the bench binary.
 
+Every run ends with exactly one machine-readable line
+
+  BENCH_GATE_SUMMARY {"verdict": ..., "metrics": [...]}
+
+summarizing each gate decision (pass/fail/skip per metric, with baseline,
+current and delta), so CI logs are grep-able without parsing prose.
+
 Usage:
   bench_gate.py --bench build/bench/serve_throughput \
                 --baseline BENCH_serve_throughput.json [--threshold 0.25]
@@ -29,6 +36,20 @@ import tempfile
 from pathlib import Path
 
 RESULT_NAME = "BENCH_serve_throughput.json"
+SUMMARY_TAG = "BENCH_GATE_SUMMARY"
+
+
+def metric(name: str, status: str, **fields) -> dict:
+    """One gate decision: status is pass/fail/skip; extra fields are the
+    numbers the decision was made on (baseline/current/delta/threshold)."""
+    return {"name": name, "status": status, **fields}
+
+
+def emit_summary(metrics: list[dict]) -> None:
+    """The one-line JSON record of every gate decision this run."""
+    verdict = "FAIL" if any(m["status"] == "fail" for m in metrics) else "OK"
+    print(f"{SUMMARY_TAG} " + json.dumps(
+        {"verdict": verdict, "metrics": metrics}, sort_keys=True), flush=True)
 
 
 def best_service_plans_per_sec(report: dict, max_workers: int | None = None) -> float:
@@ -61,9 +82,12 @@ def main() -> int:
                         help="run the bench in --smoke mode (CI wiring checks)")
     args = parser.parse_args()
 
+    metrics: list[dict] = []
+
     baseline_path = Path(args.baseline)
     if not baseline_path.is_file():
         print(f"bench_gate: baseline not found: {baseline_path}", file=sys.stderr)
+        emit_summary([metric("baseline_present", "fail", path=str(baseline_path))])
         return 2
     baseline = json.loads(baseline_path.read_text())
 
@@ -74,7 +98,10 @@ def main() -> int:
         if proc.returncode != 0:
             print(f"bench_gate: bench exited {proc.returncode} "
                   "(contract check failed)", file=sys.stderr)
+            emit_summary(metrics + [metric("bench_contracts", "fail",
+                                           exit_code=proc.returncode)])
             return 1
+        metrics.append(metric("bench_contracts", "pass", exit_code=0))
         fresh = json.loads((Path(scratch) / RESULT_NAME).read_text())
 
     if args.smoke or fresh.get("mode") != baseline.get("mode"):
@@ -83,6 +110,11 @@ def main() -> int:
         print("bench_gate: modes differ (fresh "
               f"{fresh.get('mode')} vs baseline {baseline.get('mode')}); "
               "skipping throughput comparison")
+        metrics.append(metric("service_plans_per_sec", "skip",
+                              reason="smoke run" if args.smoke else "mode mismatch",
+                              baseline_mode=baseline.get("mode"),
+                              fresh_mode=fresh.get("mode")))
+        emit_summary(metrics)
         return 0
 
     # Parallel-scaling numbers (workers > 1) only compare apples-to-apples
@@ -103,12 +135,22 @@ def main() -> int:
         if max_workers is not None:
             print(f"bench_gate: {err}; no core-count-independent runs to "
                   "compare, skipping throughput comparison")
+            metrics.append(metric("service_plans_per_sec", "skip",
+                                  reason="no core-count-independent runs"))
+            emit_summary(metrics)
             return 0
         raise
     ratio = now / base
     verdict = "OK" if ratio >= 1.0 - args.threshold else "REGRESSION"
     print(f"bench_gate: best service plans/sec {now:.1f} vs baseline {base:.1f} "
           f"({ratio:.2%}) -> {verdict}")
+    metrics.append(metric("service_plans_per_sec",
+                          "pass" if verdict == "OK" else "fail",
+                          baseline=base, current=now,
+                          delta=round(ratio - 1.0, 4),
+                          threshold=args.threshold,
+                          single_worker_only=max_workers is not None))
+    emit_summary(metrics)
     if verdict != "OK":
         print(f"bench_gate: regressed more than {args.threshold:.0%}", file=sys.stderr)
         return 1
