@@ -9,6 +9,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -130,16 +132,26 @@ private:
     std::vector<std::pair<std::string, std::string>> fields_;
 };
 
-/// Write `json` to `path` and echo it to stdout (the CI log copy).
+/// Write `json` to `path` and echo it to stdout (the CI log copy). Throws
+/// std::runtime_error naming the path when the file cannot be written —
+/// a silently dropped baseline would make every later bench_gate compare
+/// against stale numbers while the stdout echo makes the run look fine.
 inline void write_bench_json(const std::string& path, const JsonObject& json) {
     std::ofstream out(path);
     out << json.str() << "\n";
+    out.flush();
+    if (!out) {
+        throw std::runtime_error("write_bench_json: cannot write '" + path + "'");
+    }
     std::cout << json.str() << "\n";
 }
 
 /// Linear-interpolated percentile (p in [0, 100]) of an unsorted sample.
+/// An empty sample has no percentiles: returns NaN (0.0 would read as
+/// "instant", which is exactly wrong for e.g. a sweep point where every
+/// request was shed). Callers must isfinite-guard before emitting JSON.
 inline double percentile(std::vector<double> values, double p) {
-    if (values.empty()) return 0.0;
+    if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
     std::sort(values.begin(), values.end());
     const double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
     const auto lo = static_cast<std::size_t>(rank);

@@ -22,6 +22,7 @@
 //     must also be serving at a degraded level (cheaper-before-reject).
 //
 // Usage: serve_degradation [--smoke] [--threads N]
+#include <cmath>
 #include <cstdio>
 #include <future>
 #include <iostream>
@@ -103,10 +104,13 @@ struct SweepPoint {
         o.add("intensity", intensity, 2)
             .add("requests", requests)
             .add("wall_s", wall_s, 4)
-            .add("plans_per_sec", plans_per_sec, 2)
-            .add("p50_ms", p50_ms, 3)
-            .add("p99_ms", p99_ms, 3)
-            .add("served_full", stats.served_full)
+            .add("plans_per_sec", plans_per_sec, 2);
+        // A point where every request was shed has no ok-latency sample:
+        // percentile() returns NaN and the fields are omitted (0.0 here
+        // would read as "instant", indistinguishable from a healthy point).
+        if (std::isfinite(p50_ms)) o.add("p50_ms", p50_ms, 3);
+        if (std::isfinite(p99_ms)) o.add("p99_ms", p99_ms, 3);
+        o.add("served_full", stats.served_full)
             .add("served_trimmed", stats.served_trimmed)
             .add("served_greedy", stats.served_greedy)
             .add("governor_shed", stats.governor_shed)
@@ -121,7 +125,8 @@ struct SweepPoint {
             .add("injected_stalls", faults.stalls)
             .add("injected_stall_ms", faults.stall_ms, 1)
             .add("injected_exceptions", faults.injected_exceptions)
-            .add("ewma_solve_ms", stats.ewma_solve_ms, 3);
+            .add("ewma_solve_ms", stats.ewma_solve_ms, 3)
+            .add("ewma_seeded", stats.ewma_seeded);
         return o.inline_str();
     }
 };

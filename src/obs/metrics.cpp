@@ -1,0 +1,285 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace cast::obs {
+
+namespace {
+
+/// JSON number formatting shared by all exporters: integers print exact,
+/// doubles print shortest-round-trip via max_digits10 (same digits always
+/// reparse to the same double, so snapshots diff cleanly).
+std::string json_num(double v) {
+    std::ostringstream ss;
+    ss << std::setprecision(17) << v;
+    return ss.str();
+}
+
+std::string json_quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    CAST_EXPECTS_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
+    CAST_EXPECTS_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                         std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
+                     "histogram bounds must be strictly increasing");
+    buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        buckets_[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+std::vector<double> Histogram::default_latency_buckets_ms() {
+    return {0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0};
+}
+
+void Histogram::observe(double v) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // C++17 atomic<double> has no fetch_add; CAS-loop the sum. Contention
+    // is negligible at serve rates and the loop never blocks.
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+double Histogram::quantile(double q) const {
+    CAST_EXPECTS_MSG(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+    const std::vector<std::uint64_t> counts = bucket_counts();
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts) total += c;
+    if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+
+    const double rank = q * static_cast<double>(total);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const std::uint64_t prev = cum;
+        cum += counts[i];
+        if (static_cast<double>(cum) >= rank && counts[i] > 0) {
+            // Overflow bucket has no upper bound: clamp to the top bound
+            // (the estimate is conservative-low, and the bucket layout
+            // should be widened if real latencies land here).
+            if (i == bounds_.size()) return bounds_.back();
+            const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+            const double hi = bounds_[i];
+            const double frac =
+                (rank - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+            return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+        }
+    }
+    return bounds_.back();
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+    std::vector<std::uint64_t> out(bounds_.size() + 1);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    LockGuard lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    LockGuard lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds) {
+    LockGuard lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+void MetricsRegistry::gauge_fn(const std::string& name, std::function<double()> fn) {
+    CAST_EXPECTS_MSG(fn != nullptr, "gauge_fn requires a callable");
+    LockGuard lock(mutex_);
+    gauge_fns_[name] = std::move(fn);
+}
+
+/// Point-in-time view: raw pointers stay valid because instruments are
+/// never erased, and callbacks are copied so they run without the mutex.
+struct MetricsRegistry::Snapshot {
+    std::vector<std::pair<std::string, const Counter*>> counters;
+    std::vector<std::pair<std::string, const Gauge*>> gauges;
+    std::vector<std::pair<std::string, const Histogram*>> histograms;
+    std::vector<std::pair<std::string, std::function<double()>>> gauge_fns;
+};
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+    Snapshot snap;
+    LockGuard lock(mutex_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c.get());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g.get());
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) snap.histograms.emplace_back(name, h.get());
+    snap.gauge_fns.reserve(gauge_fns_.size());
+    for (const auto& [name, fn] : gauge_fns_) snap.gauge_fns.emplace_back(name, fn);
+    return snap;
+}
+
+bool MetricsRegistry::has_counter(const std::string& name) const {
+    LockGuard lock(mutex_);
+    return counters_.count(name) > 0;
+}
+
+std::uint64_t MetricsRegistry::histogram_count(const std::string& name) const {
+    const Histogram* h = nullptr;
+    {
+        LockGuard lock(mutex_);
+        auto it = histograms_.find(name);
+        if (it != histograms_.end()) h = it->second.get();
+    }
+    return h != nullptr ? h->count() : 0;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+    const Counter* c = nullptr;
+    {
+        LockGuard lock(mutex_);
+        auto it = counters_.find(name);
+        if (it != counters_.end()) c = it->second.get();
+    }
+    return c != nullptr ? c->value() : 0;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+    const Gauge* g = nullptr;
+    std::function<double()> fn;
+    {
+        LockGuard lock(mutex_);
+        if (auto it = gauges_.find(name); it != gauges_.end()) g = it->second.get();
+        if (auto it = gauge_fns_.find(name); it != gauge_fns_.end()) fn = it->second;
+    }
+    // Evaluate outside the lock; a callback may take its owner's mutexes.
+    if (fn) return fn();
+    return g != nullptr ? g->value() : std::numeric_limits<double>::quiet_NaN();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+    const Snapshot snap = snapshot();
+
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, c] : snap.counters) {
+        if (!first) os << ",";
+        first = false;
+        os << json_quote(name) << ":" << c->value();
+    }
+    os << "},\"gauges\":{";
+
+    // Merge push gauges and (evaluated) pull gauges into one sorted block;
+    // a pull callback shadows a push gauge of the same name.
+    std::map<std::string, double> gauges;
+    for (const auto& [name, g] : snap.gauges) gauges[name] = g->value();
+    for (const auto& [name, fn] : snap.gauge_fns) gauges[name] = fn();
+    first = true;
+    for (const auto& [name, v] : gauges) {
+        if (!first) os << ",";
+        first = false;
+        os << json_quote(name) << ":";
+        if (std::isfinite(v)) {
+            os << json_num(v);
+        } else {
+            os << "null";  // NaN/inf are not valid JSON tokens
+        }
+    }
+    os << "},\"histograms\":{";
+
+    first = true;
+    for (const auto& [name, h] : snap.histograms) {
+        if (!first) os << ",";
+        first = false;
+        os << json_quote(name) << ":{\"count\":" << h->count();
+        const std::uint64_t n = h->count();
+        if (n > 0) {
+            os << ",\"sum\":" << json_num(h->sum());
+            os << ",\"p50\":" << json_num(h->quantile(0.50));
+            os << ",\"p95\":" << json_num(h->quantile(0.95));
+            os << ",\"p99\":" << json_num(h->quantile(0.99));
+        }
+        os << "}";
+    }
+    os << "}}";
+}
+
+std::string MetricsRegistry::json() const {
+    std::ostringstream ss;
+    write_json(ss);
+    return ss.str();
+}
+
+void MetricsRegistry::write_table(std::ostream& os) const {
+    const Snapshot snap = snapshot();
+
+    if (!snap.counters.empty()) {
+        TextTable table({"counter", "value"});
+        for (const auto& [name, c] : snap.counters) {
+            table.add_row({name, std::to_string(c->value())});
+        }
+        table.print(os);
+    }
+
+    std::map<std::string, double> gauges;
+    for (const auto& [name, g] : snap.gauges) gauges[name] = g->value();
+    for (const auto& [name, fn] : snap.gauge_fns) gauges[name] = fn();
+    if (!gauges.empty()) {
+        TextTable table({"gauge", "value"});
+        for (const auto& [name, v] : gauges) {
+            table.add_row({name, std::isfinite(v) ? fmt(v, 3) : std::string("nan")});
+        }
+        table.print(os);
+    }
+
+    if (!snap.histograms.empty()) {
+        TextTable table({"histogram", "count", "sum_ms", "p50", "p95", "p99"});
+        for (const auto& [name, h] : snap.histograms) {
+            const std::uint64_t n = h->count();
+            if (n == 0) {
+                table.add_row({name, "0", "-", "-", "-", "-"});
+            } else {
+                table.add_row({name, std::to_string(n), fmt(h->sum(), 1),
+                               fmt(h->quantile(0.50), 2), fmt(h->quantile(0.95), 2),
+                               fmt(h->quantile(0.99), 2)});
+            }
+        }
+        table.print(os);
+    }
+}
+
+}  // namespace cast::obs

@@ -1,0 +1,78 @@
+#include "obs/trace.hpp"
+
+#include <utility>
+
+#include "common/table.hpp"
+
+namespace cast::obs {
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(capacity), origin_(std::chrono::steady_clock::now()) {
+    // Reserve up front: push() must not allocate ring storage on the
+    // request path once the ring is warm.
+    ring_.reserve(capacity_);
+}
+
+double TraceRing::now_ms() const {
+    return at_ms(std::chrono::steady_clock::now());
+}
+
+double TraceRing::at_ms(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration<double, std::milli>(tp - origin_).count();
+}
+
+void TraceRing::push(TraceSpan span) {
+    if (!enabled()) return;
+    LockGuard lock(mutex_);
+    ++total_;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(span));
+    } else {
+        ring_[next_] = std::move(span);
+        next_ = (next_ + 1) % capacity_;
+    }
+}
+
+std::vector<TraceSpan> TraceRing::snapshot() const {
+    LockGuard lock(mutex_);
+    std::vector<TraceSpan> out;
+    out.reserve(ring_.size());
+    // Once the ring has wrapped, next_ is the oldest slot.
+    if (ring_.size() == capacity_ && capacity_ > 0) {
+        for (std::size_t i = 0; i < ring_.size(); ++i) {
+            out.push_back(ring_[(next_ + i) % capacity_]);
+        }
+    } else {
+        out = ring_;
+    }
+    return out;
+}
+
+std::uint64_t TraceRing::total_pushed() const {
+    LockGuard lock(mutex_);
+    return total_;
+}
+
+std::size_t TraceRing::size() const {
+    LockGuard lock(mutex_);
+    return ring_.size();
+}
+
+void TraceRing::write_table(std::ostream& os) const {
+    const std::vector<TraceSpan> spans = snapshot();
+    if (spans.empty()) {
+        os << "(no trace spans buffered)\n";
+        return;
+    }
+    TextTable table({"span", "label", "outcome", "event", "t+ms", "detail"});
+    for (const TraceSpan& span : spans) {
+        const double t0 = span.start_ms();
+        for (const TraceEvent& ev : span.events) {
+            table.add_row({std::to_string(span.id), span.label, span.outcome, ev.name,
+                           fmt(ev.at_ms - t0, 3), ev.detail});
+        }
+    }
+    table.print(os);
+}
+
+}  // namespace cast::obs

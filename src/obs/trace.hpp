@@ -1,0 +1,100 @@
+// Structured per-request trace spans, ring-buffered per service.
+//
+// Metrics answer "how is the service doing"; traces answer "what happened
+// to request 4711". Each span records the lifecycle of one request as a
+// sequence of named events — admit → queue → governor decision → solve
+// attempts/retries → respond — each stamped with milliseconds since the
+// ring's creation (steady_clock, so spans order correctly even across
+// wall-clock adjustments) plus a free-form detail string (degradation
+// level, attempt count, shed reason).
+//
+// The ring keeps the last `capacity` completed spans: old traffic ages
+// out, memory is bounded, and a post-incident dump (`cast_plan serve
+// --trace`) shows the most recent window. Spans are built privately by
+// the worker that owns the request and pushed once, complete — the ring
+// mutex is taken once per request at push and once per dump, never while
+// a span is being assembled, so tracing adds one short critical section
+// per request and nothing to the solve path.
+//
+// A TraceRing with capacity 0 is disabled: enabled() is false, push() is
+// a no-op, and callers skip span assembly entirely — the default-off
+// configuration has zero overhead and trivially preserves bit-identity.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/annotations.hpp"
+
+namespace cast::obs {
+
+/// One named point in a request's lifecycle.
+struct TraceEvent {
+    std::string name;    ///< "admit", "dequeue", "governor", "solve", "respond", ...
+    double at_ms = 0.0;  ///< milliseconds since the owning ring's origin
+    std::string detail;  ///< e.g. degradation level, "attempts=2", shed reason
+};
+
+/// The full lifecycle of one request. Assembled by the owning worker,
+/// pushed to the ring once, immutable afterwards.
+struct TraceSpan {
+    std::uint64_t id = 0;   ///< request id (coalesced dupes share one span)
+    std::string label;      ///< request label: priority / dedup key
+    std::string outcome;    ///< final status: "ok", "rejected", "error", ...
+    std::vector<TraceEvent> events;
+
+    [[nodiscard]] double start_ms() const {
+        return events.empty() ? 0.0 : events.front().at_ms;
+    }
+    [[nodiscard]] double end_ms() const {
+        return events.empty() ? 0.0 : events.back().at_ms;
+    }
+    [[nodiscard]] double duration_ms() const { return end_ms() - start_ms(); }
+};
+
+/// Bounded ring of completed spans. Thread-safe; push overwrites the
+/// oldest span once `capacity` is reached (total_pushed() - size() spans
+/// have been dropped).
+class TraceRing {
+public:
+    /// capacity == 0 disables the ring entirely (enabled() == false).
+    explicit TraceRing(std::size_t capacity);
+
+    [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+    /// Milliseconds since the ring was constructed (monotonic clock).
+    /// Valid timestamp source even when the ring is disabled.
+    [[nodiscard]] double now_ms() const;
+
+    /// Milliseconds from the ring's origin to `tp` (same clock as now_ms;
+    /// stamps an event with a time point captured before span assembly).
+    [[nodiscard]] double at_ms(std::chrono::steady_clock::time_point tp) const;
+
+    void push(TraceSpan span) CAST_EXCLUDES(mutex_);
+
+    /// Completed spans, oldest first. Empty when disabled.
+    [[nodiscard]] std::vector<TraceSpan> snapshot() const CAST_EXCLUDES(mutex_);
+
+    [[nodiscard]] std::uint64_t total_pushed() const CAST_EXCLUDES(mutex_);
+    [[nodiscard]] std::size_t size() const CAST_EXCLUDES(mutex_);
+
+    /// Aligned text timeline of the buffered spans (common/table.hpp):
+    /// one row per event, grouped by span, timestamps relative to span
+    /// start.
+    void write_table(std::ostream& os) const CAST_EXCLUDES(mutex_);
+
+private:
+    std::size_t capacity_;
+    std::chrono::steady_clock::time_point origin_;
+
+    mutable Mutex mutex_;
+    std::vector<TraceSpan> ring_ CAST_GUARDED_BY(mutex_);  ///< ring storage
+    std::size_t next_ CAST_GUARDED_BY(mutex_) = 0;         ///< next overwrite slot
+    std::uint64_t total_ CAST_GUARDED_BY(mutex_) = 0;      ///< lifetime pushes
+};
+
+}  // namespace cast::obs

@@ -37,6 +37,11 @@ double OverloadGovernor::ewma_solve_ms() const {
     return ewma_ms_;
 }
 
+bool OverloadGovernor::ewma_seeded() const {
+    LockGuard lock(mutex_);
+    return seeded_;
+}
+
 double OverloadGovernor::pressure(std::size_t queue_depth, std::size_t in_flight) const {
     const double backlog = static_cast<double>(queue_depth + in_flight);
     const double drain_ms =

@@ -141,6 +141,13 @@ public:
     /// Current EWMA of solve latency (0 until the first sample).
     [[nodiscard]] double ewma_solve_ms() const CAST_EXCLUDES(mutex_);
 
+    /// True once at least one solve latency has been recorded. Exported
+    /// next to the EWMA so a 0.0 reading right after startup or a pure
+    /// shed burst (sheds never feed the EWMA) is distinguishable from a
+    /// genuinely sub-millisecond estimate — an unseeded EWMA also means
+    /// deadline admission has no evidence and cannot fire.
+    [[nodiscard]] bool ewma_seeded() const CAST_EXCLUDES(mutex_);
+
     /// Overload pressure: estimated drain time of the current backlog over
     /// the latency target, with raw queue occupancy as a cold-start
     /// backstop (a full queue reads at least shed pressure even while the

@@ -45,9 +45,77 @@ PlanResponse shed_response(const PlanRequest& request, std::uint64_t epoch,
 
 }  // namespace
 
+const char* priority_name(Priority priority) {
+    switch (priority) {
+        case Priority::kHigh: return "high";
+        case Priority::kNormal: return "normal";
+        case Priority::kLow: return "low";
+    }
+    return "unknown";
+}
+
+/// One instrument per ServiceStats atomic, resolved once at construction so
+/// the hot path touches pre-cached references only. The counters mirror the
+/// atomics one-for-one (incremented at the same sites), which is what lets
+/// the obs integration test assert exact agreement between the two views.
+struct PlannerService::Instruments {
+    obs::Counter& submitted;
+    obs::Counter& completed;
+    obs::Counter& rejected;
+    obs::Counter& errors;
+    obs::Counter& coalesced;
+    obs::Counter& batches;
+    obs::Counter& served_full;
+    obs::Counter& served_trimmed;
+    obs::Counter& served_greedy;
+    obs::Counter& shed_overload;
+    obs::Counter& shed_deadline;
+    obs::Counter& retries;
+    obs::Counter& breaker_fastfail;
+    obs::Counter& swaps;
+    obs::Counter& swap_clears_suppressed;
+    /// End-to-end latency (queue wait + solve) by request priority.
+    obs::Histogram& latency_high;
+    obs::Histogram& latency_normal;
+    obs::Histogram& latency_low;
+    /// Representative solve time only (coalesced copies share the solve).
+    obs::Histogram& solve_ms;
+
+    explicit Instruments(obs::MetricsRegistry& reg)
+        : submitted(reg.counter("serve.requests.submitted")),
+          completed(reg.counter("serve.requests.completed")),
+          rejected(reg.counter("serve.requests.rejected")),
+          errors(reg.counter("serve.requests.errors")),
+          coalesced(reg.counter("serve.requests.coalesced")),
+          batches(reg.counter("serve.dispatch.batches")),
+          served_full(reg.counter("serve.governor.served_full")),
+          served_trimmed(reg.counter("serve.governor.served_trimmed")),
+          served_greedy(reg.counter("serve.governor.served_greedy")),
+          shed_overload(reg.counter("serve.governor.shed_overload")),
+          shed_deadline(reg.counter("serve.governor.shed_deadline")),
+          retries(reg.counter("serve.retry.attempts")),
+          breaker_fastfail(reg.counter("serve.breaker.fastfail")),
+          swaps(reg.counter("serve.snapshot.swaps")),
+          swap_clears_suppressed(reg.counter("serve.snapshot.clears_suppressed")),
+          latency_high(reg.histogram("serve.latency_ms.high")),
+          latency_normal(reg.histogram("serve.latency_ms.normal")),
+          latency_low(reg.histogram("serve.latency_ms.low")),
+          solve_ms(reg.histogram("serve.solve_ms")) {}
+
+    [[nodiscard]] obs::Histogram& latency_for(Priority priority) {
+        switch (priority) {
+            case Priority::kHigh: return latency_high;
+            case Priority::kLow: return latency_low;
+            case Priority::kNormal: break;
+        }
+        return latency_normal;
+    }
+};
+
 PlannerService::PlannerService(SnapshotPtr snapshot, ServiceOptions options)
     : options_(std::move(options)),
       snapshot_(std::move(snapshot)),
+      trace_(options_.obs.trace_capacity),
       queue_(options_.queue_capacity, 3),
       pool_(options_.workers),
       governor_(options_.governor, std::max<std::size_t>(std::size_t{1}, options_.workers),
@@ -57,6 +125,12 @@ PlannerService::PlannerService(SnapshotPtr snapshot, ServiceOptions options)
     CAST_EXPECTS_MSG(snapshot_ != nullptr, "PlannerService needs a snapshot");
     CAST_EXPECTS(options_.max_batch >= 1);
     CAST_EXPECTS(options_.default_max_wall_ms >= 0.0);
+    // Instruments and gauges must exist before the dispatcher can run a
+    // single request; inst_ is immutable from here on.
+    if (options_.obs.metrics) {
+        inst_ = std::make_unique<Instruments>(metrics_);
+        register_gauges();
+    }
     dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -68,8 +142,87 @@ PlannerService::~PlannerService() {
     if (dispatcher_.joinable()) dispatcher_.join();
 }
 
+void PlannerService::register_gauges() {
+    // Pull gauges read live service state at export time. The registry
+    // evaluates them outside its own mutex, so taking snapshot_mutex_ /
+    // breaker_mutex_ (or the governor's) inside a callback adds no
+    // lock-order edge. Callbacks capture `this`; the registry is a member,
+    // so exports cannot outlive the service.
+    metrics_.gauge_fn("serve.queue.depth",
+                      [this] { return static_cast<double>(queue_.size()); });
+    metrics_.gauge_fn("serve.inflight", [this] {
+        return static_cast<double>(in_flight_.load(std::memory_order_relaxed));
+    });
+    metrics_.gauge_fn("serve.governor.ewma_solve_ms",
+                      [this] { return governor_.ewma_solve_ms(); });
+    metrics_.gauge_fn("serve.governor.ewma_seeded",
+                      [this] { return governor_.ewma_seeded() ? 1.0 : 0.0; });
+    metrics_.gauge_fn("serve.snapshot.epoch", [this] {
+        return static_cast<double>(snapshot()->epoch());
+    });
+    metrics_.gauge_fn("serve.cache.hit_rate",
+                      [this] { return snapshot()->cache().stats().hit_rate(); });
+    metrics_.gauge_fn("serve.cache.generation_bumps", [this] {
+        return static_cast<double>(snapshot()->cache().stats().generation_bumps);
+    });
+    metrics_.gauge_fn("serve.cache.inserts", [this] {
+        return static_cast<double>(snapshot()->cache().stats().inserts);
+    });
+    metrics_.gauge_fn("serve.breakers.open", [this] { return open_breaker_count(); });
+    metrics_.gauge_fn("serve.breakers.trips", [this] { return total_breaker_trips(); });
+}
+
+double PlannerService::open_breaker_count() const {
+    // Holding breaker_mutex_ while reading each breaker's own lock follows
+    // the established order (stats() reads trips() the same way).
+    double open = swap_breaker_.state() == BreakerState::kOpen ? 1.0 : 0.0;
+    LockGuard lock(breaker_mutex_);
+    for (const auto& [key, breaker] : breakers_) {
+        if (breaker->state() == BreakerState::kOpen) open += 1.0;
+    }
+    return open;
+}
+
+double PlannerService::total_breaker_trips() const {
+    LockGuard lock(breaker_mutex_);
+    std::uint64_t trips = evicted_breaker_trips_ + swap_breaker_.trips();
+    for (const auto& [key, breaker] : breakers_) trips += breaker->trips();
+    return static_cast<double>(trips);
+}
+
+void PlannerService::trace_response(
+    const PlanRequest& request, const PlanResponse& resp,
+    std::chrono::steady_clock::time_point enqueued,
+    std::optional<std::chrono::steady_clock::time_point> dispatched,
+    std::optional<std::chrono::steady_clock::time_point> solved, const std::string& note) {
+    if (!trace_.enabled()) return;
+    obs::TraceSpan span;
+    span.id = resp.id;
+    span.label = priority_name(request.priority);
+    switch (resp.status) {
+        case ResponseStatus::kOk: span.outcome = "ok"; break;
+        case ResponseStatus::kRejected: span.outcome = "rejected"; break;
+        case ResponseStatus::kError: span.outcome = "error"; break;
+    }
+    span.events.push_back({"admit", trace_.at_ms(enqueued), ""});
+    if (dispatched) {
+        span.events.push_back({"dequeue", trace_.at_ms(*dispatched), ""});
+        // The ladder decision is made at dequeue time; kFull on an
+        // ungoverned service documents "no governor in the way".
+        span.events.push_back({"governor", trace_.at_ms(*dispatched),
+                               degradation_level_name(resp.degradation_level)});
+    }
+    if (solved) {
+        span.events.push_back(
+            {"solve", trace_.at_ms(*solved), "attempts=" + std::to_string(resp.attempts)});
+    }
+    span.events.push_back({"respond", trace_.now_ms(), note});
+    trace_.push(std::move(span));
+}
+
 std::future<PlanResponse> PlannerService::submit(PlanRequest request) {
     submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (inst_) inst_->submitted.add();
 
     // Deadline-aware admission: with queue pressure P requests deep and an
     // EWMA solve latency of E ms, a new request waits ~ P*E/workers before
@@ -82,8 +235,14 @@ std::future<PlanResponse> PlannerService::submit(PlanRequest request) {
                                 in_flight_.load(std::memory_order_relaxed))) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
         deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+        if (inst_) {
+            inst_->rejected.add();
+            inst_->shed_deadline.add();
+        }
         PlanResponse resp = shed_response(
             request, 0, "deadline shed: predicted queue wait exceeds deadline-ms");
+        trace_response(request, resp, std::chrono::steady_clock::now(), std::nullopt,
+                       std::nullopt, resp.error);
         std::promise<PlanResponse> immediate;
         immediate.set_value(std::move(resp));
         return immediate.get_future();
@@ -101,11 +260,24 @@ std::future<PlanResponse> PlannerService::submit(PlanRequest request) {
     if (queue_.try_push(std::move(pending), level)) return fut;
 
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (inst_) inst_->rejected.add();
     PlanResponse resp;
     resp.id = id;
     resp.kind = kind;
     resp.status = ResponseStatus::kRejected;
     resp.error = "queue full or service shutting down";
+    if (trace_.enabled()) {
+        // The request moved into the queue attempt; stamp a minimal span
+        // from what the rejection response carries.
+        obs::TraceSpan span;
+        span.id = id;
+        span.label = priority_name(static_cast<Priority>(level));
+        span.outcome = "rejected";
+        const double now = trace_.now_ms();
+        span.events.push_back({"admit", now, ""});
+        span.events.push_back({"respond", now, resp.error});
+        trace_.push(std::move(span));
+    }
     std::promise<PlanResponse> immediate;
     immediate.set_value(std::move(resp));
     return immediate.get_future();
@@ -127,6 +299,7 @@ void PlannerService::swap_snapshot(SnapshotPtr next) {
         }
     }
     swaps_.fetch_add(1, std::memory_order_relaxed);
+    if (inst_) inst_->swaps.add();
 
     // Swap-storm guard: back-to-back swaps each clearing the outgoing cache
     // serialize every in-flight solve against a cold memo table. The clear
@@ -136,6 +309,7 @@ void PlannerService::swap_snapshot(SnapshotPtr next) {
     if (governor_.enabled()) {
         if (!swap_breaker_.allow()) {
             swap_clears_suppressed_.fetch_add(1, std::memory_order_relaxed);
+            if (inst_) inst_->swap_clears_suppressed.add();
             return;
         }
         if (storm_sample) {
@@ -182,6 +356,7 @@ ServiceStats PlannerService::stats() const {
         for (const auto& [key, breaker] : breakers_) s.breaker_trips += breaker->trips();
     }
     s.ewma_solve_ms = governor_.ewma_solve_ms();
+    s.ewma_seeded = governor_.ewma_seeded();
     s.cache = snapshot()->cache().stats();
     s.faults = injector_.stats();
     return s;
@@ -193,6 +368,7 @@ void PlannerService::dispatcher_loop() {
         batch.clear();
         if (queue_.pop_batch(batch, options_.max_batch) == 0) return;  // closed + drained
         batches_.fetch_add(1, std::memory_order_relaxed);
+        if (inst_) inst_->batches.add();
         dispatch_batch(batch);
     }
 }
@@ -202,11 +378,23 @@ void PlannerService::fulfill(Pending& pending, PlanResponse&& resp) {
         // A dispatch-time shed is backpressure, not completed work — same
         // accounting as a queue-full rejection at submit.
         rejected_.fetch_add(1, std::memory_order_relaxed);
+        if (inst_) inst_->rejected.add();
     } else {
         if (resp.status == ResponseStatus::kError) {
             errors_.fetch_add(1, std::memory_order_relaxed);
+            if (inst_) inst_->errors.add();
         }
         completed_.fetch_add(1, std::memory_order_relaxed);
+        if (inst_) {
+            inst_->completed.add();
+            if (resp.ok()) {
+                // End-to-end latency by priority; solve time only for the
+                // representative (a coalesced copy shared its rep's solve).
+                inst_->latency_for(pending.request.priority)
+                    .observe(resp.queue_ms + resp.solve_ms);
+                if (!resp.coalesced) inst_->solve_ms.observe(resp.solve_ms);
+            }
+        }
     }
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
     pending.promise.set_value(std::move(resp));
@@ -272,16 +460,19 @@ void PlannerService::dispatch_batch(std::vector<std::unique_ptr<Pending>>& batch
             } else {
                 resp = solve_request(rep.request, *snap, DegradationLevel::kFull);
             }
+            const auto solved_at = std::chrono::steady_clock::now();
             resp.queue_ms = waited_ms;
-            resp.solve_ms = ms_between(start, std::chrono::steady_clock::now());
+            resp.solve_ms = ms_between(start, solved_at);
 
             auto count_outcome = [&](const PlanResponse& out) {
                 switch (shed) {
                     case Shed::kDeadline:
                         deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+                        if (inst_) inst_->shed_deadline.add();
                         return;
                     case Shed::kGovernor:
                         governor_shed_.fetch_add(1, std::memory_order_relaxed);
+                        if (inst_) inst_->shed_overload.add();
                         return;
                     case Shed::kNone:
                         break;
@@ -290,12 +481,15 @@ void PlannerService::dispatch_batch(std::vector<std::unique_ptr<Pending>>& batch
                 switch (out.degradation_level) {
                     case DegradationLevel::kFull:
                         served_full_.fetch_add(1, std::memory_order_relaxed);
+                        if (inst_) inst_->served_full.add();
                         break;
                     case DegradationLevel::kTrimmed:
                         served_trimmed_.fetch_add(1, std::memory_order_relaxed);
+                        if (inst_) inst_->served_trimmed.add();
                         break;
                     case DegradationLevel::kGreedy:
                         served_greedy_.fetch_add(1, std::memory_order_relaxed);
+                        if (inst_) inst_->served_greedy.add();
                         break;
                     case DegradationLevel::kShed:
                         break;
@@ -316,9 +510,18 @@ void PlannerService::dispatch_batch(std::vector<std::unique_ptr<Pending>>& batch
                 share.queue_ms = ms_between(dup.enqueued, start);
                 count_outcome(share);
                 coalesced_.fetch_add(1, std::memory_order_relaxed);
+                if (inst_) inst_->coalesced.add();
+                trace_response(dup.request, share, dup.enqueued, start, std::nullopt,
+                               "coalesced");
                 fulfill(dup, std::move(share));
             }
             count_outcome(resp);
+            trace_response(rep.request, resp, rep.enqueued, start,
+                           shed == Shed::kNone
+                               ? std::optional<std::chrono::steady_clock::time_point>(
+                                     solved_at)
+                               : std::nullopt,
+                           resp.error);
             fulfill(rep, std::move(resp));
         },
         /*grain=*/1);
@@ -352,6 +555,7 @@ PlanResponse PlannerService::solve_request(const PlanRequest& request, const Sna
         breaker = breaker_for(dedup_key(request));
         if (!breaker->allow()) {
             breaker_fastfail_.fetch_add(1, std::memory_order_relaxed);
+            if (inst_) inst_->breaker_fastfail.add();
             PlanResponse resp;
             resp.id = request.id;
             resp.kind = request.kind;
@@ -368,6 +572,7 @@ PlanResponse PlannerService::solve_request(const PlanRequest& request, const Sna
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
         if (attempt > 0) {
             solve_retries_.fetch_add(1, std::memory_order_relaxed);
+            if (inst_) inst_->retries.add();
             sleep_backoff_ms(options_.governor.retry.wait_ms(attempt - 1));
         }
         try {

@@ -42,6 +42,8 @@
 #include "common/retry.hpp"
 #include "common/thread_pool.hpp"
 #include "core/castpp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/faults.hpp"
 #include "serve/governor.hpp"
 #include "serve/snapshot.hpp"
@@ -51,6 +53,10 @@ namespace cast::serve {
 
 /// Queue levels, highest first (level 0 drains before level 1, §BoundedPriorityQueue).
 enum class Priority : std::size_t { kHigh = 0, kNormal = 1, kLow = 2 };
+
+/// Wire-stable lowercase name ("high" / "normal" / "low"); appears in
+/// metric names (serve.latency_ms.<priority>) and trace span labels.
+[[nodiscard]] const char* priority_name(Priority priority);
 
 enum class RequestKind { kBatch, kWorkflow };
 
@@ -115,6 +121,19 @@ struct PlanResponse {
     }
 };
 
+/// Observability switches. Both default off: an uninstrumented service
+/// spends zero cycles on metrics or tracing (every hook is behind a null
+/// check / enabled() test), and bit-identity to the pre-obs service is
+/// trivial. Turning them on adds relaxed atomic increments and one short
+/// ring-mutex critical section per request — the golden tests prove the
+/// solve output stays bit-identical either way.
+struct ObservabilityOptions {
+    /// Register the serve.* instruments and count/observe on every request.
+    bool metrics = false;
+    /// Completed trace spans to ring-buffer; 0 disables tracing entirely.
+    std::size_t trace_capacity = 0;
+};
+
 struct ServiceOptions {
     /// Solver pool size (the dispatcher thread is extra).
     std::size_t workers = ThreadPool::default_workers();
@@ -140,6 +159,8 @@ struct ServiceOptions {
     /// Serve-layer fault injection; the zero profile (default) injects
     /// nothing and is bit-identical to an uninstrumented service.
     ServeFaultProfile faults;
+    /// Metrics + tracing; defaults off (zero overhead, bit-identical).
+    ObservabilityOptions obs;
 };
 
 /// Monotonic service counters plus the live snapshot's cache statistics.
@@ -164,6 +185,11 @@ struct ServiceStats {
     std::uint64_t breaker_trips = 0;      ///< breaker open transitions (all breakers)
     std::uint64_t swap_clears_suppressed = 0;  ///< storm-guarded cache clears skipped
     double ewma_solve_ms = 0.0;        ///< governor's latency estimate
+    /// False until the EWMA has absorbed its first solve sample: a 0.0
+    /// estimate right after startup or a pure shed burst is "no evidence",
+    /// not "instant solves" — readers must check this before trusting
+    /// ewma_solve_ms (and deadline admission cannot fire while false).
+    bool ewma_seeded = false;
     core::EvalCacheStats cache;        ///< current snapshot's memo table
     ServeFaultStats faults;            ///< what the injector actually did
 };
@@ -206,6 +232,20 @@ public:
     /// The injector's view of what it has done so far.
     [[nodiscard]] ServeFaultStats fault_stats() const { return injector_.stats(); }
 
+    /// The service's metrics registry. Always present; it only carries the
+    /// serve.* instruments when options().obs.metrics was set (exports are
+    /// empty otherwise). Pull gauges registered here read live service
+    /// state, so an export taken mid-burst shows the burst.
+    [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
+    [[nodiscard]] bool metrics_enabled() const { return inst_ != nullptr; }
+
+    /// Buffered trace spans, oldest first (empty unless
+    /// options().obs.trace_capacity > 0).
+    [[nodiscard]] std::vector<obs::TraceSpan> trace_spans() const {
+        return trace_.snapshot();
+    }
+    [[nodiscard]] const obs::TraceRing& trace_ring() const { return trace_; }
+
     /// Solve `request` directly against `snapshot` with no queue, no pool
     /// and no shared cache side effects beyond the snapshot's own — the
     /// serial baseline path, also used by the golden tests as the ground
@@ -246,9 +286,35 @@ private:
     /// workload/workflow content (spec serialization + job names).
     [[nodiscard]] static std::string dedup_key(const PlanRequest& request);
 
+    /// Pre-resolved instrument references (counters mirroring the atomics
+    /// below one-for-one, per-priority latency histograms). Null unless
+    /// options_.obs.metrics — every hot-path hook is `if (inst_)`.
+    struct Instruments;
+    /// Register the serve.* pull gauges (queue depth, in-flight, EWMA,
+    /// cache stats, breaker states) against live service state. Called
+    /// once from the constructor, before the dispatcher starts.
+    void register_gauges();
+    /// Breaker aggregates for the pull gauges.
+    [[nodiscard]] double open_breaker_count() const CAST_EXCLUDES(breaker_mutex_);
+    [[nodiscard]] double total_breaker_trips() const CAST_EXCLUDES(breaker_mutex_);
+    /// Push a span for one fulfilled response (no-op when tracing is off).
+    /// `enqueued`/`dispatched` stamp the admit/dequeue events; `solved` is
+    /// unset for sheds, which never reach a solver.
+    void trace_response(const PlanRequest& request, const PlanResponse& resp,
+                        std::chrono::steady_clock::time_point enqueued,
+                        std::optional<std::chrono::steady_clock::time_point> dispatched,
+                        std::optional<std::chrono::steady_clock::time_point> solved,
+                        const std::string& note);
+
     ServiceOptions options_;
     mutable Mutex snapshot_mutex_;
     SnapshotPtr snapshot_ CAST_GUARDED_BY(snapshot_mutex_);
+
+    /// Observability state. The registry/ring own their synchronization;
+    /// inst_ is written once in the constructor and read-only afterwards.
+    obs::MetricsRegistry metrics_;
+    obs::TraceRing trace_;
+    std::unique_ptr<Instruments> inst_;
 
     BoundedPriorityQueue<std::unique_ptr<Pending>> queue_;
     ThreadPool pool_;

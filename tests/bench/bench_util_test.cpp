@@ -1,0 +1,69 @@
+// Regression tests for the bench helpers' reporting bugs fixed in this
+// PR: percentile() of an empty sample is NaN (0.0 read as "instant",
+// which poisoned all-shed sweep points), and write_bench_json fails
+// loudly when the baseline file cannot be written (a silent drop left
+// bench_gate comparing against stale numbers).
+#include "bench_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace cast::bench {
+namespace {
+
+TEST(Percentile, EmptySampleIsNaNNotZero) {
+    const double p = percentile({}, 50.0);
+    EXPECT_TRUE(std::isnan(p));
+    EXPECT_TRUE(std::isnan(percentile({}, 0.0)));
+    EXPECT_TRUE(std::isnan(percentile({}, 100.0)));
+}
+
+TEST(Percentile, SingleSampleIsThatSampleAtEveryP) {
+    EXPECT_EQ(percentile({42.0}, 0.0), 42.0);
+    EXPECT_EQ(percentile({42.0}, 50.0), 42.0);
+    EXPECT_EQ(percentile({42.0}, 100.0), 42.0);
+}
+
+TEST(Percentile, InterpolatesLinearlyOverUnsortedInput) {
+    const std::vector<double> values{40.0, 10.0, 30.0, 20.0};  // sorted: 10..40
+    EXPECT_EQ(percentile(values, 0.0), 10.0);
+    EXPECT_EQ(percentile(values, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(values, 50.0), 25.0);   // between 20 and 30
+    EXPECT_DOUBLE_EQ(percentile(values, 25.0), 17.5);   // between 10 and 20
+}
+
+TEST(WriteBenchJson, RoundTripsThroughTheNamedFile) {
+    JsonObject doc;
+    doc.add("bench", "unit");
+    doc.add("value", 1.5, 3);
+    const std::string path = ::testing::TempDir() + "bench_util_test_out.json";
+    write_bench_json(path, doc);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("\"bench\": \"unit\""), std::string::npos);
+    EXPECT_NE(text.find("\"value\": 1.500"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(WriteBenchJson, ThrowsNamingThePathWhenUnwritable) {
+    JsonObject doc;
+    doc.add("bench", "unit");
+    const std::string bad = "/nonexistent-dir-for-bench-util-test/out.json";
+    try {
+        write_bench_json(bad, doc);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find(bad), std::string::npos)
+            << "error must name the path: " << e.what();
+    }
+}
+
+}  // namespace
+}  // namespace cast::bench

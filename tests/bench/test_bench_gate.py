@@ -140,6 +140,114 @@ class GateDecisions(BenchGateHarness):
         self.assertEqual(tput["baseline"], 100.0)  # parallel runs stripped
 
 
+class TrendGate(BenchGateHarness):
+    """--trend gates on the committed git history of the baseline file."""
+
+    def commit_history(self, reports: list) -> Path:
+        """Fabricate a git repo whose baseline file went through `reports`
+        (one commit each; a str report is committed verbatim — used to
+        prove unparseable revisions are skipped). Returns the baseline
+        path at HEAD."""
+        repo = self.tmp / "repo"
+        repo.mkdir()
+        subprocess.run(["git", "init", "-q"], cwd=repo, check=True)
+        baseline = repo / "BENCH_serve_throughput.json"
+        for i, report in enumerate(reports):
+            if isinstance(report, str):
+                baseline.write_text(report)
+            else:
+                # Salt with the commit index so flat histories still change
+                # the file (an unchanged file would make an empty commit).
+                baseline.write_text(json.dumps({**report, "commit_index": i}))
+            subprocess.run(["git", "add", "-A"], cwd=repo, check=True)
+            subprocess.run(
+                ["git", "-c", "user.name=t", "-c", "user.email=t@t",
+                 "commit", "-q", "-m", f"point {i}"],
+                cwd=repo, check=True)
+        return baseline
+
+    def run_trend(self, baseline: Path,
+                  *extra: str) -> tuple[subprocess.CompletedProcess, dict]:
+        proc = subprocess.run(
+            [sys.executable, str(BENCH_GATE), "--trend",
+             "--baseline", str(baseline), *extra],
+            capture_output=True, text=True, check=False)
+        lines = [l for l in proc.stdout.splitlines()
+                 if l.startswith(SUMMARY_TAG + " ")]
+        self.assertEqual(len(lines), 1,
+                         f"expected exactly one summary line:\n{proc.stdout}")
+        return proc, json.loads(lines[0][len(SUMMARY_TAG) + 1:])
+
+    def test_flat_history_passes_both_gates(self):
+        baseline = self.commit_history([make_report(100.0)] * 6)
+        proc, summary = self.run_trend(baseline)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        by_name = {m["name"]: m for m in summary["metrics"]}
+        self.assertEqual(by_name["trend_window"]["status"], "pass")
+        self.assertEqual(by_name["trend_slope"]["status"], "pass")
+
+    def test_cliff_regression_fails_window_gate(self):
+        baseline = self.commit_history(
+            [make_report(v) for v in (100.0, 100.0, 100.0, 100.0, 100.0, 60.0)])
+        proc, summary = self.run_trend(baseline)
+        self.assertEqual(proc.returncode, 1)
+        self.assertEqual(summary["verdict"], "FAIL")
+        window = {m["name"]: m for m in summary["metrics"]}["trend_window"]
+        self.assertEqual(window["status"], "fail")
+        self.assertEqual(window["baseline"], 200.0)  # mean of the flat 100s x2
+        self.assertEqual(window["current"], 120.0)
+
+    def test_boiling_frog_drift_fails_slope_gate_only(self):
+        # Each step is well inside the 25% window gate, but the cumulative
+        # decay over the window exceeds threshold/window per commit — the
+        # exact drift the slope gate exists to catch.
+        baseline = self.commit_history(
+            [make_report(v) for v in (100.0, 92.0, 85.0, 78.0, 72.0, 66.0)])
+        proc, summary = self.run_trend(baseline)
+        self.assertEqual(proc.returncode, 1)
+        by_name = {m["name"]: m for m in summary["metrics"]}
+        self.assertEqual(by_name["trend_window"]["status"], "pass")
+        self.assertEqual(by_name["trend_slope"]["status"], "fail")
+        self.assertLess(by_name["trend_slope"]["slope_per_commit"], -0.05)
+
+    def test_insufficient_history_is_a_skip(self):
+        baseline = self.commit_history([make_report(100.0)] * 2)
+        proc, summary = self.run_trend(baseline)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        trend = {m["name"]: m for m in summary["metrics"]}["trend"]
+        self.assertEqual(trend["status"], "skip")
+        self.assertEqual(trend["points"], 2)
+
+    def test_foreign_core_counts_and_garbage_revisions_are_filtered(self):
+        # Three old points from an 8-core host plus one truncated revision
+        # must not poison the 4-core trend (which is flat -> OK).
+        history = ([make_report(500.0, host_cores=8)] * 3 +
+                   ["{this is not json"] +
+                   [make_report(100.0, host_cores=4)] * 3)
+        baseline = self.commit_history(history)
+        proc, summary = self.run_trend(baseline)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertEqual(summary["verdict"], "OK")
+
+    def test_outside_git_tree_fails_loudly(self):
+        lonely = self.tmp / "nogit" / "BENCH_serve_throughput.json"
+        lonely.parent.mkdir()
+        lonely.write_text(json.dumps(make_report(100.0)))
+        env = dict(os.environ)
+        env["GIT_CEILING_DIRECTORIES"] = str(self.tmp)
+        proc = subprocess.run(
+            [sys.executable, str(BENCH_GATE), "--trend",
+             "--baseline", str(lonely)],
+            capture_output=True, text=True, check=False, env=env)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("trend_history", proc.stdout)
+
+    def test_bench_flag_not_required_in_trend_mode(self):
+        baseline = self.commit_history([make_report(100.0)] * 3)
+        proc, _ = self.run_trend(baseline)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
 class SummaryIsMachineReadable(BenchGateHarness):
     def test_summary_is_one_line_valid_json(self):
         bench = self.fake_bench(make_report(100.0))

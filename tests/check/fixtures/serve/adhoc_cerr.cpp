@@ -1,0 +1,10 @@
+// Fixture: ad-hoc stderr telemetry in the serve layer. The directory name
+// puts "serve/" in the relative path, so C010 applies; src/obs (and this
+// comment's std::cerr mention) must not trip it.
+#include <cstdio>
+#include <iostream>
+
+void report_shed(int shed) {
+    std::cerr << "shed=" << shed << "\n";
+    std::fprintf(stderr, "shed=%d\n", shed);
+}

@@ -52,6 +52,7 @@ class RuleFiresExactlyWhereExpected(unittest.TestCase):
         "c007_unjustified_escape.cpp": [("C007", 5)],
         "c008_adhoc_thread.cpp": [("C008", 6)],
         "c009_escape_budget.cpp": [("C009", None)],
+        "serve/adhoc_cerr.cpp": [("C010", 8), ("C010", 9)],
     }
 
     def test_each_rule_fires_at_expected_lines(self):
@@ -70,7 +71,7 @@ class RuleFiresExactlyWhereExpected(unittest.TestCase):
         covered = {rule for rules in self.EXPECTED.values() for rule, _ in rules}
         self.assertEqual(covered,
                          {"C001", "C002", "C003", "C004", "C005", "C006",
-                          "C007", "C008", "C009"})
+                          "C007", "C008", "C009", "C010"})
 
     def test_clean_fixture_reports_nothing(self):
         found, rc = findings_for(FIXTURES / "clean.cpp")

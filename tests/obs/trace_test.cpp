@@ -1,0 +1,121 @@
+// TraceRing contract tests: capacity-0 disablement, bounded ring
+// semantics (oldest-first snapshots, overwrite once full), monotonic
+// timestamps, and the text timeline renderer.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace cast::obs {
+namespace {
+
+TraceSpan mk_span(std::uint64_t id, const std::string& outcome = "ok") {
+    TraceSpan span;
+    span.id = id;
+    span.label = "normal";
+    span.outcome = outcome;
+    span.events = {{"admit", 1.0, ""},
+                   {"dequeue", 2.0, ""},
+                   {"respond", 5.0, outcome}};
+    return span;
+}
+
+TEST(TraceRing, CapacityZeroIsDisabledNoOp) {
+    TraceRing ring(0);
+    EXPECT_FALSE(ring.enabled());
+    EXPECT_EQ(ring.capacity(), 0u);
+    ring.push(mk_span(1));
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.total_pushed(), 0u);
+    EXPECT_TRUE(ring.snapshot().empty());
+    // Disabled rings still serve timestamps (callers stamp events before
+    // deciding whether a ring will keep the span).
+    EXPECT_GE(ring.now_ms(), 0.0);
+}
+
+TEST(TraceRing, SpanDurationDerivesFromEvents) {
+    const TraceSpan span = mk_span(7);
+    EXPECT_EQ(span.start_ms(), 1.0);
+    EXPECT_EQ(span.end_ms(), 5.0);
+    EXPECT_EQ(span.duration_ms(), 4.0);
+    const TraceSpan empty;
+    EXPECT_EQ(empty.duration_ms(), 0.0);
+}
+
+TEST(TraceRing, KeepsInsertionOrderBelowCapacity) {
+    TraceRing ring(8);
+    EXPECT_TRUE(ring.enabled());
+    for (std::uint64_t id = 1; id <= 5; ++id) ring.push(mk_span(id));
+    EXPECT_EQ(ring.size(), 5u);
+    EXPECT_EQ(ring.total_pushed(), 5u);
+    const auto spans = ring.snapshot();
+    ASSERT_EQ(spans.size(), 5u);
+    for (std::uint64_t i = 0; i < spans.size(); ++i) {
+        EXPECT_EQ(spans[i].id, i + 1);  // oldest first
+    }
+}
+
+TEST(TraceRing, OverwritesOldestOnceFull) {
+    TraceRing ring(4);
+    for (std::uint64_t id = 1; id <= 10; ++id) ring.push(mk_span(id));
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.total_pushed(), 10u);
+    const auto spans = ring.snapshot();
+    ASSERT_EQ(spans.size(), 4u);
+    // The last `capacity` spans survive, oldest first: 7, 8, 9, 10.
+    for (std::uint64_t i = 0; i < spans.size(); ++i) {
+        EXPECT_EQ(spans[i].id, 7 + i);
+    }
+}
+
+TEST(TraceRing, TimestampsAreMonotonic) {
+    TraceRing ring(2);
+    const double t0 = ring.now_ms();
+    const auto tp = std::chrono::steady_clock::now();
+    const double t1 = ring.at_ms(tp);
+    const double t2 = ring.now_ms();
+    EXPECT_GE(t0, 0.0);
+    EXPECT_GE(t1, t0);
+    EXPECT_GE(t2, t1);
+}
+
+TEST(TraceRing, ConcurrentPushesLoseNothing) {
+    TraceRing ring(1024);
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 100;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&ring, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                ring.push(mk_span(static_cast<std::uint64_t>(t * kPerThread + i)));
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(ring.total_pushed(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(ring.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(TraceRing, TableListsEveryEventRow) {
+    TraceRing ring(4);
+    ring.push(mk_span(1));
+    ring.push(mk_span(2, "rejected"));
+    std::ostringstream os;
+    ring.write_table(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("admit"), std::string::npos);
+    EXPECT_NE(text.find("respond"), std::string::npos);
+    EXPECT_NE(text.find("rejected"), std::string::npos);
+
+    TraceRing empty(4);
+    std::ostringstream os2;
+    empty.write_table(os2);
+    EXPECT_NE(os2.str().find("no trace spans"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cast::obs

@@ -13,6 +13,17 @@ Throughput is host-dependent, so the gate is opt-in (ctest -C BenchGate
 same runner class). Self-normalizing contract metrics (bit identity,
 budget adherence) are enforced unconditionally by the bench binary.
 
+Trend mode (--trend) gates on the committed history of the baseline file
+instead of a fresh bench run: every git revision of BENCH_*.json is a data
+point, and the gate fails when the newest committed number either dropped
+more than --threshold below the mean of its last --window predecessors, or
+the fitted slope over that window decays faster than threshold/window per
+commit. The slope check is the point: a sequence of small regressions that
+each clear the single-baseline gate ("boiling frog") still fails here once
+the cumulative drift shows. Only full-mode entries measured on the same
+host core count as the newest entry are compared; fewer than three
+comparable points is a skip, not a failure.
+
 Every run ends with exactly one machine-readable line
 
   BENCH_GATE_SUMMARY {"verdict": ..., "metrics": [...]}
@@ -24,6 +35,8 @@ Usage:
   bench_gate.py --bench build/bench/serve_throughput \
                 --baseline BENCH_serve_throughput.json [--threshold 0.25]
                 [--smoke]
+  bench_gate.py --trend --baseline BENCH_serve_throughput.json
+                [--threshold 0.25] [--window 5]
 """
 
 from __future__ import annotations
@@ -72,15 +85,143 @@ def best_service_plans_per_sec(report: dict, max_workers: int | None = None) -> 
     return best
 
 
+def baseline_history(baseline_path: Path) -> list[dict]:
+    """Every committed revision of the baseline file, oldest first.
+
+    Each entry is {"rev": sha, "report": parsed JSON}. Revisions where the
+    file is missing or unparseable are skipped (a truncated baseline from
+    before the write_bench_json hardening must not poison the trend).
+    Raises RuntimeError when the baseline is not inside a git work tree.
+    """
+    top = subprocess.run(
+        ["git", "-C", str(baseline_path.parent if str(baseline_path.parent) else "."),
+         "rev-parse", "--show-toplevel"],
+        capture_output=True, text=True)
+    if top.returncode != 0:
+        raise RuntimeError(f"not a git work tree: {top.stderr.strip()}")
+    root = Path(top.stdout.strip())
+    rel = baseline_path.resolve().relative_to(root).as_posix()
+    log = subprocess.run(["git", "-C", str(root), "log", "--format=%H", "--", rel],
+                         capture_output=True, text=True)
+    revs = [r for r in log.stdout.split() if r]
+    revs.reverse()  # git log is newest-first; the trend wants oldest-first
+    history: list[dict] = []
+    for rev in revs:
+        show = subprocess.run(["git", "-C", str(root), "show", f"{rev}:{rel}"],
+                              capture_output=True, text=True)
+        if show.returncode != 0:
+            continue
+        try:
+            report = json.loads(show.stdout)
+        except json.JSONDecodeError:
+            continue
+        history.append({"rev": rev, "report": report})
+    return history
+
+
+def run_trend(args) -> int:
+    """Gate on the committed BENCH history: last-N window + fitted slope."""
+    metrics: list[dict] = []
+    baseline_path = Path(args.baseline)
+    try:
+        history = baseline_history(baseline_path)
+    except RuntimeError as err:
+        print(f"bench_gate: {err}", file=sys.stderr)
+        emit_summary([metric("trend_history", "fail", reason=str(err))])
+        return 2
+
+    # Comparable points only: full-mode runs (smoke workloads are sized
+    # differently) measured on the same host core count as the newest one.
+    full = [h for h in history if h["report"].get("mode") == "full"]
+    points: list[dict] = []
+    if full:
+        cores = full[-1]["report"].get("host_cores")
+        for h in full:
+            if h["report"].get("host_cores") != cores:
+                continue
+            try:
+                value = best_service_plans_per_sec(h["report"])
+            except ValueError:
+                continue
+            points.append({"rev": h["rev"], "value": value})
+
+    if len(points) < 3:
+        print(f"bench_gate: only {len(points)} comparable baseline revisions; "
+              "need 3+ for a trend — skipping")
+        metrics.append(metric("trend", "skip", reason="insufficient history",
+                              points=len(points)))
+        emit_summary(metrics)
+        return 0
+
+    values = [p["value"] for p in points]
+    window = max(1, args.window)
+    current = values[-1]
+
+    # Window gate: the newest committed number vs the mean of its last
+    # `window` predecessors — the trend analogue of the single-baseline
+    # comparison, but against a smoothed reference instead of one point.
+    prev = values[-(window + 1):-1]
+    prev_mean = sum(prev) / len(prev)
+    ratio = current / prev_mean
+    window_ok = ratio >= 1.0 - args.threshold
+    print(f"bench_gate: trend window — newest {current:.1f} vs mean of last "
+          f"{len(prev)} = {prev_mean:.1f} ({ratio:.2%}) -> "
+          f"{'OK' if window_ok else 'REGRESSION'}")
+    metrics.append(metric("trend_window", "pass" if window_ok else "fail",
+                          baseline=round(prev_mean, 3), current=round(current, 3),
+                          delta=round(ratio - 1.0, 4), threshold=args.threshold,
+                          window=len(prev)))
+
+    # Slope gate: least-squares fit over the last window+1 points,
+    # normalized by their mean so the threshold is a fractional decay per
+    # commit. This is what catches the boiling frog — N small regressions
+    # that each clear the window/baseline gate but sum past the threshold.
+    tail = values[-(window + 1):]
+    n = len(tail)
+    mean_x = (n - 1) / 2.0
+    mean_y = sum(tail) / n
+    denom = sum((x - mean_x) ** 2 for x in range(n))
+    slope = sum((x - mean_x) * (y - mean_y)
+                for x, y in zip(range(n), tail)) / denom
+    slope_rel = slope / mean_y if mean_y > 0.0 else 0.0
+    slope_limit = args.threshold / window
+    slope_ok = slope_rel >= -slope_limit
+    print(f"bench_gate: trend slope — {slope_rel:+.2%} per commit over last "
+          f"{n} points (limit -{slope_limit:.2%}) -> "
+          f"{'OK' if slope_ok else 'REGRESSION'}")
+    metrics.append(metric("trend_slope", "pass" if slope_ok else "fail",
+                          slope_per_commit=round(slope_rel, 4),
+                          threshold=round(slope_limit, 4), points=n,
+                          newest_rev=points[-1]["rev"][:12]))
+
+    emit_summary(metrics)
+    if not (window_ok and slope_ok):
+        print("bench_gate: committed bench history is trending down", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--bench", required=True, help="serve_throughput binary")
+    parser.add_argument("--bench", help="serve_throughput binary (required "
+                        "unless --trend)")
     parser.add_argument("--baseline", required=True, help="committed baseline JSON")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max allowed fractional regression (default 0.25)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the bench in --smoke mode (CI wiring checks)")
+    parser.add_argument("--trend", action="store_true",
+                        help="gate on the committed git history of --baseline "
+                             "instead of running the bench")
+    parser.add_argument("--window", type=int, default=5,
+                        help="trend mode: predecessors in the comparison "
+                             "window (default 5)")
     args = parser.parse_args()
+
+    if args.trend:
+        return run_trend(args)
+    if not args.bench:
+        parser.error("--bench is required unless --trend is given")
 
     metrics: list[dict] = []
 

@@ -33,6 +33,9 @@ Rules (stable IDs, mirrored in DESIGN.md):
         planner service dispatcher (no ad-hoc threads)
   C009  more than 3 CAST_NO_TSA escapes repo-wide (budget; keep escapes
         an audited exception)
+  C010  std::cerr / fprintf(stderr, ...) in the serve layer outside
+        src/obs (ad-hoc stderr counters bypass the metrics registry;
+        telemetry belongs in obs::MetricsRegistry / obs::TraceRing)
 
 Implementation is a libclang/regex hybrid: when python bindings for
 libclang are importable they refine C006 (true declaration parsing);
@@ -151,6 +154,7 @@ C006_DECL_RE = re.compile(
 )
 C007_RE = re.compile(r"\bCAST_NO_TSA\b")
 C008_RE = re.compile(r"std::(thread|jthread)\b(?!::)")
+C010_RE = re.compile(r"std::cerr\b|(?<!\w)fprintf\s*\(\s*stderr\b")
 
 
 def check_file(root: Path, path: Path) -> tuple[list[dict], int]:
@@ -168,6 +172,7 @@ def check_file(root: Path, path: Path) -> tuple[list[dict], int]:
     sleep_ok = any(token in rel for token in SLEEP_ALLOWED)
     thread_ok = any(rel.endswith(a) for a in THREAD_ALLOWED)
     hot_path = path.name in HOT_PATH_BASENAMES
+    serve_no_cerr = "serve/" in rel and "obs/" not in rel
 
     for idx, line in enumerate(lines, start=1):
         if not in_annotations_header:
@@ -232,6 +237,14 @@ def check_file(root: Path, path: Path) -> tuple[list[dict], int]:
                 "ad-hoc std::thread; all runtime threads belong to "
                 "cast::ThreadPool or the service dispatcher",
                 "submit work to a ThreadPool instead of spawning a thread"))
+        if serve_no_cerr and C010_RE.search(line):
+            found.append(finding(
+                "C010", rel, idx,
+                "ad-hoc stderr telemetry in the serve layer; counters logged "
+                "to std::cerr are invisible to the metrics registry and race "
+                "with table output",
+                "record through obs::MetricsRegistry (counter/gauge/histogram) "
+                "or buffer a span in obs::TraceRing"))
     return found, escapes
 
 

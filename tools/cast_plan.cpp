@@ -22,12 +22,16 @@
 //
 //   cast_plan serve --models FILE --requests FILE [--workers N]
 //                   [--governor] [--latency-target-ms X] [--fault-intensity I]
+//                   [--metrics] [--metrics-out FILE] [--trace [N]]
 //       Replay a request file through the long-lived PlannerService
 //       (snapshot cache, batching, coalescing) and print per-request
 //       results plus service/cache statistics. --governor enables the
 //       overload governor (degradation ladder, deadline admission, retry +
 //       circuit breakers); --fault-intensity injects the seeded serve-layer
 //       fault profile at intensity I in [0, 1] for resilience drills.
+//       --metrics prints the live registry (counters, gauges, latency
+//       histograms; --metrics-out also writes the one-line JSON to a file)
+//       and --trace dumps the per-request span timeline from the ring.
 //
 // Every command also accepts `--threads N` to pin thread-pool sizes
 // (profiling, solver chains, service workers).
@@ -82,6 +86,7 @@ int usage() {
            "                     [--queue N] [--batch N] [--budget-ms X]\n"
            "                     [--governor] [--latency-target-ms X]\n"
            "                     [--fault-intensity I] [--fault-seed N]\n"
+           "                     [--metrics] [--metrics-out FILE] [--trace [N]]\n"
            "(all commands accept --threads N to pin thread-pool sizes)\n";
     return 1;
 }
@@ -297,6 +302,19 @@ int cmd_serve(const Args& args) {
                                                        std::stoull(fault_seed));
     }
 
+    // Observability: --metrics registers the serve.* instruments (tables +
+    // one-line JSON after the replay, --metrics-out FILE for scraping);
+    // --trace ring-buffers per-request spans (bare flag keeps the last 256,
+    // `--trace N` sizes the ring) and prints the span timeline.
+    const bool want_metrics = args.has_flag("metrics") || !args.get("metrics-out").empty();
+    opts.obs.metrics = want_metrics;
+    const std::string trace_n = args.get("trace");
+    if (args.has_flag("trace")) {
+        opts.obs.trace_capacity = 256;
+    } else if (!trace_n.empty()) {
+        opts.obs.trace_capacity = std::stoul(trace_n);
+    }
+
     auto requests = serve::load_requests(requests_path);
     if (requests.empty()) {
         std::cerr << "serve: " << requests_path << " contains no requests\n";
@@ -366,6 +384,29 @@ int cmd_serve(const Args& args) {
                   << stats.faults.injected_exceptions << " injected exceptions\n";
     }
     print_cache_stats(stats.cache, std::cout);
+
+    if (service.metrics_enabled()) {
+        std::cout << "\nmetrics (live registry):\n";
+        service.metrics().write_table(std::cout);
+        std::cout << "metrics-json: " << service.metrics().json() << "\n";
+        const std::string metrics_out = args.get("metrics-out");
+        if (!metrics_out.empty()) {
+            std::ofstream out(metrics_out);
+            out << service.metrics().json() << "\n";
+            out.flush();
+            if (!out) {
+                std::cerr << "serve: cannot write metrics to " << metrics_out << "\n";
+                return 2;
+            }
+            std::cout << "[metrics written to " << metrics_out << "]\n";
+        }
+    }
+    if (service.trace_ring().enabled()) {
+        const auto total = service.trace_ring().total_pushed();
+        std::cout << "\ntrace (" << service.trace_ring().size() << " of " << total
+                  << " spans buffered):\n";
+        service.trace_ring().write_table(std::cout);
+    }
     return failures == 0 ? 0 : 2;
 }
 
