@@ -13,10 +13,17 @@
 //     can never deadlock the pool.
 //   * Exceptions thrown by parallel_for bodies are aggregated: one failure
 //     rethrows as-is, several are collected into a ParallelForError.
-//   * CAST_THREADS overrides the default worker count (reproducible CI).
+//   * CAST_THREADS overrides the default worker count (reproducible CI);
+//     CAST_AFFINITY=1 (or the pin_threads constructor flag) pins worker i
+//     to core i on Linux so replica scratch stays cache-resident across
+//     tempering rounds (no-op elsewhere).
 // The pool is created once and joined in the destructor (RAII, no detached
-// threads). parallel_for degrades to inline execution on a 1-worker pool,
-// so behaviour is identical on 1-core machines.
+// threads). parallel_for degrades to inline execution whenever the
+// effective parallelism is 1 — a 1-worker pool, a single index, or an
+// index space that fits in one grain — so there is never a queue
+// round-trip to pay on 1-core machines, and runner tasks are capped at
+// the chunk count so small index spaces on wide pools do not enqueue
+// no-op work.
 #pragma once
 
 #include <atomic>
@@ -35,6 +42,11 @@
 
 #include "common/annotations.hpp"
 #include "common/error.hpp"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace cast {
 
@@ -66,8 +78,13 @@ private:
 class ThreadPool {
 public:
     /// Create a pool with `workers` threads (>= 1). Defaults to CAST_THREADS
-    /// when set, else the hardware concurrency, with a floor of 1.
-    explicit ThreadPool(std::size_t workers = default_workers()) {
+    /// when set, else the hardware concurrency, with a floor of 1. When
+    /// `pin_threads` is set (default: the CAST_AFFINITY env var), worker i
+    /// is pinned to core i % hardware_concurrency on Linux so per-worker
+    /// replica scratch stays on one core's cache between exchange barriers;
+    /// on other platforms the flag is accepted but has no effect.
+    explicit ThreadPool(std::size_t workers = default_workers(),
+                        bool pin_threads = default_pinning()) {
         CAST_EXPECTS(workers >= 1);
         queues_.reserve(workers);
         for (std::size_t i = 0; i < workers; ++i) {
@@ -77,6 +94,7 @@ public:
         for (std::size_t i = 0; i < workers; ++i) {
             threads_.emplace_back([this, i] { worker_loop(i); });
         }
+        if (pin_threads) pinned_ = pin_workers();
     }
 
     ThreadPool(const ThreadPool&) = delete;
@@ -95,6 +113,10 @@ public:
     }
 
     [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+
+    /// True when affinity pinning was requested AND applied to every worker
+    /// (always false off-Linux or when sched_setaffinity was refused).
+    [[nodiscard]] bool pinned() const { return pinned_; }
 
     /// True when the calling thread is one of this pool's workers.
     [[nodiscard]] bool on_worker_thread() const { return current_worker(this) >= 0; }
@@ -157,11 +179,15 @@ public:
             }
         };
 
-        // One runner task per worker; each drains as many chunks as it can.
-        // The runners capture `state` by shared_ptr (they may outlive this
-        // frame's wait when all chunks were already claimed) but touch
-        // `body` only while done < n, which the wait below outlasts.
-        const std::size_t runners = worker_count();
+        // Runner tasks drain as many chunks as they can, so enqueue at most
+        // one per chunk beyond the calling thread's own share — a wide pool
+        // handed a 2-chunk job must not pay worker_count()-2 wakeups for
+        // tasks that find the counter already exhausted. The runners capture
+        // `state` by shared_ptr (they may outlive this frame's wait when all
+        // chunks were already claimed) but touch `body` only while done < n,
+        // which the wait below outlasts.
+        const std::size_t nchunks = (n + grain - 1) / grain;
+        const std::size_t runners = std::min(worker_count(), nchunks - 1);
         for (std::size_t w = 0; w < runners; ++w) push_task(run_chunks);
         run_chunks();
         // Help execute unrelated pool tasks while waiting: if this thread is
@@ -203,6 +229,15 @@ public:
         }
         const unsigned hw = std::thread::hardware_concurrency();
         return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+    }
+
+    /// CAST_AFFINITY env var: any value other than empty/"0" requests
+    /// worker pinning (the affinity-aware tempering mode).
+    [[nodiscard]] static bool default_pinning() {
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
+        const char* env = std::getenv("CAST_AFFINITY");
+        return env != nullptr && env[0] != '\0' &&
+               !(env[0] == '0' && env[1] == '\0');
     }
 
 private:
@@ -279,6 +314,27 @@ private:
         return false;
     }
 
+    /// Pin worker i to core i % hardware_concurrency. Returns true only
+    /// when every pin call succeeded (containers may restrict the mask).
+    [[nodiscard]] bool pin_workers() {
+#ifdef __linux__
+        const unsigned hw = std::thread::hardware_concurrency();
+        if (hw == 0) return false;
+        bool all_ok = true;
+        for (std::size_t i = 0; i < threads_.size(); ++i) {
+            cpu_set_t set;
+            CPU_ZERO(&set);
+            CPU_SET(static_cast<int>(i % hw), &set);
+            all_ok = pthread_setaffinity_np(threads_[i].native_handle(), sizeof(set), &set) ==
+                         0 &&
+                     all_ok;
+        }
+        return all_ok;
+#else
+        return false;
+#endif
+    }
+
     [[nodiscard]] bool try_run_one_task() {
         Task task;
         if (!try_pop_task(task)) return false;
@@ -311,6 +367,7 @@ private:
     std::atomic<std::size_t> pending_{0};
     std::atomic<std::size_t> next_queue_{0};
     std::vector<std::thread> threads_;
+    bool pinned_ = false;
 };
 
 }  // namespace cast

@@ -5,10 +5,16 @@
 // mode, a whole reuse group, preserving Eq. 7 by construction — moves to
 // a different tier, or changes its over-provisioning factor), evaluates
 // Eq. 2-6, and accepts by the Metropolis rule with a geometrically cooled
-// temperature (the paper's Cooling(.)/Accept(.)). Several independent
-// chains run in parallel with distinct seeds and the best plan across
-// chains wins — annealing is embarrassingly parallel and this materially
-// improves plan quality at fixed wall-clock.
+// temperature (the paper's Cooling(.)/Accept(.)).
+//
+// Multi-chain search runs as deterministic replica-exchange tempering by
+// default (core/tempering.hpp): the chains become replicas on a
+// temperature ladder, advance in lock-step rounds, and swap states at
+// round barriers — the same iteration budget as independent chains, but
+// hot replicas keep exploring while cold ones refine, and the trajectory
+// is a pure function of (seed, chains) at ANY worker count. Inner-loop
+// evaluation runs on the flat struct-of-arrays core (core/soa_eval.hpp),
+// bit-identical to the AoS evaluator and allocation-free per iteration.
 #pragma once
 
 #include <chrono>
@@ -21,9 +27,13 @@
 #include "common/thread_pool.hpp"
 #include "core/eval_cache.hpp"
 #include "core/plan.hpp"
+#include "core/tempering.hpp"
 #include "core/utility.hpp"
 
 namespace cast::core {
+
+class SoaEvaluator;
+struct SoaState;
 
 struct AnnealingOptions {
     int iter_max = 20000;
@@ -58,6 +68,29 @@ struct AnnealingOptions {
     std::uint64_t seed = 1;
     /// CAST++: move whole reuse groups together so Eq. 7 always holds.
     bool group_moves = false;
+    /// Replica-exchange tempering (core/tempering.hpp): the chains run as
+    /// replicas on a temperature ladder with state swaps at fixed
+    /// iteration boundaries. Bit-identical at any worker count by
+    /// construction. When false (or chains == 1) the legacy
+    /// independent-chain search runs instead — the flag exists for the
+    /// tempering-vs-independent bench row and for golden tests pinned to
+    /// the historical trajectories.
+    bool tempering = true;
+    /// Geometric rung spacing: replica r starts its cooling at
+    /// initial_temperature · ratio^r, so the ladder spans exploration
+    /// (hot) to refinement (cold) with roughly constant exchange rates.
+    double tempering_ladder_ratio = 1.6;
+    /// Iterations between exchange barriers. Coarse enough that barrier
+    /// synchronization vanishes against ~µs evaluations, fine enough that
+    /// good states traverse the whole ladder many times per solve.
+    int exchange_stride = 256;
+    /// Evaluate the inner loop through the flat struct-of-arrays core
+    /// (core/soa_eval.hpp) instead of TieringPlan copies through
+    /// evaluate_delta. Trajectories are bit-identical either way
+    /// (golden-tested); the flag exists so bench/solver_throughput can
+    /// measure SoA vs AoS. Only effective with use_evaluation_cache (the
+    /// uncached baseline stays on the pure AoS path).
+    bool use_soa_evaluation = true;
     /// Memoize REG runtimes (EvalCache) and evaluate neighbors through the
     /// incremental evaluate_delta path. Results are bit-identical to the
     /// uncached evaluator for identical seeds; the flag exists so the
@@ -130,6 +163,9 @@ struct AnnealingResult {
     /// early: the plan is the best feasible one found so far, not the
     /// converged optimum. From solve() it is the OR across chains.
     bool budget_exhausted = false;
+    /// Replica-exchange statistics (replicas == 0 when the solve ran the
+    /// legacy independent-chain path or a single chain).
+    TemperingStats tempering{};
 };
 
 /// One move unit — a single job, or a whole reuse group in group_moves
@@ -182,6 +218,36 @@ public:
                                                std::vector<std::size_t>& changed) const;
 
 private:
+    /// Per-chain/replica search state: the AoS current plan + evaluation
+    /// OR the SoA flat state, the cooling temperature, the normalization
+    /// scale, and the best-so-far result with its counters. Defined in
+    /// the .cpp (it embeds SoaState).
+    struct ChainCtx;
+
+    void init_chain(ChainCtx& ctx, const TieringPlan& start,
+                    const PlanEvaluation& start_eval, const SoaEvaluator* soa) const;
+    /// Run iterations [iter_begin, iter_end) of one chain. Both the AoS
+    /// and SoA bodies make exactly the same RNG draws per iteration, so
+    /// the two modes share one trajectory.
+    void run_span(ChainCtx& ctx, Rng& rng, int iter_begin, int iter_end,
+                  const std::vector<MoveUnit>& units, EvalCache* cache,
+                  const SolveDeadline& deadline, const SoaEvaluator* soa) const;
+    /// propose_neighbor's SoA twin: identical draw sequence and identical
+    /// changed-set, but mutates the flat state under its undo log instead
+    /// of copying the plan.
+    void propose_neighbor_soa(Rng& rng, const SoaEvaluator& soa, SoaState& state,
+                              const std::vector<MoveUnit>& units,
+                              std::vector<std::size_t>& changed) const;
+    /// Export the SoA best snapshot back into ctx.best's AoS fields.
+    void finalize_chain(ChainCtx& ctx, const SoaEvaluator* soa) const;
+    [[nodiscard]] static double chain_current_utility(const ChainCtx& ctx);
+    static void swap_chain_state(ChainCtx& a, ChainCtx& b);
+
+    [[nodiscard]] AnnealingResult solve_tempering(const std::vector<TieringPlan>& starts,
+                                                  const std::vector<PlanEvaluation>& start_evals,
+                                                  ThreadPool* pool, EvalCache* cache,
+                                                  const SolveDeadline& deadline) const;
+
     const PlanEvaluator* evaluator_;
     AnnealingOptions options_;
 };

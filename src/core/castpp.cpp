@@ -102,6 +102,7 @@ CastResult plan_with(const model::PerfModelSet& models, const workload::Workload
     out.best_chain = result.best_chain;
     out.cache_stats = result.cache_stats;
     out.budget_exhausted = result.budget_exhausted;
+    out.tempering = std::move(result.tempering);
     for (const lint::Finding* f : pre.at(lint::Severity::kWarning)) {
         out.lint_notes.push_back(f->format());
     }
@@ -317,6 +318,8 @@ WorkflowSolver::WorkflowSolver(const WorkflowEvaluator& evaluator, AnnealingOpti
     CAST_EXPECTS(!options_.overprov_choices.empty());
     CAST_EXPECTS(options_.max_wall_ms >= 0.0);
     CAST_EXPECTS(deadline_safety_ > 0.0 && deadline_safety_ <= 1.0);
+    CAST_EXPECTS(options_.tempering_ladder_ratio >= 1.0);
+    CAST_EXPECTS(options_.exchange_stride >= 1);
     // cᵢ is a continuous decision variable in the paper; our move set
     // discretizes it. Extend the factor menu so a uniform plan can reach
     // the per-VM capacity where persSSD saturates its bandwidth ceiling —
@@ -353,48 +356,55 @@ WorkflowSolveResult WorkflowSolver::run_chain(std::uint64_t seed, EvalCache* cac
     return run_chain(seed, cache, SolveDeadline::from(options_));
 }
 
-WorkflowSolveResult WorkflowSolver::run_chain(std::uint64_t seed, EvalCache* cache,
-                                              const SolveDeadline& deadline) const {
+struct WorkflowSolver::WfChainCtx {
+    WorkflowPlan curr;
+    WorkflowEvaluation curr_eval;
+    double curr_score = 0.0;
+    double best_score = 0.0;
+    /// Metropolis normalization. Per-chain on the legacy path (derived
+    /// from the chain's own start); one shared value under tempering so
+    /// exchange energies are comparable across rungs.
+    double scale = 1.0;
+    double temperature = 0.0;
+    /// DFS cursor; identical across replicas at round barriers (all run
+    /// the same iteration count), so exchanges never need to swap it.
+    std::size_t cursor = 0;
+    WorkflowSolveResult best;
+};
+
+void WorkflowSolver::init_wf_chain(WfChainCtx& ctx, std::uint64_t start_seed,
+                                   EvalCache* cache) const {
     const auto& wf = evaluator_->workflow();
-    const std::vector<std::size_t> dfs = wf.dfs_order();
-    CAST_EXPECTS(!dfs.empty());
-    Rng rng(seed);
-
-    std::unique_ptr<EvalCache> owned;
-    if (!options_.use_evaluation_cache) {
-        cache = nullptr;
-    } else if (cache == nullptr) {
-        owned = std::make_unique<EvalCache>();
-        cache = owned.get();
-    }
-
     // Multi-start across chains: chain seeds ending in 0 start from the
     // best canonical uniform plan; the rest rotate the starting tier (and a
     // generous starting over-provision factor, since block-tier speed needs
     // pooled capacity) by seed.
-    WorkflowPlan curr =
-        seed % 3 == 0 ? best_uniform_plan(cache)
-                      : WorkflowPlan::uniform(
-                            wf.size(), cloud::kAllTiers[seed % cloud::kAllTiers.size()],
-                            options_.overprov_choices[(seed / 7) %
-                                                      options_.overprov_choices.size()]);
-    WorkflowEvaluation curr_eval = evaluator_->evaluate(curr, cache);
-    if (!curr_eval.feasible) {
-        curr = WorkflowPlan::uniform(wf.size(), StorageTier::kPersistentSsd);
-        curr_eval = evaluator_->evaluate(curr, cache);
+    ctx.curr =
+        start_seed % 3 == 0
+            ? best_uniform_plan(cache)
+            : WorkflowPlan::uniform(
+                  wf.size(), cloud::kAllTiers[start_seed % cloud::kAllTiers.size()],
+                  options_.overprov_choices[(start_seed / 7) %
+                                            options_.overprov_choices.size()]);
+    ctx.curr_eval = evaluator_->evaluate(ctx.curr, cache);
+    if (!ctx.curr_eval.feasible) {
+        ctx.curr = WorkflowPlan::uniform(wf.size(), StorageTier::kPersistentSsd);
+        ctx.curr_eval = evaluator_->evaluate(ctx.curr, cache);
     }
-    WorkflowSolveResult best;
-    best.plan = curr;
-    best.evaluation = curr_eval;
-    double curr_score = score(curr_eval);
-    double best_score = curr_score;
+    ctx.best.plan = ctx.curr;
+    ctx.best.evaluation = ctx.curr_eval;
+    ctx.curr_score = score(ctx.curr_eval);
+    ctx.best_score = ctx.curr_score;
+    ctx.scale = std::max(1.0, std::fabs(ctx.curr_score));
+    ctx.temperature = options_.initial_temperature;
+    ctx.cursor = 0;
+}
 
-    const double scale = std::max(1.0, std::fabs(curr_score));
-    double temperature = options_.initial_temperature;
-    std::size_t cursor = 0;
-
+void WorkflowSolver::run_wf_span(WfChainCtx& ctx, Rng& rng, int iter_begin, int iter_end,
+                                 const std::vector<std::size_t>& dfs, EvalCache* cache,
+                                 const SolveDeadline& deadline) const {
     const bool bounded = !deadline.unbounded();
-    for (int iter = 0; iter < options_.iter_max; ++iter) {
+    for (int iter = iter_begin; iter < iter_end; ++iter) {
         // Budget/cancel poll once per segment (incl. iter 0, so a chain
         // dispatched after the deadline returns its evaluated start plan
         // immediately). Best-so-far is feasible whenever any evaluated
@@ -402,16 +412,17 @@ WorkflowSolveResult WorkflowSolver::run_chain(std::uint64_t seed, EvalCache* cac
         // every workflow the lint gate admits.
         if (bounded && iter % AnnealingOptions::kBudgetCheckStride == 0 &&
             deadline.expired()) {
-            best.budget_exhausted = true;
+            ctx.best.budget_exhausted = true;
             break;
         }
-        temperature = std::max(temperature * options_.cooling, options_.min_temperature);
+        ctx.temperature =
+            std::max(ctx.temperature * options_.cooling, options_.min_temperature);
 
         // DFS-order traversal of the DAG for neighbor generation (§4.3).
-        const std::size_t job_idx = dfs[cursor];
-        cursor = (cursor + 1) % dfs.size();
+        const std::size_t job_idx = dfs[ctx.cursor];
+        ctx.cursor = (ctx.cursor + 1) % dfs.size();
 
-        WorkflowPlan neighbor = curr;
+        WorkflowPlan neighbor = ctx.curr;
         PlacementDecision d = neighbor.decisions[job_idx];
         if (rng.uniform() < options_.tier_move_probability) {
             StorageTier t;
@@ -427,20 +438,40 @@ WorkflowSolveResult WorkflowSolver::run_chain(std::uint64_t seed, EvalCache* cac
 
         const WorkflowEvaluation neighbor_eval = evaluator_->evaluate(neighbor, cache);
         const double neighbor_score = score(neighbor_eval);
-        ++best.iterations;
-        if (neighbor_eval.feasible && neighbor_score > best_score) {
-            best.plan = neighbor;
-            best.evaluation = neighbor_eval;
-            best_score = neighbor_score;
+        ++ctx.best.iterations;
+        if (neighbor_eval.feasible && neighbor_score > ctx.best_score) {
+            ctx.best.plan = neighbor;
+            ctx.best.evaluation = neighbor_eval;
+            ctx.best_score = neighbor_score;
         }
-        const double delta = (neighbor_score - curr_score) / scale;
-        if (delta >= 0.0 || rng.uniform() < std::exp(delta / temperature)) {
-            curr = std::move(neighbor);
-            curr_eval = neighbor_eval;
-            curr_score = neighbor_score;
+        const double delta = (neighbor_score - ctx.curr_score) / ctx.scale;
+        if (delta >= 0.0 || rng.uniform() < std::exp(delta / ctx.temperature)) {
+            ctx.curr = std::move(neighbor);
+            ctx.curr_eval = neighbor_eval;
+            ctx.curr_score = neighbor_score;
         }
     }
-    return best;
+}
+
+WorkflowSolveResult WorkflowSolver::run_chain(std::uint64_t seed, EvalCache* cache,
+                                              const SolveDeadline& deadline) const {
+    const auto& wf = evaluator_->workflow();
+    const std::vector<std::size_t> dfs = wf.dfs_order();
+    CAST_EXPECTS(!dfs.empty());
+    Rng rng(seed);
+
+    std::unique_ptr<EvalCache> owned;
+    if (!options_.use_evaluation_cache) {
+        cache = nullptr;
+    } else if (cache == nullptr) {
+        owned = std::make_unique<EvalCache>();
+        cache = owned.get();
+    }
+
+    WfChainCtx ctx;
+    init_wf_chain(ctx, seed, cache);
+    run_wf_span(ctx, rng, 0, options_.iter_max, dfs, cache, deadline);
+    return std::move(ctx.best);
 }
 
 WorkflowPlan WorkflowSolver::best_uniform_plan(EvalCache* cache) const {
@@ -482,6 +513,14 @@ WorkflowSolveResult WorkflowSolver::solve(ThreadPool* pool, EvalCache* cache) co
         cache = owned.get();
     }
 
+    if (options_.tempering && options_.chains > 1) {
+        WorkflowSolveResult chosen = solve_tempering(pool, cache, deadline);
+        for (const lint::Finding* f : pre.at(lint::Severity::kWarning)) {
+            chosen.lint_notes.push_back(f->format());
+        }
+        return chosen;
+    }
+
     std::vector<WorkflowSolveResult> results(static_cast<std::size_t>(options_.chains));
     auto run_one = [&](std::size_t c) {
         results[c] = run_chain(options_.seed + 104729 * (c + 1), cache, deadline);
@@ -516,6 +555,100 @@ WorkflowSolveResult WorkflowSolver::solve(ThreadPool* pool, EvalCache* cache) co
     for (const lint::Finding* f : pre.at(lint::Severity::kWarning)) {
         chosen.lint_notes.push_back(f->format());
     }
+    return chosen;
+}
+
+WorkflowSolveResult WorkflowSolver::solve_tempering(ThreadPool* pool, EvalCache* cache,
+                                                    const SolveDeadline& deadline) const {
+    const auto& wf = evaluator_->workflow();
+    const std::vector<std::size_t> dfs = wf.dfs_order();
+    CAST_EXPECTS(!dfs.empty());
+
+    // The uniform sweep is both the guaranteed result floor and the source
+    // of the SHARED Metropolis/exchange normalization scale — replicas must
+    // agree on the energy unit for exchange probabilities to mean anything.
+    WorkflowSolveResult fallback;
+    fallback.plan = best_uniform_plan(cache);
+    fallback.evaluation = evaluator_->evaluate(fallback.plan, cache);
+    fallback.best_chain = -1;
+    const double scale = std::max(1.0, std::fabs(score(fallback.evaluation)));
+
+    const auto replicas = static_cast<std::size_t>(options_.chains);
+    std::vector<WfChainCtx> reps(replicas);
+    for (std::size_t r = 0; r < replicas; ++r) {
+        // Replica starts reuse the legacy chain-seed formula, so the
+        // tempered ladder explores the same diverse anchors the
+        // independent chains did.
+        init_wf_chain(reps[r], options_.seed + 104729 * (r + 1), cache);
+        reps[r].scale = scale;
+        reps[r].temperature = options_.initial_temperature *
+                              std::pow(options_.tempering_ladder_ratio,
+                                       static_cast<double>(r));
+    }
+
+    const TemperingSchedule sched(options_.iter_max, options_.exchange_stride,
+                                  options_.chains);
+    TemperingStats stats;
+    stats.replicas = options_.chains;
+    stats.exchange_attempts.assign(replicas - 1, 0);
+    stats.exchange_accepts.assign(replicas - 1, 0);
+    stats.replica_iterations.assign(replicas, 0);
+
+    bool out_of_budget = false;
+    for (int round = 0; round < sched.rounds(); ++round) {
+        auto run_one = [&](std::size_t r) {
+            Rng rng(TemperingSchedule::segment_seed(options_.seed, r,
+                                                    static_cast<std::uint64_t>(round)));
+            run_wf_span(reps[r], rng, sched.round_begin(round), sched.round_end(round), dfs,
+                        cache, deadline);
+        };
+        if (pool != nullptr && replicas > 1) {
+            pool->parallel_for(replicas, run_one, 1);
+        } else {
+            for (std::size_t r = 0; r < replicas; ++r) run_one(r);
+        }
+        ++stats.rounds;
+        for (const WfChainCtx& c : reps) {
+            out_of_budget = out_of_budget || c.best.budget_exhausted;
+        }
+        if (out_of_budget) break;
+        if (round + 1 < sched.rounds() && replicas > 1) {
+            Rng ex(TemperingSchedule::exchange_seed(options_.seed,
+                                                    static_cast<std::uint64_t>(round)));
+            for (int p = TemperingSchedule::first_pair(round);
+                 p + 1 < options_.chains; p += 2) {
+                const double u = ex.uniform();
+                ++stats.exchange_attempts[p];
+                const double e_cold = -reps[p].curr_score / scale;
+                const double e_hot = -reps[p + 1].curr_score / scale;
+                if (exchange_accept(1.0 / reps[p].temperature,
+                                    1.0 / reps[p + 1].temperature, e_cold, e_hot, u)) {
+                    std::swap(reps[p].curr, reps[p + 1].curr);
+                    std::swap(reps[p].curr_eval, reps[p + 1].curr_eval);
+                    std::swap(reps[p].curr_score, reps[p + 1].curr_score);
+                    ++stats.exchange_accepts[p];
+                }
+            }
+        }
+    }
+
+    for (std::size_t r = 0; r < replicas; ++r) {
+        stats.replica_iterations[r] = reps[r].best.iterations;
+    }
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < replicas; ++r) {
+        if (score(reps[r].best.evaluation) > score(reps[best].best.evaluation)) best = r;
+    }
+    const bool fallback_wins =
+        score(fallback.evaluation) > score(reps[best].best.evaluation);
+    WorkflowSolveResult chosen =
+        fallback_wins ? std::move(fallback) : std::move(reps[best].best);
+    if (!fallback_wins) chosen.best_chain = static_cast<int>(best);
+    chosen.iterations = 0;
+    chosen.budget_exhausted = out_of_budget;
+    for (const WfChainCtx& c : reps) chosen.iterations += c.best.iterations;
+    if (cache != nullptr) chosen.cache_stats = cache->stats();
+    chosen.tempering = std::move(stats);
     return chosen;
 }
 

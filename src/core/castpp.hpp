@@ -47,6 +47,10 @@ struct CastResult {
     /// True when options.annealing.max_wall_ms (or a CancelToken) stopped
     /// the search early; the plan is best-so-far feasible, not converged.
     bool budget_exhausted = false;
+    /// Replica-exchange statistics from the annealing stage (replicas == 0
+    /// when the legacy independent-chain path ran). Greedy-only results
+    /// always report replicas == 0.
+    TemperingStats tempering{};
 };
 
 /// Basic CAST: reuse-oblivious utility maximization. When `cache` is
@@ -157,6 +161,9 @@ struct WorkflowSolveResult {
     /// True when the wall budget or a cancellation stopped the search
     /// early (best-so-far result; OR across chains from solve()).
     bool budget_exhausted = false;
+    /// Replica-exchange statistics (replicas == 0 on the legacy path,
+    /// from run_chain(), and from solve_greedy()).
+    TemperingStats tempering{};
 };
 
 /// CAST++ deadline mode: minimize $total subject to the workflow deadline
@@ -196,6 +203,21 @@ private:
     /// Best-scoring uniform plan over tiers x over-provision factors (the
     /// multi-start anchor and result floor).
     [[nodiscard]] WorkflowPlan best_uniform_plan(EvalCache* cache = nullptr) const;
+
+    /// Per-chain/replica search state; defined in the .cpp.
+    struct WfChainCtx;
+    /// Seed `ctx` from the legacy multi-start formula for `start_seed`
+    /// (uniform-sweep anchor for seeds divisible by 3, rotated uniform
+    /// plans otherwise, persSSD retreat when infeasible).
+    void init_wf_chain(WfChainCtx& ctx, std::uint64_t start_seed, EvalCache* cache) const;
+    /// Run iterations [iter_begin, iter_end) of one chain (the legacy
+    /// loop body verbatim; the DFS cursor and temperature live in ctx and
+    /// carry across segments).
+    void run_wf_span(WfChainCtx& ctx, Rng& rng, int iter_begin, int iter_end,
+                     const std::vector<std::size_t>& dfs, EvalCache* cache,
+                     const SolveDeadline& deadline) const;
+    [[nodiscard]] WorkflowSolveResult solve_tempering(ThreadPool* pool, EvalCache* cache,
+                                                      const SolveDeadline& deadline) const;
 
     const WorkflowEvaluator* evaluator_;
     AnnealingOptions options_;

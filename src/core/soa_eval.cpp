@@ -1,0 +1,271 @@
+#include "core/soa_eval.hpp"
+
+#include "core/eval_cache.hpp"
+#include "lint/checks.hpp"
+
+namespace cast::core {
+
+namespace {
+using cloud::StorageTier;
+using cloud::tier_index;
+constexpr std::size_t kEph = tier_index(StorageTier::kEphemeralSsd);
+constexpr std::size_t kPers = tier_index(StorageTier::kPersistentSsd);
+constexpr std::size_t kObj = tier_index(StorageTier::kObjectStore);
+}  // namespace
+
+SoaEvaluator::SoaEvaluator(const PlanEvaluator& evaluator)
+    : aos_(&evaluator),
+      n_(evaluator.workload().size()),
+      nvm_(evaluator.models().cluster().worker_count),
+      reuse_aware_(evaluator.options().reuse_aware),
+      has_tier_pins_(evaluator.has_tier_pins_),
+      objstore_capacity_sensitive_(evaluator.objstore_capacity_sensitive_) {
+    req_.reserve(n_);
+    eph_backing_.reserve(n_);
+    inter_.reserve(n_);
+    legs_.reserve(n_ * cloud::kTierCount);
+    for (std::size_t i = 0; i < n_; ++i) {
+        // The stored doubles are bitwise the evaluator's own precomputed
+        // terms, so the capacity arithmetic below reproduces its results
+        // exactly.
+        req_.push_back(evaluator.req_[i].value());
+        eph_backing_.push_back(evaluator.eph_backing_[i].value());
+        inter_.push_back(evaluator.inter_[i].value());
+        for (StorageTier t : cloud::kAllTiers) {
+            model::StagingLegs legs = model::StagingLegs::for_tier(t);
+            if (legs.download_input) legs.download_input = evaluator.pays_input_download(i);
+            legs_.push_back(legs);
+        }
+    }
+}
+
+void SoaEvaluator::init(SoaState& state, const TieringPlan& plan,
+                        const PlanEvaluation& eval) const {
+    CAST_EXPECTS_MSG(plan.size() == n_, "plan/workload size mismatch");
+    CAST_EXPECTS_MSG(eval.feasible && eval.job_runtimes.size() == n_,
+                     "SoA state needs a feasible evaluated seed plan");
+    state.tier.resize(n_);
+    state.overprov.resize(n_);
+    state.runtime.resize(n_);
+    state.mirror = plan.decisions();
+    for (std::size_t i = 0; i < n_; ++i) {
+        state.tier[i] = static_cast<std::uint8_t>(tier_index(state.mirror[i].tier));
+        state.overprov[i] = state.mirror[i].overprovision;
+        state.runtime[i] = eval.job_runtimes[i].value();
+    }
+    state.caps = eval.capacities;
+    state.total_runtime = eval.total_runtime.value();
+    state.vm_cost = eval.vm_cost.value();
+    state.storage_cost = eval.storage_cost.value();
+    state.utility = eval.utility;
+
+    state.decision_undo.clear();
+    state.runtime_undo.clear();
+    state.decision_undo.reserve(n_);
+    state.runtime_undo.reserve(n_);
+
+    state.best_mirror = state.mirror;
+    state.best_runtime = state.runtime;
+    state.best_caps = state.caps;
+    state.best_total = state.total_runtime;
+    state.best_vm = state.vm_cost;
+    state.best_storage = state.storage_cost;
+    state.best_utility = state.utility;
+}
+
+void SoaEvaluator::set_decision(SoaState& state, std::size_t job, std::uint8_t tier_idx,
+                                double overprov) const {
+    state.decision_undo.push_back(
+        {static_cast<std::uint32_t>(job), state.tier[job], state.overprov[job]});
+    state.tier[job] = tier_idx;
+    state.overprov[job] = overprov;
+    state.mirror[job] = PlacementDecision{cloud::kAllTiers[tier_idx], overprov};
+}
+
+double SoaEvaluator::runtime_for(const SoaState& state, std::size_t job,
+                                 const CapacityBreakdown& caps, EvalCache* cache) const {
+    const std::size_t ti = state.tier[job];
+    const StorageTier tier = cloud::kAllTiers[ti];
+    const model::StagingLegs legs = legs_[job * cloud::kTierCount + ti];
+    const GigaBytes per_vm = caps.per_vm[ti];
+    const auto& spec = aos_->workload().job(job);
+    if (cache != nullptr) {
+        return cache->job_runtime(aos_->models(), spec, tier, per_vm, legs).value();
+    }
+    return aos_->models().job_runtime(spec, tier, per_vm, legs).value();
+}
+
+bool SoaEvaluator::evaluate_candidate(SoaState& state, std::span<const std::size_t> changed,
+                                      EvalCache* cache) const {
+    state.runtime_undo.clear();
+    // Placement constraints exactly as evaluate_impl: the shared lint
+    // checks over the AoS mirror, skipped when they could never fire. The
+    // clean path pushes nothing, so `violations` never allocates there.
+    if (reuse_aware_ || has_tier_pins_) {
+        std::vector<lint::Finding> violations;
+        if (reuse_aware_) {
+            lint::check_reuse_group_split(aos_->workload().jobs(), state.mirror, violations);
+        }
+        if (has_tier_pins_) {
+            lint::check_tier_pins(aos_->workload().jobs(), state.mirror, violations);
+        }
+        if (!violations.empty()) return false;
+    }
+
+    // --- Capacity accounting, bit-identical to PlanEvaluator::capacities:
+    // index-order accumulation into the tier aggregates, ephSSD backing on
+    // objStore, the objStore persSSD floor, then provider provisioning
+    // rounding (which may throw on per-VM limits -> infeasible).
+    state.cand_caps = CapacityBreakdown{};
+    auto& agg = state.cand_caps.aggregate;
+    double max_object_store_inter = 0.0;
+    bool any_on_object_store = false;
+    for (std::size_t i = 0; i < n_; ++i) {
+        const std::size_t ti = state.tier[i];
+        agg[ti] += GigaBytes{req_[i] * state.overprov[i]};
+        if (ti == kEph) {
+            agg[kObj] += GigaBytes{eph_backing_[i]};
+        } else if (ti == kObj) {
+            any_on_object_store = true;
+            if (inter_[i] > max_object_store_inter) max_object_store_inter = inter_[i];
+        }
+    }
+    try {
+        if (any_on_object_store) {
+            auto& pers = agg[kPers];
+            const GigaBytes floor{cloud::object_store_intermediate_volume(
+                                      GigaBytes{max_object_store_inter}, nvm_)
+                                      .value() *
+                                  nvm_};
+            if (pers < floor) pers = floor;
+        }
+        for (StorageTier t : cloud::kAllTiers) {
+            const std::size_t ti = tier_index(t);
+            const GigaBytes aggregate = agg[ti];
+            if (aggregate.value() <= 0.0) continue;
+            if (t == StorageTier::kObjectStore) {
+                state.cand_caps.per_vm[ti] = GigaBytes{aggregate.value() / nvm_};
+                continue;
+            }
+            const auto& service = aos_->models().catalog().service(t);
+            const GigaBytes per_vm = service.provision(GigaBytes{aggregate.value() / nvm_});
+            state.cand_caps.per_vm[ti] = per_vm;
+            agg[ti] = GigaBytes{per_vm.value() * nvm_};
+        }
+    } catch (const ValidationError&) {
+        return false;
+    }
+
+    // --- Runtime reuse, exactly evaluate_impl's incremental branch:
+    // bitwise per-VM comparison decides reusability per tier; jobs on
+    // capacity-shifted tiers re-derive directly, changed jobs through the
+    // memo table; the total re-sums in index order only when some runtime
+    // actually changed.
+    std::array<bool, cloud::kTierCount> reusable{};
+    bool all_reusable = true;
+    for (StorageTier t : cloud::kAllTiers) {
+        const std::size_t ti = tier_index(t);
+        reusable[ti] = (t == StorageTier::kObjectStore && !objstore_capacity_sensitive_) ||
+                       state.caps.per_vm[ti].value() == state.cand_caps.per_vm[ti].value();
+        all_reusable = all_reusable && reusable[ti];
+    }
+    bool any_runtime_changed = false;
+    if (!all_reusable) {
+        for (std::size_t i = 0; i < n_; ++i) {
+            if (!reusable[state.tier[i]]) {
+                const double t = runtime_for(state, i, state.cand_caps, nullptr);
+                any_runtime_changed |= t != state.runtime[i];
+                state.runtime_undo.push_back(
+                    {static_cast<std::uint32_t>(i), state.runtime[i]});
+                state.runtime[i] = t;
+            }
+        }
+    }
+    for (std::size_t j : changed) {
+        if (reusable[state.tier[j]]) {
+            const double t = runtime_for(state, j, state.cand_caps, cache);
+            any_runtime_changed |= t != state.runtime[j];
+            state.runtime_undo.push_back({static_cast<std::uint32_t>(j), state.runtime[j]});
+            state.runtime[j] = t;
+        }
+    }
+    double total = 0.0;
+    if (any_runtime_changed) {
+        for (const double t : state.runtime) total += t;
+    } else {
+        total = state.total_runtime;
+    }
+
+    const auto [vm, store] = eq5_eq6_costs(aos_->models(), Seconds{total}, state.cand_caps);
+    state.cand_total = total;
+    state.cand_vm = vm.value();
+    state.cand_storage = store.value();
+    state.cand_utility = tenant_utility(Seconds{total}, vm + store);
+    return true;
+}
+
+void SoaEvaluator::commit(SoaState& state) const {
+    state.caps = state.cand_caps;
+    state.total_runtime = state.cand_total;
+    state.vm_cost = state.cand_vm;
+    state.storage_cost = state.cand_storage;
+    state.utility = state.cand_utility;
+    state.decision_undo.clear();
+    state.runtime_undo.clear();
+}
+
+void SoaEvaluator::revert(SoaState& state) const {
+    for (auto it = state.runtime_undo.rbegin(); it != state.runtime_undo.rend(); ++it) {
+        state.runtime[it->job] = it->runtime;
+    }
+    for (auto it = state.decision_undo.rbegin(); it != state.decision_undo.rend(); ++it) {
+        state.tier[it->job] = it->tier;
+        state.overprov[it->job] = it->overprov;
+        state.mirror[it->job] = PlacementDecision{cloud::kAllTiers[it->tier], it->overprov};
+    }
+    state.decision_undo.clear();
+    state.runtime_undo.clear();
+}
+
+void SoaEvaluator::save_best(SoaState& state) const {
+    state.best_mirror = state.mirror;
+    state.best_runtime = state.runtime;
+    state.best_caps = state.cand_caps;
+    state.best_total = state.cand_total;
+    state.best_vm = state.cand_vm;
+    state.best_storage = state.cand_storage;
+    state.best_utility = state.cand_utility;
+}
+
+void SoaEvaluator::swap_current(SoaState& a, SoaState& b) {
+    CAST_EXPECTS(a.decision_undo.empty() && a.runtime_undo.empty());
+    CAST_EXPECTS(b.decision_undo.empty() && b.runtime_undo.empty());
+    a.tier.swap(b.tier);
+    a.overprov.swap(b.overprov);
+    a.mirror.swap(b.mirror);
+    a.runtime.swap(b.runtime);
+    std::swap(a.caps, b.caps);
+    std::swap(a.total_runtime, b.total_runtime);
+    std::swap(a.vm_cost, b.vm_cost);
+    std::swap(a.storage_cost, b.storage_cost);
+    std::swap(a.utility, b.utility);
+}
+
+TieringPlan SoaEvaluator::best_plan(const SoaState& state) const {
+    return TieringPlan{state.best_mirror};
+}
+
+PlanEvaluation SoaEvaluator::best_evaluation(const SoaState& state) const {
+    PlanEvaluation eval;
+    eval.feasible = true;
+    eval.total_runtime = Seconds{state.best_total};
+    eval.vm_cost = Dollars{state.best_vm};
+    eval.storage_cost = Dollars{state.best_storage};
+    eval.utility = state.best_utility;
+    eval.capacities = state.best_caps;
+    eval.job_runtimes.reserve(n_);
+    for (const double t : state.best_runtime) eval.job_runtimes.push_back(Seconds{t});
+    return eval;
+}
+
+}  // namespace cast::core

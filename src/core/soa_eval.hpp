@@ -1,0 +1,162 @@
+// Struct-of-arrays evaluation core for the annealing hot loop.
+//
+// PlanEvaluator::evaluate_delta is already incremental, but every call
+// still allocates: propose_neighbor copies the whole TieringPlan
+// (~16·n bytes) and evaluate_delta copies the base's job_runtimes vector
+// into a fresh PlanEvaluation. At ~1 µs per iteration those two
+// alloc/copy pairs dominate the solver's cache behaviour.
+//
+// SoaEvaluator keeps ONE flat state per chain and mutates it in place:
+//
+//   tier[]      job -> tier index        (uint8, contiguous)
+//   overprov[]  job -> k_i               (double, contiguous)
+//   runtime[]   job -> REG seconds       (double, contiguous)
+//
+// plus plan-invariant per-job capacity terms (req, ephSSD backing,
+// intermediate size) and precomputed staging legs, unwrapped from their
+// unit types into raw double arrays. A candidate move writes an undo log
+// instead of copying the plan, and reverting a rejected move replays the
+// log — the steady-state iteration does zero heap allocation.
+//
+// Equivalence contract: evaluate_candidate performs EXACTLY the floating-
+// point operations of PlanEvaluator::evaluate_impl's incremental branch,
+// in the same order (index-order capacity accumulation, the objStore
+// persSSD floor, provider provisioning rounding, bitwise per-VM
+// reusability, index-order runtime summation, Eq. 5/6 via the shared
+// eq5_eq6_costs). Golden tests assert exact double equality against the
+// AoS evaluator along full annealing trajectories.
+//
+// An AoS mirror of the decisions is maintained alongside the flat arrays
+// (one 16-byte write per decision change) so the shared lint checks and
+// the plan exporters see std::vector<PlacementDecision> without a
+// gather; TieringPlan stays the boundary type for Deployer/serve/lint.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "core/utility.hpp"
+
+namespace cast::core {
+
+class EvalCache;
+
+/// Per-chain flat solver state operated on by SoaEvaluator. Owns the
+/// committed plan + evaluation, the candidate scratch, the undo logs and
+/// the best-so-far snapshot. Plain data; all invariants live in the
+/// evaluator.
+struct SoaState {
+    // --- committed plan (SoA + AoS mirror, kept in sync by set_decision)
+    std::vector<std::uint8_t> tier;
+    std::vector<double> overprov;
+    std::vector<PlacementDecision> mirror;
+
+    // --- committed evaluation
+    std::vector<double> runtime;
+    CapacityBreakdown caps;
+    double total_runtime = 0.0;
+    double vm_cost = 0.0;
+    double storage_cost = 0.0;
+    double utility = 0.0;
+
+    // --- candidate scratch (valid between evaluate_candidate and
+    //     commit/revert; runtime[] itself is mutated under the undo log)
+    CapacityBreakdown cand_caps;
+    double cand_total = 0.0;
+    double cand_vm = 0.0;
+    double cand_storage = 0.0;
+    double cand_utility = 0.0;
+
+    // --- undo logs (capacity reserved once; never reallocate mid-chain)
+    struct DecisionUndo {
+        std::uint32_t job;
+        std::uint8_t tier;
+        double overprov;
+    };
+    struct RuntimeUndo {
+        std::uint32_t job;
+        double runtime;
+    };
+    std::vector<DecisionUndo> decision_undo;
+    std::vector<RuntimeUndo> runtime_undo;
+
+    // --- best-so-far snapshot (copied only on improvement)
+    std::vector<PlacementDecision> best_mirror;
+    std::vector<double> best_runtime;
+    CapacityBreakdown best_caps;
+    double best_total = 0.0;
+    double best_vm = 0.0;
+    double best_storage = 0.0;
+    double best_utility = 0.0;
+};
+
+/// Allocation-free incremental evaluation over SoaState. Constructed once
+/// per solve from the AoS evaluator (whose models/workload/options it
+/// reads); const and thread-safe — replicas each own a SoaState and share
+/// one SoaEvaluator.
+class SoaEvaluator {
+public:
+    explicit SoaEvaluator(const PlanEvaluator& evaluator);
+
+    [[nodiscard]] std::size_t size() const { return n_; }
+
+    /// Seed `state` from an already-evaluated feasible plan. Reserves all
+    /// vectors; nothing below allocates afterwards.
+    void init(SoaState& state, const TieringPlan& plan, const PlanEvaluation& eval) const;
+
+    /// Stage one decision change into the candidate (undo-logged).
+    void set_decision(SoaState& state, std::size_t job, std::uint8_t tier_idx,
+                      double overprov) const;
+
+    /// Evaluate the staged candidate incrementally against the committed
+    /// state; `changed` lists the jobs touched since the last
+    /// commit/revert. Returns feasibility; on true the cand_* scalars and
+    /// cand_caps hold the candidate's evaluation (runtime[] already holds
+    /// its runtimes, under the undo log). On false the runtimes are
+    /// untouched — only the decision log needs reverting.
+    [[nodiscard]] bool evaluate_candidate(SoaState& state,
+                                          std::span<const std::size_t> changed,
+                                          EvalCache* cache) const;
+
+    /// Accept the candidate: promote cand_* to committed, clear the logs.
+    void commit(SoaState& state) const;
+
+    /// Reject the candidate: replay both undo logs.
+    void revert(SoaState& state) const;
+
+    /// Snapshot the CANDIDATE as best. Call only right after a feasible
+    /// evaluate_candidate (before commit/revert) — the annealing loop
+    /// tracks the best neighbor even when the move is then rejected.
+    void save_best(SoaState& state) const;
+
+    /// Swap the COMMITTED states of two replicas (replica exchange).
+    /// O(1) vector swaps; bests, logs and scratch stay put. Both logs
+    /// must be empty (exchange happens at round barriers).
+    static void swap_current(SoaState& a, SoaState& b);
+
+    /// Export the best snapshot back to the AoS boundary types.
+    [[nodiscard]] TieringPlan best_plan(const SoaState& state) const;
+    [[nodiscard]] PlanEvaluation best_evaluation(const SoaState& state) const;
+
+private:
+    [[nodiscard]] double runtime_for(const SoaState& state, std::size_t job,
+                                     const CapacityBreakdown& caps, EvalCache* cache) const;
+
+    const PlanEvaluator* aos_;
+    std::size_t n_ = 0;
+    int nvm_ = 0;
+    bool reuse_aware_ = false;
+    bool has_tier_pins_ = false;
+    bool objstore_capacity_sensitive_ = false;
+    /// Plan-invariant per-job capacity terms as raw doubles (GB).
+    std::vector<double> req_;
+    std::vector<double> eph_backing_;
+    std::vector<double> inter_;
+    /// Staging legs per (job, tier), row-major by job — for_tier plus the
+    /// reuse-aware download adjustment, precomputed.
+    std::vector<model::StagingLegs> legs_;
+};
+
+}  // namespace cast::core

@@ -1,0 +1,141 @@
+// Deterministic replica-exchange (parallel tempering) schedule.
+//
+// Independent annealing chains waste parallel hardware: every chain pays
+// the full cool-down, and the cold ones get stuck in the first decent
+// basin they find. Replica exchange runs N replicas on a temperature
+// ladder and periodically swaps the *states* of adjacent rungs, so a plan
+// discovered by a hot, exploratory replica can migrate down the ladder
+// and be refined by the cold ones — strictly better use of the same
+// iteration budget.
+//
+// The schedule here is built for bit-reproducibility at any worker count:
+//
+//   * Replicas advance in lock-step rounds of `exchange_stride`
+//     iterations. Within a round no replica reads another's state, so the
+//     pool may run them in any order on any number of workers.
+//   * Each (replica, round) segment draws from a fresh Rng whose seed is
+//     a pure function of (solve seed, replica, round) — a replica's
+//     trajectory does not depend on how many iterations some worker
+//     happened to run before picking it up.
+//   * Exchanges happen on the calling thread at the round barrier, with
+//     their own per-round seed, sweeping even pairs on even rounds and
+//     odd pairs on odd rounds (the standard alternation, so information
+//     can traverse the whole ladder).
+//
+// The only shared mutable structure during a round is the EvalCache,
+// which is value-deterministic: a lookup returns the same runtime whether
+// it hits or misses, so racing replicas can never change each other's
+// trajectories — only the hit/miss statistics.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cast::core {
+
+/// Round boundaries and per-segment seed derivation for one tempered
+/// solve. Pure arithmetic; holds no replica state.
+class TemperingSchedule {
+public:
+    TemperingSchedule(int iter_max, int exchange_stride, int replicas)
+        : iter_max_(iter_max), stride_(exchange_stride), replicas_(replicas) {
+        CAST_EXPECTS(iter_max_ >= 1);
+        CAST_EXPECTS(stride_ >= 1);
+        CAST_EXPECTS(replicas_ >= 1);
+        rounds_ = (iter_max_ + stride_ - 1) / stride_;
+    }
+
+    [[nodiscard]] int rounds() const { return rounds_; }
+    [[nodiscard]] int replicas() const { return replicas_; }
+
+    /// Global iteration range [begin, end) of `round`; the last round is
+    /// short when exchange_stride does not divide iter_max.
+    [[nodiscard]] int round_begin(int round) const { return round * stride_; }
+    [[nodiscard]] int round_end(int round) const {
+        const int end = (round + 1) * stride_;
+        return end < iter_max_ ? end : iter_max_;
+    }
+
+    /// First rung index of the adjacent-pair sweep after `round`: even
+    /// rounds swap (0,1)(2,3)..., odd rounds (1,2)(3,4)... so states can
+    /// walk the full ladder over consecutive rounds.
+    [[nodiscard]] static int first_pair(int round) { return round % 2; }
+
+    /// Seed of the Rng driving replica `replica` during `round`. Chained
+    /// SplitMix64 so nearby (replica, round) pairs land far apart; a pure
+    /// function of its inputs, which is the whole determinism argument.
+    [[nodiscard]] static std::uint64_t segment_seed(std::uint64_t solve_seed,
+                                                    std::uint64_t replica,
+                                                    std::uint64_t round) {
+        SplitMix64 sm(solve_seed ^ 0x7459aa63d82effc5ULL);
+        const std::uint64_t a = sm.next();
+        SplitMix64 sm2(a + 0x9e3779b97f4a7c15ULL * (replica + 1));
+        const std::uint64_t b = sm2.next();
+        SplitMix64 sm3(b + 0xd1b54a32d192ed03ULL * (round + 1));
+        return sm3.next();
+    }
+
+    /// Seed of the Rng consuming the exchange-acceptance draws after
+    /// `round`. Distinct stream from every segment seed by construction
+    /// (different salt), so exchange draws never alias move draws.
+    [[nodiscard]] static std::uint64_t exchange_seed(std::uint64_t solve_seed,
+                                                     std::uint64_t round) {
+        SplitMix64 sm(solve_seed ^ 0xb5297a4d3f84d5a3ULL);
+        const std::uint64_t a = sm.next();
+        SplitMix64 sm2(a + 0xd1b54a32d192ed03ULL * (round + 1));
+        return sm2.next();
+    }
+
+private:
+    int iter_max_;
+    int stride_;
+    int replicas_;
+    int rounds_;
+};
+
+/// Standard replica-exchange Metropolis rule on dimensionless energies
+/// (here E = -utility/u_scale, matching the annealing accept rule's
+/// normalization): swap with probability min(1, exp(Δβ·ΔE)) where
+/// Δβ = β_cold - β_hot and ΔE = E_cold - E_hot. `u` is the caller's
+/// uniform draw — it is ALWAYS consumed (the caller draws before calling)
+/// so the exchange stream stays aligned whatever the outcome.
+[[nodiscard]] inline bool exchange_accept(double beta_cold, double beta_hot, double e_cold,
+                                          double e_hot, double u) {
+    const double log_ratio = (beta_cold - beta_hot) * (e_cold - e_hot);
+    return log_ratio >= 0.0 || u < std::exp(log_ratio);
+}
+
+/// Per-solve replica-exchange statistics, exported through result structs
+/// and the serve-layer MetricsRegistry ("solver.tempering.*").
+struct TemperingStats {
+    /// 0 when the solve ran the legacy independent-chain path.
+    int replicas = 0;
+    /// Rounds actually executed (== schedule rounds unless the wall
+    /// budget stopped the solve early).
+    int rounds = 0;
+    /// Per-rung exchange counters: entry r covers swaps attempted/accepted
+    /// between rungs r and r+1 (replicas - 1 entries).
+    std::vector<std::uint64_t> exchange_attempts;
+    std::vector<std::uint64_t> exchange_accepts;
+    /// Iterations each replica actually ran (budget exhaustion can stop
+    /// replicas mid-ladder).
+    std::vector<int> replica_iterations;
+
+    [[nodiscard]] bool enabled() const { return replicas > 0; }
+    [[nodiscard]] std::uint64_t total_attempts() const {
+        std::uint64_t n = 0;
+        for (std::uint64_t a : exchange_attempts) n += a;
+        return n;
+    }
+    [[nodiscard]] std::uint64_t total_accepts() const {
+        std::uint64_t n = 0;
+        for (std::uint64_t a : exchange_accepts) n += a;
+        return n;
+    }
+};
+
+}  // namespace cast::core

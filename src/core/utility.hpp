@@ -31,6 +31,7 @@
 namespace cast::core {
 
 class EvalCache;
+class SoaEvaluator;
 
 struct EvalOptions {
     /// CAST++ data-reuse awareness (Eq. 7 + shared-capacity accounting).
@@ -123,6 +124,11 @@ public:
                                                         const CapacityBreakdown& caps) const;
 
 private:
+    /// The struct-of-arrays mirror of this evaluator (core/soa_eval.hpp)
+    /// reads the precomputed per-job terms and flags directly so the two
+    /// implementations can never drift on inputs.
+    friend class SoaEvaluator;
+
     [[nodiscard]] PlanEvaluation evaluate_impl(const TieringPlan& plan, EvalCache* cache,
                                                const PlanEvaluation* base,
                                                std::span<const std::size_t> changed) const;

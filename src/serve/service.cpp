@@ -80,6 +80,13 @@ struct PlannerService::Instruments {
     obs::Histogram& latency_low;
     /// Representative solve time only (coalesced copies share the solve).
     obs::Histogram& solve_ms;
+    /// Solves answered by the replica-exchange path (replicas > 0).
+    obs::Counter& tempering_solves;
+    /// Registry handle for the per-rung/per-replica tempering instruments:
+    /// their cardinality is the request's replica count, unknown at
+    /// construction, so record_tempering() resolves them by name once per
+    /// solve (one mutex+map hit per solve, nothing in the iteration loop).
+    obs::MetricsRegistry& registry;
 
     explicit Instruments(obs::MetricsRegistry& reg)
         : submitted(reg.counter("serve.requests.submitted")),
@@ -100,7 +107,31 @@ struct PlannerService::Instruments {
           latency_high(reg.histogram("serve.latency_ms.high")),
           latency_normal(reg.histogram("serve.latency_ms.normal")),
           latency_low(reg.histogram("serve.latency_ms.low")),
-          solve_ms(reg.histogram("serve.solve_ms")) {}
+          solve_ms(reg.histogram("serve.solve_ms")),
+          tempering_solves(reg.counter("solver.tempering.solves")),
+          registry(reg) {}
+
+    /// Fold one solve's replica-exchange statistics into the registry:
+    /// exchange attempt/accept totals per ladder rung (counters, summed
+    /// across solves) and per-replica iteration throughput for the most
+    /// recent solve (gauges). No-op for legacy-path results.
+    void record_tempering(const core::TemperingStats& stats, double ms) {
+        if (!stats.enabled()) return;
+        tempering_solves.add();
+        for (std::size_t k = 0; k < stats.exchange_attempts.size(); ++k) {
+            const std::string rung = ".rung" + std::to_string(k);
+            registry.counter("solver.tempering.exchanges_attempted" + rung)
+                .add(stats.exchange_attempts[k]);
+            registry.counter("solver.tempering.exchanges_accepted" + rung)
+                .add(stats.exchange_accepts[k]);
+        }
+        const double secs = ms / 1000.0;
+        if (secs <= 0.0) return;
+        for (std::size_t r = 0; r < stats.replica_iterations.size(); ++r) {
+            registry.gauge("solver.tempering.replica_iters_per_sec.r" + std::to_string(r))
+                .set(static_cast<double>(stats.replica_iterations[r]) / secs);
+        }
+    }
 
     [[nodiscard]] obs::Histogram& latency_for(Priority priority) {
         switch (priority) {
@@ -463,6 +494,12 @@ void PlannerService::dispatch_batch(std::vector<std::unique_ptr<Pending>>& batch
             const auto solved_at = std::chrono::steady_clock::now();
             resp.queue_ms = waited_ms;
             resp.solve_ms = ms_between(start, solved_at);
+            if (inst_ && resp.ok()) {
+                if (resp.batch) inst_->record_tempering(resp.batch->tempering, resp.solve_ms);
+                if (resp.workflow) {
+                    inst_->record_tempering(resp.workflow->tempering, resp.solve_ms);
+                }
+            }
 
             auto count_outcome = [&](const PlanResponse& out) {
                 switch (shed) {

@@ -1,0 +1,20 @@
+// Fixture: C011 must fire on node-based containers in a solver hot-path
+// file (matched by basename, which is how the fixture borrows the rule's
+// file scope). std::set_difference is an algorithm, not a container, and
+// must stay silent.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+inline std::map<int, double> utilities;           // line 12: std::map
+inline std::unordered_map<int, int> tier_of;      // line 13: std::unordered_map
+inline std::set<int> visited;                     // line 14: std::set
+inline void diff(const std::vector<int>& a, const std::vector<int>& b,
+                 std::vector<int>& out) {
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));  // algorithm: no finding
+}
+}  // namespace fixture

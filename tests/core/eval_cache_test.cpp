@@ -364,6 +364,11 @@ TEST(AnnealingCounters, SolveAggregatesAcrossChains) {
     opts.iter_max = 1000;
     opts.chains = 3;
     opts.seed = 17;
+    // This test reconstructs solve()'s counters by re-running the legacy
+    // independent chains by hand, so it must pin the legacy path: under
+    // replica exchange the per-chain trajectories are intentionally
+    // different (tempering determinism is covered by tempering_test.cpp).
+    opts.tempering = false;
     AnnealingSolver solver(eval, opts);
     const TieringPlan init = TieringPlan::uniform(6, StorageTier::kPersistentSsd);
     const auto result = solver.solve(init);

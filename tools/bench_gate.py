@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
-"""Performance gate for the serve-throughput bench.
+"""Performance gate for the throughput benches (serve + solver).
 
 Re-runs the bench binary in a scratch directory and compares the fresh
 numbers against the committed baseline JSON. The gate fails when
 
   * the bench itself fails (bit-identity or budget contract violated), or
-  * the best service plans/sec regressed more than --threshold (default
-    25%) relative to the baseline's best service plans/sec.
+  * any headline metric regressed more than --threshold (default 25%)
+    relative to the baseline.
+
+The headline metrics depend on the report shape: serve reports gate the
+best service plans/sec over all configurations; solver_throughput reports
+gate the per-section `iters_per_sec` numbers (uncached/cached/SoA single
+chains plus the independent-chain and tempering solves). Sections present
+in only one of baseline/fresh (a freshly added bench row) are skipped,
+not failed.
 
 Throughput is host-dependent, so the gate is opt-in (ctest -C BenchGate
 -L benchgate, or the CI release lane which runs baseline and fresh on the
@@ -22,7 +29,10 @@ commit. The slope check is the point: a sequence of small regressions that
 each clear the single-baseline gate ("boiling frog") still fails here once
 the cumulative drift shows. Only full-mode entries measured on the same
 host core count as the newest entry are compared; fewer than three
-comparable points is a skip, not a failure.
+comparable points is a skip, not a failure. Multi-metric reports run the
+window+slope pair per metric (summary names are suffixed ".<metric>";
+the serve report's single headline keeps the bare trend_window /
+trend_slope names).
 
 Every run ends with exactly one machine-readable line
 
@@ -35,7 +45,9 @@ Usage:
   bench_gate.py --bench build/bench/serve_throughput \
                 --baseline BENCH_serve_throughput.json [--threshold 0.25]
                 [--smoke]
-  bench_gate.py --trend --baseline BENCH_serve_throughput.json
+  bench_gate.py --bench build/bench/solver_throughput \
+                --baseline BENCH_solver_throughput.json
+  bench_gate.py --trend --baseline BENCH_solver_throughput.json
                 [--threshold 0.25] [--window 5]
 """
 
@@ -48,8 +60,15 @@ import sys
 import tempfile
 from pathlib import Path
 
-RESULT_NAME = "BENCH_serve_throughput.json"
 SUMMARY_TAG = "BENCH_GATE_SUMMARY"
+SERVE_METRIC = "service_plans_per_sec"
+# solver_throughput sections carrying an iters_per_sec headline. The solve
+# rows exercise the whole pool, so they only compare when baseline and
+# current hosts have the same core count (the serve-report analogue is the
+# workers > 1 configs).
+SOLVER_SINGLE_CHAIN = ("uncached_full_evaluation", "cached_incremental_evaluation",
+                       "soa_incremental_evaluation")
+SOLVER_POOLED = ("multi_chain_solve", "tempering_solve")
 
 
 def metric(name: str, status: str, **fields) -> dict:
@@ -83,6 +102,31 @@ def best_service_plans_per_sec(report: dict, max_workers: int | None = None) -> 
     if best <= 0.0:
         raise ValueError("no comparable service_runs with plans_per_sec > 0 in report")
     return best
+
+
+def headline_metrics(report: dict, max_workers: int | None = None) -> dict:
+    """Gate-metric name -> value for one bench report.
+
+    Serve reports contribute their single best-plans/sec headline under the
+    historical name; solver_throughput reports contribute one
+    `<section>.iters_per_sec` metric per section present. `max_workers == 1`
+    strips whole-pool numbers (parallel service configs, multi-chain solve
+    rows) when baseline and current hosts are not core-count comparable.
+    Raises ValueError when nothing comparable is present.
+    """
+    if "service_runs" in report:
+        return {SERVE_METRIC: best_service_plans_per_sec(report, max_workers)}
+    sections = SOLVER_SINGLE_CHAIN
+    if max_workers is None or max_workers > 1:
+        sections = sections + SOLVER_POOLED
+    metrics: dict = {}
+    for key in sections:
+        run = report.get(key)
+        if isinstance(run, dict) and float(run.get("iters_per_sec", 0.0)) > 0.0:
+            metrics[f"{key}.iters_per_sec"] = float(run["iters_per_sec"])
+    if not metrics:
+        raise ValueError("no comparable headline metrics in report")
+    return metrics
 
 
 def baseline_history(baseline_path: Path) -> list[dict]:
@@ -120,7 +164,8 @@ def baseline_history(baseline_path: Path) -> list[dict]:
 
 
 def run_trend(args) -> int:
-    """Gate on the committed BENCH history: last-N window + fitted slope."""
+    """Gate on the committed BENCH history: last-N window + fitted slope,
+    run independently for every headline metric the newest revision carries."""
     metrics: list[dict] = []
     baseline_path = Path(args.baseline)
     try:
@@ -134,68 +179,95 @@ def run_trend(args) -> int:
     # differently) measured on the same host core count as the newest one.
     full = [h for h in history if h["report"].get("mode") == "full"]
     points: list[dict] = []
+    newest_names: list[str] = []
     if full:
         cores = full[-1]["report"].get("host_cores")
         for h in full:
             if h["report"].get("host_cores") != cores:
                 continue
             try:
-                value = best_service_plans_per_sec(h["report"])
+                values = headline_metrics(h["report"])
             except ValueError:
                 continue
-            points.append({"rev": h["rev"], "value": value})
+            points.append({"rev": h["rev"], "values": values})
+        if points:
+            newest_names = sorted(points[-1]["values"])
 
-    if len(points) < 3:
-        print(f"bench_gate: only {len(points)} comparable baseline revisions; "
+    # Per-metric series. The newest revision decides which metrics are live;
+    # a retired bench row stops gating, a freshly added one starts gating
+    # once three committed revisions carry it.
+    series = {name: [(p["rev"], p["values"][name])
+                     for p in points if name in p["values"]]
+              for name in newest_names}
+    comparable = max((len(s) for s in series.values()), default=0)
+    if comparable < 3:
+        print(f"bench_gate: only {comparable} comparable baseline revisions; "
               "need 3+ for a trend — skipping")
         metrics.append(metric("trend", "skip", reason="insufficient history",
-                              points=len(points)))
+                              points=comparable))
         emit_summary(metrics)
         return 0
 
-    values = [p["value"] for p in points]
     window = max(1, args.window)
-    current = values[-1]
+    failed = False
+    for name in newest_names:
+        # The serve report's single headline keeps the historical bare
+        # trend_window/trend_slope names; multi-metric reports suffix.
+        suffix = "" if name == SERVE_METRIC else "." + name
+        values = [v for _, v in series[name]]
+        if len(values) < 3:
+            print(f"bench_gate: {name}: only {len(values)} comparable "
+                  "revisions; need 3+ for a trend — skipping")
+            metrics.append(metric(f"trend{suffix}", "skip",
+                                  reason="insufficient history",
+                                  points=len(values)))
+            continue
+        current = values[-1]
 
-    # Window gate: the newest committed number vs the mean of its last
-    # `window` predecessors — the trend analogue of the single-baseline
-    # comparison, but against a smoothed reference instead of one point.
-    prev = values[-(window + 1):-1]
-    prev_mean = sum(prev) / len(prev)
-    ratio = current / prev_mean
-    window_ok = ratio >= 1.0 - args.threshold
-    print(f"bench_gate: trend window — newest {current:.1f} vs mean of last "
-          f"{len(prev)} = {prev_mean:.1f} ({ratio:.2%}) -> "
-          f"{'OK' if window_ok else 'REGRESSION'}")
-    metrics.append(metric("trend_window", "pass" if window_ok else "fail",
-                          baseline=round(prev_mean, 3), current=round(current, 3),
-                          delta=round(ratio - 1.0, 4), threshold=args.threshold,
-                          window=len(prev)))
+        # Window gate: the newest committed number vs the mean of its last
+        # `window` predecessors — the trend analogue of the single-baseline
+        # comparison, but against a smoothed reference instead of one point.
+        prev = values[-(window + 1):-1]
+        prev_mean = sum(prev) / len(prev)
+        ratio = current / prev_mean
+        window_ok = ratio >= 1.0 - args.threshold
+        print(f"bench_gate: trend window{suffix} — newest {current:.1f} vs "
+              f"mean of last {len(prev)} = {prev_mean:.1f} ({ratio:.2%}) -> "
+              f"{'OK' if window_ok else 'REGRESSION'}")
+        metrics.append(metric(f"trend_window{suffix}",
+                              "pass" if window_ok else "fail",
+                              baseline=round(prev_mean, 3),
+                              current=round(current, 3),
+                              delta=round(ratio - 1.0, 4),
+                              threshold=args.threshold, window=len(prev)))
 
-    # Slope gate: least-squares fit over the last window+1 points,
-    # normalized by their mean so the threshold is a fractional decay per
-    # commit. This is what catches the boiling frog — N small regressions
-    # that each clear the window/baseline gate but sum past the threshold.
-    tail = values[-(window + 1):]
-    n = len(tail)
-    mean_x = (n - 1) / 2.0
-    mean_y = sum(tail) / n
-    denom = sum((x - mean_x) ** 2 for x in range(n))
-    slope = sum((x - mean_x) * (y - mean_y)
-                for x, y in zip(range(n), tail)) / denom
-    slope_rel = slope / mean_y if mean_y > 0.0 else 0.0
-    slope_limit = args.threshold / window
-    slope_ok = slope_rel >= -slope_limit
-    print(f"bench_gate: trend slope — {slope_rel:+.2%} per commit over last "
-          f"{n} points (limit -{slope_limit:.2%}) -> "
-          f"{'OK' if slope_ok else 'REGRESSION'}")
-    metrics.append(metric("trend_slope", "pass" if slope_ok else "fail",
-                          slope_per_commit=round(slope_rel, 4),
-                          threshold=round(slope_limit, 4), points=n,
-                          newest_rev=points[-1]["rev"][:12]))
+        # Slope gate: least-squares fit over the last window+1 points,
+        # normalized by their mean so the threshold is a fractional decay
+        # per commit. This is what catches the boiling frog — N small
+        # regressions that each clear the window/baseline gate but sum past
+        # the threshold.
+        tail = values[-(window + 1):]
+        n = len(tail)
+        mean_x = (n - 1) / 2.0
+        mean_y = sum(tail) / n
+        denom = sum((x - mean_x) ** 2 for x in range(n))
+        slope = sum((x - mean_x) * (y - mean_y)
+                    for x, y in zip(range(n), tail)) / denom
+        slope_rel = slope / mean_y if mean_y > 0.0 else 0.0
+        slope_limit = args.threshold / window
+        slope_ok = slope_rel >= -slope_limit
+        print(f"bench_gate: trend slope{suffix} — {slope_rel:+.2%} per commit "
+              f"over last {n} points (limit -{slope_limit:.2%}) -> "
+              f"{'OK' if slope_ok else 'REGRESSION'}")
+        metrics.append(metric(f"trend_slope{suffix}",
+                              "pass" if slope_ok else "fail",
+                              slope_per_commit=round(slope_rel, 4),
+                              threshold=round(slope_limit, 4), points=n,
+                              newest_rev=series[name][-1][0][:12]))
+        failed = failed or not (window_ok and slope_ok)
 
     emit_summary(metrics)
-    if not (window_ok and slope_ok):
+    if failed:
         print("bench_gate: committed bench history is trending down", file=sys.stderr)
         return 1
     return 0
@@ -243,7 +315,24 @@ def main() -> int:
                                            exit_code=proc.returncode)])
             return 1
         metrics.append(metric("bench_contracts", "pass", exit_code=0))
-        fresh = json.loads((Path(scratch) / RESULT_NAME).read_text())
+        # The bench writes its own BENCH_*.json into the scratch cwd; the
+        # baseline file may live under any name (CI copies it around), so
+        # prefer a scratch file matching the baseline's name but fall back
+        # to whatever single report the bench produced.
+        named = Path(scratch) / baseline_path.name
+        if named.is_file():
+            result_path = named
+        else:
+            produced = sorted(Path(scratch).glob("BENCH_*.json"))
+            if len(produced) != 1:
+                print(f"bench_gate: expected one BENCH_*.json in scratch, "
+                      f"found {len(produced)}", file=sys.stderr)
+                emit_summary(metrics + [metric("bench_report", "fail",
+                                               reason="missing or ambiguous "
+                                                      "bench report")])
+                return 2
+            result_path = produced[0]
+        fresh = json.loads(result_path.read_text())
 
     if args.smoke or fresh.get("mode") != baseline.get("mode"):
         # Different workload sizes are not comparable; the run above already
@@ -251,16 +340,23 @@ def main() -> int:
         print("bench_gate: modes differ (fresh "
               f"{fresh.get('mode')} vs baseline {baseline.get('mode')}); "
               "skipping throughput comparison")
-        metrics.append(metric("service_plans_per_sec", "skip",
-                              reason="smoke run" if args.smoke else "mode mismatch",
-                              baseline_mode=baseline.get("mode"),
-                              fresh_mode=fresh.get("mode")))
+        try:
+            skip_names = sorted(headline_metrics(baseline))
+        except ValueError:
+            skip_names = ["headline"]
+        for name in skip_names:
+            metrics.append(metric(name, "skip",
+                                  reason="smoke run" if args.smoke
+                                         else "mode mismatch",
+                                  baseline_mode=baseline.get("mode"),
+                                  fresh_mode=fresh.get("mode")))
         emit_summary(metrics)
         return 0
 
-    # Parallel-scaling numbers (workers > 1) only compare apples-to-apples
-    # when baseline and current were measured on hosts with the same core
-    # count; otherwise restrict the comparison to single-worker runs.
+    # Whole-pool numbers (parallel service configs, multi-chain solver rows)
+    # only compare apples-to-apples when baseline and current were measured
+    # on hosts with the same core count; otherwise restrict the comparison
+    # to the single-worker/single-chain metrics.
     max_workers = None
     base_cores = baseline.get("host_cores")
     fresh_cores = fresh.get("host_cores")
@@ -270,29 +366,42 @@ def main() -> int:
         max_workers = 1
 
     try:
-        base = best_service_plans_per_sec(baseline, max_workers)
-        now = best_service_plans_per_sec(fresh, max_workers)
+        base_by_name = headline_metrics(baseline, max_workers)
+        now_by_name = headline_metrics(fresh, max_workers)
     except ValueError as err:
         if max_workers is not None:
             print(f"bench_gate: {err}; no core-count-independent runs to "
                   "compare, skipping throughput comparison")
-            metrics.append(metric("service_plans_per_sec", "skip",
+            name = SERVE_METRIC if "service_runs" in baseline else "headline"
+            metrics.append(metric(name, "skip",
                                   reason="no core-count-independent runs"))
             emit_summary(metrics)
             return 0
         raise
-    ratio = now / base
-    verdict = "OK" if ratio >= 1.0 - args.threshold else "REGRESSION"
-    print(f"bench_gate: best service plans/sec {now:.1f} vs baseline {base:.1f} "
-          f"({ratio:.2%}) -> {verdict}")
-    metrics.append(metric("service_plans_per_sec",
-                          "pass" if verdict == "OK" else "fail",
-                          baseline=base, current=now,
-                          delta=round(ratio - 1.0, 4),
-                          threshold=args.threshold,
-                          single_worker_only=max_workers is not None))
+
+    failed = False
+    for name in sorted(set(base_by_name) | set(now_by_name)):
+        if name not in base_by_name or name not in now_by_name:
+            # A freshly added (or retired) bench row has nothing to compare
+            # against; it starts gating once both sides carry it.
+            side = "baseline" if name not in base_by_name else "current"
+            print(f"bench_gate: {name} missing in {side} report; skipping")
+            metrics.append(metric(name, "skip", reason=f"missing in {side}"))
+            continue
+        base = base_by_name[name]
+        now = now_by_name[name]
+        ratio = now / base
+        ok = ratio >= 1.0 - args.threshold
+        failed = failed or not ok
+        print(f"bench_gate: {name} {now:.1f} vs baseline {base:.1f} "
+              f"({ratio:.2%}) -> {'OK' if ok else 'REGRESSION'}")
+        metrics.append(metric(name, "pass" if ok else "fail",
+                              baseline=base, current=now,
+                              delta=round(ratio - 1.0, 4),
+                              threshold=args.threshold,
+                              single_worker_only=max_workers is not None))
     emit_summary(metrics)
-    if verdict != "OK":
+    if failed:
         print(f"bench_gate: regressed more than {args.threshold:.0%}", file=sys.stderr)
         return 1
     return 0

@@ -36,6 +36,12 @@ Rules (stable IDs, mirrored in DESIGN.md):
   C010  std::cerr / fprintf(stderr, ...) in the serve layer outside
         src/obs (ad-hoc stderr counters bypass the metrics registry;
         telemetry belongs in obs::MetricsRegistry / obs::TraceRing)
+  C011  node-based containers (std::map / std::unordered_map / std::set /
+        std::unordered_set / std::multimap / std::multiset) in the solver
+        hot-path files (annealing.cpp, utility.cpp, soa_eval.cpp — the
+        SoA discipline from PR 9: per-iteration state lives in flat
+        arrays; the sharded memo table in eval_cache.cpp is the one
+        sanctioned exception and is scoped out by file)
 
 Implementation is a libclang/regex hybrid: when python bindings for
 libclang are importable they refine C006 (true declaration parsing);
@@ -64,6 +70,10 @@ SLEEP_ALLOWED = ("faults", "retry")
 THREAD_ALLOWED = ("common/thread_pool.hpp", "serve/service.hpp", "serve/service.cpp")
 # The allocation-free sim hot path (basename match so fixtures can opt in).
 HOT_PATH_BASENAMES = ("flow_engine.hpp", "phase_runner.hpp", "mapreduce.cpp")
+# The SoA solver hot path (C011): no node-based containers per iteration.
+# eval_cache.cpp is deliberately absent — its sharded map interiors are the
+# sanctioned memoization structure.
+SOLVER_HOT_BASENAMES = ("annealing.cpp", "utility.cpp", "soa_eval.cpp")
 
 NO_TSA_BUDGET = 3
 
@@ -155,6 +165,9 @@ C006_DECL_RE = re.compile(
 C007_RE = re.compile(r"\bCAST_NO_TSA\b")
 C008_RE = re.compile(r"std::(thread|jthread)\b(?!::)")
 C010_RE = re.compile(r"std::cerr\b|(?<!\w)fprintf\s*\(\s*stderr\b")
+# \b after the name keeps algorithms like std::set_difference /
+# std::set_union out of scope (underscore is a word character).
+C011_RE = re.compile(r"std::(unordered_map|unordered_set|multimap|multiset|map|set)\b")
 
 
 def check_file(root: Path, path: Path) -> tuple[list[dict], int]:
@@ -172,6 +185,7 @@ def check_file(root: Path, path: Path) -> tuple[list[dict], int]:
     sleep_ok = any(token in rel for token in SLEEP_ALLOWED)
     thread_ok = any(rel.endswith(a) for a in THREAD_ALLOWED)
     hot_path = path.name in HOT_PATH_BASENAMES
+    solver_hot = path.name in SOLVER_HOT_BASENAMES
     serve_no_cerr = "serve/" in rel and "obs/" not in rel
 
     for idx, line in enumerate(lines, start=1):
@@ -231,6 +245,14 @@ def check_file(root: Path, path: Path) -> tuple[list[dict], int]:
                     "comment",
                     "append `// justified: <why the analysis cannot model "
                     "this>` or restructure so it can"))
+        if solver_hot and (m := C011_RE.search(line)):
+            found.append(finding(
+                "C011", rel, idx,
+                f"std::{m.group(1)} in the solver hot path; node-based "
+                "containers wreck the SoA cache density the inner loop "
+                "depends on (PR 9)",
+                "use flat vectors/arrays indexed by job or tier; memoization "
+                "belongs in the sharded EvalCache (eval_cache.cpp)"))
         if not thread_ok and C008_RE.search(line):
             found.append(finding(
                 "C008", rel, idx,
