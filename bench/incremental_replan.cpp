@@ -1,0 +1,306 @@
+// Incremental re-planning throughput on a streaming Facebook job set.
+// Three tracks replay the identical arrival/departure/drift trace
+// (workload/stream.hpp, 10% churn per step) over the paper's 100-job
+// workload, each carrying its own persistent EvalCache across steps:
+//
+//   cold_resolve        full plan_cast from scratch on every delta — what a
+//                       service without the incremental engine pays
+//   incremental_amend   IncrementalSolver::amend carrying (workload, plan)
+//                       forward: survivors keep their placements, the
+//                       tempered search is restricted to the affected
+//                       neighborhood (core/incremental.hpp)
+//   secretary_baseline  the irrevocable online baseline (arXiv:1901.07335):
+//                       each arrival placed greedily once, never revisited
+//
+// Headline: plans/sec per track, the amend-vs-cold speedup, the worst
+// per-step utility gap amend concedes to the cold re-solve, and the regret
+// the secretary baseline concedes to amend. The amend track is re-run at
+// 1/2/8 pool workers and must be bit-identical to the single-threaded
+// timed run — that contract is enforced in smoke and full mode alike. The
+// full run additionally gates the PR acceptance bars: >= 5x plans/sec over
+// cold at <= 1% worst-step utility gap.
+//
+// Usage: incremental_replan [--smoke] [--threads N]
+// `--smoke` shrinks the trace so the CTest smoke target finishes in
+// seconds; the committed BENCH_incremental_replan.json comes from a full
+// run.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/eval_cache.hpp"
+#include "core/incremental.hpp"
+#include "workload/facebook.hpp"
+#include "workload/stream.hpp"
+
+namespace {
+using namespace cast;
+
+struct TrackTiming {
+    int steps = 0;
+    double seconds = 0.0;
+    std::vector<double> utilities;
+    core::EvalCacheStats cache{};
+
+    [[nodiscard]] double plans_per_sec() const {
+        return seconds > 0.0 ? steps / seconds : 0.0;
+    }
+    [[nodiscard]] double mean_utility() const {
+        double sum = 0.0;
+        for (const double u : utilities) sum += u;
+        return utilities.empty() ? 0.0 : sum / static_cast<double>(utilities.size());
+    }
+};
+
+struct AmendTrack {
+    TrackTiming timing;
+    std::vector<core::TieringPlan> plans;
+    int escalations = 0;
+    long long iterations = 0;
+    double mean_neighborhood = 0.0;
+};
+
+// Cold track: a full greedy+tempering solve from scratch per delta. The
+// persistent cache is the fair comparison — a serving process keeps its
+// snapshot-scoped cache warm across requests either way.
+TrackTiming run_cold(const model::PerfModelSet& models, const workload::Workload& initial,
+                     const std::vector<workload::JobDelta>& trace,
+                     const core::CastOptions& opts) {
+    core::EvalCache cache;
+    TrackTiming t;
+    workload::Workload live = initial;
+    const auto start = std::chrono::steady_clock::now();
+    for (const workload::JobDelta& delta : trace) {
+        live = workload::apply_delta(live, delta).workload;
+        const core::CastResult result = core::plan_cast(models, live, opts, nullptr, &cache);
+        t.utilities.push_back(result.evaluation.utility);
+        ++t.steps;
+    }
+    t.seconds = bench::seconds_since(start);
+    t.cache = cache.stats();
+    return t;
+}
+
+// Amend / secretary track: carry (workload, plan) forward through the
+// trace. policy.greedy_only selects the irrevocable online baseline.
+AmendTrack run_amend(const model::PerfModelSet& models, const workload::Workload& initial,
+                     const core::TieringPlan& initial_plan,
+                     const std::vector<workload::JobDelta>& trace,
+                     const core::CastOptions& opts, const core::AmendPolicy& policy,
+                     ThreadPool* pool) {
+    const core::IncrementalSolver solver(models, opts, policy);
+    core::EvalCache cache;
+    AmendTrack track;
+    workload::Workload live = initial;
+    core::TieringPlan plan = initial_plan;
+    double neighborhood_sum = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    for (const workload::JobDelta& delta : trace) {
+        core::AmendResult result = policy.greedy_only
+                                       ? solver.place_online(live, plan, delta, &cache)
+                                       : solver.amend(live, plan, delta, pool, &cache);
+        live = std::move(result.workload);
+        plan = std::move(result.plan);
+        track.plans.push_back(plan);
+        track.timing.utilities.push_back(result.evaluation.utility);
+        if (result.escalated_cold) ++track.escalations;
+        track.iterations += result.iterations;
+        neighborhood_sum += static_cast<double>(result.neighborhood.size());
+        ++track.timing.steps;
+    }
+    track.timing.seconds = bench::seconds_since(start);
+    track.timing.cache = cache.stats();
+    track.mean_neighborhood =
+        track.timing.steps > 0 ? neighborhood_sum / track.timing.steps : 0.0;
+    return track;
+}
+
+// Min-of-N merge keyed on wall time. Every track is deterministic, so
+// repeats only differ in scheduler noise — keep the fastest.
+void take_min(TrackTiming& best, const TrackTiming& t) {
+    if (best.steps == 0 || t.seconds < best.seconds) best = t;
+}
+void take_min(AmendTrack& best, const AmendTrack& t) {
+    if (best.timing.steps == 0 || t.timing.seconds < best.timing.seconds) best = t;
+}
+
+bool same_amend_tracks(const AmendTrack& a, const AmendTrack& b) {
+    if (a.timing.utilities != b.timing.utilities) return false;
+    if (a.plans.size() != b.plans.size()) return false;
+    for (std::size_t s = 0; s < a.plans.size(); ++s) {
+        const core::TieringPlan& pa = a.plans[s];
+        const core::TieringPlan& pb = b.plans[s];
+        if (pa.size() != pb.size()) return false;
+        for (std::size_t j = 0; j < pa.size(); ++j) {
+            if (pa.decision(j).tier != pb.decision(j).tier ||
+                pa.decision(j).overprovision != pb.decision(j).overprovision) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::string track_json(const TrackTiming& t) {
+    bench::JsonObject json;
+    json.add("steps", t.steps)
+        .add("seconds", t.seconds, 4)
+        .add("plans_per_sec", t.plans_per_sec(), 1)
+        .add("mean_utility", t.mean_utility(), 6)
+        .add("cache_hit_rate", t.cache.hit_rate(), 4);
+    return json.inline_str();
+}
+
+std::string amend_json(const AmendTrack& t) {
+    bench::JsonObject json;
+    json.add("steps", t.timing.steps)
+        .add("seconds", t.timing.seconds, 4)
+        .add("plans_per_sec", t.timing.plans_per_sec(), 1)
+        .add("mean_utility", t.timing.mean_utility(), 6)
+        .add("cache_hit_rate", t.timing.cache.hit_rate(), 4)
+        .add("escalations", t.escalations)
+        .add("iterations", t.iterations)
+        .add("mean_neighborhood", t.mean_neighborhood, 1);
+    return json.inline_str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+    const int steps = args.smoke ? 3 : 12;
+    const int repeats = args.smoke ? 1 : 3;
+
+    std::cerr << "incremental_replan: warm-start amend vs cold re-solve vs irrevocable "
+                 "online baseline (streaming Facebook workload, "
+              << (args.smoke ? "smoke" : "full") << " run)\n";
+
+    const auto cluster = cloud::ClusterSpec::paper_400_core();
+    model::ProfilerOptions popts;
+    popts.runs_per_point = 1;
+    model::Profiler profiler(cluster, cloud::StorageCatalog::google_cloud(), popts);
+    ThreadPool profile_pool;
+    const model::PerfModelSet models = profiler.profile(&profile_pool);
+    std::cerr << "[profiled " << cluster.worker_count << "x " << cluster.worker.name
+              << "]\n";
+
+    const workload::Workload initial = workload::synthesize_facebook_workload(42);
+
+    core::CastOptions opts;
+    opts.annealing.seed = 7;
+    if (args.smoke) {
+        opts.annealing.iter_max = 1500;
+        opts.annealing.chains = 2;
+    }
+    const core::AmendPolicy amend_policy;
+    core::AmendPolicy secretary_policy;
+    secretary_policy.greedy_only = true;
+
+    workload::StreamOptions stream_opts;
+    stream_opts.steps = steps;
+    stream_opts.churn = 0.10;
+    const std::vector<workload::JobDelta> trace =
+        workload::synthesize_stream(initial, 7, stream_opts);
+
+    // Every track starts from the same untimed cold plan over the initial
+    // set — the state a service holds when streaming begins.
+    const core::CastResult start = core::plan_cast(models, initial, opts);
+    std::cerr << "[initial plan: utility " << fmt(start.evaluation.utility, 6) << " over "
+              << initial.size() << " jobs; " << steps << " steps at "
+              << fmt(stream_opts.churn * 100.0, 0) << "% churn]\n";
+
+    // Interleaved best-of-N: each repeat times all three tracks with fresh
+    // caches (warmth *within* a track run is the effect under test; warmth
+    // across repeats would flatter whichever track ran second).
+    TrackTiming cold;
+    AmendTrack amend, secretary;
+    for (int rep = 0; rep < repeats; ++rep) {
+        take_min(cold, run_cold(models, initial, trace, opts));
+        take_min(amend, run_amend(models, initial, start.plan, trace, opts, amend_policy,
+                                  nullptr));
+        take_min(secretary, run_amend(models, initial, start.plan, trace, opts,
+                                      secretary_policy, nullptr));
+    }
+
+    const double speedup = amend.timing.seconds > 0.0 && cold.seconds > 0.0
+                               ? cold.seconds / amend.timing.seconds
+                               : 0.0;
+    double max_gap = 0.0;
+    double gap_sum = 0.0;
+    for (int s = 0; s < steps; ++s) {
+        const double cold_u = cold.utilities[static_cast<std::size_t>(s)];
+        const double amend_u = amend.timing.utilities[static_cast<std::size_t>(s)];
+        const double gap = cold_u > 0.0 ? std::max(0.0, (cold_u - amend_u) / cold_u) : 0.0;
+        std::cerr << "step " << s << ": cold " << fmt(cold_u, 7) << " amend "
+                  << fmt(amend_u, 7) << " gap " << fmt(gap * 100.0, 2) << "%\n";
+        max_gap = std::max(max_gap, gap);
+        gap_sum += gap;
+    }
+    const double mean_gap = gap_sum / steps;
+    const double amend_mean = amend.timing.mean_utility();
+    const double regret = amend_mean > 0.0
+                              ? (amend_mean - secretary.timing.mean_utility()) / amend_mean
+                              : 0.0;
+
+    std::cerr << "cold: " << fmt(cold.plans_per_sec(), 1) << " plans/s, amend: "
+              << fmt(amend.timing.plans_per_sec(), 1) << " plans/s (" << fmt(speedup, 2)
+              << "x), secretary: " << fmt(secretary.timing.plans_per_sec(), 1)
+              << " plans/s; worst utility gap " << fmt(max_gap * 100.0, 2)
+              << "%, secretary regret " << fmt(regret * 100.0, 2) << "%, "
+              << amend.escalations << " escalations\n";
+
+    // Bit-identity: the amend trajectory is a pure function of (plan,
+    // delta, options) — any pool size must reproduce the single-threaded
+    // timed run exactly. Enforced in smoke and full mode alike.
+    bool identical = true;
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+        ThreadPool pool(workers);
+        const AmendTrack reran = run_amend(models, initial, start.plan, trace, opts,
+                                           amend_policy, &pool);
+        const bool same = same_amend_tracks(amend, reran);
+        identical = identical && same;
+        std::cerr << "bit-identity at " << workers << " workers: "
+                  << (same ? "ok" : "MISMATCH") << "\n";
+    }
+
+    bench::JsonObject json;
+    json.add("benchmark", "incremental_replan")
+        .add("workload", "facebook_100_jobs_stream")
+        .add("cluster",
+             std::to_string(cluster.worker_count) + "x " + cluster.worker.name)
+        .add("mode", args.smoke ? "smoke" : "full")
+        .add("host_cores", std::thread::hardware_concurrency())
+        .add("steps", steps)
+        .add("churn", stream_opts.churn, 2)
+        .add_raw("cold_resolve", track_json(cold))
+        .add_raw("incremental_amend", amend_json(amend))
+        .add_raw("secretary_baseline", amend_json(secretary))
+        .add("amend_speedup_vs_cold", speedup, 2)
+        .add("max_utility_gap", max_gap, 4)
+        .add("mean_utility_gap", mean_gap, 4)
+        .add("secretary_regret", regret, 4)
+        .add("bit_identical_across_workers", identical);
+    bench::write_bench_json("BENCH_incremental_replan.json", json);
+
+    if (!identical) {
+        std::cerr << "FAIL: amend trajectory differs across pool worker counts\n";
+        return 1;
+    }
+    // The smoke lane only checks wiring and bit-identity; the full run
+    // enforces the PR acceptance bars.
+    if (!args.smoke && speedup < 5.0) {
+        std::cerr << "FAIL: amend speedup " << fmt(speedup, 2)
+                  << "x below the 5x target\n";
+        return 1;
+    }
+    if (!args.smoke && max_gap > 0.01) {
+        std::cerr << "FAIL: worst-step utility gap " << fmt(max_gap * 100.0, 2)
+                  << "% above the 1% bar\n";
+        return 1;
+    }
+    return 0;
+}

@@ -24,6 +24,13 @@ AnnealingSolver::AnnealingSolver(const PlanEvaluator& evaluator, AnnealingOption
     CAST_EXPECTS(options_.max_wall_ms >= 0.0);
     CAST_EXPECTS(options_.tempering_ladder_ratio >= 1.0);
     CAST_EXPECTS(options_.exchange_stride >= 1);
+    if (!options_.active_jobs.empty()) {
+        CAST_EXPECTS_MSG(options_.active_jobs.size() == evaluator.workload().size(),
+                         "active_jobs mask must match the workload size");
+        bool any = false;
+        for (const std::uint8_t a : options_.active_jobs) any = any || a != 0;
+        CAST_EXPECTS_MSG(any, "active_jobs mask must flag at least one job");
+    }
 }
 
 std::vector<MoveUnit> AnnealingSolver::move_units() const {
@@ -53,6 +60,18 @@ std::vector<MoveUnit> AnnealingSolver::move_units() const {
         for (std::size_t i = 0; i < workload.size(); ++i) {
             units.push_back(finish(MoveUnit{{i}, 0, kAllTierBits}));
         }
+    }
+    if (!options_.active_jobs.empty()) {
+        // Neighborhood restriction: drop units with no flagged member. A
+        // reuse-group unit with any flagged member stays whole (Eq. 7 moves
+        // the group together); the incremental re-planner closes its
+        // neighborhoods under reuse groups so partial units never arise.
+        std::erase_if(units, [&](const MoveUnit& unit) {
+            for (const std::size_t j : unit.jobs) {
+                if (options_.active_jobs[j] != 0) return false;
+            }
+            return true;
+        });
     }
     return units;
 }

@@ -68,6 +68,17 @@ struct AnnealingOptions {
     std::uint64_t seed = 1;
     /// CAST++: move whole reuse groups together so Eq. 7 always holds.
     bool group_moves = false;
+    /// Restrict the move generator to a job subset: when non-empty (size
+    /// must equal the workload size, at least one entry non-zero), only
+    /// move units containing a flagged job are generated — every other
+    /// decision stays frozen at its start-plan value. Evaluation remains
+    /// global, so frozen jobs still feel capacity shifts from their
+    /// neighbors. The incremental re-planner (core/incremental.hpp) flags
+    /// the affected neighborhood of a job-set delta here; empty (the
+    /// default) means every job is movable. The mask is part of the
+    /// solve's pure-function inputs, so restricted solves stay
+    /// bit-identical at any worker count.
+    std::vector<std::uint8_t> active_jobs;
     /// Replica-exchange tempering (core/tempering.hpp): the chains run as
     /// replicas on a temperature ladder with state swaps at fixed
     /// iteration boundaries. Bit-identical at any worker count by

@@ -32,27 +32,6 @@ lint::Report lint_gate(const model::PerfModelSet& models, const workload::Worklo
     return pre;
 }
 
-/// Algorithm 1 start plan, projected onto the Eq. 7 constraint set when
-/// reuse-aware: greedy ignores reuse groups, so every group is aligned on
-/// its leader's tier to make the plan feasible. A pinned member dictates
-/// the whole group's tier (Eq. 7 keeps the group together, the pin decides
-/// where); members pinned apart were rejected by lint rule L005.
-TieringPlan greedy_initial(const PlanEvaluator& evaluator, const workload::Workload& workload,
-                           const GreedyOptions& options, bool reuse_aware, EvalCache* cache) {
-    GreedySolver greedy(evaluator);
-    TieringPlan initial = greedy.solve(options, cache);
-    if (reuse_aware) {
-        for (const auto& [group, members] : workload.reuse_groups()) {
-            PlacementDecision lead = initial.decision(members.front());
-            for (std::size_t m : members) {
-                if (workload.job(m).pinned_tier) lead.tier = *workload.job(m).pinned_tier;
-            }
-            for (std::size_t m : members) initial.set_decision(m, lead);
-        }
-    }
-    return initial;
-}
-
 CastResult plan_with(const model::PerfModelSet& models, const workload::Workload& workload,
                      const CastOptions& options, bool reuse_aware, ThreadPool* pool,
                      EvalCache* cache) {
@@ -78,7 +57,7 @@ CastResult plan_with(const model::PerfModelSet& models, const workload::Workload
     }
 
     TieringPlan initial =
-        greedy_initial(evaluator, workload, options.greedy_init, reuse_aware, cache);
+        greedy_projected_plan(evaluator, options.greedy_init, reuse_aware, cache);
 
     AnnealingOptions annealing = options.annealing;
     annealing.group_moves = reuse_aware;
@@ -136,7 +115,7 @@ CastResult plan_cast_greedy(const model::PerfModelSet& models,
     }
 
     CastResult out;
-    out.plan = greedy_initial(evaluator, workload, options.greedy_init, reuse_aware, cache);
+    out.plan = greedy_projected_plan(evaluator, options.greedy_init, reuse_aware, cache);
     out.evaluation = evaluator.evaluate(out.plan, cache);
     out.greedy_initial = out.plan;
     if (cache != nullptr) out.cache_stats = cache->stats();
@@ -144,6 +123,26 @@ CastResult plan_cast_greedy(const model::PerfModelSet& models,
         out.lint_notes.push_back(f->format());
     }
     return out;
+}
+
+/// Greedy ignores reuse groups, so every group is aligned on its leader's
+/// tier to make the plan Eq. 7-feasible; a pinned member dictates the whole
+/// group's tier (members pinned apart were rejected by lint rule L005).
+TieringPlan greedy_projected_plan(const PlanEvaluator& evaluator, const GreedyOptions& options,
+                                  bool reuse_aware, EvalCache* cache) {
+    const workload::Workload& workload = evaluator.workload();
+    GreedySolver greedy(evaluator);
+    TieringPlan initial = greedy.solve(options, cache);
+    if (reuse_aware) {
+        for (const auto& [group, members] : workload.reuse_groups()) {
+            PlacementDecision lead = initial.decision(members.front());
+            for (std::size_t m : members) {
+                if (workload.job(m).pinned_tier) lead.tier = *workload.job(m).pinned_tier;
+            }
+            for (std::size_t m : members) initial.set_decision(m, lead);
+        }
+    }
+    return initial;
 }
 
 // ---------------------------------------------------------------------------
@@ -320,11 +319,18 @@ WorkflowSolver::WorkflowSolver(const WorkflowEvaluator& evaluator, AnnealingOpti
     CAST_EXPECTS(deadline_safety_ > 0.0 && deadline_safety_ <= 1.0);
     CAST_EXPECTS(options_.tempering_ladder_ratio >= 1.0);
     CAST_EXPECTS(options_.exchange_stride >= 1);
+    const auto& wf = evaluator_->workflow();
+    if (!options_.active_jobs.empty()) {
+        CAST_EXPECTS_MSG(options_.active_jobs.size() == wf.size(),
+                         "active_jobs mask must match the workflow size");
+        bool any = false;
+        for (const std::uint8_t a : options_.active_jobs) any = any || a != 0;
+        CAST_EXPECTS_MSG(any, "active_jobs mask must flag at least one job");
+    }
     // cᵢ is a continuous decision variable in the paper; our move set
     // discretizes it. Extend the factor menu so a uniform plan can reach
     // the per-VM capacity where persSSD saturates its bandwidth ceiling —
     // for small workflows that takes factors well beyond the default list.
-    const auto& wf = evaluator_->workflow();
     double total_req = 0.0;
     const WorkflowPlan probe = WorkflowPlan::uniform(wf.size(), StorageTier::kPersistentSsd);
     for (std::size_t i = 0; i < wf.size(); ++i) {
@@ -419,8 +425,17 @@ void WorkflowSolver::run_wf_span(WfChainCtx& ctx, Rng& rng, int iter_begin, int 
             std::max(ctx.temperature * options_.cooling, options_.min_temperature);
 
         // DFS-order traversal of the DAG for neighbor generation (§4.3).
-        const std::size_t job_idx = dfs[ctx.cursor];
+        // With an active_jobs mask, frozen jobs are skipped in DFS order —
+        // the cursor advance is deterministic, so restricted solves keep
+        // the bit-identity guarantees (the ctor rejects all-zero masks).
+        std::size_t job_idx = dfs[ctx.cursor];
         ctx.cursor = (ctx.cursor + 1) % dfs.size();
+        if (!options_.active_jobs.empty()) {
+            while (options_.active_jobs[job_idx] == 0) {
+                job_idx = dfs[ctx.cursor];
+                ctx.cursor = (ctx.cursor + 1) % dfs.size();
+            }
+        }
 
         WorkflowPlan neighbor = ctx.curr;
         PlacementDecision d = neighbor.decisions[job_idx];

@@ -81,6 +81,19 @@ struct CastResult {
                                           bool reuse_aware = false,
                                           EvalCache* cache = nullptr);
 
+/// Algorithm 1 start plan over `evaluator`'s workload, projected onto the
+/// Eq. 7 constraint set when reuse-aware (greedy ignores reuse groups, so
+/// every group is aligned on its leader's tier; a pinned member dictates
+/// the whole group's tier). This is the shared greedy substrate of every
+/// facade above, exposed for the incremental re-planner
+/// (core/incremental.hpp), which seeds arriving jobs with it and uses it
+/// as the deterministic shadow cold reference its escalation rule
+/// compares amendments against.
+[[nodiscard]] TieringPlan greedy_projected_plan(const PlanEvaluator& evaluator,
+                                                const GreedyOptions& options,
+                                                bool reuse_aware,
+                                                EvalCache* cache = nullptr);
+
 // ---------------------------------------------------------------------------
 // Workflow planning (Enhancement 2).
 // ---------------------------------------------------------------------------

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -73,6 +74,47 @@ Priority parse_priority(const std::string& path, int line, const std::string& va
     fail(path, line, "unknown priority '" + value + "' (want high|normal|low)");
 }
 
+/// Comma-separated job-id list for depart= (same digits-only discipline as
+/// parse_count, per element; empty elements — "1,,2", trailing comma — are
+/// rejected rather than silently skipped).
+std::vector<int> parse_depart_list(const std::string& path, int line,
+                                   const std::string& value) {
+    if (value.empty()) fail(path, line, "depart needs a value (depart=id,id,...)");
+    std::vector<int> ids;
+    std::size_t begin = 0;
+    while (begin <= value.size()) {
+        const std::size_t comma = value.find(',', begin);
+        const std::string element = comma == std::string::npos
+                                        ? value.substr(begin)
+                                        : value.substr(begin, comma - begin);
+        if (element.empty()) fail(path, line, "depart has an empty id in '" + value + "'");
+        const std::uint64_t id = parse_count(path, line, "depart", element);
+        if (id > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+            fail(path, line, "depart id out of range: '" + element + "'");
+        }
+        ids.push_back(static_cast<int>(id));
+        if (comma == std::string::npos) break;
+        begin = comma + 1;
+    }
+    return ids;
+}
+
+/// Parse-once spec loading shared by request and amend lines.
+const workload::ParsedSpec& load_spec(std::map<std::string, workload::ParsedSpec>& cache,
+                                      const std::string& path, int line,
+                                      const std::string& spec_rel,
+                                      const std::string& spec_path) {
+    auto it = cache.find(spec_path);
+    if (it == cache.end()) {
+        try {
+            it = cache.emplace(spec_path, workload::parse_spec_file(spec_path)).first;
+        } catch (const std::exception& e) {
+            fail(path, line, std::string("bad spec '") + spec_rel + "': " + e.what());
+        }
+    }
+    return it->second;
+}
+
 }  // namespace
 
 std::vector<PlanRequest> load_requests(const std::string& path) {
@@ -96,8 +138,73 @@ std::vector<PlanRequest> load_requests(const std::string& path) {
         std::istringstream tokens(line);
         std::string keyword;
         if (!(tokens >> keyword)) continue;  // blank/comment line
+
+        if (keyword == "amend") {
+            std::string handle;
+            if (!(tokens >> handle) || handle.find('=') != std::string::npos) {
+                fail(path, lineno, "missing plan handle after 'amend'");
+            }
+            PlanRequest req;
+            req.kind = RequestKind::kAmend;
+            req.plan_handle = handle;
+            workload::JobDelta delta;
+            std::string opt;
+            while (tokens >> opt) {
+                const auto eq = opt.find('=');
+                const std::string key = opt.substr(0, eq);
+                const std::string value = eq == std::string::npos ? "" : opt.substr(eq + 1);
+                if (key == "arrive") {
+                    if (value.empty()) {
+                        fail(path, lineno, "arrive needs a value (arrive=path.spec)");
+                    }
+                    const std::string spec_path = (base / value).string();
+                    const workload::ParsedSpec& spec =
+                        load_spec(spec_cache, path, lineno, value, spec_path);
+                    if (spec.is_workflow()) {
+                        fail(path, lineno, "arrive= wants a batch spec, '" + value +
+                                               "' is a workflow");
+                    }
+                    for (const workload::JobSpec& job : spec.workload->jobs()) {
+                        delta.arrivals.push_back(job);
+                    }
+                } else if (key == "depart") {
+                    const std::vector<int> ids = parse_depart_list(path, lineno, value);
+                    delta.departures.insert(delta.departures.end(), ids.begin(), ids.end());
+                } else if (key == "seed") {
+                    req.seed = parse_count(path, lineno, "seed", value);
+                } else if (key == "priority") {
+                    req.priority = parse_priority(path, lineno, value);
+                } else if (key == "budget-ms") {
+                    req.max_wall_ms = parse_ms(path, lineno, "budget-ms", value);
+                } else if (key == "deadline-ms") {
+                    req.deadline_ms = parse_ms(path, lineno, "deadline-ms", value);
+                    if (req.deadline_ms == 0.0) {
+                        fail(path, lineno, "deadline-ms must be positive (omit for none)");
+                    }
+                } else if (key == "reuse-aware") {
+                    fail(path, lineno,
+                         "reuse-aware does not apply to amend lines (awareness comes "
+                         "from the stored plan)");
+                } else if (key == "repeat") {
+                    fail(path, lineno,
+                         "repeat does not apply to amend lines (amends are stateful, "
+                         "not idempotent)");
+                } else {
+                    fail(path, lineno, "unknown option '" + opt + "'");
+                }
+            }
+            if (delta.arrivals.empty() && delta.departures.empty()) {
+                fail(path, lineno, "amend needs at least one of arrive=/depart=");
+            }
+            req.delta = std::move(delta);
+            req.id = next_id++;
+            requests.push_back(std::move(req));
+            continue;
+        }
+
         if (keyword != "request") {
-            fail(path, lineno, "unknown directive '" + keyword + "' (want 'request')");
+            fail(path, lineno,
+                 "unknown directive '" + keyword + "' (want 'request' or 'amend')");
         }
         std::string spec_rel;
         if (!(tokens >> spec_rel)) fail(path, lineno, "missing spec path after 'request'");
@@ -126,6 +233,9 @@ std::vector<PlanRequest> load_requests(const std::string& path) {
                     fail(path, lineno, "reuse-aware is a flag and takes no value");
                 }
                 proto.reuse_aware = true;
+            } else if (key == "handle") {
+                if (value.empty()) fail(path, lineno, "handle needs a value (handle=name)");
+                proto.plan_handle = value;
             } else if (key == "repeat") {
                 repeat = parse_count(path, lineno, "repeat", value);
                 if (repeat == 0) fail(path, lineno, "repeat must be >= 1");
@@ -138,21 +248,17 @@ std::vector<PlanRequest> load_requests(const std::string& path) {
             }
         }
 
-        auto it = spec_cache.find(spec_path);
-        if (it == spec_cache.end()) {
-            try {
-                it = spec_cache.emplace(spec_path, workload::parse_spec_file(spec_path))
-                         .first;
-            } catch (const std::exception& e) {
-                fail(path, lineno, std::string("bad spec '") + spec_rel + "': " + e.what());
-            }
-        }
-        const workload::ParsedSpec& spec = it->second;
+        const workload::ParsedSpec& spec =
+            load_spec(spec_cache, path, lineno, spec_rel, spec_path);
         if (spec.is_workflow()) {
             proto.kind = RequestKind::kWorkflow;
             proto.workflow = spec.workflow;
             if (proto.reuse_aware) {
                 fail(path, lineno, "reuse-aware applies to batch specs, '" + spec_rel +
+                                       "' is a workflow");
+            }
+            if (!proto.plan_handle.empty()) {
+                fail(path, lineno, "handle= applies to batch specs, '" + spec_rel +
                                        "' is a workflow");
             }
         } else {

@@ -7,16 +7,30 @@
 //   request specs/nightly.spec seed=7 priority=high budget-ms=50
 //   request specs/adhoc.spec reuse-aware repeat=20
 //   request specs/etl.spec priority=low
+//   # streaming: solve once into a handle, then amend as jobs come and go
+//   request specs/nightly.spec handle=live seed=7
+//   amend live arrive=specs/burst.spec depart=3,17 seed=7
 //
-// Options:
+// `request` options:
 //   seed=N          solver seed override (default: the service's seed)
 //   priority=P      high | normal | low          (default normal)
 //   budget-ms=X     per-request wall budget      (default: service default)
 //   deadline-ms=X   end-to-end deadline; with the overload governor's
 //                   deadline admission on, provably-late requests are shed
 //   reuse-aware     plan with CAST++ Enhancement 1 (batch specs only)
+//   handle=NAME     store the solved plan under NAME for later amends
+//                   (batch specs only)
 //   repeat=N        expand into N identical requests (replay popular
 //                   templates — the cross-request cache's bread and butter)
+//
+// `amend <handle>` applies a job-set delta to the plan stored under
+// <handle> (the incremental re-planner, core/incremental.hpp):
+//   arrive=SPEC     jobs of this batch spec arrive (repeatable; appended)
+//   depart=I,J,...  comma-separated job ids that completed and leave
+//   seed= / priority= / budget-ms= / deadline-ms=   as above
+// At least one of arrive=/depart= is required. reuse-aware is rejected
+// (awareness comes from the stored plan) and repeat= is rejected (amends
+// are stateful, so replaying one is not idempotent).
 //
 // Spec paths are resolved relative to the request file's own directory, so
 // request files are relocatable alongside their specs. Each referenced

@@ -82,6 +82,13 @@ struct PlannerService::Instruments {
     obs::Histogram& solve_ms;
     /// Solves answered by the replica-exchange path (replicas > 0).
     obs::Counter& tempering_solves;
+    /// Incremental re-planning instruments, incremented at the same sites
+    /// as the amend_* ServiceStats atomics.
+    obs::Counter& amends;
+    obs::Counter& amend_escalations;
+    obs::Counter& amend_greedy;
+    /// Restricted-neighborhood size per amend (the knob the ladder shrinks).
+    obs::Histogram& amend_neighborhood;
     /// Registry handle for the per-rung/per-replica tempering instruments:
     /// their cardinality is the request's replica count, unknown at
     /// construction, so record_tempering() resolves them by name once per
@@ -109,7 +116,23 @@ struct PlannerService::Instruments {
           latency_low(reg.histogram("serve.latency_ms.low")),
           solve_ms(reg.histogram("serve.solve_ms")),
           tempering_solves(reg.counter("solver.tempering.solves")),
+          amends(reg.counter("solver.incremental.amends")),
+          amend_escalations(reg.counter("solver.incremental.escalations")),
+          amend_greedy(reg.counter("solver.incremental.greedy_amends")),
+          amend_neighborhood(reg.histogram("solver.incremental.neighborhood_jobs")),
           registry(reg) {}
+
+    /// Fold one amend's statistics into the registry. The hit-rate gauge
+    /// reflects the shared cache as of the most recent amend — the warm-
+    /// cache-across-amendments signal the incremental engine lives on.
+    void record_amend(const core::AmendResult& result) {
+        amends.add();
+        if (result.escalated_cold) amend_escalations.add();
+        if (result.greedy_only) amend_greedy.add();
+        amend_neighborhood.observe(static_cast<double>(result.neighborhood.size()));
+        registry.gauge("solver.incremental.amend_cache_hit_rate")
+            .set(result.cache_stats.hit_rate());
+    }
 
     /// Fold one solve's replica-exchange statistics into the registry:
     /// exchange attempt/accept totals per ladder rung (counters, summed
@@ -378,6 +401,9 @@ ServiceStats PlannerService::stats() const {
     s.served_greedy = served_greedy_.load(std::memory_order_relaxed);
     s.governor_shed = governor_shed_.load(std::memory_order_relaxed);
     s.deadline_shed = deadline_shed_.load(std::memory_order_relaxed);
+    s.amend_requests = amend_requests_.load(std::memory_order_relaxed);
+    s.amend_escalations = amend_escalations_.load(std::memory_order_relaxed);
+    s.amend_greedy = amend_greedy_.load(std::memory_order_relaxed);
     s.solve_retries = solve_retries_.load(std::memory_order_relaxed);
     s.breaker_fastfail = breaker_fastfail_.load(std::memory_order_relaxed);
     s.swap_clears_suppressed = swap_clears_suppressed_.load(std::memory_order_relaxed);
@@ -621,7 +647,14 @@ PlanResponse PlannerService::solve_request(const PlanRequest& request, const Sna
                                           "serve");
                 }
             }
-            resp = solve_direct(snap, request, options_, &cancel_, level);
+            resp = request.kind == RequestKind::kAmend
+                       ? amend_direct(request, snap, level)
+                       : solve_direct(snap, request, options_, &cancel_, level);
+            if (resp.ok() && request.kind == RequestKind::kBatch && resp.batch &&
+                !request.plan_handle.empty()) {
+                store_plan(request.plan_handle, *request.workload, resp.batch->plan,
+                           request.reuse_aware);
+            }
             resp.attempts = attempt + 1;
             if (breaker) breaker->record_success();
             return resp;
@@ -645,9 +678,18 @@ PlanResponse PlannerService::solve_request(const PlanRequest& request, const Sna
 
 std::string PlannerService::dedup_key(const PlanRequest& request) {
     std::ostringstream os;
+    if (request.kind == RequestKind::kAmend) {
+        // Amends are stateful (each advances the stored plan), so identical
+        // deltas are NOT idempotent — keying on the request id makes every
+        // amend its own coalescing group. The handle keeps breaker/trace
+        // keys readable.
+        os << "A|" << request.plan_handle << '|' << request.id;
+        return os.str();
+    }
     os << (request.kind == RequestKind::kBatch ? 'B' : 'W') << '|' << request.reuse_aware
        << '|' << (request.seed ? std::to_string(*request.seed) : std::string("-")) << '|'
-       << request.max_wall_ms << '|' << request.deadline_ms << '|';
+       << request.max_wall_ms << '|' << request.deadline_ms << '|'
+       << request.plan_handle << '|';
     // The spec serialization covers everything the solvers read (sizes,
     // task counts, pins, reuse groups, deadlines); job names ride along
     // because lint notes quote them.
@@ -667,11 +709,115 @@ std::string PlannerService::dedup_key(const PlanRequest& request) {
     return os.str();
 }
 
+void PlannerService::store_plan(const std::string& handle, workload::Workload workload,
+                                core::TieringPlan plan, bool reuse_aware) {
+    std::shared_ptr<StoredPlan> entry;
+    {
+        LockGuard lock(store_mutex_);
+        auto& slot = plans_[handle];
+        if (slot == nullptr) slot = std::make_shared<StoredPlan>();
+        entry = slot;
+    }
+    LockGuard lock(entry->mu);
+    entry->workload = std::move(workload);
+    entry->plan = std::move(plan);
+    entry->reuse_aware = reuse_aware;
+}
+
+std::optional<StoredPlanView> PlannerService::stored_plan(const std::string& handle) const {
+    std::shared_ptr<StoredPlan> entry;
+    {
+        LockGuard lock(store_mutex_);
+        const auto it = plans_.find(handle);
+        if (it == plans_.end()) return std::nullopt;
+        entry = it->second;
+    }
+    LockGuard lock(entry->mu);
+    return StoredPlanView{entry->workload, entry->plan, entry->reuse_aware};
+}
+
+PlanResponse PlannerService::amend_direct(const PlanRequest& request, const Snapshot& snap,
+                                          DegradationLevel level) {
+    CAST_EXPECTS_MSG(level != DegradationLevel::kShed,
+                     "kShed is a rejection, not a solver mode");
+    if (!request.delta.has_value()) {
+        throw ValidationError("amend request carries no delta");
+    }
+    std::shared_ptr<StoredPlan> entry;
+    {
+        LockGuard lock(store_mutex_);
+        const auto it = plans_.find(request.plan_handle);
+        if (it == plans_.end()) {
+            throw ValidationError("amend references unknown plan handle '" +
+                                  request.plan_handle + "'");
+        }
+        entry = it->second;
+    }
+
+    // The governor's ladder maps onto smaller neighborhoods rather than
+    // fewer chains-of-everything: kTrimmed shrinks the per-member iteration
+    // budget (the amend analogue of trim_iter_factor) and halves the
+    // replica count; kGreedy skips annealing entirely — the irrevocable
+    // online placement, the cheapest non-reject amend.
+    core::AmendPolicy policy = options_.amend;
+    if (level == DegradationLevel::kTrimmed) {
+        const double f = options_.governor.trim_iter_factor;
+        policy.iters_per_member = std::max(
+            1, static_cast<int>(static_cast<double>(policy.iters_per_member) * f));
+        policy.min_iters =
+            std::max(1, static_cast<int>(static_cast<double>(policy.min_iters) * f));
+        policy.max_iters = std::max(policy.min_iters, static_cast<int>(static_cast<double>(
+                                                          policy.max_iters) * f));
+        policy.chains = std::max(1, policy.chains / 2);
+    } else if (level == DegradationLevel::kGreedy) {
+        policy.greedy_only = true;
+    }
+    core::CastOptions opts = request_options(options_, request, &cancel_);
+    options_.governor.apply(level, opts);  // trims any escalated cold solve too
+
+    PlanResponse resp;
+    resp.id = request.id;
+    resp.kind = request.kind;
+    resp.snapshot_epoch = snap.epoch();
+    resp.degradation_level = level;
+
+    // Hold the entry lock across the solve: amendments to one handle are a
+    // chain (each builds on the last), so per-handle serialization is the
+    // semantics, not an implementation accident. Other handles — and every
+    // batch/workflow request — proceed in parallel.
+    LockGuard lock(entry->mu);
+    const core::IncrementalSolver solver(snap.models(), opts, policy, entry->reuse_aware);
+    core::AmendResult amended = solver.amend(entry->workload, entry->plan, *request.delta,
+                                             /*pool=*/nullptr, &snap.cache());
+    amend_requests_.fetch_add(1, std::memory_order_relaxed);
+    if (amended.escalated_cold) amend_escalations_.fetch_add(1, std::memory_order_relaxed);
+    if (amended.greedy_only) amend_greedy_.fetch_add(1, std::memory_order_relaxed);
+    if (inst_) inst_->record_amend(amended);
+
+    entry->workload = amended.workload;
+    entry->plan = amended.plan;
+
+    core::CastResult carrier;
+    carrier.plan = std::move(amended.plan);
+    carrier.evaluation = std::move(amended.evaluation);
+    carrier.iterations = amended.iterations;
+    carrier.cache_stats = amended.cache_stats;
+    carrier.budget_exhausted = amended.budget_exhausted;
+    carrier.tempering = amended.tempering;
+    resp.batch = std::move(carrier);
+    resp.neighborhood_size = amended.neighborhood.size();
+    resp.escalated_cold = amended.escalated_cold;
+    resp.status = ResponseStatus::kOk;
+    return resp;
+}
+
 PlanResponse PlannerService::solve_direct(const Snapshot& snapshot, const PlanRequest& request,
                                           const ServiceOptions& options,
                                           const CancelToken* cancel, DegradationLevel level) {
     CAST_EXPECTS_MSG(level != DegradationLevel::kShed,
                      "kShed is a rejection, not a solver mode");
+    CAST_EXPECTS_MSG(request.kind != RequestKind::kAmend,
+                     "amend requests need the service's plan store; submit() them");
     PlanResponse resp;
     resp.id = request.id;
     resp.kind = request.kind;

@@ -42,6 +42,7 @@
 #include "common/retry.hpp"
 #include "common/thread_pool.hpp"
 #include "core/castpp.hpp"
+#include "core/incremental.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/faults.hpp"
@@ -58,7 +59,7 @@ enum class Priority : std::size_t { kHigh = 0, kNormal = 1, kLow = 2 };
 /// metric names (serve.latency_ms.<priority>) and trace span labels.
 [[nodiscard]] const char* priority_name(Priority priority);
 
-enum class RequestKind { kBatch, kWorkflow };
+enum class RequestKind { kBatch, kWorkflow, kAmend };
 
 struct PlanRequest {
     std::uint64_t id = 0;
@@ -78,6 +79,14 @@ struct PlanRequest {
     /// wait already exceeds this is shed instead of solved-then-ignored.
     double deadline_ms = 0.0;
     Priority priority = Priority::kNormal;
+    /// Plan-store handle. On a batch request: when non-empty, the solved
+    /// (workload, plan) is stored under this handle after an ok solve, so
+    /// later amend requests can build on it. On an amend request: names the
+    /// stored plan to amend (required). Ignored for workflows.
+    std::string plan_handle;
+    /// Amend requests only: the job-set delta (arrivals / departures /
+    /// re-estimates) to apply to the stored plan.
+    std::optional<workload::JobDelta> delta;
 };
 
 enum class ResponseStatus {
@@ -94,7 +103,9 @@ struct PlanResponse {
     ResponseStatus status = ResponseStatus::kError;
     std::string error;
     /// Batch result (kind == kBatch); carries plan, evaluation, iteration
-    /// counters, cache stats and the budget flag.
+    /// counters, cache stats and the budget flag. Amend results (kind ==
+    /// kAmend) reuse this carrier: plan/evaluation are the amended plan
+    /// over the post-delta job set.
     std::optional<core::CastResult> batch;
     /// Workflow result (kind == kWorkflow).
     std::optional<core::WorkflowSolveResult> workflow;
@@ -112,6 +123,12 @@ struct PlanResponse {
     int attempts = 1;
     double queue_ms = 0.0;
     double solve_ms = 0.0;
+    /// Amend responses: jobs the restricted move generator was allowed to
+    /// touch (0 on every other kind, and when the delta needed no search).
+    std::size_t neighborhood_size = 0;
+    /// Amend responses: the escalation rule replaced the restricted solve
+    /// with a full unrestricted re-solve.
+    bool escalated_cold = false;
 
     [[nodiscard]] bool ok() const { return status == ResponseStatus::kOk; }
     [[nodiscard]] bool budget_exhausted() const {
@@ -149,6 +166,9 @@ struct ServiceOptions {
     core::CastOptions solver;
     /// WorkflowSolver deadline-safety margin (Eq. 9 headroom).
     double workflow_deadline_safety = 1.0;
+    /// Incremental re-planning policy applied to amend requests (the
+    /// governor's trimmed/greedy rungs shrink it further per request).
+    core::AmendPolicy amend;
     /// Solve identical requests landing in one dispatch once and share the
     /// response (popular-template replay dedup). Safe because solves are
     /// deterministic functions of (request, snapshot, options).
@@ -179,6 +199,10 @@ struct ServiceStats {
     std::uint64_t served_greedy = 0;
     std::uint64_t governor_shed = 0;   ///< load-shed at dispatch (ladder level 3)
     std::uint64_t deadline_shed = 0;   ///< provably-late drops (admission/dispatch)
+    // Incremental re-planning counters (amend requests only).
+    std::uint64_t amend_requests = 0;     ///< amend solves that ran (ok or error)
+    std::uint64_t amend_escalations = 0;  ///< amends escalated to a full cold re-solve
+    std::uint64_t amend_greedy = 0;       ///< amends served on the greedy-only rung
     // Fault-survival counters.
     std::uint64_t solve_retries = 0;      ///< extra attempts after an exception
     std::uint64_t breaker_fastfail = 0;   ///< requests refused by an open breaker
@@ -192,6 +216,13 @@ struct ServiceStats {
     bool ewma_seeded = false;
     core::EvalCacheStats cache;        ///< current snapshot's memo table
     ServeFaultStats faults;            ///< what the injector actually did
+};
+
+/// A consistent copy of one stored plan (see PlannerService::stored_plan).
+struct StoredPlanView {
+    workload::Workload workload;
+    core::TieringPlan plan;
+    bool reuse_aware = false;
 };
 
 class PlannerService {
@@ -229,6 +260,12 @@ public:
     [[nodiscard]] ServiceStats stats() const;
     [[nodiscard]] const ServiceOptions& options() const { return options_; }
 
+    /// Consistent copy of the plan currently stored under `handle` (written
+    /// by a batch request carrying plan_handle, advanced by every ok amend);
+    /// nullopt when no such handle exists.
+    [[nodiscard]] std::optional<StoredPlanView> stored_plan(const std::string& handle) const
+        CAST_EXCLUDES(store_mutex_);
+
     /// The injector's view of what it has done so far.
     [[nodiscard]] ServeFaultStats fault_stats() const { return injector_.stats(); }
 
@@ -251,7 +288,8 @@ public:
     /// serial baseline path, also used by the golden tests as the ground
     /// truth the service must match bit-for-bit. `level` selects the
     /// degradation ladder rung to solve at (kFull = the PR 5 behavior;
-    /// kShed never reaches a solver and is rejected here).
+    /// kShed never reaches a solver and is rejected here). Amend requests
+    /// are rejected too: they need the service's plan store.
     [[nodiscard]] static PlanResponse solve_direct(
         const Snapshot& snapshot, const PlanRequest& request,
         const ServiceOptions& options, const CancelToken* cancel = nullptr,
@@ -273,6 +311,18 @@ private:
     [[nodiscard]] PlanResponse solve_request(const PlanRequest& request,
                                              const Snapshot& snap,
                                              DegradationLevel level);
+    /// Amend path: look up the stored plan, run the IncrementalSolver with
+    /// the governor's rung mapped onto a smaller neighborhood budget
+    /// (kTrimmed) or the greedy-only policy (kGreedy), and advance the
+    /// store on success. Throws (ValidationError on unknown handle /
+    /// missing delta); solve_request's retry wrapper converts to kError.
+    [[nodiscard]] PlanResponse amend_direct(const PlanRequest& request, const Snapshot& snap,
+                                            DegradationLevel level)
+        CAST_EXCLUDES(store_mutex_);
+    /// Store (or overwrite) a plan under `handle` (batch requests carrying
+    /// plan_handle call this after an ok solve).
+    void store_plan(const std::string& handle, workload::Workload workload,
+                    core::TieringPlan plan, bool reuse_aware) CAST_EXCLUDES(store_mutex_);
     /// Per-template breaker lookup (governor path only); the map is bounded
     /// and evicts wholesale when it outgrows kMaxBreakers. Shared ownership
     /// because an eviction may race a worker mid-solve with its breaker.
@@ -334,12 +384,31 @@ private:
     std::atomic<std::uint64_t> served_greedy_{0};
     std::atomic<std::uint64_t> governor_shed_{0};
     std::atomic<std::uint64_t> deadline_shed_{0};
+    std::atomic<std::uint64_t> amend_requests_{0};
+    std::atomic<std::uint64_t> amend_escalations_{0};
+    std::atomic<std::uint64_t> amend_greedy_{0};
     std::atomic<std::uint64_t> solve_retries_{0};
     std::atomic<std::uint64_t> breaker_fastfail_{0};
     std::atomic<std::uint64_t> swap_clears_suppressed_{0};
     /// Requests popped from the queue whose response is not yet fulfilled;
     /// feeds the governor's backlog estimate together with queue depth.
     std::atomic<std::size_t> in_flight_{0};
+
+    /// Plan store for amend requests. Two-level locking: store_mutex_
+    /// guards the handle map only; each entry carries its own mutex held
+    /// for the whole amend, so amendments to one handle serialize (each
+    /// builds on the previous plan) while different handles amend in
+    /// parallel. Entries are shared_ptr so a map rehash never moves a
+    /// locked entry.
+    struct StoredPlan {
+        mutable Mutex mu;
+        workload::Workload workload CAST_GUARDED_BY(mu);
+        core::TieringPlan plan CAST_GUARDED_BY(mu);
+        bool reuse_aware CAST_GUARDED_BY(mu) = false;
+    };
+    mutable Mutex store_mutex_;
+    std::unordered_map<std::string, std::shared_ptr<StoredPlan>> plans_
+        CAST_GUARDED_BY(store_mutex_);
 
     static constexpr std::size_t kMaxBreakers = 256;
     mutable Mutex breaker_mutex_;

@@ -1,0 +1,168 @@
+#include "workload/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace cast::workload {
+
+DeltaApplication apply_delta(const Workload& base, const JobDelta& delta) {
+    std::map<int, std::size_t> by_id;
+    for (std::size_t i = 0; i < base.size(); ++i) by_id.emplace(base.job(i).id, i);
+
+    std::set<int> departing;
+    for (const int id : delta.departures) {
+        if (by_id.find(id) == by_id.end()) {
+            throw ValidationError("delta departure references unknown job id " +
+                                  std::to_string(id));
+        }
+        if (!departing.insert(id).second) {
+            throw ValidationError("delta lists job id " + std::to_string(id) +
+                                  " as departing twice");
+        }
+    }
+
+    std::map<int, const JobSpec*> updates;
+    for (const JobSpec& u : delta.updates) {
+        if (by_id.find(u.id) == by_id.end()) {
+            throw ValidationError("delta update references unknown job id " +
+                                  std::to_string(u.id));
+        }
+        if (departing.count(u.id) != 0) {
+            throw ValidationError("delta updates departing job id " + std::to_string(u.id));
+        }
+        if (!updates.emplace(u.id, &u).second) {
+            throw ValidationError("delta lists job id " + std::to_string(u.id) +
+                                  " as updated twice");
+        }
+    }
+
+    DeltaApplication out;
+    std::vector<JobSpec> jobs;
+    jobs.reserve(base.size() + delta.arrivals.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        const JobSpec& job = base.job(i);
+        if (departing.count(job.id) != 0) {
+            out.departed.push_back(i);
+            continue;
+        }
+        const auto uit = updates.find(job.id);
+        if (uit != updates.end()) {
+            out.changed.push_back(jobs.size());
+            jobs.push_back(*uit->second);
+        } else {
+            jobs.push_back(job);
+        }
+        out.survivor_from.push_back(i);
+    }
+    std::set<int> arrival_ids;
+    for (const JobSpec& a : delta.arrivals) {
+        if (by_id.find(a.id) != by_id.end() || !arrival_ids.insert(a.id).second) {
+            throw ValidationError("delta arrival reuses job id " + std::to_string(a.id));
+        }
+        out.changed.push_back(jobs.size());
+        out.survivor_from.push_back(DeltaApplication::kNoPrior);
+        jobs.push_back(a);
+    }
+    out.workload = Workload(std::move(jobs));  // re-validates (reuse-group invariants)
+    return out;
+}
+
+std::vector<JobDelta> synthesize_stream(const Workload& initial, std::uint64_t seed,
+                                        const StreamOptions& opts) {
+    opts.validate();
+    CAST_EXPECTS_MSG(!initial.empty(), "stream synthesis needs a non-empty initial workload");
+
+    std::vector<JobSpec> live = initial.jobs();
+    int next_id = 0;
+    int next_group = 0;
+    for (const JobSpec& j : live) {
+        next_id = std::max(next_id, j.id + 1);
+        if (j.reuse_group) next_group = std::max(next_group, *j.reuse_group + 1);
+    }
+
+    Rng rng(seed);
+    // Arrival pool: fresh Table 4 syntheses, refilled on demand. Group ids
+    // within one refill are remapped consistently (pool peers that share a
+    // group still share one after remapping) but never collide with live
+    // groups or with earlier refills.
+    std::vector<JobSpec> pool;
+    std::size_t pool_cursor = 0;
+    std::uint64_t refill = 0;
+    const auto draw_arrival = [&]() {
+        if (pool_cursor >= pool.size()) {
+            const Workload fresh = synthesize_facebook_workload(
+                SplitMix64((seed ^ 0x5bf03635aca2fdafULL) + ++refill).next(), opts.synthesis);
+            pool = fresh.jobs();
+            std::map<int, int> remap;
+            for (JobSpec& j : pool) {
+                if (!j.reuse_group) continue;
+                const auto [it, inserted] = remap.emplace(*j.reuse_group, next_group);
+                if (inserted) ++next_group;
+                j.reuse_group = it->second;
+            }
+            pool_cursor = 0;
+        }
+        JobSpec job = pool[pool_cursor++];
+        job.id = next_id++;
+        job.name = "arr" + std::to_string(job.id);
+        return job;
+    };
+
+    std::vector<JobDelta> trace;
+    trace.reserve(static_cast<std::size_t>(opts.steps));
+    for (int step = 0; step < opts.steps; ++step) {
+        const std::size_t n = live.size();
+        const auto half = static_cast<std::size_t>(
+            std::max(1.0, std::floor(opts.churn * static_cast<double>(n) / 2.0 + 0.5)));
+        const std::size_t n_out = std::min(half, n > 1 ? n - 1 : std::size_t{0});
+
+        JobDelta delta;
+        std::vector<std::uint8_t> leaving(n, 0);
+        for (std::size_t k = 0; k < n_out; ++k) {
+            std::size_t idx = static_cast<std::size_t>(rng.below(n));
+            while (leaving[idx] != 0) idx = (idx + 1) % n;
+            leaving[idx] = 1;
+            delta.departures.push_back(live[idx].id);
+        }
+
+        const auto n_upd = static_cast<std::size_t>(
+            std::floor(opts.update_fraction * static_cast<double>(n) + 0.5));
+        std::vector<std::uint8_t> drifted(n, 0);
+        for (std::size_t k = 0; k < n_upd; ++k) {
+            // Probe for a drift-eligible survivor: not leaving, not already
+            // drifted this step, and not a reuse-group member (group inputs
+            // must stay equal). Bounded probes keep the loop deterministic
+            // even when few candidates remain.
+            for (std::size_t probe = 0; probe < 4 * n; ++probe) {
+                const auto idx = static_cast<std::size_t>(rng.below(n));
+                if (leaving[idx] != 0 || drifted[idx] != 0 || live[idx].reuse_group) continue;
+                drifted[idx] = 1;
+                JobSpec revised = live[idx];
+                const double factor = rng.uniform(opts.drift_lo, opts.drift_hi);
+                revised.input = GigaBytes{std::max(0.01, revised.input.value() * factor)};
+                revised.map_tasks = std::max(
+                    1, static_cast<int>(
+                           std::ceil(revised.input.value() / opts.synthesis.chunk.value())));
+                revised.reduce_tasks = std::max(
+                    1, static_cast<int>(static_cast<double>(revised.map_tasks) *
+                                        opts.synthesis.reduce_ratio));
+                delta.updates.push_back(std::move(revised));
+                break;
+            }
+        }
+
+        for (std::size_t k = 0; k < n_out; ++k) delta.arrivals.push_back(draw_arrival());
+
+        // Chain: the next step's ids reference the post-delta set.
+        const DeltaApplication applied = apply_delta(Workload(live), delta);
+        live = applied.workload.jobs();
+        trace.push_back(std::move(delta));
+    }
+    return trace;
+}
+
+}  // namespace cast::workload

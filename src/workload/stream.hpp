@@ -1,0 +1,102 @@
+// Streaming job-set scenarios: deltas and seeded arrival/departure traces.
+//
+// A long-running planning service never sees the whole job set at once:
+// jobs arrive, finish, and get their size estimates revised while earlier
+// placements are already deployed. A JobDelta captures one such change
+// between two planning steps; synthesize_stream generates a deterministic
+// trace of deltas over the Facebook-derived workload (Table 4 synthesis),
+// so benches and tests can replay identical churn. The incremental
+// re-planner (core/incremental.hpp) consumes deltas directly; apply_delta
+// is the one shared definition of how a delta maps onto a job set (and
+// onto the index space a prior plan was expressed in).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/facebook.hpp"
+#include "workload/job.hpp"
+
+namespace cast::workload {
+
+/// One change to a live job set between two planning steps.
+struct JobDelta {
+    /// New jobs, appended after the survivors. Ids must not collide with
+    /// any job already in the set.
+    std::vector<JobSpec> arrivals;
+    /// Ids of completed jobs, removed from the set.
+    std::vector<int> departures;
+    /// Runtime-drift re-estimates: replacement specs matched by id to a
+    /// surviving job (same id, revised sizes/task counts).
+    std::vector<JobSpec> updates;
+
+    [[nodiscard]] bool empty() const {
+        return arrivals.empty() && departures.empty() && updates.empty();
+    }
+    /// Changed-job count (arrivals + departures + updates) — the churn the
+    /// incremental re-planner's neighborhood grows from.
+    [[nodiscard]] std::size_t churn() const {
+        return arrivals.size() + departures.size() + updates.size();
+    }
+};
+
+/// apply_delta's result: the post-delta job set plus the index mappings an
+/// incremental solver needs to carry per-job state (plan decisions) across
+/// the delta.
+struct DeltaApplication {
+    /// Sentinel in survivor_from for jobs with no prior index (arrivals).
+    static constexpr std::size_t kNoPrior = static_cast<std::size_t>(-1);
+
+    Workload workload;
+    /// new index -> prior index (kNoPrior for arrivals). Survivors keep
+    /// their relative order; arrivals are appended in delta order.
+    std::vector<std::size_t> survivor_from;
+    /// New indices of every arrival and every updated survivor — the
+    /// changed-job core of the re-planning neighborhood.
+    std::vector<std::size_t> changed;
+    /// Prior indices of the departed jobs (their vacated placements drive
+    /// the capacity-shift side of the neighborhood).
+    std::vector<std::size_t> departed;
+};
+
+/// Apply `delta` to `base`. Throws ValidationError when a departure or
+/// update references an unknown id, an update targets a departing job, an
+/// arrival reuses an existing id, or the same id appears twice in one
+/// delta list; the resulting workload is re-validated (so e.g. an update
+/// that breaks a reuse group's equal-input invariant is rejected too).
+[[nodiscard]] DeltaApplication apply_delta(const Workload& base, const JobDelta& delta);
+
+struct StreamOptions {
+    int steps = 20;
+    /// Per-step churn as a fraction of the live job count: churn/2 of the
+    /// set departs and the same number arrives, so |arrivals| +
+    /// |departures| ~= churn * n and the set size stays roughly constant.
+    double churn = 0.10;
+    /// Fraction of survivors whose input-size estimate drifts per step
+    /// (reuse-group members are never drifted — their inputs must stay
+    /// equal across the group).
+    double update_fraction = 0.02;
+    /// Multiplicative drift bounds on a re-estimated input size.
+    double drift_lo = 0.8;
+    double drift_hi = 1.25;
+    /// Synthesis parameters for arriving jobs (Table 4 bins).
+    SynthesisOptions synthesis;
+
+    void validate() const {
+        CAST_EXPECTS(steps >= 1);
+        CAST_EXPECTS(churn > 0.0 && churn <= 1.0);
+        CAST_EXPECTS(update_fraction >= 0.0 && update_fraction <= 1.0);
+        CAST_EXPECTS(drift_lo > 0.0 && drift_hi >= drift_lo);
+    }
+};
+
+/// Synthesize a deterministic arrival/departure/drift trace over `initial`:
+/// a pure function of (initial, seed, opts). Step deltas chain — step k's
+/// departures and updates reference the job set produced by applying steps
+/// 0..k-1. Arrivals are drawn from fresh Table 4 syntheses with fresh ids;
+/// their reuse groups are remapped so they never collide with live groups.
+[[nodiscard]] std::vector<JobDelta> synthesize_stream(const Workload& initial,
+                                                      std::uint64_t seed,
+                                                      const StreamOptions& opts = {});
+
+}  // namespace cast::workload

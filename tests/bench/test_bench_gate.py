@@ -75,6 +75,41 @@ class BenchGateHarness(unittest.TestCase):
                          f"expected exactly one summary line:\n{proc.stdout}")
         return proc, json.loads(lines[0][len(SUMMARY_TAG) + 1:])
 
+    def commit_history(self, reports: list) -> Path:
+        """Fabricate a git repo whose baseline file went through `reports`
+        (one commit each; a str report is committed verbatim — used to
+        prove unparseable revisions are skipped). Returns the baseline
+        path at HEAD."""
+        repo = self.tmp / "repo"
+        repo.mkdir()
+        subprocess.run(["git", "init", "-q"], cwd=repo, check=True)
+        baseline = repo / "BENCH_serve_throughput.json"
+        for i, report in enumerate(reports):
+            if isinstance(report, str):
+                baseline.write_text(report)
+            else:
+                # Salt with the commit index so flat histories still change
+                # the file (an unchanged file would make an empty commit).
+                baseline.write_text(json.dumps({**report, "commit_index": i}))
+            subprocess.run(["git", "add", "-A"], cwd=repo, check=True)
+            subprocess.run(
+                ["git", "-c", "user.name=t", "-c", "user.email=t@t",
+                 "commit", "-q", "-m", f"point {i}"],
+                cwd=repo, check=True)
+        return baseline
+
+    def run_trend(self, baseline: Path,
+                  *extra: str) -> tuple[subprocess.CompletedProcess, dict]:
+        proc = subprocess.run(
+            [sys.executable, str(BENCH_GATE), "--trend",
+             "--baseline", str(baseline), *extra],
+            capture_output=True, text=True, check=False)
+        lines = [l for l in proc.stdout.splitlines()
+                 if l.startswith(SUMMARY_TAG + " ")]
+        self.assertEqual(len(lines), 1,
+                         f"expected exactly one summary line:\n{proc.stdout}")
+        return proc, json.loads(lines[0][len(SUMMARY_TAG) + 1:])
+
 
 class GateDecisions(BenchGateHarness):
     def test_pass_when_throughput_holds(self):
@@ -142,41 +177,6 @@ class GateDecisions(BenchGateHarness):
 
 class TrendGate(BenchGateHarness):
     """--trend gates on the committed git history of the baseline file."""
-
-    def commit_history(self, reports: list) -> Path:
-        """Fabricate a git repo whose baseline file went through `reports`
-        (one commit each; a str report is committed verbatim — used to
-        prove unparseable revisions are skipped). Returns the baseline
-        path at HEAD."""
-        repo = self.tmp / "repo"
-        repo.mkdir()
-        subprocess.run(["git", "init", "-q"], cwd=repo, check=True)
-        baseline = repo / "BENCH_serve_throughput.json"
-        for i, report in enumerate(reports):
-            if isinstance(report, str):
-                baseline.write_text(report)
-            else:
-                # Salt with the commit index so flat histories still change
-                # the file (an unchanged file would make an empty commit).
-                baseline.write_text(json.dumps({**report, "commit_index": i}))
-            subprocess.run(["git", "add", "-A"], cwd=repo, check=True)
-            subprocess.run(
-                ["git", "-c", "user.name=t", "-c", "user.email=t@t",
-                 "commit", "-q", "-m", f"point {i}"],
-                cwd=repo, check=True)
-        return baseline
-
-    def run_trend(self, baseline: Path,
-                  *extra: str) -> tuple[subprocess.CompletedProcess, dict]:
-        proc = subprocess.run(
-            [sys.executable, str(BENCH_GATE), "--trend",
-             "--baseline", str(baseline), *extra],
-            capture_output=True, text=True, check=False)
-        lines = [l for l in proc.stdout.splitlines()
-                 if l.startswith(SUMMARY_TAG + " ")]
-        self.assertEqual(len(lines), 1,
-                         f"expected exactly one summary line:\n{proc.stdout}")
-        return proc, json.loads(lines[0][len(SUMMARY_TAG) + 1:])
 
     def test_flat_history_passes_both_gates(self):
         baseline = self.commit_history([make_report(100.0)] * 6)
@@ -246,6 +246,58 @@ class TrendGate(BenchGateHarness):
         baseline = self.commit_history([make_report(100.0)] * 3)
         proc, _ = self.run_trend(baseline)
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+def make_incremental_report(amend_pps: float, mode: str = "full",
+                            host_cores: int = 4) -> dict:
+    """An incremental_replan-shaped report: three single-threaded tracks,
+    amend fastest, cold slowest (the ratios mirror the real bench)."""
+    return {
+        "mode": mode,
+        "host_cores": host_cores,
+        "cold_resolve": {"plans_per_sec": amend_pps / 6.0, "mean_utility": 0.0002},
+        "incremental_amend": {"plans_per_sec": amend_pps, "mean_utility": 0.0002},
+        "secretary_baseline": {"plans_per_sec": amend_pps * 3.0,
+                               "mean_utility": 0.00018},
+    }
+
+
+class IncrementalReportGate(BenchGateHarness):
+    """incremental_replan reports gate per-track plans_per_sec rows."""
+
+    def test_gates_each_track(self):
+        bench = self.fake_bench(make_incremental_report(60.0))
+        base = self.baseline(make_incremental_report(60.0))
+        proc, summary = self.run_gate(bench, base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        by_name = {m["name"]: m for m in summary["metrics"]}
+        for track in ("cold_resolve", "incremental_amend", "secretary_baseline"):
+            row = by_name[f"{track}.plans_per_sec"]
+            self.assertEqual(row["status"], "pass")
+        self.assertEqual(by_name["incremental_amend.plans_per_sec"]["baseline"], 60.0)
+
+    def test_one_regressed_track_fails_the_gate(self):
+        fresh = make_incremental_report(60.0)
+        fresh["incremental_amend"]["plans_per_sec"] = 30.0  # -50%
+        bench = self.fake_bench(fresh)
+        base = self.baseline(make_incremental_report(60.0))
+        proc, summary = self.run_gate(bench, base)
+        self.assertEqual(proc.returncode, 1)
+        by_name = {m["name"]: m for m in summary["metrics"]}
+        self.assertEqual(by_name["incremental_amend.plans_per_sec"]["status"], "fail")
+        self.assertEqual(by_name["cold_resolve.plans_per_sec"]["status"], "pass")
+
+    def test_trend_mode_suffixes_per_track_metrics(self):
+        cliff = make_incremental_report(60.0)
+        cliff["incremental_amend"]["plans_per_sec"] = 30.0
+        baseline = self.commit_history([make_incremental_report(60.0)] * 5 + [cliff])
+        proc, summary = self.run_trend(baseline)
+        self.assertEqual(proc.returncode, 1)
+        by_name = {m["name"]: m for m in summary["metrics"]}
+        amend = by_name["trend_window.incremental_amend.plans_per_sec"]
+        self.assertEqual(amend["status"], "fail")
+        cold = by_name["trend_window.cold_resolve.plans_per_sec"]
+        self.assertEqual(cold["status"], "pass")
 
 
 class SummaryIsMachineReadable(BenchGateHarness):

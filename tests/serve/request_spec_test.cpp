@@ -160,5 +160,101 @@ TEST_F(RequestSpecTest, RejectsMalformedNumbersWithLineAttribution) {
     expect_fails_on_line_2("n15.txt", "reuse-aware=1");
 }
 
+// ---------------------------------------------------------------------------
+// Streaming: handle= on batch requests and amend lines.
+// ---------------------------------------------------------------------------
+
+TEST_F(RequestSpecTest, HandleStoresBatchPlansOnly) {
+    write("w.spec", kBatchSpec);
+    write("wf.spec", kWorkflowSpec);
+    const auto requests =
+        load_requests(write("r.txt", "request w.spec handle=live seed=7\nrequest w.spec\n"));
+    ASSERT_EQ(requests.size(), 2u);
+    EXPECT_EQ(requests[0].plan_handle, "live");
+    EXPECT_TRUE(requests[1].plan_handle.empty());
+
+    EXPECT_THROW((void)load_requests(write("a.txt", "request wf.spec handle=live\n")),
+                 ValidationError);
+    EXPECT_THROW((void)load_requests(write("b.txt", "request w.spec handle=\n")),
+                 ValidationError);
+}
+
+TEST_F(RequestSpecTest, ParsesAmendLines) {
+    write("w.spec", kBatchSpec);
+    write("burst.spec", "job 10 Join 40\njob 11 KMeans 64\n");
+    const auto requests = load_requests(
+        write("r.txt",
+              "request w.spec handle=live seed=7\n"
+              "amend live arrive=burst.spec depart=2 seed=9 priority=high budget-ms=25\n"
+              "amend live depart=10,11\n"));
+    ASSERT_EQ(requests.size(), 3u);
+
+    const PlanRequest& first = requests[1];
+    EXPECT_EQ(first.id, 2u);
+    EXPECT_EQ(first.kind, RequestKind::kAmend);
+    EXPECT_EQ(first.plan_handle, "live");
+    EXPECT_EQ(first.seed, 9u);
+    EXPECT_EQ(first.priority, Priority::kHigh);
+    EXPECT_EQ(first.max_wall_ms, 25.0);
+    ASSERT_TRUE(first.delta.has_value());
+    ASSERT_EQ(first.delta->arrivals.size(), 2u);
+    EXPECT_EQ(first.delta->arrivals[0].id, 10);
+    EXPECT_EQ(first.delta->arrivals[1].id, 11);
+    EXPECT_EQ(first.delta->departures, (std::vector<int>{2}));
+
+    const PlanRequest& second = requests[2];
+    EXPECT_EQ(second.kind, RequestKind::kAmend);
+    ASSERT_TRUE(second.delta.has_value());
+    EXPECT_TRUE(second.delta->arrivals.empty());
+    EXPECT_EQ(second.delta->departures, (std::vector<int>{10, 11}));
+}
+
+TEST_F(RequestSpecTest, AmendArriveIsRepeatable) {
+    write("a.spec", "job 10 Sort 40\n");
+    write("b.spec", "job 11 Grep 64\n");
+    const auto requests =
+        load_requests(write("r.txt", "amend live arrive=a.spec arrive=b.spec\n"));
+    ASSERT_EQ(requests.size(), 1u);
+    ASSERT_TRUE(requests[0].delta.has_value());
+    ASSERT_EQ(requests[0].delta->arrivals.size(), 2u);
+    EXPECT_EQ(requests[0].delta->arrivals[0].id, 10);
+    EXPECT_EQ(requests[0].delta->arrivals[1].id, 11);
+}
+
+TEST_F(RequestSpecTest, RejectsMalformedAmendLines) {
+    write("w.spec", kBatchSpec);
+    write("wf.spec", kWorkflowSpec);
+
+    const auto expect_fails_with = [&](const std::string& name, const std::string& line,
+                                       const std::string& needle) {
+        const std::string file = write(name, line + "\n");
+        try {
+            (void)load_requests(file);
+            FAIL() << line << " was accepted";
+        } catch (const ValidationError& e) {
+            EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+                << "wrong error for '" << line << "': " << e.what();
+        }
+    };
+
+    expect_fails_with("a1.txt", "amend", "missing plan handle");
+    expect_fails_with("a2.txt", "amend arrive=w.spec", "missing plan handle");
+    expect_fails_with("a3.txt", "amend live", "at least one of arrive=/depart=");
+    expect_fails_with("a4.txt", "amend live seed=3", "at least one of arrive=/depart=");
+    expect_fails_with("a5.txt", "amend live arrive=", "arrive needs a value");
+    expect_fails_with("a6.txt", "amend live arrive=nope.spec", "bad spec");
+    expect_fails_with("a7.txt", "amend live arrive=wf.spec", "workflow");
+    expect_fails_with("a8.txt", "amend live depart=", "depart needs a value");
+    expect_fails_with("a9.txt", "amend live depart=1,,2", "empty id");
+    expect_fails_with("a10.txt", "amend live depart=1,", "empty id");
+    expect_fails_with("a11.txt", "amend live depart=-3", "unsigned");
+    expect_fails_with("a12.txt", "amend live depart=1,x", "depart");
+    expect_fails_with("a13.txt", "amend live depart=99999999999",
+                      "out of range");
+    expect_fails_with("a14.txt", "amend live depart=1 reuse-aware", "reuse-aware");
+    expect_fails_with("a15.txt", "amend live depart=1 repeat=3", "repeat");
+    expect_fails_with("a16.txt", "amend live depart=1 frobnicate=1", "unknown option");
+}
+
 }  // namespace
 }  // namespace cast::serve

@@ -11,7 +11,9 @@ numbers against the committed baseline JSON. The gate fails when
 The headline metrics depend on the report shape: serve reports gate the
 best service plans/sec over all configurations; solver_throughput reports
 gate the per-section `iters_per_sec` numbers (uncached/cached/SoA single
-chains plus the independent-chain and tempering solves). Sections present
+chains plus the independent-chain and tempering solves);
+incremental_replan reports gate the per-track `plans_per_sec` numbers
+(cold re-solve, warm-start amend, secretary baseline). Sections present
 in only one of baseline/fresh (a freshly added bench row) are skipped,
 not failed.
 
@@ -69,6 +71,10 @@ SERVE_METRIC = "service_plans_per_sec"
 SOLVER_SINGLE_CHAIN = ("uncached_full_evaluation", "cached_incremental_evaluation",
                        "soa_incremental_evaluation")
 SOLVER_POOLED = ("multi_chain_solve", "tempering_solve")
+# incremental_replan tracks carrying a plans_per_sec headline. All three
+# are timed single-threaded (the pooled runs only check bit-identity), so
+# they stay comparable even when baseline and current core counts differ.
+INCREMENTAL_TRACKS = ("cold_resolve", "incremental_amend", "secretary_baseline")
 
 
 def metric(name: str, status: str, **fields) -> dict:
@@ -116,6 +122,15 @@ def headline_metrics(report: dict, max_workers: int | None = None) -> dict:
     """
     if "service_runs" in report:
         return {SERVE_METRIC: best_service_plans_per_sec(report, max_workers)}
+    if "incremental_amend" in report:
+        metrics = {}
+        for key in INCREMENTAL_TRACKS:
+            run = report.get(key)
+            if isinstance(run, dict) and float(run.get("plans_per_sec", 0.0)) > 0.0:
+                metrics[f"{key}.plans_per_sec"] = float(run["plans_per_sec"])
+        if not metrics:
+            raise ValueError("no comparable headline metrics in report")
+        return metrics
     sections = SOLVER_SINGLE_CHAIN
     if max_workers is None or max_workers > 1:
         sections = sections + SOLVER_POOLED
